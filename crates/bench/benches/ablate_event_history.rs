@@ -1,0 +1,30 @@
+//! Ablation: the full event-based (banking) transport loop vs the
+//! history-based loop on identical workloads — the central trade-off of
+//! the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_core::event::run_event_transport;
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::Problem;
+
+const N: usize = 400;
+
+fn bench(c: &mut Criterion) {
+    let problem = Problem::test_small();
+    let sources = problem.sample_initial_source(N, 0);
+    let streams = batch_streams(problem.seed, 0, N);
+
+    let mut g = c.benchmark_group("transport_algorithm");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("history_based", |b| {
+        b.iter(|| run_histories(&problem, &sources, &streams).tallies.collisions)
+    });
+    g.bench_function("event_based_banking", |b| {
+        b.iter(|| run_event_transport(&problem, &sources, &streams).0.tallies.collisions)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

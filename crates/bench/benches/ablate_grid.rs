@@ -1,0 +1,51 @@
+//! Ablation: the unionized energy grid (Leppänen) vs one binary search
+//! per nuclide — the optimization both measured codes in the paper share.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcs_bench::log_energies;
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_xs::kernel::{macro_xs_direct, macro_xs_union};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProblemConfig {
+        enable_sab: false,
+        enable_urr: false,
+        ..Default::default()
+    };
+    let problem = Problem::hm(HmModel::Small, &cfg);
+    let fuel = &problem.materials[0];
+    let energies = log_energies(256, 7);
+
+    let mut g = c.benchmark_group("grid_search");
+    g.sample_size(20);
+    g.bench_function("per_nuclide_binary_search", |b| {
+        b.iter_batched(
+            || energies.clone(),
+            |es| {
+                let mut acc = 0.0;
+                for e in es {
+                    acc += macro_xs_direct(&problem.library, fuel, e).total;
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("unionized_grid", |b| {
+        b.iter_batched(
+            || energies.clone(),
+            |es| {
+                let mut acc = 0.0;
+                for e in es {
+                    acc += macro_xs_union(&problem.library, &problem.grid, fuel, e).total;
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

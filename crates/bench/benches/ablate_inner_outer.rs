@@ -1,0 +1,50 @@
+//! Ablation: vectorizing the inner (nuclide) loop vs the outer (particle)
+//! loop of the banked lookup — the paper's §III-A1 observation that the
+//! inner loop wins.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_bench::log_energies;
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_xs::kernel::{
+    batch_macro_xs_outer_simd, batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs,
+};
+
+const N: usize = 2_048;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProblemConfig {
+        enable_sab: false,
+        enable_urr: false,
+        ..Default::default()
+    };
+    let problem = Problem::hm(HmModel::Small, &cfg);
+    let fuel = &problem.materials[0];
+    let energies = log_energies(N, 13);
+    let mut out = vec![MacroXs::default(); N];
+
+    let mut g = c.benchmark_group("vectorization_axis");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("scalar_reference", |b| {
+        b.iter(|| {
+            batch_macro_xs_scalar(&problem.library, &problem.grid, fuel, &energies, &mut out);
+            out[N - 1].total
+        })
+    });
+    g.bench_function("inner_loop_simd", |b| {
+        b.iter(|| {
+            batch_macro_xs_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out);
+            out[N - 1].total
+        })
+    });
+    g.bench_function("outer_loop_simd", |b| {
+        b.iter(|| {
+            batch_macro_xs_outer_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out);
+            out[N - 1].total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: multipole evaluation vs classical pointwise lookup — the
+//! §IV-B trade: the multipole method "potentially turns a memory-bound
+//! problem into a compute-bound problem" at a fraction of the memory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_bench::log_energies;
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_multipole::{rsbench_driver, MultipoleLibrary, MultipoleSpec};
+use mcs_xs::kernel::macro_xs_union;
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProblemConfig {
+        enable_sab: false,
+        enable_urr: false,
+        ..Default::default()
+    };
+    let problem = Problem::hm(HmModel::Small, &cfg);
+    let fuel = &problem.materials[0];
+    let energies = log_energies(N, 3);
+
+    let spec = MultipoleSpec::rsbench_like();
+    let mp_var = MultipoleLibrary::build(&spec);
+    let max_p = mp_var
+        .nuclides
+        .iter()
+        .map(|n| n.max_poles_per_window())
+        .max()
+        .unwrap();
+    let mp_fix = MultipoleLibrary::build(&spec.with_fixed_poles(max_p));
+
+    let mut g = c.benchmark_group("xs_representation");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(15);
+    g.bench_function("pointwise_union_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &e in &energies {
+                acc += macro_xs_union(&problem.library, &problem.grid, fuel, e).total;
+            }
+            acc
+        })
+    });
+    g.bench_function("multipole_original", |b| {
+        b.iter(|| rsbench_driver(&mp_var, N, 42, false))
+    });
+    g.bench_function("multipole_vectorized", |b| {
+        b.iter(|| rsbench_driver(&mp_fix, N, 42, true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: RNG strategies for the distance-sampling kernel — per-call
+//! `rand_r`, per-call LCG, and batched counter-based fills (the VSL
+//! analogue).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_rng::{Lcg63, NaiveRandR, StreamPartition};
+
+const N: usize = 65_536;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng_fill");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(30);
+
+    g.bench_function("per_call_rand_r", |b| {
+        let mut rng = NaiveRandR::new(1);
+        let mut out = vec![0.0f32; N];
+        b.iter(|| {
+            for v in &mut out {
+                *v = rng.next_uniform_f32();
+            }
+            out[N - 1]
+        })
+    });
+
+    g.bench_function("per_call_lcg63", |b| {
+        let mut rng = Lcg63::new(1);
+        let mut out = vec![0.0f32; N];
+        b.iter(|| {
+            for v in &mut out {
+                *v = rng.next_uniform() as f32;
+            }
+            out[N - 1]
+        })
+    });
+
+    g.bench_function("batched_philox_1_stream", |b| {
+        let mut part = StreamPartition::new(1, 1);
+        let mut out = vec![0.0f32; N];
+        b.iter(|| {
+            part.fill_f32(&mut out);
+            out[N - 1]
+        })
+    });
+
+    g.bench_function("batched_philox_8_streams", |b| {
+        let mut part = StreamPartition::new(1, 8);
+        let mut out = vec![0.0f32; N];
+        b.iter(|| {
+            part.fill_f32(&mut out);
+            out[N - 1]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: the distance-sampling kernel's vectorization ladder —
+//! scalar libm `ln`, auto-vectorizable slice `vln`, and the explicit
+//! 16-lane Algorithm-4 kernel; Table I's three implementations end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_core::distance::{sample_distances_naive, sample_distances_opt1, sample_distances_opt2};
+use mcs_rng::StreamPartition;
+use mcs_simd::math::{vexp_slice, vln_slice};
+use mcs_simd::AVec32;
+
+const N: usize = 65_536;
+
+fn bench(c: &mut Criterion) {
+    let xs_vals: Vec<f32> = (0..N).map(|i| 0.1 + 1.9 * (i % 997) as f32 / 997.0).collect();
+    let xs = AVec32::from_slice(&xs_vals);
+
+    {
+        let mut g = c.benchmark_group("transcendental");
+        g.throughput(Throughput::Elements(N as u64));
+        g.sample_size(30);
+        let input: Vec<f32> = (0..N).map(|i| 1e-4 + (i % 4093) as f32 / 4093.0).collect();
+        let mut out = vec![0.0f32; N];
+        g.bench_function("libm_ln", |b| {
+            b.iter(|| {
+                for (o, &x) in out.iter_mut().zip(&input) {
+                    *o = x.ln();
+                }
+                out[N - 1]
+            })
+        });
+        g.bench_function("vln_slice", |b| {
+            b.iter(|| {
+                vln_slice(&input, &mut out);
+                out[N - 1]
+            })
+        });
+        g.bench_function("vexp_slice", |b| {
+            b.iter(|| {
+                vexp_slice(&input, &mut out);
+                out[N - 1]
+            })
+        });
+        g.finish();
+    }
+
+    {
+        let mut g = c.benchmark_group("table1_kernels");
+        g.throughput(Throughput::Elements(N as u64));
+        g.sample_size(20);
+        g.bench_function("naive_rand_r_plus_libm", |b| {
+            let mut out = vec![0.0f32; N];
+            b.iter(|| {
+                sample_distances_naive(&xs_vals, &mut out, 1);
+                out[N - 1]
+            })
+        });
+        g.bench_function("opt1_batch_rng_scalar_ln", |b| {
+            let mut r = vec![0.0f32; N];
+            let mut out = vec![0.0f32; N];
+            let mut part = StreamPartition::new(7, 8);
+            b.iter(|| {
+                sample_distances_opt1(&xs_vals, &mut r, &mut out, &mut part);
+                out[N - 1]
+            })
+        });
+        g.bench_function("opt2_batch_rng_simd_ln", |b| {
+            let mut r = AVec32::zeros(N);
+            let mut out = AVec32::zeros(N);
+            let mut part = StreamPartition::new(7, 8);
+            b.iter(|| {
+                sample_distances_opt2(&xs, &mut r, &mut out, &mut part);
+                out[N - 1]
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

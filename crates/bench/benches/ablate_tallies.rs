@@ -1,0 +1,42 @@
+//! Ablation: the real cost of user-defined tallies on this host — the
+//! measured side of the paper's §III-B1 remark that α differs between
+//! inactive (no tallies) and active (tallied) batches, "particularly if
+//! user-defined tallies are collected throughout phase space".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcs_core::history::{
+    batch_streams, run_histories, run_histories_mesh, run_histories_spectrum,
+};
+use mcs_core::mesh::MeshSpec;
+use mcs_core::problem::Problem;
+
+const N: usize = 400;
+
+fn bench(c: &mut Criterion) {
+    let problem = Problem::test_small();
+    let sources = problem.sample_initial_source(N, 0);
+    let streams = batch_streams(problem.seed, 0, N);
+    let mesh = MeshSpec::covering(problem.geometry.bounds, 17, 17, 8);
+
+    let mut g = c.benchmark_group("tally_overhead");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("no_tallies_inactive_batch", |b| {
+        b.iter(|| run_histories(&problem, &sources, &streams).tallies.collisions)
+    });
+    g.bench_function("with_mesh_tally_active_batch", |b| {
+        b.iter(|| {
+            run_histories_mesh(&problem, &sources, &streams, Some(mesh))
+                .0
+                .tallies
+                .collisions
+        })
+    });
+    g.bench_function("with_energy_spectrum", |b| {
+        b.iter(|| run_histories_spectrum(&problem, &sources, &streams).0.tallies.collisions)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

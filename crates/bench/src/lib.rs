@@ -1,0 +1,116 @@
+//! Shared plumbing for the table/figure harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one evaluation artifact of the
+//! paper. Conventions:
+//!
+//! * results are printed in the paper's row/series structure *and* written
+//!   as CSV under `results/`;
+//! * every run is headed by hardware provenance (the host's real SIMD
+//!   features) and a MEASURED/MODELED tag per column — measured numbers
+//!   come from real kernel executions on this host, modeled numbers from
+//!   the calibrated machine model in `mcs-device`;
+//! * `MCS_SCALE` (a float, default 1) scales particle/lookups counts, so
+//!   `MCS_SCALE=10 cargo run --release --bin fig5_calc_rates` approaches
+//!   paper scale on a beefier machine.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mcs_simd::feature::SimdFeatures;
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env_or("MCS_RESULTS_DIR", "results"));
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+/// Workload scale factor from `MCS_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    env_or("MCS_SCALE", "1").parse().unwrap_or(1.0)
+}
+
+/// Scale a nominal count, with a floor of 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(1)
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("host: {}", SimdFeatures::detect().summary());
+    println!("scale factor: {} (set MCS_SCALE to change)", scale());
+    println!("==============================================================");
+}
+
+/// Write rows as CSV under `results/<name>.csv`.
+pub fn write_csv(name: &str, columns: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", columns.join(",")).unwrap();
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).unwrap();
+    }
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Format seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// Log-spaced probe energies over the data range, for lookup workloads.
+pub fn log_energies(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = mcs_rng::Philox4x32::new(seed);
+    let lo = mcs_xs::E_MIN.ln();
+    let hi = mcs_xs::E_MAX.ln();
+    (0..n)
+        .map(|_| (lo + (hi - lo) * rng.next_uniform()).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        assert!(scaled(1) >= 1);
+    }
+
+    #[test]
+    fn log_energies_in_range() {
+        let es = log_energies(100, 1);
+        assert_eq!(es.len(), 100);
+        assert!(es.iter().all(|&e| (mcs_xs::E_MIN..=mcs_xs::E_MAX).contains(&e)));
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" µs"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-batch communication: the tally reduction and fission-bank
+//! synchronization every batch ends with.
+
+/// Communication cost model for one batch synchronization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Point-to-point message latency, seconds.
+    pub latency_s: f64,
+    /// Link bandwidth, GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Bytes per banked fission site exchanged during bank
+    /// redistribution.
+    pub site_bytes: f64,
+}
+
+impl CommModel {
+    /// FDR InfiniBand (Stampede): ~1 µs latency, ~6 GB/s effective.
+    pub fn fdr_infiniband() -> Self {
+        Self {
+            latency_s: 1.5e-6,
+            bandwidth_gb_s: 6.0,
+            site_bytes: 64.0,
+        }
+    }
+
+    /// Time for one batch synchronization across `ranks` ranks with
+    /// `n_total` particles in flight: a log-tree of latency hops (tally
+    /// reduction) plus a butterfly fission-bank exchange whose local
+    /// share shrinks with rank count.
+    pub fn batch_sync_time(&self, ranks: usize, n_total: u64) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let hops = (ranks as f64).log2().ceil();
+        let tree = hops * self.latency_s;
+        let local_sites = n_total as f64 / ranks as f64;
+        let exchange = hops * (local_sites * self.site_bytes) / (self.bandwidth_gb_s * 1e9);
+        tree + exchange
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_free() {
+        let c = CommModel::fdr_infiniband();
+        assert_eq!(c.batch_sync_time(1, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn sync_grows_logarithmically_in_ranks() {
+        let c = CommModel::fdr_infiniband();
+        let t64 = c.batch_sync_time(64, 0);
+        let t4096 = c.batch_sync_time(4096, 0);
+        assert!((t4096 / t64 - 2.0).abs() < 1e-9); // 12 hops vs 6
+    }
+
+    #[test]
+    fn sync_stays_far_below_batch_times() {
+        // At the paper's largest scale (1,024 nodes × 2 ranks, 10⁷
+        // particles) synchronization is milliseconds, not seconds.
+        let c = CommModel::fdr_infiniband();
+        let t = c.batch_sync_time(2048, 10_000_000);
+        assert!(t < 0.05, "t = {t}");
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Node compositions: which ranks live on one compute node.
+
+use crate::rank::Rank;
+
+/// A compute node's rank composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// The ranks on this node (one per CPU and per attached MIC).
+    pub ranks: Vec<Rank>,
+}
+
+impl NodeSpec {
+    /// CPU-only node.
+    pub fn cpu_only(cpu_rate: f64) -> Self {
+        Self {
+            ranks: vec![Rank::cpu("cpu", cpu_rate)],
+        }
+    }
+
+    /// Host + one MIC (Stampede's 1,024-node partition).
+    pub fn with_one_mic(cpu_rate: f64, mic_rate: f64) -> Self {
+        Self {
+            ranks: vec![Rank::cpu("cpu", cpu_rate), Rank::mic("mic0", mic_rate)],
+        }
+    }
+
+    /// Host + two MICs (Stampede's 384-node partition; the JLSE nodes).
+    pub fn with_two_mics(cpu_rate: f64, mic_rate: f64) -> Self {
+        Self {
+            ranks: vec![
+                Rank::cpu("cpu", cpu_rate),
+                Rank::mic("mic0", mic_rate),
+                Rank::mic("mic1", mic_rate),
+            ],
+        }
+    }
+
+    /// Aggregate nominal rate of the node.
+    pub fn nominal_rate(&self) -> f64 {
+        self.ranks.iter().map(|r| r.nominal_rate).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositions() {
+        assert_eq!(NodeSpec::cpu_only(1.0).ranks.len(), 1);
+        assert_eq!(NodeSpec::with_one_mic(1.0, 2.0).ranks.len(), 2);
+        let two = NodeSpec::with_two_mics(1.0, 2.0);
+        assert_eq!(two.ranks.len(), 3);
+        assert_eq!(two.nominal_rate(), 5.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! A single MPI rank's batch-time law.
+
+/// One rank (a host CPU or a MIC device running one MPI process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rank {
+    /// Display label ("cpu", "mic0", ...).
+    pub label: String,
+    /// Asymptotic calculation rate, neutrons/second (measured in native
+    /// mode with ≥10⁵ particles — Fig. 5's plateau).
+    pub nominal_rate: f64,
+    /// Particle count at which fixed per-batch costs halve the effective
+    /// rate (Fig. 5's knee; much larger for the MIC, whose 244 threads
+    /// starve below ~10⁴ particles).
+    pub knee: f64,
+}
+
+impl Rank {
+    /// A host-CPU rank.
+    pub fn cpu(label: &str, nominal_rate: f64) -> Self {
+        Self {
+            label: label.to_string(),
+            nominal_rate,
+            knee: 200.0,
+        }
+    }
+
+    /// A MIC rank.
+    pub fn mic(label: &str, nominal_rate: f64) -> Self {
+        Self {
+            label: label.to_string(),
+            nominal_rate,
+            knee: 2_500.0,
+        }
+    }
+
+    /// Batch wall time for `n` particles: `(n + knee) / nominal_rate`.
+    #[inline]
+    pub fn batch_time(&self, n: u64) -> f64 {
+        (n as f64 + self.knee) / self.nominal_rate
+    }
+
+    /// Effective calculation rate at `n` particles.
+    #[inline]
+    pub fn effective_rate(&self, n: u64) -> f64 {
+        n as f64 / self.batch_time(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_saturates_at_nominal() {
+        let r = Rank::mic("m", 6641.0);
+        let big = r.effective_rate(10_000_000);
+        assert!((big / 6641.0 - 1.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn effective_rate_halves_at_knee() {
+        let r = Rank::mic("m", 6641.0);
+        let at_knee = r.effective_rate(2_500);
+        assert!((at_knee / 6641.0 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mic_collapses_sooner_than_cpu() {
+        let cpu = Rank::cpu("c", 4050.0);
+        let mic = Rank::mic("m", 6641.0);
+        // At 3,000 particles/rank the MIC has lost nearly half its rate;
+        // the CPU barely notices.
+        assert!(mic.effective_rate(3_000) / mic.nominal_rate < 0.6);
+        assert!(cpu.effective_rate(3_000) / cpu.nominal_rate > 0.9);
+    }
+}

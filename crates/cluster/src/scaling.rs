@@ -1,0 +1,226 @@
+//! Strong- and weak-scaling studies (Fig. 6 and Fig. 7).
+//!
+//! Particle assignment uses the paper's *static* α balancing: Eq. 3
+//! computed from the ranks' nominal (large-N) rates. At extreme scale the
+//! per-rank particle counts fall onto Fig. 5's knee, the effective rates
+//! drift away from the nominal ones, and the statically balanced split is
+//! no longer balanced — which is exactly the 1-MIC tail at 1,024 nodes.
+
+use mcs_core::balance::proportional_split;
+
+use crate::comm::CommModel;
+use crate::node::NodeSpec;
+
+/// One point of a scaling study.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    /// Total particles per batch.
+    pub n_total: u64,
+    /// Modeled batch time, seconds.
+    pub batch_time: f64,
+    /// Aggregate calculation rate, neutrons/second.
+    pub rate: f64,
+    /// Parallel efficiency vs the study's baseline point.
+    pub efficiency: f64,
+}
+
+fn batch_time(node: &NodeSpec, n_nodes: usize, n_total: u64, comm: &CommModel) -> f64 {
+    batch_time_mixed(&vec![node.clone(); n_nodes], n_total, comm)
+}
+
+/// Batch time for an arbitrary mix of node compositions (e.g. Stampede's
+/// 1-MIC and 2-MIC partitions in one job), with the paper's static
+/// α balancing applied globally across every rank.
+pub fn batch_time_mixed(nodes: &[NodeSpec], n_total: u64, comm: &CommModel) -> f64 {
+    let ranks: Vec<&crate::rank::Rank> =
+        nodes.iter().flat_map(|n| n.ranks.iter()).collect();
+    let rates: Vec<f64> = ranks.iter().map(|r| r.nominal_rate).collect();
+    let split = proportional_split(n_total, &rates);
+    let mut slowest = 0.0f64;
+    for (rank, &n) in ranks.iter().zip(&split) {
+        slowest = slowest.max(rank.batch_time(n));
+    }
+    slowest + comm.batch_sync_time(rates.len(), n_total)
+}
+
+/// Strong scaling: fixed `n_total`, growing node counts.
+///
+/// Efficiency is relative to the first (smallest) node count, as in the
+/// paper ("95% of the expected ideal based on the 4 node measurement").
+pub fn strong_scaling(
+    node: &NodeSpec,
+    node_counts: &[usize],
+    n_total: u64,
+    comm: &CommModel,
+) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let base_nodes = node_counts[0];
+    let base_time = batch_time(node, base_nodes, n_total, comm);
+    node_counts
+        .iter()
+        .map(|&p| {
+            let t = batch_time(node, p, n_total, comm);
+            let ideal_t = base_time * base_nodes as f64 / p as f64;
+            ScalingPoint {
+                nodes: p,
+                ranks: p * node.ranks.len(),
+                n_total,
+                batch_time: t,
+                rate: n_total as f64 / t,
+                efficiency: ideal_t / t,
+            }
+        })
+        .collect()
+}
+
+/// Weak scaling: fixed particles per node, growing node counts.
+/// Efficiency is `t(1 node) / t(p nodes)`.
+pub fn weak_scaling(
+    node: &NodeSpec,
+    node_counts: &[usize],
+    n_per_node: u64,
+    comm: &CommModel,
+) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let base_time = batch_time(node, 1, n_per_node, comm);
+    node_counts
+        .iter()
+        .map(|&p| {
+            let n_total = n_per_node * p as u64;
+            let t = batch_time(node, p, n_total, comm);
+            ScalingPoint {
+                nodes: p,
+                ranks: p * node.ranks.len(),
+                n_total,
+                batch_time: t,
+                rate: n_total as f64 / t,
+                efficiency: base_time / t,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stampede-like rates: CPU 3,200 n/s, MIC 5,900 n/s per rank on
+    /// H.M. Large (scaled from the JLSE rates by clock).
+    fn stampede_1mic() -> NodeSpec {
+        NodeSpec::with_one_mic(3_200.0, 5_900.0)
+    }
+
+    #[test]
+    fn fig6_near_perfect_scaling_to_128_nodes() {
+        let comm = CommModel::fdr_infiniband();
+        let pts = strong_scaling(&stampede_1mic(), &[4, 8, 16, 32, 64, 128], 10_000_000, &comm);
+        let at_128 = pts.last().unwrap();
+        assert!(
+            at_128.efficiency > 0.93 && at_128.efficiency <= 1.0,
+            "efficiency at 128 nodes = {:.3}",
+            at_128.efficiency
+        );
+    }
+
+    #[test]
+    fn fig6_one_mic_curve_tails_at_1024_nodes() {
+        // Paper: at 1,024 nodes Eq. 3 assigns the MIC ~6,600 particles,
+        // its effective rate collapses, and the curve tails off.
+        let comm = CommModel::fdr_infiniband();
+        let pts = strong_scaling(
+            &stampede_1mic(),
+            &[4, 128, 1024],
+            10_000_000,
+            &comm,
+        );
+        let at_128 = &pts[1];
+        let at_1024 = &pts[2];
+        assert!(at_128.efficiency > 0.93);
+        assert!(
+            at_1024.efficiency < 0.85,
+            "expected a visible tail, efficiency = {:.3}",
+            at_1024.efficiency
+        );
+    }
+
+    #[test]
+    fn fig6_cpu_only_curve_stays_flat() {
+        // "The effect is not seen in the CPU-only curve because we are
+        // still safely simulating about 10⁴ particles per node."
+        let comm = CommModel::fdr_infiniband();
+        let pts = strong_scaling(
+            &NodeSpec::cpu_only(3_200.0),
+            &[4, 128, 1024],
+            10_000_000,
+            &comm,
+        );
+        assert!(pts.last().unwrap().efficiency > 0.95);
+    }
+
+    #[test]
+    fn fig7_weak_scaling_holds_94_percent() {
+        let comm = CommModel::fdr_infiniband();
+        let pts = weak_scaling(&stampede_1mic(), &[1, 2, 4, 8, 16, 32, 64, 128], 1_000_000, &comm);
+        for p in &pts {
+            assert!(
+                p.efficiency > 0.94,
+                "weak efficiency at {} nodes = {:.3}",
+                p.nodes,
+                p.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn weak_scaling_remains_flat_beyond_measured_range() {
+        // The paper's footnote: confidence the weak curve stays flat to
+        // 2^10 nodes.
+        let comm = CommModel::fdr_infiniband();
+        let pts = weak_scaling(&stampede_1mic(), &[1, 1024], 1_000_000, &comm);
+        assert!(pts[1].efficiency > 0.9, "{}", pts[1].efficiency);
+    }
+
+    #[test]
+    fn mixed_partitions_are_balanced_globally() {
+        // A Stampede-like job spanning both partitions: 64 nodes with one
+        // MIC + 32 with two. Global α balancing must beat per-node-even
+        // treatment: total rate ≈ sum of all rank rates.
+        let comm = CommModel::fdr_infiniband();
+        let mut nodes = vec![NodeSpec::with_one_mic(3_200.0, 5_900.0); 64];
+        nodes.extend(vec![NodeSpec::with_two_mics(3_200.0, 5_900.0); 32]);
+        let n_total = 10_000_000;
+        let t = batch_time_mixed(&nodes, n_total, &comm);
+        let ideal_rate: f64 = nodes.iter().map(|n| n.nominal_rate()).sum();
+        let achieved = n_total as f64 / t;
+        assert!(
+            achieved > 0.93 * ideal_rate,
+            "achieved {achieved:.0} vs ideal {ideal_rate:.0}"
+        );
+    }
+
+    #[test]
+    fn two_mic_nodes_outrate_one_mic_nodes() {
+        let comm = CommModel::fdr_infiniband();
+        let one = strong_scaling(&stampede_1mic(), &[4], 10_000_000, &comm);
+        let two = strong_scaling(
+            &NodeSpec::with_two_mics(3_200.0, 5_900.0),
+            &[4],
+            10_000_000,
+            &comm,
+        );
+        assert!(two[0].rate > 1.3 * one[0].rate);
+    }
+
+    #[test]
+    fn strong_scaling_rate_is_monotone_until_the_tail() {
+        let comm = CommModel::fdr_infiniband();
+        let pts = strong_scaling(&stampede_1mic(), &[4, 8, 16, 32, 64, 128], 10_000_000, &comm);
+        for w in pts.windows(2) {
+            assert!(w[1].rate > w[0].rate);
+        }
+    }
+}

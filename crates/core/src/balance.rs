@@ -1,0 +1,149 @@
+//! Static load balancing between heterogeneous ranks (the paper's §III-B3).
+//!
+//! OpenMC splits particles evenly over MPI ranks; with CPUs and MICs in
+//! the same job their calculation rates differ by the factor
+//! `α = rate_cpu / rate_mic` (Eq. 2), so the even split leaves the fast
+//! ranks idle. Eq. 3 assigns
+//!
+//! ```text
+//! n_mic = n_total / (p_mic + p_cpu·α),    n_cpu = α · n_mic
+//! ```
+//!
+//! [`proportional_split`] generalizes this to any rate vector with
+//! largest-remainder rounding so assignments are integral and sum exactly
+//! to `n_total`.
+
+/// The calculation-rate ratio α (Eq. 2).
+#[inline]
+pub fn alpha(cpu_rate: f64, mic_rate: f64) -> f64 {
+    cpu_rate / mic_rate
+}
+
+/// Eq. 3: particles per MIC rank and per CPU rank.
+///
+/// Returns `(n_mic, n_cpu)` as reals; use [`proportional_split`] when you
+/// need an exact integral assignment.
+pub fn partition_alpha(n_total: u64, p_mic: u64, p_cpu: u64, alpha: f64) -> (f64, f64) {
+    assert!(p_mic + p_cpu > 0);
+    let denom = p_mic as f64 + p_cpu as f64 * alpha;
+    let n_mic = n_total as f64 / denom;
+    (n_mic, alpha * n_mic)
+}
+
+/// Split `n_total` particles across ranks proportionally to their
+/// `rates`, with largest-remainder rounding (assignments sum exactly to
+/// `n_total`).
+pub fn proportional_split(n_total: u64, rates: &[f64]) -> Vec<u64> {
+    assert!(!rates.is_empty());
+    let total_rate: f64 = rates.iter().sum();
+    assert!(total_rate > 0.0, "all rates zero");
+    let ideal: Vec<f64> = rates
+        .iter()
+        .map(|r| n_total as f64 * r / total_rate)
+        .collect();
+    let mut out: Vec<u64> = ideal.iter().map(|&x| x.floor() as u64).collect();
+    let assigned: u64 = out.iter().sum();
+    let mut remainder = n_total - assigned;
+    // Hand the leftovers to the largest fractional parts.
+    let mut frac: Vec<(f64, usize)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x - x.floor(), i))
+        .collect();
+    frac.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut cursor = 0;
+    while remainder > 0 {
+        out[frac[cursor % frac.len()].1] += 1;
+        remainder -= 1;
+        cursor += 1;
+    }
+    out
+}
+
+/// Wall time of a batch given per-rank assignments and rates: the slowest
+/// rank gates the batch (everyone synchronizes at the fission-bank
+/// reduction).
+pub fn batch_time(assignments: &[u64], rates: &[f64]) -> f64 {
+    assignments
+        .iter()
+        .zip(rates)
+        .map(|(&n, &r)| n as f64 / r)
+        .fold(0.0, f64::max)
+}
+
+/// Aggregate calculation rate achieved by a partition (total particles
+/// over the gating rank's time).
+pub fn achieved_rate(assignments: &[u64], rates: &[f64]) -> f64 {
+    let n_total: u64 = assignments.iter().sum();
+    n_total as f64 / batch_time(assignments, rates)
+}
+
+/// The ideal aggregate rate: the sum of rank rates (perfect balance, no
+/// synchronization loss).
+pub fn ideal_rate(rates: &[f64]) -> f64 {
+    rates.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numbers() {
+        // §III-B3: n_total = 1e7, α = 0.62, one CPU and one MIC rank
+        // → n_mic = 6,172,840 and n_cpu = 3,827,160.
+        let (n_mic, n_cpu) = partition_alpha(10_000_000, 1, 1, 0.62);
+        assert!((n_mic - 6_172_839.5).abs() < 1.0, "n_mic = {n_mic}");
+        assert!((n_cpu - 3_827_160.5).abs() < 1.0);
+
+        let split = proportional_split(10_000_000, &[1.0, 0.62]);
+        assert_eq!(split.iter().sum::<u64>(), 10_000_000);
+        assert_eq!(split[0], 6_172_840); // mic (rate 1)
+        assert_eq!(split[1], 3_827_160); // cpu (rate 0.62)
+    }
+
+    #[test]
+    fn proportional_split_sums_exactly() {
+        for n in [1u64, 7, 100, 999_999] {
+            let split = proportional_split(n, &[3.0, 1.0, 2.0, 0.5]);
+            assert_eq!(split.iter().sum::<u64>(), n);
+        }
+    }
+
+    #[test]
+    fn equal_rates_give_equal_split() {
+        let split = proportional_split(100, &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(split, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn balanced_partition_beats_even_split() {
+        // One fast rank (rate 1.0) and one slow (rate 0.62): even split
+        // wastes the fast rank; the balanced split approaches ideal.
+        let rates = [1.0, 0.62];
+        let even = [5_000_000u64, 5_000_000];
+        let balanced = proportional_split(10_000_000, &rates);
+        let r_even = achieved_rate(&even, &rates);
+        let r_bal = achieved_rate(&balanced, &rates);
+        let r_ideal = ideal_rate(&rates);
+        assert!(r_bal > r_even);
+        assert!(r_bal / r_ideal > 0.999);
+        // Even split achieves 2·min(rate) = 1.24 vs ideal 1.62: a ~23%
+        // loss (the paper measures 16% for CPU+1MIC because its "ideal"
+        // baseline already includes some synchronization overhead; the
+        // Table III *shape* — balanced ≈ ideal ≫ even split — holds).
+        let loss = 1.0 - r_even / r_ideal;
+        assert!((loss - 0.2346).abs() < 0.01, "loss = {loss}");
+    }
+
+    #[test]
+    fn batch_time_is_gated_by_slowest() {
+        let t = batch_time(&[100, 100], &[10.0, 1.0]);
+        assert_eq!(t, 100.0);
+    }
+
+    #[test]
+    fn alpha_is_a_plain_ratio() {
+        assert!((alpha(620.0, 1000.0) - 0.62).abs() < 1e-12);
+    }
+}

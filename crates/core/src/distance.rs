@@ -1,0 +1,180 @@
+//! The Table-I distance-sampling micro-kernels.
+//!
+//! Three implementations of "compute `D[j] = −ln(r_j)/X[j]` for a banked
+//! array of cross sections", exactly as the paper stages them:
+//!
+//! * [`sample_distances_naive`] — Algorithm 3: one `rand_r()` call and one
+//!   scalar `ln` per element. The serial dependency chain inside `rand_r`
+//!   and the per-call overhead make this catastrophic on a
+//!   many-slow-core device (Table I: 8,243 s on the MIC).
+//! * [`sample_distances_opt1`] — batched counter-based RNG (the VSL
+//!   stand-in) filling `R` up front, then a plain scalar loop with libm
+//!   `ln` (no manual vectorization).
+//! * [`sample_distances_opt2`] — Algorithm 4: batched RNG + explicit
+//!   16-lane vector kernel (`load R`, `load X`, `vlog`, `div`, `mul −1`,
+//!   `store`) over 64-byte-aligned buffers.
+//!
+//! All three work in `f32` like the paper's kernels.
+
+use mcs_rng::{NaiveRandR, StreamPartition};
+use mcs_simd::math::vln;
+use mcs_simd::{AVec32, F32x16};
+
+/// Algorithm 3: per-element `rand_r` + scalar `ln`.
+///
+/// `seed` plays the role of the thread-private `unsigned int` seed.
+pub fn sample_distances_naive(xs: &[f32], out: &mut [f32], seed: u32) {
+    assert_eq!(xs.len(), out.len());
+    let mut rng = NaiveRandR::new(seed);
+    for (x, d) in xs.iter().zip(out.iter_mut()) {
+        let r = rng.next_uniform_f32();
+        *d = -r.ln() / x;
+    }
+}
+
+/// Optimized-1: batch-RNG fill, then a plain scalar loop (libm `ln`).
+///
+/// `partition` provides the pre-filled uniforms buffer semantics of VSL
+/// streams: call with a scratch `r` buffer the same length as `xs`.
+pub fn sample_distances_opt1(
+    xs: &[f32],
+    r: &mut [f32],
+    out: &mut [f32],
+    partition: &mut StreamPartition,
+) {
+    assert_eq!(xs.len(), out.len());
+    assert_eq!(xs.len(), r.len());
+    partition.fill_f32(r);
+    for j in 0..xs.len() {
+        out[j] = -r[j].ln() / xs[j];
+    }
+}
+
+/// Optimized-2 (Algorithm 4): batch RNG + explicit 16-lane kernel.
+pub fn sample_distances_opt2(
+    xs: &AVec32,
+    r: &mut AVec32,
+    out: &mut AVec32,
+    partition: &mut StreamPartition,
+) {
+    assert_eq!(xs.len(), out.len());
+    assert_eq!(xs.len(), r.len());
+    partition.fill_f32(r.as_mut_slice());
+
+    let n = xs.len();
+    let full = n / 16 * 16;
+    let x = xs.as_slice();
+    let rr = r.as_slice();
+    let o = out.as_mut_slice();
+
+    let neg1 = F32x16::splat(-1.0);
+    let mut j = 0;
+    while j < full {
+        // Algorithm 4 lines 12–18, one intrinsic per line.
+        let v1 = F32x16::from_slice(&rr[j..]); // _mm512_load_ps(R+j)
+        let v2 = F32x16::from_slice(&x[j..]); //  _mm512_load_ps(X+j)
+        let v3 = vln(v1); //                      _mm512_log_ps
+        let v4 = v3 / v2; //                      _mm512_div_ps
+        let v6 = v4 * neg1; //                    _mm512_mul_ps
+        v6.write_to_slice(&mut o[j..]); //        _mm512_store_ps
+        j += 16;
+    }
+    // Remainder with the same polynomial log (bit-identical math).
+    for jj in full..n {
+        o[jj] = -mcs_simd::math::ln_f32(rr[jj]) / x[jj];
+    }
+}
+
+/// Reference distances for a given uniforms buffer (f64 math, for
+/// accuracy tests).
+pub fn reference_distances(xs: &[f32], r: &[f32]) -> Vec<f32> {
+    xs.iter()
+        .zip(r)
+        .map(|(&x, &u)| (-(u as f64).ln() / x as f64) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 4096;
+
+    fn xs_buffer() -> AVec32 {
+        // Cross sections in a realistic Σ_t range (0.1–2 cm⁻¹).
+        AVec32::from_slice(
+            &(0..N)
+                .map(|i| 0.1 + 1.9 * ((i * 37 % N) as f32 / N as f32))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn naive_produces_positive_distances_with_correct_mean() {
+        let xs = vec![0.5f32; N];
+        let mut out = vec![0.0f32; N];
+        sample_distances_naive(&xs, &mut out, 1);
+        assert!(out.iter().all(|&d| d > 0.0));
+        // E[-ln U] = 1 ⇒ E[d] = 1/Σ = 2.0.
+        let mean = out.iter().map(|&d| d as f64).sum::<f64>() / N as f64;
+        assert!((mean - 2.0).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn opt1_matches_reference_given_same_uniforms() {
+        let xs = xs_buffer();
+        let mut r = vec![0.0f32; N];
+        let mut out = vec![0.0f32; N];
+        let mut p = StreamPartition::new(9, 4);
+        sample_distances_opt1(xs.as_slice(), &mut r, &mut out, &mut p);
+        let want = reference_distances(xs.as_slice(), &r);
+        for j in 0..N {
+            let rel = ((out[j] - want[j]) / want[j]).abs();
+            assert!(rel < 1e-5, "j={j} got={} want={}", out[j], want[j]);
+        }
+    }
+
+    #[test]
+    fn opt2_matches_opt1_within_polynomial_accuracy() {
+        let xs = xs_buffer();
+        let mut r1 = vec![0.0f32; N];
+        let mut out1 = vec![0.0f32; N];
+        let mut p1 = StreamPartition::new(42, 8);
+        sample_distances_opt1(xs.as_slice(), &mut r1, &mut out1, &mut p1);
+
+        let mut r2 = AVec32::zeros(N);
+        let mut out2 = AVec32::zeros(N);
+        let mut p2 = StreamPartition::new(42, 8);
+        sample_distances_opt2(&xs, &mut r2, &mut out2, &mut p2);
+
+        // Same streams ⇒ same uniforms.
+        assert_eq!(r1, r2.as_slice());
+        for j in 0..N {
+            let rel = ((out1[j] - out2[j]) / out1[j]).abs();
+            assert!(rel < 5e-6, "j={j}: {} vs {}", out1[j], out2[j]);
+        }
+    }
+
+    #[test]
+    fn opt2_handles_non_multiple_of_16() {
+        let n = 100;
+        let xs = AVec32::from_slice(&vec![1.0f32; n]);
+        let mut r = AVec32::zeros(n);
+        let mut out = AVec32::zeros(n);
+        let mut p = StreamPartition::new(7, 2);
+        sample_distances_opt2(&xs, &mut r, &mut out, &mut p);
+        assert!(out.as_slice().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn successive_iterations_draw_fresh_numbers() {
+        let xs = xs_buffer();
+        let mut r = AVec32::zeros(N);
+        let mut out = AVec32::zeros(N);
+        let mut p = StreamPartition::new(3, 4);
+        sample_distances_opt2(&xs, &mut r, &mut out, &mut p);
+        let first = out.as_slice().to_vec();
+        sample_distances_opt2(&xs, &mut r, &mut out, &mut p);
+        assert_ne!(first, out.as_slice());
+    }
+}

@@ -1,0 +1,495 @@
+//! k-eigenvalue batch driver: inactive + active batches with fission-bank
+//! resampling.
+//!
+//! Mirrors OpenMC's power-iteration structure (§III-B1): inactive batches
+//! converge the fission source (no tallies kept), active batches
+//! accumulate tallies and k statistics. Each batch reports its
+//! *calculation rate* (simulated neutrons per second) — the paper's
+//! primary performance metric (Fig. 5, Table III).
+
+use std::time::{Duration, Instant};
+
+use mcs_geom::Vec3;
+use mcs_rng::Lcg63;
+
+use crate::event::run_event_transport_mesh;
+use crate::history::{batch_streams, run_histories_mesh};
+use crate::mesh::{MeshSpec, MeshStats, MeshTally};
+use crate::particle::{Site, SourceSite};
+use crate::problem::Problem;
+use crate::tally::{BatchStats, Tallies};
+
+/// Which transport algorithm drives the batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// History-based (MIMD-style).
+    History,
+    /// Event-based banking (SIMD-style).
+    Event,
+}
+
+/// Driver settings.
+#[derive(Debug, Clone)]
+pub struct EigenvalueSettings {
+    /// Particles per batch.
+    pub particles: usize,
+    /// Source-convergence batches (not tallied).
+    pub inactive: usize,
+    /// Tallied batches.
+    pub active: usize,
+    /// Transport algorithm.
+    pub mode: TransportMode,
+    /// Shannon-entropy mesh (nx, ny, nz) over the geometry bounds.
+    pub entropy_mesh: (usize, usize, usize),
+    /// Optional user-defined mesh tally, scored during *active* batches
+    /// only (which is why the paper distinguishes α_a from α_i).
+    pub mesh_tally: Option<MeshSpec>,
+}
+
+impl EigenvalueSettings {
+    /// A quick test configuration.
+    pub fn test_scale() -> Self {
+        Self {
+            particles: 500,
+            inactive: 2,
+            active: 3,
+            mode: TransportMode::History,
+            entropy_mesh: (4, 4, 4),
+            mesh_tally: None,
+        }
+    }
+}
+
+/// Per-batch record.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchResult {
+    /// Batch index (0-based over the whole run).
+    pub index: usize,
+    /// Tallied (active) batch?
+    pub active: bool,
+    /// Track-length k estimate.
+    pub k_track: f64,
+    /// Collision k estimate.
+    pub k_collision: f64,
+    /// Absorption k estimate.
+    pub k_absorption: f64,
+    /// Shannon entropy of the fission source (bits).
+    pub entropy: f64,
+    /// Wall time of the batch.
+    pub wall: Duration,
+    /// Calculation rate, neutrons/second.
+    pub rate: f64,
+}
+
+/// Result of an eigenvalue run.
+#[derive(Debug, Clone)]
+pub struct EigenvalueResult {
+    /// All batch records, inactive first.
+    pub batches: Vec<BatchResult>,
+    /// Mean track-length k over active batches.
+    pub k_mean: f64,
+    /// Standard error of the mean.
+    pub k_std: f64,
+    /// Merged tallies over active batches.
+    pub tallies: Tallies,
+    /// The accumulated user-defined mesh tally (if requested).
+    pub mesh: Option<MeshTally>,
+    /// Per-cell batch statistics for the mesh tally (if requested).
+    pub mesh_stats: Option<MeshStats>,
+    /// Total wall time.
+    pub total_time: Duration,
+}
+
+impl EigenvalueResult {
+    /// Mean calculation rate over batches matching `active`.
+    pub fn mean_rate(&self, active: bool) -> f64 {
+        let sel: Vec<f64> = self
+            .batches
+            .iter()
+            .filter(|b| b.active == active)
+            .map(|b| b.rate)
+            .collect();
+        if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().sum::<f64>() / sel.len() as f64
+        }
+    }
+}
+
+/// Shannon entropy (bits) of fission sites on a mesh over `bounds`.
+pub fn shannon_entropy(
+    sites: &[Site],
+    bounds: (Vec3, Vec3),
+    mesh: (usize, usize, usize),
+) -> f64 {
+    if sites.is_empty() {
+        return 0.0;
+    }
+    let (lo, hi) = bounds;
+    let span = hi - lo;
+    let (nx, ny, nz) = mesh;
+    let mut counts = vec![0u64; nx * ny * nz];
+    for s in sites {
+        let fx = ((s.pos.x - lo.x) / span.x).clamp(0.0, 1.0 - 1e-12);
+        let fy = ((s.pos.y - lo.y) / span.y).clamp(0.0, 1.0 - 1e-12);
+        let fz = ((s.pos.z - lo.z) / span.z).clamp(0.0, 1.0 - 1e-12);
+        let i = (fx * nx as f64) as usize;
+        let j = (fy * ny as f64) as usize;
+        let k = (fz * nz as f64) as usize;
+        counts[(k * ny + j) * nx + i] += 1;
+    }
+    let total = sites.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Resample `n` source sites from a fission bank (uniformly, with
+/// replacement), deterministically in `seed`.
+pub fn resample_source(sites: &[Site], n: usize, seed: u64) -> Vec<SourceSite> {
+    assert!(
+        !sites.is_empty(),
+        "fission bank empty: source died out (increase particles or check fuel)"
+    );
+    let mut rng = Lcg63::new(seed);
+    (0..n)
+        .map(|_| {
+            let idx = ((rng.next_uniform() * sites.len() as f64) as usize).min(sites.len() - 1);
+            SourceSite {
+                pos: sites[idx].pos,
+                energy: sites[idx].energy,
+            }
+        })
+        .collect()
+}
+
+/// Run the full power iteration.
+pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> EigenvalueResult {
+    let n = settings.particles;
+    let total_batches = settings.inactive + settings.active;
+    let mut source = problem.sample_initial_source(n, 0);
+
+    let mut batches = Vec::with_capacity(total_batches);
+    let mut k_stats = BatchStats::default();
+    let mut tallies = Tallies::default();
+    let mut mesh_total = settings.mesh_tally.map(MeshTally::new);
+    let mut mesh_stats = settings.mesh_tally.map(MeshStats::new);
+    let t_start = Instant::now();
+
+    for b in 0..total_batches {
+        let active = b >= settings.inactive;
+        let streams = batch_streams(problem.seed, b as u64, n);
+        // User-defined tallies only run in active batches.
+        let mesh_spec = if active { settings.mesh_tally } else { None };
+        let t0 = Instant::now();
+        let (outcome, batch_mesh) = match settings.mode {
+            TransportMode::History => run_histories_mesh(problem, &source, &streams, mesh_spec),
+            TransportMode::Event => {
+                let (o, _, m) = run_event_transport_mesh(problem, &source, &streams, mesh_spec);
+                (o, m)
+            }
+        };
+        let wall = t0.elapsed();
+        if let (Some(total), Some(bm)) = (mesh_total.as_mut(), batch_mesh.as_ref()) {
+            total.merge(bm);
+        }
+        if let (Some(stats), Some(bm)) = (mesh_stats.as_mut(), batch_mesh.as_ref()) {
+            stats.observe(bm);
+        }
+
+        let entropy = shannon_entropy(&outcome.sites, problem.geometry.bounds, settings.entropy_mesh);
+        let k_track = outcome.tallies.k_track_estimate();
+        batches.push(BatchResult {
+            index: b,
+            active,
+            k_track,
+            k_collision: outcome.tallies.k_collision_estimate(),
+            k_absorption: outcome.tallies.k_absorption_estimate(),
+            entropy,
+            wall,
+            rate: n as f64 / wall.as_secs_f64().max(1e-12),
+        });
+        if active {
+            k_stats.push(k_track);
+            tallies.merge(&outcome.tallies);
+        }
+        source = resample_source(&outcome.sites, n, problem.seed ^ (0xbeef << 8) ^ b as u64);
+    }
+
+    EigenvalueResult {
+        batches,
+        k_mean: k_stats.mean(),
+        k_std: k_stats.std_error(),
+        tallies,
+        mesh: mesh_total,
+        mesh_stats,
+        total_time: t_start.elapsed(),
+    }
+}
+
+/// Run batches `[start_batch, end_batch)` of the plan, seeded either from
+/// the initial source (`checkpoint = None`, requires `start_batch == 0`)
+/// or from a statepoint. Returns the batch records produced and the
+/// statepoint after `end_batch`. Stream and resampling seeds are
+/// identical to [`run_eigenvalue`]'s, so checkpoint/resume is bit-exact.
+pub fn run_eigenvalue_partial(
+    problem: &Problem,
+    settings: &EigenvalueSettings,
+    start_batch: usize,
+    end_batch: usize,
+    checkpoint: Option<crate::statepoint::Statepoint>,
+) -> (Vec<BatchResult>, crate::statepoint::Statepoint) {
+    let n = settings.particles;
+    assert!(end_batch <= settings.inactive + settings.active);
+    let (mut source, mut k_history, mut tallies) = match checkpoint {
+        Some(c) => {
+            assert_eq!(c.completed_batches, start_batch, "checkpoint/plan mismatch");
+            (c.source, c.k_history, c.tallies)
+        }
+        None => {
+            assert_eq!(start_batch, 0, "cold starts begin at batch 0");
+            (problem.sample_initial_source(n, 0), Vec::new(), Tallies::default())
+        }
+    };
+
+    let mut batches = Vec::with_capacity(end_batch - start_batch);
+    for b in start_batch..end_batch {
+        let active = b >= settings.inactive;
+        let streams = batch_streams(problem.seed, b as u64, n);
+        let t0 = Instant::now();
+        let (outcome, _) = match settings.mode {
+            TransportMode::History => run_histories_mesh(problem, &source, &streams, None),
+            TransportMode::Event => {
+                let (o, _, m) = run_event_transport_mesh(problem, &source, &streams, None);
+                (o, m)
+            }
+        };
+        let wall = t0.elapsed();
+        let entropy =
+            shannon_entropy(&outcome.sites, problem.geometry.bounds, settings.entropy_mesh);
+        let k_track = outcome.tallies.k_track_estimate();
+        batches.push(BatchResult {
+            index: b,
+            active,
+            k_track,
+            k_collision: outcome.tallies.k_collision_estimate(),
+            k_absorption: outcome.tallies.k_absorption_estimate(),
+            entropy,
+            wall,
+            rate: n as f64 / wall.as_secs_f64().max(1e-12),
+        });
+        k_history.push(k_track);
+        if active {
+            tallies.merge(&outcome.tallies);
+        }
+        source = resample_source(&outcome.sites, n, problem.seed ^ (0xbeef << 8) ^ b as u64);
+    }
+
+    let sp = crate::statepoint::Statepoint {
+        seed: problem.seed,
+        completed_batches: end_batch,
+        source,
+        k_history,
+        tallies,
+    };
+    (batches, sp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn eigenvalue_run_produces_sane_k() {
+        let problem = Problem::test_small();
+        let settings = EigenvalueSettings::test_scale();
+        let r = run_eigenvalue(&problem, &settings);
+        assert_eq!(r.batches.len(), 5);
+        assert_eq!(r.batches.iter().filter(|b| b.active).count(), 3);
+        // A tiny single assembly with huge leakage: k in a broad
+        // physical window.
+        assert!(r.k_mean > 0.05 && r.k_mean < 2.0, "k = {}", r.k_mean);
+        assert!(r.tallies.n_particles == 1500);
+        for b in &r.batches {
+            assert!(b.rate > 0.0);
+            assert!(b.entropy >= 0.0);
+        }
+    }
+
+    #[test]
+    fn event_and_history_drivers_agree_statistically() {
+        let problem = Problem::test_small();
+        let mut settings = EigenvalueSettings::test_scale();
+        let rh = run_eigenvalue(&problem, &settings);
+        settings.mode = TransportMode::Event;
+        let re = run_eigenvalue(&problem, &settings);
+        // Identical trajectories & resampling ⇒ k per batch matches to
+        // accumulation tolerance.
+        for (a, b) in rh.batches.iter().zip(&re.batches) {
+            assert!((a.k_track - b.k_track).abs() < 1e-9, "{} vs {}", a.k_track, b.k_track);
+        }
+    }
+
+    #[test]
+    fn survival_biasing_agrees_with_analog_k() {
+        // Implicit capture is an unbiased game: k agrees with the analog
+        // run within combined Monte Carlo noise, while histories live
+        // longer (more segments per source particle).
+        let analog_problem = Problem::test_small();
+        let mut biased_problem = Problem::test_small();
+        biased_problem.treatment = crate::physics::AbsorptionTreatment::survival_default();
+
+        let settings = EigenvalueSettings {
+            particles: 2_000,
+            inactive: 2,
+            active: 6,
+            mode: TransportMode::History,
+            entropy_mesh: (4, 4, 4),
+            mesh_tally: None,
+        };
+        let analog = run_eigenvalue(&analog_problem, &settings);
+        let biased = run_eigenvalue(&biased_problem, &settings);
+        let sigma = (analog.k_std.powi(2) + biased.k_std.powi(2)).sqrt().max(1e-4);
+        let diff = (analog.k_mean - biased.k_mean).abs();
+        assert!(
+            diff < 4.0 * sigma + 0.02,
+            "k analog {:.4}±{:.4} vs biased {:.4}±{:.4}",
+            analog.k_mean,
+            analog.k_std,
+            biased.k_mean,
+            biased.k_std
+        );
+        // Survival-biased histories last longer.
+        let segs_analog = analog.tallies.segments as f64 / analog.tallies.n_particles as f64;
+        let segs_biased = biased.tallies.segments as f64 / biased.tallies.n_particles as f64;
+        assert!(
+            segs_biased > 1.1 * segs_analog,
+            "{segs_biased:.1} vs {segs_analog:.1} segments/particle"
+        );
+    }
+
+    #[test]
+    fn survival_biasing_keeps_event_history_equality() {
+        let mut problem = Problem::test_small();
+        problem.treatment = crate::physics::AbsorptionTreatment::survival_default();
+        let n = 400;
+        let sources = problem.sample_initial_source(n, 0);
+        let streams = crate::history::batch_streams(problem.seed, 0, n);
+        let hist = crate::history::run_histories(&problem, &sources, &streams);
+        let (evt, _) = crate::event::run_event_transport(&problem, &sources, &streams);
+        assert_eq!(hist.tallies.segments, evt.tallies.segments);
+        assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
+        assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
+        assert_eq!(hist.sites, evt.sites);
+        let rel = (hist.tallies.k_track - evt.tallies.k_track).abs()
+            / hist.tallies.k_track.abs().max(1e-300);
+        assert!(rel < 1e-9);
+    }
+
+    #[test]
+    fn mesh_tally_accumulates_only_active_batches() {
+        let problem = Problem::test_small();
+        let spec = crate::mesh::MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+        let mut settings = EigenvalueSettings::test_scale();
+        settings.mesh_tally = Some(spec);
+        let r = run_eigenvalue(&problem, &settings);
+        let mesh = r.mesh.expect("mesh requested");
+        assert!(mesh.total() > 0.0);
+        // Mesh covers the whole geometry, so it captures (almost all of)
+        // the active batches' track length. (Tiny shortfall: the paper-
+        // thin escape segments beyond the outer boundary.)
+        let ratio = mesh.total() / r.tallies.track_length;
+        assert!((0.95..=1.0 + 1e-9).contains(&ratio), "ratio = {ratio}");
+        // Peak cell is inside the fueled region, not at a corner.
+        let (i, j, _, v) = mesh.peak();
+        assert!(v > 0.0);
+        assert!(i > 0 && i < 3 && j > 0 && j < 3, "peak at edge ({i},{j})");
+    }
+
+    #[test]
+    fn mesh_tally_identical_between_history_and_event() {
+        let problem = Problem::test_small();
+        let spec = crate::mesh::MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+        let mut settings = EigenvalueSettings::test_scale();
+        settings.mesh_tally = Some(spec);
+        let rh = run_eigenvalue(&problem, &settings);
+        settings.mode = TransportMode::Event;
+        let re = run_eigenvalue(&problem, &settings);
+        let (mh, me) = (rh.mesh.unwrap(), re.mesh.unwrap());
+        for (a, b) in mh.bins.iter().zip(&me.bins) {
+            let denom = a.abs().max(1e-300);
+            assert!((a - b).abs() / denom < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn entropy_of_point_source_is_zero() {
+        let s = vec![Site {
+            pos: Vec3::new(0.1, 0.1, 0.1),
+            energy: 1.0,
+            parent: 0,
+            seq: 0,
+        }];
+        let h = shannon_entropy(
+            &s,
+            (Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0)),
+            (4, 4, 4),
+        );
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_source_is_near_max() {
+        let mut rng = Lcg63::new(5);
+        let sites: Vec<Site> = (0..20_000)
+            .map(|i| Site {
+                pos: Vec3::new(
+                    2.0 * rng.next_uniform() - 1.0,
+                    2.0 * rng.next_uniform() - 1.0,
+                    2.0 * rng.next_uniform() - 1.0,
+                ),
+                energy: 1.0,
+                parent: i,
+                seq: 0,
+            })
+            .collect();
+        let h = shannon_entropy(
+            &sites,
+            (Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0)),
+            (4, 4, 4),
+        );
+        let max = (4.0f64 * 4.0 * 4.0).log2();
+        assert!(h > 0.98 * max, "h = {h}, max = {max}");
+    }
+
+    #[test]
+    fn resample_is_deterministic_and_in_bank() {
+        let sites: Vec<Site> = (0..10)
+            .map(|i| Site {
+                pos: Vec3::new(i as f64, 0.0, 0.0),
+                energy: i as f64 + 0.5,
+                parent: i,
+                seq: 0,
+            })
+            .collect();
+        let a = resample_source(&sites, 20, 99);
+        let b = resample_source(&sites, 20, 99);
+        assert_eq!(a, b);
+        for s in &a {
+            assert!(sites.iter().any(|x| x.pos == s.pos && x.energy == s.energy));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fission bank empty")]
+    fn resample_empty_bank_panics() {
+        resample_source(&[], 10, 1);
+    }
+}

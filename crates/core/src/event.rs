@@ -1,0 +1,378 @@
+//! Event-based (banking) transport: the full implementation of the
+//! algorithm the paper prototypes in micro-benchmarks and lists as future
+//! work.
+//!
+//! All live particles advance together, one *event generation* per
+//! iteration, through staged kernels:
+//!
+//! 1. **Locate** — resolve each particle's cell (leaks terminate here).
+//! 2. **XS lookup** — the bank is processed grouped by material with the
+//!    vectorized inner-loop-over-nuclides kernel (Fig. 2's banked lookup).
+//! 3. **Distance sampling** — `d = −ln ξ / Σ_t` across the bank (the
+//!    Table I kernel).
+//! 4. **Boundary** — ray-trace each particle (divergent; the stage the
+//!    paper notes resists vectorization).
+//! 5. **Advance/Collide** — move to the nearer of boundary/collision and
+//!    apply the shared collision physics.
+//! 6. **Compact** — dead particles are squeezed out of the live list.
+//!
+//! Because every particle owns its RNG stream and the stages consume draws
+//! in the same per-particle order as the history loop, the two algorithms
+//! produce *identical trajectories* — asserted by integration tests.
+
+use mcs_geom::BOUNDARY_EPS;
+use mcs_rng::Lcg63;
+use mcs_xs::kernel::MacroXs;
+
+use crate::history::TransportOutcome;
+use crate::mesh::{MeshSpec, MeshTally};
+use crate::particle::{sort_sites, ParticleBank, SourceSite};
+use crate::physics::{collide, CollisionOutcome};
+use crate::problem::Problem;
+use crate::E_FLOOR;
+
+/// Counters describing how the event loop executed (fed to the device
+/// model for offload-time estimation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventStats {
+    /// Event generations executed.
+    pub iterations: u64,
+    /// Total XS lookups performed (= total flight segments).
+    pub lookups: u64,
+    /// Peak live-bank size.
+    pub peak_bank: u64,
+    /// Measured wall time per stage, seconds:
+    /// `[locate, xs_lookup, distance, boundary, collide, compact]`.
+    pub stage_seconds: [f64; 6],
+}
+
+impl EventStats {
+    /// Stage display names, aligned with `stage_seconds`.
+    pub const STAGE_NAMES: [&'static str; 6] = [
+        "locate",
+        "xs_lookup",
+        "sample_distance",
+        "boundary",
+        "advance_collide",
+        "compact",
+    ];
+
+    /// Total measured stage time.
+    pub fn total_seconds(&self) -> f64 {
+        self.stage_seconds.iter().sum()
+    }
+}
+
+/// Run the full event-based transport over a bank born from `sources`.
+pub fn run_event_transport(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> (TransportOutcome, EventStats) {
+    let (out, stats, _) = run_event_transport_mesh(problem, sources, streams, None);
+    (out, stats)
+}
+
+/// [`run_event_transport`] with an optional mesh tally scored in the
+/// advance stage.
+pub fn run_event_transport_mesh(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    mesh_spec: Option<MeshSpec>,
+) -> (TransportOutcome, EventStats, Option<MeshTally>) {
+    let mut mesh = mesh_spec.map(MeshTally::new);
+    let mut bank = ParticleBank::from_sources(sources, streams);
+    let n = bank.capacity();
+    let mut out = TransportOutcome::default();
+    out.tallies.n_particles = n as u64;
+    let mut stats = EventStats::default();
+
+    let mut xs_buf: Vec<MacroXs> = vec![MacroXs::default(); n];
+    let mut d_coll = vec![0.0f64; n];
+    let mut d_bound = vec![0.0f64; n];
+    let mut dead: Vec<usize> = Vec::new();
+    let n_materials = problem.n_materials();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_materials];
+
+    while bank.n_alive() > 0 {
+        stats.iterations += 1;
+        stats.peak_bank = stats.peak_bank.max(bank.n_alive() as u64);
+        let mut stage_t = std::time::Instant::now();
+        let mut lap = |slot: &mut f64| {
+            let now = std::time::Instant::now();
+            *slot += (now - stage_t).as_secs_f64();
+            stage_t = now;
+        };
+
+        // --- Stage 1: locate ------------------------------------------
+        dead.clear();
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            match problem.geometry.find(bank.pos(i)) {
+                Some(c) => bank.material[i] = c.material,
+                None => {
+                    out.tallies.leaks += 1;
+                    dead.push(slot);
+                }
+            }
+        }
+        bank.compact(&dead);
+        lap(&mut stats.stage_seconds[0]);
+        if bank.n_alive() == 0 {
+            break;
+        }
+
+        // --- Stage 2: banked XS lookups, grouped by material ----------
+        // Per-particle RNG streams make the processing order irrelevant
+        // to reproducibility, so grouping by material is free. A single
+        // bucketing pass replaces per-material rescans of the live list,
+        // and processing each bucket contiguously keeps that material's
+        // tables hot in cache.
+        for b in &mut buckets {
+            b.clear();
+        }
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            buckets[bank.material[i] as usize].push(i as u32);
+        }
+        for (mat_id, bucket) in buckets.iter().enumerate() {
+            for &iu in bucket {
+                let i = iu as usize;
+                let mut rng = bank.rng[i];
+                xs_buf[i] = problem.macro_xs_vector(mat_id as u32, bank.energy[i], &mut rng);
+                bank.rng[i] = rng;
+            }
+        }
+        stats.lookups += bank.n_alive() as u64;
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            out.tallies.record_segment(bank.material[i]);
+        }
+
+        lap(&mut stats.stage_seconds[1]);
+
+        // --- Stage 3: sample collision distances ----------------------
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            let xi = bank.rng[i].next_uniform();
+            d_coll[i] = -xi.ln() / xs_buf[i].total;
+        }
+        lap(&mut stats.stage_seconds[2]);
+
+        // --- Stage 4: boundary distances -------------------------------
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            d_bound[i] = problem.geometry.distance_to_boundary(bank.pos(i), bank.dir(i));
+        }
+
+        lap(&mut stats.stage_seconds[3]);
+
+        // --- Stage 5: advance / collide --------------------------------
+        dead.clear();
+        for slot in 0..bank.n_alive() {
+            let i = bank.alive[slot] as usize;
+            let xs = &xs_buf[i];
+            if d_bound[i] <= d_coll[i] {
+                let d = d_bound[i];
+                out.tallies.track_length += d;
+                out.tallies.k_track += bank.weight[i] * d * xs.nu_fission;
+                if let Some(m) = mesh.as_mut() {
+                    m.score_track(bank.pos(i), bank.dir(i), d);
+                }
+                let new_pos = bank.pos(i) + bank.dir(i) * (d + BOUNDARY_EPS);
+                bank.set_pos(i, new_pos);
+                continue;
+            }
+            let d = d_coll[i];
+            out.tallies.track_length += d;
+            out.tallies.k_track += bank.weight[i] * d * xs.nu_fission;
+            if let Some(m) = mesh.as_mut() {
+                m.score_track(bank.pos(i), bank.dir(i), d);
+            }
+            let new_pos = bank.pos(i) + bank.dir(i) * d;
+            bank.set_pos(i, new_pos);
+            out.tallies.record_collision(bank.material[i]);
+            let w_before = bank.weight[i];
+            out.tallies.k_collision += w_before * xs.nu_fission / xs.total;
+            let survival =
+                !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
+            if survival && xs.absorption > 0.0 {
+                out.tallies.k_absorption +=
+                    w_before * (xs.absorption / xs.total) * (xs.nu_fission / xs.absorption);
+            }
+
+            let mat_id = bank.material[i] as usize;
+            let mut rng = bank.rng[i];
+            let mut dir = bank.dir(i);
+            let mut energy = bank.energy[i];
+            let mut weight = bank.weight[i];
+            let mut seq = bank.sites_banked[i];
+            let outcome = collide(
+                &problem.library,
+                &problem.grid,
+                &problem.materials[mat_id],
+                &problem.physics,
+                &problem.slots[mat_id],
+                new_pos,
+                &mut dir,
+                &mut energy,
+                &mut weight,
+                problem.treatment,
+                xs,
+                &mut rng,
+                i as u32,
+                &mut seq,
+                &mut out.sites,
+            );
+            bank.rng[i] = rng;
+            bank.set_dir(i, dir);
+            bank.energy[i] = energy;
+            bank.weight[i] = weight;
+            bank.sites_banked[i] = seq;
+
+            match outcome {
+                CollisionOutcome::Absorbed { fission } => {
+                    out.tallies.record_absorption(bank.material[i], fission);
+                    if !survival && xs.absorption > 0.0 {
+                        out.tallies.k_absorption += xs.nu_fission / xs.absorption;
+                    }
+                    dead.push(slot);
+                }
+                CollisionOutcome::Scattered => {
+                    if bank.energy[i] < E_FLOOR {
+                        out.tallies.record_absorption(bank.material[i], false);
+                        dead.push(slot);
+                    }
+                }
+            }
+        }
+
+        lap(&mut stats.stage_seconds[4]);
+
+        // --- Stage 6: compact -------------------------------------------
+        bank.compact(&dead);
+        lap(&mut stats.stage_seconds[5]);
+    }
+
+    // Events discover sites in generation order; restore history order.
+    sort_sites(&mut out.sites);
+    (out, stats, mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{batch_streams, run_histories};
+    use crate::problem::Problem;
+
+    #[test]
+    fn event_matches_history_exactly() {
+        let problem = Problem::test_small();
+        let n = 400;
+        let sources = problem.sample_initial_source(n, 0);
+        let streams = batch_streams(problem.seed, 0, n);
+
+        let hist = run_histories(&problem, &sources, &streams);
+        let (evt, stats) = run_event_transport(&problem, &sources, &streams);
+
+        // Integer tallies must be identical: same trajectories.
+        assert_eq!(hist.tallies.segments, evt.tallies.segments);
+        assert_eq!(hist.tallies.segments_by_material, evt.tallies.segments_by_material);
+        assert_eq!(hist.tallies.collisions_by_material, evt.tallies.collisions_by_material);
+        assert_eq!(hist.tallies.absorptions_by_material, evt.tallies.absorptions_by_material);
+        assert_eq!(hist.tallies.fissions_by_material, evt.tallies.fissions_by_material);
+        assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
+        assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
+        assert_eq!(hist.tallies.fissions, evt.tallies.fissions);
+        assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
+        // Float tallies agree to accumulation-order tolerance.
+        let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1e-300);
+        assert!(rel(hist.tallies.track_length, evt.tallies.track_length) < 1e-9);
+        assert!(rel(hist.tallies.k_track, evt.tallies.k_track) < 1e-9);
+        assert!(rel(hist.tallies.k_collision, evt.tallies.k_collision) < 1e-9);
+        // Fission banks identical site-for-site.
+        assert_eq!(hist.sites.len(), evt.sites.len());
+        for (a, b) in hist.sites.iter().zip(&evt.sites) {
+            assert_eq!(a, b);
+        }
+        assert!(stats.iterations > 1);
+        assert_eq!(stats.peak_bank, n as u64);
+        assert!(stats.lookups >= stats.iterations);
+        // Stage timers sum to something positive, with the XS stage
+        // contributing (the bottleneck stage of §III-A).
+        assert!(stats.total_seconds() > 0.0);
+        assert!(stats.stage_seconds[1] > 0.0, "xs stage not timed");
+    }
+
+    #[test]
+    fn event_loop_drains_bank() {
+        let problem = Problem::test_small();
+        let n = 64;
+        let sources = problem.sample_initial_source(n, 5);
+        let streams = batch_streams(problem.seed, 3, n);
+        let (out, _) = run_event_transport(&problem, &sources, &streams);
+        assert_eq!(out.tallies.absorptions + out.tallies.leaks, n as u64);
+    }
+
+    #[test]
+    fn bank_of_immediate_leakers_terminates_in_one_iteration() {
+        use mcs_geom::Vec3;
+        let problem = Problem::test_small();
+        // All particles born outside the geometry.
+        let sources: Vec<crate::particle::SourceSite> = (0..16)
+            .map(|i| crate::particle::SourceSite {
+                pos: Vec3::new(500.0 + i as f64, 0.0, 0.0),
+                energy: 1.0,
+            })
+            .collect();
+        let streams = batch_streams(problem.seed, 0, 16);
+        let (out, stats) = run_event_transport(&problem, &sources, &streams);
+        assert_eq!(out.tallies.leaks, 16);
+        assert_eq!(out.tallies.collisions, 0);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.lookups, 0);
+    }
+
+    #[test]
+    fn mixed_bank_with_some_leakers_stays_consistent() {
+        use mcs_geom::Vec3;
+        let problem = Problem::test_small();
+        let mut sources = problem.sample_initial_source(20, 0);
+        // Replace half with out-of-geometry births.
+        for (i, s) in sources.iter_mut().enumerate().take(10) {
+            s.pos = Vec3::new(400.0 + i as f64, 0.0, 0.0);
+        }
+        let streams = batch_streams(problem.seed, 0, 20);
+        let hist = run_histories(&problem, &sources, &streams);
+        let (evt, _) = run_event_transport(&problem, &sources, &streams);
+        assert!(hist.tallies.leaks >= 10);
+        assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
+        assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
+        assert_eq!(hist.sites, evt.sites);
+    }
+
+    #[test]
+    fn near_floor_source_energies_are_handled() {
+        // Particles born at the data floor thermal-walk briefly and die
+        // by capture without panicking, identically in both engines.
+        let problem = Problem::test_small();
+        let mut sources = problem.sample_initial_source(12, 0);
+        for s in &mut sources {
+            s.energy = crate::E_FLOOR * 2.0;
+        }
+        let streams = batch_streams(problem.seed, 0, 12);
+        let hist = run_histories(&problem, &sources, &streams);
+        let (evt, _) = run_event_transport(&problem, &sources, &streams);
+        assert_eq!(hist.tallies.absorptions + hist.tallies.leaks, 12);
+        assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
+    }
+
+    #[test]
+    fn empty_bank_is_a_noop() {
+        let problem = Problem::test_small();
+        let (out, stats) = run_event_transport(&problem, &[], &[]);
+        assert_eq!(out.tallies.n_particles, 0);
+        assert_eq!(stats.iterations, 0);
+    }
+}

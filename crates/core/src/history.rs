@@ -1,0 +1,415 @@
+//! History-based transport: each particle tracked birth→death.
+//!
+//! This is OpenMC's algorithm and the paper's baseline: MIMD-style
+//! parallelism where each thread owns whole histories and every particle's
+//! control flow diverges independently (§I). Parallelism over particles
+//! uses fixed-size chunks folded in chunk order, so results are bitwise
+//! identical for any thread count.
+
+use mcs_geom::{Vec3, BOUNDARY_EPS};
+use mcs_prof::ThreadProfiler;
+use mcs_rng::Lcg63;
+use rayon::prelude::*;
+
+use crate::mesh::{MeshSpec, MeshTally};
+use crate::particle::{Particle, Site, SourceSite};
+use crate::spectrum::SpectrumTally;
+use crate::physics::{collide, CollisionOutcome};
+use crate::problem::Problem;
+use crate::tally::Tallies;
+use crate::E_FLOOR;
+
+/// Tallies plus the fission bank produced by a set of histories.
+#[derive(Debug, Clone, Default)]
+pub struct TransportOutcome {
+    /// Global tallies.
+    pub tallies: Tallies,
+    /// Banked fission sites, in (parent, seq) order.
+    pub sites: Vec<Site>,
+}
+
+/// Chunk size for deterministic parallel reduction.
+pub const CHUNK: usize = 256;
+
+/// Hard cap on flight segments per history (defensive; a particle in this
+/// problem dies in well under a thousand segments).
+const MAX_SEGMENTS: usize = 2_000_000;
+
+/// Track one particle to completion, accumulating tallies and fission
+/// sites. `prof` (when present) attributes time to the same routine names
+/// the paper's Fig. 4 profile shows.
+pub fn transport_particle(
+    problem: &Problem,
+    p: &mut Particle,
+    tallies: &mut Tallies,
+    sites: &mut Vec<Site>,
+    prof: Option<&ThreadProfiler>,
+) {
+    transport_particle_full(problem, p, tallies, sites, prof, None, None, None)
+}
+
+/// [`transport_particle`] with an optional user-defined mesh tally scored
+/// along every flight segment (the paper's "tallies throughout phase
+/// space" that make active batches cost more than inactive ones).
+pub fn transport_particle_mesh(
+    problem: &Problem,
+    p: &mut Particle,
+    tallies: &mut Tallies,
+    sites: &mut Vec<Site>,
+    prof: Option<&ThreadProfiler>,
+    mesh: Option<&mut MeshTally>,
+) {
+    transport_particle_full(problem, p, tallies, sites, prof, mesh, None, None)
+}
+
+/// The fully-instrumented history loop: optional mesh tally and optional
+/// energy-spectrum tally scored along every flight segment, plus an
+/// optional leakage spectrum scored at escape (the shielding output of
+/// fixed-source runs).
+#[allow(clippy::too_many_arguments)]
+pub fn transport_particle_full(
+    problem: &Problem,
+    p: &mut Particle,
+    tallies: &mut Tallies,
+    sites: &mut Vec<Site>,
+    prof: Option<&ThreadProfiler>,
+    mut mesh: Option<&mut MeshTally>,
+    mut spectrum: Option<&mut SpectrumTally>,
+    mut leak_spectrum: Option<&mut SpectrumTally>,
+) {
+    tallies.n_particles += 1;
+    let mut seq = p.sites_banked;
+    for _ in 0..MAX_SEGMENTS {
+        // Locate.
+        let Some(cell) = problem.geometry.find(p.pos) else {
+            tallies.leaks += 1;
+            if let Some(ls) = leak_spectrum.as_deref_mut() {
+                ls.score(p.energy, p.weight);
+            }
+            return;
+        };
+
+        // Cross-section lookup (the bottleneck routine).
+        tallies.record_segment(cell.material);
+        let xs = {
+            let _g = prof.map(|t| t.enter("calculate_xs"));
+            problem.macro_xs(cell.material, p.energy, &mut p.rng)
+        };
+        debug_assert!(xs.total > 0.0, "non-positive total xs");
+
+        // Distance to collision (Eq. 1) vs distance to boundary.
+        let d_coll = -p.rng.next_uniform().ln() / xs.total;
+        let d_bound = {
+            let _g = prof.map(|t| t.enter("distance_to_boundary"));
+            problem.geometry.distance_to_boundary(p.pos, p.dir)
+        };
+
+        if d_bound <= d_coll {
+            // Surface crossing.
+            tallies.track_length += d_bound;
+            tallies.k_track += p.weight * d_bound * xs.nu_fission;
+            if let Some(m) = mesh.as_deref_mut() {
+                m.score_track(p.pos, p.dir, d_bound);
+            }
+            if let Some(sp) = spectrum.as_deref_mut() {
+                sp.score(p.energy, p.weight * d_bound);
+            }
+            p.pos += p.dir * (d_bound + BOUNDARY_EPS);
+            continue;
+        }
+
+        // Collision.
+        tallies.track_length += d_coll;
+        tallies.k_track += p.weight * d_coll * xs.nu_fission;
+        if let Some(m) = mesh.as_deref_mut() {
+            m.score_track(p.pos, p.dir, d_coll);
+        }
+        if let Some(sp) = spectrum.as_deref_mut() {
+            sp.score(p.energy, p.weight * d_coll);
+        }
+        p.pos += p.dir * d_coll;
+        tallies.record_collision(cell.material);
+        let w_before = p.weight;
+        tallies.k_collision += w_before * xs.nu_fission / xs.total;
+        let survival = !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
+        if survival && xs.absorption > 0.0 {
+            // Implicit-capture absorption estimator: the weight absorbed
+            // this collision times ν Σ_f / Σ_a.
+            tallies.k_absorption +=
+                w_before * (xs.absorption / xs.total) * (xs.nu_fission / xs.absorption);
+        }
+
+        let outcome = {
+            let _g = prof.map(|t| t.enter("sample_reaction"));
+            collide(
+                &problem.library,
+                &problem.grid,
+                &problem.materials[cell.material as usize],
+                &problem.physics,
+                &problem.slots[cell.material as usize],
+                p.pos,
+                &mut p.dir,
+                &mut p.energy,
+                &mut p.weight,
+                problem.treatment,
+                &xs,
+                &mut p.rng,
+                p.index,
+                &mut seq,
+                sites,
+            )
+        };
+        match outcome {
+            CollisionOutcome::Absorbed { fission } => {
+                tallies.record_absorption(cell.material, fission);
+                if !survival && xs.absorption > 0.0 {
+                    tallies.k_absorption += xs.nu_fission / xs.absorption;
+                }
+                p.sites_banked = seq;
+                return;
+            }
+            CollisionOutcome::Scattered => {
+                if p.energy < E_FLOOR {
+                    // Thermalized below the data floor: terminate as capture.
+                    tallies.record_absorption(cell.material, false);
+                    p.sites_banked = seq;
+                    return;
+                }
+            }
+        }
+    }
+    panic!("particle exceeded {MAX_SEGMENTS} flight segments");
+}
+
+/// Run a set of histories in parallel (rayon), deterministically: chunk
+/// `CHUNK` particles per task, fold partial results in chunk order.
+pub fn run_histories(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> TransportOutcome {
+    run_histories_mesh(problem, sources, streams, None).0
+}
+
+/// [`run_histories`] with an optional mesh tally (deterministically
+/// merged in chunk order, like everything else).
+pub fn run_histories_mesh(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    mesh_spec: Option<MeshSpec>,
+) -> (TransportOutcome, Option<MeshTally>) {
+    assert_eq!(sources.len(), streams.len());
+    let partials: Vec<(TransportOutcome, Option<MeshTally>)> = sources
+        .par_chunks(CHUNK)
+        .zip(streams.par_chunks(CHUNK))
+        .enumerate()
+        .map(|(chunk_idx, (src, stream))| {
+            let mut out = TransportOutcome::default();
+            let mut mesh = mesh_spec.map(MeshTally::new);
+            for (i, (&site, &rng)) in src.iter().zip(stream).enumerate() {
+                let index = (chunk_idx * CHUNK + i) as u32;
+                let mut p = Particle::born(site, index, rng);
+                transport_particle_mesh(
+                    problem,
+                    &mut p,
+                    &mut out.tallies,
+                    &mut out.sites,
+                    None,
+                    mesh.as_mut(),
+                );
+            }
+            (out, mesh)
+        })
+        .collect();
+
+    let mut merged = TransportOutcome::default();
+    let mut mesh = mesh_spec.map(MeshTally::new);
+    for (part, part_mesh) in partials {
+        merged.tallies.merge(&part.tallies);
+        merged.sites.extend(part.sites);
+        if let (Some(m), Some(pm)) = (mesh.as_mut(), part_mesh.as_ref()) {
+            m.merge(pm);
+        }
+    }
+    (merged, mesh)
+}
+
+/// Single-threaded run with TAU-style instrumentation (for the Fig. 4
+/// profile comparison).
+pub fn run_histories_profiled(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    prof: &ThreadProfiler,
+) -> TransportOutcome {
+    let mut out = TransportOutcome::default();
+    let _total = prof.enter("transport_total");
+    for (i, (&site, &rng)) in sources.iter().zip(streams).enumerate() {
+        let mut p = Particle::born(site, i as u32, rng);
+        transport_particle(problem, &mut p, &mut out.tallies, &mut out.sites, Some(prof));
+    }
+    out
+}
+
+/// [`run_histories`] plus a full-range energy-spectrum tally
+/// (deterministically merged in chunk order).
+pub fn run_histories_spectrum(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> (TransportOutcome, SpectrumTally) {
+    assert_eq!(sources.len(), streams.len());
+    let partials: Vec<(TransportOutcome, SpectrumTally)> = sources
+        .par_chunks(CHUNK)
+        .zip(streams.par_chunks(CHUNK))
+        .enumerate()
+        .map(|(chunk_idx, (src, stream))| {
+            let mut out = TransportOutcome::default();
+            let mut spectrum = SpectrumTally::standard();
+            for (i, (&site, &rng)) in src.iter().zip(stream).enumerate() {
+                let index = (chunk_idx * CHUNK + i) as u32;
+                let mut p = Particle::born(site, index, rng);
+                transport_particle_full(
+                    problem,
+                    &mut p,
+                    &mut out.tallies,
+                    &mut out.sites,
+                    None,
+                    None,
+                    Some(&mut spectrum),
+                    None,
+                );
+            }
+            (out, spectrum)
+        })
+        .collect();
+
+    let mut merged = TransportOutcome::default();
+    let mut spectrum = SpectrumTally::standard();
+    for (part, sp) in partials {
+        merged.tallies.merge(&part.tallies);
+        merged.sites.extend(part.sites);
+        spectrum.merge(&sp);
+    }
+    (merged, spectrum)
+}
+
+/// The per-history RNG streams for batch `batch_index` of a run: particle
+/// `i` gets the stream starting `(<batch offset> + i) · STRIDE` draws into
+/// the master sequence.
+pub fn batch_streams(seed: u64, batch_index: u64, n: usize) -> Vec<Lcg63> {
+    (0..n)
+        .map(|i| {
+            Lcg63::for_history(
+                seed,
+                batch_index * (n as u64) + i as u64,
+                mcs_rng::STREAM_STRIDE,
+            )
+        })
+        .collect()
+}
+
+/// Where the transport flight loop starts for external drivers: exposes
+/// the same per-segment stepping used internally, for tests that need to
+/// cross-check intermediate state.
+pub fn segment_pos_after(problem: &Problem, start: Vec3, dir: Vec3, d: f64) -> Option<Vec3> {
+    let p = start + dir * d;
+    problem.geometry.find(p).map(|_| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn small_run(n: usize) -> (Problem, TransportOutcome) {
+        let problem = Problem::test_small();
+        let sources = problem.sample_initial_source(n, 0);
+        let streams = batch_streams(problem.seed, 0, n);
+        let out = run_histories(&problem, &sources, &streams);
+        (problem, out)
+    }
+
+    #[test]
+    fn histories_conserve_particles() {
+        let n = 200;
+        let (_, out) = small_run(n);
+        assert_eq!(out.tallies.n_particles, n as u64);
+        // Every particle ends exactly one way.
+        assert_eq!(out.tallies.absorptions + out.tallies.leaks, n as u64);
+        assert!(out.tallies.collisions > 0);
+        assert!(out.tallies.track_length > 0.0);
+    }
+
+    #[test]
+    fn k_estimators_are_positive_and_similar() {
+        let n = 2000;
+        let (_, out) = small_run(n);
+        let kt = out.tallies.k_track_estimate();
+        let kc = out.tallies.k_collision_estimate();
+        let ka = out.tallies.k_absorption_estimate();
+        assert!(kt > 0.0 && kc > 0.0 && ka > 0.0);
+        // The three estimators agree within Monte Carlo noise.
+        assert!((kt - kc).abs() / kt < 0.2, "kt={kt} kc={kc}");
+        assert!((kt - ka).abs() / kt < 0.2, "kt={kt} ka={ka}");
+    }
+
+    #[test]
+    fn per_material_breakdowns_are_consistent() {
+        let (_, out) = small_run(800);
+        let t = out.tallies;
+        assert_eq!(t.absorptions_by_material.iter().sum::<u64>(), t.absorptions);
+        assert_eq!(t.fissions_by_material.iter().sum::<u64>(), t.fissions);
+        // Fission only happens in fuel (material 0).
+        assert_eq!(t.fissions_by_material[0], t.fissions);
+        assert!(t.fissions_by_material[1] == 0 && t.fissions_by_material[2] == 0);
+        // Fuel absorbs the most.
+        assert!(t.absorptions_by_material[0] > t.absorptions_by_material[1]);
+    }
+
+    #[test]
+    fn fission_sites_ordered_and_tagged() {
+        let (_, out) = small_run(500);
+        assert!(!out.sites.is_empty(), "no fission in a fueled assembly?");
+        for w in out.sites.windows(2) {
+            assert!((w[0].parent, w[0].seq) < (w[1].parent, w[1].seq));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_pools() {
+        let problem = Problem::test_small();
+        let sources = problem.sample_initial_source(300, 1);
+        let streams = batch_streams(problem.seed, 0, 300);
+
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a = pool1.install(|| run_histories(&problem, &sources, &streams));
+        let b = pool4.install(|| run_histories(&problem, &sources, &streams));
+        assert_eq!(a.tallies, b.tallies);
+        assert_eq!(a.sites, b.sites);
+    }
+
+    #[test]
+    fn profiled_run_matches_parallel_run() {
+        let problem = Problem::test_small();
+        let sources = problem.sample_initial_source(100, 2);
+        let streams = batch_streams(problem.seed, 0, 100);
+        let prof = mcs_prof::ThreadProfiler::new();
+        let a = run_histories_profiled(&problem, &sources, &streams, &prof);
+        let b = run_histories(&problem, &sources, &streams);
+        assert_eq!(a.tallies, b.tallies);
+        assert_eq!(a.sites, b.sites);
+        let profile = prof.finish();
+        assert!(profile.get("calculate_xs").unwrap().calls > 0);
+        assert!(profile.get("transport_total").is_some());
+    }
+
+    #[test]
+    fn leaks_occur_in_small_geometry() {
+        // A single short assembly leaks plenty of fast neutrons.
+        let (_, out) = small_run(500);
+        assert!(out.tallies.leaks > 0);
+    }
+}

@@ -1,0 +1,703 @@
+//! Collision physics shared by the history and event algorithms.
+//!
+//! Both transport algorithms call the *same* routines in the *same*
+//! per-particle RNG-draw order, which is what makes their trajectories
+//! bitwise identical (an integration test asserts this). Draw order per
+//! flight segment:
+//!
+//! 1. XS lookup — one draw per in-range URR nuclide present in the
+//!    material (probability-table band selection).
+//! 2. Distance sampling — one draw (`d = −ln ξ / Σ_t`, the paper's Eq. 1).
+//! 3. On collision: absorption test (1 draw); then either fission test
+//!    (1 draw) + site production (1 + 2·sites draws minimum), or scatter
+//!    nuclide selection (1 draw) + outgoing kinematics (2 draws).
+
+use mcs_geom::Vec3;
+use mcs_rng::Lcg63;
+use mcs_xs::kernel::MacroXs;
+use mcs_xs::sab::{SabTable, SAB_CUTOFF};
+use mcs_xs::urr::UrrTable;
+use mcs_xs::{Material, NuclideLibrary, UnionGrid};
+
+use crate::particle::Site;
+
+/// Thermal scattering physics bound to one nuclide (hydrogen in water).
+#[derive(Debug, Clone)]
+pub struct SabPhysics {
+    /// Library index of the bound nuclide.
+    pub nuclide: u32,
+    /// The table.
+    pub table: SabTable,
+    /// Material temperature (K) for the table branch.
+    pub temperature: f64,
+}
+
+/// URR probability-table physics bound to one nuclide.
+#[derive(Debug, Clone)]
+pub struct UrrPhysics {
+    /// Library index.
+    pub nuclide: u32,
+    /// The table.
+    pub table: UrrTable,
+}
+
+/// Optional physics treatments. The paper's vectorized micro-benchmarks
+/// strip both (§III-A1); the full-physics runs include them.
+#[derive(Debug, Clone)]
+pub struct Physics {
+    /// S(α,β) thermal scattering (at most one bound nuclide).
+    pub sab: Option<SabPhysics>,
+    /// URR tables, applied in order.
+    pub urr: Vec<UrrPhysics>,
+    /// Free-gas target motion for elastic scattering below
+    /// `400·kT` (the on-the-fly thermal treatment of §II-A3; gives
+    /// physical up-scattering and a proper thermal equilibrium).
+    pub free_gas: bool,
+    /// Material temperature (K) for the free-gas Maxwellian.
+    pub temperature_k: f64,
+}
+
+impl Default for Physics {
+    fn default() -> Self {
+        Self {
+            sab: None,
+            urr: Vec::new(),
+            free_gas: false,
+            temperature_k: 293.6,
+        }
+    }
+}
+
+impl Physics {
+    /// No optional physics (the stripped configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if any optional treatment is enabled (the ones that affect
+    /// cross-section *lookups* — free-gas motion only affects outgoing
+    /// kinematics).
+    pub fn any(&self) -> bool {
+        self.sab.is_some() || !self.urr.is_empty()
+    }
+
+    /// kT at the configured temperature, in MeV.
+    pub fn kt_mev(&self) -> f64 {
+        8.617_333_262e-11 * self.temperature_k
+    }
+}
+
+/// Precomputed positions of the physics nuclides within one material's
+/// nuclide list (`None` = not present).
+#[derive(Debug, Clone, Default)]
+pub struct MaterialSlots {
+    /// Position of each `Physics::urr` entry's nuclide in the material.
+    pub urr: Vec<Option<u32>>,
+    /// Position of the S(α,β) nuclide in the material.
+    pub sab: Option<u32>,
+}
+
+impl MaterialSlots {
+    /// Compute slots for `mat` under `phys`.
+    pub fn build(mat: &Material, phys: &Physics) -> Self {
+        let find = |nuclide: u32| {
+            mat.nuclides
+                .iter()
+                .position(|&k| k == nuclide)
+                .map(|j| j as u32)
+        };
+        Self {
+            urr: phys.urr.iter().map(|u| find(u.nuclide)).collect(),
+            sab: phys.sab.as_ref().and_then(|s| find(s.nuclide)),
+        }
+    }
+}
+
+/// Apply URR band sampling and the S(α,β) elastic enhancement on top of a
+/// base (smooth) macroscopic lookup. Consumes one draw per applicable URR
+/// nuclide; S(α,β) is deterministic.
+///
+/// Note on consistency: the adjusted Σ governs distance sampling and the
+/// absorption/fission decisions; the scatter-nuclide walk re-applies the
+/// S(α,β) factor but uses the *smooth* URR values (the URR factors are
+/// mean-one, so the nuclide-selection bias is zero on average — OpenMC
+/// makes the same simplification for its ptable "inelastic competition").
+#[allow(clippy::too_many_arguments)]
+pub fn apply_physics(
+    lib: &NuclideLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    e: f64,
+    phys: &Physics,
+    slots: &MaterialSlots,
+    rng: &mut Lcg63,
+    xs: &mut MacroXs,
+) {
+    // URR: replace the in-range nuclides' smooth contribution by the
+    // sampled-band contribution.
+    for (entry, slot) in phys.urr.iter().zip(&slots.urr) {
+        if !entry.table.in_range(e) {
+            continue;
+        }
+        let Some(j) = *slot else { continue };
+        let j = j as usize;
+        let xi = rng.next_uniform();
+        let fac = entry.table.sample(e, xi);
+        let u = grid.find(e);
+        let k = mat.nuclides[j];
+        let micro = lib
+            .nuclide(k)
+            .micro_at_index(grid.nuclide_index(u, k as usize) as usize, e);
+        let adjusted = fac.apply(micro);
+        let d = mat.densities[j];
+        let dn = mat.densities_nu[j];
+        // Subtract smooth, add adjusted.
+        xs.accumulate(-d, -dn, micro);
+        xs.accumulate(d, dn, adjusted);
+    }
+
+    // S(α,β): enhance the bound nuclide's elastic cross section.
+    if let (Some(sab), Some(j)) = (&phys.sab, slots.sab) {
+        if sab.table.in_range(e) {
+            let j = j as usize;
+            let factor = sab.table.elastic_factor(e, sab.temperature);
+            let u = grid.find(e);
+            let k = mat.nuclides[j];
+            let micro = lib
+                .nuclide(k)
+                .micro_at_index(grid.nuclide_index(u, k as usize) as usize, e);
+            let delta = mat.densities[j] * (factor - 1.0) * micro.elastic;
+            xs.elastic += delta;
+            xs.total += delta;
+        }
+    }
+}
+
+/// How absorption is treated during transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsorptionTreatment {
+    /// Analog: absorption kills the particle outright (the paper's mode).
+    Analog,
+    /// Survival biasing (implicit capture): the particle's weight is
+    /// reduced by the absorption probability at every collision, fission
+    /// sites are banked in expectation, and low-weight particles play
+    /// Russian roulette — OpenMC's `survival_biasing` option.
+    SurvivalBiasing {
+        /// Roulette trigger weight.
+        weight_cutoff: f64,
+        /// Weight assigned to roulette survivors.
+        survival_weight: f64,
+    },
+}
+
+impl AbsorptionTreatment {
+    /// OpenMC's default survival-biasing parameters.
+    pub fn survival_default() -> Self {
+        Self::SurvivalBiasing {
+            weight_cutoff: 0.25,
+            survival_weight: 1.0,
+        }
+    }
+}
+
+/// Watt fission spectrum parameters for thermal U-235 (MeV, 1/MeV).
+pub const WATT_A: f64 = 0.988;
+/// See [`WATT_A`].
+pub const WATT_B: f64 = 2.249;
+
+/// Sample the Watt fission spectrum by the Everett–Cashwell rejection
+/// algorithm (the sampler OpenMC and MCNP use).
+pub fn sample_watt(rng: &mut Lcg63, a: f64, b: f64) -> f64 {
+    let k = 1.0 + a * b / 8.0;
+    let l = a * (k + (k * k - 1.0).sqrt());
+    let m = l / a - 1.0;
+    loop {
+        let x = -rng.next_uniform().ln();
+        let y = -rng.next_uniform().ln();
+        let t = y - m * (x + 1.0);
+        if t * t <= b * l * x {
+            return l * x;
+        }
+    }
+}
+
+/// Sample the squared reduced target speed and the target-neutron cosine
+/// for a free-gas (Maxwellian, constant-σ) target — OpenMC's
+/// `sample_cxs_target_velocity` rejection algorithm. Returns
+/// `(beta_vt_sq, mu_target)` in reduced units where `β² = A·v²/(2kT)`.
+pub fn sample_free_gas_target(beta_vn: f64, rng: &mut Lcg63) -> (f64, f64) {
+    let pi = std::f64::consts::PI;
+    let alpha = 1.0 / (1.0 + pi.sqrt() * beta_vn / 2.0);
+    loop {
+        let beta_vt_sq = if rng.next_uniform() < alpha {
+            -(rng.next_uniform() * rng.next_uniform()).ln()
+        } else {
+            let c = (pi / 2.0 * rng.next_uniform()).cos();
+            -rng.next_uniform().ln() - rng.next_uniform().ln() * c * c
+        };
+        let beta_vt = beta_vt_sq.sqrt();
+        let mu = 2.0 * rng.next_uniform() - 1.0;
+        let accept = ((beta_vn * beta_vn + beta_vt_sq - 2.0 * beta_vn * beta_vt * mu).sqrt())
+            / (beta_vn + beta_vt);
+        if rng.next_uniform() < accept {
+            return (beta_vt_sq, mu);
+        }
+    }
+}
+
+/// Elastic scattering off a *moving* free-gas target: full two-body
+/// kinematics with the target velocity drawn from the relative-speed-
+/// weighted Maxwellian. Returns the lab outgoing energy and direction.
+pub fn free_gas_scatter(
+    e: f64,
+    dir: Vec3,
+    awr: f64,
+    kt: f64,
+    rng: &mut Lcg63,
+) -> (f64, Vec3) {
+    // Work in velocity units where v = sqrt(E) for the neutron (mass-
+    // normalized); the target's Maxwellian has variance kT/awr in these
+    // units.
+    let v_n = e.sqrt();
+    let beta_vn = (awr * e / kt).sqrt();
+    let (beta_vt_sq, mu_t) = sample_free_gas_target(beta_vn, rng);
+    let v_t = (beta_vt_sq * kt / awr).sqrt();
+    let phi_t = 2.0 * std::f64::consts::PI * rng.next_uniform();
+    let u_t = dir.rotate_scatter(mu_t, phi_t);
+
+    // Centre-of-mass frame.
+    let v_cm = (dir * v_n + u_t * (awr * v_t)) * (1.0 / (awr + 1.0));
+    let v_rel = dir * v_n - v_cm;
+    let speed_cm = v_rel.norm();
+    // Isotropic in CM.
+    let u_out = Vec3::isotropic(rng.next_uniform(), rng.next_uniform());
+    let v_out = u_out * speed_cm + v_cm;
+    let e_out = v_out.dot(v_out).max(crate::E_FLOOR * 0.5);
+    (e_out, v_out * (1.0 / e_out.sqrt()))
+}
+
+/// Elastic scattering off a free target at rest, isotropic in the centre
+/// of mass: returns the lab-frame outgoing energy and scattering cosine.
+#[inline]
+pub fn elastic_kinematics(e: f64, awr: f64, mu_cm: f64) -> (f64, f64) {
+    let a = awr;
+    let denom = (a + 1.0) * (a + 1.0);
+    let e_out = e * (a * a + 2.0 * a * mu_cm + 1.0) / denom;
+    let mu_lab = (a * mu_cm + 1.0) / (a * a + 2.0 * a * mu_cm + 1.0).sqrt();
+    (e_out, mu_lab.clamp(-1.0, 1.0))
+}
+
+/// Discrete-level inelastic scattering: two-body kinematics with an
+/// excitation energy `Q` left in the target, isotropic in the centre of
+/// mass. Returns the lab outgoing energy and scattering cosine. Requires
+/// `e > Q·(A+1)/A` (the threshold).
+#[inline]
+pub fn inelastic_kinematics(e: f64, awr: f64, q: f64, mu_cm: f64) -> (f64, f64) {
+    let a = awr;
+    // Fraction of the CM speed retained after exciting the level.
+    let g = (1.0 - q * (a + 1.0) / (a * e)).max(0.0).sqrt();
+    let denom = (a + 1.0) * (a + 1.0);
+    let e_out = e * (1.0 + a * a * g * g + 2.0 * a * g * mu_cm) / denom;
+    let mu_lab = (1.0 + a * g * mu_cm) / (1.0 + a * a * g * g + 2.0 * a * g * mu_cm).sqrt();
+    (e_out.max(crate::E_FLOOR * 0.5), mu_lab.clamp(-1.0, 1.0))
+}
+
+/// What happened at a collision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollisionOutcome {
+    /// Particle absorbed (captured or caused fission); it is dead.
+    Absorbed {
+        /// True if the absorption was a fission.
+        fission: bool,
+    },
+    /// Particle scattered; energy and direction were updated in place.
+    Scattered,
+}
+
+/// Resolve a collision. Updates `energy`/`dir` on scatter and `weight`
+/// under survival biasing; pushes fission sites (tagged `parent`/starting
+/// at `*seq`).
+#[allow(clippy::too_many_arguments)]
+pub fn collide(
+    lib: &NuclideLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    phys: &Physics,
+    slots: &MaterialSlots,
+    pos: Vec3,
+    dir: &mut Vec3,
+    energy: &mut f64,
+    weight: &mut f64,
+    treatment: AbsorptionTreatment,
+    xs: &MacroXs,
+    rng: &mut Lcg63,
+    parent: u32,
+    seq: &mut u32,
+    sites: &mut Vec<Site>,
+) -> CollisionOutcome {
+    if let AbsorptionTreatment::SurvivalBiasing {
+        weight_cutoff,
+        survival_weight,
+    } = treatment
+    {
+        // Fission sites banked in expectation at EVERY collision
+        // (collision-estimator production), weight-1 sites.
+        let expected = *weight * xs.nu_fission / xs.total;
+        let n_sites = (expected + rng.next_uniform()).floor() as u32;
+        for _ in 0..n_sites {
+            let e_fis = sample_watt(rng, WATT_A, WATT_B);
+            sites.push(Site {
+                pos,
+                energy: e_fis,
+                parent,
+                seq: *seq,
+            });
+            *seq += 1;
+        }
+        // Implicit capture.
+        *weight *= 1.0 - xs.absorption / xs.total;
+        // Always scatter.
+        scatter(lib, grid, mat, phys, slots, dir, energy, xs, rng);
+        // Russian roulette.
+        if *weight < weight_cutoff {
+            if rng.next_uniform() < *weight / survival_weight {
+                *weight = survival_weight;
+            } else {
+                return CollisionOutcome::Absorbed { fission: false };
+            }
+        }
+        return CollisionOutcome::Scattered;
+    }
+
+    // Analog game. Absorption test: ξ Σ_t < Σ_a  (the paper's §II-A2
+    // criterion, at the macroscopic level).
+    let xi_abs = rng.next_uniform();
+    if xi_abs * xs.total < xs.absorption {
+        // Fission test: ξ Σ_a < Σ_f.
+        let xi_fis = rng.next_uniform();
+        if xi_fis * xs.absorption < xs.fission {
+            // ν at this energy/material from the production ratio.
+            let nu = if xs.fission > 0.0 {
+                xs.nu_fission / xs.fission
+            } else {
+                0.0
+            };
+            let n_sites = (nu + rng.next_uniform()).floor() as u32;
+            for _ in 0..n_sites {
+                let e_fis = sample_watt(rng, WATT_A, WATT_B);
+                sites.push(Site {
+                    pos,
+                    energy: e_fis,
+                    parent,
+                    seq: *seq,
+                });
+                *seq += 1;
+            }
+            return CollisionOutcome::Absorbed { fission: true };
+        }
+        return CollisionOutcome::Absorbed { fission: false };
+    }
+
+    scatter(lib, grid, mat, phys, slots, dir, energy, xs, rng);
+    CollisionOutcome::Scattered
+}
+
+/// The shared scattering step: select the target nuclide ∝ N_j σ_s,j(E)
+/// (with the S(α,β) enhancement folded in so the walk is consistent with
+/// Σ_s), then outgoing kinematics.
+#[allow(clippy::too_many_arguments)]
+fn scatter(
+    lib: &NuclideLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    phys: &Physics,
+    slots: &MaterialSlots,
+    dir: &mut Vec3,
+    energy: &mut f64,
+    xs: &MacroXs,
+    rng: &mut Lcg63,
+) {
+    // Walk over the total scattering (elastic + inelastic) of each
+    // nuclide, remembering each one's inelastic share so the channel can
+    // be chosen afterwards without a second walk.
+    let xi_nuc = rng.next_uniform();
+    let target = xi_nuc * (xs.elastic + xs.inelastic);
+    let u = grid.find(e_clamped(*energy));
+    let mut cum = 0.0;
+    let mut chosen = mat.nuclides.len() - 1;
+    let mut chosen_inelastic_frac = 0.0;
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let micro = lib
+            .nuclide(k)
+            .micro_at_index(grid.nuclide_index(u, k as usize) as usize, *energy);
+        let mut sig_s = density * micro.elastic;
+        if let (Some(sab), Some(sj)) = (&phys.sab, slots.sab) {
+            if sj as usize == j && sab.table.in_range(*energy) {
+                sig_s *= sab.table.elastic_factor(*energy, sab.temperature);
+            }
+        }
+        let sig_i = density * micro.inelastic;
+        cum += sig_s + sig_i;
+        if target < cum {
+            chosen = j;
+            chosen_inelastic_frac = if sig_s + sig_i > 0.0 {
+                sig_i / (sig_s + sig_i)
+            } else {
+                0.0
+            };
+            break;
+        }
+    }
+
+    let k = mat.nuclides[chosen];
+
+    // Channel choice within the chosen nuclide.
+    if chosen_inelastic_frac > 0.0 && rng.next_uniform() < chosen_inelastic_frac {
+        let nuc = lib.nuclide(k);
+        let mu_cm = 2.0 * rng.next_uniform() - 1.0;
+        let (e_out, mu_lab) = inelastic_kinematics(*energy, nuc.awr, nuc.q_inelastic, mu_cm);
+        let phi = 2.0 * std::f64::consts::PI * rng.next_uniform();
+        *dir = dir.rotate_scatter(mu_lab, phi);
+        *energy = e_out;
+        return;
+    }
+
+    let use_sab = matches!((&phys.sab, slots.sab), (Some(sab), Some(sj))
+        if sj as usize == chosen && sab.table.in_range(*energy) && *energy < SAB_CUTOFF);
+
+    if use_sab {
+        let sab = phys.sab.as_ref().unwrap();
+        let xi1 = rng.next_uniform();
+        let xi2 = rng.next_uniform();
+        let (e_out, mu) = sab.table.sample_outgoing(*energy, xi1, xi2);
+        let xi_phi = rng.next_uniform();
+        let phi = 2.0 * std::f64::consts::PI * xi_phi;
+        *dir = dir.rotate_scatter(mu, phi);
+        *energy = e_out.max(crate::E_FLOOR);
+    } else {
+        let awr = lib.nuclide(k).awr;
+        let kt = phys.kt_mev();
+        if phys.free_gas && *energy < 400.0 * kt {
+            let (e_out, d_out) = free_gas_scatter(*energy, *dir, awr, kt, rng);
+            *dir = d_out;
+            *energy = e_out.max(crate::E_FLOOR);
+        } else {
+            let mu_cm = 2.0 * rng.next_uniform() - 1.0;
+            let (e_out, mu_lab) = elastic_kinematics(*energy, awr, mu_cm);
+            let phi = 2.0 * std::f64::consts::PI * rng.next_uniform();
+            *dir = dir.rotate_scatter(mu_lab, phi);
+            *energy = e_out;
+        }
+    }
+}
+
+#[inline]
+fn e_clamped(e: f64) -> f64 {
+    e.clamp(mcs_xs::E_MIN, mcs_xs::E_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watt_spectrum_mean_is_about_2mev() {
+        let mut rng = Lcg63::new(1);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += sample_watt(&mut rng, WATT_A, WATT_B);
+        }
+        let mean = sum / n as f64;
+        // Analytic mean: a(3/2 + a·b/4) ≈ 2.031 MeV.
+        let expect = WATT_A * (1.5 + WATT_A * WATT_B / 4.0);
+        assert!((mean - expect).abs() / expect < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn watt_samples_are_positive_and_bounded() {
+        let mut rng = Lcg63::new(2);
+        for _ in 0..10_000 {
+            let e = sample_watt(&mut rng, WATT_A, WATT_B);
+            assert!(e > 0.0 && e < 50.0);
+        }
+    }
+
+    #[test]
+    fn elastic_kinematics_limits() {
+        // Head-on off hydrogen (A≈1): neutron stops (E→0), grazing keeps E.
+        let (e_back, _) = elastic_kinematics(1.0, 1.0, -1.0);
+        assert!(e_back < 1e-12);
+        let (e_fwd, mu_fwd) = elastic_kinematics(1.0, 1.0, 1.0);
+        assert!((e_fwd - 1.0).abs() < 1e-12);
+        assert!((mu_fwd - 1.0).abs() < 1e-12);
+        // Heavy target: energy loss is tiny even backscattering.
+        let (e_b, _) = elastic_kinematics(1.0, 238.0, -1.0);
+        assert!(e_b > 0.98);
+    }
+
+    #[test]
+    fn elastic_energy_in_valid_range_for_random_mu() {
+        let mut rng = Lcg63::new(3);
+        for _ in 0..1000 {
+            let mu = 2.0 * rng.next_uniform() - 1.0;
+            let awr = 0.999 + 200.0 * rng.next_uniform();
+            let (e_out, mu_lab) = elastic_kinematics(2.0, awr, mu);
+            let alpha = ((awr - 1.0) / (awr + 1.0)).powi(2);
+            assert!(e_out >= 2.0 * alpha - 1e-12 && e_out <= 2.0 + 1e-12);
+            assert!((-1.0..=1.0).contains(&mu_lab));
+        }
+    }
+
+    #[test]
+    fn inelastic_kinematics_reduces_to_elastic_at_q_zero() {
+        for &(e, awr, mu) in &[(1.0, 236.0, 0.3), (0.5, 12.0, -0.7), (2.0, 56.0, 0.9)] {
+            let (ee, me) = elastic_kinematics(e, awr, mu);
+            let (ei, mi) = inelastic_kinematics(e, awr, 0.0, mu);
+            assert!((ee - ei).abs() < 1e-12 * ee);
+            assert!((me - mi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inelastic_kinematics_removes_at_least_q() {
+        // Lab energy loss is at least ~Q (up to recoil corrections).
+        let awr = 236.0;
+        let q = 0.045;
+        let e = 1.0;
+        let mut rng = Lcg63::new(9);
+        for _ in 0..2_000 {
+            let mu = 2.0 * rng.next_uniform() - 1.0;
+            let (e_out, mu_lab) = inelastic_kinematics(e, awr, q, mu);
+            assert!(e_out < e - 0.9 * q, "e_out {e_out}");
+            assert!(e_out > 0.0);
+            assert!((-1.0..=1.0).contains(&mu_lab));
+        }
+    }
+
+    #[test]
+    fn inelastic_near_threshold_drops_to_cm_energy() {
+        // Exactly at threshold the outgoing CM speed is 0: the neutron
+        // exits with the CM kinetic energy E/(A+1)². (The approach is
+        // slow — A·g must be ≪ 1 — so probe within a part per billion.)
+        let awr = 236.0;
+        let q = 0.045;
+        let thr = q * (awr + 1.0) / awr;
+        let e = thr * (1.0 + 1e-9);
+        let (e_out, _) = inelastic_kinematics(e, awr, q, 0.0);
+        let e_cm = e / ((awr + 1.0) * (awr + 1.0));
+        assert!((e_out - e_cm).abs() < 0.05 * e_cm, "{e_out} vs {e_cm}");
+    }
+
+    #[test]
+    fn free_gas_reduces_to_target_at_rest_at_high_energy() {
+        // E ≫ kT: the moving-target kinematics converge to the
+        // target-at-rest result statistically. For isotropic CM elastic,
+        // mean E_out/E = (1 + α)/2 with α = ((A−1)/(A+1))².
+        let mut rng = Lcg63::new(4);
+        let awr = 11.9; // carbon-ish
+        let e = 1.0; // MeV, vs kT = 2.5e-8
+        let kt = 2.53e-8;
+        let n = 20_000;
+        let mut sum = 0.0;
+        let dir = Vec3::new(0.0, 0.0, 1.0);
+        for _ in 0..n {
+            let (e_out, d_out) = free_gas_scatter(e, dir, awr, kt, &mut rng);
+            assert!((d_out.norm() - 1.0).abs() < 1e-9);
+            sum += e_out / e;
+        }
+        let mean = sum / n as f64;
+        let alpha = ((awr - 1.0) / (awr + 1.0)).powi(2);
+        let expect = (1.0 + alpha) / 2.0;
+        assert!((mean - expect).abs() < 0.01, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn free_gas_produces_upscatter_at_thermal() {
+        // At E = kT/2, collisions with the hot Maxwellian gas frequently
+        // INCREASE the neutron energy — impossible with a target at rest.
+        let mut rng = Lcg63::new(5);
+        let kt = 2.53e-8;
+        let e = 0.5 * kt;
+        let dir = Vec3::new(1.0, 0.0, 0.0);
+        let mut up = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            let (e_out, _) = free_gas_scatter(e, dir, 0.9992, kt, &mut rng);
+            if e_out > e {
+                up += 1;
+            }
+        }
+        let frac = up as f64 / n as f64;
+        assert!(frac > 0.3, "upscatter fraction {frac}");
+    }
+
+    #[test]
+    fn free_gas_thermalizes_to_maxwellian_scale() {
+        // Repeated scattering off hydrogen gas drives any starting energy
+        // toward the thermal equilibrium (mean neutron energy ~ 2kT for
+        // the collision-sampled population; assert the loose window).
+        let mut rng = Lcg63::new(6);
+        let kt = 2.53e-8;
+        let mut energies = Vec::new();
+        for start_exp in [-3.0f64, -7.0, -9.0] {
+            let mut e = 10f64.powf(start_exp);
+            let mut dir = Vec3::new(1.0, 0.0, 0.0);
+            for _ in 0..200 {
+                let (e2, d2) = free_gas_scatter(e, dir, 0.9992, kt, &mut rng);
+                e = e2;
+                dir = d2;
+            }
+            // Sample the equilibrated walk.
+            for _ in 0..300 {
+                let (e2, d2) = free_gas_scatter(e, dir, 0.9992, kt, &mut rng);
+                e = e2;
+                dir = d2;
+                energies.push(e);
+            }
+        }
+        let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+        assert!(
+            (0.8 * kt..4.0 * kt).contains(&mean),
+            "equilibrium mean {mean:e} vs kT {kt:e}"
+        );
+    }
+
+    #[test]
+    fn target_sampler_acceptance_terminates_and_is_positive() {
+        let mut rng = Lcg63::new(7);
+        for &beta in &[1e-3, 0.5, 2.0, 30.0] {
+            for _ in 0..200 {
+                let (b2, mu) = sample_free_gas_target(beta, &mut rng);
+                assert!(b2 >= 0.0 && b2.is_finite());
+                assert!((-1.0..=1.0).contains(&mu));
+            }
+        }
+    }
+
+    #[test]
+    fn material_slots_find_positions() {
+        let mat = Material::new("m", &[(5, 1.0), (9, 2.0), (11, 3.0)]);
+        let phys = Physics {
+            sab: Some(SabPhysics {
+                nuclide: 9,
+                table: SabTable::synthesize(1),
+                temperature: 293.6,
+            }),
+            urr: vec![
+                UrrPhysics {
+                    nuclide: 11,
+                    table: UrrTable::synthesize(1, 4),
+                },
+                UrrPhysics {
+                    nuclide: 77,
+                    table: UrrTable::synthesize(2, 4),
+                },
+            ],
+            ..Physics::default()
+        };
+        let slots = MaterialSlots::build(&mat, &phys);
+        assert_eq!(slots.sab, Some(1));
+        assert_eq!(slots.urr, vec![Some(2), None]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Problem assembly: cross sections + geometry + materials + physics.
+
+use mcs_geom::{hm_core, Geometry, HmConfig, Vec3};
+use mcs_rng::Lcg63;
+use mcs_xs::kernel::{macro_xs_simd, macro_xs_union, MacroXs};
+use mcs_xs::sab::SabTable;
+use mcs_xs::urr::UrrTable;
+use mcs_xs::{LibrarySpec, Material, NuclideLibrary, SoaLibrary, UnionGrid};
+
+use crate::physics::{
+    apply_physics, AbsorptionTreatment, MaterialSlots, Physics, SabPhysics, UrrPhysics,
+};
+use crate::particle::SourceSite;
+use crate::physics::sample_watt;
+use crate::physics::{WATT_A, WATT_B};
+
+/// Which Hoogenboom–Martin fuel inventory to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HmModel {
+    /// 34 fuel nuclides.
+    Small,
+    /// 320 fuel nuclides.
+    Large,
+}
+
+/// Assembly options for [`Problem::hm`].
+#[derive(Debug, Clone)]
+pub struct ProblemConfig {
+    /// Per-nuclide grid-point density multiplier (1.0 ≈ a thousand points
+    /// per heavy nuclide).
+    pub grid_density: f64,
+    /// Geometry parameters.
+    pub geometry: HmConfig,
+    /// Include S(α,β) thermal scattering for hydrogen in water.
+    pub enable_sab: bool,
+    /// Include URR probability tables for U-235/U-238.
+    pub enable_urr: bool,
+    /// Free-gas target motion for thermal elastic scattering.
+    pub enable_free_gas: bool,
+    /// Doppler-broaden the fuel nuclides to this temperature (K);
+    /// `0.0` = unbroadened baseline.
+    pub fuel_temperature_k: f64,
+    /// Master seed (library synthesis + transport streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for ProblemConfig {
+    fn default() -> Self {
+        Self {
+            grid_density: 1.0,
+            geometry: HmConfig::default(),
+            enable_sab: true,
+            enable_urr: true,
+            enable_free_gas: true,
+            fuel_temperature_k: 0.0,
+            seed: 0x4d43_5f30,
+        }
+    }
+}
+
+impl ProblemConfig {
+    /// A fast configuration for unit tests: sparse grids, one assembly,
+    /// full physics.
+    pub fn test_scale() -> Self {
+        Self {
+            grid_density: 0.25,
+            geometry: HmConfig::single_assembly(),
+            ..Self::default()
+        }
+    }
+}
+
+/// A fully assembled transport problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Nuclide data.
+    pub library: NuclideLibrary,
+    /// Unionized energy grid over the library.
+    pub grid: UnionGrid,
+    /// SoA flattening for the vectorized kernels.
+    pub soa: SoaLibrary,
+    /// Materials, indexed by the geometry's material ids
+    /// (0 = fuel, 1 = clad, 2 = water).
+    pub materials: Vec<Material>,
+    /// The geometry.
+    pub geometry: Geometry,
+    /// Optional physics.
+    pub physics: Physics,
+    /// Per-material physics slots, parallel to `materials`.
+    pub slots: Vec<MaterialSlots>,
+    /// Absorption treatment (analog by default; set to
+    /// [`AbsorptionTreatment::survival_default`] for variance reduction).
+    pub treatment: AbsorptionTreatment,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Problem {
+    /// Build a Hoogenboom–Martin problem.
+    pub fn hm(model: HmModel, cfg: &ProblemConfig) -> Self {
+        let lib_spec = match model {
+            HmModel::Small => LibrarySpec::hm_small(),
+            HmModel::Large => LibrarySpec::hm_large(),
+        }
+        .with_grid_density(cfg.grid_density)
+        .with_fuel_temperature(cfg.fuel_temperature_k);
+        let library = NuclideLibrary::build(&lib_spec);
+        Self::assemble(library, cfg)
+    }
+
+    /// Build a small problem for unit tests (tiny nuclide library,
+    /// single-assembly geometry).
+    pub fn test_small() -> Self {
+        let cfg = ProblemConfig::test_scale();
+        let library =
+            NuclideLibrary::build(&LibrarySpec::tiny().with_grid_density(cfg.grid_density));
+        Self::assemble(library, &cfg)
+    }
+
+    fn assemble(library: NuclideLibrary, cfg: &ProblemConfig) -> Self {
+        let grid = UnionGrid::build(&library.nuclides);
+        let soa = SoaLibrary::build(&library);
+        let materials = vec![
+            Material::hm_fuel(&library),
+            Material::hm_clad(&library),
+            Material::hm_water(&library),
+        ];
+        let geometry = hm_core(&cfg.geometry);
+
+        let mut physics = Physics::none();
+        physics.free_gas = cfg.enable_free_gas;
+        if cfg.enable_sab {
+            physics.sab = Some(SabPhysics {
+                nuclide: library.known.h1,
+                table: SabTable::synthesize(cfg.seed ^ 0x5ab),
+                temperature: 293.6,
+            });
+        }
+        if cfg.enable_urr {
+            physics.urr = vec![
+                UrrPhysics {
+                    nuclide: library.known.u238,
+                    table: UrrTable::synthesize(cfg.seed ^ 0x238, 8),
+                },
+                UrrPhysics {
+                    nuclide: library.known.u235,
+                    table: UrrTable::synthesize(cfg.seed ^ 0x235, 8),
+                },
+            ];
+        }
+        let slots = materials
+            .iter()
+            .map(|m| MaterialSlots::build(m, &physics))
+            .collect();
+
+        Self {
+            library,
+            grid,
+            soa,
+            materials,
+            geometry,
+            physics,
+            slots,
+            treatment: AbsorptionTreatment::Analog,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Macroscopic cross section with optional physics, scalar kernel
+    /// (the history path's `calculate_xs()`).
+    #[inline]
+    pub fn macro_xs(&self, mat_id: u32, e: f64, rng: &mut Lcg63) -> MacroXs {
+        let mat = &self.materials[mat_id as usize];
+        let mut xs = macro_xs_union(&self.library, &self.grid, mat, e);
+        if self.physics.any() {
+            apply_physics(
+                &self.library,
+                &self.grid,
+                mat,
+                e,
+                &self.physics,
+                &self.slots[mat_id as usize],
+                rng,
+                &mut xs,
+            );
+        }
+        xs
+    }
+
+    /// Macroscopic cross section with optional physics, vectorized inner
+    /// loop (the event path's banked kernel). Identical RNG consumption to
+    /// [`Problem::macro_xs`].
+    #[inline]
+    pub fn macro_xs_vector(&self, mat_id: u32, e: f64, rng: &mut Lcg63) -> MacroXs {
+        let mat = &self.materials[mat_id as usize];
+        let mut xs = macro_xs_simd(&self.soa, &self.grid, mat, e);
+        if self.physics.any() {
+            apply_physics(
+                &self.library,
+                &self.grid,
+                mat,
+                e,
+                &self.physics,
+                &self.slots[mat_id as usize],
+                rng,
+                &mut xs,
+            );
+        }
+        xs
+    }
+
+    /// Sample `n` initial source sites: positions uniform over fuel
+    /// regions (rejection against the bounding box), energies from the
+    /// Watt spectrum. Deterministic in the problem seed and `stream_salt`.
+    pub fn sample_initial_source(&self, n: usize, stream_salt: u64) -> Vec<SourceSite> {
+        let mut rng = Lcg63::new(self.seed ^ stream_salt ^ 0x5085);
+        let (lo, hi) = self.geometry.bounds;
+        let span = hi - lo;
+        let mut out = Vec::with_capacity(n);
+        let mut guard = 0u64;
+        while out.len() < n {
+            guard += 1;
+            assert!(
+                guard < 100_000_000,
+                "source sampling failed to find fuel; geometry misconfigured?"
+            );
+            let p = Vec3::new(
+                lo.x + span.x * rng.next_uniform(),
+                lo.y + span.y * rng.next_uniform(),
+                lo.z + span.z * rng.next_uniform(),
+            );
+            match self.geometry.find(p) {
+                Some(c) if c.material == mcs_geom::hm::MAT_FUEL => {
+                    let energy = sample_watt(&mut rng, WATT_A, WATT_B);
+                    out.push(SourceSite { pos: p, energy });
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Number of materials.
+    pub fn n_materials(&self) -> usize {
+        self.materials.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_problem_assembles() {
+        let p = Problem::test_small();
+        assert_eq!(p.n_materials(), 3);
+        assert!(p.grid.n_points() > 100);
+        assert_eq!(p.grid.n_nuclides(), p.library.len());
+        assert!(p.physics.sab.is_some());
+        assert_eq!(p.physics.urr.len(), 2);
+        // Fuel contains the URR nuclides; water contains the sab nuclide.
+        assert!(p.slots[0].urr.iter().all(|s| s.is_some()));
+        assert!(p.slots[2].sab.is_some());
+        assert!(p.slots[1].sab.is_none());
+    }
+
+    #[test]
+    fn macro_xs_scalar_and_vector_agree_without_physics_draws() {
+        let p = Problem::test_small();
+        // Outside the URR and thermal ranges neither path draws RNG.
+        let e = 0.5;
+        let mut r1 = Lcg63::new(11);
+        let mut r2 = Lcg63::new(11);
+        let a = p.macro_xs(0, e, &mut r1);
+        let b = p.macro_xs_vector(0, e, &mut r2);
+        assert!(a.max_rel_diff(&b) < 1e-12);
+        assert_eq!(r1, r2, "rng consumption must match");
+    }
+
+    #[test]
+    fn urr_range_consumes_identical_draws_both_paths() {
+        let p = Problem::test_small();
+        let e = 5.0e-3; // inside URR
+        let mut r1 = Lcg63::new(77);
+        let mut r2 = Lcg63::new(77);
+        let a = p.macro_xs(0, e, &mut r1);
+        let b = p.macro_xs_vector(0, e, &mut r2);
+        assert_eq!(r1, r2);
+        assert!(a.max_rel_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn sab_enhances_water_at_thermal() {
+        let p = Problem::test_small();
+        let e = 1.0e-9;
+        let mut rng = Lcg63::new(1);
+        let with = p.macro_xs(2, e, &mut rng);
+        // Compare against raw kernel (no physics).
+        let raw = macro_xs_union(&p.library, &p.grid, &p.materials[2], e);
+        assert!(with.elastic > raw.elastic * 1.5, "sab enhancement missing");
+        assert!((with.absorption - raw.absorption).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_source_sites_are_in_fuel() {
+        let p = Problem::test_small();
+        let sites = p.sample_initial_source(64, 0);
+        assert_eq!(sites.len(), 64);
+        for s in &sites {
+            let c = p.geometry.find(s.pos).unwrap();
+            assert_eq!(c.material, mcs_geom::hm::MAT_FUEL);
+            assert!(s.energy > 0.0 && s.energy < 30.0);
+        }
+    }
+
+    #[test]
+    fn initial_source_is_deterministic_per_salt() {
+        let p = Problem::test_small();
+        let a = p.sample_initial_source(16, 3);
+        let b = p.sample_initial_source(16, 3);
+        let c = p.sample_initial_source(16, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

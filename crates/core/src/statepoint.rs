@@ -1,0 +1,331 @@
+//! Statepoint checkpoint/restart for eigenvalue runs.
+//!
+//! OpenMC writes *statepoints* — the fission source bank plus accumulated
+//! results — so a long power iteration can stop and resume bit-exactly.
+//! Because this engine derives every stream from `(seed, batch, global
+//! particle index)`, resuming from a statepoint reproduces the
+//! uninterrupted run *exactly* (asserted by tests).
+//!
+//! The format is a small self-describing little-endian binary layout
+//! (magic + version + counted sections) with an end-to-end checksum; no
+//! external serialization dependency.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use mcs_geom::Vec3;
+
+use crate::eigenvalue::{BatchResult, EigenvalueResult, EigenvalueSettings};
+use crate::particle::SourceSite;
+use crate::problem::Problem;
+use crate::tally::Tallies;
+
+const MAGIC: &[u8; 8] = b"MCSSTPT\x01";
+
+/// A resumable snapshot of an eigenvalue run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statepoint {
+    /// Problem master seed (sanity-checked on resume).
+    pub seed: u64,
+    /// Batches already completed.
+    pub completed_batches: usize,
+    /// The source bank feeding the next batch.
+    pub source: Vec<SourceSite>,
+    /// Track-length k of every completed batch, in order.
+    pub k_history: Vec<f64>,
+    /// Accumulated tallies over completed *active* batches.
+    pub tallies: Tallies,
+}
+
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+impl Statepoint {
+    /// Serialize to a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w_u64(w, self.seed)?;
+        w_u64(w, self.completed_batches as u64)?;
+
+        w_u64(w, self.source.len() as u64)?;
+        let mut checksum = 0u64;
+        let mut put = |w: &mut dyn Write, v: f64| -> io::Result<()> {
+            checksum ^= v.to_bits().rotate_left((checksum % 63) as u32);
+            w.write_all(&v.to_le_bytes())
+        };
+        for s in &self.source {
+            put(w, s.pos.x)?;
+            put(w, s.pos.y)?;
+            put(w, s.pos.z)?;
+            put(w, s.energy)?;
+        }
+        w_u64(w, self.k_history.len() as u64)?;
+        for &k in &self.k_history {
+            put(w, k)?;
+        }
+        // Tallies block.
+        let t = &self.tallies;
+        w_u64(w, t.n_particles)?;
+        w_u64(w, t.segments)?;
+        for i in 0..8 {
+            w_u64(w, t.segments_by_material[i])?;
+            w_u64(w, t.collisions_by_material[i])?;
+            w_u64(w, t.absorptions_by_material[i])?;
+            w_u64(w, t.fissions_by_material[i])?;
+        }
+        w_u64(w, t.collisions)?;
+        w_u64(w, t.absorptions)?;
+        w_u64(w, t.fissions)?;
+        w_u64(w, t.leaks)?;
+        for v in [t.track_length, t.k_track, t.k_collision, t.k_absorption] {
+            w_f64(w, v)?;
+        }
+        w_u64(w, checksum)?;
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an mcs statepoint (bad magic)",
+            ));
+        }
+        let seed = r_u64(r)?;
+        let completed_batches = r_u64(r)? as usize;
+
+        let n_src = r_u64(r)? as usize;
+        let mut checksum = 0u64;
+        let mut get = |r: &mut dyn Read| -> io::Result<f64> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            let v = f64::from_le_bytes(b);
+            checksum ^= v.to_bits().rotate_left((checksum % 63) as u32);
+            Ok(v)
+        };
+        let mut source = Vec::with_capacity(n_src.min(1 << 24));
+        for _ in 0..n_src {
+            let (x, y, z, e) = (get(r)?, get(r)?, get(r)?, get(r)?);
+            source.push(SourceSite {
+                pos: Vec3::new(x, y, z),
+                energy: e,
+            });
+        }
+        let n_k = r_u64(r)? as usize;
+        let mut k_history = Vec::with_capacity(n_k.min(1 << 20));
+        for _ in 0..n_k {
+            k_history.push(get(r)?);
+        }
+        let mut tallies = Tallies {
+            n_particles: r_u64(r)?,
+            segments: r_u64(r)?,
+            ..Default::default()
+        };
+        for i in 0..8 {
+            tallies.segments_by_material[i] = r_u64(r)?;
+            tallies.collisions_by_material[i] = r_u64(r)?;
+            tallies.absorptions_by_material[i] = r_u64(r)?;
+            tallies.fissions_by_material[i] = r_u64(r)?;
+        }
+        tallies.collisions = r_u64(r)?;
+        tallies.absorptions = r_u64(r)?;
+        tallies.fissions = r_u64(r)?;
+        tallies.leaks = r_u64(r)?;
+        tallies.track_length = r_f64(r)?;
+        tallies.k_track = r_f64(r)?;
+        tallies.k_collision = r_f64(r)?;
+        tallies.k_absorption = r_f64(r)?;
+
+        let want = r_u64(r)?;
+        if want != checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "statepoint checksum mismatch (corrupt file)",
+            ));
+        }
+        Ok(Self {
+            seed,
+            completed_batches,
+            source,
+            k_history,
+            tallies,
+        })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+/// Run an eigenvalue calculation up to (and including) batch
+/// `stop_after_batches`, returning the partial result and a statepoint
+/// from which [`resume_eigenvalue`] continues bit-exactly.
+pub fn run_eigenvalue_checkpointed(
+    problem: &Problem,
+    settings: &EigenvalueSettings,
+    stop_after_batches: usize,
+) -> (Vec<BatchResult>, Statepoint) {
+    let driver = crate::eigenvalue::run_eigenvalue_partial(problem, settings, 0, stop_after_batches, None);
+    driver
+}
+
+/// Resume from a statepoint, running the remaining batches of the plan.
+pub fn resume_eigenvalue(
+    problem: &Problem,
+    settings: &EigenvalueSettings,
+    checkpoint: &Statepoint,
+) -> EigenvalueResult {
+    assert_eq!(
+        checkpoint.seed, problem.seed,
+        "statepoint belongs to a different problem seed"
+    );
+    let total = settings.inactive + settings.active;
+    let (batches, final_sp) = crate::eigenvalue::run_eigenvalue_partial(
+        problem,
+        settings,
+        checkpoint.completed_batches,
+        total,
+        Some(checkpoint.clone()),
+    );
+    // Assemble the full-run view from the checkpoint's history plus the
+    // resumed batches.
+    let active_ks: Vec<f64> = final_sp
+        .k_history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i >= settings.inactive)
+        .map(|(_, &k)| k)
+        .collect();
+    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
+    let k_std = if active_ks.len() > 1 {
+        let var = active_ks.iter().map(|k| (k - k_mean) * (k - k_mean)).sum::<f64>()
+            / (active_ks.len() - 1) as f64;
+        (var / active_ks.len() as f64).sqrt()
+    } else {
+        0.0
+    };
+    EigenvalueResult {
+        batches,
+        k_mean,
+        k_std,
+        tallies: final_sp.tallies,
+        mesh: None,
+        mesh_stats: None,
+        total_time: std::time::Duration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigenvalue::{run_eigenvalue, TransportMode};
+
+    fn settings() -> EigenvalueSettings {
+        EigenvalueSettings {
+            particles: 400,
+            inactive: 2,
+            active: 4,
+            mode: TransportMode::History,
+            entropy_mesh: (4, 4, 4),
+            mesh_tally: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let problem = Problem::test_small();
+        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 3);
+        let mut buf = Vec::new();
+        sp.write_to(&mut buf).unwrap();
+        let back = Statepoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(sp, back);
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let problem = Problem::test_small();
+        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        let mut buf = Vec::new();
+        sp.write_to(&mut buf).unwrap();
+        // Flip a byte in the middle of the source bank.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = Statepoint::read_from(&mut buf.as_slice());
+        assert!(err.is_err(), "corruption must not pass the checksum");
+        // And a bad magic is rejected immediately.
+        let err2 = Statepoint::read_from(&mut b"NOTASTPT".as_slice());
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        let problem = Problem::test_small();
+        let s = settings();
+        let full = run_eigenvalue(&problem, &s);
+
+        let (_, sp) = run_eigenvalue_checkpointed(&problem, &s, 3);
+        // Round-trip the checkpoint through its file format.
+        let mut buf = Vec::new();
+        sp.write_to(&mut buf).unwrap();
+        let sp = Statepoint::read_from(&mut buf.as_slice()).unwrap();
+
+        let resumed = resume_eigenvalue(&problem, &s, &sp);
+        assert_eq!(full.k_mean, resumed.k_mean, "resume must be bit-exact");
+        assert_eq!(full.tallies, resumed.tallies);
+        // Per-batch k's of the resumed tail match the full run's tail.
+        for b in &resumed.batches {
+            let same = full.batches.iter().find(|x| x.index == b.index).unwrap();
+            assert_eq!(same.k_track, b.k_track, "batch {}", b.index);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_problem() {
+        let problem = Problem::test_small();
+        let (_, mut sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        sp.seed ^= 1;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resume_eigenvalue(&problem, &settings(), &sp)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let problem = Problem::test_small();
+        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        let path = std::env::temp_dir().join("mcs_statepoint_test.bin");
+        sp.save(&path).unwrap();
+        let back = Statepoint::load(&path).unwrap();
+        assert_eq!(sp, back);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,215 @@
+//! Global tallies and batch statistics.
+//!
+//! The paper's experiments collect only OpenMC's default global tallies
+//! (total collisions, absorptions, and track-lengths, §III-B1); the same
+//! set is accumulated here, together with the three standard k-effective
+//! estimators.
+
+/// Accumulated global tallies for one batch (or a merged set of batches).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tallies {
+    /// Source particles contributing.
+    pub n_particles: u64,
+    /// Flight segments (= XS lookups performed).
+    pub segments: u64,
+    /// Segments broken down by material id (ids ≥ 7 fold into slot 7).
+    pub segments_by_material: [u64; 8],
+    /// Collisions broken down by material id.
+    pub collisions_by_material: [u64; 8],
+    /// Absorption events broken down by material id.
+    pub absorptions_by_material: [u64; 8],
+    /// Fission events broken down by material id.
+    pub fissions_by_material: [u64; 8],
+    /// Collision events.
+    pub collisions: u64,
+    /// Absorption events (capture + fission + energy-floor terminations).
+    pub absorptions: u64,
+    /// Fission events.
+    pub fissions: u64,
+    /// Leakage events.
+    pub leaks: u64,
+    /// Total flight path length (cm).
+    pub track_length: f64,
+    /// Track-length estimator sum: Σ w·d·νΣ_f.
+    pub k_track: f64,
+    /// Collision estimator sum: Σ w·νΣ_f/Σ_t at collisions.
+    pub k_collision: f64,
+    /// Absorption estimator sum: Σ w·νΣ_f/Σ_a at absorptions.
+    pub k_absorption: f64,
+}
+
+impl Tallies {
+    /// Record one flight segment in material `m`.
+    #[inline]
+    pub fn record_segment(&mut self, m: u32) {
+        self.segments += 1;
+        self.segments_by_material[(m as usize).min(7)] += 1;
+    }
+
+    /// Record one collision in material `m`.
+    #[inline]
+    pub fn record_collision(&mut self, m: u32) {
+        self.collisions += 1;
+        self.collisions_by_material[(m as usize).min(7)] += 1;
+    }
+
+    /// Record one absorption (optionally a fission) in material `m`.
+    #[inline]
+    pub fn record_absorption(&mut self, m: u32, fission: bool) {
+        self.absorptions += 1;
+        self.absorptions_by_material[(m as usize).min(7)] += 1;
+        if fission {
+            self.fissions += 1;
+            self.fissions_by_material[(m as usize).min(7)] += 1;
+        }
+    }
+
+    /// Fold another tally set into this one.
+    pub fn merge(&mut self, o: &Tallies) {
+        self.n_particles += o.n_particles;
+        self.segments += o.segments;
+        for i in 0..8 {
+            self.segments_by_material[i] += o.segments_by_material[i];
+            self.collisions_by_material[i] += o.collisions_by_material[i];
+            self.absorptions_by_material[i] += o.absorptions_by_material[i];
+            self.fissions_by_material[i] += o.fissions_by_material[i];
+        }
+        self.collisions += o.collisions;
+        self.absorptions += o.absorptions;
+        self.fissions += o.fissions;
+        self.leaks += o.leaks;
+        self.track_length += o.track_length;
+        self.k_track += o.k_track;
+        self.k_collision += o.k_collision;
+        self.k_absorption += o.k_absorption;
+    }
+
+    /// Track-length k estimate for this batch.
+    pub fn k_track_estimate(&self) -> f64 {
+        self.k_track / self.n_particles.max(1) as f64
+    }
+
+    /// Collision k estimate for this batch.
+    pub fn k_collision_estimate(&self) -> f64 {
+        self.k_collision / self.n_particles.max(1) as f64
+    }
+
+    /// Absorption k estimate for this batch.
+    pub fn k_absorption_estimate(&self) -> f64 {
+        self.k_absorption / self.n_particles.max(1) as f64
+    }
+}
+
+/// Online mean/variance accumulator for per-batch scalars (k estimates,
+/// entropy, rates).
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    values: Vec<f64>,
+}
+
+impl BatchStats {
+    /// Record one batch value.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of recorded batches.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Standard error of the mean (0 for < 2 samples).
+    pub fn std_error(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        (var / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Tallies {
+            n_particles: 10,
+            segments: 150,
+            segments_by_material: [100, 50, 0, 0, 0, 0, 0, 0],
+            collisions_by_material: [60, 40, 0, 0, 0, 0, 0, 0],
+            absorptions_by_material: [4, 2, 0, 0, 0, 0, 0, 0],
+            fissions_by_material: [2, 0, 0, 0, 0, 0, 0, 0],
+            collisions: 100,
+            absorptions: 6,
+            fissions: 2,
+            leaks: 4,
+            track_length: 50.0,
+            k_track: 9.5,
+            k_collision: 9.4,
+            k_absorption: 9.6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.n_particles, 20);
+        assert_eq!(a.segments, 300);
+        assert_eq!(a.segments_by_material[0], 200);
+        assert_eq!(a.collisions_by_material[1], 80);
+        assert_eq!(a.absorptions_by_material[0], 8);
+        assert_eq!(a.fissions_by_material[0], 4);
+        assert_eq!(a.collisions, 200);
+        assert_eq!(a.track_length, 100.0);
+        assert_eq!(a.k_track, 19.0);
+    }
+
+    #[test]
+    fn k_estimates_normalize_by_particles() {
+        let t = Tallies {
+            n_particles: 100,
+            k_track: 95.0,
+            k_collision: 93.0,
+            k_absorption: 97.0,
+            ..Default::default()
+        };
+        assert!((t.k_track_estimate() - 0.95).abs() < 1e-12);
+        assert!((t.k_collision_estimate() - 0.93).abs() < 1e-12);
+        assert!((t.k_absorption_estimate() - 0.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_stats_mean_and_error() {
+        let mut s = BatchStats::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.n(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        // var = 5/3, se = sqrt(5/12)
+        assert!((s.std_error() - (5.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = BatchStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        let t = Tallies::default();
+        assert_eq!(t.k_track_estimate(), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Native-mode execution: the whole application on one machine.
+//!
+//! The physics runs for real (host transport); the *reported time* for a
+//! batch on a given [`MachineSpec`] comes from pricing the batch's actual
+//! instrumented counts (segments and collisions per material) with the
+//! workload models. This is what regenerates Fig. 4 (routine-level
+//! profile), Fig. 5 (calculation rate vs particle count) and the α values.
+
+use mcs_core::problem::Problem;
+use mcs_core::tally::Tallies;
+
+use crate::spec::{KernelCounts, MachineSpec};
+use crate::workload::{
+    mesh_tally_segment_cost, segment_other_costs, xs_lookup_banked, xs_lookup_scalar,
+    ProblemShape,
+};
+
+/// Which kernel style the machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Scalar history-based loops (the paper's native-mode port).
+    HistoryScalar,
+    /// Banked, vectorized XS lookups (the event-based engine).
+    EventBanked,
+}
+
+/// Extract the cost-model shape from a problem.
+pub fn shape_of(problem: &Problem) -> ProblemShape {
+    ProblemShape {
+        nuclides_per_material: problem.materials.iter().map(|m| m.len()).collect(),
+        union_points: problem.grid.n_points(),
+        full_physics: problem.physics.any(),
+    }
+}
+
+/// A machine executing transport natively.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeModel {
+    /// The machine.
+    pub spec: MachineSpec,
+    /// Kernel style.
+    pub kind: TransportKind,
+    /// Fixed per-batch overhead (thread fork/join, tally reduction), s.
+    pub batch_overhead_s: f64,
+    /// Score a user-defined mesh tally on every segment (the active-batch
+    /// configuration of §III-B1).
+    pub mesh_tally: bool,
+}
+
+impl NativeModel {
+    /// Native model with the default per-batch overhead for this machine
+    /// class (in-order coprocessors pay more for fork/join + reduction).
+    pub fn new(spec: MachineSpec, kind: TransportKind) -> Self {
+        let batch_overhead_s = if spec.threads_per_core >= 4 { 8e-3 } else { 2e-3 };
+        Self {
+            spec,
+            kind,
+            batch_overhead_s,
+            mesh_tally: false,
+        }
+    }
+
+    /// Enable per-segment user-defined mesh-tally scoring.
+    pub fn with_mesh_tally(mut self) -> Self {
+        self.mesh_tally = true;
+        self
+    }
+
+    /// Total counts for a batch with the given instrumented tallies.
+    pub fn batch_counts(&self, shape: &ProblemShape, t: &Tallies) -> KernelCounts {
+        let mut total = KernelCounts::default();
+        for m in 0..shape.nuclides_per_material.len().min(8) {
+            let segs = t.segments_by_material[m] as f64;
+            if segs == 0.0 {
+                continue;
+            }
+            let colls = t.collisions_by_material[m] as f64;
+            let cf = colls / segs;
+            let lookup = match self.kind {
+                TransportKind::HistoryScalar => xs_lookup_scalar(shape, m),
+                TransportKind::EventBanked => xs_lookup_banked(shape, m),
+            };
+            let mut per_segment = lookup.add(&segment_other_costs(shape, m, cf));
+            if self.mesh_tally {
+                per_segment = per_segment.add(&mesh_tally_segment_cost());
+            }
+            total = total.add(&per_segment.scale(segs));
+        }
+        total
+    }
+
+    /// Modeled wall time for the batch.
+    pub fn batch_time(&self, shape: &ProblemShape, t: &Tallies) -> f64 {
+        self.spec.kernel_time(&self.batch_counts(shape, t)) + self.batch_overhead_s
+    }
+
+    /// Modeled calculation rate (neutrons/second).
+    pub fn calc_rate(&self, shape: &ProblemShape, t: &Tallies) -> f64 {
+        t.n_particles as f64 / self.batch_time(shape, t)
+    }
+
+    /// Routine-level time breakdown, Fig.-4 style:
+    /// `(calculate_xs, distance_to_boundary+geometry, sample_reaction)`
+    /// in seconds.
+    pub fn profile_breakdown(&self, shape: &ProblemShape, t: &Tallies) -> [(String, f64); 3] {
+        let mut xs = KernelCounts::default();
+        let mut other = KernelCounts::default();
+        for m in 0..shape.nuclides_per_material.len().min(8) {
+            let segs = t.segments_by_material[m] as f64;
+            if segs == 0.0 {
+                continue;
+            }
+            let cf = t.collisions_by_material[m] as f64 / segs;
+            let lookup = match self.kind {
+                TransportKind::HistoryScalar => xs_lookup_scalar(shape, m),
+                TransportKind::EventBanked => xs_lookup_banked(shape, m),
+            };
+            xs = xs.add(&lookup.scale(segs));
+            other = other.add(&segment_other_costs(shape, m, cf).scale(segs));
+        }
+        // Split "other" into geometry (the flat 250-op part) and
+        // collision handling (the nuclide-walk part) by their scalar
+        // shares.
+        let geom_share = {
+            let total_scalar = other.scalar.max(1.0);
+            let geom_scalar = t.segments as f64 * 250.0;
+            (geom_scalar / total_scalar).min(1.0)
+        };
+        let t_other = self.spec.kernel_time(&other);
+        [
+            ("calculate_xs".to_string(), self.spec.kernel_time(&xs)),
+            ("distance_to_boundary".to_string(), t_other * geom_share),
+            ("sample_reaction".to_string(), t_other * (1.0 - geom_share)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::history::{batch_streams, run_histories};
+
+    fn measured_tallies() -> (ProblemShape, Tallies) {
+        let problem = Problem::test_small();
+        let sources = problem.sample_initial_source(300, 0);
+        let streams = batch_streams(problem.seed, 0, 300);
+        let out = run_histories(&problem, &sources, &streams);
+        (shape_of(&problem), out.tallies)
+    }
+
+    #[test]
+    fn shape_of_reads_problem() {
+        let problem = Problem::test_small();
+        let shape = shape_of(&problem);
+        assert_eq!(shape.nuclides_per_material.len(), 3);
+        assert!(shape.union_points > 0);
+        assert!(shape.full_physics);
+    }
+
+    #[test]
+    fn mic_native_history_beats_host_by_about_1_6x() {
+        // Fig. 5's headline: MIC native ≈ 1.6× the host calculation rate
+        // (α ≈ 0.62) on real measured segment mixes.
+        let (_, mut t) = measured_tallies();
+        // Scale the measured mix up to a realistic batch so the fixed
+        // per-batch overhead amortizes (the tiny test run has only 300
+        // particles).
+        t.n_particles *= 1000;
+        t.segments *= 1000;
+        t.collisions *= 1000;
+        for i in 0..8 {
+            t.segments_by_material[i] *= 1000;
+            t.collisions_by_material[i] *= 1000;
+        }
+        // H.M.-Large-like nuclide counts for the cost model (the test
+        // problem uses the tiny library).
+        let shape = ProblemShape {
+            nuclides_per_material: vec![325, 1, 3],
+            union_points: 360_000,
+            full_physics: true,
+        };
+        let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+        let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+        let r_host = host.calc_rate(&shape, &t);
+        let r_mic = mic.calc_rate(&shape, &t);
+        let alpha = r_host / r_mic;
+        assert!((0.5..0.8).contains(&alpha), "alpha = {alpha:.3}");
+    }
+
+    #[test]
+    fn user_defined_tallies_cost_time_but_barely_move_alpha() {
+        // §III-B1 has two claims: α *can* differ between inactive and
+        // active batches when user-defined tallies run, but with the
+        // paper's (and our) cheap tallies against 300-nuclide lookups
+        // "there is little distinction". Verify both: the tally costs
+        // real time on both machines, yet α_a stays within ~2% of α_i.
+        let (_, t) = measured_tallies();
+        let shape = ProblemShape {
+            nuclides_per_material: vec![325, 1, 3],
+            union_points: 360_000,
+            full_physics: true,
+        };
+        let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+        let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+        let host_m = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar)
+            .with_mesh_tally();
+        let mic_m = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar)
+            .with_mesh_tally();
+
+        // Mechanism: scoring costs time on both machines.
+        assert!(host_m.batch_time(&shape, &t) > host.batch_time(&shape, &t));
+        assert!(mic_m.batch_time(&shape, &t) > mic.batch_time(&shape, &t));
+
+        let alpha_i = host.calc_rate(&shape, &t) / mic.calc_rate(&shape, &t);
+        let alpha_a = host_m.calc_rate(&shape, &t) / mic_m.calc_rate(&shape, &t);
+        let shift = (alpha_a / alpha_i - 1.0).abs();
+        assert!(shift < 0.02, "cheap tallies moved alpha by {:.1}%", shift * 100.0);
+    }
+
+    #[test]
+    fn banked_event_mode_is_faster_than_scalar_on_mic() {
+        let (_, t) = measured_tallies();
+        let shape = ProblemShape {
+            nuclides_per_material: vec![325, 1, 3],
+            union_points: 360_000,
+            full_physics: false,
+        };
+        let scalar = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+        let banked = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::EventBanked);
+        assert!(banked.batch_time(&shape, &t) < scalar.batch_time(&shape, &t));
+    }
+
+    #[test]
+    fn rate_collapses_at_tiny_particle_counts() {
+        // Fig. 5: rates drop below ~10⁴ particles because fixed batch
+        // overhead stops amortizing.
+        let (shape, t) = measured_tallies();
+        let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+        let rate_full = host.calc_rate(&shape, &t);
+        // Same per-particle counts, 100x fewer particles.
+        let mut tiny = t;
+        tiny.n_particles /= 100;
+        tiny.segments /= 100;
+        tiny.collisions /= 100;
+        for i in 0..8 {
+            tiny.segments_by_material[i] /= 100;
+            tiny.collisions_by_material[i] /= 100;
+        }
+        let rate_tiny = host.calc_rate(&shape, &tiny);
+        assert!(rate_tiny < rate_full, "{rate_tiny} !< {rate_full}");
+    }
+
+    #[test]
+    fn profile_breakdown_is_topped_by_calculate_xs() {
+        // Fig. 4: the top routine on both machines is the XS lookup.
+        let (_, t) = measured_tallies();
+        let shape = ProblemShape {
+            nuclides_per_material: vec![325, 1, 3],
+            union_points: 360_000,
+            full_physics: true,
+        };
+        for spec in [MachineSpec::host_e5_2687w(), MachineSpec::mic_7120a()] {
+            let model = NativeModel::new(spec, TransportKind::HistoryScalar);
+            let prof = model.profile_breakdown(&shape, &t);
+            assert!(prof[0].1 > prof[1].1 && prof[0].1 > prof[2].1, "{prof:?}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! PCIe transfer model.
+//!
+//! Table II's transfer costs show two distinct regimes on the PCIe 2.0
+//! x16 bus: large contiguous uploads (the energy grid: "approximately 1
+//! second for every 5 GB") and offload-runtime bank shipments, which move
+//! scattered particle state through the offload marshaling layer at much
+//! lower effective bandwidth (2.84 GB in 2.21 s ≈ 1.3 GB/s).
+
+use std::time::Duration;
+
+/// A modeled PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieBus {
+    /// Effective bandwidth for large contiguous transfers, GB/s.
+    pub contiguous_gb_s: f64,
+    /// Effective bandwidth for offload-marshaled (banked) transfers, GB/s.
+    pub banked_gb_s: f64,
+    /// Per-transfer launch latency, seconds.
+    pub latency_s: f64,
+}
+
+impl PcieBus {
+    /// PCIe 2.0 x16 as measured by the paper's offload reports.
+    pub fn gen2_x16() -> Self {
+        Self {
+            contiguous_gb_s: 5.0,
+            banked_gb_s: 1.3,
+            latency_s: 20e-6,
+        }
+    }
+
+    /// Time to ship `bytes` of contiguous data (e.g. the energy grid).
+    pub fn contiguous_time(&self, bytes: f64) -> Duration {
+        Duration::from_secs_f64(self.latency_s + bytes / (self.contiguous_gb_s * 1e9))
+    }
+
+    /// Time to ship `bytes` of banked particle state through the offload
+    /// runtime.
+    pub fn banked_time(&self, bytes: f64) -> Duration {
+        Duration::from_secs_f64(self.latency_s + bytes / (self.banked_gb_s * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_rule_of_thumb_one_second_per_5gb() {
+        let bus = PcieBus::gen2_x16();
+        let t = bus.contiguous_time(5.0e9).as_secs_f64();
+        assert!((t - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn paper_bank_transfer_times_reproduce() {
+        let bus = PcieBus::gen2_x16();
+        // Table II H.M. Large: 2.84 GB → 2,210 ms.
+        let t = bus.banked_time(2.84e9).as_secs_f64();
+        assert!((t - 2.21).abs() < 0.15, "t = {t}");
+        // H.M. Small: 496 MB → 460 ms.
+        let t = bus.banked_time(496e6).as_secs_f64();
+        assert!((t - 0.46).abs() < 0.1, "t = {t}");
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let bus = PcieBus::gen2_x16();
+        let t = bus.banked_time(64.0).as_secs_f64();
+        assert!(t >= bus.latency_s);
+        assert!(t < 2.0 * bus.latency_s);
+    }
+}

@@ -1,0 +1,117 @@
+//! Symmetric-mode execution: host and coprocessor ranks in one MPI-style
+//! job, with static (even) or α-balanced particle assignment.
+//!
+//! Regenerates Table III: the even split leaves the faster MIC ranks idle
+//! while the CPU finishes its share; balancing by Eq. 3 recovers most of
+//! the ideal aggregate rate.
+
+use mcs_core::balance::{achieved_rate, ideal_rate, proportional_split};
+
+/// A symmetric job: one entry per rank, holding that rank's native-mode
+/// calculation rate (neutrons/second).
+#[derive(Debug, Clone)]
+pub struct SymmetricModel {
+    /// Per-rank calculation rates.
+    pub rates: Vec<f64>,
+    /// Rank labels for reporting.
+    pub labels: Vec<String>,
+}
+
+impl SymmetricModel {
+    /// Build from `(label, rate)` pairs.
+    pub fn new(ranks: &[(&str, f64)]) -> Self {
+        Self {
+            rates: ranks.iter().map(|&(_, r)| r).collect(),
+            labels: ranks.iter().map(|&(l, _)| l.to_string()).collect(),
+        }
+    }
+
+    /// OpenMC's default static assignment: `n_total / p` each.
+    pub fn even_split(&self, n_total: u64) -> Vec<u64> {
+        let p = self.rates.len() as u64;
+        let mut out = vec![n_total / p; self.rates.len()];
+        for item in out.iter_mut().take((n_total % p) as usize) {
+            *item += 1;
+        }
+        out
+    }
+
+    /// The α-balanced assignment (Eq. 3 generalized).
+    pub fn balanced_split(&self, n_total: u64) -> Vec<u64> {
+        proportional_split(n_total, &self.rates)
+    }
+
+    /// Aggregate rate with the even split ("Original" column).
+    pub fn original_rate(&self, n_total: u64) -> f64 {
+        achieved_rate(&self.even_split(n_total), &self.rates)
+    }
+
+    /// Aggregate rate with the balanced split ("Load Balanced" column).
+    pub fn balanced_rate(&self, n_total: u64) -> f64 {
+        achieved_rate(&self.balanced_split(n_total), &self.rates)
+    }
+
+    /// The ideal aggregate rate (sum of rank rates).
+    pub fn ideal(&self) -> f64 {
+        ideal_rate(&self.rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table III, rebuilt from its CPU-only and MIC-only
+    /// rates: CPU 4,050 n/s, MIC 6,641 n/s (α = 0.61).
+    fn jlse_rates() -> (f64, f64) {
+        (4_050.0, 6_641.0)
+    }
+
+    #[test]
+    fn table3_cpu_plus_one_mic() {
+        let (cpu, mic) = jlse_rates();
+        let m = SymmetricModel::new(&[("cpu", cpu), ("mic0", mic)]);
+        let n = 100_000;
+        let original = m.original_rate(n);
+        let balanced = m.balanced_rate(n);
+        let ideal = m.ideal();
+        // Paper: original 8,988 (16% below ideal 10,691), balanced
+        // 10,068 (6% below). Our clean model: original = 2·min = 8,100
+        // (24% below), balanced ≈ ideal. Shape: original < balanced ≈ ideal.
+        assert!((ideal - 10_691.0).abs() < 1.0);
+        assert!(original < 0.9 * ideal, "original = {original}");
+        assert!(balanced > 0.99 * ideal, "balanced = {balanced}");
+        assert!(balanced > original);
+    }
+
+    #[test]
+    fn table3_cpu_plus_two_mics() {
+        let (cpu, mic) = jlse_rates();
+        let m = SymmetricModel::new(&[("cpu", cpu), ("mic0", mic), ("mic1", mic)]);
+        let n = 100_000;
+        let ideal = m.ideal();
+        assert!((ideal - 17_332.0).abs() < 1.0); // the paper's ideal
+        let original = m.original_rate(n);
+        // Paper: original 11,860 = 32% below ideal; model: 3·min = 12,150.
+        assert!((original / ideal - 0.68).abs() < 0.05, "{}", original / ideal);
+        let balanced = m.balanced_rate(n);
+        // Paper's balanced rate: 17,098 n/s ≈ 99% of ideal.
+        assert!(balanced > 0.99 * ideal, "balanced = {balanced}");
+    }
+
+    #[test]
+    fn even_split_distributes_remainder() {
+        let m = SymmetricModel::new(&[("a", 1.0), ("b", 1.0), ("c", 1.0)]);
+        let split = m.even_split(10);
+        assert_eq!(split.iter().sum::<u64>(), 10);
+        assert_eq!(split, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn homogeneous_job_has_no_balance_gap() {
+        let m = SymmetricModel::new(&[("a", 5.0), ("b", 5.0)]);
+        let n = 1000;
+        assert!((m.original_rate(n) - m.balanced_rate(n)).abs() < 1e-9);
+        assert!((m.original_rate(n) - m.ideal()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,411 @@
+//! The Hoogenboom–Martin full-core PWR benchmark geometry.
+//!
+//! From the paper §III: "a pressurized water reactor core with 241
+//! identical fuel assemblies (each 21.42 × 21.42 cm). Each assembly
+//! consists of a 17 by 17 lattice of fuel pins including 24 control rod
+//! guide tubes and an instrumentation tube. A thin cladding composed of
+//! natural zirconium surrounds each fuel pin."
+//!
+//! Three universes (fuel pin, guide tube, water) tile a 17×17 pin lattice;
+//! assemblies tile a 19×19 core lattice with 241 positions occupied (the
+//! 241 grid positions closest to the core axis); everything sits in a
+//! water-filled box with vacuum boundaries.
+
+use crate::model::{Cell, Fill, Geometry, Lattice, Universe};
+use crate::surface::Surface;
+use crate::vec3::Vec3;
+
+/// Material index for UO₂ fuel.
+pub const MAT_FUEL: u32 = 0;
+/// Material index for zirconium cladding.
+pub const MAT_CLAD: u32 = 1;
+/// Material index for borated water.
+pub const MAT_WATER: u32 = 2;
+
+/// Geometry parameters (all cm). Defaults follow the benchmark spec.
+#[derive(Debug, Clone)]
+pub struct HmConfig {
+    /// Fuel pellet radius.
+    pub fuel_radius: f64,
+    /// Clad outer radius.
+    pub clad_radius: f64,
+    /// Guide-tube inner radius.
+    pub gt_inner_radius: f64,
+    /// Guide-tube outer radius.
+    pub gt_outer_radius: f64,
+    /// Pin lattice pitch.
+    pub pin_pitch: f64,
+    /// Assembly pitch (= 17 × pin pitch).
+    pub assembly_pitch: f64,
+    /// Assemblies across the core lattice (odd).
+    pub core_lattice_n: usize,
+    /// Number of occupied assembly positions.
+    pub n_assemblies: usize,
+    /// Axial half-height of the active core.
+    pub half_height: f64,
+}
+
+impl Default for HmConfig {
+    fn default() -> Self {
+        Self {
+            fuel_radius: 0.4095,
+            clad_radius: 0.4750,
+            gt_inner_radius: 0.5610,
+            gt_outer_radius: 0.6020,
+            pin_pitch: 1.26,
+            assembly_pitch: 21.42,
+            core_lattice_n: 19,
+            n_assemblies: 241,
+            half_height: 183.0,
+        }
+    }
+}
+
+impl HmConfig {
+    /// A reduced model (single assembly, short axial extent) for tests.
+    pub fn single_assembly() -> Self {
+        Self {
+            core_lattice_n: 1,
+            n_assemblies: 1,
+            half_height: 20.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// The 25 special positions (24 guide tubes + 1 central instrumentation
+/// tube) in a Westinghouse-style 17×17 assembly, as `(row, col)`.
+pub const GUIDE_TUBE_POSITIONS: [(usize, usize); 25] = [
+    (2, 5),
+    (2, 8),
+    (2, 11),
+    (3, 3),
+    (3, 13),
+    (5, 2),
+    (5, 5),
+    (5, 8),
+    (5, 11),
+    (5, 14),
+    (8, 2),
+    (8, 5),
+    (8, 8), // instrumentation tube
+    (8, 11),
+    (8, 14),
+    (11, 2),
+    (11, 5),
+    (11, 8),
+    (11, 11),
+    (11, 14),
+    (13, 3),
+    (13, 13),
+    (14, 5),
+    (14, 8),
+    (14, 11),
+];
+
+/// Which positions of an `n × n` core lattice hold assemblies: the
+/// `n_assemblies` grid positions nearest the axis (ties broken by index,
+/// deterministically).
+pub fn core_map(n: usize, n_assemblies: usize) -> Vec<bool> {
+    let c = (n as f64 - 1.0) / 2.0;
+    let mut order: Vec<(f64, usize)> = (0..n * n)
+        .map(|idx| {
+            let i = (idx % n) as f64;
+            let j = (idx / n) as f64;
+            let r2 = (i - c) * (i - c) + (j - c) * (j - c);
+            (r2, idx)
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut map = vec![false; n * n];
+    for &(_, idx) in order.iter().take(n_assemblies.min(n * n)) {
+        map[idx] = true;
+    }
+    map
+}
+
+/// Build the full-core geometry. Material indices are
+/// [`MAT_FUEL`], [`MAT_CLAD`], [`MAT_WATER`].
+pub fn hm_core(cfg: &HmConfig) -> Geometry {
+    let mut g = Geometry::default();
+
+    // --- universes: reserve root as universe 0 ---
+    g.push_universe(Universe::default());
+
+    // Fuel pin universe: fuel | clad | water, unbounded (lattice clips it).
+    let fuel_cyl = g.push_surface(Surface::ZCylinder {
+        x0: 0.0,
+        y0: 0.0,
+        r: cfg.fuel_radius,
+    });
+    let clad_cyl = g.push_surface(Surface::ZCylinder {
+        x0: 0.0,
+        y0: 0.0,
+        r: cfg.clad_radius,
+    });
+    let c_fuel = g.push_cell(Cell {
+        name: "pin:fuel".into(),
+        region: vec![(fuel_cyl, -1)],
+        fill: Fill::Material(MAT_FUEL),
+    });
+    let c_clad = g.push_cell(Cell {
+        name: "pin:clad".into(),
+        region: vec![(fuel_cyl, 1), (clad_cyl, -1)],
+        fill: Fill::Material(MAT_CLAD),
+    });
+    let c_pin_water = g.push_cell(Cell {
+        name: "pin:water".into(),
+        region: vec![(clad_cyl, 1)],
+        fill: Fill::Material(MAT_WATER),
+    });
+    let u_pin = g.push_universe(Universe {
+        cells: vec![c_fuel, c_clad, c_pin_water],
+    });
+
+    // Guide-tube universe: water | clad tube | water.
+    let gt_in = g.push_surface(Surface::ZCylinder {
+        x0: 0.0,
+        y0: 0.0,
+        r: cfg.gt_inner_radius,
+    });
+    let gt_out = g.push_surface(Surface::ZCylinder {
+        x0: 0.0,
+        y0: 0.0,
+        r: cfg.gt_outer_radius,
+    });
+    let c_gt_bore = g.push_cell(Cell {
+        name: "gt:bore".into(),
+        region: vec![(gt_in, -1)],
+        fill: Fill::Material(MAT_WATER),
+    });
+    let c_gt_wall = g.push_cell(Cell {
+        name: "gt:wall".into(),
+        region: vec![(gt_in, 1), (gt_out, -1)],
+        fill: Fill::Material(MAT_CLAD),
+    });
+    let c_gt_water = g.push_cell(Cell {
+        name: "gt:water".into(),
+        region: vec![(gt_out, 1)],
+        fill: Fill::Material(MAT_WATER),
+    });
+    let u_gt = g.push_universe(Universe {
+        cells: vec![c_gt_bore, c_gt_wall, c_gt_water],
+    });
+
+    // All-water universe for unoccupied core positions.
+    let c_all_water = g.push_cell(Cell {
+        name: "water:all".into(),
+        region: Vec::new(),
+        fill: Fill::Material(MAT_WATER),
+    });
+    let u_water = g.push_universe(Universe {
+        cells: vec![c_all_water],
+    });
+
+    // Assembly universe: 17×17 pin lattice.
+    let half_asm = 0.5 * cfg.assembly_pitch;
+    let mut pin_unis = vec![u_pin; 17 * 17];
+    for &(r, c) in &GUIDE_TUBE_POSITIONS {
+        pin_unis[r * 17 + c] = u_gt;
+    }
+    let pin_lat = g.push_lattice(Lattice {
+        x0: -half_asm,
+        y0: -half_asm,
+        pitch_x: cfg.pin_pitch,
+        pitch_y: cfg.pin_pitch,
+        nx: 17,
+        ny: 17,
+        universes: pin_unis,
+    });
+    let c_asm = g.push_cell(Cell {
+        name: "assembly".into(),
+        region: Vec::new(),
+        fill: Fill::Lattice(pin_lat),
+    });
+    let u_asm = g.push_universe(Universe {
+        cells: vec![c_asm],
+    });
+
+    // Core lattice of assemblies.
+    let n = cfg.core_lattice_n;
+    let half_core = 0.5 * n as f64 * cfg.assembly_pitch;
+    let map = core_map(n, cfg.n_assemblies);
+    let core_unis: Vec<u32> = map
+        .iter()
+        .map(|&occ| if occ { u_asm } else { u_water })
+        .collect();
+    let core_lat = g.push_lattice(Lattice {
+        x0: -half_core,
+        y0: -half_core,
+        pitch_x: cfg.assembly_pitch,
+        pitch_y: cfg.assembly_pitch,
+        nx: n,
+        ny: n,
+        universes: core_unis,
+    });
+
+    // Root cell: box with vacuum boundary, filled by the core lattice.
+    let x_lo = g.push_surface(Surface::XPlane { x0: -half_core });
+    let x_hi = g.push_surface(Surface::XPlane { x0: half_core });
+    let y_lo = g.push_surface(Surface::YPlane { y0: -half_core });
+    let y_hi = g.push_surface(Surface::YPlane { y0: half_core });
+    let z_lo = g.push_surface(Surface::ZPlane {
+        z0: -cfg.half_height,
+    });
+    let z_hi = g.push_surface(Surface::ZPlane { z0: cfg.half_height });
+    let c_root = g.push_cell(Cell {
+        name: "root".into(),
+        region: vec![
+            (x_lo, 1),
+            (x_hi, -1),
+            (y_lo, 1),
+            (y_hi, -1),
+            (z_lo, 1),
+            (z_hi, -1),
+        ],
+        fill: Fill::Lattice(core_lat),
+    });
+    g.universes[0].cells.push(c_root);
+    g.bounds = (
+        Vec3::new(-half_core, -half_core, -cfg.half_height),
+        Vec3::new(half_core, half_core, cfg.half_height),
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_map_has_exact_count_and_symmetry() {
+        let map = core_map(19, 241);
+        assert_eq!(map.iter().filter(|&&b| b).count(), 241);
+        // Centre occupied, corners empty.
+        assert!(map[9 * 19 + 9]);
+        assert!(!map[0]);
+        assert!(!map[19 * 19 - 1]);
+        // Four-fold symmetry.
+        for i in 0..19 {
+            for j in 0..19 {
+                assert_eq!(map[j * 19 + i], map[j * 19 + (18 - i)]);
+                assert_eq!(map[j * 19 + i], map[(18 - j) * 19 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_core_centre_pin_is_guide_tube_water() {
+        let g = hm_core(&HmConfig::default());
+        // Exact core centre is the central assembly's instrumentation
+        // tube bore: water.
+        let c = g.find(Vec3::ZERO).unwrap();
+        assert_eq!(c.material, MAT_WATER);
+    }
+
+    #[test]
+    fn full_core_fuel_pin_resolves() {
+        let g = hm_core(&HmConfig::default());
+        let cfg = HmConfig::default();
+        // Centre of pin (0,0) of the central assembly: offset from
+        // assembly centre by (-8, -8) pitches.
+        let x = -8.0 * cfg.pin_pitch;
+        let p = Vec3::new(x, x, 0.0);
+        assert_eq!(g.find(p).unwrap().material, MAT_FUEL);
+        // Slightly off-centre into clad.
+        let p = Vec3::new(x + cfg.fuel_radius + 0.01, x, 0.0);
+        assert_eq!(g.find(p).unwrap().material, MAT_CLAD);
+        // Pin-cell corner is water.
+        let p = Vec3::new(x + 0.5 * cfg.pin_pitch - 1e-4, x + 0.5 * cfg.pin_pitch - 1e-4, 0.0);
+        assert_eq!(g.find(p).unwrap().material, MAT_WATER);
+    }
+
+    #[test]
+    fn corner_assembly_position_is_water() {
+        let g = hm_core(&HmConfig::default());
+        let cfg = HmConfig::default();
+        let half = 0.5 * 19.0 * cfg.assembly_pitch;
+        // Middle of the corner lattice position.
+        let p = Vec3::new(half - 0.5 * cfg.assembly_pitch, half - 0.5 * cfg.assembly_pitch, 0.0);
+        assert_eq!(g.find(p).unwrap().material, MAT_WATER);
+    }
+
+    #[test]
+    fn outside_root_box_leaks() {
+        let g = hm_core(&HmConfig::default());
+        assert!(g.find(Vec3::new(0.0, 0.0, 200.0)).is_none());
+        assert!(g.find(Vec3::new(250.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn ray_march_through_core_terminates() {
+        let g = hm_core(&HmConfig::default());
+        let mut p = Vec3::new(-150.0, 3.0, 1.0);
+        let dir = Vec3::new(1.0, 0.02, 0.001).normalized();
+        let mut steps = 0usize;
+        let mut total = 0.0;
+        while g.find(p).is_some() {
+            let d = g.distance_to_boundary(p, dir);
+            assert!(d.is_finite(), "infinite step inside geometry at {p:?}");
+            assert!(d >= 0.0);
+            p += dir * (d + crate::BOUNDARY_EPS);
+            total += d;
+            steps += 1;
+            assert!(steps < 200_000, "ray failed to exit");
+        }
+        // Crossed at least the core diameter.
+        assert!(total > 300.0, "total path {total}");
+        assert!(steps > 100, "too few crossings ({steps}) for a core traverse");
+    }
+
+    #[test]
+    fn single_assembly_config_builds() {
+        let g = hm_core(&HmConfig::single_assembly());
+        assert_eq!(g.find(Vec3::ZERO).unwrap().material, MAT_WATER); // IT bore
+        let cfg = HmConfig::single_assembly();
+        let x = -8.0 * cfg.pin_pitch;
+        assert_eq!(g.find(Vec3::new(x, x, 0.0)).unwrap().material, MAT_FUEL);
+    }
+
+    #[test]
+    fn stochastic_volumes_match_the_analytic_pin_areas() {
+        // Single assembly: 264 fuel pins of radius 0.4095 in a
+        // 21.42 cm square; the fuel volume fraction is exactly
+        // 264·π·r² / 21.42².
+        let cfg = HmConfig::single_assembly();
+        let g = hm_core(&cfg);
+        let vols = g.estimate_volumes(400_000, 7);
+        let (lo, hi) = g.bounds;
+        let total = (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+        let fuel_frac = vols[MAT_FUEL as usize] / total;
+        let analytic = 264.0 * std::f64::consts::PI * cfg.fuel_radius * cfg.fuel_radius
+            / (cfg.assembly_pitch * cfg.assembly_pitch);
+        assert!(
+            (fuel_frac - analytic).abs() < 0.01,
+            "fuel fraction {fuel_frac:.4} vs analytic {analytic:.4}"
+        );
+        // Clad fraction: 264 pin annuli + 25 tube walls.
+        let pin_annulus = std::f64::consts::PI
+            * (cfg.clad_radius * cfg.clad_radius - cfg.fuel_radius * cfg.fuel_radius);
+        let tube_wall = std::f64::consts::PI
+            * (cfg.gt_outer_radius * cfg.gt_outer_radius
+                - cfg.gt_inner_radius * cfg.gt_inner_radius);
+        let analytic_clad = (264.0 * pin_annulus + 25.0 * tube_wall)
+            / (cfg.assembly_pitch * cfg.assembly_pitch);
+        let clad_frac = vols[MAT_CLAD as usize] / total;
+        assert!(
+            (clad_frac - analytic_clad).abs() < 0.005,
+            "clad fraction {clad_frac:.4} vs analytic {analytic_clad:.4}"
+        );
+    }
+
+    #[test]
+    fn guide_tube_count_is_25() {
+        assert_eq!(GUIDE_TUBE_POSITIONS.len(), 25);
+        // All distinct.
+        let mut v: Vec<_> = GUIDE_TUBE_POSITIONS.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 25);
+    }
+}

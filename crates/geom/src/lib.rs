@@ -1,0 +1,44 @@
+//! Constructive solid geometry for full-core reactor models.
+//!
+//! OpenMC-style hierarchy: quadric [`surface::Surface`]s bound
+//! [`model::Cell`]s; cells live in universes; a universe can fill a cell
+//! directly or tile a rectangular [`model::Lattice`]. Particle tracking
+//! needs exactly two queries, both provided by [`model::Geometry`]:
+//!
+//! * [`model::Geometry::find`] — which material is at a point?
+//! * [`model::Geometry::distance_to_boundary`] — how far along a direction
+//!   until *any* bounding surface (cell surface or lattice wall) is hit?
+//!
+//! [`hm`] builds the Hoogenboom–Martin performance benchmark geometry the
+//! paper simulates: a PWR core of 241 assemblies on a 19×19 grid, each a
+//! 17×17 pin lattice with 24 guide tubes + 1 instrumentation tube, fuel
+//! pins with natural-zirconium cladding, borated water everywhere else.
+
+//! ```
+//! use mcs_geom::{hm_core, HmConfig, Vec3};
+//!
+//! let core = hm_core(&HmConfig::default());
+//! // The exact core centre is the central assembly's instrumentation
+//! // tube: water.
+//! let c = core.find(Vec3::ZERO).unwrap();
+//! assert_eq!(c.material, mcs_geom::hm::MAT_WATER);
+//! // Ray distance to the first surface is finite inside the core.
+//! let d = core.distance_to_boundary(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+//! assert!(d.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hm;
+pub mod model;
+pub mod surface;
+pub mod vec3;
+
+pub use hm::{hm_core, HmConfig};
+pub use model::{CellRef, Fill, Geometry, Lattice, Universe};
+pub use surface::Surface;
+pub use vec3::Vec3;
+
+/// Nudge distance (cm) used to push a particle across a boundary after a
+/// surface crossing, so the next cell search lands on the far side.
+pub const BOUNDARY_EPS: f64 = 1.0e-9;

@@ -1,0 +1,495 @@
+//! Hierarchical cell/universe/lattice geometry with ray tracing.
+
+use crate::surface::Surface;
+use crate::vec3::Vec3;
+
+/// What a cell is filled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// A homogeneous material (index into the problem's material list).
+    Material(u32),
+    /// Another universe (same coordinate frame).
+    Universe(u32),
+    /// A rectangular lattice of universes.
+    Lattice(u32),
+}
+
+/// A region bounded by surface half-spaces, with a fill.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Display name.
+    pub name: String,
+    /// Intersection of half-spaces: `(surface index, sense)` where sense
+    /// −1 requires `f(p) < 0` and +1 requires `f(p) > 0`.
+    pub region: Vec<(u32, i8)>,
+    /// The fill.
+    pub fill: Fill,
+}
+
+/// A set of cells sharing a coordinate frame.
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    /// Indices into the geometry's cell list.
+    pub cells: Vec<u32>,
+}
+
+/// A 2-D rectangular lattice (infinite in z within its enclosing cell).
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    /// x of the lattice's lower-left corner.
+    pub x0: f64,
+    /// y of the lattice's lower-left corner.
+    pub y0: f64,
+    /// Element pitch in x.
+    pub pitch_x: f64,
+    /// Element pitch in y.
+    pub pitch_y: f64,
+    /// Elements in x.
+    pub nx: usize,
+    /// Elements in y.
+    pub ny: usize,
+    /// Universe per element, row-major (`j * nx + i`).
+    pub universes: Vec<u32>,
+}
+
+impl Lattice {
+    /// Element containing the (enclosing-frame) point, or `None` outside.
+    #[inline]
+    pub fn element(&self, p: Vec3) -> Option<(usize, usize)> {
+        let fx = (p.x - self.x0) / self.pitch_x;
+        let fy = (p.y - self.y0) / self.pitch_y;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let i = fx as usize;
+        let j = fy as usize;
+        if i >= self.nx || j >= self.ny {
+            return None;
+        }
+        Some((i, j))
+    }
+
+    /// Centre of element `(i, j)` in the enclosing frame.
+    #[inline]
+    pub fn center(&self, i: usize, j: usize) -> Vec3 {
+        Vec3::new(
+            self.x0 + (i as f64 + 0.5) * self.pitch_x,
+            self.y0 + (j as f64 + 0.5) * self.pitch_y,
+            0.0,
+        )
+    }
+
+    /// Distance from element-local point `p` along `dir` to the element's
+    /// walls (local frame: walls at ±pitch/2).
+    #[inline]
+    pub fn wall_distance(&self, p: Vec3, dir: Vec3) -> f64 {
+        let mut d = f64::INFINITY;
+        if dir.x > 1e-12 {
+            d = d.min((0.5 * self.pitch_x - p.x) / dir.x);
+        } else if dir.x < -1e-12 {
+            d = d.min((-0.5 * self.pitch_x - p.x) / dir.x);
+        }
+        if dir.y > 1e-12 {
+            d = d.min((0.5 * self.pitch_y - p.y) / dir.y);
+        } else if dir.y < -1e-12 {
+            d = d.min((-0.5 * self.pitch_y - p.y) / dir.y);
+        }
+        d.max(0.0)
+    }
+}
+
+/// Result of a cell search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRef {
+    /// Material at the point.
+    pub material: u32,
+    /// Deepest (material-filled) cell index.
+    pub cell: u32,
+}
+
+/// A complete geometry.
+#[derive(Debug, Clone, Default)]
+pub struct Geometry {
+    /// All surfaces.
+    pub surfaces: Vec<Surface>,
+    /// All cells.
+    pub cells: Vec<Cell>,
+    /// All universes; index 0 is the root.
+    pub universes: Vec<Universe>,
+    /// All lattices.
+    pub lattices: Vec<Lattice>,
+    /// Axis-aligned bounding box of the root cell, for source sampling:
+    /// `(min, max)`.
+    pub bounds: (Vec3, Vec3),
+}
+
+impl Geometry {
+    /// Add a surface, returning its index.
+    pub fn push_surface(&mut self, s: Surface) -> u32 {
+        self.surfaces.push(s);
+        (self.surfaces.len() - 1) as u32
+    }
+
+    /// Add a cell, returning its index.
+    pub fn push_cell(&mut self, c: Cell) -> u32 {
+        self.cells.push(c);
+        (self.cells.len() - 1) as u32
+    }
+
+    /// Add a universe, returning its index.
+    pub fn push_universe(&mut self, u: Universe) -> u32 {
+        self.universes.push(u);
+        (self.universes.len() - 1) as u32
+    }
+
+    /// Add a lattice, returning its index.
+    pub fn push_lattice(&mut self, l: Lattice) -> u32 {
+        self.lattices.push(l);
+        (self.lattices.len() - 1) as u32
+    }
+
+    /// Does `cell`'s region contain local point `p`?
+    #[inline]
+    pub fn cell_contains(&self, cell: &Cell, p: Vec3) -> bool {
+        cell.region.iter().all(|&(s, sense)| {
+            let f = self.surfaces[s as usize].evaluate(p);
+            if sense < 0 {
+                f < 0.0
+            } else {
+                f > 0.0
+            }
+        })
+    }
+
+    /// Find the material at a point, descending from the root universe.
+    /// `None` means the point is outside the geometry (leaked).
+    pub fn find(&self, p: Vec3) -> Option<CellRef> {
+        self.find_in(0, p)
+    }
+
+    fn find_in(&self, universe: u32, p: Vec3) -> Option<CellRef> {
+        let u = &self.universes[universe as usize];
+        for &ci in &u.cells {
+            let cell = &self.cells[ci as usize];
+            if !self.cell_contains(cell, p) {
+                continue;
+            }
+            return match cell.fill {
+                Fill::Material(m) => Some(CellRef {
+                    material: m,
+                    cell: ci,
+                }),
+                Fill::Universe(uu) => self.find_in(uu, p),
+                Fill::Lattice(l) => {
+                    let lat = &self.lattices[l as usize];
+                    let (i, j) = lat.element(p)?;
+                    let local = p - lat.center(i, j);
+                    self.find_in(lat.universes[j * lat.nx + i], local)
+                }
+            };
+        }
+        None
+    }
+
+    /// Distance along `dir` to the nearest bounding surface at any level
+    /// of the hierarchy (cell surfaces and lattice walls). Infinite if the
+    /// point is outside the geometry.
+    pub fn distance_to_boundary(&self, p: Vec3, dir: Vec3) -> f64 {
+        let mut dist = f64::INFINITY;
+        let mut universe = 0u32;
+        let mut p_loc = p;
+        'descend: loop {
+            let u = &self.universes[universe as usize];
+            for &ci in &u.cells {
+                let cell = &self.cells[ci as usize];
+                if !self.cell_contains(cell, p_loc) {
+                    continue;
+                }
+                for &(s, _) in &cell.region {
+                    dist = dist.min(self.surfaces[s as usize].distance(p_loc, dir));
+                }
+                match cell.fill {
+                    Fill::Material(_) => break 'descend,
+                    Fill::Universe(uu) => {
+                        universe = uu;
+                        continue 'descend;
+                    }
+                    Fill::Lattice(l) => {
+                        let lat = &self.lattices[l as usize];
+                        let Some((i, j)) = lat.element(p_loc) else {
+                            break 'descend;
+                        };
+                        let local = p_loc - lat.center(i, j);
+                        dist = dist.min(lat.wall_distance(local, dir));
+                        universe = lat.universes[j * lat.nx + i];
+                        p_loc = local;
+                        continue 'descend;
+                    }
+                }
+            }
+            break; // no containing cell: outside
+        }
+        dist
+    }
+}
+
+impl Geometry {
+    /// Monte Carlo volume estimation: sample `n` uniform points in the
+    /// bounding box and return the estimated volume (cm³) per material id
+    /// (ids ≥ the returned length were not seen). Deterministic in `seed`.
+    /// This is OpenMC's stochastic-volume-calculation mode in miniature.
+    pub fn estimate_volumes(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = mcs_rng_local::SplitMix(seed);
+        let (lo, hi) = self.bounds;
+        let span = hi - lo;
+        let box_volume = span.x * span.y * span.z;
+        let mut counts: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let p = Vec3::new(
+                lo.x + span.x * rng.next_f64(),
+                lo.y + span.y * rng.next_f64(),
+                lo.z + span.z * rng.next_f64(),
+            );
+            if let Some(c) = self.find(p) {
+                let m = c.material as usize;
+                if m >= counts.len() {
+                    counts.resize(m + 1, 0);
+                }
+                counts[m] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / n as f64 * box_volume)
+            .collect()
+    }
+}
+
+/// A tiny local splitmix64 so this crate needs no RNG dependency for the
+/// volume estimator.
+mod mcs_rng_local {
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two nested z-cylinders inside a box: pin-cell-like fixture.
+    fn pin_cell() -> Geometry {
+        let mut g = Geometry::default();
+        let fuel_cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.4 });
+        let clad_cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.5 });
+        let x_lo = g.push_surface(Surface::XPlane { x0: -1.0 });
+        let x_hi = g.push_surface(Surface::XPlane { x0: 1.0 });
+        let y_lo = g.push_surface(Surface::YPlane { y0: -1.0 });
+        let y_hi = g.push_surface(Surface::YPlane { y0: 1.0 });
+        let z_lo = g.push_surface(Surface::ZPlane { z0: -10.0 });
+        let z_hi = g.push_surface(Surface::ZPlane { z0: 10.0 });
+
+        let box_region = vec![
+            (x_lo, 1i8),
+            (x_hi, -1),
+            (y_lo, 1),
+            (y_hi, -1),
+            (z_lo, 1),
+            (z_hi, -1),
+        ];
+        let fuel = g.push_cell(Cell {
+            name: "fuel".into(),
+            region: {
+                let mut r = box_region.clone();
+                r.push((fuel_cyl, -1));
+                r
+            },
+            fill: Fill::Material(0),
+        });
+        let clad = g.push_cell(Cell {
+            name: "clad".into(),
+            region: {
+                let mut r = box_region.clone();
+                r.push((fuel_cyl, 1));
+                r.push((clad_cyl, -1));
+                r
+            },
+            fill: Fill::Material(1),
+        });
+        let water = g.push_cell(Cell {
+            name: "water".into(),
+            region: {
+                let mut r = box_region;
+                r.push((clad_cyl, 1));
+                r
+            },
+            fill: Fill::Material(2),
+        });
+        g.push_universe(Universe {
+            cells: vec![fuel, clad, water],
+        });
+        g.bounds = (Vec3::new(-1.0, -1.0, -10.0), Vec3::new(1.0, 1.0, 10.0));
+        g
+    }
+
+    #[test]
+    fn find_resolves_materials() {
+        let g = pin_cell();
+        assert_eq!(g.find(Vec3::ZERO).unwrap().material, 0);
+        assert_eq!(g.find(Vec3::new(0.45, 0.0, 0.0)).unwrap().material, 1);
+        assert_eq!(g.find(Vec3::new(0.9, 0.9, 0.0)).unwrap().material, 2);
+        assert!(g.find(Vec3::new(5.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn boundary_distance_hits_fuel_surface() {
+        let g = pin_cell();
+        let d = g.distance_to_boundary(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 0.4).abs() < 1e-12);
+        // From clad outward: clad surface at 0.5.
+        let d = g.distance_to_boundary(Vec3::new(0.45, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 0.05).abs() < 1e-12);
+        // From water to box wall.
+        let d = g.distance_to_boundary(Vec3::new(0.9, 0.9, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepping_across_boundaries_traverses_all_materials() {
+        let g = pin_cell();
+        let dir = Vec3::new(1.0, 0.0, 0.0);
+        let mut p = Vec3::new(-0.95, 0.0, 0.0);
+        let mut seen = Vec::new();
+        for _ in 0..16 {
+            match g.find(p) {
+                Some(c) => seen.push(c.material),
+                None => break,
+            }
+            let d = g.distance_to_boundary(p, dir);
+            if !d.is_finite() {
+                break;
+            }
+            p += dir * (d + crate::BOUNDARY_EPS);
+        }
+        assert_eq!(seen, vec![2, 1, 0, 1, 2]);
+    }
+
+    fn lattice_geometry() -> Geometry {
+        // 2x2 lattice of pin universes inside a box.
+        let mut g = Geometry::default();
+        let cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.3 });
+        let fuel = g.push_cell(Cell {
+            name: "pin_fuel".into(),
+            region: vec![(cyl, -1)],
+            fill: Fill::Material(0),
+        });
+        let water = g.push_cell(Cell {
+            name: "pin_water".into(),
+            region: vec![(cyl, 1)],
+            fill: Fill::Material(2),
+        });
+        // Root must be universe 0: reserve it first.
+        g.push_universe(Universe::default());
+        let pin_u = g.push_universe(Universe {
+            cells: vec![fuel, water],
+        });
+        let lat = g.push_lattice(Lattice {
+            x0: -1.0,
+            y0: -1.0,
+            pitch_x: 1.0,
+            pitch_y: 1.0,
+            nx: 2,
+            ny: 2,
+            universes: vec![pin_u; 4],
+        });
+        let x_lo = g.push_surface(Surface::XPlane { x0: -1.0 });
+        let x_hi = g.push_surface(Surface::XPlane { x0: 1.0 });
+        let y_lo = g.push_surface(Surface::YPlane { y0: -1.0 });
+        let y_hi = g.push_surface(Surface::YPlane { y0: 1.0 });
+        let z_lo = g.push_surface(Surface::ZPlane { z0: -5.0 });
+        let z_hi = g.push_surface(Surface::ZPlane { z0: 5.0 });
+        let root_cell = g.push_cell(Cell {
+            name: "root".into(),
+            region: vec![
+                (x_lo, 1),
+                (x_hi, -1),
+                (y_lo, 1),
+                (y_hi, -1),
+                (z_lo, 1),
+                (z_hi, -1),
+            ],
+            fill: Fill::Lattice(lat),
+        });
+        g.universes[0].cells.push(root_cell);
+        g.bounds = (Vec3::new(-1.0, -1.0, -5.0), Vec3::new(1.0, 1.0, 5.0));
+        g
+    }
+
+    #[test]
+    fn lattice_find_translates_into_elements() {
+        let g = lattice_geometry();
+        // Element centres host fuel.
+        for &(x, y) in &[(-0.5, -0.5), (0.5, -0.5), (-0.5, 0.5), (0.5, 0.5)] {
+            let c = g.find(Vec3::new(x, y, 0.0)).unwrap();
+            assert_eq!(c.material, 0, "({x},{y})");
+        }
+        // Element corners host water.
+        assert_eq!(g.find(Vec3::new(-0.05, -0.05, 0.0)).unwrap().material, 2);
+        // Outside.
+        assert!(g.find(Vec3::new(1.5, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn lattice_boundary_includes_walls() {
+        let g = lattice_geometry();
+        // In water inside element (0,0), heading +x: wall at x=0 (local
+        // +pitch/2) comes before anything else.
+        let p = Vec3::new(-0.1, -0.9, 0.0);
+        let d = g.distance_to_boundary(p, Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 0.1).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn lattice_element_lookup_edges() {
+        let lat = Lattice {
+            x0: 0.0,
+            y0: 0.0,
+            pitch_x: 2.0,
+            pitch_y: 2.0,
+            nx: 3,
+            ny: 2,
+            universes: vec![0; 6],
+        };
+        assert_eq!(lat.element(Vec3::new(0.1, 0.1, 0.0)), Some((0, 0)));
+        assert_eq!(lat.element(Vec3::new(5.9, 3.9, 0.0)), Some((2, 1)));
+        assert_eq!(lat.element(Vec3::new(-0.1, 1.0, 0.0)), None);
+        assert_eq!(lat.element(Vec3::new(6.1, 1.0, 0.0)), None);
+    }
+
+    #[test]
+    fn wall_distance_from_centre() {
+        let lat = Lattice {
+            x0: 0.0,
+            y0: 0.0,
+            pitch_x: 2.0,
+            pitch_y: 4.0,
+            nx: 1,
+            ny: 1,
+            universes: vec![0],
+        };
+        let d = lat.wall_distance(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+        let diag = Vec3::new(0.6, 0.8, 0.0);
+        let d = lat.wall_distance(Vec3::ZERO, diag);
+        // x wall at t=1/0.6, y wall at t=2/0.8=2.5 → min is 1.666...
+        assert!((d - 1.0 / 0.6).abs() < 1e-12);
+    }
+}

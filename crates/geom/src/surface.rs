@@ -1,0 +1,352 @@
+//! Quadric surfaces: signed evaluation and ray-distance queries.
+
+use crate::vec3::Vec3;
+
+/// A surface dividing space into a negative and a positive half-space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Surface {
+    /// Plane `x = x0`.
+    XPlane {
+        /// Plane position.
+        x0: f64,
+    },
+    /// Plane `y = y0`.
+    YPlane {
+        /// Plane position.
+        y0: f64,
+    },
+    /// Plane `z = z0`.
+    ZPlane {
+        /// Plane position.
+        z0: f64,
+    },
+    /// Infinite cylinder along z: `(x−x0)² + (y−y0)² = r²`.
+    ZCylinder {
+        /// Axis x.
+        x0: f64,
+        /// Axis y.
+        y0: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// Sphere centred at `(x0,y0,z0)` with radius `r`.
+    Sphere {
+        /// Centre x.
+        x0: f64,
+        /// Centre y.
+        y0: f64,
+        /// Centre z.
+        z0: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// Cone along z with apex at `(x0,y0,z0)`:
+    /// `(x−x0)² + (y−y0)² = r²·(z−z0)²` (both nappes).
+    ZCone {
+        /// Apex x.
+        x0: f64,
+        /// Apex y.
+        y0: f64,
+        /// Apex z.
+        z0: f64,
+        /// Squared tangent of the half-angle.
+        r2: f64,
+    },
+    /// General quadric
+    /// `a·x² + b·y² + c·z² + d·xy + e·yz + f·xz + g·x + h·y + j·z + k = 0`.
+    Quadric {
+        /// Coefficients `[a, b, c, d, e, f, g, h, j, k]`.
+        coeffs: [f64; 10],
+    },
+}
+
+impl Surface {
+    /// Signed evaluation: negative inside/below, positive outside/above.
+    #[inline]
+    pub fn evaluate(&self, p: Vec3) -> f64 {
+        match *self {
+            Surface::XPlane { x0 } => p.x - x0,
+            Surface::YPlane { y0 } => p.y - y0,
+            Surface::ZPlane { z0 } => p.z - z0,
+            Surface::ZCylinder { x0, y0, r } => {
+                let dx = p.x - x0;
+                let dy = p.y - y0;
+                dx * dx + dy * dy - r * r
+            }
+            Surface::Sphere { x0, y0, z0, r } => {
+                let d = p - Vec3::new(x0, y0, z0);
+                d.dot(d) - r * r
+            }
+            Surface::ZCone { x0, y0, z0, r2 } => {
+                let dx = p.x - x0;
+                let dy = p.y - y0;
+                let dz = p.z - z0;
+                dx * dx + dy * dy - r2 * dz * dz
+            }
+            Surface::Quadric { coeffs: q } => {
+                let (x, y, z) = (p.x, p.y, p.z);
+                q[0] * x * x
+                    + q[1] * y * y
+                    + q[2] * z * z
+                    + q[3] * x * y
+                    + q[4] * y * z
+                    + q[5] * x * z
+                    + q[6] * x
+                    + q[7] * y
+                    + q[8] * z
+                    + q[9]
+            }
+        }
+    }
+
+    /// Distance along `dir` (unit) from `p` to the first strictly-positive
+    /// crossing of this surface, or `f64::INFINITY` if the ray never
+    /// crosses.
+    pub fn distance(&self, p: Vec3, dir: Vec3) -> f64 {
+        const TINY: f64 = 1.0e-12;
+        match *self {
+            Surface::XPlane { x0 } => plane_distance(p.x, dir.x, x0),
+            Surface::YPlane { y0 } => plane_distance(p.y, dir.y, y0),
+            Surface::ZPlane { z0 } => plane_distance(p.z, dir.z, z0),
+            Surface::ZCylinder { x0, y0, r } => {
+                let dx = p.x - x0;
+                let dy = p.y - y0;
+                let a = dir.x * dir.x + dir.y * dir.y;
+                if a < TINY {
+                    return f64::INFINITY; // flying parallel to the axis
+                }
+                let k = dx * dir.x + dy * dir.y;
+                let c = dx * dx + dy * dy - r * r;
+                quadratic_min_positive(a, k, c)
+            }
+            Surface::Sphere { x0, y0, z0, r } => {
+                let d = p - Vec3::new(x0, y0, z0);
+                let k = d.dot(dir);
+                let c = d.dot(d) - r * r;
+                quadratic_min_positive(1.0, k, c)
+            }
+            Surface::ZCone { x0, y0, z0, r2 } => {
+                let dx = p.x - x0;
+                let dy = p.y - y0;
+                let dz = p.z - z0;
+                let a = dir.x * dir.x + dir.y * dir.y - r2 * dir.z * dir.z;
+                let k = dx * dir.x + dy * dir.y - r2 * dz * dir.z;
+                let c = dx * dx + dy * dy - r2 * dz * dz;
+                if a.abs() < TINY {
+                    // Ray parallel to the cone surface: linear equation.
+                    if k.abs() < TINY {
+                        return f64::INFINITY;
+                    }
+                    let t = -c / (2.0 * k);
+                    return if t > TINY { t } else { f64::INFINITY };
+                }
+                quadratic_min_positive(a, k, c)
+            }
+            Surface::Quadric { coeffs: q } => {
+                let (x, y, z) = (p.x, p.y, p.z);
+                let (u, v, w) = (dir.x, dir.y, dir.z);
+                // f(p + t·dir) = A t² + 2 K t + C.
+                let a2 = q[0] * u * u
+                    + q[1] * v * v
+                    + q[2] * w * w
+                    + q[3] * u * v
+                    + q[4] * v * w
+                    + q[5] * u * w;
+                let k2 = q[0] * x * u
+                    + q[1] * y * v
+                    + q[2] * z * w
+                    + 0.5 * (q[3] * (x * v + y * u)
+                        + q[4] * (y * w + z * v)
+                        + q[5] * (x * w + z * u)
+                        + q[6] * u
+                        + q[7] * v
+                        + q[8] * w);
+                let c2 = self.evaluate(p);
+                if a2.abs() < TINY {
+                    if k2.abs() < TINY {
+                        return f64::INFINITY;
+                    }
+                    let t = -c2 / (2.0 * k2);
+                    return if t > TINY { t } else { f64::INFINITY };
+                }
+                quadratic_min_positive(a2, k2, c2)
+            }
+        }
+    }
+}
+
+#[inline]
+fn plane_distance(coord: f64, dcomp: f64, plane: f64) -> f64 {
+    if dcomp.abs() < 1.0e-12 {
+        return f64::INFINITY;
+    }
+    let t = (plane - coord) / dcomp;
+    if t > 1.0e-12 {
+        t
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Smallest strictly positive root of `a t² + 2 k t + c = 0`.
+///
+/// Handles negative leading coefficients (cone nappes) by ordering the
+/// roots explicitly.
+#[inline]
+fn quadratic_min_positive(a: f64, k: f64, c: f64) -> f64 {
+    let disc = k * k - a * c;
+    if disc < 0.0 {
+        return f64::INFINITY;
+    }
+    let sq = disc.sqrt();
+    let t1 = (-k - sq) / a;
+    let t2 = (-k + sq) / a;
+    let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+    const TINY: f64 = 1.0e-12;
+    if lo > TINY {
+        lo
+    } else if hi > TINY {
+        hi
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_senses() {
+        let s = Surface::XPlane { x0: 2.0 };
+        assert!(s.evaluate(Vec3::new(1.0, 0.0, 0.0)) < 0.0);
+        assert!(s.evaluate(Vec3::new(3.0, 0.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    fn plane_distance_forward_only() {
+        let s = Surface::ZPlane { z0: 5.0 };
+        let up = Vec3::new(0.0, 0.0, 1.0);
+        assert!((s.distance(Vec3::ZERO, up) - 5.0).abs() < 1e-12);
+        assert_eq!(s.distance(Vec3::ZERO, -up), f64::INFINITY);
+        // Parallel flight never crosses.
+        assert_eq!(s.distance(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn cylinder_from_inside_and_outside() {
+        let c = Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 1.0 };
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        // From centre outward: distance = r.
+        assert!((c.distance(Vec3::ZERO, x) - 1.0).abs() < 1e-12);
+        // From outside pointing at it: enters at 1.0.
+        assert!((c.distance(Vec3::new(-2.0, 0.0, 0.0), x) - 1.0).abs() < 1e-12);
+        // From outside pointing away: no crossing.
+        assert_eq!(c.distance(Vec3::new(2.0, 0.0, 0.0), x), f64::INFINITY);
+        // Missing ray.
+        assert_eq!(
+            c.distance(Vec3::new(-2.0, 5.0, 0.0), x),
+            f64::INFINITY
+        );
+        // Axis-parallel flight.
+        assert_eq!(
+            c.distance(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn sphere_distances() {
+        let s = Surface::Sphere { x0: 0.0, y0: 0.0, z0: 0.0, r: 2.0 };
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        assert!((s.distance(Vec3::ZERO, x) - 2.0).abs() < 1e-12);
+        assert!((s.distance(Vec3::new(-5.0, 0.0, 0.0), x) - 3.0).abs() < 1e-12);
+        assert!(s.evaluate(Vec3::new(0.0, 0.0, 1.0)) < 0.0);
+        assert!(s.evaluate(Vec3::new(0.0, 0.0, 3.0)) > 0.0);
+    }
+
+    #[test]
+    fn cone_senses_and_distances() {
+        let c = Surface::ZCone { x0: 0.0, y0: 0.0, z0: 0.0, r2: 1.0 }; // 45° cone
+        // Inside the upper nappe (close to axis): f < 0.
+        assert!(c.evaluate(Vec3::new(0.1, 0.0, 1.0)) < 0.0);
+        // Outside: f > 0.
+        assert!(c.evaluate(Vec3::new(2.0, 0.0, 1.0)) > 0.0);
+        // Ray from inside the nappe outward hits the surface where
+        // x = z: start (0, 0, 1) along +x → hit at x=1.
+        let d = c.distance(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn cone_negative_leading_coefficient_returns_nearest_crossing() {
+        // A steep ray (|dz| dominant) makes the quadratic's leading
+        // coefficient negative; the nearest crossing must still win.
+        let c = Surface::ZCone { x0: 0.0, y0: 0.0, z0: 0.0, r2: 1.0 };
+        // From inside the upper nappe heading steeply downward: it
+        // crosses the upper nappe wall first (t ≈ 1.595 for this ray),
+        // then would cross the lower nappe later — the solver must pick
+        // the first.
+        let p = Vec3::new(0.0, 0.0, 2.0);
+        let dir = Vec3::new(0.3, 0.0, -0.953_939_2).normalized();
+        let d = c.distance(p, dir);
+        assert!(d.is_finite());
+        assert!((d - 2.0 / (0.3 + 0.953_939_2)).abs() < 1e-6, "d = {d}");
+        let hit = p + dir * d;
+        assert!(c.evaluate(hit).abs() < 1e-9);
+        // And no earlier crossing exists.
+        let half = p + dir * (0.5 * d);
+        assert!(c.evaluate(half) < 0.0, "stayed inside until the hit");
+
+        // A steep upward ray from inside the nappe never exits it.
+        let up = Vec3::new(0.5, 0.0, 0.866_025_4).normalized();
+        assert_eq!(c.distance(p, up), f64::INFINITY);
+    }
+
+    #[test]
+    fn quadric_reproduces_a_sphere() {
+        // x² + y² + z² − 4 = 0 ≡ sphere of radius 2.
+        let q = Surface::Quadric {
+            coeffs: [1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -4.0],
+        };
+        let s = Surface::Sphere { x0: 0.0, y0: 0.0, z0: 0.0, r: 2.0 };
+        let pts = [
+            Vec3::new(0.3, -0.2, 0.5),
+            Vec3::new(-3.0, 1.0, 0.0),
+            Vec3::new(1.9, 0.0, 0.0),
+        ];
+        let dir = Vec3::new(0.6, 0.64, 0.48).normalized();
+        for p in pts {
+            assert!((q.evaluate(p) - s.evaluate(p)).abs() < 1e-12);
+            let dq = q.distance(p, dir);
+            let ds = s.distance(p, dir);
+            if ds.is_finite() {
+                assert!((dq - ds).abs() < 1e-9, "{dq} vs {ds}");
+            } else {
+                assert!(!dq.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_lands_on_surface() {
+        // Position + d·u must satisfy |f(p)| ≈ 0 for every surface type.
+        let surfaces = [
+            Surface::XPlane { x0: 1.5 },
+            Surface::ZCylinder { x0: 0.3, y0: -0.2, r: 2.2 },
+            Surface::Sphere { x0: 0.1, y0: 0.2, z0: -0.4, r: 3.0 },
+            Surface::ZCone { x0: 0.0, y0: 0.1, z0: -2.0, r2: 0.5 },
+            Surface::Quadric {
+                coeffs: [1.0, 2.0, 0.5, 0.1, 0.0, 0.2, -0.3, 0.0, 0.1, -5.0],
+            },
+        ];
+        let p = Vec3::new(-0.9, 0.7, 0.3);
+        let dir = Vec3::new(0.7, -0.5, 0.2).normalized();
+        for s in surfaces {
+            let d = s.distance(p, dir);
+            assert!(d.is_finite(), "{s:?}");
+            let hit = p + dir * d;
+            assert!(s.evaluate(hit).abs() < 1e-9, "{s:?} f={}", s.evaluate(hit));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal 3-vector for positions and flight directions.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 3-vector (cm for positions, unit-norm for directions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction. Panics on the zero vector in debug.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing zero vector");
+        self * (1.0 / n)
+    }
+
+    /// An isotropically distributed unit vector from two uniforms.
+    ///
+    /// `μ = 2ξ₁ − 1` is the polar cosine (the paper's scattering-cosine
+    /// formula) and `φ = 2πξ₂` the azimuth.
+    #[inline]
+    pub fn isotropic(xi1: f64, xi2: f64) -> Vec3 {
+        let mu = 2.0 * xi1 - 1.0;
+        let phi = 2.0 * std::f64::consts::PI * xi2;
+        let s = (1.0 - mu * mu).max(0.0).sqrt();
+        Vec3::new(s * phi.cos(), s * phi.sin(), mu)
+    }
+
+    /// Rotate this unit vector to a new direction that makes angle
+    /// `acos(mu)` with it, with azimuth `phi` about it (standard MC
+    /// scattering rotation).
+    pub fn rotate_scatter(self, mu: f64, phi: f64) -> Vec3 {
+        let (u, v, w) = (self.x, self.y, self.z);
+        let sin_t = (1.0 - mu * mu).max(0.0).sqrt();
+        let (cp, sp) = (phi.cos(), phi.sin());
+        let denom = (1.0 - w * w).sqrt();
+        if denom > 1e-10 {
+            Vec3::new(
+                mu * u + sin_t * (u * w * cp - v * sp) / denom,
+                mu * v + sin_t * (v * w * cp + u * sp) / denom,
+                mu * w - sin_t * denom * cp,
+            )
+        } else {
+            // Flight nearly along ±z: rotate about x instead.
+            let sign = if w > 0.0 { 1.0 } else { -1.0 };
+            Vec3::new(sign * sin_t * cp, sin_t * sp, sign * mu)
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn isotropic_is_unit_and_covers_hemispheres() {
+        let mut up = 0;
+        let mut down = 0;
+        let mut rng = mcs_rng::Lcg63::new(7);
+        for _ in 0..1000 {
+            let d = Vec3::isotropic(rng.next_uniform(), rng.next_uniform());
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+            if d.z > 0.0 {
+                up += 1;
+            } else {
+                down += 1;
+            }
+        }
+        assert!(up > 350 && down > 350, "up={up} down={down}");
+    }
+
+    #[test]
+    fn rotate_scatter_preserves_unit_norm_and_angle() {
+        let d = Vec3::new(0.267, 0.534, 0.802).normalized();
+        for &(mu, phi) in &[(0.5, 1.0), (-0.9, 2.5), (0.99, 0.1), (0.0, 3.0)] {
+            let out = d.rotate_scatter(mu, phi);
+            assert!((out.norm() - 1.0).abs() < 1e-12);
+            assert!((out.dot(d) - mu).abs() < 1e-10, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn rotate_scatter_handles_polar_flight() {
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        let out = d.rotate_scatter(0.3, 1.2);
+        assert!((out.norm() - 1.0).abs() < 1e-12);
+        assert!((out.dot(d) - 0.3).abs() < 1e-10);
+        let d = Vec3::new(0.0, 0.0, -1.0);
+        let out = d.rotate_scatter(-0.7, 0.4);
+        assert!((out.dot(d) + 0.7).abs() < 1e-10);
+    }
+}

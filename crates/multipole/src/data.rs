@@ -1,0 +1,418 @@
+//! Synthesized windowed-multipole libraries.
+//!
+//! Each nuclide's resolved range is cut into energy windows; each window
+//! holds poles (complex position + one complex residue per reaction) plus
+//! a background curve-fit polynomial. Two layouts are generated:
+//!
+//! * **variable** poles per window (Poisson-ish counts) — the original
+//!   RSBench layout, whose inner-loop trip count changes per lookup and
+//!   defeats vectorization (Fig. 8 "original");
+//! * **fixed** poles per window — the preparation the paper proposes
+//!   ("exploring the viability of whether multipole expansion data can be
+//!   prepared to have a constant number of poles per window"), padding
+//!   with zero-residue poles so every window evaluates the same count.
+
+use mcs_rng::Philox4x32;
+
+use crate::complex::C64;
+
+/// One pole: position in √E space and residues for three reactions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pole {
+    /// Pole position (complex, in √E).
+    pub position: C64,
+    /// Total-XS residue.
+    pub res_total: C64,
+    /// Absorption residue.
+    pub res_absorption: C64,
+    /// Fission residue.
+    pub res_fission: C64,
+}
+
+/// Background curve-fit for one window: `σ_bg(E) = c0 + c1/√E + c2/E`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Curvefit {
+    /// Constant term.
+    pub c0: f64,
+    /// `1/√E` coefficient.
+    pub c1: f64,
+    /// `1/E` coefficient.
+    pub c2: f64,
+}
+
+/// One nuclide's windowed pole data.
+#[derive(Debug, Clone)]
+pub struct MpNuclide {
+    /// Window boundaries in energy (MeV), `n_windows + 1` entries,
+    /// ascending.
+    pub window_edges: Vec<f64>,
+    /// Flat pole storage.
+    pub poles: Vec<Pole>,
+    /// `pole_offsets[w]..pole_offsets[w+1]` = window `w`'s poles.
+    pub pole_offsets: Vec<u32>,
+    /// Per-window background fits.
+    pub curvefits: Vec<Curvefit>,
+    /// Precomputed pole phases `φ_j = e^{−iτ·invDoppler·p_j}`, parallel to
+    /// `poles` — the hoisted-exponential preparation used by the
+    /// vectorized kernel.
+    pub pole_phases: Vec<C64>,
+    /// Doppler broadening width (1/√MeV scale factor on z).
+    pub inv_doppler: f64,
+}
+
+impl MpNuclide {
+    /// Window index for energy `e` (clamped).
+    #[inline]
+    pub fn window_of(&self, e: f64) -> usize {
+        let n = self.window_edges.len() - 1;
+        crate::data::lower_bound(&self.window_edges, e).min(n - 1)
+    }
+
+    /// Poles of window `w`.
+    #[inline]
+    pub fn window_poles(&self, w: usize) -> &[Pole] {
+        &self.poles[self.pole_offsets[w] as usize..self.pole_offsets[w + 1] as usize]
+    }
+
+    /// Maximum poles in any window.
+    pub fn max_poles_per_window(&self) -> usize {
+        self.pole_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Reference temperature (K) at which libraries are synthesized.
+pub const REFERENCE_TEMPERATURE_K: f64 = 293.6;
+
+impl MpNuclide {
+    /// Re-broaden this nuclide's data to a new temperature.
+    ///
+    /// This is the multipole method's whole point (§IV-B): temperature
+    /// enters only through the Doppler width Δ ∝ √(kT), i.e. a rescaled
+    /// `inv_doppler` — no new tables. The precomputed pole phases depend
+    /// on `inv_doppler`, so they are rebuilt here.
+    pub fn at_temperature(&self, temperature_k: f64) -> MpNuclide {
+        assert!(temperature_k > 0.0);
+        let scale = (REFERENCE_TEMPERATURE_K / temperature_k).sqrt();
+        let inv_doppler = self.inv_doppler * scale;
+        let tau = crate::faddeeva::FAST_W_TAU;
+        let pole_phases = self
+            .poles
+            .iter()
+            .map(|p| ((-C64::I) * p.position.scale(tau * inv_doppler)).exp())
+            .collect();
+        MpNuclide {
+            window_edges: self.window_edges.clone(),
+            poles: self.poles.clone(),
+            pole_offsets: self.pole_offsets.clone(),
+            curvefits: self.curvefits.clone(),
+            pole_phases,
+            inv_doppler,
+        }
+    }
+}
+
+pub(crate) fn lower_bound(a: &[f64], x: f64) -> usize {
+    a.partition_point(|&e| e <= x).saturating_sub(1)
+}
+
+/// Library synthesis parameters.
+#[derive(Debug, Clone)]
+pub struct MultipoleSpec {
+    /// Number of nuclides.
+    pub n_nuclides: usize,
+    /// Windows per nuclide.
+    pub n_windows: usize,
+    /// Mean poles per window.
+    pub mean_poles: usize,
+    /// Fixed pole count per window (`None` = variable, the original
+    /// layout).
+    pub fixed_poles: Option<usize>,
+    /// Energy range (MeV).
+    pub e_range: (f64, f64),
+    /// Seed.
+    pub seed: u64,
+}
+
+impl MultipoleSpec {
+    /// An RSBench-"large"-like configuration with variable windows.
+    pub fn rsbench_like() -> Self {
+        Self {
+            n_nuclides: 68,
+            n_windows: 100,
+            mean_poles: 4,
+            fixed_poles: None,
+            e_range: (1e-5, 1.0),
+            seed: 0x085b_e4c4,
+        }
+    }
+
+    /// Small configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_nuclides: 4,
+            n_windows: 8,
+            mean_poles: 3,
+            fixed_poles: None,
+            e_range: (1e-5, 1.0),
+            seed: 7,
+        }
+    }
+
+    /// Same data prepared with a constant pole count per window.
+    pub fn with_fixed_poles(mut self, p: usize) -> Self {
+        self.fixed_poles = Some(p);
+        self
+    }
+}
+
+/// A multipole library.
+#[derive(Debug, Clone)]
+pub struct MultipoleLibrary {
+    /// The nuclides.
+    pub nuclides: Vec<MpNuclide>,
+    /// The spec used to build it.
+    pub spec: MultipoleSpec,
+}
+
+impl MultipoleLibrary {
+    /// Synthesize. Deterministic in the spec. Crucially, the *physical*
+    /// poles for fixed and variable layouts are identical given the same
+    /// seed — fixed layouts just pad with zero-residue poles — so the
+    /// two evaluation paths must agree numerically (tested).
+    pub fn build(spec: &MultipoleSpec) -> Self {
+        let mut nuclides = Vec::with_capacity(spec.n_nuclides);
+        for k in 0..spec.n_nuclides {
+            let mut rng = Philox4x32::new(spec.seed ^ (k as u64) << 8);
+            let (lo, hi) = spec.e_range;
+            let ln_lo = lo.ln();
+            let ln_hi = hi.ln();
+            let n_w = spec.n_windows;
+            let window_edges: Vec<f64> = (0..=n_w)
+                .map(|i| (ln_lo + (ln_hi - ln_lo) * i as f64 / n_w as f64).exp())
+                .collect();
+
+            let mut poles = Vec::new();
+            let mut pole_offsets = vec![0u32];
+            let mut curvefits = Vec::with_capacity(n_w);
+            for w in 0..n_w {
+                // Variable count: 1 + geometric-ish draw around the mean.
+                let n_p = 1 + (rng.next_uniform() * (2.0 * spec.mean_poles as f64 - 1.0)) as usize;
+                let e0 = window_edges[w];
+                let e1 = window_edges[w + 1];
+                for _ in 0..n_p {
+                    let e_pole = e0 + (e1 - e0) * rng.next_uniform();
+                    // Physical multipoles sit below the real axis, so
+                    // z = (√E − p)·s lands in W's upper half-plane.
+                    let width = 1e-3 + 5e-3 * rng.next_uniform();
+                    poles.push(Pole {
+                        position: C64::new(e_pole.sqrt(), -width),
+                        res_total: C64::new(
+                            10.0 + 90.0 * rng.next_uniform(),
+                            -50.0 * rng.next_uniform(),
+                        ),
+                        res_absorption: C64::new(
+                            5.0 + 30.0 * rng.next_uniform(),
+                            -20.0 * rng.next_uniform(),
+                        ),
+                        res_fission: C64::new(
+                            2.0 + 20.0 * rng.next_uniform(),
+                            -10.0 * rng.next_uniform(),
+                        ),
+                    });
+                }
+                // Padding to the fixed count (zero residues contribute 0).
+                if let Some(fixed) = spec.fixed_poles {
+                    for _ in n_p..fixed {
+                        // Below the real axis like every physical pole, so
+                        // its (zero-residue) W evaluation stays finite.
+                        poles.push(Pole {
+                            position: C64::new((0.5 * (e0 + e1)).sqrt(), -1.0),
+                            ..Pole::default()
+                        });
+                    }
+                    assert!(
+                        n_p <= fixed,
+                        "window has {n_p} poles, exceeding the fixed budget {fixed}"
+                    );
+                }
+                pole_offsets.push(poles.len() as u32);
+                curvefits.push(Curvefit {
+                    c0: 5.0 + 5.0 * rng.next_uniform(),
+                    c1: 1.0 * rng.next_uniform(),
+                    c2: 1e-4 * rng.next_uniform(),
+                });
+            }
+
+            let inv_doppler = 50.0; // 1/Δ, Δ ≈ Doppler width in √E
+            let tau = crate::faddeeva::FAST_W_TAU;
+            let pole_phases = poles
+                .iter()
+                .map(|p| ((-C64::I) * p.position.scale(tau * inv_doppler)).exp())
+                .collect();
+            nuclides.push(MpNuclide {
+                window_edges,
+                poles,
+                pole_offsets,
+                curvefits,
+                pole_phases,
+                inv_doppler,
+            });
+        }
+        Self {
+            nuclides,
+            spec: spec.clone(),
+        }
+    }
+
+    /// Total poles stored.
+    pub fn total_poles(&self) -> usize {
+        self.nuclides.iter().map(|n| n.poles.len()).sum()
+    }
+
+    /// In-memory footprint of the pole data, bytes (8 complex f64 per
+    /// pole + phase, plus edges and curvefits) — the §IV-B "remarkably
+    /// low memory cost" side of the multipole trade.
+    pub fn data_bytes(&self) -> usize {
+        self.nuclides
+            .iter()
+            .map(|n| {
+                n.poles.len() * std::mem::size_of::<Pole>()
+                    + n.pole_phases.len() * 16
+                    + n.window_edges.len() * 8
+                    + n.curvefits.len() * std::mem::size_of::<Curvefit>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let b = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        assert_eq!(a.total_poles(), b.total_poles());
+        assert_eq!(a.nuclides[0].poles[3], b.nuclides[0].poles[3]);
+    }
+
+    #[test]
+    fn windows_partition_the_range() {
+        let lib = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let n = &lib.nuclides[0];
+        assert_eq!(n.window_edges.len(), 9);
+        for w in n.window_edges.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // window_of maps energies into the right slots.
+        assert_eq!(n.window_of(1e-5), 0);
+        assert_eq!(n.window_of(0.9999), 7);
+        let mid = 0.5 * (n.window_edges[3] + n.window_edges[4]);
+        assert_eq!(n.window_of(mid), 3);
+    }
+
+    #[test]
+    fn variable_layout_has_ragged_windows() {
+        let lib = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let n = &lib.nuclides[0];
+        let counts: Vec<usize> = (0..8).map(|w| n.window_poles(w).len()).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn fixed_layout_is_rectangular_and_larger() {
+        let var = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let max_p = var
+            .nuclides
+            .iter()
+            .map(|n| n.max_poles_per_window())
+            .max()
+            .unwrap();
+        let fix = MultipoleLibrary::build(&MultipoleSpec::tiny().with_fixed_poles(max_p));
+        for n in &fix.nuclides {
+            for w in 0..n.window_edges.len() - 1 {
+                assert_eq!(n.window_poles(w).len(), max_p);
+            }
+        }
+        assert!(fix.total_poles() >= var.total_poles());
+    }
+
+    #[test]
+    fn doppler_broadening_flattens_resonance_peaks() {
+        use crate::lookup::lookup_original;
+        let lib = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let cold = &lib.nuclides[0];
+        let hot = cold.at_temperature(1200.0);
+        assert!(hot.inv_doppler < cold.inv_doppler);
+
+        // Find a pole and compare on-peak vs wing response.
+        let p = cold.poles[0];
+        let e_peak = p.position.re * p.position.re;
+        let on_cold = lookup_original(cold, e_peak).total;
+        let on_hot = lookup_original(&hot, e_peak).total;
+        // Hot peaks are lower...
+        assert!(
+            on_hot.abs() < on_cold.abs(),
+            "peak should flatten: cold {on_cold} hot {on_hot}"
+        );
+        // ...and hot wings are higher (probe a few Doppler widths out).
+        let de = 4.0 / cold.inv_doppler; // in sqrt-E units
+        let e_wing = (p.position.re + de) * (p.position.re + de);
+        let wing_cold = lookup_original(cold, e_wing).total;
+        let wing_hot = lookup_original(&hot, e_wing).total;
+        assert!(
+            (wing_hot - wing_cold).abs() / wing_cold.abs().max(1e-12) > 1e-3,
+            "wing must respond to temperature"
+        );
+    }
+
+    #[test]
+    fn rebroadened_data_keeps_kernel_agreement() {
+        use crate::lookup::{lookup_original, lookup_vectorized};
+        let lib = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let hot = lib.nuclides[1].at_temperature(900.0);
+        let mut e = 2e-5;
+        while e < 0.9 {
+            let a = lookup_original(&hot, e);
+            let b = lookup_vectorized(&hot, e);
+            assert!(a.max_rel_diff(&b) < 1e-9, "e={e}");
+            e *= 2.1;
+        }
+    }
+
+    #[test]
+    fn reference_temperature_is_identity() {
+        let lib = MultipoleLibrary::build(&MultipoleSpec::tiny());
+        let same = lib.nuclides[0].at_temperature(REFERENCE_TEMPERATURE_K);
+        assert!((same.inv_doppler - lib.nuclides[0].inv_doppler).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multipole_memory_is_a_tiny_fraction_of_pointwise() {
+        // The method's motivation: temperature-dependent data at low
+        // memory cost. Compare an RSBench-like pole library against a
+        // comparable pointwise library's flattened arrays.
+        let mp = MultipoleLibrary::build(&MultipoleSpec::rsbench_like());
+        // A pointwise nuclide at test fidelity: ~1,000 points × 5 arrays
+        // × 8 B ≈ 40 kB; evaluated-data fidelity is 100x that. Per
+        // nuclide, poles cost:
+        let mp_per_nuclide = mp.data_bytes() / mp.nuclides.len();
+        assert!(
+            mp_per_nuclide < 60_000,
+            "pole data {mp_per_nuclide} B/nuclide"
+        );
+        // And it carries temperature dependence for free, where pointwise
+        // data would need a full grid per temperature point.
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the fixed budget")]
+    fn underprovisioned_fixed_budget_panics() {
+        let _ = MultipoleLibrary::build(&MultipoleSpec::tiny().with_fixed_poles(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! Merged profiles and report formatting.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Accumulated statistics for one named region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Number of times the region was entered.
+    pub calls: u64,
+    /// Wall time including children.
+    pub inclusive: Duration,
+    /// Wall time excluding children.
+    pub exclusive: Duration,
+}
+
+/// A merged, thread-summed profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    stats: HashMap<&'static str, RegionStats>,
+    path_stats: HashMap<String, RegionStats>,
+}
+
+impl Profile {
+    pub(crate) fn from_stats(stats: HashMap<&'static str, RegionStats>) -> Self {
+        Self {
+            stats,
+            path_stats: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn from_stats_with_paths(
+        stats: HashMap<&'static str, RegionStats>,
+        path_stats: HashMap<String, RegionStats>,
+    ) -> Self {
+        Self { stats, path_stats }
+    }
+
+    /// Call-path statistics ("a => b => c"), TAU's callpath view.
+    pub fn path(&self, path: &str) -> Option<&RegionStats> {
+        self.path_stats.get(path)
+    }
+
+    /// All call paths sorted by descending inclusive time.
+    pub fn sorted_paths(&self) -> Vec<(&str, RegionStats)> {
+        let mut v: Vec<_> = self
+            .path_stats
+            .iter()
+            .map(|(k, s)| (k.as_str(), *s))
+            .collect();
+        v.sort_by_key(|(_, s)| std::cmp::Reverse(s.inclusive));
+        v
+    }
+
+    /// Statistics for one region, if recorded.
+    pub fn get(&self, name: &str) -> Option<&RegionStats> {
+        self.stats.get(name)
+    }
+
+    /// Iterate all regions in unspecified order.
+    pub fn regions(&self) -> impl Iterator<Item = (&'static str, &RegionStats)> {
+        self.stats.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Fold another profile (e.g. another thread's) into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for (name, s) in &other.stats {
+            let e = self.stats.entry(name).or_default();
+            e.calls += s.calls;
+            e.inclusive += s.inclusive;
+            e.exclusive += s.exclusive;
+        }
+        for (path, s) in &other.path_stats {
+            let e = self.path_stats.entry(path.clone()).or_default();
+            e.calls += s.calls;
+            e.inclusive += s.inclusive;
+            e.exclusive += s.exclusive;
+        }
+    }
+
+    /// Regions sorted by descending exclusive time (TAU's default view).
+    pub fn sorted_by_exclusive(&self) -> Vec<(&'static str, RegionStats)> {
+        let mut v: Vec<_> = self.stats.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|(_, s)| std::cmp::Reverse(s.exclusive));
+        v
+    }
+
+    /// Render a TAU-style flat profile table.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== profile: {title} ===\n"));
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>14} {:>14}\n",
+            "region", "calls", "excl (ms)", "incl (ms)"
+        ));
+        for (name, s) in self.sorted_by_exclusive() {
+            out.push_str(&format!(
+                "{:<32} {:>10} {:>14.3} {:>14.3}\n",
+                name,
+                s.calls,
+                s.exclusive.as_secs_f64() * 1e3,
+                s.inclusive.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Side-by-side comparison of two profiles (the Fig. 4 view: host CPU vs
+/// MIC native).
+#[derive(Debug, Clone)]
+pub struct ProfileCompare {
+    label_a: String,
+    label_b: String,
+    a: Profile,
+    b: Profile,
+}
+
+impl ProfileCompare {
+    /// Pair two profiles under display labels.
+    pub fn new(label_a: &str, a: Profile, label_b: &str, b: Profile) -> Self {
+        Self {
+            label_a: label_a.to_string(),
+            label_b: label_b.to_string(),
+            a,
+            b,
+        }
+    }
+
+    /// Rows: (region, exclusive_a, exclusive_b, ratio b/a), union of both
+    /// profiles, sorted by descending `exclusive_a`.
+    pub fn rows(&self) -> Vec<(&'static str, Duration, Duration, f64)> {
+        let mut names: Vec<&'static str> = self
+            .a
+            .regions()
+            .map(|(n, _)| n)
+            .chain(self.b.regions().map(|(n, _)| n))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut rows: Vec<_> = names
+            .into_iter()
+            .map(|n| {
+                let ta = self.a.get(n).map(|s| s.exclusive).unwrap_or_default();
+                let tb = self.b.get(n).map(|s| s.exclusive).unwrap_or_default();
+                let ratio = if ta.as_nanos() > 0 {
+                    tb.as_secs_f64() / ta.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                };
+                (n, ta, tb, ratio)
+            })
+            .collect();
+        rows.sort_by_key(|&(_, ta, _, _)| std::cmp::Reverse(ta));
+        rows
+    }
+
+    /// Render the two-column comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>14} {:>14} {:>8}\n",
+            "region",
+            format!("{} (ms)", self.label_a),
+            format!("{} (ms)", self.label_b),
+            "ratio"
+        ));
+        for (name, ta, tb, ratio) in self.rows() {
+            out.push_str(&format!(
+                "{:<32} {:>14.3} {:>14.3} {:>8.3}\n",
+                name,
+                ta.as_secs_f64() * 1e3,
+                tb.as_secs_f64() * 1e3,
+                ratio
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(entries: &[(&'static str, u64, u64)]) -> Profile {
+        // (name, exclusive_ms, inclusive_ms)
+        let mut m = HashMap::new();
+        for &(n, e, i) in entries {
+            m.insert(
+                n,
+                RegionStats {
+                    calls: 1,
+                    exclusive: Duration::from_millis(e),
+                    inclusive: Duration::from_millis(i),
+                },
+            );
+        }
+        Profile::from_stats(m)
+    }
+
+    #[test]
+    fn sort_by_exclusive_descends() {
+        let p = profile_with(&[("a", 5, 5), ("b", 50, 50), ("c", 1, 1)]);
+        let v = p.sorted_by_exclusive();
+        assert_eq!(v[0].0, "b");
+        assert_eq!(v[2].0, "c");
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut p = profile_with(&[("a", 5, 10)]);
+        p.merge(&profile_with(&[("a", 7, 14), ("b", 1, 1)]));
+        let a = p.get("a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.exclusive, Duration::from_millis(12));
+        assert_eq!(a.inclusive, Duration::from_millis(24));
+        assert!(p.get("b").is_some());
+    }
+
+    #[test]
+    fn compare_rows_union_and_ratio() {
+        let a = profile_with(&[("xs", 100, 100), ("tally", 10, 10)]);
+        let b = profile_with(&[("xs", 50, 50), ("new_region", 5, 5)]);
+        let cmp = ProfileCompare::new("cpu", a, "mic", b);
+        let rows = cmp.rows();
+        assert_eq!(rows.len(), 3);
+        let xs = rows.iter().find(|r| r.0 == "xs").unwrap();
+        assert!((xs.3 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_regions() {
+        let p = profile_with(&[("calculate_xs", 10, 10)]);
+        let s = p.render("host");
+        assert!(s.contains("calculate_xs"));
+        assert!(s.contains("host"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Batched uniform generation — the stand-in for Intel VSL's
+//! `vsRngUniform` (Algorithm 4, lines 1–8 of the paper).
+//!
+//! The paper's optimized kernel pre-fills an `R[nstreams][N/nstreams]`
+//! array of uniforms, one independent stream per section, with each
+//! section filled by a different OpenMP thread. [`StreamPartition`]
+//! reproduces that structure: it owns `nstreams` Philox streams and hands
+//! out disjoint `(stream, section)` pairs, so a caller can fill the
+//! sections in parallel (e.g. with rayon) and the result is identical to a
+//! serial fill.
+
+use crate::philox::Philox4x32;
+use crate::{u32_to_open_f32, u64_to_open_f64};
+
+/// Fill `out` with uniforms in (0,1) from one Philox stream, starting at
+/// block `counter0`. Returns the first unused block counter.
+///
+/// Words are consumed block-by-block (4 per block), so a fill of length
+/// `n` is position-reproducible: filling `[0..n]` in one call equals
+/// filling `[0..k]` and `[k..n]` in two calls iff `k % 4 == 0`.
+#[allow(clippy::needless_range_loop)] // lane-major unpack of the 8-block kernel
+pub fn fill_uniform_f32(stream: u64, counter0: u128, out: &mut [f32]) -> u128 {
+    let g = Philox4x32::with_counter(stream, 0);
+    let key = [stream as u32, (stream >> 32) as u32];
+    let mut counter = counter0;
+
+    // Fast path: 8 blocks (32 values) at a time, lane-parallel.
+    let mut wide = out.chunks_exact_mut(32);
+    for chunk in &mut wide {
+        let lanes = crate::philox::philox4x32_10_x8(counter, key);
+        counter = counter.wrapping_add(8);
+        for l in 0..8 {
+            for w in 0..4 {
+                chunk[l * 4 + w] = u32_to_open_f32(lanes[w][l]);
+            }
+        }
+    }
+
+    let tail = wide.into_remainder();
+    let mut chunks = tail.chunks_exact_mut(4);
+    for chunk in &mut chunks {
+        let b = g.block_at(counter);
+        counter = counter.wrapping_add(1);
+        for (dst, w) in chunk.iter_mut().zip(b) {
+            *dst = u32_to_open_f32(w);
+        }
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let b = g.block_at(counter);
+        counter = counter.wrapping_add(1);
+        for (dst, w) in rem.iter_mut().zip(b) {
+            *dst = u32_to_open_f32(w);
+        }
+    }
+    counter
+}
+
+/// Double-precision variant: 2 words per value, 2 values per block.
+pub fn fill_uniform_f64(stream: u64, counter0: u128, out: &mut [f64]) -> u128 {
+    let g = Philox4x32::with_counter(stream, 0);
+    let mut counter = counter0;
+    let mut chunks = out.chunks_exact_mut(2);
+    for chunk in &mut chunks {
+        let b = g.block_at(counter);
+        counter = counter.wrapping_add(1);
+        chunk[0] = u64_to_open_f64((b[0] as u64) | ((b[1] as u64) << 32));
+        chunk[1] = u64_to_open_f64((b[2] as u64) | ((b[3] as u64) << 32));
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let b = g.block_at(counter);
+        counter = counter.wrapping_add(1);
+        rem[0] = u64_to_open_f64((b[0] as u64) | ((b[1] as u64) << 32));
+    }
+    counter
+}
+
+/// A buffer-filling plan mirroring VSL's multi-stream usage: `nstreams`
+/// independent streams, each responsible for one contiguous section of the
+/// output buffer.
+#[derive(Debug, Clone)]
+pub struct StreamPartition {
+    base_stream: u64,
+    nstreams: usize,
+    /// Per-stream next block counter (advances across iterations so
+    /// successive fills draw fresh numbers, like VSL stream state).
+    counters: Vec<u128>,
+}
+
+impl StreamPartition {
+    /// Create a partition of `nstreams` streams derived from `base_stream`.
+    pub fn new(base_stream: u64, nstreams: usize) -> Self {
+        assert!(nstreams > 0, "need at least one stream");
+        Self {
+            base_stream,
+            nstreams,
+            counters: vec![0; nstreams],
+        }
+    }
+
+    /// Number of streams.
+    #[inline]
+    pub fn nstreams(&self) -> usize {
+        self.nstreams
+    }
+
+    /// Split `out` into per-stream sections; section `k` belongs to stream
+    /// `k`. Sections differ in length by at most one element-rounding
+    /// chunk.
+    pub fn sections<'a>(&self, out: &'a mut [f32]) -> Vec<(usize, &'a mut [f32])> {
+        let n = out.len();
+        let per = n.div_ceil(self.nstreams);
+        out.chunks_mut(per.max(1)).enumerate().collect()
+    }
+
+    /// Fill the whole buffer serially (reference implementation).
+    pub fn fill_f32(&mut self, out: &mut [f32]) {
+        let per = out.len().div_ceil(self.nstreams).max(1);
+        for (k, section) in out.chunks_mut(per).enumerate() {
+            let stream = self.base_stream.wrapping_add(k as u64);
+            self.counters[k] = fill_uniform_f32(stream, self.counters[k], section);
+        }
+    }
+
+    /// Fill one section (for parallel callers that obtained sections via
+    /// [`StreamPartition::sections`]); returns the new counter, which the
+    /// caller must store back with [`StreamPartition::set_counter`].
+    pub fn fill_section(&self, k: usize, section: &mut [f32]) -> u128 {
+        let stream = self.base_stream.wrapping_add(k as u64);
+        fill_uniform_f32(stream, self.counters[k], section)
+    }
+
+    /// Store a counter returned by [`StreamPartition::fill_section`].
+    pub fn set_counter(&mut self, k: usize, counter: u128) {
+        self.counters[k] = counter;
+    }
+}
+
+/// Convenience: the "batched uniforms" abstraction used by the optimized
+/// Table-I kernels. Owns the buffer and refills it on demand.
+#[derive(Debug, Clone)]
+pub struct BatchUniform {
+    partition: StreamPartition,
+    buf: Vec<f32>,
+}
+
+impl BatchUniform {
+    /// Allocate a batch of `n` uniforms backed by `nstreams` streams.
+    pub fn new(base_stream: u64, nstreams: usize, n: usize) -> Self {
+        Self {
+            partition: StreamPartition::new(base_stream, nstreams),
+            buf: vec![0.0; n],
+        }
+    }
+
+    /// Refill the buffer with fresh uniforms.
+    pub fn refill(&mut self) {
+        let mut buf = std::mem::take(&mut self.buf);
+        self.partition.fill_f32(&mut buf);
+        self.buf = buf;
+    }
+
+    /// Current buffer contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic() {
+        let mut a = vec![0.0f32; 1003];
+        let mut b = vec![0.0f32; 1003];
+        fill_uniform_f32(5, 0, &mut a);
+        fill_uniform_f32(5, 0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_respects_counter_offset() {
+        let mut whole = vec![0.0f32; 64];
+        let end = fill_uniform_f32(5, 0, &mut whole);
+        assert_eq!(end, 16); // 64 values / 4 per block
+
+        let mut lo = vec![0.0f32; 32];
+        let mid = fill_uniform_f32(5, 0, &mut lo);
+        let mut hi = vec![0.0f32; 32];
+        fill_uniform_f32(5, mid, &mut hi);
+        assert_eq!(&whole[..32], &lo[..]);
+        assert_eq!(&whole[32..], &hi[..]);
+    }
+
+    #[test]
+    fn fill_f64_deterministic_and_open() {
+        let mut a = vec![0.0f64; 513];
+        fill_uniform_f64(9, 0, &mut a);
+        assert!(a.iter().all(|&u| u > 0.0 && u < 1.0));
+        let mut b = vec![0.0f64; 513];
+        fill_uniform_f64(9, 0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_serial_matches_sectionwise() {
+        let mut p1 = StreamPartition::new(100, 4);
+        let mut serial = vec![0.0f32; 1000];
+        p1.fill_f32(&mut serial);
+
+        let mut p2 = StreamPartition::new(100, 4);
+        let mut sectionwise = vec![0.0f32; 1000];
+        let mut new_counters = Vec::new();
+        for (k, section) in p2.sections(&mut sectionwise) {
+            new_counters.push((k, p2.fill_section(k, section)));
+        }
+        for (k, c) in new_counters {
+            p2.set_counter(k, c);
+        }
+        assert_eq!(serial, sectionwise);
+    }
+
+    #[test]
+    fn successive_refills_differ() {
+        let mut b = BatchUniform::new(1, 2, 256);
+        b.refill();
+        let first = b.as_slice().to_vec();
+        b.refill();
+        assert_ne!(first, b.as_slice());
+    }
+
+    #[test]
+    fn batch_values_open_interval() {
+        let mut b = BatchUniform::new(77, 8, 4096);
+        b.refill();
+        assert!(b.as_slice().iter().all(|&u| u > 0.0 && u < 1.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime report of the host's vector ISA.
+//!
+//! The benchmark harnesses print this alongside every result so measured
+//! numbers carry their hardware provenance, the way the paper reports
+//! compiler version and `-O3` for each table.
+
+/// Which vector instruction sets the running CPU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdFeatures {
+    /// SSE2 (baseline on x86_64).
+    pub sse2: bool,
+    /// AVX (256-bit float).
+    pub avx: bool,
+    /// AVX2 (256-bit integer + gathers).
+    pub avx2: bool,
+    /// FMA3.
+    pub fma: bool,
+    /// AVX-512 Foundation (512-bit, the modern KNC equivalent).
+    pub avx512f: bool,
+}
+
+impl SimdFeatures {
+    /// Probe the running CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Self {
+                sse2: std::arch::is_x86_feature_detected!("sse2"),
+                avx: std::arch::is_x86_feature_detected!("avx"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                fma: std::arch::is_x86_feature_detected!("fma"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self {
+                sse2: false,
+                avx: false,
+                avx2: false,
+                fma: false,
+                avx512f: false,
+            }
+        }
+    }
+
+    /// Widest native f32 vector, in lanes.
+    pub fn native_f32_lanes(&self) -> usize {
+        if self.avx512f {
+            16
+        } else if self.avx {
+            8
+        } else if self.sse2 {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// Human-readable one-liner for harness headers.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.sse2 {
+            parts.push("sse2");
+        }
+        if self.avx {
+            parts.push("avx");
+        }
+        if self.avx2 {
+            parts.push("avx2");
+        }
+        if self.fma {
+            parts.push("fma");
+        }
+        if self.avx512f {
+            parts.push("avx512f");
+        }
+        if parts.is_empty() {
+            parts.push("scalar");
+        }
+        format!(
+            "simd features: [{}], native f32 width: {} lanes",
+            parts.join(", "),
+            self.native_f32_lanes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_does_not_panic_and_is_consistent() {
+        let f = SimdFeatures::detect();
+        // avx512 implies avx implies sse2 on any real CPU.
+        if f.avx512f {
+            assert!(f.avx);
+        }
+        if f.avx2 {
+            assert!(f.avx);
+        }
+        if f.avx {
+            assert!(f.sse2);
+        }
+        let lanes = f.native_f32_lanes();
+        assert!(lanes == 1 || lanes == 4 || lanes == 8 || lanes == 16);
+    }
+
+    #[test]
+    fn summary_mentions_width() {
+        let f = SimdFeatures::detect();
+        assert!(f.summary().contains("lanes"));
+    }
+}

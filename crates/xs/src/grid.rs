@@ -1,0 +1,209 @@
+//! Energy-grid searches: per-nuclide binary search and the unionized grid.
+//!
+//! The unionized energy grid (Leppänen 2009, the paper's ref. \[13\]) is the
+//! key algorithmic optimization both measured codes share: instead of one
+//! binary search per nuclide per lookup (`O(N_nuc · log n_grid)`), a single
+//! binary search on the point-wise union of all nuclide grids yields, via a
+//! precomputed per-nuclide index map, each nuclide's bracketing interval in
+//! O(1). For 320-nuclide fuel this removes ~320 binary searches per
+//! lookup — and, critically for the paper, it makes the inner loop over
+//! nuclides *data-independent*, which is what lets `#pragma simd`
+//! (here: [`crate::kernel`]'s gather-based kernels) vectorize it.
+
+use crate::nuclide::Nuclide;
+
+/// Index `i` of the interval `[a[i], a[i+1])` containing `x`, clamped to
+/// `[0, a.len()-2]`. `a` must be sorted ascending with length ≥ 2.
+#[inline]
+pub fn lower_bound_index(a: &[f64], x: f64) -> usize {
+    debug_assert!(a.len() >= 2);
+    // partition_point returns the count of elements <= x ... we want the
+    // last i with a[i] <= x.
+    let n = a.partition_point(|&e| e <= x);
+    n.saturating_sub(1).min(a.len() - 2)
+}
+
+/// The unionized energy grid with per-nuclide index maps.
+///
+/// `index_map` is stored *union-point-major* (`[u * n_nuclides + n]`), so
+/// the vectorized kernels can load 8 consecutive nuclides' indices with
+/// one contiguous vector load — part of the AoS→SoA story.
+#[derive(Debug, Clone)]
+pub struct UnionGrid {
+    energy: Vec<f64>,
+    index_map: Vec<u32>,
+    n_nuclides: usize,
+}
+
+impl UnionGrid {
+    /// Build the union of all nuclide grids and the index maps.
+    pub fn build(nuclides: &[Nuclide]) -> Self {
+        assert!(!nuclides.is_empty());
+        // Union of all energy points.
+        let total: usize = nuclides.iter().map(|n| n.energy.len()).sum();
+        let mut energy = Vec::with_capacity(total);
+        for n in nuclides {
+            energy.extend_from_slice(&n.energy);
+        }
+        energy.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        energy.dedup();
+
+        let n_nuclides = nuclides.len();
+        let mut index_map = vec![0u32; energy.len() * n_nuclides];
+        // March a cursor through each nuclide's grid: O(total) overall.
+        let mut cursors = vec![0usize; n_nuclides];
+        for (u, &e) in energy.iter().enumerate() {
+            for (k, nuc) in nuclides.iter().enumerate() {
+                let g = &nuc.energy;
+                let mut c = cursors[k];
+                while c + 1 < g.len() - 1 && g[c + 1] <= e {
+                    c += 1;
+                }
+                cursors[k] = c;
+                index_map[u * n_nuclides + k] = c as u32;
+            }
+        }
+        Self {
+            energy,
+            index_map,
+            n_nuclides,
+        }
+    }
+
+    /// Number of union grid points.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.energy.len()
+    }
+
+    /// Number of nuclides covered by the index map.
+    #[inline]
+    pub fn n_nuclides(&self) -> usize {
+        self.n_nuclides
+    }
+
+    /// Union energies.
+    #[inline]
+    pub fn energies(&self) -> &[f64] {
+        &self.energy
+    }
+
+    /// One binary search on the union grid.
+    #[inline]
+    pub fn find(&self, e: f64) -> usize {
+        lower_bound_index(&self.energy, e)
+    }
+
+    /// Index into nuclide `k`'s grid for union interval `u`.
+    #[inline]
+    pub fn nuclide_index(&self, u: usize, k: usize) -> u32 {
+        self.index_map[u * self.n_nuclides + k]
+    }
+
+    /// The contiguous row of per-nuclide indices for union interval `u`
+    /// (length `n_nuclides`); this is the vector-loadable view.
+    #[inline]
+    pub fn index_row(&self, u: usize) -> &[u32] {
+        &self.index_map[u * self.n_nuclides..(u + 1) * self.n_nuclides]
+    }
+
+    /// In-memory size of the grid structures in bytes (the paper's
+    /// "energy grid size transferred" row in Table II).
+    pub fn data_bytes(&self) -> usize {
+        self.energy.len() * std::mem::size_of::<f64>()
+            + self.index_map.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nuclide::NuclideSpec;
+
+    fn small_set() -> Vec<Nuclide> {
+        vec![
+            Nuclide::synthesize(&NuclideSpec::heavy("A", 230.0, false, 11)),
+            Nuclide::synthesize(&NuclideSpec::heavy("B", 235.0, true, 22)),
+            Nuclide::synthesize(&NuclideSpec::light("H", 1.0, 20.0, 0.3, 33)),
+        ]
+    }
+
+    #[test]
+    fn lower_bound_basics() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(lower_bound_index(&a, -5.0), 0);
+        assert_eq!(lower_bound_index(&a, 0.0), 0);
+        assert_eq!(lower_bound_index(&a, 0.5), 0);
+        assert_eq!(lower_bound_index(&a, 1.0), 1);
+        assert_eq!(lower_bound_index(&a, 2.999), 2);
+        assert_eq!(lower_bound_index(&a, 3.0), 2); // clamped to last interval
+        assert_eq!(lower_bound_index(&a, 99.0), 2);
+    }
+
+    #[test]
+    fn union_contains_all_nuclide_points() {
+        let nucs = small_set();
+        let g = UnionGrid::build(&nucs);
+        for n in &nucs {
+            for &e in &n.energy {
+                assert!(g.energies().binary_search_by(|p| p.partial_cmp(&e).unwrap()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn index_map_matches_direct_binary_search() {
+        let nucs = small_set();
+        let g = UnionGrid::build(&nucs);
+        // Probe energies strictly inside union intervals.
+        let es = g.energies();
+        for u in (0..es.len() - 1).step_by(97) {
+            let e = 0.5 * (es[u] + es[u + 1]);
+            let u_found = g.find(e);
+            assert_eq!(u_found, u);
+            for (k, n) in nucs.iter().enumerate() {
+                let direct = lower_bound_index(&n.energy, e);
+                let mapped = g.nuclide_index(u, k) as usize;
+                assert_eq!(direct, mapped, "u={u} k={k} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolated_xs_identical_via_both_paths() {
+        let nucs = small_set();
+        let g = UnionGrid::build(&nucs);
+        let mut e = 1.07e-9;
+        while e < 19.0 {
+            let u = g.find(e);
+            for (k, n) in nucs.iter().enumerate() {
+                let via_union = n.micro_at_index(g.nuclide_index(u, k) as usize, e);
+                let via_search = n.micro_at(e);
+                assert_eq!(via_union, via_search, "e={e} k={k}");
+            }
+            e *= 3.7;
+        }
+    }
+
+    #[test]
+    fn index_row_is_contiguous_per_union_point() {
+        let nucs = small_set();
+        let g = UnionGrid::build(&nucs);
+        let u = g.n_points() / 2;
+        let row = g.index_row(u);
+        assert_eq!(row.len(), nucs.len());
+        for (k, &i) in row.iter().enumerate() {
+            assert_eq!(i, g.nuclide_index(u, k));
+        }
+    }
+
+    #[test]
+    fn data_bytes_scales_with_points_and_nuclides() {
+        let nucs = small_set();
+        let g = UnionGrid::build(&nucs);
+        assert_eq!(
+            g.data_bytes(),
+            g.n_points() * 8 + g.n_points() * nucs.len() * 4
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! Macroscopic cross-section kernels — the paper's bottleneck computation.
+//!
+//! Variants, in the order the paper develops them:
+//!
+//! * [`macro_xs_direct`] — one binary search per nuclide (pre-Leppänen
+//!   baseline for the grid ablation).
+//! * [`macro_xs_union`] — scalar lookup with the unionized grid; this is
+//!   `calculate_xs()` in the history-based code.
+//! * [`macro_xs_union_aos`] / [`macro_xs_union_soa`] — the same lookup over
+//!   the flattened AoS / SoA layouts (layout ablation).
+//! * [`macro_xs_simd`] — the banked kernel's heart: the inner loop over
+//!   nuclides vectorized 8-wide with gathers (Algorithm 2 lines 11–14).
+//! * `batch_macro_xs_*` — whole-bank drivers for the Fig. 2
+//!   micro-benchmark, including the outer-loop-vectorized variant the
+//!   paper found *slower* (§III-A1).
+
+use mcs_simd::F64x8;
+
+use crate::grid::{lower_bound_index, UnionGrid};
+use crate::layout::{AosLibrary, SoaLibrary};
+use crate::library::NuclideLibrary;
+use crate::material::Material;
+
+/// Macroscopic cross sections (1/cm) of a material at one energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MacroXs {
+    /// Total Σ_t.
+    pub total: f64,
+    /// Elastic scattering Σ_s.
+    pub elastic: f64,
+    /// Inelastic scattering Σ_inl.
+    pub inelastic: f64,
+    /// Absorption Σ_a (capture + fission).
+    pub absorption: f64,
+    /// Fission Σ_f.
+    pub fission: f64,
+    /// Fission-neutron production νΣ_f.
+    pub nu_fission: f64,
+}
+
+impl MacroXs {
+    /// Accumulate `density * σ` (and `density·ν · σ_f` into `nu_fission`).
+    #[inline(always)]
+    pub fn accumulate(&mut self, density: f64, density_nu: f64, micro: crate::nuclide::MicroXs) {
+        self.total += density * micro.total;
+        self.elastic += density * micro.elastic;
+        self.inelastic += density * micro.inelastic;
+        self.absorption += density * micro.absorption;
+        self.fission += density * micro.fission;
+        self.nu_fission += density_nu * micro.fission;
+    }
+
+    /// Max relative difference across components vs `other` (for tests).
+    pub fn max_rel_diff(&self, other: &MacroXs) -> f64 {
+        let d = |a: f64, b: f64| {
+            let denom = a.abs().max(b.abs()).max(1e-300);
+            (a - b).abs() / denom
+        };
+        d(self.total, other.total)
+            .max(d(self.elastic, other.elastic))
+            .max(d(self.inelastic, other.inelastic))
+            .max(d(self.absorption, other.absorption))
+            .max(d(self.fission, other.fission))
+            .max(d(self.nu_fission, other.nu_fission))
+    }
+}
+
+/// Scalar lookup, one binary search per nuclide (no union grid).
+pub fn macro_xs_direct(lib: &NuclideLibrary, mat: &Material, e: f64) -> MacroXs {
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let nuc = lib.nuclide(k);
+        acc.accumulate(density, mat.densities_nu[j], nuc.micro_at(e));
+    }
+    acc
+}
+
+/// Scalar lookup with the unionized grid (`calculate_xs()`).
+pub fn macro_xs_union(lib: &NuclideLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
+    let u = grid.find(e);
+    let row = grid.index_row(u);
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let nuc = lib.nuclide(k);
+        acc.accumulate(
+            density,
+            mat.densities_nu[j],
+            nuc.micro_at_index(row[k as usize] as usize, e),
+        );
+    }
+    acc
+}
+
+#[inline(always)]
+fn lerp_interval(e: f64, e0: f64, e1: f64) -> f64 {
+    ((e - e0) / (e1 - e0)).clamp(0.0, 1.0)
+}
+
+/// Scalar lookup over the AoS layout.
+pub fn macro_xs_union_aos(aos: &AosLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
+    let u = grid.find(e);
+    let row = grid.index_row(u);
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let base = aos.offsets[k as usize] as usize;
+        let i = base + row[k as usize] as usize;
+        let p0 = &aos.points[i];
+        let p1 = &aos.points[i + 1];
+        let f = lerp_interval(e, p0.energy, p1.energy);
+        let fission = p0.fission + f * (p1.fission - p0.fission);
+        acc.total += density * (p0.total + f * (p1.total - p0.total));
+        acc.elastic += density * (p0.elastic + f * (p1.elastic - p0.elastic));
+        acc.inelastic += density * (p0.inelastic + f * (p1.inelastic - p0.inelastic));
+        acc.absorption += density * (p0.absorption + f * (p1.absorption - p0.absorption));
+        acc.fission += density * fission;
+        acc.nu_fission += mat.densities_nu[j] * fission;
+    }
+    acc
+}
+
+/// Scalar lookup over the SoA layout.
+pub fn macro_xs_union_soa(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
+    let u = grid.find(e);
+    let row = grid.index_row(u);
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let i = soa.offsets[k as usize] as usize + row[k as usize] as usize;
+        let f = lerp_interval(e, soa.energy[i], soa.energy[i + 1]);
+        let lerp = |a: &[f64]| a[i] + f * (a[i + 1] - a[i]);
+        let fission = lerp(soa.fission.as_slice());
+        acc.total += density * lerp(soa.total.as_slice());
+        acc.elastic += density * lerp(soa.elastic.as_slice());
+        acc.inelastic += density * lerp(soa.inelastic.as_slice());
+        acc.absorption += density * lerp(soa.absorption.as_slice());
+        acc.fission += density * fission;
+        acc.nu_fission += mat.densities_nu[j] * fission;
+    }
+    acc
+}
+
+/// Vectorized lookup: the inner loop over nuclides processed 8 at a time
+/// with gathers from the SoA arrays (the paper's `#pragma simd` on
+/// Algorithm 2 line 11, the choice that beat outer-loop vectorization).
+#[allow(clippy::needless_range_loop)] // explicit lane indices mirror the intrinsic style
+pub fn macro_xs_simd(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
+    let u = grid.find(e);
+    let row = grid.index_row(u);
+    let n = mat.len();
+
+    let ev = F64x8::splat(e);
+    let mut acc_t = F64x8::zero();
+    let mut acc_s = F64x8::zero();
+    let mut acc_i = F64x8::zero();
+    let mut acc_a = F64x8::zero();
+    let mut acc_f = F64x8::zero();
+    let mut acc_nf = F64x8::zero();
+
+    let energy = soa.energy.as_slice();
+    let total = soa.total.as_slice();
+    let elastic = soa.elastic.as_slice();
+    let inelastic = soa.inelastic.as_slice();
+    let absorption = soa.absorption.as_slice();
+    let fission = soa.fission.as_slice();
+
+    let full = n / 8 * 8;
+    let mut j = 0;
+    while j < full {
+        // Per-lane flat indices: offsets[nuclide] + row[nuclide].
+        let mut idx = [0u32; 8];
+        for l in 0..8 {
+            let k = mat.nuclides[j + l] as usize;
+            idx[l] = soa.offsets[k] + row[k];
+        }
+        let mut idx1 = [0u32; 8];
+        for l in 0..8 {
+            idx1[l] = idx[l] + 1;
+        }
+
+        let e0 = F64x8::gather(energy, idx);
+        let e1 = F64x8::gather(energy, idx1);
+        let f = ((ev - e0) / (e1 - e0))
+            .max(F64x8::zero())
+            .min(F64x8::splat(1.0));
+
+        let dens = F64x8::from_slice(&mat.densities[j..]);
+
+        let t0 = F64x8::gather(total, idx);
+        let t1 = F64x8::gather(total, idx1);
+        acc_t += dens * (t0 + f * (t1 - t0));
+
+        let s0 = F64x8::gather(elastic, idx);
+        let s1 = F64x8::gather(elastic, idx1);
+        acc_s += dens * (s0 + f * (s1 - s0));
+
+        let i0 = F64x8::gather(inelastic, idx);
+        let i1 = F64x8::gather(inelastic, idx1);
+        acc_i += dens * (i0 + f * (i1 - i0));
+
+        let a0 = F64x8::gather(absorption, idx);
+        let a1 = F64x8::gather(absorption, idx1);
+        acc_a += dens * (a0 + f * (a1 - a0));
+
+        let f0 = F64x8::gather(fission, idx);
+        let f1 = F64x8::gather(fission, idx1);
+        let sig_f = f0 + f * (f1 - f0);
+        acc_f += dens * sig_f;
+        let dens_nu = F64x8::from_slice(&mat.densities_nu[j..]);
+        acc_nf += dens_nu * sig_f;
+
+        j += 8;
+    }
+
+    let mut acc = MacroXs {
+        total: acc_t.reduce_sum(),
+        elastic: acc_s.reduce_sum(),
+        inelastic: acc_i.reduce_sum(),
+        absorption: acc_a.reduce_sum(),
+        fission: acc_f.reduce_sum(),
+        nu_fission: acc_nf.reduce_sum(),
+    };
+
+    // Scalar remainder.
+    for jj in full..n {
+        let k = mat.nuclides[jj] as usize;
+        let i = soa.offsets[k] as usize + row[k] as usize;
+        let f = lerp_interval(e, energy[i], energy[i + 1]);
+        let d = mat.densities[jj];
+        let sig_f = fission[i] + f * (fission[i + 1] - fission[i]);
+        acc.total += d * (total[i] + f * (total[i + 1] - total[i]));
+        acc.elastic += d * (elastic[i] + f * (elastic[i + 1] - elastic[i]));
+        acc.inelastic += d * (inelastic[i] + f * (inelastic[i + 1] - inelastic[i]));
+        acc.absorption += d * (absorption[i] + f * (absorption[i + 1] - absorption[i]));
+        acc.fission += d * sig_f;
+        acc.nu_fission += mat.densities_nu[jj] * sig_f;
+    }
+    acc
+}
+
+/// Whole-bank driver, scalar (the history-style reference for Fig. 2).
+pub fn batch_macro_xs_scalar(
+    lib: &NuclideLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    energies: &[f64],
+    out: &mut [MacroXs],
+) {
+    assert_eq!(energies.len(), out.len());
+    for (e, o) in energies.iter().zip(out.iter_mut()) {
+        *o = macro_xs_union(lib, grid, mat, *e);
+    }
+}
+
+/// Whole-bank driver with the inner (nuclide) loop vectorized — the
+/// banked-lookup configuration the paper measures in Fig. 2.
+pub fn batch_macro_xs_simd(
+    soa: &SoaLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    energies: &[f64],
+    out: &mut [MacroXs],
+) {
+    assert_eq!(energies.len(), out.len());
+    for (e, o) in energies.iter().zip(out.iter_mut()) {
+        *o = macro_xs_simd(soa, grid, mat, *e);
+    }
+}
+
+/// Whole-bank driver vectorized across the *outer* (particle) loop:
+/// 8 particles per lane, inner loop over nuclides scalar per step. The
+/// paper notes this performs worse because the inner trip counts and
+/// table addresses diverge across lanes; it is kept for the ablation.
+#[allow(clippy::needless_range_loop)] // explicit lane indices mirror the intrinsic style
+pub fn batch_macro_xs_outer_simd(
+    soa: &SoaLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    energies: &[f64],
+    out: &mut [MacroXs],
+) {
+    assert_eq!(energies.len(), out.len());
+    let n = energies.len();
+    let n_nuc = grid.n_nuclides();
+    let full = n / 8 * 8;
+
+    let energy = soa.energy.as_slice();
+    let total = soa.total.as_slice();
+    let elastic = soa.elastic.as_slice();
+    let inelastic = soa.inelastic.as_slice();
+    let absorption = soa.absorption.as_slice();
+    let fission = soa.fission.as_slice();
+
+    let mut p = 0;
+    while p < full {
+        // Per-lane union interval (scalar binary searches — lane-divergent
+        // work that outer vectorization cannot hide).
+        let mut u = [0usize; 8];
+        for l in 0..8 {
+            u[l] = grid.find(energies[p + l]);
+        }
+        let ev = F64x8::from_slice(&energies[p..]);
+        let mut acc_t = F64x8::zero();
+        let mut acc_s = F64x8::zero();
+        let mut acc_i = F64x8::zero();
+        let mut acc_a = F64x8::zero();
+        let mut acc_f = F64x8::zero();
+        let mut acc_nf = F64x8::zero();
+
+        for (j, (k, density)) in mat.iter().enumerate() {
+            let k = k as usize;
+            let off = soa.offsets[k];
+            let mut idx = [0u32; 8];
+            for l in 0..8 {
+                idx[l] = off + grid.index_row(u[l])[k];
+            }
+            let mut idx1 = [0u32; 8];
+            for l in 0..8 {
+                idx1[l] = idx[l] + 1;
+            }
+            let _ = n_nuc;
+
+            let e0 = F64x8::gather(energy, idx);
+            let e1 = F64x8::gather(energy, idx1);
+            let f = ((ev - e0) / (e1 - e0))
+                .max(F64x8::zero())
+                .min(F64x8::splat(1.0));
+            let dv = F64x8::splat(density);
+
+            let t0 = F64x8::gather(total, idx);
+            let t1 = F64x8::gather(total, idx1);
+            acc_t += dv * (t0 + f * (t1 - t0));
+            let s0 = F64x8::gather(elastic, idx);
+            let s1 = F64x8::gather(elastic, idx1);
+            acc_s += dv * (s0 + f * (s1 - s0));
+            let i0 = F64x8::gather(inelastic, idx);
+            let i1 = F64x8::gather(inelastic, idx1);
+            acc_i += dv * (i0 + f * (i1 - i0));
+            let a0 = F64x8::gather(absorption, idx);
+            let a1 = F64x8::gather(absorption, idx1);
+            acc_a += dv * (a0 + f * (a1 - a0));
+            let f0 = F64x8::gather(fission, idx);
+            let f1 = F64x8::gather(fission, idx1);
+            let sig_f = f0 + f * (f1 - f0);
+            acc_f += dv * sig_f;
+            acc_nf += F64x8::splat(mat.densities_nu[j]) * sig_f;
+        }
+
+        for l in 0..8 {
+            out[p + l] = MacroXs {
+                total: acc_t[l],
+                elastic: acc_s[l],
+                inelastic: acc_i[l],
+                absorption: acc_a[l],
+                fission: acc_f[l],
+                nu_fission: acc_nf[l],
+            };
+        }
+        p += 8;
+    }
+    for pp in full..n {
+        out[pp] = macro_xs_union_soa(soa, grid, mat, energies[pp]);
+    }
+}
+
+/// Convenience used by tests: direct binary-search micro lookup for one
+/// nuclide via the flat SoA arrays (sanity cross-check of offsets).
+pub fn soa_micro_total(soa: &SoaLibrary, k: usize, e: f64) -> f64 {
+    let lo = soa.offsets[k] as usize;
+    let hi = soa.offsets[k + 1] as usize;
+    let seg = &soa.energy.as_slice()[lo..hi];
+    let i = lo + lower_bound_index(seg, e);
+    let f = lerp_interval(e, soa.energy[i], soa.energy[i + 1]);
+    soa.total[i] + f * (soa.total[i + 1] - soa.total[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{LibrarySpec, NuclideLibrary};
+
+    struct Fixture {
+        lib: NuclideLibrary,
+        grid: UnionGrid,
+        soa: SoaLibrary,
+        aos: AosLibrary,
+        fuel: Material,
+        water: Material,
+    }
+
+    fn fixture() -> Fixture {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        let grid = UnionGrid::build(&lib.nuclides);
+        let soa = SoaLibrary::build(&lib);
+        let aos = AosLibrary::build(&lib);
+        let fuel = Material::hm_fuel(&lib);
+        let water = Material::hm_water(&lib);
+        Fixture {
+            lib,
+            grid,
+            soa,
+            aos,
+            fuel,
+            water,
+        }
+    }
+
+    fn probe_energies() -> Vec<f64> {
+        let mut es = Vec::new();
+        let mut e = 2.3e-11;
+        while e < 19.0 {
+            es.push(e);
+            e *= 1.9;
+        }
+        es
+    }
+
+    #[test]
+    fn union_equals_direct() {
+        let fx = fixture();
+        for &e in &probe_energies() {
+            let a = macro_xs_direct(&fx.lib, &fx.fuel, e);
+            let b = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
+            assert!(a.max_rel_diff(&b) < 1e-14, "e={e}");
+        }
+    }
+
+    #[test]
+    fn layouts_agree_with_reference() {
+        let fx = fixture();
+        for &e in &probe_energies() {
+            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
+            let aos = macro_xs_union_aos(&fx.aos, &fx.grid, &fx.fuel, e);
+            let soa = macro_xs_union_soa(&fx.soa, &fx.grid, &fx.fuel, e);
+            assert!(r.max_rel_diff(&aos) < 1e-14);
+            assert!(r.max_rel_diff(&soa) < 1e-14);
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_within_reassociation() {
+        let fx = fixture();
+        for &e in &probe_energies() {
+            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
+            let v = macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, e);
+            assert!(
+                r.max_rel_diff(&v) < 1e-12,
+                "e={e} scalar={r:?} simd={v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_handles_materials_smaller_than_vector_width() {
+        let fx = fixture();
+        // Water has 3 nuclides, all remainder.
+        for &e in &probe_energies() {
+            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.water, e);
+            let v = macro_xs_simd(&fx.soa, &fx.grid, &fx.water, e);
+            assert!(r.max_rel_diff(&v) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_drivers_agree() {
+        let fx = fixture();
+        let es = probe_energies();
+        let mut a = vec![MacroXs::default(); es.len()];
+        let mut b = vec![MacroXs::default(); es.len()];
+        let mut c = vec![MacroXs::default(); es.len()];
+        batch_macro_xs_scalar(&fx.lib, &fx.grid, &fx.fuel, &es, &mut a);
+        batch_macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, &es, &mut b);
+        batch_macro_xs_outer_simd(&fx.soa, &fx.grid, &fx.fuel, &es, &mut c);
+        for i in 0..es.len() {
+            assert!(a[i].max_rel_diff(&b[i]) < 1e-12, "i={i}");
+            assert!(a[i].max_rel_diff(&c[i]) < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn macro_xs_is_positive_and_total_consistent() {
+        let fx = fixture();
+        for &e in &probe_energies() {
+            let m = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
+            assert!(m.total > 0.0);
+            assert!(m.fission >= 0.0);
+            assert!(m.absorption >= m.fission - 1e-15);
+            let sum = m.elastic + m.inelastic + m.absorption;
+            assert!((m.total - sum).abs() < 1e-9 * m.total);
+        }
+    }
+
+    #[test]
+    fn soa_micro_total_matches_nuclide() {
+        let fx = fixture();
+        for k in 0..fx.lib.len() {
+            let e = 1.3e-4;
+            let via_soa = soa_micro_total(&fx.soa, k, e);
+            let via_nuc = fx.lib.nuclide(k as u32).micro_at(e).total;
+            assert!((via_soa - via_nuc).abs() < 1e-12 * via_nuc.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Nuclide libraries: the H.M. Small and H.M. Large fuel inventories.
+//!
+//! The Hoogenboom–Martin performance benchmark (the paper's ref. \[11\])
+//! defines fuel as a mix of actinides, minor actinides, and fission
+//! products: 34 nuclides in the original model ("H.M. Small"), 320 in the
+//! higher-fidelity variant ("H.M. Large"). The specific isotopic identities
+//! matter less for performance than the *count* and the data volume per
+//! nuclide, so the library synthesizes: a handful of named major actinides,
+//! then filler minor actinides / fission products with masses and ladders
+//! drawn from seeded distributions.
+
+use rayon::prelude::*;
+
+use crate::nuclide::{Nuclide, NuclideSpec};
+
+/// How large a library to build.
+#[derive(Debug, Clone)]
+pub struct LibrarySpec {
+    /// Number of fuel nuclides (34 = H.M. Small, 320 = H.M. Large).
+    pub n_fuel_nuclides: usize,
+    /// Grid density multiplier: 1.0 ⇒ a few hundred points per nuclide
+    /// (test scale); raise for bench-scale data volumes.
+    pub grid_density: f64,
+    /// Fuel temperature (K) for Doppler-broadened fuel-nuclide data;
+    /// `0.0` = unbroadened (the calibrated baseline).
+    pub fuel_temperature_k: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl LibrarySpec {
+    /// The 34-nuclide "H.M. Small" model.
+    pub fn hm_small() -> Self {
+        Self {
+            n_fuel_nuclides: 34,
+            grid_density: 1.0,
+            fuel_temperature_k: 0.0,
+            seed: 0x484d_5f53, // "HM_S"
+        }
+    }
+
+    /// The 320-nuclide "H.M. Large" model.
+    pub fn hm_large() -> Self {
+        Self {
+            n_fuel_nuclides: 320,
+            grid_density: 1.0,
+            fuel_temperature_k: 0.0,
+            seed: 0x484d_5f4c, // "HM_L"
+        }
+    }
+
+    /// A tiny library for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_fuel_nuclides: 4,
+            grid_density: 0.5,
+            fuel_temperature_k: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Scale the per-nuclide grid point count.
+    pub fn with_grid_density(mut self, d: f64) -> Self {
+        self.grid_density = d;
+        self
+    }
+
+    /// Doppler-broaden the fuel nuclides to `t_k` kelvin.
+    pub fn with_fuel_temperature(mut self, t_k: f64) -> Self {
+        self.fuel_temperature_k = t_k;
+        self
+    }
+}
+
+/// Indices of the well-known nuclides inside a built library.
+#[derive(Debug, Clone, Copy)]
+pub struct KnownNuclides {
+    /// U-235 (fissile).
+    pub u235: u32,
+    /// U-238 (fertile).
+    pub u238: u32,
+    /// H-1 (water).
+    pub h1: u32,
+    /// O-16 (water + oxide fuel).
+    pub o16: u32,
+    /// B-10 (soluble absorber).
+    pub b10: u32,
+    /// Natural Zr (cladding).
+    pub zr: u32,
+}
+
+/// A built nuclide library.
+#[derive(Debug, Clone)]
+pub struct NuclideLibrary {
+    /// All nuclides; fuel nuclides first, then the fixed moderator /
+    /// structural set.
+    pub nuclides: Vec<Nuclide>,
+    /// Number of fuel nuclides (prefix of `nuclides`).
+    pub n_fuel: usize,
+    /// Indices of well-known nuclides.
+    pub known: KnownNuclides,
+}
+
+impl NuclideLibrary {
+    /// Build the library for a spec. Nuclide synthesis is parallel and
+    /// deterministic in the spec.
+    pub fn build(spec: &LibrarySpec) -> Self {
+        let d = spec.grid_density;
+        let scale = |n: usize| ((n as f64 * d).round() as usize).max(8);
+
+        let mut specs: Vec<NuclideSpec> = Vec::new();
+
+        // Major actinides first (always present, fissile U-235 / Pu-239).
+        let heavy = |name: &str, awr: f64, fissile: bool, seed: u64| {
+            let mut s = NuclideSpec::heavy(name, awr, fissile, seed);
+            s.n_base_grid = scale(s.n_base_grid);
+            s.temperature_k = spec.fuel_temperature_k;
+            s
+        };
+        specs.push(heavy("U235", 233.02, true, spec.seed ^ 92_235));
+        specs.push(heavy("U238", 236.01, false, spec.seed ^ 92_238));
+        specs.push(heavy("Pu239", 236.99, true, spec.seed ^ 94_239));
+        specs.push(heavy("Pu240", 237.98, false, spec.seed ^ 94_240));
+
+        // Filler: minor actinides and fission products up to n_fuel.
+        let n_filler = spec.n_fuel_nuclides.saturating_sub(specs.len());
+        for i in 0..n_filler {
+            let seed = spec.seed ^ (0x1000 + i as u64);
+            // Alternate heavy (actinide-like) and mid-mass (fission
+            // product) character.
+            let mut s = if i % 3 == 0 {
+                NuclideSpec::heavy(&format!("MA{i:03}"), 230.0 + (i % 20) as f64, false, seed)
+            } else {
+                let mut fp = NuclideSpec::structural(
+                    &format!("FP{i:03}"),
+                    80.0 + (i % 80) as f64,
+                    seed,
+                );
+                fp.n_resonances = 20;
+                fp.thermal_capture = 2.0 + (i % 20) as f64;
+                // Fission products: moderate resonance absorbers.
+                fp.resonance_strength = 0.2;
+                fp
+            };
+            s.n_base_grid = scale(s.n_base_grid);
+            s.temperature_k = spec.fuel_temperature_k;
+            specs.push(s);
+        }
+        let n_fuel = specs.len();
+
+        // Fixed moderator/structural set, after the fuel prefix.
+        let light = |name: &str, awr: f64, pot: f64, cap: f64, seed: u64| {
+            let mut s = NuclideSpec::light(name, awr, pot, cap, seed);
+            s.n_base_grid = scale(s.n_base_grid);
+            s
+        };
+        let h1 = specs.len() as u32;
+        specs.push(light("H1", 0.9992, 20.4, 0.332, spec.seed ^ 1_001));
+        let o16 = specs.len() as u32;
+        specs.push(light("O16", 15.858, 3.9, 0.00019, spec.seed ^ 8_016));
+        let b10 = specs.len() as u32;
+        specs.push(light("B10", 9.927, 2.1, 3_837.0, spec.seed ^ 5_010));
+        let zr = specs.len() as u32;
+        {
+            let mut s = NuclideSpec::structural("ZrNat", 90.44, spec.seed ^ 40_000);
+            s.n_base_grid = scale(s.n_base_grid);
+            specs.push(s);
+        }
+
+        let nuclides: Vec<Nuclide> = specs.par_iter().map(Nuclide::synthesize).collect();
+
+        Self {
+            nuclides,
+            n_fuel,
+            known: KnownNuclides {
+                u235: 0,
+                u238: 1,
+                h1,
+                o16,
+                b10,
+                zr,
+            },
+        }
+    }
+
+    /// Total number of nuclides.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nuclides.len()
+    }
+
+    /// True if empty (never, for a built library).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nuclides.is_empty()
+    }
+
+    /// A nuclide by index.
+    #[inline]
+    pub fn nuclide(&self, i: u32) -> &Nuclide {
+        &self.nuclides[i as usize]
+    }
+
+    /// Sum of all pointwise data sizes in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.nuclides.iter().map(|n| n.data_bytes()).sum()
+    }
+
+    /// Total grid points across nuclides.
+    pub fn total_points(&self) -> usize {
+        self.nuclides.iter().map(|n| n.n_points()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hm_small_has_34_fuel_nuclides() {
+        let lib = NuclideLibrary::build(&LibrarySpec::hm_small());
+        assert_eq!(lib.n_fuel, 34);
+        assert!(lib.len() > 34); // plus moderator/structural
+    }
+
+    #[test]
+    fn tiny_library_builds_fast_and_known_indices_resolve() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        assert_eq!(lib.nuclide(lib.known.u235).name, "U235");
+        assert_eq!(lib.nuclide(lib.known.h1).name, "H1");
+        assert_eq!(lib.nuclide(lib.known.zr).name, "ZrNat");
+        assert!(lib.nuclide(lib.known.u235).fissile());
+        assert!(!lib.nuclide(lib.known.u238).fissile());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = NuclideLibrary::build(&LibrarySpec::tiny());
+        let b = NuclideLibrary::build(&LibrarySpec::tiny());
+        for (x, y) in a.nuclides.iter().zip(&b.nuclides) {
+            assert_eq!(x.total, y.total);
+        }
+    }
+
+    #[test]
+    fn grid_density_scales_points() {
+        let lo = NuclideLibrary::build(&LibrarySpec::tiny().with_grid_density(0.5));
+        let hi = NuclideLibrary::build(&LibrarySpec::tiny().with_grid_density(2.0));
+        assert!(hi.total_points() > lo.total_points());
+    }
+
+    #[test]
+    fn hot_fuel_library_is_broadened() {
+        let cold = NuclideLibrary::build(&LibrarySpec::tiny());
+        let hot = NuclideLibrary::build(&LibrarySpec::tiny().with_fuel_temperature(1800.0));
+        // Fuel nuclide peaks drop...
+        let r = *cold.nuclide(1).resonances.last().unwrap();
+        let p_cold = cold.nuclide(1).micro_at(r.e0).absorption;
+        let p_hot = hot.nuclide(1).micro_at(r.e0).absorption;
+        assert!(p_hot < p_cold, "{p_hot} !< {p_cold}");
+        // ...while the (cold) moderator nuclides are untouched.
+        let h_cold = cold.nuclide(cold.known.h1).micro_at(1e-6);
+        let h_hot = hot.nuclide(hot.known.h1).micro_at(1e-6);
+        assert_eq!(h_cold, h_hot);
+    }
+
+    #[test]
+    fn boron_is_a_strong_absorber() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        let b10 = lib.nuclide(lib.known.b10);
+        let thermal = b10.micro_at(2.53e-8); // 0.0253 eV in MeV
+        assert!(thermal.absorption > 1_000.0);
+    }
+}

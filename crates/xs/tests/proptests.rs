@@ -1,0 +1,116 @@
+//! Property tests for the cross-section substrate.
+
+use mcs_xs::grid::lower_bound_index;
+use mcs_xs::kernel::{macro_xs_direct, macro_xs_simd, macro_xs_union};
+use mcs_xs::nuclide::{Nuclide, NuclideSpec};
+use mcs_xs::{LibrarySpec, Material, NuclideLibrary, SoaLibrary, UnionGrid};
+use proptest::prelude::*;
+
+fn fixture() -> (NuclideLibrary, UnionGrid, SoaLibrary, Material) {
+    let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+    let grid = UnionGrid::build(&lib.nuclides);
+    let soa = SoaLibrary::build(&lib);
+    let fuel = Material::hm_fuel(&lib);
+    (lib, grid, soa, fuel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lookup_paths_agree_at_any_energy(loge in (-25.3f64)..3.0) {
+        let e = loge.exp();
+        let (lib, grid, soa, fuel) = fixture();
+        let a = macro_xs_direct(&lib, &fuel, e);
+        let b = macro_xs_union(&lib, &grid, &fuel, e);
+        let c = macro_xs_simd(&soa, &grid, &fuel, e);
+        prop_assert!(a.max_rel_diff(&b) < 1e-13);
+        prop_assert!(a.max_rel_diff(&c) < 1e-11);
+        prop_assert!(a.total > 0.0);
+        prop_assert!(
+            (a.total - (a.elastic + a.inelastic + a.absorption)).abs() < 1e-9 * a.total
+        );
+    }
+
+    #[test]
+    fn interpolation_is_between_grid_values(i_frac in 0.0..1.0f64, t in 0.001..0.999f64) {
+        // At any point inside an interval, each reaction is between the
+        // endpoint values (linear interpolation property).
+        let nuc = Nuclide::synthesize(&NuclideSpec::heavy("X", 235.0, true, 5));
+        let i = ((nuc.n_points() - 2) as f64 * i_frac) as usize;
+        let e = nuc.energy[i] + t * (nuc.energy[i + 1] - nuc.energy[i]);
+        let m = nuc.micro_at(e);
+        let lo = nuc.total[i].min(nuc.total[i + 1]);
+        let hi = nuc.total[i].max(nuc.total[i + 1]);
+        prop_assert!(m.total >= lo - 1e-12 && m.total <= hi + 1e-12);
+    }
+
+    #[test]
+    fn union_grid_index_map_consistent_at_random_points(loge in (-25.0f64)..2.9) {
+        let e = loge.exp();
+        let (lib, grid, _, _) = fixture();
+        let u = grid.find(e);
+        for (k, n) in lib.nuclides.iter().enumerate() {
+            let mapped = grid.nuclide_index(u, k) as usize;
+            let direct = lower_bound_index(&n.energy, e);
+            prop_assert_eq!(mapped, direct, "k={} e={}", k, e);
+        }
+    }
+
+    #[test]
+    fn urr_sampling_never_produces_negative_xs(xi in 0.0..1.0f64, loge in (-6.1f64)..(-3.7)) {
+        use mcs_xs::urr::UrrTable;
+        use mcs_xs::nuclide::MicroXs;
+        let e = loge.exp();
+        let t = UrrTable::synthesize(3, 8);
+        let f = t.sample(e, xi);
+        let m = MicroXs { total: 20.5, elastic: 12.0, inelastic: 0.5, absorption: 8.0, fission: 3.0 };
+        let out = f.apply(m);
+        prop_assert!(out.total > 0.0);
+        prop_assert!(out.elastic > 0.0);
+        prop_assert!(out.absorption >= out.fission);
+        prop_assert!(
+            (out.total - (out.elastic + out.inelastic + out.absorption)).abs()
+                < 1e-12 * out.total
+        );
+    }
+
+    #[test]
+    fn sab_outgoing_state_is_physical(
+        loge in (-23.0f64)..(-12.5), // below the 4 eV cutoff
+        xi1 in 0.0..1.0f64,
+        xi2 in 0.0..1.0f64,
+    ) {
+        use mcs_xs::sab::SabTable;
+        let e = loge.exp();
+        let t = SabTable::synthesize(4);
+        let (e_out, mu) = t.sample_outgoing(e, xi1, xi2);
+        prop_assert!(e_out > 0.0);
+        prop_assert!(e_out <= 2.5 * e + 1e-15);
+        prop_assert!((-1.0..=1.0).contains(&mu));
+        let f = t.elastic_factor(e, 293.6);
+        prop_assert!((1.0..=5.0).contains(&f));
+    }
+}
+
+#[test]
+fn library_data_volumes_scale_with_nuclide_count() {
+    let small = NuclideLibrary::build(&LibrarySpec::hm_small());
+    // A mid-size build instead of full Large to keep the test quick.
+    let mid = NuclideLibrary::build(&LibrarySpec {
+        n_fuel_nuclides: 100,
+        grid_density: 1.0,
+        fuel_temperature_k: 0.0,
+        seed: LibrarySpec::hm_large().seed,
+    });
+    assert!(mid.data_bytes() > 2 * small.data_bytes());
+    assert!(mid.total_points() > 2 * small.total_points());
+}
+
+#[test]
+fn union_grid_size_bounded_by_sum_of_parts() {
+    let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+    let grid = UnionGrid::build(&lib.nuclides);
+    assert!(grid.n_points() <= lib.total_points());
+    assert!(grid.n_points() >= lib.nuclides.iter().map(|n| n.n_points()).max().unwrap());
+}

@@ -1,0 +1,92 @@
+//! Heterogeneous-cluster scenario: symmetric-mode load balancing and a
+//! distributed scaling study — the paper's §III-B on a laptop.
+//!
+//! A real transport run measures the problem's per-particle structure;
+//! the machine models turn that into per-rank calculation rates for a
+//! host CPU and a coprocessor; then the symmetric-mode model shows what
+//! static vs α-balanced particle assignment does to the aggregate rate
+//! (Table III), and the cluster model runs the strong-scaling study
+//! (Fig. 6) for the node composition of your choice.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use mcs::cluster::{strong_scaling, CommModel, NodeSpec};
+use mcs::core::history::{batch_streams, run_histories};
+use mcs::core::problem::{HmModel, ProblemConfig};
+use mcs::core::Problem;
+use mcs::device::native::{shape_of, NativeModel, TransportKind};
+use mcs::device::{MachineSpec, SymmetricModel};
+
+fn main() {
+    println!("measuring the H.M. Large per-particle structure...");
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let n = 2_000;
+    let sources = problem.sample_initial_source(n, 0);
+    let streams = batch_streams(problem.seed, 0, n);
+    let out = run_histories(&problem, &sources, &streams);
+    let shape = shape_of(&problem);
+
+    // Scale the measured counts to a production batch so fixed per-batch
+    // costs amortize realistically.
+    let mut t = out.tallies;
+    let f = 100_000.0 / n as f64;
+    t.n_particles = 100_000;
+    t.segments = (t.segments as f64 * f) as u64;
+    t.collisions = (t.collisions as f64 * f) as u64;
+    for i in 0..8 {
+        t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
+        t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
+    }
+
+    let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let r_cpu = cpu.calc_rate(&shape, &t);
+    let r_mic = mic.calc_rate(&shape, &t);
+    println!(
+        "rank rates: CPU {:.0} n/s, MIC {:.0} n/s  →  α = {:.2}\n",
+        r_cpu,
+        r_mic,
+        r_cpu / r_mic
+    );
+
+    // --- symmetric mode on one node (Table III's story) ----------------
+    let job = SymmetricModel::new(&[("cpu", r_cpu), ("mic0", r_mic), ("mic1", r_mic)]);
+    let n_total = 100_000;
+    println!("symmetric mode, CPU + 2 MICs, {n_total} particles/batch:");
+    println!(
+        "  even split (OpenMC default): {:>9.0} n/s",
+        job.original_rate(n_total)
+    );
+    println!(
+        "  α-balanced split (Eq. 3):    {:>9.0} n/s",
+        job.balanced_rate(n_total)
+    );
+    println!("  ideal:                       {:>9.0} n/s", job.ideal());
+    let split = job.balanced_split(n_total);
+    println!(
+        "  balanced assignment: cpu={}, mic0={}, mic1={}",
+        split[0], split[1], split[2]
+    );
+
+    // --- strong scaling across a cluster (Fig. 6's story) --------------
+    let comm = CommModel::fdr_infiniband();
+    let node = NodeSpec::with_two_mics(r_cpu, r_mic);
+    println!("\nstrong scaling, N = 1e7, nodes of [CPU + 2 MIC]:");
+    println!("{:>8} {:>14} {:>16} {:>12}", "nodes", "batch (s)", "rate (n/s)", "efficiency");
+    for p in strong_scaling(&node, &[4, 16, 64, 256, 1024], 10_000_000, &comm) {
+        println!(
+            "{:>8} {:>14.3} {:>16.0} {:>11.1}%",
+            p.nodes,
+            p.batch_time,
+            p.rate,
+            p.efficiency * 100.0
+        );
+    }
+    println!(
+        "\nthe tail at large node counts is Fig. 5's knee: too few particles per\n\
+         rank, the MIC's effective rate collapses, and the static α split is no\n\
+         longer balanced — exactly the paper's 1,024-node observation."
+    );
+}

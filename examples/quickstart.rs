@@ -1,0 +1,62 @@
+//! Quickstart: build a reduced reactor problem, run a k-eigenvalue
+//! calculation with both transport algorithms, and verify they agree.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mcs::core::eigenvalue::run_eigenvalue;
+use mcs::core::{EigenvalueSettings, Problem, TransportMode};
+
+fn main() {
+    // A single fuel assembly with the tiny synthetic nuclide library —
+    // small enough to run in seconds. `Problem::hm(HmModel::Large, ...)`
+    // builds the full 241-assembly core with 320 fuel nuclides.
+    let problem = Problem::test_small();
+    println!(
+        "problem: {} nuclides, {} union grid points, {} materials",
+        problem.library.len(),
+        problem.grid.n_points(),
+        problem.n_materials()
+    );
+
+    let mut settings = EigenvalueSettings {
+        particles: 2_000,
+        inactive: 3,
+        active: 5,
+        mode: TransportMode::History,
+        entropy_mesh: (8, 8, 4),
+        mesh_tally: None,
+    };
+
+    // History-based transport (OpenMC's algorithm: one task per particle).
+    let hist = run_eigenvalue(&problem, &settings);
+    println!("\nhistory-based batches:");
+    for b in &hist.batches {
+        println!(
+            "  batch {:>2} [{}]  k_track = {:.5}  entropy = {:.3}  rate = {:>8.0} n/s",
+            b.index,
+            if b.active { "active " } else { "inactive" },
+            b.k_track,
+            b.entropy,
+            b.rate
+        );
+    }
+    println!(
+        "k-effective = {:.5} ± {:.5}  ({} total histories)",
+        hist.k_mean, hist.k_std, hist.tallies.n_particles
+    );
+
+    // Event-based transport (the banking algorithm): same physics, same
+    // RNG streams, staged SIMD-friendly kernels — identical trajectories.
+    settings.mode = TransportMode::Event;
+    let evt = run_eigenvalue(&problem, &settings);
+    println!("\nevent-based (banking) run: k = {:.5} ± {:.5}", evt.k_mean, evt.k_std);
+
+    let diff = (hist.k_mean - evt.k_mean).abs();
+    assert!(
+        diff < 1e-9,
+        "algorithms must produce identical trajectories: Δk = {diff:e}"
+    );
+    println!("\nhistory and event k agree to {diff:.1e} — identical particle trajectories");
+}

@@ -1,0 +1,72 @@
+//! Shielding-style scenario: fixed-source mode with a leakage spectrum.
+//!
+//! A fast point source sits in the assembly centre; the run follows every
+//! history (and its subcritical fission progeny) and tallies the energy
+//! spectrum of the neutrons that escape — the observable a shielding
+//! analysis cares about. Raising the soluble-boron loading hardens the
+//! leak spectrum by eating the thermalized population.
+//!
+//! ```sh
+//! cargo run --release --example shielding_study
+//! ```
+
+use mcs::core::fixed_source::{run_fixed_source, FixedSourceSettings, SourceDef};
+use mcs::core::Problem;
+use mcs::geom::Vec3;
+
+fn run_with_boron(boron: f64, label: &str) {
+    let mut problem = Problem::test_small();
+    // Override the water's B-10 loading (index 2 in hm_water).
+    let water = &mut problem.materials[2];
+    let b_slot = 2; // (h1, o16, b10)
+    water.densities[b_slot] = boron;
+
+    let settings = FixedSourceSettings {
+        particles: 10_000,
+        source: SourceDef::Point {
+            pos: Vec3::new(0.63, 0.63, 0.0), // a central fuel pin
+            energy: 2.0,
+        },
+        max_chain: 100_000,
+    };
+    let r = run_fixed_source(&problem, &settings);
+    let t = &r.tallies;
+    let leak_frac = t.leaks as f64 / t.n_particles as f64;
+    println!(
+        "\n[{label}] B-10 = {boron:.1e} atoms/(b·cm): M = {:.3}, {} histories, leak fraction {:.3}",
+        r.multiplication(),
+        t.n_particles,
+        leak_frac
+    );
+
+    // ASCII leak spectrum (per lethargy, coarse).
+    let pl = r.leak_spectrum.per_lethargy();
+    let cs = r.leak_spectrum.bin_centers();
+    let max = pl.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+    println!("  leak spectrum (flux/lethargy):");
+    for (c, v) in cs.iter().zip(&pl).step_by(8) {
+        let stars = (v / max * 40.0) as usize;
+        println!("  {:9.2e} MeV |{}", c, "*".repeat(stars));
+    }
+    let thermal: f64 = cs
+        .iter()
+        .zip(&r.leak_spectrum.bins)
+        .filter(|(&c, _)| c < 1e-6)
+        .map(|(_, &b)| b)
+        .sum();
+    println!(
+        "  thermal (<1 eV) share of leakage: {:.1}%",
+        thermal / r.leak_spectrum.total().max(1e-300) * 100.0
+    );
+}
+
+fn main() {
+    println!("fixed-source shielding study: 2 MeV point source in a fuel pin");
+    run_with_boron(3.0e-6, "nominal boron");
+    run_with_boron(6.0e-5, "20x boron (poisoned water)");
+    println!(
+        "\nmore absorber → harder leak spectrum and weaker multiplication:\n\
+         the thermal share of the leakage collapses while the fast\n\
+         uncollided component survives."
+    );
+}

@@ -1,0 +1,360 @@
+//! `mcs` — command-line driver for the transport engine.
+//!
+//! ```text
+//! mcs run   [--model test|small|large] [--particles N] [--inactive I]
+//!           [--active A] [--mode history|event] [--survival]
+//!           [--mesh NX,NY,NZ] [--spectrum FILE.csv]
+//!           [--statepoint FILE] [--resume FILE]
+//! mcs info  [--model test|small|large]
+//! mcs plot  [--model test|small|large] [--width N] [--z Z]
+//! mcs fixed [--model test|small|large] [--particles N]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! mcs run --model small --particles 5000 --inactive 5 --active 10
+//! mcs run --model test --mode event --survival --mesh 17,17,4
+//! mcs run --model test --statepoint cp.bin        # save after the run plan
+//! mcs run --model test --resume cp.bin            # continue bit-exactly
+//! ```
+
+use std::process::ExitCode;
+
+use mcs::core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs::core::history::{batch_streams, run_histories_spectrum};
+use mcs::core::physics::AbsorptionTreatment;
+use mcs::core::problem::{HmModel, ProblemConfig};
+use mcs::core::statepoint::{resume_eigenvalue, run_eigenvalue_checkpointed, Statepoint};
+use mcs::core::{MeshSpec, Problem};
+
+struct Args {
+    command: String,
+    model: String,
+    particles: usize,
+    inactive: usize,
+    active: usize,
+    mode: TransportMode,
+    survival: bool,
+    mesh: Option<(usize, usize, usize)>,
+    spectrum: Option<String>,
+    statepoint: Option<String>,
+    resume: Option<String>,
+    width: usize,
+    z: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcs <run|info|plot|fixed> [--model test|small|large] [--particles N]\n\
+         \x20          [--inactive I] [--active A] [--mode history|event]\n\
+         \x20          [--survival] [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
+         \x20          [--statepoint FILE] [--resume FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        model: "test".into(),
+        particles: 2_000,
+        inactive: 3,
+        active: 5,
+        mode: TransportMode::History,
+        survival: false,
+        mesh: None,
+        spectrum: None,
+        statepoint: None,
+        resume: None,
+        width: 80,
+        z: 0.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    args.command = argv[0].clone();
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--model" => args.model = value(&mut i),
+            "--particles" => args.particles = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--inactive" => args.inactive = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--active" => args.active = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                args.mode = match value(&mut i).as_str() {
+                    "history" => TransportMode::History,
+                    "event" => TransportMode::Event,
+                    _ => usage(),
+                }
+            }
+            "--survival" => args.survival = true,
+            "--mesh" => {
+                let v = value(&mut i);
+                let parts: Vec<usize> = v
+                    .split(',')
+                    .map(|p| p.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                args.mesh = Some((parts[0], parts[1], parts[2]));
+            }
+            "--spectrum" => args.spectrum = Some(value(&mut i)),
+            "--statepoint" => args.statepoint = Some(value(&mut i)),
+            "--resume" => args.resume = Some(value(&mut i)),
+            "--width" => args.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--z" => args.z = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn build_problem(args: &Args) -> Problem {
+    let mut problem = match args.model.as_str() {
+        "test" => Problem::test_small(),
+        "small" => Problem::hm(HmModel::Small, &ProblemConfig::default()),
+        "large" => Problem::hm(HmModel::Large, &ProblemConfig::default()),
+        _ => usage(),
+    };
+    if args.survival {
+        problem.treatment = AbsorptionTreatment::survival_default();
+    }
+    problem
+}
+
+fn cmd_info(args: &Args) {
+    let problem = build_problem(args);
+    println!("model:          {}", args.model);
+    println!("nuclides:       {} ({} fuel)", problem.library.len(), problem.library.n_fuel);
+    println!("grid points:    {} (union)", problem.grid.n_points());
+    println!(
+        "grid size:      {:.1} MB union + {:.1} MB pointwise",
+        problem.grid.data_bytes() as f64 / 1e6,
+        problem.soa.data_bytes() as f64 / 1e6
+    );
+    println!(
+        "geometry:       {} cells, {} surfaces, {} lattices",
+        problem.geometry.cells.len(),
+        problem.geometry.surfaces.len(),
+        problem.geometry.lattices.len()
+    );
+    let (lo, hi) = problem.geometry.bounds;
+    println!(
+        "bounds:         [{:.1},{:.1}] x [{:.1},{:.1}] x [{:.1},{:.1}] cm",
+        lo.x, hi.x, lo.y, hi.y, lo.z, hi.z
+    );
+    println!(
+        "physics:        sab={} urr={} free_gas={} treatment={:?}",
+        problem.physics.sab.is_some(),
+        !problem.physics.urr.is_empty(),
+        problem.physics.free_gas,
+        problem.treatment
+    );
+}
+
+fn cmd_run(args: &Args) {
+    let problem = build_problem(args);
+    let settings = EigenvalueSettings {
+        particles: args.particles,
+        inactive: args.inactive,
+        active: args.active,
+        mode: args.mode,
+        entropy_mesh: (8, 8, 4),
+        mesh_tally: args
+            .mesh
+            .map(|(nx, ny, nz)| MeshSpec::covering(problem.geometry.bounds, nx, ny, nz)),
+    };
+
+    let result = if let Some(path) = &args.resume {
+        let sp = Statepoint::load(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot load statepoint {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("resuming from {path} (after batch {})", sp.completed_batches);
+        resume_eigenvalue(&problem, &settings, &sp)
+    } else if let Some(path) = &args.statepoint {
+        // Checkpointing run: same physics as run_eigenvalue, plus a
+        // statepoint written at the end of the plan.
+        let total = settings.inactive + settings.active;
+        let (batches, sp) = run_eigenvalue_checkpointed(&problem, &settings, total);
+        sp.save(path).expect("write statepoint");
+        println!("wrote statepoint to {path} (after batch {})", sp.completed_batches);
+        summarize(batches, &sp, &settings)
+    } else {
+        run_eigenvalue(&problem, &settings)
+    };
+
+    println!(
+        "{:>6} {:>9} {:>10} {:>9} {:>10}",
+        "batch", "kind", "k_track", "entropy", "rate(n/s)"
+    );
+    for b in &result.batches {
+        println!(
+            "{:>6} {:>9} {:>10.5} {:>9.3} {:>10.0}",
+            b.index,
+            if b.active { "active" } else { "inactive" },
+            b.k_track,
+            b.entropy,
+            b.rate
+        );
+    }
+    println!("\nk-effective = {:.5} ± {:.5}", result.k_mean, result.k_std);
+    let t = &result.tallies;
+    println!(
+        "tallies: {} segments, {} collisions, {} absorptions, {} fissions, {} leaks",
+        t.segments, t.collisions, t.absorptions, t.fissions, t.leaks
+    );
+
+    if let Some(stats) = &result.mesh_stats {
+        let floor = stats.means().iter().sum::<f64>() / stats.spec.n_cells() as f64 * 0.1;
+        println!(
+            "mesh tally: {} cells, max relative error {:.2}% (cells above 10% of mean)",
+            stats.spec.n_cells(),
+            stats.max_relative_error(floor) * 100.0
+        );
+    }
+
+    if let Some(path) = &args.spectrum {
+        // One dedicated batch for the spectrum, from the converged source.
+        let sources = problem.sample_initial_source(args.particles, 0);
+        let streams = batch_streams(problem.seed, 0, args.particles);
+        let (_, spectrum) = run_histories_spectrum(&problem, &sources, &streams);
+        let mut out = String::from("energy_mev,flux_per_lethargy\n");
+        for (c, v) in spectrum.bin_centers().iter().zip(spectrum.per_lethargy()) {
+            out.push_str(&format!("{c:.6e},{v:.6e}\n"));
+        }
+        std::fs::write(path, out).expect("write spectrum csv");
+        println!("wrote spectrum to {path}");
+    }
+
+}
+
+/// Build a result summary from a checkpointed run's batch records.
+fn summarize(
+    batches: Vec<mcs::core::eigenvalue::BatchResult>,
+    sp: &Statepoint,
+    settings: &EigenvalueSettings,
+) -> mcs::core::eigenvalue::EigenvalueResult {
+    let active_ks: Vec<f64> = sp
+        .k_history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i >= settings.inactive)
+        .map(|(_, &k)| k)
+        .collect();
+    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
+    let k_std = if active_ks.len() > 1 {
+        let var = active_ks
+            .iter()
+            .map(|k| (k - k_mean) * (k - k_mean))
+            .sum::<f64>()
+            / (active_ks.len() - 1) as f64;
+        (var / active_ks.len() as f64).sqrt()
+    } else {
+        0.0
+    };
+    mcs::core::eigenvalue::EigenvalueResult {
+        batches,
+        k_mean,
+        k_std,
+        tallies: sp.tallies,
+        mesh: None,
+        mesh_stats: None,
+        total_time: std::time::Duration::ZERO,
+    }
+}
+
+/// ASCII material map of a z-slice through the geometry (OpenMC's `plot`
+/// in spirit): `.` water, `#` fuel, `:` clad, space = outside.
+fn cmd_plot(args: &Args) {
+    let problem = build_problem(args);
+    let (lo, hi) = problem.geometry.bounds;
+    let w = args.width.max(10);
+    let aspect = (hi.y - lo.y) / (hi.x - lo.x);
+    let h = ((w as f64 * aspect) / 2.0).round() as usize; // terminal cells ~1:2
+    println!(
+        "z = {} slice, {:.1} x {:.1} cm ({}x{} chars):",
+        args.z,
+        hi.x - lo.x,
+        hi.y - lo.y,
+        w,
+        h
+    );
+    for row in 0..h {
+        let y = hi.y - (row as f64 + 0.5) / h as f64 * (hi.y - lo.y);
+        let mut line = String::with_capacity(w);
+        for col in 0..w {
+            let x = lo.x + (col as f64 + 0.5) / w as f64 * (hi.x - lo.x);
+            let ch = match problem
+                .geometry
+                .find(mcs::geom::Vec3::new(x, y, args.z))
+                .map(|c| c.material)
+            {
+                Some(0) => '#',
+                Some(1) => ':',
+                Some(2) => '.',
+                Some(_) => '?',
+                None => ' ',
+            };
+            line.push(ch);
+        }
+        println!("{line}");
+    }
+    println!("legend: '#' fuel, ':' clad, '.' water");
+}
+
+/// Fixed-source run: external Watt source in fuel, full fission chains.
+fn cmd_fixed(args: &Args) {
+    use mcs::core::fixed_source::{run_fixed_source, FixedSourceSettings, SourceDef};
+    let problem = build_problem(args);
+    let settings = FixedSourceSettings {
+        particles: args.particles,
+        source: SourceDef::FuelWatt,
+        max_chain: 100_000,
+    };
+    println!(
+        "fixed-source run: {} source particles, full fission chains...",
+        args.particles
+    );
+    let r = run_fixed_source(&problem, &settings);
+    let t = &r.tallies;
+    println!(
+        "histories: {} source + {} progeny = {} total",
+        r.source_particles, r.progeny, t.n_particles
+    );
+    println!("net multiplication M = {:.4}", r.multiplication());
+    println!(
+        "implied k = 1 - 1/M = {:.4}",
+        1.0 - 1.0 / r.multiplication()
+    );
+    println!(
+        "tallies: {} collisions, {} absorptions, {} fissions, {} leaks",
+        t.collisions, t.absorptions, t.fissions, t.leaks
+    );
+    if r.truncated_chains > 0 {
+        println!(
+            "WARNING: {} chains hit the generation cap (system near or above critical)",
+            r.truncated_chains
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "info" => cmd_info(&args),
+        "plot" => cmd_plot(&args),
+        "fixed" => cmd_fixed(&args),
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}

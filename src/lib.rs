@@ -1,0 +1,58 @@
+//! # mcs — SIMD algorithms for Monte Carlo simulations of nuclear reactor cores
+//!
+//! A from-scratch Rust reproduction of Ozog, Malony & Siegel,
+//! *"A Performance Analysis of SIMD Algorithms for Monte Carlo Simulations
+//! of Nuclear Reactor Cores"* (IPPS 2015): a continuous-energy Monte Carlo
+//! neutron transport engine with both **history-based** (MIMD-style) and
+//! **event-based/banking** (SIMD-style) algorithms, portable SIMD kernels
+//! for the hot computations, an analytic Xeon-Phi-class coprocessor model
+//! with the paper's three execution modes (offload / native / symmetric),
+//! and a cluster model for the distributed scaling studies.
+//!
+//! This facade crate re-exports the workspace libraries under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`rng`] | `mcs-rng` | skip-ahead LCG, Philox streams, batched uniforms |
+//! | [`simd`] | `mcs-simd` | `F32x16`/`F64x8`, vectorized `ln`/`exp`, aligned buffers |
+//! | [`xs`] | `mcs-xs` | synthetic nuclide libraries, unionized grid, SoA/AoS layouts, lookup kernels |
+//! | [`geom`] | `mcs-geom` | CSG + lattices, Hoogenboom–Martin full core |
+//! | [`core`] | `mcs-core` | history & event transport, k-eigenvalue driver, tallies, load balancing, Table-I kernels |
+//! | [`device`] | `mcs-device` | machine model, PCIe, offload/native/symmetric execution |
+//! | [`cluster`] | `mcs-cluster` | strong/weak scaling with heterogeneous ranks |
+//! | [`prof`] | `mcs-prof` | TAU-like instrumentation |
+//! | [`multipole`] | `mcs-multipole` | windowed multipole / RSBench equivalent |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcs::core::{EigenvalueSettings, Problem, TransportMode};
+//! use mcs::core::eigenvalue::run_eigenvalue;
+//!
+//! // A reduced single-assembly problem (a full H.M. core works the same
+//! // way via `Problem::hm(HmModel::Large, &config)`).
+//! let problem = Problem::test_small();
+//! let settings = EigenvalueSettings {
+//!     particles: 500,
+//!     inactive: 2,
+//!     active: 3,
+//!     mode: TransportMode::History,
+//!     entropy_mesh: (4, 4, 4),
+//!     mesh_tally: None,
+//! };
+//! let result = run_eigenvalue(&problem, &settings);
+//! assert!(result.k_mean > 0.0);
+//! println!("k-effective = {:.5} ± {:.5}", result.k_mean, result.k_std);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcs_cluster as cluster;
+pub use mcs_core as core;
+pub use mcs_device as device;
+pub use mcs_geom as geom;
+pub use mcs_multipole as multipole;
+pub use mcs_prof as prof;
+pub use mcs_rng as rng;
+pub use mcs_simd as simd;
+pub use mcs_xs as xs;

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the SIMD lookup kernels against the scalar
+//! reference over the real H.M. problem stack, and the Table-I distance
+//! kernels end to end.
+
+use mcs::core::distance::{
+    reference_distances, sample_distances_naive, sample_distances_opt1, sample_distances_opt2,
+};
+use mcs::core::problem::Problem;
+use mcs::rng::{Lcg63, StreamPartition};
+use mcs::simd::AVec32;
+use mcs::xs::kernel::{
+    batch_macro_xs_outer_simd, batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs,
+};
+
+fn probe_energies(n: usize) -> Vec<f64> {
+    let mut rng = Lcg63::new(0x9e3);
+    let lo = mcs::xs::E_MIN.ln();
+    let hi = mcs::xs::E_MAX.ln();
+    (0..n)
+        .map(|_| (lo + (hi - lo) * rng.next_uniform()).exp())
+        .collect()
+}
+
+#[test]
+fn all_lookup_kernels_agree_over_every_material() {
+    let problem = Problem::test_small();
+    let energies = probe_energies(512);
+    for mat in &problem.materials {
+        let mut scalar = vec![MacroXs::default(); energies.len()];
+        let mut simd = vec![MacroXs::default(); energies.len()];
+        let mut outer = vec![MacroXs::default(); energies.len()];
+        batch_macro_xs_scalar(&problem.library, &problem.grid, mat, &energies, &mut scalar);
+        batch_macro_xs_simd(&problem.soa, &problem.grid, mat, &energies, &mut simd);
+        batch_macro_xs_outer_simd(&problem.soa, &problem.grid, mat, &energies, &mut outer);
+        for i in 0..energies.len() {
+            assert!(
+                scalar[i].max_rel_diff(&simd[i]) < 1e-11,
+                "{} e={} inner-simd",
+                mat.name,
+                energies[i]
+            );
+            assert!(
+                scalar[i].max_rel_diff(&outer[i]) < 1e-11,
+                "{} e={} outer-simd",
+                mat.name,
+                energies[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn lookup_kernels_preserve_reaction_consistency() {
+    // Σ_t = Σ_s + Σ_a and Σ_f ≤ Σ_a at every probed energy, via the
+    // vectorized path.
+    let problem = Problem::test_small();
+    let energies = probe_energies(256);
+    let mut out = vec![MacroXs::default(); energies.len()];
+    batch_macro_xs_simd(
+        &problem.soa,
+        &problem.grid,
+        &problem.materials[0],
+        &energies,
+        &mut out,
+    );
+    for xs in &out {
+        assert!(xs.total > 0.0);
+        assert!(
+            (xs.total - (xs.elastic + xs.inelastic + xs.absorption)).abs() < 1e-9 * xs.total
+        );
+        assert!(xs.inelastic >= 0.0);
+        assert!(xs.fission <= xs.absorption + 1e-12);
+        assert!(xs.nu_fission >= xs.fission); // ν ≥ 1 where fission exists
+    }
+}
+
+#[test]
+fn distance_kernels_agree_and_have_exponential_statistics() {
+    let n = 65_536;
+    let sigma = 0.75f32;
+    let xs = AVec32::filled(n, sigma);
+
+    // opt1 and opt2 with the same streams see the same uniforms.
+    let mut r1 = vec![0.0f32; n];
+    let mut out1 = vec![0.0f32; n];
+    let mut p1 = StreamPartition::new(11, 4);
+    sample_distances_opt1(xs.as_slice(), &mut r1, &mut out1, &mut p1);
+
+    let mut r2 = AVec32::zeros(n);
+    let mut out2 = AVec32::zeros(n);
+    let mut p2 = StreamPartition::new(11, 4);
+    sample_distances_opt2(&xs, &mut r2, &mut out2, &mut p2);
+
+    let want = reference_distances(xs.as_slice(), &r1);
+    for i in (0..n).step_by(97) {
+        assert!(((out1[i] - want[i]) / want[i]).abs() < 1e-5);
+        assert!(((out2[i] - want[i]) / want[i]).abs() < 1e-5);
+    }
+
+    // Exponential distribution: mean 1/Σ, variance 1/Σ².
+    let mean = out2.as_slice().iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    let var = out2
+        .as_slice()
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    let expect = 1.0 / sigma as f64;
+    assert!((mean - expect).abs() / expect < 0.02, "mean {mean}");
+    assert!((var - expect * expect).abs() / (expect * expect) < 0.05, "var {var}");
+
+    // Naive kernel: same statistics from a different generator.
+    let mut out3 = vec![0.0f32; n];
+    sample_distances_naive(xs.as_slice(), &mut out3, 1234);
+    let mean3 = out3.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    assert!((mean3 - expect).abs() / expect < 0.03, "naive mean {mean3}");
+}
+
+#[test]
+fn union_grid_lookup_equals_per_nuclide_search_end_to_end() {
+    use mcs::xs::kernel::{macro_xs_direct, macro_xs_union};
+    let problem = Problem::test_small();
+    for &e in probe_energies(200).iter() {
+        for mat in &problem.materials {
+            let direct = macro_xs_direct(&problem.library, mat, e);
+            let union = macro_xs_union(&problem.library, &problem.grid, mat, e);
+            assert!(direct.max_rel_diff(&union) < 1e-13);
+        }
+    }
+}

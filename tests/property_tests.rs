@@ -1,0 +1,122 @@
+//! Property-based integration tests over the public API.
+
+use mcs::geom::{hm_core, HmConfig, Vec3};
+use mcs::rng::{Lcg63, Philox4x32};
+use mcs::simd::math::{exp_f32, ln_f32};
+use mcs::simd::{F32x16, F64x8};
+use mcs::xs::grid::lower_bound_index;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lcg_skip_equals_stepping(seed in any::<u64>(), n in 0u64..5_000) {
+        let mut seq = Lcg63::new(seed);
+        for _ in 0..n {
+            seq.next_state();
+        }
+        let jumped = Lcg63::new(seed).skipped(n);
+        prop_assert_eq!(seq.state(), jumped.state());
+    }
+
+    #[test]
+    fn philox_streams_never_collide_early(s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let mut a = Philox4x32::new(s1);
+        let mut b = Philox4x32::new(s2);
+        let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn vector_reduce_sum_matches_scalar(vals in prop::array::uniform16(-1e6f32..1e6f32)) {
+        let v = F32x16(vals);
+        let scalar: f32 = vals.iter().sum();
+        // Pairwise-tree vs sequential summation differ by rounding only.
+        let diff = (v.reduce_sum() - scalar).abs();
+        let scale = vals.iter().map(|x| x.abs()).sum::<f32>().max(1.0);
+        prop_assert!(diff <= 1e-3 * scale);
+    }
+
+    #[test]
+    fn vector_ops_match_lanewise_scalar(a in prop::array::uniform8(-1e9f64..1e9f64),
+                                        b in prop::array::uniform8(1e-9f64..1e9f64)) {
+        let va = F64x8(a);
+        let vb = F64x8(b);
+        let sum = va + vb;
+        let quot = va / vb;
+        for i in 0..8 {
+            prop_assert_eq!(sum[i], a[i] + b[i]);
+            prop_assert_eq!(quot[i], a[i] / b[i]);
+        }
+    }
+
+    #[test]
+    fn simd_ln_exp_roundtrip_on_transport_domain(u in 1e-11f64..0.999_999) {
+        // The domain distance sampling uses: uniforms in (0,1).
+        let x = u as f32;
+        let rt = exp_f32(ln_f32(x));
+        prop_assert!(((rt - x) / x).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lower_bound_brackets_its_query(
+        mut pts in prop::collection::vec(1e-11f64..20.0, 2..200),
+        q in 1e-11f64..20.0,
+    ) {
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pts.dedup();
+        prop_assume!(pts.len() >= 2);
+        let i = lower_bound_index(&pts, q);
+        prop_assert!(i + 1 < pts.len());
+        // Within the table's range, the interval brackets the query.
+        if q >= pts[0] && q < *pts.last().unwrap() {
+            prop_assert!(pts[i] <= q && q < pts[i + 1] || (q - pts[i]).abs() < 1e-300);
+        }
+    }
+
+    #[test]
+    fn isotropic_direction_is_unit(x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let d = Vec3::isotropic(x1, x2);
+        prop_assert!((d.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_scatter_energy_within_kinematic_limits(
+        e in 1e-9f64..20.0,
+        awr in 0.999f64..240.0,
+        mu in -1.0f64..1.0,
+    ) {
+        let (e_out, mu_lab) = mcs::core::physics::elastic_kinematics(e, awr, mu);
+        let alpha = ((awr - 1.0) / (awr + 1.0)).powi(2);
+        prop_assert!(e_out >= alpha * e - 1e-12 * e);
+        prop_assert!(e_out <= e * (1.0 + 1e-12));
+        prop_assert!((-1.0..=1.0).contains(&mu_lab));
+    }
+}
+
+#[test]
+fn geometry_ray_positions_always_resolve_after_nudge() {
+    // A long pseudo-random ray walk through the full-core geometry never
+    // lands in an unresolvable position while inside the root box.
+    let g = hm_core(&HmConfig::default());
+    let mut rng = Lcg63::new(77);
+    for trial in 0..50 {
+        let mut p = Vec3::new(
+            200.0 * (rng.next_uniform() - 0.5),
+            200.0 * (rng.next_uniform() - 0.5),
+            100.0 * (rng.next_uniform() - 0.5),
+        );
+        let dir = Vec3::isotropic(rng.next_uniform(), rng.next_uniform());
+        let mut steps = 0;
+        while g.find(p).is_some() {
+            let d = g.distance_to_boundary(p, dir);
+            assert!(d.is_finite() && d >= 0.0, "trial {trial}");
+            p += dir * (d + mcs::geom::BOUNDARY_EPS);
+            steps += 1;
+            assert!(steps < 100_000, "trial {trial}: ray stuck");
+        }
+    }
+}
