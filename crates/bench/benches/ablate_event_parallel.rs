@@ -1,0 +1,132 @@
+//! Ablation: serial vs multithreaded event-transport pipeline across
+//! thread counts and bank sizes — the scaling study for the parallel
+//! SIMD-batched banking loop.
+//!
+//! For each bank size the harness times the staged pipeline pinned to 1,
+//! 2, 4, and 8 worker threads (median of several repetitions) and checks
+//! that every configuration reproduces the 1-thread collision count —
+//! the determinism contract lets the timings be compared at all. A
+//! machine-readable summary lands in `results/BENCH_event_parallel.json`.
+//!
+//! Bank sizes run 10^3..10^5 by default; set `MCS_BENCH_LARGE=1` to add
+//! the 10^6 point from the issue's sweep (minutes of runtime).
+
+use std::time::Instant;
+
+use mcs_core::event::run_event_transport;
+use mcs_core::history::batch_streams;
+use mcs_core::problem::Problem;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+struct Sample {
+    bank: usize,
+    threads: usize,
+    seconds: f64,
+    rate: f64,
+    collisions: u64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn time_config(problem: &Problem, bank: usize, threads: usize) -> Sample {
+    let sources = problem.sample_initial_source(bank, 0);
+    let streams = batch_streams(problem.seed, 0, bank);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let mut times = Vec::with_capacity(REPS);
+    let mut collisions = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let (out, _) = pool.install(|| run_event_transport(problem, &sources, &streams));
+        times.push(t0.elapsed().as_secs_f64());
+        collisions = out.tallies.collisions;
+    }
+    let seconds = median(times);
+    Sample {
+        bank,
+        threads,
+        seconds,
+        rate: bank as f64 / seconds.max(1e-12),
+        collisions,
+    }
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+    let problem = Problem::test_small();
+
+    if quick {
+        // Smoke run under `cargo test`: one tiny bank, every thread
+        // count, checked for agreement — no timing claims, no JSON.
+        let reference = time_config(&problem, 200, 1).collisions;
+        for &t in &THREADS[1..] {
+            assert_eq!(time_config(&problem, 200, t).collisions, reference);
+        }
+        println!("ablate_event_parallel: ok (test mode)");
+        return;
+    }
+
+    let mut banks = vec![1_000usize, 10_000, 100_000];
+    if std::env::var("MCS_BENCH_LARGE").is_ok_and(|v| v == "1") {
+        banks.push(1_000_000);
+    }
+
+    let mut samples: Vec<Sample> = Vec::new();
+    println!("{:>9} {:>7} {:>10} {:>14} {:>9}", "bank", "threads", "median_s", "particles/s", "speedup");
+    for &bank in &banks {
+        let mut serial_s = 0.0;
+        for &threads in &THREADS {
+            let s = time_config(&problem, bank, threads);
+            if threads == 1 {
+                serial_s = s.seconds;
+            } else {
+                assert_eq!(
+                    s.collisions,
+                    samples.last().map(|p| p.collisions).unwrap_or(s.collisions),
+                    "thread-count invariance violated at bank={bank}"
+                );
+            }
+            println!(
+                "{:>9} {:>7} {:>10.4} {:>14.0} {:>8.2}x",
+                s.bank,
+                s.threads,
+                s.seconds,
+                s.rate,
+                serial_s / s.seconds
+            );
+            samples.push(s);
+        }
+    }
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"bank\": {}, \"threads\": {}, \"median_seconds\": {:.6}, \"particles_per_second\": {:.1}, \"collisions\": {}}}",
+                s.bank, s.threads, s.seconds, s.rate, s.collisions
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"event_parallel\",\n  \"reps\": {REPS},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_event_parallel.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

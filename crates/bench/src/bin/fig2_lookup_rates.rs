@@ -48,7 +48,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000] {
         let n = scaled(n);
-        let energies = log_energies(n, 0xF16_2);
+        let energies = log_energies(n, 0xF162);
         let mut out = vec![MacroXs::default(); n];
 
         let (_, t_scalar) = time_it(|| {

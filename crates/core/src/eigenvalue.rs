@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use mcs_geom::Vec3;
 use mcs_rng::Lcg63;
 
-use crate::event::run_event_transport_mesh;
+use crate::event::{run_event_transport_mesh, EventStats};
 use crate::history::{batch_streams, run_histories_mesh};
 use crate::mesh::{MeshSpec, MeshStats, MeshTally};
 use crate::particle::{Site, SourceSite};
@@ -96,6 +96,9 @@ pub struct EigenvalueResult {
     pub mesh: Option<MeshTally>,
     /// Per-cell batch statistics for the mesh tally (if requested).
     pub mesh_stats: Option<MeshStats>,
+    /// Event-pipeline counters aggregated over every batch (counts sum,
+    /// peak bank is the max). `None` under [`TransportMode::History`].
+    pub event_stats: Option<EventStats>,
     /// Total wall time.
     pub total_time: Duration,
 }
@@ -180,6 +183,7 @@ pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> Eigen
     let mut tallies = Tallies::default();
     let mut mesh_total = settings.mesh_tally.map(MeshTally::new);
     let mut mesh_stats = settings.mesh_tally.map(MeshStats::new);
+    let mut event_stats: Option<EventStats> = None;
     let t_start = Instant::now();
 
     for b in 0..total_batches {
@@ -191,7 +195,11 @@ pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> Eigen
         let (outcome, batch_mesh) = match settings.mode {
             TransportMode::History => run_histories_mesh(problem, &source, &streams, mesh_spec),
             TransportMode::Event => {
-                let (o, _, m) = run_event_transport_mesh(problem, &source, &streams, mesh_spec);
+                let (o, s, m) = run_event_transport_mesh(problem, &source, &streams, mesh_spec);
+                match event_stats.as_mut() {
+                    Some(total) => total.merge(&s),
+                    None => event_stats = Some(s),
+                }
                 (o, m)
             }
         };
@@ -229,6 +237,7 @@ pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> Eigen
         tallies,
         mesh: mesh_total,
         mesh_stats,
+        event_stats,
         total_time: t_start.elapsed(),
     }
 }
@@ -335,6 +344,12 @@ mod tests {
         for (a, b) in rh.batches.iter().zip(&re.batches) {
             assert!((a.k_track - b.k_track).abs() < 1e-9, "{} vs {}", a.k_track, b.k_track);
         }
+        // Pipeline counters surface only from the event driver.
+        assert!(rh.event_stats.is_none());
+        let es = re.event_stats.expect("event driver reports stats");
+        assert!(es.iterations >= 5, "5 batches, ≥1 generation each");
+        assert!(es.lookups > 0);
+        assert_eq!(es.peak_bank, settings.particles as u64);
     }
 
     #[test]

@@ -1,34 +1,52 @@
 //! Event-based (banking) transport: the full implementation of the
 //! algorithm the paper prototypes in micro-benchmarks and lists as future
-//! work.
+//! work — here as a multithreaded, SIMD-batched stage pipeline.
 //!
 //! All live particles advance together, one *event generation* per
 //! iteration, through staged kernels:
 //!
 //! 1. **Locate** — resolve each particle's cell (leaks terminate here).
-//! 2. **XS lookup** — the bank is processed grouped by material with the
-//!    vectorized inner-loop-over-nuclides kernel (Fig. 2's banked lookup).
+//! 2. **XS lookup** — the bank is bucketed by material and each bucket is
+//!    fed through the gather-indexed banked kernel
+//!    ([`mcs_xs::kernel::batch_macro_xs_simd_indexed`], Fig. 2's banked
+//!    lookup with the inner loop over nuclides vectorized).
 //! 3. **Distance sampling** — `d = −ln ξ / Σ_t` across the bank (the
-//!    Table I kernel).
+//!    Table I kernel): uniforms via the batched-stream fill in
+//!    `mcs-rng`, the negate/divide 8-wide in [`F64x8`].
 //! 4. **Boundary** — ray-trace each particle (divergent; the stage the
 //!    paper notes resists vectorization).
 //! 5. **Advance/Collide** — move to the nearer of boundary/collision and
 //!    apply the shared collision physics.
-//! 6. **Compact** — dead particles are squeezed out of the live list.
+//! 6. **Compact** — dead particles are squeezed out of the live list by
+//!    an in-place, order-stable scan.
 //!
-//! Because every particle owns its RNG stream and the stages consume draws
-//! in the same per-particle order as the history loop, the two algorithms
+//! Every stage runs in parallel over fixed [`CHUNK`]-sized chunks of the
+//! live list, with the same chunk-order reduction the history loop uses,
+//! so results are **bitwise identical for any thread count** (including
+//! one: chunking, not threading, fixes every accumulation order). Because
+//! every particle owns its RNG stream and the stages consume draws in the
+//! same per-particle order as the history loop, the two algorithms also
 //! produce *identical trajectories* — asserted by integration tests.
+//!
+//! Stage timing goes through `mcs-prof`: the driver opens one profiler
+//! region per stage dispatch, and since stages are barrier-synchronized,
+//! each region's inclusive time is that stage's wall time even when the
+//! workers inside run concurrently.
 
-use mcs_geom::BOUNDARY_EPS;
+use mcs_geom::{Vec3, BOUNDARY_EPS};
+use mcs_prof::ThreadProfiler;
+use mcs_rng::batch::lcg_fill_uniform;
 use mcs_rng::Lcg63;
-use mcs_xs::kernel::MacroXs;
+use mcs_simd::F64x8;
+use mcs_xs::kernel::{batch_macro_xs_simd_indexed, MacroXs};
+use rayon::prelude::*;
 
-use crate::history::TransportOutcome;
+use crate::history::{TransportOutcome, CHUNK};
 use crate::mesh::{MeshSpec, MeshTally};
-use crate::particle::{sort_sites, ParticleBank, SourceSite};
-use crate::physics::{collide, CollisionOutcome};
+use crate::particle::{sort_sites, ParticleBank, Site, SourceSite};
+use crate::physics::{apply_physics, collide, CollisionOutcome};
 use crate::problem::Problem;
+use crate::tally::Tallies;
 use crate::E_FLOOR;
 
 /// Counters describing how the event loop executed (fed to the device
@@ -61,9 +79,61 @@ impl EventStats {
     pub fn total_seconds(&self) -> f64 {
         self.stage_seconds.iter().sum()
     }
+
+    /// Fold another run's counters into this one: counts add, the peak
+    /// is the max of peaks, stage timers add (used by the eigenvalue
+    /// driver to aggregate over batches).
+    pub fn merge(&mut self, other: &Self) {
+        self.iterations += other.iterations;
+        self.lookups += other.lookups;
+        self.peak_bank = self.peak_bank.max(other.peak_bank);
+        for (a, b) in self.stage_seconds.iter_mut().zip(&other.stage_seconds) {
+            *a += b;
+        }
+    }
 }
 
-/// Run the full event-based transport over a bank born from `sources`.
+/// Shared view of a mutable slice for stages that scatter results to
+/// disjoint particle indices from parallel chunk tasks.
+///
+/// Safety contract: concurrent tasks must touch disjoint indices. The
+/// event driver guarantees this structurally — every task owns a disjoint
+/// sub-slice of the live list (or of a material bucket), and live-list
+/// entries are unique particle indices.
+struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T: Copy> SyncSlice<'a, T> {
+    fn new(s: &'a mut [T]) -> Self {
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    /// Read element `i`. Caller must not race a write to `i`.
+    #[inline(always)]
+    unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Write element `i`. Caller must be the only task touching `i`.
+    #[inline(always)]
+    unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+}
+
+/// Run the full event-based transport over a bank born from `sources`,
+/// parallelized over the ambient rayon thread count.
 pub fn run_event_transport(
     problem: &Problem,
     sources: &[SourceSite],
@@ -73,8 +143,25 @@ pub fn run_event_transport(
     (out, stats)
 }
 
+/// The staged pipeline pinned to one worker thread — the serial reference
+/// for speedup measurements. Bit-identical to the parallel entry points:
+/// the pipeline's chunking, not its thread count, fixes every
+/// accumulation order.
+pub fn run_event_transport_serial(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> (TransportOutcome, EventStats) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| run_event_transport(problem, sources, streams))
+}
+
 /// [`run_event_transport`] with an optional mesh tally scored in the
-/// advance stage.
+/// advance stage (merged across chunks in chunk order, like the history
+/// path's).
 pub fn run_event_transport_mesh(
     problem: &Problem,
     sources: &[SourceSite],
@@ -87,176 +174,361 @@ pub fn run_event_transport_mesh(
     let mut out = TransportOutcome::default();
     out.tallies.n_particles = n as u64;
     let mut stats = EventStats::default();
+    let prof = ThreadProfiler::new();
 
     let mut xs_buf: Vec<MacroXs> = vec![MacroXs::default(); n];
     let mut d_coll = vec![0.0f64; n];
     let mut d_bound = vec![0.0f64; n];
-    let mut dead: Vec<usize> = Vec::new();
+    // Per-particle death flags, written by the locate and collide stages
+    // and consumed by compaction. Never cleared: a flagged particle
+    // leaves the live list at the next compaction and is never visited
+    // again, so a stale `true` cannot be observed.
+    let mut dead = vec![false; n];
     let n_materials = problem.n_materials();
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_materials];
+    let survival = !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
 
     while bank.n_alive() > 0 {
         stats.iterations += 1;
         stats.peak_bank = stats.peak_bank.max(bank.n_alive() as u64);
-        let mut stage_t = std::time::Instant::now();
-        let mut lap = |slot: &mut f64| {
-            let now = std::time::Instant::now();
-            *slot += (now - stage_t).as_secs_f64();
-            stage_t = now;
-        };
 
         // --- Stage 1: locate ------------------------------------------
-        dead.clear();
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            match problem.geometry.find(bank.pos(i)) {
-                Some(c) => bank.material[i] = c.material,
-                None => {
-                    out.tallies.leaks += 1;
-                    dead.push(slot);
-                }
-            }
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[0]);
+            let leaks: u64 = {
+                let ParticleBank {
+                    x, y, z, material, alive, ..
+                } = &mut bank;
+                let (x, y, z, alive) = (&x[..], &y[..], &z[..], &alive[..]);
+                let material = SyncSlice::new(material);
+                let dead_w = SyncSlice::new(&mut dead);
+                alive
+                    .par_chunks(CHUNK)
+                    .map(|chunk| {
+                        let mut leaks = 0u64;
+                        for &iu in chunk {
+                            let i = iu as usize;
+                            match problem.geometry.find(Vec3::new(x[i], y[i], z[i])) {
+                                // SAFETY: each live index appears in
+                                // exactly one chunk.
+                                Some(c) => unsafe { material.set(i, c.material) },
+                                None => {
+                                    leaks += 1;
+                                    unsafe { dead_w.set(i, true) };
+                                }
+                            }
+                        }
+                        leaks
+                    })
+                    .sum()
+            };
+            out.tallies.leaks += leaks;
+            bank.retain_alive(&dead);
         }
-        bank.compact(&dead);
-        lap(&mut stats.stage_seconds[0]);
         if bank.n_alive() == 0 {
             break;
         }
 
-        // --- Stage 2: banked XS lookups, grouped by material ----------
+        // --- Stage 2: banked XS lookups, bucketed by material ----------
         // Per-particle RNG streams make the processing order irrelevant
         // to reproducibility, so grouping by material is free. A single
-        // bucketing pass replaces per-material rescans of the live list,
-        // and processing each bucket contiguously keeps that material's
-        // tables hot in cache.
-        for b in &mut buckets {
-            b.clear();
-        }
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            buckets[bank.material[i] as usize].push(i as u32);
-        }
-        for (mat_id, bucket) in buckets.iter().enumerate() {
-            for &iu in bucket {
-                let i = iu as usize;
-                let mut rng = bank.rng[i];
-                xs_buf[i] = problem.macro_xs_vector(mat_id as u32, bank.energy[i], &mut rng);
-                bank.rng[i] = rng;
+        // serial bucketing pass builds (material, chunk) tasks; the tasks
+        // then run in parallel, each gathering its bucket's energies into
+        // the vectorized banked kernel and applying the per-particle
+        // physics corrections (URR sampling draws) afterwards — exactly
+        // `Problem::macro_xs_vector`, batched.
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[1]);
+            for b in &mut buckets {
+                b.clear();
             }
-        }
-        stats.lookups += bank.n_alive() as u64;
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            out.tallies.record_segment(bank.material[i]);
-        }
+            for &iu in &bank.alive {
+                let m = bank.material[iu as usize];
+                buckets[m as usize].push(iu);
+                out.tallies.record_segment(m);
+            }
+            stats.lookups += bank.n_alive() as u64;
 
-        lap(&mut stats.stage_seconds[1]);
+            let tasks: Vec<(u32, &[u32])> = buckets
+                .iter()
+                .enumerate()
+                .flat_map(|(m, b)| b.chunks(CHUNK).map(move |c| (m as u32, c)))
+                .collect();
+            let energy = &bank.energy[..];
+            let rng = SyncSlice::new(&mut bank.rng);
+            let xs_w = SyncSlice::new(&mut xs_buf);
+            tasks.par_iter().for_each(|&(mat_id, idxs)| {
+                let mat = &problem.materials[mat_id as usize];
+                let mut base = [MacroXs::default(); CHUNK];
+                let m = idxs.len();
+                batch_macro_xs_simd_indexed(
+                    &problem.soa,
+                    &problem.grid,
+                    mat,
+                    energy,
+                    idxs,
+                    &mut base[..m],
+                );
+                for (k, &iu) in idxs.iter().enumerate() {
+                    let i = iu as usize;
+                    let mut xs = base[k];
+                    // SAFETY: buckets partition the live list, chunks
+                    // partition buckets, so index `i` belongs to this
+                    // task alone.
+                    if problem.physics.any() {
+                        let mut r = unsafe { rng.get(i) };
+                        apply_physics(
+                            &problem.library,
+                            &problem.grid,
+                            mat,
+                            energy[i],
+                            &problem.physics,
+                            &problem.slots[mat_id as usize],
+                            &mut r,
+                            &mut xs,
+                        );
+                        unsafe { rng.set(i, r) };
+                    }
+                    unsafe { xs_w.set(i, xs) };
+                }
+            });
+        }
 
         // --- Stage 3: sample collision distances ----------------------
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            let xi = bank.rng[i].next_uniform();
-            d_coll[i] = -xi.ln() / xs_buf[i].total;
+        // One uniform per particle from its own stream (bit-identical to
+        // the scalar path for any batching), then d = −ln ξ / Σ_t with
+        // the negate/divide vectorized 8 lanes at a time. IEEE −x and x/y
+        // are exact, so the vector arithmetic matches the scalar
+        // expression bit for bit; only ln stays scalar (its libm result
+        // is the reference the history loop uses).
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[2]);
+            let alive = &bank.alive[..];
+            let rng = SyncSlice::new(&mut bank.rng);
+            let xs = &xs_buf[..];
+            let d_w = SyncSlice::new(&mut d_coll);
+            alive.par_chunks(CHUNK).for_each(|chunk| {
+                let m = chunk.len();
+                let mut streams = [Lcg63::new(0); CHUNK];
+                let mut xi = [0.0f64; CHUNK];
+                let mut tot = [0.0f64; CHUNK];
+                let mut d = [0.0f64; CHUNK];
+                for (k, &iu) in chunk.iter().enumerate() {
+                    let i = iu as usize;
+                    // SAFETY: disjoint chunks of unique live indices.
+                    streams[k] = unsafe { rng.get(i) };
+                    tot[k] = xs[i].total;
+                }
+                lcg_fill_uniform(&mut streams[..m], &mut xi[..m]);
+                for v in &mut xi[..m] {
+                    *v = v.ln();
+                }
+                let full = m / F64x8::LANES * F64x8::LANES;
+                let mut k = 0;
+                while k < full {
+                    let q = -F64x8::from_slice(&xi[k..]) / F64x8::from_slice(&tot[k..]);
+                    q.write_to_slice(&mut d[k..]);
+                    k += F64x8::LANES;
+                }
+                for k in full..m {
+                    d[k] = -xi[k] / tot[k];
+                }
+                for (k, &iu) in chunk.iter().enumerate() {
+                    let i = iu as usize;
+                    unsafe {
+                        rng.set(i, streams[k]);
+                        d_w.set(i, d[k]);
+                    }
+                }
+            });
         }
-        lap(&mut stats.stage_seconds[2]);
 
         // --- Stage 4: boundary distances -------------------------------
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            d_bound[i] = problem.geometry.distance_to_boundary(bank.pos(i), bank.dir(i));
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[3]);
+            let alive = &bank.alive[..];
+            let bank_ref = &bank;
+            let d_w = SyncSlice::new(&mut d_bound);
+            alive.par_chunks(CHUNK).for_each(|chunk| {
+                for &iu in chunk {
+                    let i = iu as usize;
+                    let d = problem
+                        .geometry
+                        .distance_to_boundary(bank_ref.pos(i), bank_ref.dir(i));
+                    // SAFETY: disjoint chunks of unique live indices.
+                    unsafe { d_w.set(i, d) };
+                }
+            });
         }
-
-        lap(&mut stats.stage_seconds[3]);
 
         // --- Stage 5: advance / collide --------------------------------
-        dead.clear();
-        for slot in 0..bank.n_alive() {
-            let i = bank.alive[slot] as usize;
-            let xs = &xs_buf[i];
-            if d_bound[i] <= d_coll[i] {
-                let d = d_bound[i];
-                out.tallies.track_length += d;
-                out.tallies.k_track += bank.weight[i] * d * xs.nu_fission;
-                if let Some(m) = mesh.as_mut() {
-                    m.score_track(bank.pos(i), bank.dir(i), d);
-                }
-                let new_pos = bank.pos(i) + bank.dir(i) * (d + BOUNDARY_EPS);
-                bank.set_pos(i, new_pos);
-                continue;
-            }
-            let d = d_coll[i];
-            out.tallies.track_length += d;
-            out.tallies.k_track += bank.weight[i] * d * xs.nu_fission;
-            if let Some(m) = mesh.as_mut() {
-                m.score_track(bank.pos(i), bank.dir(i), d);
-            }
-            let new_pos = bank.pos(i) + bank.dir(i) * d;
-            bank.set_pos(i, new_pos);
-            out.tallies.record_collision(bank.material[i]);
-            let w_before = bank.weight[i];
-            out.tallies.k_collision += w_before * xs.nu_fission / xs.total;
-            let survival =
-                !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
-            if survival && xs.absorption > 0.0 {
-                out.tallies.k_absorption +=
-                    w_before * (xs.absorption / xs.total) * (xs.nu_fission / xs.absorption);
-            }
+        // Each chunk accumulates its own (tallies, sites, mesh) partial;
+        // partials merge in chunk order below, so float sums are
+        // invariant to the thread count (the history loop's scheme).
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[4]);
+            let partials: Vec<(Tallies, Vec<Site>, Option<MeshTally>)> = {
+                let ParticleBank {
+                    x,
+                    y,
+                    z,
+                    u,
+                    v,
+                    w,
+                    energy,
+                    weight,
+                    rng,
+                    material,
+                    sites_banked,
+                    alive,
+                } = &mut bank;
+                let alive = &alive[..];
+                let material = &material[..];
+                let xw = SyncSlice::new(x);
+                let yw = SyncSlice::new(y);
+                let zw = SyncSlice::new(z);
+                let uw = SyncSlice::new(u);
+                let vw = SyncSlice::new(v);
+                let ww = SyncSlice::new(w);
+                let ew = SyncSlice::new(energy);
+                let wtw = SyncSlice::new(weight);
+                let rngw = SyncSlice::new(rng);
+                let sbw = SyncSlice::new(sites_banked);
+                let dead_w = SyncSlice::new(&mut dead);
+                let xs_all = &xs_buf[..];
+                let dc = &d_coll[..];
+                let db = &d_bound[..];
 
-            let mat_id = bank.material[i] as usize;
-            let mut rng = bank.rng[i];
-            let mut dir = bank.dir(i);
-            let mut energy = bank.energy[i];
-            let mut weight = bank.weight[i];
-            let mut seq = bank.sites_banked[i];
-            let outcome = collide(
-                &problem.library,
-                &problem.grid,
-                &problem.materials[mat_id],
-                &problem.physics,
-                &problem.slots[mat_id],
-                new_pos,
-                &mut dir,
-                &mut energy,
-                &mut weight,
-                problem.treatment,
-                xs,
-                &mut rng,
-                i as u32,
-                &mut seq,
-                &mut out.sites,
-            );
-            bank.rng[i] = rng;
-            bank.set_dir(i, dir);
-            bank.energy[i] = energy;
-            bank.weight[i] = weight;
-            bank.sites_banked[i] = seq;
+                alive
+                    .par_chunks(CHUNK)
+                    .map(|chunk| {
+                        let mut t = Tallies::default();
+                        let mut sites: Vec<Site> = Vec::new();
+                        let mut pmesh = mesh_spec.map(MeshTally::new);
+                        for &iu in chunk {
+                            let i = iu as usize;
+                            let xsi = &xs_all[i];
+                            // SAFETY (all accesses below): disjoint chunks
+                            // of unique live indices — this task is the
+                            // only one touching particle `i`.
+                            let pos = unsafe { Vec3::new(xw.get(i), yw.get(i), zw.get(i)) };
+                            let dir = unsafe { Vec3::new(uw.get(i), vw.get(i), ww.get(i)) };
+                            let wt_before = unsafe { wtw.get(i) };
+                            if db[i] <= dc[i] {
+                                let d = db[i];
+                                t.track_length += d;
+                                t.k_track += wt_before * d * xsi.nu_fission;
+                                if let Some(m) = pmesh.as_mut() {
+                                    m.score_track(pos, dir, d);
+                                }
+                                let np = pos + dir * (d + BOUNDARY_EPS);
+                                unsafe {
+                                    xw.set(i, np.x);
+                                    yw.set(i, np.y);
+                                    zw.set(i, np.z);
+                                }
+                                continue;
+                            }
+                            let d = dc[i];
+                            t.track_length += d;
+                            t.k_track += wt_before * d * xsi.nu_fission;
+                            if let Some(m) = pmesh.as_mut() {
+                                m.score_track(pos, dir, d);
+                            }
+                            let new_pos = pos + dir * d;
+                            unsafe {
+                                xw.set(i, new_pos.x);
+                                yw.set(i, new_pos.y);
+                                zw.set(i, new_pos.z);
+                            }
+                            t.record_collision(material[i]);
+                            t.k_collision += wt_before * xsi.nu_fission / xsi.total;
+                            if survival && xsi.absorption > 0.0 {
+                                t.k_absorption += wt_before
+                                    * (xsi.absorption / xsi.total)
+                                    * (xsi.nu_fission / xsi.absorption);
+                            }
 
-            match outcome {
-                CollisionOutcome::Absorbed { fission } => {
-                    out.tallies.record_absorption(bank.material[i], fission);
-                    if !survival && xs.absorption > 0.0 {
-                        out.tallies.k_absorption += xs.nu_fission / xs.absorption;
-                    }
-                    dead.push(slot);
-                }
-                CollisionOutcome::Scattered => {
-                    if bank.energy[i] < E_FLOOR {
-                        out.tallies.record_absorption(bank.material[i], false);
-                        dead.push(slot);
-                    }
+                            let mat_id = material[i] as usize;
+                            let mut r = unsafe { rngw.get(i) };
+                            let mut dirm = dir;
+                            let mut e = unsafe { ew.get(i) };
+                            let mut wt = wt_before;
+                            let mut seq = unsafe { sbw.get(i) };
+                            let outcome = collide(
+                                &problem.library,
+                                &problem.grid,
+                                &problem.materials[mat_id],
+                                &problem.physics,
+                                &problem.slots[mat_id],
+                                new_pos,
+                                &mut dirm,
+                                &mut e,
+                                &mut wt,
+                                problem.treatment,
+                                xsi,
+                                &mut r,
+                                iu,
+                                &mut seq,
+                                &mut sites,
+                            );
+                            unsafe {
+                                rngw.set(i, r);
+                                uw.set(i, dirm.x);
+                                vw.set(i, dirm.y);
+                                ww.set(i, dirm.z);
+                                ew.set(i, e);
+                                wtw.set(i, wt);
+                                sbw.set(i, seq);
+                            }
+
+                            match outcome {
+                                CollisionOutcome::Absorbed { fission } => {
+                                    t.record_absorption(material[i], fission);
+                                    if !survival && xsi.absorption > 0.0 {
+                                        t.k_absorption += xsi.nu_fission / xsi.absorption;
+                                    }
+                                    unsafe { dead_w.set(i, true) };
+                                }
+                                CollisionOutcome::Scattered => {
+                                    if e < E_FLOOR {
+                                        t.record_absorption(material[i], false);
+                                        unsafe { dead_w.set(i, true) };
+                                    }
+                                }
+                            }
+                        }
+                        (t, sites, pmesh)
+                    })
+                    .collect()
+            };
+            for (t, s, pm) in partials {
+                out.tallies.merge(&t);
+                out.sites.extend(s);
+                if let (Some(m), Some(pm)) = (mesh.as_mut(), pm.as_ref()) {
+                    m.merge(pm);
                 }
             }
         }
 
-        lap(&mut stats.stage_seconds[4]);
-
-        // --- Stage 6: compact -------------------------------------------
-        bank.compact(&dead);
-        lap(&mut stats.stage_seconds[5]);
+        // --- Stage 6: compact ------------------------------------------
+        {
+            let _g = prof.enter(EventStats::STAGE_NAMES[5]);
+            bank.retain_alive(&dead);
+        }
     }
 
     // Events discover sites in generation order; restore history order.
     sort_sites(&mut out.sites);
+
+    // Stages are barrier-synchronized, so each region's inclusive time is
+    // its stage's wall time; the sum is the staged region's wall time.
+    let profile = prof.finish();
+    for (k, name) in EventStats::STAGE_NAMES.iter().enumerate() {
+        if let Some(r) = profile.get(name) {
+            stats.stage_seconds[k] = r.inclusive.as_secs_f64();
+        }
+    }
     (out, stats, mesh)
 }
 
@@ -303,6 +575,85 @@ mod tests {
         // contributing (the bottleneck stage of §III-A).
         assert!(stats.total_seconds() > 0.0);
         assert!(stats.stage_seconds[1] > 0.0, "xs stage not timed");
+    }
+
+    #[test]
+    fn event_deterministic_across_thread_pools() {
+        // The event-path mirror of the history loop's
+        // `deterministic_across_thread_pools`: the full TransportOutcome
+        // (float tallies bitwise included), the banked sites, and the
+        // mesh tally must be identical for 1, 2, and 8 threads, and the
+        // 1-thread pool must equal the dedicated serial entry point.
+        let problem = Problem::test_small();
+        let n = 300;
+        let sources = problem.sample_initial_source(n, 1);
+        let streams = batch_streams(problem.seed, 0, n);
+        let spec = crate::mesh::MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)))
+        };
+        let (out1, stats1, mesh1) = run(1);
+        let (out2, stats2, mesh2) = run(2);
+        let (out8, stats8, mesh8) = run(8);
+
+        assert_eq!(out1.tallies, out2.tallies);
+        assert_eq!(out1.tallies, out8.tallies);
+        assert_eq!(out1.sites, out2.sites);
+        assert_eq!(out1.sites, out8.sites);
+        assert_eq!(mesh1.as_ref().unwrap().bins, mesh2.as_ref().unwrap().bins);
+        assert_eq!(mesh1.as_ref().unwrap().bins, mesh8.as_ref().unwrap().bins);
+        // Counters (everything but the timers) identical too.
+        for (a, b) in [(&stats1, &stats2), (&stats1, &stats8)] {
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.lookups, b.lookups);
+            assert_eq!(a.peak_bank, b.peak_bank);
+        }
+
+        let (out_serial, _) = run_event_transport_serial(&problem, &sources, &streams);
+        assert_eq!(out_serial.tallies, out1.tallies);
+        assert_eq!(out_serial.sites, out1.sites);
+    }
+
+    #[test]
+    fn event_counters_identical_serial_vs_parallel() {
+        let problem = Problem::test_small();
+        let n = 256;
+        let sources = problem.sample_initial_source(n, 3);
+        let streams = batch_streams(problem.seed, 1, n);
+        let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert_eq!(serial.lookups, parallel.lookups);
+        assert_eq!(serial.peak_bank, parallel.peak_bank);
+        // Same op counts ⇒ same device-model offload estimate.
+        assert!(serial.lookups > 0);
+    }
+
+    #[test]
+    fn event_stats_merge_accumulates() {
+        let mut a = EventStats {
+            iterations: 3,
+            lookups: 100,
+            peak_bank: 40,
+            stage_seconds: [1.0; 6],
+        };
+        let b = EventStats {
+            iterations: 2,
+            lookups: 50,
+            peak_bank: 70,
+            stage_seconds: [0.5; 6],
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.lookups, 150);
+        assert_eq!(a.peak_bank, 70);
+        assert_eq!(a.stage_seconds, [1.5; 6]);
     }
 
     #[test]

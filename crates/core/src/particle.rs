@@ -183,22 +183,46 @@ impl ParticleBank {
     }
 
     /// Remove the given (sorted, deduplicated) live-list positions from
-    /// the alive list. `dead_slots` are positions *within* `alive`, not
-    /// particle indices.
+    /// the alive list, preserving the order of the survivors. `dead_slots`
+    /// are positions *within* `alive`, not particle indices.
+    ///
+    /// Compaction is a single in-place forward scan that slides survivors
+    /// left over the holes, so it allocates nothing and the live list
+    /// stays sorted whenever it started sorted.
     pub fn compact(&mut self, dead_slots: &[usize]) {
         if dead_slots.is_empty() {
             return;
         }
-        let mut keep = Vec::with_capacity(self.alive.len() - dead_slots.len());
-        let mut d = 0usize;
-        for (slot, &idx) in self.alive.iter().enumerate() {
-            if d < dead_slots.len() && dead_slots[d] == slot {
+        let mut write = dead_slots[0];
+        let mut d = 1usize;
+        for read in write + 1..self.alive.len() {
+            if d < dead_slots.len() && dead_slots[d] == read {
                 d += 1;
             } else {
-                keep.push(idx);
+                self.alive[write] = self.alive[read];
+                write += 1;
             }
         }
-        self.alive = keep;
+        self.alive.truncate(write);
+    }
+
+    /// Drop live-list entries whose particle is flagged in `dead`
+    /// (indexed by particle, not by live-list position), preserving
+    /// order — the event pipeline's compaction stage. Same in-place
+    /// swap-scan as [`ParticleBank::compact`]: no allocation, and a
+    /// sorted live list stays sorted.
+    pub fn retain_alive(&mut self, dead: &[bool]) {
+        let mut write = 0usize;
+        for read in 0..self.alive.len() {
+            let idx = self.alive[read];
+            if !dead[idx as usize] {
+                if write != read {
+                    self.alive[write] = idx;
+                }
+                write += 1;
+            }
+        }
+        self.alive.truncate(write);
     }
 
     /// Approximate in-memory size of the per-particle state in bytes
@@ -248,6 +272,50 @@ mod tests {
         assert_eq!(bank.alive, vec![2, 3]);
         bank.compact(&[]);
         assert_eq!(bank.alive, vec![2, 3]);
+    }
+
+    #[test]
+    fn compact_is_in_place_and_order_stable() {
+        let (sites, streams) = sources(64);
+        let mut bank = ParticleBank::from_sources(&sites, &streams);
+        let ptr_before = bank.alive.as_ptr();
+        let cap_before = bank.alive.capacity();
+        bank.compact(&(0..64).step_by(3).collect::<Vec<_>>());
+        assert_eq!(bank.alive.as_ptr(), ptr_before, "compact reallocated");
+        assert_eq!(bank.alive.capacity(), cap_before);
+        // Survivors keep ascending order.
+        assert!(bank.alive.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn retain_alive_matches_compact() {
+        let (sites, streams) = sources(40);
+        let mut by_slots = ParticleBank::from_sources(&sites, &streams);
+        let mut by_flags = ParticleBank::from_sources(&sites, &streams);
+        let mut dead = vec![false; 40];
+        // Kill a scattered set, in two rounds (as the event loop does).
+        for round in 0..2 {
+            let doomed: Vec<u32> = by_slots
+                .alive
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize + round) % 3 == 0)
+                .collect();
+            let slots: Vec<usize> = by_slots
+                .alive
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| doomed.contains(i))
+                .map(|(s, _)| s)
+                .collect();
+            by_slots.compact(&slots);
+            for &i in &doomed {
+                dead[i as usize] = true;
+            }
+            by_flags.retain_alive(&dead);
+            assert_eq!(by_slots.alive, by_flags.alive, "round {round}");
+        }
+        assert!(!by_slots.alive.is_empty());
     }
 
     #[test]

@@ -193,8 +193,7 @@ pub fn run_eigenvalue_checkpointed(
     settings: &EigenvalueSettings,
     stop_after_batches: usize,
 ) -> (Vec<BatchResult>, Statepoint) {
-    let driver = crate::eigenvalue::run_eigenvalue_partial(problem, settings, 0, stop_after_batches, None);
-    driver
+    crate::eigenvalue::run_eigenvalue_partial(problem, settings, 0, stop_after_batches, None)
 }
 
 /// Resume from a statepoint, running the remaining batches of the plan.
@@ -239,6 +238,7 @@ pub fn resume_eigenvalue(
         tallies: final_sp.tallies,
         mesh: None,
         mesh_stats: None,
+        event_stats: None,
         total_time: std::time::Duration::ZERO,
     }
 }

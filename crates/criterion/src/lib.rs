@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness subset the `mcs-bench` ablations use:
+//! benchmark groups, throughput annotation, `iter` / `iter_batched`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is
+//! simple calibrated sampling: a warm-up run sizes the iteration count so
+//! each sample takes a few milliseconds, then `sample_size` samples are
+//! timed and the median per-iteration time is reported (median resists
+//! scheduler noise better than the mean on shared machines).
+//!
+//! No plots, no statistics beyond min/median/max, no baseline storage.
+//! `--test` and `--list` invocations (as `cargo test` issues for bench
+//! targets) skip measurement entirely.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; measurement here re-runs setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--test`/`--list` = run nothing
+    /// measured; a positional argument filters benchmark names).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--list" => self.quick = true,
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+            sample_size: 20,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.criterion.quick {
+            println!("{full}: ok (test mode)");
+            return self;
+        }
+        let Some(stats) = b.stats() else {
+            println!("{full}: no samples");
+            return self;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / stats.median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / stats.median.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full}: median {:>12} [min {}, max {}] ({} samples){rate}",
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            fmt_duration(stats.max),
+            stats.n,
+        );
+        let _ = self.sample_size;
+        self
+    }
+
+    /// Close the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-iteration timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Samples measured.
+    pub n: usize,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs the closed-over routine and records per-iteration durations.
+pub struct Bencher {
+    quick: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmark `routine`, timed over whole iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // Warm up and calibrate: how many iterations make one sample of
+        // roughly TARGET_SAMPLE?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let sample_count = 20usize;
+        self.samples.clear();
+        for _ in 0..sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let sample_count = 20usize;
+        self.samples.clear();
+        for _ in 0..sample_count {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+    }
+
+    /// Summarize recorded samples.
+    pub fn stats(&self) -> Option<SampleStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        Some(SampleStats {
+            median: s[s.len() / 2],
+            min: s[0],
+            max: s[s.len() - 1],
+            n: s.len(),
+        })
+    }
+}
+
+/// Bundle benchmark functions into a group runner (criterion API).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (criterion API).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            quick: false,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        let stats = b.stats().unwrap();
+        assert!(stats.n >= 10);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+    }
+
+    #[test]
+    fn quick_mode_runs_once_without_samples() {
+        let mut b = Bencher {
+            quick: true,
+            samples: Vec::new(),
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.stats().is_none());
+    }
+}

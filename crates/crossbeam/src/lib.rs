@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel::unbounded` / [`channel::Sender`] /
+//! [`channel::Receiver`] subset the cluster runtime uses, implemented over
+//! `std::sync::mpsc`. Clone-able senders and blocking `recv` are all the
+//! MPI-style collectives need; select, bounded channels, and the rest of
+//! crossbeam are intentionally absent.
+
+pub mod channel {
+    //! Multi-producer single-consumer unbounded channels.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Sending half of an unbounded channel. Clone-able across ranks.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors only if every sender is
+        /// gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn cloned_senders_fan_in() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            let mut got = [a, b];
+            got.sort_unstable();
+            assert_eq!(got, [1, 2]);
+        });
+    }
+}

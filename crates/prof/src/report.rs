@@ -22,6 +22,7 @@ pub struct Profile {
 }
 
 impl Profile {
+    #[cfg(test)]
     pub(crate) fn from_stats(stats: HashMap<&'static str, RegionStats>) -> Self {
         Self {
             stats,

@@ -1,0 +1,412 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This container has no registry access, so the workspace vendors the
+//! subset of rayon's API it actually uses, implemented over
+//! `std::thread::scope`. Semantics match rayon where it matters for this
+//! codebase:
+//!
+//! * **Ordered results** — `collect()` returns items in source order
+//!   regardless of thread count, so the chunk-order reductions in
+//!   `mcs-core` stay bitwise deterministic.
+//! * **Pool-scoped thread counts** — [`ThreadPool::install`] pins the
+//!   ambient worker count for the closure it runs, like a rayon pool.
+//! * **Real parallelism** — work is split into contiguous index blocks,
+//!   one per worker, executed on scoped OS threads.
+//!
+//! What is intentionally missing: work stealing, splitting heuristics,
+//! nested-pool management, and the full `ParallelIterator` zoo. Stage
+//! kernels here are regular and coarse, so static block assignment loses
+//! little to stealing.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+thread_local! {
+    /// Ambient worker count for parallel calls issued from this thread.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use when issued from
+/// the current thread (rayon: `current_num_threads`).
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (rayon API subset).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count; `0` means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a worker count scoped to [`ThreadPool::install`]
+/// closures. Workers are spawned per parallel call (scoped threads), not
+/// kept alive — adequate for the coarse stage kernels this workspace runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// An indexed parallel source: `len` items, item `i` computable from a
+/// shared `&self`. All adapters and drivers build on this.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce item `i`. Must be safe to call concurrently for distinct
+    /// indices (and is only called once per index by the drivers).
+    fn item(&self, i: usize) -> Self::Item;
+
+    /// Lane-wise transform.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair items with those of an equal-length source (truncates to the
+    /// shorter, like rayon).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Splitting-granularity hint; a no-op under static block assignment.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Execute in parallel, returning items in source order.
+    fn run(self) -> Vec<Self::Item> {
+        let len = self.len();
+        let workers = current_num_threads().clamp(1, len.max(1));
+        if workers <= 1 || len <= 1 {
+            return (0..len).map(|i| self.item(i)).collect();
+        }
+        let per = len.div_ceil(workers);
+        let me = &self;
+        let mut parts: Vec<Vec<Self::Item>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    let lo = t * per;
+                    let hi = ((t + 1) * per).min(len);
+                    s.spawn(move || (lo..hi).map(|i| me.item(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Collect into a container (order-preserving).
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Apply `f` to every item (parallel, order of side effects
+    /// unspecified across blocks).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.map(f).run();
+    }
+
+    /// Sum the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Alias kept so `use rayon::prelude::*` code that names the indexed
+/// trait compiles; in this stand-in every parallel iterator is indexed.
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+/// Borrowing parallel iteration over slices and slice-like containers
+/// (rayon: `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel chunked views of slices (rayon: `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate over contiguous chunks of `size` elements (last may be
+    /// shorter).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn item(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over contiguous sub-slices.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn item(&self, i: usize) -> R {
+        (self.f)(self.base.item(i))
+    }
+}
+
+/// Zip adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn item(&self, i: usize) -> Self::Item {
+        (self.a.item(i), self.b.item(i))
+    }
+}
+
+/// Enumerate adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn item(&self, i: usize) -> Self::Item {
+        (i, self.base.item(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunked_collect_preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let squares: Vec<Vec<u64>> = data
+            .par_chunks(7)
+            .map(|c| c.iter().map(|x| x * x).collect::<Vec<_>>())
+            .collect();
+        let flat: Vec<u64> = squares.into_iter().flatten().collect();
+        let expect: Vec<u64> = (0..1000).map(|x| x * x).collect();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn pool_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let data: Vec<f64> = (0..501).map(|i| i as f64 * 0.25).collect();
+        let work = |pool_threads: usize| -> Vec<f64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(pool_threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                data.par_chunks(16)
+                    .enumerate()
+                    .map(|(i, c)| c.iter().sum::<f64>() + i as f64)
+                    .collect()
+            })
+        };
+        assert_eq!(work(1), work(4));
+        assert_eq!(work(1), work(8));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter() {
+        let a = [1, 2, 3, 4];
+        let b = [10, 20, 30];
+        let v: Vec<i32> = a
+            .par_chunks(1)
+            .zip(b.par_chunks(1))
+            .map(|(x, y)| x[0] + y[0])
+            .collect();
+        assert_eq!(v, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_iter_maps_in_order() {
+        let v = vec![5u32, 6, 7];
+        let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn sum_and_for_each_work() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v.par_chunks(9).map(|c| c.iter().sum::<u64>()).sum();
+        assert_eq!(s, 4950);
+    }
+}

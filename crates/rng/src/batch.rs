@@ -9,8 +9,27 @@
 //! sections in parallel (e.g. with rayon) and the result is identical to a
 //! serial fill.
 
+use crate::lcg::Lcg63;
 use crate::philox::Philox4x32;
 use crate::{u32_to_open_f32, u64_to_open_f64};
+
+/// Advance a gathered batch of per-particle LCG streams by one draw each,
+/// writing the uniforms to `out` — the banked form of
+/// [`Lcg63::next_uniform`] used by the event loop's distance stage.
+///
+/// Stream `k` contributes exactly one draw to `out[k]`, so the draw order
+/// *within each stream* is identical to calling `next_uniform` in a
+/// scalar loop: the result is bit-identical to per-particle sampling for
+/// any batching of the bank. The loop body is branch-free and
+/// independent across lanes, which lets the compiler vectorize the state
+/// update (the paper's Algorithm 4 batched-uniform structure, applied to
+/// skip-ahead LCG streams instead of VSL streams).
+pub fn lcg_fill_uniform(streams: &mut [Lcg63], out: &mut [f64]) {
+    assert_eq!(streams.len(), out.len());
+    for (s, o) in streams.iter_mut().zip(out.iter_mut()) {
+        *o = s.next_uniform();
+    }
+}
 
 /// Fill `out` with uniforms in (0,1) from one Philox stream, starting at
 /// block `counter0`. Returns the first unused block counter.
@@ -171,6 +190,20 @@ impl BatchUniform {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lcg_fill_matches_scalar_draws() {
+        // The banked fill must be bit-identical to calling next_uniform
+        // per stream, and leave each stream in the same state.
+        let mut batched: Vec<Lcg63> = (0..37).map(|i| Lcg63::for_history(11, i, 3)).collect();
+        let mut scalar = batched.clone();
+        let mut out = vec![0.0f64; 37];
+        lcg_fill_uniform(&mut batched, &mut out);
+        for (s, &o) in scalar.iter_mut().zip(&out) {
+            assert_eq!(s.next_uniform(), o);
+        }
+        assert_eq!(batched, scalar);
+    }
 
     #[test]
     fn fill_is_deterministic() {

@@ -23,7 +23,7 @@
 use crate::vector::F32x16;
 
 const LN2_F32: f32 = core::f32::consts::LN_2;
-const SQRT_HALF: f32 = 0.707_106_8;
+const SQRT_HALF: f32 = core::f32::consts::FRAC_1_SQRT_2;
 
 /// Scalar body of the vectorized log; branch-free so the lane loop in
 /// [`vln`] vectorizes.

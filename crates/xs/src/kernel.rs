@@ -265,6 +265,36 @@ pub fn batch_macro_xs_simd(
     }
 }
 
+/// Banked-lookup driver addressing the bank through gather indices: lane
+/// `k` computes the cross section at `energy[indices[k]]` and writes it to
+/// `out[k]`.
+///
+/// The event loop's XS stage buckets live particles by material, which
+/// leaves each bucket a sorted-but-non-contiguous subset of the bank.
+/// This driver gathers those energies through a stack-resident staging
+/// tile and feeds the contiguous tile to [`batch_macro_xs_simd`], so no
+/// heap copy of the bucket's energies is ever materialized. Per element
+/// the result is exactly `macro_xs_simd(soa, grid, mat, energy[indices[k]])`.
+pub fn batch_macro_xs_simd_indexed(
+    soa: &SoaLibrary,
+    grid: &UnionGrid,
+    mat: &Material,
+    energy: &[f64],
+    indices: &[u32],
+    out: &mut [MacroXs],
+) {
+    assert_eq!(indices.len(), out.len());
+    const TILE: usize = 64;
+    let mut tile = [0.0f64; TILE];
+    for (idx_tile, out_tile) in indices.chunks(TILE).zip(out.chunks_mut(TILE)) {
+        let m = idx_tile.len();
+        for (slot, &i) in tile[..m].iter_mut().zip(idx_tile) {
+            *slot = energy[i as usize];
+        }
+        batch_macro_xs_simd(soa, grid, mat, &tile[..m], out_tile);
+    }
+}
+
 /// Whole-bank driver vectorized across the *outer* (particle) loop:
 /// 8 particles per lane, inner loop over nuclides scalar per step. The
 /// paper notes this performs worse because the inner trip counts and
@@ -472,6 +502,21 @@ mod tests {
         for i in 0..es.len() {
             assert!(a[i].max_rel_diff(&b[i]) < 1e-12, "i={i}");
             assert!(a[i].max_rel_diff(&c[i]) < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn indexed_driver_matches_elementwise_simd() {
+        let fx = fixture();
+        // An energy table larger than one staging tile, addressed by a
+        // scrambled, repeating index set (as material buckets are).
+        let energy: Vec<f64> = (0..150).map(|i| 2.3e-11 * 1.18f64.powi(i)).collect();
+        let indices: Vec<u32> = (0..150u32).map(|k| (k * 67 + 13) % 150).collect();
+        let mut out = vec![MacroXs::default(); indices.len()];
+        batch_macro_xs_simd_indexed(&fx.soa, &fx.grid, &fx.fuel, &energy, &indices, &mut out);
+        for (k, &i) in indices.iter().enumerate() {
+            let want = macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, energy[i as usize]);
+            assert_eq!(out[k], want, "k={k}");
         }
     }
 

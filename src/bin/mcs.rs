@@ -268,6 +268,7 @@ fn summarize(
         tallies: sp.tallies,
         mesh: None,
         mesh_stats: None,
+        event_stats: None,
         total_time: std::time::Duration::ZERO,
     }
 }

@@ -1,0 +1,96 @@
+//! Cross-crate determinism contract of the parallel event pipeline:
+//! identical results for any thread count, and identical trajectories to
+//! the history engine — the properties the ablation bench relies on when
+//! it compares serial and parallel timings.
+
+use mcs::core::event::{run_event_transport, run_event_transport_mesh, run_event_transport_serial};
+use mcs::core::history::{batch_streams, run_histories_mesh};
+use mcs::core::mesh::MeshSpec;
+use mcs::core::problem::Problem;
+
+#[test]
+fn event_pipeline_thread_count_invariant() {
+    let problem = Problem::test_small();
+    let n = 600;
+    let sources = problem.sample_initial_source(n, 2);
+    let streams = batch_streams(problem.seed, 0, n);
+    let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)))
+    };
+
+    let (out1, stats1, mesh1) = run(1);
+    for threads in [2, 4, 8] {
+        let (outn, statsn, meshn) = run(threads);
+        // Full outcome bitwise identical: integer and float tallies,
+        // and the banked fission sites in order.
+        assert_eq!(out1.tallies, outn.tallies, "{threads} threads");
+        assert_eq!(out1.sites, outn.sites, "{threads} threads");
+        assert_eq!(
+            mesh1.as_ref().unwrap().bins,
+            meshn.as_ref().unwrap().bins,
+            "{threads} threads"
+        );
+        assert_eq!(stats1.iterations, statsn.iterations);
+        assert_eq!(stats1.lookups, statsn.lookups);
+        assert_eq!(stats1.peak_bank, statsn.peak_bank);
+    }
+
+    // The dedicated serial entry point is the same algorithm pinned to
+    // one worker; it must agree bitwise too.
+    let (out_serial, _) = run_event_transport_serial(&problem, &sources, &streams);
+    assert_eq!(out_serial.tallies, out1.tallies);
+    assert_eq!(out_serial.sites, out1.sites);
+}
+
+#[test]
+fn parallel_event_still_matches_history_trajectories() {
+    // The multithreaded pipeline preserves the event/history trajectory
+    // equivalence: per-particle RNG streams mean neither the stage
+    // batching nor the thread count can change any particle's walk.
+    let problem = Problem::test_small();
+    let n = 500;
+    let sources = problem.sample_initial_source(n, 7);
+    let streams = batch_streams(problem.seed, 2, n);
+    let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+
+    let (hist, hmesh) = run_histories_mesh(&problem, &sources, &streams, Some(spec));
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let (evt, _, emesh) =
+        pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)));
+
+    assert_eq!(hist.tallies.segments, evt.tallies.segments);
+    assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
+    assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
+    assert_eq!(hist.tallies.fissions, evt.tallies.fissions);
+    assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
+    assert_eq!(hist.sites, evt.sites);
+    let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1e-300);
+    assert!(rel(hist.tallies.track_length, evt.tallies.track_length) < 1e-9);
+    assert!(rel(hist.tallies.k_track, evt.tallies.k_track) < 1e-9);
+    for (a, b) in hmesh.unwrap().bins.iter().zip(&emesh.unwrap().bins) {
+        assert!((a - b).abs() / a.abs().max(1e-300) < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn serial_entry_point_counters_match_parallel() {
+    // EventStats counters feed the device offload model; they must be
+    // identical however many threads executed the pipeline.
+    let problem = Problem::test_small();
+    let n = 350;
+    let sources = problem.sample_initial_source(n, 9);
+    let streams = batch_streams(problem.seed, 4, n);
+    let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
+    assert_eq!(serial.iterations, parallel.iterations);
+    assert_eq!(serial.lookups, parallel.lookups);
+    assert_eq!(serial.peak_bank, parallel.peak_bank);
+    assert_eq!(serial.peak_bank, n as u64);
+}
