@@ -18,10 +18,19 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     g.bench_function("history_based", |b| {
-        b.iter(|| run_histories(&problem, &sources, &streams).tallies.collisions)
+        b.iter(|| {
+            run_histories(&problem, &sources, &streams)
+                .tallies
+                .collisions
+        })
     });
     g.bench_function("event_based_banking", |b| {
-        b.iter(|| run_event_transport(&problem, &sources, &streams).0.tallies.collisions)
+        b.iter(|| {
+            run_event_transport(&problem, &sources, &streams)
+                .0
+                .tallies
+                .collisions
+        })
     });
     g.finish();
 }

@@ -75,13 +75,21 @@ fn main() {
         return;
     }
 
-    let mut banks = vec![1_000usize, 10_000, 100_000];
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let scaled = |n: usize| ((n as f64 * scale) as usize).max(100);
+    let mut banks = vec![scaled(1_000), scaled(10_000), scaled(100_000)];
     if std::env::var("MCS_BENCH_LARGE").is_ok_and(|v| v == "1") {
-        banks.push(1_000_000);
+        banks.push(scaled(1_000_000));
     }
 
     let mut samples: Vec<Sample> = Vec::new();
-    println!("{:>9} {:>7} {:>10} {:>14} {:>9}", "bank", "threads", "median_s", "particles/s", "speedup");
+    println!(
+        "{:>9} {:>7} {:>10} {:>14} {:>9}",
+        "bank", "threads", "median_s", "particles/s", "speedup"
+    );
     for &bank in &banks {
         let mut serial_s = 0.0;
         for &threads in &THREADS {
@@ -117,8 +125,11 @@ fn main() {
             )
         })
         .collect();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"event_parallel\",\n  \"reps\": {REPS},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"event_parallel\",\n  \"reps\": {REPS},\n  \"mcs_scale\": {scale},\n  \"host_threads\": {host_threads},\n  \"thread_counts\": [1, 2, 4, 8],\n  \"samples\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     // Anchor at the workspace root: `cargo bench` sets the CWD to the

@@ -11,7 +11,9 @@ use mcs_simd::AVec32;
 const N: usize = 65_536;
 
 fn bench(c: &mut Criterion) {
-    let xs_vals: Vec<f32> = (0..N).map(|i| 0.1 + 1.9 * (i % 997) as f32 / 997.0).collect();
+    let xs_vals: Vec<f32> = (0..N)
+        .map(|i| 0.1 + 1.9 * (i % 997) as f32 / 997.0)
+        .collect();
     let xs = AVec32::from_slice(&xs_vals);
 
     {

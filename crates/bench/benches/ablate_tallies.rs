@@ -4,9 +4,7 @@
 //! user-defined tallies are collected throughout phase space".
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mcs_core::history::{
-    batch_streams, run_histories, run_histories_mesh, run_histories_spectrum,
-};
+use mcs_core::history::{batch_streams, run_histories, run_histories_mesh, run_histories_spectrum};
 use mcs_core::mesh::MeshSpec;
 use mcs_core::problem::Problem;
 
@@ -22,7 +20,11 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     g.bench_function("no_tallies_inactive_batch", |b| {
-        b.iter(|| run_histories(&problem, &sources, &streams).tallies.collisions)
+        b.iter(|| {
+            run_histories(&problem, &sources, &streams)
+                .tallies
+                .collisions
+        })
     });
     g.bench_function("with_mesh_tally_active_batch", |b| {
         b.iter(|| {
@@ -33,7 +35,12 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("with_energy_spectrum", |b| {
-        b.iter(|| run_histories_spectrum(&problem, &sources, &streams).0.tallies.collisions)
+        b.iter(|| {
+            run_histories_spectrum(&problem, &sources, &streams)
+                .0
+                .tallies
+                .collisions
+        })
     });
     g.finish();
 }

@@ -1,54 +1,12 @@
-//! Fig. 1: total cross-section data for the U-238 isotope.
-//!
-//! Regenerates the figure's data series from the synthetic SLBW library:
-//! σ_t(E) over 10⁻¹¹–20 MeV, showing the 1/v thermal rise, the resolved
-//! resonance forest in the eV–keV range, and the smooth high-energy tail.
+//! Fig. 1 harness binary — see [`mcs_bench::harness::fig1`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, write_csv};
-use mcs_xs::nuclide::{Nuclide, NuclideSpec};
+use mcs_bench::harness::fig1;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 1", "U-238 total cross section vs energy (synthetic SLBW)");
-    let u238 = Nuclide::synthesize(&NuclideSpec::heavy("U238", 236.01, false, 92_238));
-
-    println!(
-        "grid points: {}   resonances: {}",
-        u238.n_points(),
-        u238.resonances.len()
-    );
-
-    // CSV of the full pointwise series.
-    let rows: Vec<Vec<String>> = u238
-        .energy
-        .iter()
-        .zip(&u238.total)
-        .map(|(&e, &t)| vec![format!("{e:.6e}"), format!("{t:.6e}")])
-        .collect();
-    write_csv("fig1_u238_total_xs", &["energy_mev", "sigma_total_barns"], &rows);
-
-    // Console summary: the figure's qualitative features.
-    let at = |e: f64| u238.micro_at(e).total;
-    println!("\n{:<24} {:>14}", "energy", "sigma_t (b)");
-    for &(label, e) in &[
-        ("1e-11 MeV (cold)", 1e-11),
-        ("0.0253e-6 MeV (thermal)", 2.53e-8),
-        ("1e-6 MeV (1 eV)", 1e-6),
-        ("1e-3 MeV (1 keV)", 1e-3),
-        ("1 MeV (fast)", 1.0),
-        ("20 MeV (top)", 20.0),
-    ] {
-        println!("{label:<24} {:>14.3}", at(e));
-    }
-
-    // Resonance peak-to-valley contrast, the hallmark of Fig. 1.
-    let peak = u238
-        .resonances
-        .iter()
-        .map(|r| at(r.e0))
-        .fold(0.0f64, f64::max);
-    let smooth = at(1.0);
-    println!("\ntallest resonance peak: {peak:.1} b (vs {smooth:.1} b smooth at 1 MeV)");
-    println!("peak/smooth contrast:   {:.0}x", peak / smooth);
-    assert!(peak / smooth > 20.0, "resonance forest missing");
+    let r = fig1::run(scale(), true);
+    r.artifact.write();
+    assert!(r.peak_to_smooth > 20.0, "resonance forest missing");
     println!("\nshape check PASSED: 1/v rise, resonance forest, smooth fast range");
 }

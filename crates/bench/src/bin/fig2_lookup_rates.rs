@@ -1,108 +1,13 @@
-//! Fig. 2: cross-section lookup rates for the banking and history methods
-//! vs bank size (H.M. Large).
-//!
-//! Columns:
-//! * `history/CPU` — MEASURED: the scalar `calculate_xs` loop over the
-//!   bank on this host.
-//! * `banked/host` — MEASURED: the SoA + vectorized-inner-loop kernel on
-//!   this host (the structural win of banking, hardware-independent).
-//! * `banked/MIC` — MODELED: the same kernel priced on the Xeon Phi 7120A
-//!   machine model.
-//!
-//! The paper's headline: banked/MIC ≈ 10× history/CPU at large banks.
+//! Fig. 2 harness binary — see [`mcs_bench::harness::fig2`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{fmt_secs, header, log_energies, scaled, time_it, write_csv};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::shape_of;
-use mcs_device::workload::{xs_lookup_banked, xs_lookup_scalar};
-use mcs_device::MachineSpec;
-use mcs_xs::kernel::{batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs};
+use mcs_bench::harness::fig2;
+use mcs_bench::scale;
 
 fn main() {
-    header(
-        "Fig. 2",
-        "XS lookup rates: banking vs history methods (H.M. Large)",
-    );
-    // S(α,β)/URR removed, as in the paper's micro-benchmark (§III-A1).
-    let cfg = ProblemConfig {
-        enable_sab: false,
-        enable_urr: false,
-        ..Default::default()
-    };
-    let (problem, t_build) = time_it(|| Problem::hm(HmModel::Large, &cfg));
-    println!(
-        "H.M. Large: {} nuclides, union grid {} points (built in {})\n",
-        problem.library.len(),
-        problem.grid.n_points(),
-        fmt_secs(t_build)
-    );
-    let fuel = &problem.materials[0];
-    let shape = shape_of(&problem);
-    let mic = MachineSpec::mic_7120a();
-    let e5 = MachineSpec::host_e5_2687w();
-
-    println!(
-        "{:>10} {:>15} {:>15} {:>15} {:>15} {:>9}",
-        "bank size", "hist/host meas", "hist/E5 model", "bank/host meas", "bank/MIC model", "MIC/E5"
-    );
-    let mut rows = Vec::new();
-    for &n in &[1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000] {
-        let n = scaled(n);
-        let energies = log_energies(n, 0xF162);
-        let mut out = vec![MacroXs::default(); n];
-
-        let (_, t_scalar) = time_it(|| {
-            batch_macro_xs_scalar(&problem.library, &problem.grid, fuel, &energies, &mut out)
-        });
-        let checksum_scalar: f64 = out.iter().map(|x| x.total).sum();
-
-        let (_, t_banked) = time_it(|| {
-            batch_macro_xs_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out)
-        });
-        let checksum_banked: f64 = out.iter().map(|x| x.total).sum();
-        assert!(
-            ((checksum_scalar - checksum_banked) / checksum_scalar).abs() < 1e-10,
-            "kernels disagree"
-        );
-
-        // Modeled times: the banked lookups on the MIC and the scalar
-        // history lookups on the paper's dual-socket host.
-        let t_mic = mic.kernel_time(&xs_lookup_banked(&shape, 0).scale(n as f64));
-        let t_e5 = e5.kernel_time(&xs_lookup_scalar(&shape, 0).scale(n as f64));
-
-        let (r_scalar, r_e5, r_banked, r_mic) = (
-            n as f64 / t_scalar,
-            n as f64 / t_e5,
-            n as f64 / t_banked,
-            n as f64 / t_mic,
-        );
-        println!(
-            "{:>10} {:>15.0} {:>15.0} {:>15.0} {:>15.0} {:>8.1}x",
-            n,
-            r_scalar,
-            r_e5,
-            r_banked,
-            r_mic,
-            r_mic / r_e5
-        );
-        rows.push(vec![
-            n.to_string(),
-            format!("{r_scalar:.1}"),
-            format!("{r_e5:.1}"),
-            format!("{r_banked:.1}"),
-            format!("{r_mic:.1}"),
-        ]);
+    let r = fig2::run(scale(), true);
+    for row in &r.rows {
+        assert!(row.checksum_rel_err < 1e-10, "kernels disagree");
     }
-    write_csv(
-        "fig2_lookup_rates",
-        &[
-            "bank_size",
-            "history_host_measured_per_s",
-            "history_e5_modeled_per_s",
-            "banked_host_measured_per_s",
-            "banked_mic_modeled_per_s",
-        ],
-        &rows,
-    );
-    println!("\npaper shape: banked/MIC ≈ 10× history/CPU (MIC/E5 column) at large banks");
+    r.artifact.write();
 }

@@ -1,125 +1,35 @@
-//! Fig. 3: time comparison between banking particles on the CPU and
-//! offloading to the MIC, normalized to host generation time, vs the
-//! number of particles (H.M. Small).
-//!
-//! One "iteration" is one banked-lookup round: bank all n particles, ship
-//! the bank, compute their fuel-material cross sections. The figure plots
-//! each operation's time as a ratio of the *generation* time (all
-//! histories of the same n particles, green = 1.0). The paper's claims to
-//! check are the *trends*: the transfer and MIC-compute ratios fall as n
-//! grows (fixed marshal/launch costs amortize), the host-compute ratio
-//! rises toward its asymptote, and the MIC-compute curve drops under the
-//! host-compute curve above ~10⁴ particles.
-//!
-//! Generation time and the material mix are derived from a real measured
-//! transport run; per-operation times are modeled.
+//! Fig. 3 harness binary — see [`mcs_bench::harness::fig3`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::OffloadModel;
+use mcs_bench::harness::fig3;
+use mcs_bench::scale;
 
 fn main() {
-    header(
-        "Fig. 3",
-        "offload cost ratios vs particle count (H.M. Small)",
-    );
-    let cfg = ProblemConfig {
-        enable_sab: false,
-        enable_urr: false,
-        ..Default::default()
-    };
-    let problem = Problem::hm(HmModel::Small, &cfg);
-
-    // Measure the real per-particle transport structure.
-    let n_probe = scaled(2_000);
-    let sources = problem.sample_initial_source(n_probe, 0);
-    let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
-    let shape = shape_of(&problem);
-    let segs_pp = out.tallies.segments as f64 / n_probe as f64;
-    println!(
-        "measured: {:.1} flight segments per history ({} histories)\n",
-        segs_pp, n_probe
-    );
-
-    let host = NativeModel::new(
-        mcs_device::MachineSpec::host_e5_2687w(),
-        TransportKind::HistoryScalar,
-    );
-    let offload = OffloadModel::jlse();
-    let grid_bytes = (problem.grid.data_bytes() + problem.soa.data_bytes()) as f64;
-
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>12}",
-        "particles", "bank/gen", "xfer/gen", "micXS/gen", "hostXS/gen"
-    );
-    let mut rows = Vec::new();
-    let mut series: Vec<(f64, f64, f64, f64)> = Vec::new();
-    for &n in &[100usize, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
-        // Scale the measured tallies to n particles for the generation time.
-        let mut t = out.tallies;
-        let f = n as f64 / n_probe as f64;
-        t.n_particles = n as u64;
-        t.segments = (t.segments as f64 * f) as u64;
-        t.collisions = (t.collisions as f64 * f) as u64;
-        for i in 0..8 {
-            t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
-            t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
-        }
-        let gen_time = host.batch_time(&shape, &t);
-
-        let b = offload.breakdown(&shape, n, grid_bytes);
-        let r = (
-            b.banking_host_s / gen_time,
-            b.transfer_bank_s / gen_time,
-            b.compute_device_s / gen_time,
-            b.compute_host_s / gen_time,
-        );
-        println!(
-            "{:>10} {:>12.5} {:>12.5} {:>12.5} {:>12.5}",
-            n, r.0, r.1, r.2, r.3
-        );
-        rows.push(vec![
-            n.to_string(),
-            format!("{:.6}", r.0),
-            format!("{:.6}", r.1),
-            format!("{:.6}", r.2),
-            format!("{:.6}", r.3),
-        ]);
-        series.push(r);
-    }
-    write_csv(
-        "fig3_offload_asymptotics",
-        &[
-            "particles",
-            "bank_over_gen",
-            "transfer_over_gen",
-            "mic_xs_over_gen",
-            "host_xs_over_gen",
-        ],
-        &rows,
-    );
+    let r = fig3::run(scale(), true);
+    r.artifact.write();
 
     // The paper's trend claims.
-    let first = series[0];
-    let last = *series.last().unwrap();
-    assert!(last.1 < first.1, "transfer ratio must fall with n");
-    assert!(last.2 < first.2, "MIC compute ratio must fall with n");
-    assert!(last.3 > first.3, "host compute ratio must rise with n");
-    // MIC compute drops below host compute above ~1e4 particles.
-    let cross = series
-        .iter()
-        .zip([100usize, 1_000, 10_000, 100_000, 1_000_000, 10_000_000])
-        .find(|(r, _)| r.2 < r.3)
-        .map(|(_, n)| n);
-    println!(
-        "\nMIC-compute curve crosses under host-compute at n = {:?} (paper: ~10,000)",
-        cross
+    let first = &r.rows[0];
+    let last = r.rows.last().unwrap();
+    assert!(
+        last.transfer_over_gen < first.transfer_over_gen,
+        "transfer ratio must fall with n"
     );
     assert!(
-        matches!(cross, Some(n) if n <= 100_000),
+        last.mic_xs_over_gen < first.mic_xs_over_gen,
+        "MIC compute ratio must fall with n"
+    );
+    assert!(
+        last.host_xs_over_gen > first.host_xs_over_gen,
+        "host compute ratio must rise with n"
+    );
+    // MIC compute drops below host compute above ~1e4 particles.
+    println!(
+        "\nMIC-compute curve crosses under host-compute at n = {:?} (paper: ~10,000)",
+        r.crossover
+    );
+    assert!(
+        matches!(r.crossover, Some(n) if n <= 100_000),
         "MIC compute should undercut host compute by 1e5 particles"
     );
     println!(

@@ -1,89 +1,23 @@
-//! Fig. 4: TAU-style profile comparison between the host CPU execution
-//! and the MIC in native mode (H.M. Large, full physics).
-//!
-//! The host column is MEASURED: a real instrumented transport run through
-//! `mcs-prof`. The MIC column is MODELED from the same run's instrumented
-//! counts. The features to reproduce: the top routine is the XS lookup on
-//! both machines, the MIC beats the CPU on exactly those bottleneck
-//! routines, and the total is ≈1.5–1.6× faster on the MIC.
+//! Fig. 4 harness binary — see [`mcs_bench::harness::fig4`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{fmt_secs, header, scaled, write_csv};
-use mcs_core::history::{batch_streams, run_histories_profiled};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
-use mcs_prof::ThreadProfiler;
+use mcs_bench::harness::fig4;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 4", "profile comparison: host CPU vs MIC native (H.M. Large)");
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let n = scaled(2_000);
-    let sources = problem.sample_initial_source(n, 0);
-    let streams = batch_streams(problem.seed, 0, n);
-
-    // MEASURED host profile (single-threaded instrumented run).
-    let prof = ThreadProfiler::new();
-    let out = run_histories_profiled(&problem, &sources, &streams, &prof);
-    let host_profile = prof.finish();
-    println!("\nMEASURED host profile ({} histories):\n", n);
-    println!("{}", host_profile.render("host (this machine)"));
-
-    // MODELED comparison: price the instrumented counts on both machines.
-    let shape = shape_of(&problem);
-    let host_model = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic_model = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
-    let host_prof = host_model.profile_breakdown(&shape, &out.tallies);
-    let mic_prof = mic_model.profile_breakdown(&shape, &out.tallies);
-
-    println!("MODELED per-routine comparison (E5-2687W vs Phi 7120A):\n");
-    println!(
-        "{:<28} {:>14} {:>14} {:>8}",
-        "routine", "CPU", "MIC", "MIC/CPU"
-    );
-    let mut rows = Vec::new();
-    let mut tot_cpu = 0.0;
-    let mut tot_mic = 0.0;
-    for ((name, t_cpu), (_, t_mic)) in host_prof.iter().zip(mic_prof.iter()) {
-        println!(
-            "{:<28} {:>14} {:>14} {:>8.2}",
-            name,
-            fmt_secs(*t_cpu),
-            fmt_secs(*t_mic),
-            t_mic / t_cpu
-        );
-        rows.push(vec![
-            name.clone(),
-            format!("{t_cpu:.6}"),
-            format!("{t_mic:.6}"),
-        ]);
-        tot_cpu += t_cpu;
-        tot_mic += t_mic;
-    }
-    println!(
-        "{:<28} {:>14} {:>14} {:>8.2}",
-        "TOTAL",
-        fmt_secs(tot_cpu),
-        fmt_secs(tot_mic),
-        tot_mic / tot_cpu
-    );
-    println!(
-        "\nCPU/MIC total speedup: {:.2}x  (paper: 96 min / 65 min = 1.48x)",
-        tot_cpu / tot_mic
-    );
-    rows.push(vec![
-        "TOTAL".into(),
-        format!("{tot_cpu:.6}"),
-        format!("{tot_mic:.6}"),
-    ]);
-    write_csv("fig4_profile_compare", &["routine", "cpu_s", "mic_s"], &rows);
+    let r = fig4::run(scale(), true);
+    r.artifact.write();
 
     // Shape assertions.
     assert!(
-        host_prof[0].1 > host_prof[1].1 && host_prof[0].1 > host_prof[2].1,
+        r.modeled[0].1 > r.modeled[1].1 && r.modeled[0].1 > r.modeled[2].1,
         "calculate_xs must top the host profile"
     );
-    assert!(mic_prof[0].1 < host_prof[0].1, "MIC must win the bottleneck routine");
-    let speedup = tot_cpu / tot_mic;
+    assert!(
+        r.modeled[0].2 < r.modeled[0].1,
+        "MIC must win the bottleneck routine"
+    );
+    let speedup = r.speedup();
     assert!(
         (1.2..2.2).contains(&speedup),
         "total MIC speedup {speedup:.2} outside the paper window"

@@ -1,88 +1,12 @@
-//! Fig. 5: calculation rate (neutrons/second) vs particles per batch for
-//! inactive and active batches, host CPU vs MIC native (H.M. Large).
-//!
-//! Real eigenvalue batches run on this host (physics + per-batch tallies
-//! are MEASURED); each batch's instrumented counts are then priced on the
-//! E5-2687W and Phi 7120A models to produce the figure's two curves.
-//! Checks: MIC ≈ 1.5–2× the CPU above 10⁴ particles, consistent
-//! α_i/α_a ≈ 0.61–0.62, and collapsing rates at small batch sizes.
+//! Fig. 5 harness binary — see [`mcs_bench::harness::fig5`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
+use mcs_bench::harness::fig5;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 5", "calculation rate vs batch size, CPU vs MIC (H.M. Large)");
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let shape = shape_of(&problem);
-    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
-
-    println!(
-        "\n{:>10} {:>8} {:>14} {:>14} {:>8}",
-        "particles", "batch", "CPU (n/s)", "MIC (n/s)", "alpha"
-    );
-    let mut rows = Vec::new();
-    let mut alphas = Vec::new();
-    for &n in &[100usize, 1_000, 10_000, 100_000] {
-        let n = scaled(n);
-        // One inactive and one active batch, really transported.
-        for (label, batch_index) in [("inactive", 0u64), ("active", 1u64)] {
-            let sources = problem.sample_initial_source(n, batch_index);
-            let streams = batch_streams(problem.seed, batch_index, n);
-            let out = run_histories(&problem, &sources, &streams);
-            let r_cpu = host.calc_rate(&shape, &out.tallies);
-            let r_mic = mic.calc_rate(&shape, &out.tallies);
-            let alpha = r_cpu / r_mic;
-            if n >= 10_000 {
-                alphas.push(alpha);
-            }
-            println!(
-                "{:>10} {:>8} {:>14.0} {:>14.0} {:>8.3}",
-                n, label, r_cpu, r_mic, alpha
-            );
-            rows.push(vec![
-                n.to_string(),
-                label.to_string(),
-                format!("{r_cpu:.0}"),
-                format!("{r_mic:.0}"),
-                format!("{alpha:.4}"),
-            ]);
-        }
-    }
-    write_csv(
-        "fig5_calc_rates",
-        &["particles", "batch_kind", "cpu_rate", "mic_rate", "alpha"],
-        &rows,
-    );
-
-    let mean_alpha = alphas.iter().sum::<f64>() / alphas.len() as f64;
-    println!(
-        "\nalpha at >=1e4 particles: {:.3} (paper: 0.61 ± 0.02 inactive, 0.62 ± 0.01 active)",
-        mean_alpha
-    );
-    assert!((0.5..0.8).contains(&mean_alpha), "alpha out of window");
-
-    // Also demonstrate a real (measured, this-host) eigenvalue run with
-    // converging source, to show rates are stable across batches.
-    let n = scaled(2_000);
-    let settings = EigenvalueSettings {
-        particles: n,
-        inactive: 2,
-        active: 3,
-        mode: TransportMode::History,
-        entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
-    };
-    let result = run_eigenvalue(&problem, &settings);
-    println!(
-        "\nreal eigenvalue run on this host: k = {:.5} ± {:.5}, mean rate {:.0} n/s (measured)",
-        result.k_mean,
-        result.k_std,
-        result.mean_rate(true)
-    );
+    let r = fig5::run(scale(), true);
+    r.artifact.write();
+    assert!((0.5..0.8).contains(&r.mean_alpha), "alpha out of window");
     println!("shape checks PASSED");
 }

@@ -1,111 +1,27 @@
-//! Fig. 6: strong scaling of the H.M. Large simulation with N = 10⁷ on
-//! the Stampede cluster (CPU-only, CPU+1MIC, CPU+2MIC curves).
-//!
-//! Rank rates are the Stampede-clocked machine models priced on a real
-//! measured transport run; the cluster model then applies the paper's
-//! static α balancing, the per-rank rate knee (Fig. 5's left side), and
-//! the per-batch synchronization cost. Checks: ≈95% efficiency at 128
-//! nodes, the 1-MIC tail at 1,024 nodes, no tail for CPU-only, and the
-//! 2-MIC curve stopping at 384 nodes (Stampede's partition size).
+//! Fig. 6 harness binary — see [`mcs_bench::harness::fig6`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_cluster::{strong_scaling, CommModel, NodeSpec};
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
-
-fn stampede_rates() -> (f64, f64) {
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let shape = shape_of(&problem);
-    let n_probe = scaled(2_000);
-    let sources = problem.sample_initial_source(n_probe, 0);
-    let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
-    let mut t = out.tallies;
-    let f = 100_000.0 / n_probe as f64;
-    t.n_particles = 100_000;
-    t.segments = (t.segments as f64 * f) as u64;
-    t.collisions = (t.collisions as f64 * f) as u64;
-    for i in 0..8 {
-        t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
-        t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
-    }
-    let cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar);
-    (cpu.calc_rate(&shape, &t), mic.calc_rate(&shape, &t))
-}
+use mcs_bench::harness::fig6;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 6", "strong scaling, H.M. Large, N = 1e7, Stampede model");
-    let (r_cpu, r_mic) = stampede_rates();
-    println!(
-        "\nStampede rank rates (modeled from measured run): CPU {:.0} n/s, MIC {:.0} n/s\n",
-        r_cpu, r_mic
-    );
-
-    let comm = CommModel::fdr_infiniband();
-    let n_total = 10_000_000u64;
-    let curves: [(&str, NodeSpec, Vec<usize>); 3] = [
-        (
-            "CPU only",
-            NodeSpec::cpu_only(r_cpu),
-            vec![4, 8, 16, 32, 64, 128, 256, 512, 1024],
-        ),
-        (
-            "CPU + 1 MIC",
-            NodeSpec::with_one_mic(r_cpu, r_mic),
-            vec![4, 8, 16, 32, 64, 128, 256, 512, 1024],
-        ),
-        (
-            "CPU + 2 MIC",
-            NodeSpec::with_two_mics(r_cpu, r_mic),
-            vec![4, 8, 16, 32, 64, 128, 384], // 384 nodes have 2 MICs
-        ),
-    ];
-
-    let mut rows = Vec::new();
-    for (label, node, counts) in &curves {
-        println!("--- {label} ---");
-        println!(
-            "{:>8} {:>14} {:>16} {:>12}",
-            "nodes", "batch time (s)", "rate (n/s)", "efficiency"
-        );
-        let pts = strong_scaling(node, counts, n_total, &comm);
-        for p in &pts {
-            println!(
-                "{:>8} {:>14.3} {:>16.0} {:>11.1}%",
-                p.nodes,
-                p.batch_time,
-                p.rate,
-                p.efficiency * 100.0
-            );
-            rows.push(vec![
-                label.to_string(),
-                p.nodes.to_string(),
-                format!("{:.4}", p.batch_time),
-                format!("{:.0}", p.rate),
-                format!("{:.4}", p.efficiency),
-            ]);
-        }
-        println!();
-    }
-    write_csv(
-        "fig6_strong_scaling",
-        &["curve", "nodes", "batch_time_s", "rate", "efficiency"],
-        &rows,
-    );
+    let r = fig6::run(scale(), true);
+    r.artifact.write();
 
     // Shape assertions.
-    let one_mic = strong_scaling(
-        &NodeSpec::with_one_mic(r_cpu, r_mic),
-        &[4, 128, 1024],
-        n_total,
-        &comm,
+    let one_mic = r.curve("CPU + 1 MIC");
+    assert!(
+        one_mic.at(128).unwrap().efficiency > 0.93,
+        "128-node efficiency"
     );
-    assert!(one_mic[1].efficiency > 0.93, "128-node efficiency");
-    assert!(one_mic[2].efficiency < 0.85, "1-MIC tail missing at 1024 nodes");
-    let cpu_only = strong_scaling(&NodeSpec::cpu_only(r_cpu), &[4, 1024], n_total, &comm);
-    assert!(cpu_only[1].efficiency > 0.95, "CPU-only curve should stay flat");
+    assert!(
+        one_mic.at(1024).unwrap().efficiency < 0.85,
+        "1-MIC tail missing at 1024 nodes"
+    );
+    let cpu_only = r.curve("CPU only");
+    assert!(
+        cpu_only.at(1024).unwrap().efficiency > 0.95,
+        "CPU-only curve should stay flat"
+    );
     println!("shape checks PASSED: ~95% at 128 nodes, 1-MIC tail at 1024, flat CPU-only");
 }

@@ -1,73 +1,13 @@
-//! Fig. 7: weak scaling of the H.M. Large simulation with N = 10⁶ per
-//! node on the Stampede cluster model.
-//!
-//! Check: ≥94% efficiency at all scales up to 128 nodes, and (the
-//! paper's footnoted claim) the curve stays flat out to 2¹⁰ nodes.
+//! Fig. 7 harness binary — see [`mcs_bench::harness::fig7`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_cluster::{weak_scaling, CommModel, NodeSpec};
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
+use mcs_bench::harness::fig7;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 7", "weak scaling, H.M. Large, N = 1e6 per node, Stampede model");
-
-    // Rank rates from a real measured run (same procedure as Fig. 6).
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let shape = shape_of(&problem);
-    let n_probe = scaled(2_000);
-    let sources = problem.sample_initial_source(n_probe, 0);
-    let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
-    let mut t = out.tallies;
-    let f = 100_000.0 / n_probe as f64;
-    t.n_particles = 100_000;
-    t.segments = (t.segments as f64 * f) as u64;
-    t.collisions = (t.collisions as f64 * f) as u64;
-    for i in 0..8 {
-        t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
-        t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
-    }
-    let r_cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar)
-        .calc_rate(&shape, &t);
-    let r_mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar)
-        .calc_rate(&shape, &t);
-    println!("\nrank rates: CPU {:.0} n/s, MIC {:.0} n/s\n", r_cpu, r_mic);
-
-    let comm = CommModel::fdr_infiniband();
-    let node = NodeSpec::with_one_mic(r_cpu, r_mic);
-    let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-    let pts = weak_scaling(&node, &counts, 1_000_000, &comm);
-
-    println!(
-        "{:>8} {:>14} {:>16} {:>12}",
-        "nodes", "batch time (s)", "rate (n/s)", "efficiency"
-    );
-    let mut rows = Vec::new();
-    for p in &pts {
-        println!(
-            "{:>8} {:>14.3} {:>16.0} {:>11.1}%",
-            p.nodes,
-            p.batch_time,
-            p.rate,
-            p.efficiency * 100.0
-        );
-        rows.push(vec![
-            p.nodes.to_string(),
-            format!("{:.4}", p.batch_time),
-            format!("{:.0}", p.rate),
-            format!("{:.4}", p.efficiency),
-        ]);
-    }
-    write_csv(
-        "fig7_weak_scaling",
-        &["nodes", "batch_time_s", "rate", "efficiency"],
-        &rows,
-    );
-
-    for p in &pts {
+    let r = fig7::run(scale(), true);
+    r.artifact.write();
+    for p in &r.points {
         assert!(
             p.efficiency > 0.94,
             "weak-scaling efficiency {:.3} at {} nodes below the paper's 94%",

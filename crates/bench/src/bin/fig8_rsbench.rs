@@ -1,120 +1,22 @@
-//! Fig. 8: execution time for RSBench implementations — original
-//! (variable poles per window) vs vectorized (fixed poles per window).
-//!
-//! The host columns are MEASURED: both multipole kernels really run here,
-//! over identical physical pole data (the fixed layout pads windows with
-//! zero-residue poles, so the checksums agree). The MIC columns are
-//! MODELED by pricing the per-pole operation mix on the Phi: the
-//! original's variable trip count keeps the Faddeeva evaluation scalar
-//! (call-heavy — the MIC's weakness), the vectorized layout turns it into
-//! lane work (the MIC's strength).
+//! Fig. 8 harness binary — see [`mcs_bench::harness::fig8`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{fmt_secs, header, scaled, time_it, write_csv};
-use mcs_device::{KernelCounts, MachineSpec};
-use mcs_multipole::{rsbench_driver, MultipoleLibrary, MultipoleSpec};
+use mcs_bench::harness::fig8;
+use mcs_bench::scale;
 
 fn main() {
-    header("Fig. 8", "RSBench: original vs vectorized multipole lookups");
-    let spec = MultipoleSpec::rsbench_like();
-    let var_lib = MultipoleLibrary::build(&spec);
-    let max_poles = var_lib
-        .nuclides
-        .iter()
-        .map(|n| n.max_poles_per_window())
-        .max()
-        .unwrap();
-    let fix_lib = MultipoleLibrary::build(&spec.clone().with_fixed_poles(max_poles));
-    println!(
-        "\nlibrary: {} nuclides × {} windows; {} poles variable, {} fixed ({} per window)\n",
-        spec.n_nuclides,
-        spec.n_windows,
-        var_lib.total_poles(),
-        fix_lib.total_poles(),
-        max_poles
-    );
-
-    let n_lookups = scaled(300_000);
-    let (sum_orig, t_orig) = time_it(|| rsbench_driver(&var_lib, n_lookups, 42, false));
-    let (sum_vec, t_vec) = time_it(|| rsbench_driver(&fix_lib, n_lookups, 42, true));
+    let r = fig8::run(scale(), true);
     assert!(
-        ((sum_orig - sum_vec) / sum_orig).abs() < 1e-9,
-        "kernels must agree: {sum_orig} vs {sum_vec}"
+        r.checksum_rel_err < 1e-9,
+        "kernels must agree (rel err {})",
+        r.checksum_rel_err
     );
+    r.artifact.write();
 
-    println!("MEASURED on this host ({n_lookups} lookups):");
-    println!("  original (variable windows, scalar W): {}", fmt_secs(t_orig));
-    println!("  vectorized (fixed windows, batched W): {}", fmt_secs(t_vec));
-    println!("  speedup: {:.2}x", t_orig / t_vec);
-
-    // MODELED: per-pole op mixes on each machine.
-    let mean_poles_var = var_lib.total_poles() as f64 / (spec.n_nuclides * spec.n_windows) as f64;
-    let poles_per_lookup_var = mean_poles_var;
-    let poles_per_lookup_fix = max_poles as f64;
-    // Original: every pole costs a complex exponential (exp+sin+cos via
-    // libm) and scalar complex bookkeeping, behind a call.
-    let per_pole_orig = KernelCounts {
-        calls: 1.0,
-        libm: 3.0,
-        scalar: 80.0,
-        ..Default::default()
-    };
-    // Vectorized: the W series becomes lane work; the hoisted exponential
-    // leaves one scalar libm trio per *window*, amortized over its poles.
-    let per_pole_vec = KernelCounts {
-        vector_lanes: 100.0,
-        scalar: 10.0,
-        libm: 3.0 / poles_per_lookup_fix,
-        ..Default::default()
-    };
-    let lookups = 1e8; // paper-scale lookup count
-    let cpu = MachineSpec::host_e5_2687w();
-    let mic = MachineSpec::mic_7120a();
-    let t = |spec: &MachineSpec, c: &KernelCounts, poles: f64| {
-        spec.kernel_time(&c.scale(lookups * poles))
-    };
-    println!("\nMODELED at paper scale (1e8 lookups), seconds:");
-    println!(
-        "{:<14} {:>12} {:>12} {:>9}",
-        "machine", "original", "vectorized", "speedup"
-    );
-    let mut rows = vec![vec![
-        "host_measured".to_string(),
-        format!("{t_orig:.4}"),
-        format!("{t_vec:.4}"),
-        format!("{:.3}", t_orig / t_vec),
-    ]];
-    for (label, m) in [("CPU", &cpu), ("MIC", &mic)] {
-        let a = t(m, &per_pole_orig, poles_per_lookup_var);
-        let b = t(m, &per_pole_vec, poles_per_lookup_fix);
-        println!("{:<14} {:>12.1} {:>12.1} {:>8.2}x", label, a, b, a / b);
-        rows.push(vec![
-            format!("{label}_modeled"),
-            format!("{a:.2}"),
-            format!("{b:.2}"),
-            format!("{:.3}", a / b),
-        ]);
-    }
-    write_csv(
-        "fig8_rsbench",
-        &["row", "original_s", "vectorized_s", "speedup"],
-        &rows,
-    );
-    println!("\npaper shape: vectorization ≈ 2-3x; the MIC gains far more than the CPU");
-
-    // Bonus: the multipole method's motivation — on-the-fly temperature
-    // dependence (§IV-B). One pole, re-broadened across temperatures.
-    println!("\nDoppler broadening on the fly (no new tables):");
-    let nuc = &var_lib.nuclides[0];
-    let pole = nuc.poles[0];
-    let e_peak = pole.position.re * pole.position.re;
-    println!("{:>8} {:>16}", "T (K)", "sigma_t at peak");
+    // Doppler: peaks must flatten as T rises.
     let mut prev = f64::INFINITY;
-    for t_k in [293.6, 600.0, 1200.0, 2400.0] {
-        let hot = nuc.at_temperature(t_k);
-        let sig = mcs_multipole::lookup_original(&hot, e_peak).total;
-        println!("{:>8.1} {:>16.1}", t_k, sig);
+    for &(_t_k, sig) in &r.doppler {
         assert!(sig.abs() < prev.abs() * 1.001, "peak must flatten with T");
         prev = sig;
     }
-    println!("(peaks flatten as T rises — the ψ/χ broadening the paper cites)");
 }

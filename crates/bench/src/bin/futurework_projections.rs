@@ -1,130 +1,21 @@
-//! §V — the paper's future-work directions, implemented and quantified:
-//!
-//! 1. **Runtime-adaptive α** ("α can be determined at runtime... using the
-//!    measured calculation rates"): batch-by-batch rebalancing vs the
-//!    static Eq. 3 split, in the knee regime where static balancing fails.
-//! 2. **Knights Landing projection** ("out-of-order execution... possible
-//!    automatic ~3x single thread speedup", no PCIe hop): native-mode
-//!    rates on the projected socketed successor.
-//! 3. **Energy expenditure** ("analyzing energy expenditures... excellent
-//!    performance per watt"): neutrons-per-joule for the Table III
-//!    hardware combinations.
+//! §V future-work harness binary — see [`mcs_bench::harness::futurework`]
+//! for the library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_cluster::adaptive::{simulate_adaptive, static_alpha_wall};
-use mcs_cluster::Rank;
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::power::{batch_energy, PowerSpec};
-use mcs_device::MachineSpec;
+use mcs_bench::harness::futurework;
+use mcs_bench::scale;
 
 fn main() {
-    header("§V", "future-work projections: adaptive alpha, KNL, energy");
-
-    // Measured per-particle structure at production batch size.
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let shape = shape_of(&problem);
-    let n_probe = scaled(2_000);
-    let sources = problem.sample_initial_source(n_probe, 0);
-    let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
-    let mut t = out.tallies;
-    let f = 100_000.0 / n_probe as f64;
-    t.n_particles = 100_000;
-    t.segments = (t.segments as f64 * f) as u64;
-    t.collisions = (t.collisions as f64 * f) as u64;
-    for i in 0..8 {
-        t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
-        t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
+    let r = futurework::run(scale(), true);
+    for a in &r.artifacts {
+        a.write();
     }
-
-    let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
-    let r_cpu = cpu.calc_rate(&shape, &t);
-    let r_mic = mic.calc_rate(&shape, &t);
-
-    // --- 1. runtime-adaptive α ----------------------------------------
-    println!("\n[1] runtime-adaptive load balancing (knee regime, 9,800 particles/node):");
-    let ranks = vec![Rank::cpu("cpu", r_cpu), Rank::mic("mic", r_mic)];
-    let n_small = 9_800;
-    let static_wall = static_alpha_wall(&ranks, n_small);
-    let walls = simulate_adaptive(&ranks, n_small, 6);
-    println!("  static Eq.-3 split batch time: {:.4} s", static_wall);
-    for (i, w) in walls.iter().enumerate() {
-        println!("  adaptive batch {i}: {w:.4} s");
-    }
-    let gain = static_wall / walls.last().unwrap();
-    println!("  converged adaptive vs static: {gain:.3}x");
-    write_csv(
-        "futurework_adaptive",
-        &["batch", "adaptive_wall_s", "static_wall_s"],
-        &walls
-            .iter()
-            .enumerate()
-            .map(|(i, w)| vec![i.to_string(), format!("{w:.6}"), format!("{static_wall:.6}")])
-            .collect::<Vec<_>>(),
+    assert!(
+        r.adaptive_gain > 1.0,
+        "adaptive must beat static on the knee"
     );
-
-    // --- 2. Knights Landing projection --------------------------------
-    println!("\n[2] Knights Landing projection (socketed, OOO, MCDRAM):");
-    let knl = NativeModel::new(MachineSpec::knl_projection(), TransportKind::HistoryScalar);
-    let knl_banked = NativeModel::new(MachineSpec::knl_projection(), TransportKind::EventBanked);
-    let r_knl = knl.calc_rate(&shape, &t);
-    let r_knl_banked = knl_banked.calc_rate(&shape, &t);
-    println!("  KNC native rate:            {r_mic:>10.0} n/s");
-    println!("  KNL native rate (proj.):    {r_knl:>10.0} n/s  ({:.1}x KNC)", r_knl / r_mic);
-    println!(
-        "  KNL + banked kernels:       {r_knl_banked:>10.0} n/s  ({:.1}x KNC)",
-        r_knl_banked / r_mic
+    assert!(
+        r.r_knl > 1.5 * r.r_mic,
+        "KNL projection should clearly beat KNC"
     );
-    println!("  (and no PCIe hop: the Table II transfer column disappears)");
-
-    // --- 3. energy analysis --------------------------------------------
-    println!("\n[3] energy expenditure (per 1e5-particle batch):");
-    let host_p = PowerSpec::for_machine(&MachineSpec::host_e5_2687w());
-    let mic_p = PowerSpec::for_machine(&MachineSpec::mic_7120a());
-    let n = 100_000u64;
-    let combos = [
-        ("CPU only", vec![(host_p, n as f64 / r_cpu)]),
-        ("MIC only", vec![(mic_p, n as f64 / r_mic)]),
-        (
-            "CPU + 2 MIC (balanced)",
-            vec![
-                (host_p, n as f64 / (r_cpu + 2.0 * r_mic)),
-                (mic_p, n as f64 / (r_cpu + 2.0 * r_mic)),
-                (mic_p, n as f64 / (r_cpu + 2.0 * r_mic)),
-            ],
-        ),
-    ];
-    println!(
-        "  {:<24} {:>10} {:>12} {:>12}",
-        "configuration", "wall (s)", "energy (kJ)", "n/joule"
-    );
-    let mut rows = Vec::new();
-    for (label, units) in &combos {
-        let rep = batch_energy(label, units, n);
-        println!(
-            "  {:<24} {:>10.2} {:>12.2} {:>12.1}",
-            rep.label,
-            rep.wall_s,
-            rep.energy_j / 1e3,
-            rep.neutrons_per_joule()
-        );
-        rows.push(vec![
-            rep.label.clone(),
-            format!("{:.3}", rep.wall_s),
-            format!("{:.1}", rep.energy_j),
-            format!("{:.2}", rep.neutrons_per_joule()),
-        ]);
-    }
-    write_csv(
-        "futurework_energy",
-        &["configuration", "wall_s", "energy_j", "neutrons_per_joule"],
-        &rows,
-    );
-
-    assert!(gain > 1.0, "adaptive must beat static on the knee");
-    assert!(r_knl > 1.5 * r_mic, "KNL projection should clearly beat KNC");
     println!("\nall §V projections computed");
 }

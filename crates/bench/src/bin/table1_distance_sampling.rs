@@ -1,144 +1,10 @@
-//! Table I: average times for the distance-sampling micro-benchmark.
-//!
-//! Paper configuration: `iters = 10⁴`, `N = 10⁷` (10¹¹ total samples);
-//! this harness runs a scaled-down measured version on the host (CPU
-//! column) and prices the full paper configuration on both machine models
-//! (the MODELED table), so the shape — naive ≫ optimized, MIC worst on
-//! naive, MIC best on optimized — can be checked at both scales.
+//! Table I harness binary — see [`mcs_bench::harness::table1`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{fmt_secs, header, scaled, time_it, write_csv};
-use mcs_core::distance::{
-    sample_distances_naive, sample_distances_opt1, sample_distances_opt2,
-};
-use mcs_device::workload::{
-    distance_naive_per_element, distance_opt1_per_element, distance_opt2_per_element,
-};
-use mcs_device::MachineSpec;
-use mcs_rng::StreamPartition;
-use mcs_simd::AVec32;
+use mcs_bench::harness::table1;
+use mcs_bench::scale;
 
 fn main() {
-    header("Table I", "distance-sampling micro-benchmark (d = -ln(r)/Sigma)");
-
-    // ---- measured on this host (scaled) ------------------------------
-    let n = scaled(1_000_000);
-    let iters = scaled(20);
-    let xs: AVec32 = AVec32::from_slice(
-        &(0..n)
-            .map(|i| 0.1 + 1.9 * ((i * 37 % n) as f32 / n as f32))
-            .collect::<Vec<f32>>(),
-    );
-    println!("\nMEASURED on this host: N = {n}, iters = {iters}\n");
-
-    let mut out = vec![0.0f32; n];
-    let (_, t_naive) = time_it(|| {
-        for it in 0..iters {
-            sample_distances_naive(xs.as_slice(), &mut out, 1 + it as u32);
-        }
-    });
-
-    let mut r = vec![0.0f32; n];
-    let mut part = StreamPartition::new(7, 8);
-    let (_, t_opt1) = time_it(|| {
-        for _ in 0..iters {
-            sample_distances_opt1(xs.as_slice(), &mut r, &mut out, &mut part);
-        }
-    });
-
-    let mut r2 = AVec32::zeros(n);
-    let mut out2 = AVec32::zeros(n);
-    let mut part2 = StreamPartition::new(7, 8);
-    let (_, t_opt2) = time_it(|| {
-        for _ in 0..iters {
-            sample_distances_opt2(&xs, &mut r2, &mut out2, &mut part2);
-        }
-    });
-
-    println!(
-        "{:<28} {:>14} {:>14} {:>14}",
-        "implementation", "Naive", "Optimized-1", "Optimized-2"
-    );
-    println!(
-        "{:<28} {:>14} {:>14} {:>14}",
-        "host (measured)",
-        fmt_secs(t_naive),
-        fmt_secs(t_opt1),
-        fmt_secs(t_opt2)
-    );
-    println!(
-        "{:<28} {:>13.1}x {:>13.1}x {:>13.1}x",
-        "speedup vs naive",
-        1.0,
-        t_naive / t_opt1,
-        t_naive / t_opt2
-    );
-
-    // ---- modeled at paper scale --------------------------------------
-    let elems = 1e7 * 1e4; // N × iters
-    let cpu = MachineSpec::host_e5_2687w();
-    let mic = MachineSpec::mic_7120a();
-    let price = |spec: &MachineSpec, c: &mcs_device::KernelCounts| {
-        spec.kernel_time_ext(&c.scale(elems), true)
-    };
-    let naive = distance_naive_per_element();
-    let opt1 = distance_opt1_per_element();
-    let opt2 = distance_opt2_per_element();
-
-    println!("\nMODELED at paper scale (N = 1e7, iters = 1e4), seconds:\n");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "implementation", "Naive", "Optimized-1", "Optimized-2"
-    );
-    let cpu_row = [price(&cpu, &naive), price(&cpu, &opt1), price(&cpu, &opt2)];
-    let mic_row = [price(&mic, &naive), price(&mic, &opt1), price(&mic, &opt2)];
-    println!(
-        "{:<28} {:>12.1} {:>12.1} {:>12.1}",
-        "CPU - 32 threads (modeled)", cpu_row[0], cpu_row[1], cpu_row[2]
-    );
-    println!(
-        "{:<28} {:>12.1} {:>12.1} {:>12.1}",
-        "MIC - 244 threads (modeled)", mic_row[0], mic_row[1], mic_row[2]
-    );
-    println!(
-        "\npaper measured:              {:>12} {:>12} {:>12}",
-        "412", "40.6", "36.6"
-    );
-    println!(
-        "paper measured (MIC):        {:>12} {:>12} {:>12}",
-        "8,243", "21.0", "18.9"
-    );
-    println!("\nshape checks:");
-    println!(
-        "  naive MIC/CPU   = {:>6.1}x  (paper 20.0x)",
-        mic_row[0] / cpu_row[0]
-    );
-    println!(
-        "  opt2  CPU/MIC   = {:>6.1}x  (paper  1.9x)",
-        cpu_row[2] / mic_row[2]
-    );
-
-    write_csv(
-        "table1_distance_sampling",
-        &["row", "naive_s", "opt1_s", "opt2_s"],
-        &[
-            vec![
-                "host_measured".into(),
-                format!("{t_naive:.4}"),
-                format!("{t_opt1:.4}"),
-                format!("{t_opt2:.4}"),
-            ],
-            vec![
-                "cpu_modeled_paper_scale".into(),
-                format!("{:.1}", cpu_row[0]),
-                format!("{:.1}", cpu_row[1]),
-                format!("{:.1}", cpu_row[2]),
-            ],
-            vec![
-                "mic_modeled_paper_scale".into(),
-                format!("{:.1}", mic_row[0]),
-                format!("{:.1}", mic_row[1]),
-                format!("{:.1}", mic_row[2]),
-            ],
-        ],
-    );
+    let r = table1::run(scale(), true);
+    r.artifact.write();
 }

@@ -1,100 +1,19 @@
-//! Table III: average calculation rates in symmetric mode, original
-//! (even split) vs load balanced (Eq. 3), for CPU / MIC / CPU+1MIC /
-//! CPU+2MICs on one JLSE node (H.M. Large, 10⁵ particles).
-//!
-//! Rank rates come from the native models priced on a real measured
-//! transport run; the symmetric-mode arithmetic is then exact.
+//! Table III harness binary — see [`mcs_bench::harness::table3`] for the
+//! library entry point `mcs-check` shares with this wrapper.
 
-use mcs_bench::{header, scaled, write_csv};
-use mcs_core::history::{batch_streams, run_histories};
-use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::{MachineSpec, SymmetricModel};
+use mcs_bench::harness::table3;
+use mcs_bench::scale;
 
 fn main() {
-    header("Table III", "symmetric-mode rates: original vs load balanced");
-    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
-    let shape = shape_of(&problem);
-
-    // Measure per-particle structure with a real run, then scale counts
-    // to the paper's 1e5-particle batch.
-    let n_probe = scaled(2_000);
-    let sources = problem.sample_initial_source(n_probe, 0);
-    let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
-    let mut t = out.tallies;
-    let f = 100_000.0 / n_probe as f64;
-    t.n_particles = 100_000;
-    t.segments = (t.segments as f64 * f) as u64;
-    t.collisions = (t.collisions as f64 * f) as u64;
-    for i in 0..8 {
-        t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
-        t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
-    }
-
-    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
-    let r_cpu = host.calc_rate(&shape, &t);
-    let r_mic = mic.calc_rate(&shape, &t);
-    let alpha = r_cpu / r_mic;
-    println!(
-        "\nmodeled rank rates: CPU {:.0} n/s, MIC {:.0} n/s, alpha = {:.2}",
-        r_cpu, r_mic, alpha
-    );
-    println!("(paper: CPU 4,050, MIC 6,641, alpha = 0.61-0.62)\n");
-
-    let n_total = 100_000u64;
-    let mut rows = Vec::new();
-    println!(
-        "{:<14} {:>14} {:>16} {:>14}",
-        "hardware", "original", "load balanced", "ideal"
-    );
-    let mut show = |label: &str, ranks: &[(&str, f64)], balanced_applies: bool| {
-        let m = SymmetricModel::new(ranks);
-        let orig = m.original_rate(n_total);
-        let bal = if balanced_applies {
-            format!("{:.0}", m.balanced_rate(n_total))
-        } else {
-            "N/A".to_string()
-        };
-        println!(
-            "{:<14} {:>14.0} {:>16} {:>14.0}",
-            label,
-            orig,
-            bal,
-            m.ideal()
-        );
-        rows.push(vec![
-            label.to_string(),
-            format!("{orig:.0}"),
-            bal,
-            format!("{:.0}", m.ideal()),
-        ]);
-    };
-    show("CPU only", &[("cpu", r_cpu)], false);
-    show("MIC only", &[("mic", r_mic)], false);
-    show("CPU + MIC", &[("cpu", r_cpu), ("mic", r_mic)], true);
-    show(
-        "CPU + 2 MICs",
-        &[("cpu", r_cpu), ("mic0", r_mic), ("mic1", r_mic)],
-        true,
-    );
-    println!("\npaper:          original      load balanced");
-    println!("CPU only           4,050                N/A");
-    println!("MIC only           6,641                N/A");
-    println!("CPU + MIC          8,988             10,068");
-    println!("CPU + 2 MICs      11,860             17,098");
-    write_csv(
-        "table3_symmetric_balance",
-        &["hardware", "original_rate", "balanced_rate", "ideal_rate"],
-        &rows,
-    );
+    let r = table3::run(scale(), true);
+    r.artifact.write();
 
     // Shape assertions: balanced recovers ≈ ideal; CPU+2MIC balanced vs
     // CPU-only ≈ 4x (the paper's headline).
-    let m2 = SymmetricModel::new(&[("cpu", r_cpu), ("mic0", r_mic), ("mic1", r_mic)]);
-    let headline = m2.balanced_rate(n_total) / r_cpu;
-    println!("\nCPU+2MIC balanced vs CPU-only: {headline:.2}x (paper: 17,098/4,050 = 4.2x)");
-    assert!((3.0..5.5).contains(&headline), "headline ratio {headline:.2} off");
+    assert!(
+        (3.0..5.5).contains(&r.headline),
+        "headline ratio {:.2} off",
+        r.headline
+    );
     println!("shape checks PASSED");
 }

@@ -1,0 +1,169 @@
+//! Fig. 2: cross-section lookup rates for the banking and history methods
+//! vs bank size (H.M. Large).
+//!
+//! Columns:
+//! * `history/CPU` — MEASURED: the scalar `calculate_xs` loop over the
+//!   bank on this host.
+//! * `banked/host` — MEASURED: the SoA + vectorized-inner-loop kernel on
+//!   this host (the structural win of banking, hardware-independent).
+//! * `banked/MIC` — MODELED: the same kernel priced on the Xeon Phi 7120A
+//!   machine model.
+//!
+//! The paper's headline: banked/MIC ≈ 10× history/CPU at large banks.
+
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::shape_of;
+use mcs_device::workload::{xs_lookup_banked, xs_lookup_scalar};
+use mcs_device::MachineSpec;
+use mcs_xs::kernel::{batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs};
+
+use super::{vprintln, Artifact};
+use crate::{fmt_secs, header_with_scale, log_energies, scaled_by, time_it};
+
+/// One bank-size row of Fig. 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    /// Bank size (scaled).
+    pub bank: usize,
+    /// MEASURED scalar history-lookup rate on this host (lookups/s).
+    pub history_host: f64,
+    /// MODELED scalar history-lookup rate on the paper's E5-2687W.
+    pub history_e5: f64,
+    /// MEASURED banked SoA/SIMD lookup rate on this host.
+    pub banked_host: f64,
+    /// MODELED banked lookup rate on the Xeon Phi 7120A.
+    pub banked_mic: f64,
+    /// |scalar − banked| / scalar checksum disagreement.
+    pub checksum_rel_err: f64,
+}
+
+impl Fig2Row {
+    /// The figure's headline ratio at this bank size: banked/MIC over
+    /// history/E5 (both modeled, paper ≈ 10×).
+    pub fn mic_over_e5(&self) -> f64 {
+        self.banked_mic / self.history_e5
+    }
+}
+
+/// Typed result of the Fig. 2 harness.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Rows by ascending bank size.
+    pub rows: Vec<Fig2Row>,
+    /// The `fig2_lookup_rates` CSV.
+    pub artifact: Artifact,
+}
+
+impl Fig2Result {
+    /// The largest-bank row (the paper quotes its asymptotic ratios).
+    pub fn largest(&self) -> &Fig2Row {
+        self.rows.last().expect("fig2 has rows")
+    }
+}
+
+/// Run the Fig. 2 lookup-rate sweep at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Fig2Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 2",
+            "XS lookup rates: banking vs history methods (H.M. Large)",
+            scale,
+        );
+    }
+    // S(α,β)/URR removed, as in the paper's micro-benchmark (§III-A1).
+    let cfg = ProblemConfig {
+        enable_sab: false,
+        enable_urr: false,
+        ..Default::default()
+    };
+    let (problem, t_build) = time_it(|| Problem::hm(HmModel::Large, &cfg));
+    vprintln!(
+        verbose,
+        "H.M. Large: {} nuclides, union grid {} points (built in {})\n",
+        problem.library.len(),
+        problem.grid.n_points(),
+        fmt_secs(t_build)
+    );
+    let fuel = &problem.materials[0];
+    let shape = shape_of(&problem);
+    let mic = MachineSpec::mic_7120a();
+    let e5 = MachineSpec::host_e5_2687w();
+
+    vprintln!(
+        verbose,
+        "{:>10} {:>15} {:>15} {:>15} {:>15} {:>9}",
+        "bank size",
+        "hist/host meas",
+        "hist/E5 model",
+        "bank/host meas",
+        "bank/MIC model",
+        "MIC/E5"
+    );
+    let mut out_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &[1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000] {
+        let n = scaled_by(n, scale);
+        let energies = log_energies(n, 0xF162);
+        let mut out = vec![MacroXs::default(); n];
+
+        let (_, t_scalar) = time_it(|| {
+            batch_macro_xs_scalar(&problem.library, &problem.grid, fuel, &energies, &mut out)
+        });
+        let checksum_scalar: f64 = out.iter().map(|x| x.total).sum();
+
+        let (_, t_banked) =
+            time_it(|| batch_macro_xs_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out));
+        let checksum_banked: f64 = out.iter().map(|x| x.total).sum();
+        let checksum_rel_err = ((checksum_scalar - checksum_banked) / checksum_scalar).abs();
+
+        // Modeled times: the banked lookups on the MIC and the scalar
+        // history lookups on the paper's dual-socket host.
+        let t_mic = mic.kernel_time(&xs_lookup_banked(&shape, 0).scale(n as f64));
+        let t_e5 = e5.kernel_time(&xs_lookup_scalar(&shape, 0).scale(n as f64));
+
+        let row = Fig2Row {
+            bank: n,
+            history_host: n as f64 / t_scalar,
+            history_e5: n as f64 / t_e5,
+            banked_host: n as f64 / t_banked,
+            banked_mic: n as f64 / t_mic,
+            checksum_rel_err,
+        };
+        vprintln!(
+            verbose,
+            "{:>10} {:>15.0} {:>15.0} {:>15.0} {:>15.0} {:>8.1}x",
+            row.bank,
+            row.history_host,
+            row.history_e5,
+            row.banked_host,
+            row.banked_mic,
+            row.mic_over_e5()
+        );
+        csv_rows.push(vec![
+            row.bank.to_string(),
+            format!("{:.1}", row.history_host),
+            format!("{:.1}", row.history_e5),
+            format!("{:.1}", row.banked_host),
+            format!("{:.1}", row.banked_mic),
+        ]);
+        out_rows.push(row);
+    }
+    vprintln!(
+        verbose,
+        "\npaper shape: banked/MIC ≈ 10× history/CPU (MIC/E5 column) at large banks"
+    );
+    Fig2Result {
+        rows: out_rows,
+        artifact: Artifact {
+            name: "fig2_lookup_rates",
+            columns: vec![
+                "bank_size",
+                "history_host_measured_per_s",
+                "history_e5_modeled_per_s",
+                "banked_host_measured_per_s",
+                "banked_mic_modeled_per_s",
+            ],
+            rows: csv_rows,
+        },
+    }
+}

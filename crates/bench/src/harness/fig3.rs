@@ -1,0 +1,153 @@
+//! Fig. 3: time comparison between banking particles on the CPU and
+//! offloading to the MIC, normalized to host generation time, vs the
+//! number of particles (H.M. Small).
+//!
+//! One "iteration" is one banked-lookup round: bank all n particles, ship
+//! the bank, compute their fuel-material cross sections. The figure plots
+//! each operation's time as a ratio of the *generation* time (all
+//! histories of the same n particles, green = 1.0). The paper's claims to
+//! check are the *trends*: the transfer and MIC-compute ratios fall as n
+//! grows (fixed marshal/launch costs amortize), the host-compute ratio
+//! rises toward its asymptote, and the MIC-compute curve drops under the
+//! host-compute curve above ~10⁴ particles.
+//!
+//! Generation time and the material mix are derived from a real measured
+//! transport run; per-operation times are modeled.
+
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::OffloadModel;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// One particle-count row of Fig. 3 (ratios to generation time).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// Particle count n.
+    pub particles: usize,
+    /// Banking time / generation time.
+    pub bank_over_gen: f64,
+    /// PCIe bank transfer / generation time.
+    pub transfer_over_gen: f64,
+    /// MIC bank-lookup compute / generation time.
+    pub mic_xs_over_gen: f64,
+    /// Host bank-lookup compute / generation time.
+    pub host_xs_over_gen: f64,
+}
+
+/// Typed result of the Fig. 3 harness.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Measured flight segments per history on H.M. Small.
+    pub segments_per_history: f64,
+    /// Rows by ascending particle count.
+    pub rows: Vec<Fig3Row>,
+    /// Smallest n where MIC compute undercuts host compute, if any.
+    pub crossover: Option<usize>,
+    /// The `fig3_offload_asymptotics` CSV.
+    pub artifact: Artifact,
+}
+
+/// Run the Fig. 3 offload-asymptotics study at `scale` (the scale sets
+/// the measured probe batch; the swept particle counts are the paper's).
+pub fn run(scale: f64, verbose: bool) -> Fig3Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 3",
+            "offload cost ratios vs particle count (H.M. Small)",
+            scale,
+        );
+    }
+    let cfg = ProblemConfig {
+        enable_sab: false,
+        enable_urr: false,
+        ..Default::default()
+    };
+    let problem = Problem::hm(HmModel::Small, &cfg);
+
+    // Measure the real per-particle transport structure.
+    let n_probe = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n_probe, 0);
+    let streams = batch_streams(problem.seed, 0, n_probe);
+    let out = run_histories(&problem, &sources, &streams);
+    let shape = shape_of(&problem);
+    let segs_pp = out.tallies.segments as f64 / n_probe as f64;
+    vprintln!(
+        verbose,
+        "measured: {:.1} flight segments per history ({} histories)\n",
+        segs_pp,
+        n_probe
+    );
+
+    let host = NativeModel::new(
+        mcs_device::MachineSpec::host_e5_2687w(),
+        TransportKind::HistoryScalar,
+    );
+    let offload = OffloadModel::jlse();
+    let grid_bytes = (problem.grid.data_bytes() + problem.soa.data_bytes()) as f64;
+
+    vprintln!(
+        verbose,
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "particles",
+        "bank/gen",
+        "xfer/gen",
+        "micXS/gen",
+        "hostXS/gen"
+    );
+    let mut csv_rows = Vec::new();
+    let mut rows: Vec<Fig3Row> = Vec::new();
+    for &n in &[100usize, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
+        // Scale the measured tallies to n particles for the generation time.
+        let t = out.tallies.scaled_to(n as u64);
+        let gen_time = host.batch_time(&shape, &t);
+
+        let b = offload.breakdown(&shape, n, grid_bytes);
+        let row = Fig3Row {
+            particles: n,
+            bank_over_gen: b.banking_host_s / gen_time,
+            transfer_over_gen: b.transfer_bank_s / gen_time,
+            mic_xs_over_gen: b.compute_device_s / gen_time,
+            host_xs_over_gen: b.compute_host_s / gen_time,
+        };
+        vprintln!(
+            verbose,
+            "{:>10} {:>12.5} {:>12.5} {:>12.5} {:>12.5}",
+            n,
+            row.bank_over_gen,
+            row.transfer_over_gen,
+            row.mic_xs_over_gen,
+            row.host_xs_over_gen
+        );
+        csv_rows.push(vec![
+            n.to_string(),
+            format!("{:.6}", row.bank_over_gen),
+            format!("{:.6}", row.transfer_over_gen),
+            format!("{:.6}", row.mic_xs_over_gen),
+            format!("{:.6}", row.host_xs_over_gen),
+        ]);
+        rows.push(row);
+    }
+    let crossover = rows
+        .iter()
+        .find(|r| r.mic_xs_over_gen < r.host_xs_over_gen)
+        .map(|r| r.particles);
+    Fig3Result {
+        segments_per_history: segs_pp,
+        rows,
+        crossover,
+        artifact: Artifact {
+            name: "fig3_offload_asymptotics",
+            columns: vec![
+                "particles",
+                "bank_over_gen",
+                "transfer_over_gen",
+                "mic_xs_over_gen",
+                "host_xs_over_gen",
+            ],
+            rows: csv_rows,
+        },
+    }
+}

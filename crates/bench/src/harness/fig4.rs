@@ -1,0 +1,139 @@
+//! Fig. 4: TAU-style profile comparison between the host CPU execution
+//! and the MIC in native mode (H.M. Large, full physics).
+//!
+//! The host column is MEASURED: a real instrumented transport run through
+//! `mcs-prof`. The MIC column is MODELED from the same run's instrumented
+//! counts. The features to reproduce: the top routine is the XS lookup on
+//! both machines, the MIC beats the CPU on exactly those bottleneck
+//! routines, and the total is ≈1.5–1.6× faster on the MIC.
+
+use mcs_core::history::{batch_streams, run_histories_profiled};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::MachineSpec;
+use mcs_prof::{Profile, ThreadProfiler};
+
+use super::{vprintln, Artifact};
+use crate::{fmt_secs, header_with_scale, scaled_by};
+
+/// Typed result of the Fig. 4 harness.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Histories in the instrumented run.
+    pub histories: usize,
+    /// MEASURED host profile (real instrumentation on this machine).
+    pub host_profile: Profile,
+    /// MODELED per-routine comparison `(routine, cpu_s, mic_s)`, in the
+    /// native model's bottleneck-first order.
+    pub modeled: Vec<(String, f64, f64)>,
+    /// MODELED total time on the E5-2687W.
+    pub total_cpu: f64,
+    /// MODELED total time on the Phi 7120A.
+    pub total_mic: f64,
+    /// The `fig4_profile_compare` CSV.
+    pub artifact: Artifact,
+}
+
+impl Fig4Result {
+    /// Total MIC speedup over the CPU (paper: 96 min / 65 min = 1.48×).
+    pub fn speedup(&self) -> f64 {
+        self.total_cpu / self.total_mic
+    }
+}
+
+/// Run the Fig. 4 instrumented comparison at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Fig4Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 4",
+            "profile comparison: host CPU vs MIC native (H.M. Large)",
+            scale,
+        );
+    }
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let n = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n, 0);
+    let streams = batch_streams(problem.seed, 0, n);
+
+    // MEASURED host profile (single-threaded instrumented run).
+    let prof = ThreadProfiler::new();
+    let out = run_histories_profiled(&problem, &sources, &streams, &prof);
+    let host_profile = prof.finish();
+    vprintln!(verbose, "\nMEASURED host profile ({} histories):\n", n);
+    if verbose {
+        println!("{}", host_profile.render("host (this machine)"));
+    }
+
+    // MODELED comparison: price the instrumented counts on both machines.
+    let shape = shape_of(&problem);
+    let host_model = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+    let mic_model = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let host_prof = host_model.profile_breakdown(&shape, &out.tallies);
+    let mic_prof = mic_model.profile_breakdown(&shape, &out.tallies);
+
+    vprintln!(
+        verbose,
+        "MODELED per-routine comparison (E5-2687W vs Phi 7120A):\n"
+    );
+    vprintln!(
+        verbose,
+        "{:<28} {:>14} {:>14} {:>8}",
+        "routine",
+        "CPU",
+        "MIC",
+        "MIC/CPU"
+    );
+    let mut rows = Vec::new();
+    let mut modeled = Vec::new();
+    let mut tot_cpu = 0.0;
+    let mut tot_mic = 0.0;
+    for ((name, t_cpu), (_, t_mic)) in host_prof.iter().zip(mic_prof.iter()) {
+        vprintln!(
+            verbose,
+            "{:<28} {:>14} {:>14} {:>8.2}",
+            name,
+            fmt_secs(*t_cpu),
+            fmt_secs(*t_mic),
+            t_mic / t_cpu
+        );
+        rows.push(vec![
+            name.clone(),
+            format!("{t_cpu:.6}"),
+            format!("{t_mic:.6}"),
+        ]);
+        modeled.push((name.clone(), *t_cpu, *t_mic));
+        tot_cpu += t_cpu;
+        tot_mic += t_mic;
+    }
+    vprintln!(
+        verbose,
+        "{:<28} {:>14} {:>14} {:>8.2}",
+        "TOTAL",
+        fmt_secs(tot_cpu),
+        fmt_secs(tot_mic),
+        tot_mic / tot_cpu
+    );
+    vprintln!(
+        verbose,
+        "\nCPU/MIC total speedup: {:.2}x  (paper: 96 min / 65 min = 1.48x)",
+        tot_cpu / tot_mic
+    );
+    rows.push(vec![
+        "TOTAL".into(),
+        format!("{tot_cpu:.6}"),
+        format!("{tot_mic:.6}"),
+    ]);
+
+    Fig4Result {
+        histories: n,
+        host_profile,
+        modeled,
+        total_cpu: tot_cpu,
+        total_mic: tot_mic,
+        artifact: Artifact {
+            name: "fig4_profile_compare",
+            columns: vec!["routine", "cpu_s", "mic_s"],
+            rows,
+        },
+    }
+}

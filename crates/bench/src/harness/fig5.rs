@@ -1,0 +1,174 @@
+//! Fig. 5: calculation rate (neutrons/second) vs particles per batch for
+//! inactive and active batches, host CPU vs MIC native (H.M. Large).
+//!
+//! Real eigenvalue batches run on this host (physics + per-batch tallies
+//! are MEASURED); each batch's instrumented counts are then priced on the
+//! E5-2687W and Phi 7120A models to produce the figure's two curves.
+//! Checks: MIC ≈ 1.5–2× the CPU above 10⁴ particles, consistent
+//! α_i/α_a ≈ 0.61–0.62, and collapsing rates at small batch sizes.
+
+use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::MachineSpec;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// One (particle count, batch kind) row of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Particles in the batch (scaled).
+    pub particles: usize,
+    /// `"inactive"` or `"active"`.
+    pub batch_kind: &'static str,
+    /// MODELED CPU calculation rate from the batch's measured counts.
+    pub cpu_rate: f64,
+    /// MODELED MIC calculation rate from the batch's measured counts.
+    pub mic_rate: f64,
+    /// α = CPU rate / MIC rate.
+    pub alpha: f64,
+}
+
+/// Typed result of the Fig. 5 harness.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Rows in sweep order (ascending n, inactive then active).
+    pub rows: Vec<Fig5Row>,
+    /// Mean α over the rows with n ≥ the large-batch threshold.
+    pub mean_alpha: f64,
+    /// k from the real measured eigenvalue run on this host.
+    pub k_mean: f64,
+    /// Standard error on k.
+    pub k_std: f64,
+    /// Measured mean active-batch rate on this host (n/s).
+    pub measured_rate: f64,
+    /// The `fig5_calc_rates` CSV.
+    pub artifact: Artifact,
+}
+
+impl Fig5Result {
+    /// Modeled CPU rate at the smallest and largest swept batch size
+    /// (inactive rows) — the figure's left-side rate collapse.
+    pub fn cpu_rate_extremes(&self) -> (f64, f64) {
+        let inactive: Vec<&Fig5Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.batch_kind == "inactive")
+            .collect();
+        (
+            inactive.first().map(|r| r.cpu_rate).unwrap_or(0.0),
+            inactive.last().map(|r| r.cpu_rate).unwrap_or(0.0),
+        )
+    }
+}
+
+/// Run the Fig. 5 rate sweep plus a real eigenvalue run at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Fig5Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 5",
+            "calculation rate vs batch size, CPU vs MIC (H.M. Large)",
+            scale,
+        );
+    }
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let shape = shape_of(&problem);
+    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+
+    vprintln!(
+        verbose,
+        "\n{:>10} {:>8} {:>14} {:>14} {:>8}",
+        "particles",
+        "batch",
+        "CPU (n/s)",
+        "MIC (n/s)",
+        "alpha"
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut alphas = Vec::new();
+    // α is quoted at the figure's plateau; with the sweep scaled down the
+    // plateau threshold scales with it.
+    let alpha_threshold = scaled_by(10_000, scale);
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        let n = scaled_by(n, scale);
+        // One inactive and one active batch, really transported.
+        for (label, batch_index) in [("inactive", 0u64), ("active", 1u64)] {
+            let sources = problem.sample_initial_source(n, batch_index);
+            let streams = batch_streams(problem.seed, batch_index, n);
+            let out = run_histories(&problem, &sources, &streams);
+            let r_cpu = host.calc_rate(&shape, &out.tallies);
+            let r_mic = mic.calc_rate(&shape, &out.tallies);
+            let alpha = r_cpu / r_mic;
+            if n >= alpha_threshold {
+                alphas.push(alpha);
+            }
+            vprintln!(
+                verbose,
+                "{:>10} {:>8} {:>14.0} {:>14.0} {:>8.3}",
+                n,
+                label,
+                r_cpu,
+                r_mic,
+                alpha
+            );
+            csv_rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                format!("{r_cpu:.0}"),
+                format!("{r_mic:.0}"),
+                format!("{alpha:.4}"),
+            ]);
+            rows.push(Fig5Row {
+                particles: n,
+                batch_kind: label,
+                cpu_rate: r_cpu,
+                mic_rate: r_mic,
+                alpha,
+            });
+        }
+    }
+
+    let mean_alpha = alphas.iter().sum::<f64>() / alphas.len().max(1) as f64;
+    vprintln!(
+        verbose,
+        "\nalpha at >=1e4 particles: {:.3} (paper: 0.61 ± 0.02 inactive, 0.62 ± 0.01 active)",
+        mean_alpha
+    );
+
+    // Also demonstrate a real (measured, this-host) eigenvalue run with
+    // converging source, to show rates are stable across batches.
+    let n = scaled_by(2_000, scale);
+    let settings = EigenvalueSettings {
+        particles: n,
+        inactive: 2,
+        active: 3,
+        mode: TransportMode::History,
+        entropy_mesh: (8, 8, 4),
+        mesh_tally: None,
+    };
+    let result = run_eigenvalue(&problem, &settings);
+    vprintln!(
+        verbose,
+        "\nreal eigenvalue run on this host: k = {:.5} ± {:.5}, mean rate {:.0} n/s (measured)",
+        result.k_mean,
+        result.k_std,
+        result.mean_rate(true)
+    );
+
+    Fig5Result {
+        rows,
+        mean_alpha,
+        k_mean: result.k_mean,
+        k_std: result.k_std,
+        measured_rate: result.mean_rate(true),
+        artifact: Artifact {
+            name: "fig5_calc_rates",
+            columns: vec!["particles", "batch_kind", "cpu_rate", "mic_rate", "alpha"],
+            rows: csv_rows,
+        },
+    }
+}

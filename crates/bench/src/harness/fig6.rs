@@ -1,0 +1,154 @@
+//! Fig. 6: strong scaling of the H.M. Large simulation with N = 10⁷ on
+//! the Stampede cluster (CPU-only, CPU+1MIC, CPU+2MIC curves).
+//!
+//! Rank rates are the Stampede-clocked machine models priced on a real
+//! measured transport run; the cluster model then applies the paper's
+//! static α balancing, the per-rank rate knee (Fig. 5's left side), and
+//! the per-batch synchronization cost. Checks: ≈95% efficiency at 128
+//! nodes, the 1-MIC tail at 1,024 nodes, no tail for CPU-only, and the
+//! 2-MIC curve stopping at 384 nodes (Stampede's partition size).
+
+use mcs_cluster::{strong_scaling, CommModel, NodeSpec, ScalingPoint};
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::MachineSpec;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// One scaling curve of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Curve {
+    /// Curve label ("CPU only", "CPU + 1 MIC", "CPU + 2 MIC").
+    pub label: &'static str,
+    /// Scaling points by ascending node count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl Fig6Curve {
+    /// The point at exactly `nodes`, if the curve has one.
+    pub fn at(&self, nodes: usize) -> Option<&ScalingPoint> {
+        self.points.iter().find(|p| p.nodes == nodes)
+    }
+}
+
+/// Typed result of the Fig. 6 harness.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Modeled Stampede CPU rank rate (n/s).
+    pub r_cpu: f64,
+    /// Modeled Stampede MIC rank rate (n/s).
+    pub r_mic: f64,
+    /// The three curves in figure order.
+    pub curves: Vec<Fig6Curve>,
+    /// The `fig6_strong_scaling` CSV.
+    pub artifact: Artifact,
+}
+
+impl Fig6Result {
+    /// Look up a curve by label.
+    pub fn curve(&self, label: &str) -> &Fig6Curve {
+        self.curves
+            .iter()
+            .find(|c| c.label == label)
+            .expect("fig6 curve")
+    }
+}
+
+fn stampede_rates(scale: f64) -> (f64, f64) {
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let shape = shape_of(&problem);
+    let n_probe = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n_probe, 0);
+    let streams = batch_streams(problem.seed, 0, n_probe);
+    let out = run_histories(&problem, &sources, &streams);
+    let t = out.tallies.scaled_to(100_000);
+    let cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar);
+    let mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar);
+    (cpu.calc_rate(&shape, &t), mic.calc_rate(&shape, &t))
+}
+
+/// Run the Fig. 6 strong-scaling study at `scale` (the scale sets the
+/// measured probe batch; node counts and N = 10⁷ are the paper's).
+pub fn run(scale: f64, verbose: bool) -> Fig6Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 6",
+            "strong scaling, H.M. Large, N = 1e7, Stampede model",
+            scale,
+        );
+    }
+    let (r_cpu, r_mic) = stampede_rates(scale);
+    vprintln!(
+        verbose,
+        "\nStampede rank rates (modeled from measured run): CPU {:.0} n/s, MIC {:.0} n/s\n",
+        r_cpu,
+        r_mic
+    );
+
+    let comm = CommModel::fdr_infiniband();
+    let n_total = 10_000_000u64;
+    let curves_spec: [(&'static str, NodeSpec, Vec<usize>); 3] = [
+        (
+            "CPU only",
+            NodeSpec::cpu_only(r_cpu),
+            vec![4, 8, 16, 32, 64, 128, 256, 512, 1024],
+        ),
+        (
+            "CPU + 1 MIC",
+            NodeSpec::with_one_mic(r_cpu, r_mic),
+            vec![4, 8, 16, 32, 64, 128, 256, 512, 1024],
+        ),
+        (
+            "CPU + 2 MIC",
+            NodeSpec::with_two_mics(r_cpu, r_mic),
+            vec![4, 8, 16, 32, 64, 128, 384], // 384 nodes have 2 MICs
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut curves = Vec::new();
+    for (label, node, counts) in &curves_spec {
+        vprintln!(verbose, "--- {label} ---");
+        vprintln!(
+            verbose,
+            "{:>8} {:>14} {:>16} {:>12}",
+            "nodes",
+            "batch time (s)",
+            "rate (n/s)",
+            "efficiency"
+        );
+        let pts = strong_scaling(node, counts, n_total, &comm);
+        for p in &pts {
+            vprintln!(
+                verbose,
+                "{:>8} {:>14.3} {:>16.0} {:>11.1}%",
+                p.nodes,
+                p.batch_time,
+                p.rate,
+                p.efficiency * 100.0
+            );
+            rows.push(vec![
+                label.to_string(),
+                p.nodes.to_string(),
+                format!("{:.4}", p.batch_time),
+                format!("{:.0}", p.rate),
+                format!("{:.4}", p.efficiency),
+            ]);
+        }
+        vprintln!(verbose);
+        curves.push(Fig6Curve { label, points: pts });
+    }
+
+    Fig6Result {
+        r_cpu,
+        r_mic,
+        curves,
+        artifact: Artifact {
+            name: "fig6_strong_scaling",
+            columns: vec!["curve", "nodes", "batch_time_s", "rate", "efficiency"],
+            rows,
+        },
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 7: weak scaling of the H.M. Large simulation with N = 10⁶ per
+//! node on the Stampede cluster model.
+//!
+//! Check: ≥94% efficiency at all scales up to 128 nodes, and (the
+//! paper's footnoted claim) the curve stays flat out to 2¹⁰ nodes.
+
+use mcs_cluster::{min_efficiency, weak_scaling, CommModel, NodeSpec, ScalingPoint};
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::MachineSpec;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// Typed result of the Fig. 7 harness.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Modeled Stampede CPU rank rate (n/s).
+    pub r_cpu: f64,
+    /// Modeled Stampede MIC rank rate (n/s).
+    pub r_mic: f64,
+    /// Weak-scaling points by ascending node count (1 → 1,024).
+    pub points: Vec<ScalingPoint>,
+    /// The `fig7_weak_scaling` CSV.
+    pub artifact: Artifact,
+}
+
+impl Fig7Result {
+    /// Smallest efficiency over the whole curve.
+    pub fn min_efficiency(&self) -> f64 {
+        min_efficiency(&self.points)
+    }
+}
+
+/// Run the Fig. 7 weak-scaling study at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Fig7Result {
+    if verbose {
+        header_with_scale(
+            "Fig. 7",
+            "weak scaling, H.M. Large, N = 1e6 per node, Stampede model",
+            scale,
+        );
+    }
+
+    // Rank rates from a real measured run (same procedure as Fig. 6).
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let shape = shape_of(&problem);
+    let n_probe = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n_probe, 0);
+    let streams = batch_streams(problem.seed, 0, n_probe);
+    let out = run_histories(&problem, &sources, &streams);
+    let t = out.tallies.scaled_to(100_000);
+    let r_cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar)
+        .calc_rate(&shape, &t);
+    let r_mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar)
+        .calc_rate(&shape, &t);
+    vprintln!(
+        verbose,
+        "\nrank rates: CPU {:.0} n/s, MIC {:.0} n/s\n",
+        r_cpu,
+        r_mic
+    );
+
+    let comm = CommModel::fdr_infiniband();
+    let node = NodeSpec::with_one_mic(r_cpu, r_mic);
+    let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let pts = weak_scaling(&node, &counts, 1_000_000, &comm);
+
+    vprintln!(
+        verbose,
+        "{:>8} {:>14} {:>16} {:>12}",
+        "nodes",
+        "batch time (s)",
+        "rate (n/s)",
+        "efficiency"
+    );
+    let mut rows = Vec::new();
+    for p in &pts {
+        vprintln!(
+            verbose,
+            "{:>8} {:>14.3} {:>16.0} {:>11.1}%",
+            p.nodes,
+            p.batch_time,
+            p.rate,
+            p.efficiency * 100.0
+        );
+        rows.push(vec![
+            p.nodes.to_string(),
+            format!("{:.4}", p.batch_time),
+            format!("{:.0}", p.rate),
+            format!("{:.4}", p.efficiency),
+        ]);
+    }
+
+    Fig7Result {
+        r_cpu,
+        r_mic,
+        points: pts,
+        artifact: Artifact {
+            name: "fig7_weak_scaling",
+            columns: vec!["nodes", "batch_time_s", "rate", "efficiency"],
+            rows,
+        },
+    }
+}

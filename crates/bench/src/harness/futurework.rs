@@ -1,0 +1,214 @@
+//! §V — the paper's future-work directions, implemented and quantified:
+//!
+//! 1. **Runtime-adaptive α** ("α can be determined at runtime... using the
+//!    measured calculation rates"): batch-by-batch rebalancing vs the
+//!    static Eq. 3 split, in the knee regime where static balancing fails.
+//! 2. **Knights Landing projection** ("out-of-order execution... possible
+//!    automatic ~3x single thread speedup", no PCIe hop): native-mode
+//!    rates on the projected socketed successor.
+//! 3. **Energy expenditure** ("analyzing energy expenditures... excellent
+//!    performance per watt"): neutrons-per-joule for the Table III
+//!    hardware combinations.
+
+use mcs_cluster::adaptive::{simulate_adaptive, static_alpha_wall};
+use mcs_cluster::Rank;
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::power::{batch_energy, PowerSpec};
+use mcs_device::MachineSpec;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// One energy-analysis row.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Hardware configuration label.
+    pub label: String,
+    /// Wall time for the 10⁵-particle batch, seconds.
+    pub wall_s: f64,
+    /// Energy for the batch, joules.
+    pub energy_j: f64,
+    /// Figure of merit: neutrons per joule.
+    pub neutrons_per_joule: f64,
+}
+
+/// Typed result of the §V future-work harness.
+#[derive(Debug, Clone)]
+pub struct FutureworkResult {
+    /// Modeled CPU rank rate, n/s.
+    pub r_cpu: f64,
+    /// Modeled KNC (Phi 7120A) rank rate, n/s.
+    pub r_mic: f64,
+    /// Projected KNL native history rate, n/s.
+    pub r_knl: f64,
+    /// Projected KNL rate with the banked (event) kernels, n/s.
+    pub r_knl_banked: f64,
+    /// Static Eq.-3 batch wall time in the knee regime, seconds.
+    pub static_wall: f64,
+    /// Adaptive batch wall times, one per batch.
+    pub adaptive_walls: Vec<f64>,
+    /// Converged adaptive gain over the static split.
+    pub adaptive_gain: f64,
+    /// Energy rows for the Table III hardware combinations.
+    pub energy: Vec<EnergyRow>,
+    /// The `futurework_adaptive` and `futurework_energy` CSVs.
+    pub artifacts: Vec<Artifact>,
+}
+
+/// Run the §V projections at `scale`.
+pub fn run(scale: f64, verbose: bool) -> FutureworkResult {
+    if verbose {
+        header_with_scale(
+            "§V",
+            "future-work projections: adaptive alpha, KNL, energy",
+            scale,
+        );
+    }
+
+    // Measured per-particle structure at production batch size.
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let shape = shape_of(&problem);
+    let n_probe = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n_probe, 0);
+    let streams = batch_streams(problem.seed, 0, n_probe);
+    let out = run_histories(&problem, &sources, &streams);
+    let t = out.tallies.scaled_to(100_000);
+
+    let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let r_cpu = cpu.calc_rate(&shape, &t);
+    let r_mic = mic.calc_rate(&shape, &t);
+
+    // --- 1. runtime-adaptive α ----------------------------------------
+    vprintln!(
+        verbose,
+        "\n[1] runtime-adaptive load balancing (knee regime, 9,800 particles/node):"
+    );
+    let ranks = vec![Rank::cpu("cpu", r_cpu), Rank::mic("mic", r_mic)];
+    let n_small = 9_800;
+    let static_wall = static_alpha_wall(&ranks, n_small);
+    let walls = simulate_adaptive(&ranks, n_small, 6);
+    vprintln!(
+        verbose,
+        "  static Eq.-3 split batch time: {:.4} s",
+        static_wall
+    );
+    for (i, w) in walls.iter().enumerate() {
+        vprintln!(verbose, "  adaptive batch {i}: {w:.4} s");
+    }
+    let gain = static_wall / walls.last().unwrap();
+    vprintln!(verbose, "  converged adaptive vs static: {gain:.3}x");
+    let adaptive_artifact = Artifact {
+        name: "futurework_adaptive",
+        columns: vec!["batch", "adaptive_wall_s", "static_wall_s"],
+        rows: walls
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                vec![
+                    i.to_string(),
+                    format!("{w:.6}"),
+                    format!("{static_wall:.6}"),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    };
+
+    // --- 2. Knights Landing projection --------------------------------
+    vprintln!(
+        verbose,
+        "\n[2] Knights Landing projection (socketed, OOO, MCDRAM):"
+    );
+    let knl = NativeModel::new(MachineSpec::knl_projection(), TransportKind::HistoryScalar);
+    let knl_banked = NativeModel::new(MachineSpec::knl_projection(), TransportKind::EventBanked);
+    let r_knl = knl.calc_rate(&shape, &t);
+    let r_knl_banked = knl_banked.calc_rate(&shape, &t);
+    vprintln!(verbose, "  KNC native rate:            {r_mic:>10.0} n/s");
+    vprintln!(
+        verbose,
+        "  KNL native rate (proj.):    {r_knl:>10.0} n/s  ({:.1}x KNC)",
+        r_knl / r_mic
+    );
+    vprintln!(
+        verbose,
+        "  KNL + banked kernels:       {r_knl_banked:>10.0} n/s  ({:.1}x KNC)",
+        r_knl_banked / r_mic
+    );
+    vprintln!(
+        verbose,
+        "  (and no PCIe hop: the Table II transfer column disappears)"
+    );
+
+    // --- 3. energy analysis --------------------------------------------
+    vprintln!(
+        verbose,
+        "\n[3] energy expenditure (per 1e5-particle batch):"
+    );
+    let host_p = PowerSpec::for_machine(&MachineSpec::host_e5_2687w());
+    let mic_p = PowerSpec::for_machine(&MachineSpec::mic_7120a());
+    let n = 100_000u64;
+    let combos = [
+        ("CPU only", vec![(host_p, n as f64 / r_cpu)]),
+        ("MIC only", vec![(mic_p, n as f64 / r_mic)]),
+        (
+            "CPU + 2 MIC (balanced)",
+            vec![
+                (host_p, n as f64 / (r_cpu + 2.0 * r_mic)),
+                (mic_p, n as f64 / (r_cpu + 2.0 * r_mic)),
+                (mic_p, n as f64 / (r_cpu + 2.0 * r_mic)),
+            ],
+        ),
+    ];
+    vprintln!(
+        verbose,
+        "  {:<24} {:>10} {:>12} {:>12}",
+        "configuration",
+        "wall (s)",
+        "energy (kJ)",
+        "n/joule"
+    );
+    let mut energy = Vec::new();
+    let mut energy_rows = Vec::new();
+    for (label, units) in &combos {
+        let rep = batch_energy(label, units, n);
+        vprintln!(
+            verbose,
+            "  {:<24} {:>10.2} {:>12.2} {:>12.1}",
+            rep.label,
+            rep.wall_s,
+            rep.energy_j / 1e3,
+            rep.neutrons_per_joule()
+        );
+        energy_rows.push(vec![
+            rep.label.clone(),
+            format!("{:.3}", rep.wall_s),
+            format!("{:.1}", rep.energy_j),
+            format!("{:.2}", rep.neutrons_per_joule()),
+        ]);
+        energy.push(EnergyRow {
+            label: rep.label.clone(),
+            wall_s: rep.wall_s,
+            energy_j: rep.energy_j,
+            neutrons_per_joule: rep.neutrons_per_joule(),
+        });
+    }
+    let energy_artifact = Artifact {
+        name: "futurework_energy",
+        columns: vec!["configuration", "wall_s", "energy_j", "neutrons_per_joule"],
+        rows: energy_rows,
+    };
+
+    FutureworkResult {
+        r_cpu,
+        r_mic,
+        r_knl,
+        r_knl_banked,
+        static_wall,
+        adaptive_walls: walls,
+        adaptive_gain: gain,
+        energy,
+        artifacts: vec![adaptive_artifact, energy_artifact],
+    }
+}

@@ -1,0 +1,73 @@
+//! Library entry points for the figure/table harnesses.
+//!
+//! Each submodule owns one evaluation artifact of the paper and exposes a
+//! `run(scale, verbose) -> …Result` function returning a typed result
+//! struct: the measured rates, modeled times, ratios and CSV rows that the
+//! corresponding `src/bin/` binary used to only print. Two consumers share
+//! these entry points:
+//!
+//! * the thin harness binaries (`cargo run -p mcs-bench --bin fig2_…`),
+//!   which run at `MCS_SCALE`, print the full report (`verbose = true`)
+//!   and write the CSVs under `results/`;
+//! * the `mcs-check` runner, which runs every harness at a reduced
+//!   deterministic scale (`verbose = false`), evaluates the paper-shape
+//!   invariants against the typed fields, and diffs the [`Artifact`] rows
+//!   against the golden CSVs.
+//!
+//! By convention `run` never asserts: it computes and returns. Shape
+//! assertions live in the binaries (where a violation should abort the
+//! run loudly) and in `mcs-check` (where it should become a structured
+//! failing check).
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod futurework;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// One CSV artifact produced by a harness (name, header, rows) — the
+/// in-memory form of `results/<name>.csv`.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Basename of the CSV under `results/` (no extension).
+    pub name: &'static str,
+    /// Column headers.
+    pub columns: Vec<&'static str>,
+    /// Data rows, stringified exactly as written to disk.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Artifact {
+    /// Index of a named column, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| *c == name)
+    }
+
+    /// Write this artifact under the `results/` directory via
+    /// [`crate::write_csv`].
+    pub fn write(&self) {
+        crate::write_csv(self.name, &self.columns, &self.rows);
+    }
+}
+
+/// `println!` gated on the harness's `verbose` flag.
+macro_rules! vprintln {
+    ($v:expr) => {
+        if $v {
+            println!();
+        }
+    };
+    ($v:expr, $($t:tt)*) => {
+        if $v {
+            println!($($t)*);
+        }
+    };
+}
+pub(crate) use vprintln;

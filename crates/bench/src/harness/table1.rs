@@ -1,0 +1,231 @@
+//! Table I: average times for the distance-sampling micro-benchmark.
+//!
+//! Paper configuration: `iters = 10⁴`, `N = 10⁷` (10¹¹ total samples);
+//! this harness runs a scaled-down measured version on the host (CPU
+//! column) and prices the full paper configuration on both machine models
+//! (the MODELED table), so the shape — naive ≫ optimized, MIC worst on
+//! naive, MIC best on optimized — can be checked at both scales.
+
+use mcs_core::distance::{sample_distances_naive, sample_distances_opt1, sample_distances_opt2};
+use mcs_device::workload::{
+    distance_naive_per_element, distance_opt1_per_element, distance_opt2_per_element,
+};
+use mcs_device::MachineSpec;
+use mcs_rng::StreamPartition;
+use mcs_simd::AVec32;
+
+use super::{vprintln, Artifact};
+use crate::{fmt_secs, header_with_scale, scaled_by, time_it};
+
+/// Typed result of the Table I harness.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Elements per iteration in the measured run (scaled).
+    pub n: usize,
+    /// Iterations in the measured run (scaled).
+    pub iters: usize,
+    /// MEASURED naive time on this host (s).
+    pub t_naive: f64,
+    /// MEASURED optimized-1 time on this host (s).
+    pub t_opt1: f64,
+    /// MEASURED optimized-2 time on this host (s).
+    pub t_opt2: f64,
+    /// MODELED paper-scale times on the E5-2687W `[naive, opt1, opt2]`.
+    pub cpu_modeled: [f64; 3],
+    /// MODELED paper-scale times on the Phi 7120A `[naive, opt1, opt2]`.
+    pub mic_modeled: [f64; 3],
+    /// The `table1_distance_sampling` CSV.
+    pub artifact: Artifact,
+}
+
+impl Table1Result {
+    /// Measured host speedup of optimized-2 over naive (paper: 1.9×
+    /// on 32 CPU threads — here single-core, same shape).
+    pub fn opt2_speedup(&self) -> f64 {
+        self.t_naive / self.t_opt2
+    }
+
+    /// Modeled naive-kernel MIC/CPU slowdown (paper: 20×).
+    pub fn naive_mic_over_cpu(&self) -> f64 {
+        self.mic_modeled[0] / self.cpu_modeled[0]
+    }
+
+    /// Modeled optimized-2 CPU/MIC speedup (paper: 1.9×).
+    pub fn opt2_cpu_over_mic(&self) -> f64 {
+        self.cpu_modeled[2] / self.mic_modeled[2]
+    }
+}
+
+/// Run the Table I micro-benchmark at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Table1Result {
+    if verbose {
+        header_with_scale(
+            "Table I",
+            "distance-sampling micro-benchmark (d = -ln(r)/Sigma)",
+            scale,
+        );
+    }
+
+    // ---- measured on this host (scaled) ------------------------------
+    let n = scaled_by(1_000_000, scale);
+    let iters = scaled_by(20, scale);
+    let xs: AVec32 = AVec32::from_slice(
+        &(0..n)
+            .map(|i| 0.1 + 1.9 * ((i * 37 % n) as f32 / n as f32))
+            .collect::<Vec<f32>>(),
+    );
+    vprintln!(
+        verbose,
+        "\nMEASURED on this host: N = {n}, iters = {iters}\n"
+    );
+
+    let mut out = vec![0.0f32; n];
+    let (_, t_naive) = time_it(|| {
+        for it in 0..iters {
+            sample_distances_naive(xs.as_slice(), &mut out, 1 + it as u32);
+        }
+    });
+
+    let mut r = vec![0.0f32; n];
+    let mut part = StreamPartition::new(7, 8);
+    let (_, t_opt1) = time_it(|| {
+        for _ in 0..iters {
+            sample_distances_opt1(xs.as_slice(), &mut r, &mut out, &mut part);
+        }
+    });
+
+    let mut r2 = AVec32::zeros(n);
+    let mut out2 = AVec32::zeros(n);
+    let mut part2 = StreamPartition::new(7, 8);
+    let (_, t_opt2) = time_it(|| {
+        for _ in 0..iters {
+            sample_distances_opt2(&xs, &mut r2, &mut out2, &mut part2);
+        }
+    });
+
+    vprintln!(
+        verbose,
+        "{:<28} {:>14} {:>14} {:>14}",
+        "implementation",
+        "Naive",
+        "Optimized-1",
+        "Optimized-2"
+    );
+    vprintln!(
+        verbose,
+        "{:<28} {:>14} {:>14} {:>14}",
+        "host (measured)",
+        fmt_secs(t_naive),
+        fmt_secs(t_opt1),
+        fmt_secs(t_opt2)
+    );
+    vprintln!(
+        verbose,
+        "{:<28} {:>13.1}x {:>13.1}x {:>13.1}x",
+        "speedup vs naive",
+        1.0,
+        t_naive / t_opt1,
+        t_naive / t_opt2
+    );
+
+    // ---- modeled at paper scale --------------------------------------
+    let elems = 1e7 * 1e4; // N × iters
+    let cpu = MachineSpec::host_e5_2687w();
+    let mic = MachineSpec::mic_7120a();
+    let price = |spec: &MachineSpec, c: &mcs_device::KernelCounts| {
+        spec.kernel_time_ext(&c.scale(elems), true)
+    };
+    let naive = distance_naive_per_element();
+    let opt1 = distance_opt1_per_element();
+    let opt2 = distance_opt2_per_element();
+
+    vprintln!(
+        verbose,
+        "\nMODELED at paper scale (N = 1e7, iters = 1e4), seconds:\n"
+    );
+    vprintln!(
+        verbose,
+        "{:<28} {:>12} {:>12} {:>12}",
+        "implementation",
+        "Naive",
+        "Optimized-1",
+        "Optimized-2"
+    );
+    let cpu_row = [price(&cpu, &naive), price(&cpu, &opt1), price(&cpu, &opt2)];
+    let mic_row = [price(&mic, &naive), price(&mic, &opt1), price(&mic, &opt2)];
+    vprintln!(
+        verbose,
+        "{:<28} {:>12.1} {:>12.1} {:>12.1}",
+        "CPU - 32 threads (modeled)",
+        cpu_row[0],
+        cpu_row[1],
+        cpu_row[2]
+    );
+    vprintln!(
+        verbose,
+        "{:<28} {:>12.1} {:>12.1} {:>12.1}",
+        "MIC - 244 threads (modeled)",
+        mic_row[0],
+        mic_row[1],
+        mic_row[2]
+    );
+    vprintln!(
+        verbose,
+        "\npaper measured:              {:>12} {:>12} {:>12}",
+        "412",
+        "40.6",
+        "36.6"
+    );
+    vprintln!(
+        verbose,
+        "paper measured (MIC):        {:>12} {:>12} {:>12}",
+        "8,243",
+        "21.0",
+        "18.9"
+    );
+    vprintln!(verbose, "\nshape checks:");
+    vprintln!(
+        verbose,
+        "  naive MIC/CPU   = {:>6.1}x  (paper 20.0x)",
+        mic_row[0] / cpu_row[0]
+    );
+    vprintln!(
+        verbose,
+        "  opt2  CPU/MIC   = {:>6.1}x  (paper  1.9x)",
+        cpu_row[2] / mic_row[2]
+    );
+
+    Table1Result {
+        n,
+        iters,
+        t_naive,
+        t_opt1,
+        t_opt2,
+        cpu_modeled: cpu_row,
+        mic_modeled: mic_row,
+        artifact: Artifact {
+            name: "table1_distance_sampling",
+            columns: vec!["row", "naive_s", "opt1_s", "opt2_s"],
+            rows: vec![
+                vec![
+                    "host_measured".into(),
+                    format!("{t_naive:.4}"),
+                    format!("{t_opt1:.4}"),
+                    format!("{t_opt2:.4}"),
+                ],
+                vec![
+                    "cpu_modeled_paper_scale".into(),
+                    format!("{:.1}", cpu_row[0]),
+                    format!("{:.1}", cpu_row[1]),
+                    format!("{:.1}", cpu_row[2]),
+                ],
+                vec![
+                    "mic_modeled_paper_scale".into(),
+                    format!("{:.1}", mic_row[0]),
+                    format!("{:.1}", mic_row[1]),
+                    format!("{:.1}", mic_row[2]),
+                ],
+            ],
+        },
+    }
+}

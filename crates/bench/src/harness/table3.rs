@@ -1,0 +1,155 @@
+//! Table III: average calculation rates in symmetric mode, original
+//! (even split) vs load balanced (Eq. 3), for CPU / MIC / CPU+1MIC /
+//! CPU+2MICs on one JLSE node (H.M. Large, 10⁵ particles).
+//!
+//! Rank rates come from the native models priced on a real measured
+//! transport run; the symmetric-mode arithmetic is then exact.
+
+use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::native::{shape_of, NativeModel, TransportKind};
+use mcs_device::{MachineSpec, SymmetricModel};
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by};
+
+/// One hardware-combination row of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Hardware label.
+    pub hardware: &'static str,
+    /// Even-split (original) aggregate rate, n/s.
+    pub original: f64,
+    /// Eq.-3 balanced rate, n/s (`None` for single-device rows).
+    pub balanced: Option<f64>,
+    /// Ideal (sum-of-rates) rate, n/s.
+    pub ideal: f64,
+}
+
+/// Typed result of the Table III harness.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Modeled CPU rank rate, n/s.
+    pub r_cpu: f64,
+    /// Modeled MIC rank rate, n/s.
+    pub r_mic: f64,
+    /// α = CPU rate / MIC rate.
+    pub alpha: f64,
+    /// Rows in the table's hardware order.
+    pub rows: Vec<Table3Row>,
+    /// The paper's headline: CPU+2MIC balanced over CPU-only.
+    pub headline: f64,
+    /// The `table3_symmetric_balance` CSV.
+    pub artifact: Artifact,
+}
+
+/// Run the Table III balancing study at `scale`.
+pub fn run(scale: f64, verbose: bool) -> Table3Result {
+    if verbose {
+        header_with_scale(
+            "Table III",
+            "symmetric-mode rates: original vs load balanced",
+            scale,
+        );
+    }
+    let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
+    let shape = shape_of(&problem);
+
+    // Measure per-particle structure with a real run, then scale counts
+    // to the paper's 1e5-particle batch.
+    let n_probe = scaled_by(2_000, scale);
+    let sources = problem.sample_initial_source(n_probe, 0);
+    let streams = batch_streams(problem.seed, 0, n_probe);
+    let out = run_histories(&problem, &sources, &streams);
+    let t = out.tallies.scaled_to(100_000);
+
+    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
+    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let r_cpu = host.calc_rate(&shape, &t);
+    let r_mic = mic.calc_rate(&shape, &t);
+    let alpha = r_cpu / r_mic;
+    vprintln!(
+        verbose,
+        "\nmodeled rank rates: CPU {:.0} n/s, MIC {:.0} n/s, alpha = {:.2}",
+        r_cpu,
+        r_mic,
+        alpha
+    );
+    vprintln!(
+        verbose,
+        "(paper: CPU 4,050, MIC 6,641, alpha = 0.61-0.62)\n"
+    );
+
+    let n_total = 100_000u64;
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    vprintln!(
+        verbose,
+        "{:<14} {:>14} {:>16} {:>14}",
+        "hardware",
+        "original",
+        "load balanced",
+        "ideal"
+    );
+    let mut show = |label: &'static str, ranks: &[(&str, f64)], balanced_applies: bool| {
+        let m = SymmetricModel::new(ranks);
+        let orig = m.original_rate(n_total);
+        let balanced = balanced_applies.then(|| m.balanced_rate(n_total));
+        let bal_str = balanced
+            .map(|b| format!("{b:.0}"))
+            .unwrap_or_else(|| "N/A".to_string());
+        vprintln!(
+            verbose,
+            "{:<14} {:>14.0} {:>16} {:>14.0}",
+            label,
+            orig,
+            bal_str,
+            m.ideal()
+        );
+        csv_rows.push(vec![
+            label.to_string(),
+            format!("{orig:.0}"),
+            bal_str,
+            format!("{:.0}", m.ideal()),
+        ]);
+        rows.push(Table3Row {
+            hardware: label,
+            original: orig,
+            balanced,
+            ideal: m.ideal(),
+        });
+    };
+    show("CPU only", &[("cpu", r_cpu)], false);
+    show("MIC only", &[("mic", r_mic)], false);
+    show("CPU + MIC", &[("cpu", r_cpu), ("mic", r_mic)], true);
+    show(
+        "CPU + 2 MICs",
+        &[("cpu", r_cpu), ("mic0", r_mic), ("mic1", r_mic)],
+        true,
+    );
+    vprintln!(verbose, "\npaper:          original      load balanced");
+    vprintln!(verbose, "CPU only           4,050                N/A");
+    vprintln!(verbose, "MIC only           6,641                N/A");
+    vprintln!(verbose, "CPU + MIC          8,988             10,068");
+    vprintln!(verbose, "CPU + 2 MICs      11,860             17,098");
+
+    let m2 = SymmetricModel::new(&[("cpu", r_cpu), ("mic0", r_mic), ("mic1", r_mic)]);
+    let headline = m2.balanced_rate(n_total) / r_cpu;
+    vprintln!(
+        verbose,
+        "\nCPU+2MIC balanced vs CPU-only: {headline:.2}x (paper: 17,098/4,050 = 4.2x)"
+    );
+
+    Table3Result {
+        r_cpu,
+        r_mic,
+        alpha,
+        rows,
+        headline,
+        artifact: Artifact {
+            name: "table3_symmetric_balance",
+            columns: vec!["hardware", "original_rate", "balanced_rate", "ideal_rate"],
+            rows: csv_rows,
+        },
+    }
+}

@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
@@ -40,15 +42,27 @@ pub fn scale() -> f64 {
 
 /// Scale a nominal count, with a floor of 1.
 pub fn scaled(n: usize) -> usize {
-    ((n as f64 * scale()) as usize).max(1)
+    scaled_by(n, scale())
+}
+
+/// Scale a nominal count by an explicit factor, with a floor of 1.
+pub fn scaled_by(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(1)
 }
 
 /// Print the standard experiment header.
 pub fn header(id: &str, title: &str) {
+    header_with_scale(id, title, scale());
+}
+
+/// Print the standard experiment header for an explicit scale factor
+/// (used by the library harness entry points, which take scale as an
+/// argument instead of reading `MCS_SCALE`).
+pub fn header_with_scale(id: &str, title: &str, scale: f64) {
     println!("==============================================================");
     println!("{id}: {title}");
     println!("host: {}", SimdFeatures::detect().summary());
-    println!("scale factor: {} (set MCS_SCALE to change)", scale());
+    println!("scale factor: {scale}");
     println!("==============================================================");
 }
 
@@ -104,7 +118,9 @@ mod tests {
     fn log_energies_in_range() {
         let es = log_energies(100, 1);
         assert_eq!(es.len(), 100);
-        assert!(es.iter().all(|&e| (mcs_xs::E_MIN..=mcs_xs::E_MAX).contains(&e)));
+        assert!(es
+            .iter()
+            .all(|&e| (mcs_xs::E_MIN..=mcs_xs::E_MAX).contains(&e)));
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Golden-CSV comparison with per-column tolerance policies.
+//!
+//! Goldens live in `results/golden/` and are regenerated with
+//! `cargo run -p mcs-check -- --bless` (or `MCS_BLESS=1`). A golden is
+//! compared at the SAME `MCS_SCALE` it was blessed at — the committed
+//! set is blessed at the default check scale.
+//!
+//! Columns fall into three classes, reflecting the repo's MEASURED vs
+//! MODELED split:
+//!
+//! * key columns (bank sizes, node counts, row labels) — exact match;
+//! * MEASURED wall-time/rate columns — host-dependent noise, so the only
+//!   stable property is positivity;
+//! * MODELED columns (machine-model pricing of deterministic counts) —
+//!   compared with a small relative tolerance, because the scalar CI leg
+//!   (no `-C target-cpu=native`) may contract floating point differently
+//!   and shift a transport branch, perturbing counts well under 1%.
+
+use mcs_bench::harness::Artifact;
+
+/// How one CSV cell is compared against its golden counterpart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnPolicy {
+    /// Byte-for-byte equal (keys, labels).
+    Exact,
+    /// Fresh value must parse to a finite number > 0 (measured noise).
+    Positive,
+    /// Numeric prefixes agree to this relative tolerance and any unit
+    /// suffix (`"ms"`, `"GB"`) matches exactly.
+    Rel(f64),
+}
+
+/// Per-cell policy table for every artifact the harnesses emit.
+///
+/// `row_key` is the first cell of the row, which distinguishes the
+/// measured from the modeled rows in the mixed tables (Table I, Fig. 8).
+pub fn policy(artifact: &str, column: &str, row_key: &str) -> ColumnPolicy {
+    use ColumnPolicy::*;
+    match artifact {
+        "fig1_u238_total_xs" => match column {
+            "energy_mev" => Rel(1e-9),
+            _ => Rel(1e-6),
+        },
+        "fig2_lookup_rates" => match column {
+            "bank_size" => Exact,
+            c if c.ends_with("_measured_per_s") => Positive,
+            _ => Rel(0.02),
+        },
+        "fig3_offload_asymptotics" | "futurework_adaptive" => match column {
+            "particles" | "batch" => Exact,
+            _ => Rel(0.02),
+        },
+        "fig4_profile_compare" => match column {
+            "routine" => Exact,
+            _ => Rel(0.02),
+        },
+        "fig5_calc_rates" => match column {
+            "particles" | "batch_kind" => Exact,
+            _ => Rel(0.02),
+        },
+        "fig6_strong_scaling" => match column {
+            "curve" | "nodes" => Exact,
+            _ => Rel(0.02),
+        },
+        "fig7_weak_scaling" => match column {
+            "nodes" => Exact,
+            _ => Rel(0.02),
+        },
+        "fig8_rsbench" | "table1_distance_sampling" => match column {
+            "row" => Exact,
+            _ if row_key.contains("modeled") => Rel(0.02),
+            _ => Positive,
+        },
+        "futurework_energy" => match column {
+            "configuration" => Exact,
+            _ => Rel(0.02),
+        },
+        "table2_offload_overhead" => match column {
+            "operation" => Exact,
+            _ => Rel(0.02),
+        },
+        "table3_symmetric_balance" => match column {
+            "hardware" => Exact,
+            _ => Rel(0.02),
+        },
+        _ => Rel(0.02),
+    }
+}
+
+/// Result of comparing one artifact against its golden.
+#[derive(Debug, Clone)]
+pub struct GoldenOutcome {
+    pub artifact: String,
+    pub passed: bool,
+    /// `"N rows, worst rel err E"` on pass; first mismatch on fail.
+    pub detail: String,
+}
+
+/// Render an artifact exactly as `mcs_bench::write_csv` does.
+pub fn render_csv(a: &Artifact) -> String {
+    let mut s = String::new();
+    s.push_str(&a.columns.join(","));
+    s.push('\n');
+    for row in &a.rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+fn parse_csv(text: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut lines = text.lines().map(|l| l.trim_end_matches('\r'));
+    let header = lines
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let rows = lines
+        .filter(|l| !l.is_empty())
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    (header, rows)
+}
+
+/// Split a cell into its numeric prefix and unit suffix:
+/// `"386.712 ms"` → `(Some(386.712), "ms")`; `"N/A"` → `(None, "N/A")`.
+fn split_numeric(cell: &str) -> (Option<f64>, &str) {
+    let cell = cell.trim();
+    let end = cell
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(cell.len());
+    match cell[..end].parse::<f64>() {
+        Ok(v) => (Some(v), cell[end..].trim()),
+        Err(_) => (None, cell),
+    }
+}
+
+fn cell_matches(policy: ColumnPolicy, fresh: &str, gold: &str) -> Result<f64, String> {
+    match policy {
+        ColumnPolicy::Exact => {
+            if fresh == gold {
+                Ok(0.0)
+            } else {
+                Err(format!("expected {gold:?}, got {fresh:?}"))
+            }
+        }
+        ColumnPolicy::Positive => match split_numeric(fresh).0 {
+            Some(v) if v > 0.0 && v.is_finite() => Ok(0.0),
+            _ => Err(format!("expected a positive measurement, got {fresh:?}")),
+        },
+        ColumnPolicy::Rel(tol) => {
+            let (fv, fs) = split_numeric(fresh);
+            let (gv, gs) = split_numeric(gold);
+            match (fv, gv) {
+                (Some(f), Some(g)) => {
+                    let rel = (f - g).abs() / f.abs().max(g.abs()).max(1e-300);
+                    if fs != gs {
+                        Err(format!("unit changed: {gold:?} -> {fresh:?}"))
+                    } else if rel > tol {
+                        Err(format!(
+                            "{fresh:?} vs golden {gold:?} (rel err {rel:.3e} > {tol:.0e})"
+                        ))
+                    } else {
+                        Ok(rel)
+                    }
+                }
+                // Non-numeric sentinel cells ("N/A") must agree exactly.
+                (None, None) => {
+                    if fresh == gold {
+                        Ok(0.0)
+                    } else {
+                        Err(format!("expected {gold:?}, got {fresh:?}"))
+                    }
+                }
+                _ => Err(format!("numeric/non-numeric flip: {gold:?} -> {fresh:?}")),
+            }
+        }
+    }
+}
+
+/// Compare a freshly produced artifact against golden CSV text.
+pub fn compare(artifact: &Artifact, golden_text: &str) -> GoldenOutcome {
+    let name = artifact.name.to_string();
+    let (gold_header, gold_rows) = parse_csv(golden_text);
+    if gold_header != artifact.columns {
+        return GoldenOutcome {
+            artifact: name,
+            passed: false,
+            detail: format!(
+                "header changed: golden {:?} vs fresh {:?}",
+                gold_header, artifact.columns
+            ),
+        };
+    }
+    if gold_rows.len() != artifact.rows.len() {
+        return GoldenOutcome {
+            artifact: name,
+            passed: false,
+            detail: format!(
+                "row count changed: golden {} vs fresh {}",
+                gold_rows.len(),
+                artifact.rows.len()
+            ),
+        };
+    }
+    let mut worst = 0.0f64;
+    for (ri, (fresh_row, gold_row)) in artifact.rows.iter().zip(&gold_rows).enumerate() {
+        if fresh_row.len() != gold_row.len() {
+            return GoldenOutcome {
+                artifact: name,
+                passed: false,
+                detail: format!("row {ri}: cell count changed"),
+            };
+        }
+        let key = fresh_row.first().map(String::as_str).unwrap_or("");
+        for (ci, (fresh, gold)) in fresh_row.iter().zip(gold_row).enumerate() {
+            let col = artifact.columns[ci];
+            match cell_matches(policy(artifact.name, col, key), fresh, gold) {
+                Ok(rel) => worst = worst.max(rel),
+                Err(why) => {
+                    return GoldenOutcome {
+                        artifact: name,
+                        passed: false,
+                        detail: format!("row {ri} ({key}), column {col}: {why}"),
+                    }
+                }
+            }
+        }
+    }
+    GoldenOutcome {
+        artifact: name,
+        passed: true,
+        detail: format!("{} rows, worst rel err {:.3e}", artifact.rows.len(), worst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> Artifact {
+        Artifact {
+            name: "table3_symmetric_balance",
+            columns: vec!["hardware", "original_rate", "balanced_rate", "ideal_rate"],
+            rows: vec![
+                vec![
+                    "CPU only".into(),
+                    "13667".into(),
+                    "N/A".into(),
+                    "13667".into(),
+                ],
+                vec![
+                    "CPU + MIC".into(),
+                    "27334".into(),
+                    "34341".into(),
+                    "34342".into(),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_csv_passes() {
+        let a = artifact();
+        let out = compare(&a, &render_csv(&a));
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn within_tolerance_passes_outside_fails() {
+        let a = artifact();
+        let mut nudged = a.clone();
+        nudged.rows[1][1] = "27500".into(); // +0.6% < 2%
+        assert!(compare(&nudged, &render_csv(&a)).passed);
+        nudged.rows[1][1] = "30000".into(); // +9.8% > 2%
+        let out = compare(&nudged, &render_csv(&a));
+        assert!(!out.passed);
+        assert!(out.detail.contains("original_rate"), "{}", out.detail);
+    }
+
+    #[test]
+    fn key_and_sentinel_cells_are_exact() {
+        let a = artifact();
+        let mut renamed = a.clone();
+        renamed.rows[0][0] = "GPU only".into();
+        assert!(!compare(&renamed, &render_csv(&a)).passed);
+        let mut filled = a.clone();
+        filled.rows[0][2] = "1.0".into(); // N/A -> number
+        assert!(!compare(&filled, &render_csv(&a)).passed);
+    }
+
+    #[test]
+    fn unit_suffix_change_fails() {
+        let gold = "operation,hm_small,hm_large\nxfer,999.0 ms,2.2 s\n";
+        let fresh = Artifact {
+            name: "table2_offload_overhead",
+            columns: vec!["operation", "hm_small", "hm_large"],
+            rows: vec![vec!["xfer".into(), "1.0 s".into(), "2.2 s".into()]],
+        };
+        let out = compare(&fresh, gold);
+        assert!(!out.passed);
+        assert!(out.detail.contains("unit changed"), "{}", out.detail);
+    }
+
+    #[test]
+    fn measured_columns_only_require_positivity() {
+        let gold = "row,naive_s,opt1_s,opt2_s\nhost_measured,0.5,0.4,0.3\n";
+        let fresh = Artifact {
+            name: "table1_distance_sampling",
+            columns: vec!["row", "naive_s", "opt1_s", "opt2_s"],
+            rows: vec![vec![
+                "host_measured".into(),
+                "5.0".into(), // 10x the golden: fine, it's a measurement
+                "0.1".into(),
+                "0.2".into(),
+            ]],
+        };
+        assert!(compare(&fresh, gold).passed);
+        let mut bad = fresh.clone();
+        bad.rows[0][1] = "-1.0".into();
+        assert!(!compare(&bad, gold).passed);
+    }
+
+    #[test]
+    fn shape_changes_fail() {
+        let a = artifact();
+        let mut short = a.clone();
+        short.rows.pop();
+        assert!(!compare(&short, &render_csv(&a)).passed);
+        let mut reheaded = a.clone();
+        reheaded.columns[1] = "orig_rate";
+        assert!(!compare(&reheaded, &render_csv(&a)).passed);
+    }
+}

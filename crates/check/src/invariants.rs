@@ -1,0 +1,541 @@
+//! The paper's evaluation as executable invariants.
+//!
+//! Each `check_*` function inspects one harness's typed result and
+//! returns scored [`CheckOutcome`]s. The functions never assert or
+//! panic on a violation — scoring is the runner's job (and the tests'
+//! way of proving a deliberate perturbation flips the exit code).
+//!
+//! Invariant IDs are stable (`F2.mic_over_e5`, `T3.headline`, ...);
+//! EXPERIMENTS.md's "continuously verified" column cites them.
+//!
+//! MEASURED invariants that only hold once the workload amortizes its
+//! fixed overheads (Table I's 1.9x, Fig. 8's host vectorization win)
+//! are gated on `scale >= 1.0`; at the reduced CI scale the MODELED
+//! invariants carry those claims.
+
+use crate::report::{check, Band, CheckOutcome};
+use mcs_bench::harness::{
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, table1, table2, table3,
+};
+use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+
+fn holds(p: bool) -> f64 {
+    if p {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Fig. 1 — U-238 total cross section: 1/v rise and resonance forest.
+pub fn check_fig1(r: &fig1::Fig1Result) -> Vec<CheckOutcome> {
+    vec![
+        check(
+            "F1.peak_to_smooth",
+            "fig1",
+            "resonance forest: tallest peak / smooth fast range > 20x",
+            r.peak_to_smooth,
+            Band::AtLeast(20.0),
+        ),
+        check(
+            "F1.one_over_v",
+            "fig1",
+            "1/v rise: sigma at the cold end / sigma at 1 MeV",
+            r.sigma_cold / r.sigma_fast,
+            Band::AtLeast(1.5),
+        ),
+    ]
+}
+
+/// Fig. 2 — banked/MIC vs history/E5 lookup rates.
+pub fn check_fig2(r: &fig2::Fig2Result) -> Vec<CheckOutcome> {
+    let big = r.largest();
+    let worst_checksum = r
+        .rows
+        .iter()
+        .map(|row| row.checksum_rel_err)
+        .fold(0.0, f64::max);
+    vec![
+        check(
+            "F2.mic_over_e5",
+            "fig2",
+            "banked on MIC over history on E5-2687W at the largest bank (paper: ~10x)",
+            big.mic_over_e5(),
+            Band::Range { lo: 8.0, hi: 12.0 },
+        ),
+        check(
+            "F2.banked_ge_history_host",
+            "fig2",
+            "banked kernel at least matches the history kernel on this host",
+            big.banked_host / big.history_host,
+            Band::AtLeast(0.95),
+        ),
+        check(
+            "F2.checksum",
+            "fig2",
+            "scalar and SIMD lookup kernels agree (worst relative error)",
+            worst_checksum,
+            Band::AtMost(1e-10),
+        ),
+    ]
+}
+
+/// Fig. 3 — offload cost ratios vs particle count.
+pub fn check_fig3(r: &fig3::Fig3Result) -> Vec<CheckOutcome> {
+    let first = &r.rows[0];
+    let last = r.rows.last().unwrap();
+    vec![
+        check(
+            "F3.transfer_falls",
+            "fig3",
+            "PCIe transfer / generation time falls with particle count",
+            last.transfer_over_gen / first.transfer_over_gen,
+            Band::AtMost(0.999),
+        ),
+        check(
+            "F3.host_rises",
+            "fig3",
+            "host lookup / generation time rises with particle count",
+            last.host_xs_over_gen / first.host_xs_over_gen,
+            Band::AtLeast(1.001),
+        ),
+        check(
+            "F3.crossover",
+            "fig3",
+            "MIC lookup undercuts host lookup by 1e5 particles (paper: ~1e4)",
+            r.crossover.map(|n| n as f64).unwrap_or(f64::INFINITY),
+            Band::AtMost(1e5),
+        ),
+    ]
+}
+
+/// Fig. 4 — per-routine profile comparison.
+pub fn check_fig4(r: &fig4::Fig4Result) -> Vec<CheckOutcome> {
+    let bottleneck_tops = r.modeled[0].1 >= r.modeled[1].1 && r.modeled[0].1 >= r.modeled[2].1;
+    vec![
+        check(
+            "F4.bottleneck_is_xs",
+            "fig4",
+            "calculate_xs tops the modeled CPU profile",
+            holds(bottleneck_tops),
+            Band::Holds,
+        ),
+        check(
+            "F4.mic_wins_bottleneck",
+            "fig4",
+            "the MIC beats the CPU on the bottleneck routine",
+            r.modeled[0].1 / r.modeled[0].2,
+            Band::AtLeast(1.0),
+        ),
+        check(
+            "F4.total_speedup",
+            "fig4",
+            "total MIC/CPU speedup (paper: 96 min / 65 min = 1.48x)",
+            r.speedup(),
+            Band::Range { lo: 1.2, hi: 2.2 },
+        ),
+    ]
+}
+
+/// Fig. 5 — calculation rates and the alpha ratio.
+pub fn check_fig5(r: &fig5::Fig5Result) -> Vec<CheckOutcome> {
+    let (small, large) = r.cpu_rate_extremes();
+    vec![
+        check(
+            "F5.mean_alpha",
+            "fig5",
+            "large-batch alpha = CPU rate / MIC rate (paper: 0.61-0.67)",
+            r.mean_alpha,
+            Band::Range { lo: 0.5, hi: 0.8 },
+        ),
+        check(
+            "F5.small_batch_collapse",
+            "fig5",
+            "rates collapse at small batches: smallest/largest CPU rate",
+            small / large,
+            Band::AtMost(0.5),
+        ),
+        check(
+            "F5.k_near_critical",
+            "fig5",
+            "measured eigenvalue run is near criticality (paper: k = 1.005)",
+            r.k_mean,
+            Band::Range { lo: 0.9, hi: 1.1 },
+        ),
+    ]
+}
+
+/// Fig. 6 — strong scaling on Stampede.
+pub fn check_fig6(r: &fig6::Fig6Result) -> Vec<CheckOutcome> {
+    let one_mic = r.curve("CPU + 1 MIC");
+    let cpu_only = r.curve("CPU only");
+    vec![
+        check(
+            "F6.eff_128",
+            "fig6",
+            "CPU + 1 MIC efficiency at 128 nodes (paper: ~95%)",
+            one_mic.at(128).map(|p| p.efficiency).unwrap_or(0.0),
+            Band::AtLeast(0.93),
+        ),
+        check(
+            "F6.tail_1024",
+            "fig6",
+            "CPU + 1 MIC efficiency sags by 1024 nodes (the Fig. 6 tail)",
+            one_mic.at(1024).map(|p| p.efficiency).unwrap_or(1.0),
+            Band::AtMost(0.85),
+        ),
+        check(
+            "F6.cpu_only_flat",
+            "fig6",
+            "CPU-only curve stays flat out to 1024 nodes",
+            cpu_only.at(1024).map(|p| p.efficiency).unwrap_or(0.0),
+            Band::AtLeast(0.95),
+        ),
+    ]
+}
+
+/// Fig. 7 — weak scaling.
+pub fn check_fig7(r: &fig7::Fig7Result) -> Vec<CheckOutcome> {
+    vec![check(
+        "F7.min_efficiency",
+        "fig7",
+        "weak-scaling efficiency at every node count up to 2^10 (paper: >94%)",
+        r.min_efficiency(),
+        Band::AtLeast(0.94),
+    )]
+}
+
+/// Fig. 8 — RSBench original vs vectorized multipole lookups.
+pub fn check_fig8(r: &fig8::Fig8Result, scale: f64) -> Vec<CheckOutcome> {
+    let mut out = vec![
+        check(
+            "F8.checksum",
+            "fig8",
+            "original and vectorized multipole kernels agree",
+            r.checksum_rel_err,
+            Band::AtMost(1e-9),
+        ),
+        check(
+            "F8.mic_gains_more",
+            "fig8",
+            "vectorization helps the MIC more than the CPU (modeled)",
+            r.mic_modeled_speedup / r.cpu_modeled_speedup,
+            Band::AtLeast(1.0),
+        ),
+        check(
+            "F8.doppler_flattens",
+            "fig8",
+            "Doppler: resonance peak flattens monotonically with temperature",
+            holds(
+                r.doppler
+                    .windows(2)
+                    .all(|w| w[1].1.abs() < w[0].1.abs() * 1.001),
+            ),
+            Band::Holds,
+        ),
+    ];
+    if scale >= 1.0 {
+        out.push(check(
+            "F8.measured_speedup",
+            "fig8",
+            "vectorized kernel beats the original on this host (full scale only)",
+            r.measured_speedup(),
+            Band::AtLeast(1.0),
+        ));
+    }
+    out
+}
+
+/// Table I — distance-sampling kernel optimization.
+pub fn check_table1(r: &table1::Table1Result, scale: f64) -> Vec<CheckOutcome> {
+    let mut out = vec![
+        check(
+            "T1.naive_mic_over_cpu",
+            "table1",
+            "naive kernel is far slower on the MIC (paper: ~20x, modeled)",
+            r.naive_mic_over_cpu(),
+            Band::Range { lo: 5.0, hi: 30.0 },
+        ),
+        check(
+            "T1.opt2_cpu_over_mic",
+            "table1",
+            "optimized-2 kernel flips the ratio: CPU/MIC (paper: 1.9x, modeled)",
+            r.opt2_cpu_over_mic(),
+            Band::Range { lo: 1.2, hi: 4.0 },
+        ),
+    ];
+    if scale >= 1.0 {
+        out.push(check(
+            "T1.measured_opt2_speedup",
+            "table1",
+            "optimized-2 beats naive on this host (full scale only; paper: 1.9x)",
+            r.opt2_speedup(),
+            Band::AtLeast(1.1),
+        ));
+    }
+    out
+}
+
+/// Table II — banking and offload overheads.
+pub fn check_table2(r: &table2::Table2Result) -> Vec<CheckOutcome> {
+    vec![
+        check(
+            "T2.transfer_dominates_small",
+            "table2",
+            "H.M. Small: transfer > device compute > host banking",
+            holds(r.small.transfer_dominates()),
+            Band::Holds,
+        ),
+        check(
+            "T2.transfer_dominates_large",
+            "table2",
+            "H.M. Large: transfer > device compute > host banking",
+            holds(r.large.transfer_dominates()),
+            Band::Holds,
+        ),
+        check(
+            "T2.grid_grows",
+            "table2",
+            "H.M. Large energy grid is several times H.M. Small's",
+            r.repro_grid_bytes.1 / r.repro_grid_bytes.0,
+            Band::AtLeast(1.5),
+        ),
+    ]
+}
+
+/// Table III — symmetric-mode load balancing.
+pub fn check_table3(r: &table3::Table3Result) -> Vec<CheckOutcome> {
+    let worst_vs_ideal = r
+        .rows
+        .iter()
+        .filter_map(|row| row.balanced.map(|b| b / row.ideal))
+        .fold(1.0, f64::min);
+    let balanced_wins = r
+        .rows
+        .iter()
+        .filter_map(|row| row.balanced.map(|b| b / row.original))
+        .fold(f64::INFINITY, f64::min);
+    vec![
+        check(
+            "T3.balanced_near_ideal",
+            "table3",
+            "Eq.-3 balanced split recovers the ideal sum-of-rates",
+            worst_vs_ideal,
+            Band::AtLeast(0.99),
+        ),
+        check(
+            "T3.balanced_beats_even",
+            "table3",
+            "balancing beats the even split on every heterogeneous row",
+            balanced_wins,
+            Band::AtLeast(1.0),
+        ),
+        check(
+            "T3.headline",
+            "table3",
+            "CPU + 2 MICs balanced over CPU only (paper: 4.2x)",
+            r.headline,
+            Band::Range { lo: 3.0, hi: 5.5 },
+        ),
+    ]
+}
+
+/// §V — future-work projections.
+pub fn check_futurework(r: &futurework::FutureworkResult) -> Vec<CheckOutcome> {
+    vec![
+        check(
+            "FW.adaptive_gain",
+            "futurework",
+            "adaptive alpha beats the static Eq.-3 split in the knee regime",
+            r.adaptive_gain,
+            Band::AtLeast(1.001),
+        ),
+        check(
+            "FW.knl_over_knc",
+            "futurework",
+            "projected KNL clearly outruns the KNC",
+            r.r_knl / r.r_mic,
+            Band::AtLeast(1.5),
+        ),
+        check(
+            "FW.energy_mic_wins",
+            "futurework",
+            "MIC-only is the most energy-efficient configuration (n/J)",
+            holds(r.energy.iter().all(|e| {
+                e.label.contains("MIC only")
+                    || e.neutrons_per_joule
+                        <= r.energy
+                            .iter()
+                            .find(|m| m.label.contains("MIC only"))
+                            .map(|m| m.neutrons_per_joule)
+                            .unwrap_or(f64::INFINITY)
+            })),
+            Band::Holds,
+        ),
+    ]
+}
+
+/// Event-vs-history determinism: the two transport drivers walk the
+/// same trajectories, so per-batch k-eff must agree bit-for-bit.
+///
+/// This runs its own small eigenvalue problem (it is not derived from a
+/// figure harness) — the claim underpins every event-based result in
+/// the paper reproduction.
+pub fn check_event_history_keff(scale: f64) -> Vec<CheckOutcome> {
+    let problem = Problem::hm(HmModel::Small, &ProblemConfig::default());
+    let settings = EigenvalueSettings {
+        particles: mcs_bench::scaled_by(2_000, scale).max(100),
+        inactive: 1,
+        active: 2,
+        mode: TransportMode::History,
+        entropy_mesh: (4, 4, 2),
+        mesh_tally: None,
+    };
+    let rh = run_eigenvalue(&problem, &settings);
+    let re = run_eigenvalue(
+        &problem,
+        &EigenvalueSettings {
+            mode: TransportMode::Event,
+            ..settings
+        },
+    );
+    let bitwise = rh
+        .batches
+        .iter()
+        .zip(&re.batches)
+        .all(|(a, b)| a.k_track.to_bits() == b.k_track.to_bits());
+    let max_rel = rh
+        .batches
+        .iter()
+        .zip(&re.batches)
+        .map(|(a, b)| (a.k_track - b.k_track).abs() / a.k_track.abs().max(1e-300))
+        .fold(0.0, f64::max);
+    vec![
+        check(
+            "EV.k_bitwise",
+            "eigenvalue",
+            "per-batch k-eff is bit-identical between event and history transport",
+            holds(bitwise),
+            Band::Holds,
+        ),
+        check(
+            "EV.k_max_rel_diff",
+            "eigenvalue",
+            "worst per-batch relative k disagreement between the two drivers",
+            max_rel,
+            Band::AtMost(1e-12),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One cheap real harness run shared by the perturbation tests.
+    fn fig1_result() -> fig1::Fig1Result {
+        fig1::run(0.05, false)
+    }
+
+    #[test]
+    fn intact_fig1_passes_and_perturbed_fig1_fails() {
+        let mut r = fig1_result();
+        let before = check_fig1(&r);
+        assert!(before.iter().all(|c| c.passed), "{before:?}");
+
+        // Deliberately break the resonance-forest claim: this is the
+        // non-zero-exit demonstration the CI gate relies on.
+        r.peak_to_smooth = 3.0;
+        let after = check_fig1(&r);
+        let broken = after.iter().find(|c| c.id == "F1.peak_to_smooth").unwrap();
+        assert!(!broken.passed);
+
+        let mut report = crate::report::CheckReport {
+            scale: 0.05,
+            threads: 1,
+            invariants: after,
+            golden: vec![],
+        };
+        assert!(
+            !report.passed(),
+            "a violated invariant must fail the report"
+        );
+        assert!(report.to_json().contains("\"passed\": false"));
+        report.invariants = before;
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn perturbed_table3_headline_fails() {
+        // Fabricated result in the paper's shape...
+        let good = table3::Table3Result {
+            r_cpu: 13_667.0,
+            r_mic: 20_675.0,
+            alpha: 0.66,
+            rows: vec![table3::Table3Row {
+                hardware: "CPU + 2 MICs",
+                original: 41_000.0,
+                balanced: Some(55_016.0),
+                ideal: 55_016.0,
+            }],
+            headline: 4.03,
+            artifact: mcs_bench::harness::Artifact {
+                name: "table3_symmetric_balance",
+                columns: vec![],
+                rows: vec![],
+            },
+        };
+        assert!(check_table3(&good).iter().all(|c| c.passed));
+        // ...then with the balancing gain wiped out.
+        let mut bad = good.clone();
+        bad.headline = 1.0;
+        bad.rows[0].balanced = Some(30_000.0);
+        let out = check_table3(&bad);
+        assert!(!out.iter().find(|c| c.id == "T3.headline").unwrap().passed);
+        assert!(
+            !out.iter()
+                .find(|c| c.id == "T3.balanced_beats_even")
+                .unwrap()
+                .passed
+        );
+    }
+
+    #[test]
+    fn measured_invariants_gate_on_full_scale() {
+        let r = table1::Table1Result {
+            n: 100,
+            iters: 10,
+            t_naive: 1.0,
+            t_opt1: 0.9,
+            t_opt2: 2.0, // inverted: typical at tiny workloads
+            cpu_modeled: [236.2, 33.3, 33.3],
+            mic_modeled: [2662.9, 11.8, 11.8],
+            artifact: mcs_bench::harness::Artifact {
+                name: "table1_distance_sampling",
+                columns: vec![],
+                rows: vec![],
+            },
+        };
+        let reduced = check_table1(&r, 0.1);
+        assert!(reduced.iter().all(|c| c.id != "T1.measured_opt2_speedup"));
+        assert!(reduced.iter().all(|c| c.passed));
+        let full = check_table1(&r, 1.0);
+        let m = full
+            .iter()
+            .find(|c| c.id == "T1.measured_opt2_speedup")
+            .unwrap();
+        assert!(
+            !m.passed,
+            "inverted measured speedup must fail at full scale"
+        );
+    }
+
+    #[test]
+    fn event_history_keff_bitwise_holds() {
+        let out = check_event_history_keff(0.02);
+        for c in &out {
+            assert!(c.passed, "{}: value {} not in {}", c.id, c.value, c.band);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `mcs-check` — machine-checked paper-shape validation.
+//!
+//! Runs every figure/table harness from `mcs-bench` at a deterministic
+//! reduced scale, scores the paper's quantitative claims as executable
+//! invariants, compares the emitted CSVs against blessed goldens with
+//! per-column tolerances, and writes a machine-readable
+//! `results/check_report.json`. The `cargo run -p mcs-check` binary
+//! exits non-zero on any violation — CI gates on it.
+
+pub mod golden;
+pub mod invariants;
+pub mod report;
+
+pub use golden::{compare, policy, render_csv, ColumnPolicy, GoldenOutcome};
+pub use report::{check, Band, CheckOutcome, CheckReport};
+
+/// Default workload scale for a check run (override with `MCS_SCALE`).
+/// Small enough for CI, large enough that every ratio invariant is out
+/// of the overhead-dominated regime.
+pub const DEFAULT_SCALE: f64 = 0.1;

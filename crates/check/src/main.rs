@@ -1,0 +1,245 @@
+//! The check runner: `cargo run --release -p mcs-check [-- --bless] [-- -v]`.
+//!
+//! Environment:
+//! * `MCS_SCALE`       — workload scale (default [`mcs_check::DEFAULT_SCALE`]);
+//! * `MCS_RESULTS_DIR` — where `check_report.json` and `check/*.csv` go
+//!   (default `results/`);
+//! * `MCS_GOLDEN_DIR`  — blessed goldens (default `results/golden/`);
+//! * `MCS_BLESS`       — same as `--bless`: regenerate the goldens.
+//!
+//! Exit status is non-zero if any invariant or golden comparison fails.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mcs_bench::harness::{
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, table1, table2, table3, Artifact,
+};
+use mcs_check::invariants as inv;
+use mcs_check::{golden, CheckReport, GoldenOutcome};
+
+fn env_path(key: &str, default: &str) -> PathBuf {
+    PathBuf::from(std::env::var(key).unwrap_or_else(|_| default.to_string()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bless = args.iter().any(|a| a == "--bless") || std::env::var("MCS_BLESS").is_ok();
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(mcs_check::DEFAULT_SCALE);
+    let results_dir = env_path("MCS_RESULTS_DIR", "results");
+    let golden_dir = env_path("MCS_GOLDEN_DIR", "results/golden");
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report = CheckReport {
+        scale,
+        threads,
+        ..Default::default()
+    };
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    let mut profile_json: Option<String> = None;
+
+    println!("mcs-check: scale {scale}, {threads} threads, bless: {bless}");
+    let t_all = Instant::now();
+
+    // Every harness, in figure/table order. Each contributes its typed
+    // result to the invariant set and its CSV to the golden comparison.
+    let mut step = |name: &str, f: &mut dyn FnMut(&mut CheckReport, &mut Vec<Artifact>)| {
+        let t0 = Instant::now();
+        f(&mut report, &mut artifacts);
+        println!("  [{name:>10}] done in {:.2}s", t0.elapsed().as_secs_f64());
+    };
+
+    step("fig1", &mut |rep, arts| {
+        let r = fig1::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig1(&r));
+        arts.push(r.artifact);
+    });
+    step("fig2", &mut |rep, arts| {
+        let r = fig2::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig2(&r));
+        arts.push(r.artifact);
+    });
+    step("fig3", &mut |rep, arts| {
+        let r = fig3::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig3(&r));
+        arts.push(r.artifact);
+    });
+    step("fig4", &mut |rep, arts| {
+        let r = fig4::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig4(&r));
+        profile_json = Some(r.host_profile.to_json());
+        arts.push(r.artifact);
+    });
+    step("fig5", &mut |rep, arts| {
+        let r = fig5::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig5(&r));
+        arts.push(r.artifact);
+    });
+    step("fig6", &mut |rep, arts| {
+        let r = fig6::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig6(&r));
+        arts.push(r.artifact);
+    });
+    step("fig7", &mut |rep, arts| {
+        let r = fig7::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig7(&r));
+        arts.push(r.artifact);
+    });
+    step("fig8", &mut |rep, arts| {
+        let r = fig8::run(scale, verbose);
+        rep.invariants.extend(inv::check_fig8(&r, scale));
+        arts.push(r.artifact);
+    });
+    step("table1", &mut |rep, arts| {
+        let r = table1::run(scale, verbose);
+        rep.invariants.extend(inv::check_table1(&r, scale));
+        arts.push(r.artifact);
+    });
+    step("table2", &mut |rep, arts| {
+        let r = table2::run(scale, verbose);
+        rep.invariants.extend(inv::check_table2(&r));
+        arts.push(r.artifact);
+    });
+    step("table3", &mut |rep, arts| {
+        let r = table3::run(scale, verbose);
+        rep.invariants.extend(inv::check_table3(&r));
+        arts.push(r.artifact);
+    });
+    step("futurework", &mut |rep, arts| {
+        let r = futurework::run(scale, verbose);
+        rep.invariants.extend(inv::check_futurework(&r));
+        arts.extend(r.artifacts);
+    });
+    step("eigenvalue", &mut |rep, _| {
+        rep.invariants.extend(inv::check_event_history_keff(scale));
+    });
+
+    // Fresh CSVs go under results/check/ so a CI artifact upload always
+    // carries what this run actually produced (never clobbering the
+    // committed full-scale results/*.csv).
+    let check_dir = results_dir.join("check");
+    fs::create_dir_all(&check_dir).expect("create results/check");
+    for a in &artifacts {
+        fs::write(
+            check_dir.join(format!("{}.csv", a.name)),
+            golden::render_csv(a),
+        )
+        .expect("write check csv");
+    }
+    if let Some(j) = &profile_json {
+        fs::write(check_dir.join("fig4_host_profile.json"), j).expect("write profile json");
+    }
+
+    if bless {
+        fs::create_dir_all(&golden_dir).expect("create golden dir");
+        for a in &artifacts {
+            fs::write(
+                golden_dir.join(format!("{}.csv", a.name)),
+                golden::render_csv(a),
+            )
+            .expect("write golden csv");
+        }
+        fs::write(golden_dir.join("MANIFEST"), format!("scale={scale}\n"))
+            .expect("write golden manifest");
+        println!(
+            "blessed {} goldens at scale {scale} into {}",
+            artifacts.len(),
+            golden_dir.display()
+        );
+    } else {
+        let blessed_scale = fs::read_to_string(golden_dir.join("MANIFEST"))
+            .ok()
+            .and_then(|m| {
+                m.lines()
+                    .find_map(|l| l.strip_prefix("scale=").and_then(|v| v.parse::<f64>().ok()))
+            });
+        match blessed_scale {
+            Some(s) if (s - scale).abs() < 1e-12 => {
+                for a in &artifacts {
+                    let path = golden_dir.join(format!("{}.csv", a.name));
+                    let out = match fs::read_to_string(&path) {
+                        Ok(text) => golden::compare(a, &text),
+                        Err(_) => GoldenOutcome {
+                            artifact: a.name.to_string(),
+                            passed: false,
+                            detail: format!(
+                                "missing golden {} — run `cargo run -p mcs-check -- --bless`",
+                                path.display()
+                            ),
+                        },
+                    };
+                    report.golden.push(out);
+                }
+            }
+            Some(s) => {
+                // Goldens are scale-specific; at any other scale only the
+                // invariants apply.
+                for a in &artifacts {
+                    report.golden.push(GoldenOutcome {
+                        artifact: a.name.to_string(),
+                        passed: true,
+                        detail: format!(
+                            "skipped (goldens blessed at scale {s}, running at {scale})"
+                        ),
+                    });
+                }
+            }
+            None => {
+                for a in &artifacts {
+                    report.golden.push(GoldenOutcome {
+                        artifact: a.name.to_string(),
+                        passed: false,
+                        detail: "no goldens found — run `cargo run -p mcs-check -- --bless`".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    let report_path = results_dir.join("check_report.json");
+    fs::create_dir_all(&results_dir).expect("create results dir");
+    fs::write(&report_path, report.to_json()).expect("write check_report.json");
+
+    // Human-readable summary.
+    println!(
+        "\n== mcs-check: {} invariants, {} golden artifacts, {:.1}s ==",
+        report.invariants.len(),
+        report.golden.len(),
+        t_all.elapsed().as_secs_f64()
+    );
+    for c in &report.invariants {
+        println!(
+            "  {} {:<28} value {:<12.6} band {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.id,
+            c.value,
+            c.band
+        );
+        if !c.passed {
+            println!("       {}: {}", c.harness, c.description);
+        }
+    }
+    for g in &report.golden {
+        println!(
+            "  {} golden {:<28} {}",
+            if g.passed { "PASS" } else { "FAIL" },
+            g.artifact,
+            g.detail
+        );
+    }
+    println!("report: {}", report_path.display());
+
+    if report.passed() {
+        println!("mcs-check: all checks passed");
+    } else {
+        println!("mcs-check: {} check(s) FAILED", report.n_failed());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Typed check outcomes and the machine-readable `check_report.json`.
+//!
+//! The JSON is hand-rolled like everywhere else in this workspace (no
+//! serde in the offline build environment). Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "mcs-check-report/1",
+//!   "scale": 0.1,
+//!   "threads": 8,
+//!   "passed": true,
+//!   "n_invariants": 26,
+//!   "n_failed": 0,
+//!   "invariants": [
+//!     {"id": "F2.mic_over_e5", "harness": "fig2", "description": "...",
+//!      "value": 9.64, "band": {"kind": "range", "lo": 8.0, "hi": 12.0},
+//!      "passed": true},
+//!     ...
+//!   ],
+//!   "golden": [
+//!     {"artifact": "fig2_lookup_rates", "passed": true,
+//!      "detail": "6 rows, worst rel err 0.000e0"},
+//!     ...
+//!   ]
+//! }
+//! ```
+
+use crate::golden::GoldenOutcome;
+
+/// Allowed band for a scalar invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Band {
+    /// `lo <= value <= hi`.
+    Range { lo: f64, hi: f64 },
+    /// `value >= lo`.
+    AtLeast(f64),
+    /// `value <= hi`.
+    AtMost(f64),
+    /// Boolean predicate; `value` is 1.0 (holds) or 0.0 (violated).
+    Holds,
+}
+
+impl Band {
+    pub fn admits(&self, v: f64) -> bool {
+        match *self {
+            Band::Range { lo, hi } => v >= lo && v <= hi,
+            Band::AtLeast(lo) => v >= lo,
+            Band::AtMost(hi) => v <= hi,
+            Band::Holds => v == 1.0,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        match *self {
+            Band::Range { lo, hi } => format!(
+                "{{\"kind\": \"range\", \"lo\": {}, \"hi\": {}}}",
+                json_num(lo),
+                json_num(hi)
+            ),
+            Band::AtLeast(lo) => {
+                format!("{{\"kind\": \"at_least\", \"lo\": {}}}", json_num(lo))
+            }
+            Band::AtMost(hi) => {
+                format!("{{\"kind\": \"at_most\", \"hi\": {}}}", json_num(hi))
+            }
+            Band::Holds => "{\"kind\": \"holds\"}".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Band::Range { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            Band::AtLeast(lo) => write!(f, ">= {lo}"),
+            Band::AtMost(hi) => write!(f, "<= {hi}"),
+            Band::Holds => write!(f, "holds"),
+        }
+    }
+}
+
+/// One checked invariant: the measured value against its allowed band.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Stable invariant ID, e.g. `F2.mic_over_e5` (also the key
+    /// EXPERIMENTS.md's "continuously verified" column cites).
+    pub id: &'static str,
+    /// Which harness produced the value (`fig2`, `table3`, ...).
+    pub harness: &'static str,
+    /// Human-readable claim being checked.
+    pub description: &'static str,
+    /// Measured/derived value.
+    pub value: f64,
+    /// Allowed band.
+    pub band: Band,
+    /// `band.admits(value)`.
+    pub passed: bool,
+}
+
+/// Build an outcome, evaluating the band.
+pub fn check(
+    id: &'static str,
+    harness: &'static str,
+    description: &'static str,
+    value: f64,
+    band: Band,
+) -> CheckOutcome {
+    CheckOutcome {
+        id,
+        harness,
+        description,
+        value,
+        band,
+        passed: band.admits(value),
+    }
+}
+
+/// The full report: every invariant plus every golden-CSV comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Workload scale the harnesses ran at.
+    pub scale: f64,
+    /// Host threads available to the run.
+    pub threads: usize,
+    /// Scalar invariants, in run order.
+    pub invariants: Vec<CheckOutcome>,
+    /// Golden-CSV comparisons, in run order.
+    pub golden: Vec<GoldenOutcome>,
+}
+
+impl CheckReport {
+    pub fn n_failed(&self) -> usize {
+        self.invariants.iter().filter(|c| !c.passed).count()
+            + self.golden.iter().filter(|g| !g.passed).count()
+    }
+
+    pub fn passed(&self) -> bool {
+        self.n_failed() == 0
+    }
+
+    /// Render the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"mcs-check-report/1\",\n");
+        s.push_str(&format!("  \"scale\": {},\n", json_num(self.scale)));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        s.push_str(&format!("  \"n_invariants\": {},\n", self.invariants.len()));
+        s.push_str(&format!("  \"n_failed\": {},\n", self.n_failed()));
+        s.push_str("  \"invariants\": [\n");
+        for (i, c) in self.invariants.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"harness\": {}, \"description\": {}, \
+                 \"value\": {}, \"band\": {}, \"passed\": {}}}{}\n",
+                json_str(c.id),
+                json_str(c.harness),
+                json_str(c.description),
+                json_num(c.value),
+                c.band.to_json(),
+                c.passed,
+                if i + 1 < self.invariants.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"golden\": [\n");
+        for (i, g) in self.golden.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"artifact\": {}, \"passed\": {}, \"detail\": {}}}{}\n",
+                json_str(&g.artifact),
+                g.passed,
+                json_str(&g.detail),
+                if i + 1 < self.golden.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A finite f64 as a JSON number; NaN/inf (e.g. "no crossover found")
+/// become `null` so the report stays parseable.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_admit_and_reject() {
+        assert!(Band::Range { lo: 8.0, hi: 12.0 }.admits(9.6));
+        assert!(!Band::Range { lo: 8.0, hi: 12.0 }.admits(13.0));
+        assert!(Band::AtLeast(0.94).admits(0.97));
+        assert!(!Band::AtLeast(0.94).admits(0.5));
+        assert!(Band::AtMost(1e-9).admits(0.0));
+        assert!(!Band::AtMost(1e-9).admits(1e-3));
+        assert!(Band::Holds.admits(1.0));
+        assert!(!Band::Holds.admits(0.0));
+    }
+
+    #[test]
+    fn report_counts_failures_from_both_sections() {
+        let mut r = CheckReport {
+            scale: 0.1,
+            threads: 4,
+            ..Default::default()
+        };
+        r.invariants
+            .push(check("A.x", "figA", "ok", 1.0, Band::Holds));
+        r.invariants
+            .push(check("A.y", "figA", "bad", 0.0, Band::Holds));
+        r.golden.push(GoldenOutcome {
+            artifact: "a".into(),
+            passed: false,
+            detail: "row 1 mismatch".into(),
+        });
+        assert_eq!(r.n_failed(), 2);
+        assert!(!r.passed());
+        let j = r.to_json();
+        assert!(j.contains("\"n_failed\": 2"));
+        assert!(j.contains("\"passed\": false"));
+    }
+
+    #[test]
+    fn json_escapes_are_sane() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
+    }
+}

@@ -28,7 +28,10 @@ impl AdaptiveBalancer {
     pub fn new(n_ranks: usize, n_total: u64) -> Self {
         assert!(n_ranks > 0);
         let mut assignments = vec![n_total / n_ranks as u64; n_ranks];
-        for a in assignments.iter_mut().take((n_total % n_ranks as u64) as usize) {
+        for a in assignments
+            .iter_mut()
+            .take((n_total % n_ranks as u64) as usize)
+        {
             *a += 1;
         }
         Self {
@@ -139,7 +142,10 @@ mod tests {
         let total_rate: f64 = 4_050.0 + 6_641.0;
         let want_cpu = (10_000_000.0 * 4_050.0 / total_rate).round() as i64;
         let got_cpu = b.assignments()[0] as i64;
-        assert!((got_cpu - want_cpu).abs() < 3_000, "{got_cpu} vs {want_cpu}");
+        assert!(
+            (got_cpu - want_cpu).abs() < 3_000,
+            "{got_cpu} vs {want_cpu}"
+        );
     }
 
     #[test]
@@ -186,7 +192,7 @@ mod tests {
         // Degenerate feedback must not wedge a rank at zero forever.
         let mut b = AdaptiveBalancer::new(2, 100);
         b.observe(&[1e-9, 1.0]); // rank 0 looks infinitely fast
-        // rank 0 now holds everything; next observation rebalances.
+                                 // rank 0 now holds everything; next observation rebalances.
         let (_, times) = simulate_batch(&jlse_ranks(), b.assignments());
         b.observe(&times);
         assert!(b.assignments().iter().all(|&n| n > 0));

@@ -38,4 +38,4 @@ pub use comm::CommModel;
 pub use mpi::{run_distributed_eigenvalue, DistributedResult, DistributedSettings};
 pub use node::NodeSpec;
 pub use rank::Rank;
-pub use scaling::{batch_time_mixed, strong_scaling, weak_scaling, ScalingPoint};
+pub use scaling::{batch_time_mixed, min_efficiency, strong_scaling, weak_scaling, ScalingPoint};

@@ -124,7 +124,8 @@ impl Comm {
     fn allgather_times(&self, local: f64) -> Vec<f64> {
         for (r, tx) in self.txs.iter().enumerate() {
             if r != self.rank {
-                tx.send(Message::Time(self.rank as u32, local)).expect("peer alive");
+                tx.send(Message::Time(self.rank as u32, local))
+                    .expect("peer alive");
             }
         }
         let mut times = vec![0.0; self.size];
@@ -356,7 +357,12 @@ mod tests {
         assert_eq!(r1.tallies.fissions, r4.tallies.fissions);
         for (a, b) in [(&r1, &r2), (&r1, &r4)] {
             for (x, y) in a.batches.iter().zip(&b.batches) {
-                assert!((x.k_track - y.k_track).abs() < 1e-12, "{} vs {}", x.k_track, y.k_track);
+                assert!(
+                    (x.k_track - y.k_track).abs() < 1e-12,
+                    "{} vs {}",
+                    x.k_track,
+                    y.k_track
+                );
                 assert_eq!(x.entropy, y.entropy);
             }
         }

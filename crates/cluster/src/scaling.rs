@@ -28,6 +28,12 @@ pub struct ScalingPoint {
     pub efficiency: f64,
 }
 
+/// Smallest parallel efficiency over a scaling curve (1.0 for an empty
+/// curve). The Fig. 6/7 shape checks gate on this.
+pub fn min_efficiency(points: &[ScalingPoint]) -> f64 {
+    points.iter().map(|p| p.efficiency).fold(1.0, f64::min)
+}
+
 fn batch_time(node: &NodeSpec, n_nodes: usize, n_total: u64, comm: &CommModel) -> f64 {
     batch_time_mixed(&vec![node.clone(); n_nodes], n_total, comm)
 }
@@ -36,8 +42,7 @@ fn batch_time(node: &NodeSpec, n_nodes: usize, n_total: u64, comm: &CommModel) -
 /// 1-MIC and 2-MIC partitions in one job), with the paper's static
 /// α balancing applied globally across every rank.
 pub fn batch_time_mixed(nodes: &[NodeSpec], n_total: u64, comm: &CommModel) -> f64 {
-    let ranks: Vec<&crate::rank::Rank> =
-        nodes.iter().flat_map(|n| n.ranks.iter()).collect();
+    let ranks: Vec<&crate::rank::Rank> = nodes.iter().flat_map(|n| n.ranks.iter()).collect();
     let rates: Vec<f64> = ranks.iter().map(|r| r.nominal_rate).collect();
     let split = proportional_split(n_total, &rates);
     let mut slowest = 0.0f64;
@@ -117,7 +122,12 @@ mod tests {
     #[test]
     fn fig6_near_perfect_scaling_to_128_nodes() {
         let comm = CommModel::fdr_infiniband();
-        let pts = strong_scaling(&stampede_1mic(), &[4, 8, 16, 32, 64, 128], 10_000_000, &comm);
+        let pts = strong_scaling(
+            &stampede_1mic(),
+            &[4, 8, 16, 32, 64, 128],
+            10_000_000,
+            &comm,
+        );
         let at_128 = pts.last().unwrap();
         assert!(
             at_128.efficiency > 0.93 && at_128.efficiency <= 1.0,
@@ -131,12 +141,7 @@ mod tests {
         // Paper: at 1,024 nodes Eq. 3 assigns the MIC ~6,600 particles,
         // its effective rate collapses, and the curve tails off.
         let comm = CommModel::fdr_infiniband();
-        let pts = strong_scaling(
-            &stampede_1mic(),
-            &[4, 128, 1024],
-            10_000_000,
-            &comm,
-        );
+        let pts = strong_scaling(&stampede_1mic(), &[4, 128, 1024], 10_000_000, &comm);
         let at_128 = &pts[1];
         let at_1024 = &pts[2];
         assert!(at_128.efficiency > 0.93);
@@ -164,7 +169,12 @@ mod tests {
     #[test]
     fn fig7_weak_scaling_holds_94_percent() {
         let comm = CommModel::fdr_infiniband();
-        let pts = weak_scaling(&stampede_1mic(), &[1, 2, 4, 8, 16, 32, 64, 128], 1_000_000, &comm);
+        let pts = weak_scaling(
+            &stampede_1mic(),
+            &[1, 2, 4, 8, 16, 32, 64, 128],
+            1_000_000,
+            &comm,
+        );
         for p in &pts {
             assert!(
                 p.efficiency > 0.94,
@@ -218,7 +228,12 @@ mod tests {
     #[test]
     fn strong_scaling_rate_is_monotone_until_the_tail() {
         let comm = CommModel::fdr_infiniband();
-        let pts = strong_scaling(&stampede_1mic(), &[4, 8, 16, 32, 64, 128], 10_000_000, &comm);
+        let pts = strong_scaling(
+            &stampede_1mic(),
+            &[4, 8, 16, 32, 64, 128],
+            10_000_000,
+            &comm,
+        );
         for w in pts.windows(2) {
             assert!(w[1].rate > w[0].rate);
         }

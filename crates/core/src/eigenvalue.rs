@@ -121,11 +121,7 @@ impl EigenvalueResult {
 }
 
 /// Shannon entropy (bits) of fission sites on a mesh over `bounds`.
-pub fn shannon_entropy(
-    sites: &[Site],
-    bounds: (Vec3, Vec3),
-    mesh: (usize, usize, usize),
-) -> f64 {
+pub fn shannon_entropy(sites: &[Site], bounds: (Vec3, Vec3), mesh: (usize, usize, usize)) -> f64 {
     if sites.is_empty() {
         return 0.0;
     }
@@ -211,7 +207,11 @@ pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> Eigen
             stats.observe(bm);
         }
 
-        let entropy = shannon_entropy(&outcome.sites, problem.geometry.bounds, settings.entropy_mesh);
+        let entropy = shannon_entropy(
+            &outcome.sites,
+            problem.geometry.bounds,
+            settings.entropy_mesh,
+        );
         let k_track = outcome.tallies.k_track_estimate();
         batches.push(BatchResult {
             index: b,
@@ -263,7 +263,11 @@ pub fn run_eigenvalue_partial(
         }
         None => {
             assert_eq!(start_batch, 0, "cold starts begin at batch 0");
-            (problem.sample_initial_source(n, 0), Vec::new(), Tallies::default())
+            (
+                problem.sample_initial_source(n, 0),
+                Vec::new(),
+                Tallies::default(),
+            )
         }
     };
 
@@ -280,8 +284,11 @@ pub fn run_eigenvalue_partial(
             }
         };
         let wall = t0.elapsed();
-        let entropy =
-            shannon_entropy(&outcome.sites, problem.geometry.bounds, settings.entropy_mesh);
+        let entropy = shannon_entropy(
+            &outcome.sites,
+            problem.geometry.bounds,
+            settings.entropy_mesh,
+        );
         let k_track = outcome.tallies.k_track_estimate();
         batches.push(BatchResult {
             index: b,
@@ -339,10 +346,16 @@ mod tests {
         let rh = run_eigenvalue(&problem, &settings);
         settings.mode = TransportMode::Event;
         let re = run_eigenvalue(&problem, &settings);
-        // Identical trajectories & resampling ⇒ k per batch matches to
-        // accumulation tolerance.
+        // Identical trajectories, resampling, and canonical float-tally
+        // reduction ⇒ k per batch matches bit for bit.
         for (a, b) in rh.batches.iter().zip(&re.batches) {
-            assert!((a.k_track - b.k_track).abs() < 1e-9, "{} vs {}", a.k_track, b.k_track);
+            assert_eq!(
+                a.k_track.to_bits(),
+                b.k_track.to_bits(),
+                "{} vs {}",
+                a.k_track,
+                b.k_track
+            );
         }
         // Pipeline counters surface only from the event driver.
         assert!(rh.event_stats.is_none());
@@ -371,7 +384,9 @@ mod tests {
         };
         let analog = run_eigenvalue(&analog_problem, &settings);
         let biased = run_eigenvalue(&biased_problem, &settings);
-        let sigma = (analog.k_std.powi(2) + biased.k_std.powi(2)).sqrt().max(1e-4);
+        let sigma = (analog.k_std.powi(2) + biased.k_std.powi(2))
+            .sqrt()
+            .max(1e-4);
         let diff = (analog.k_mean - biased.k_mean).abs();
         assert!(
             diff < 4.0 * sigma + 0.02,

@@ -184,9 +184,21 @@ pub fn run_event_transport_mesh(
     // leaves the live list at the next compaction and is never visited
     // again, so a stale `true` cannot be observed.
     let mut dead = vec![false; n];
+    // Per-particle float-tally slots. A particle's contributions land in
+    // its own slot in segment order — the same per-particle sums the
+    // history loop forms — and the canonical fold after the pipeline
+    // reproduces the history loop's reduction tree exactly, so the float
+    // tallies (and k-eff) are bit-identical between the two algorithms.
+    let mut tl_pp = vec![0.0f64; n];
+    let mut kt_pp = vec![0.0f64; n];
+    let mut kc_pp = vec![0.0f64; n];
+    let mut ka_pp = vec![0.0f64; n];
     let n_materials = problem.n_materials();
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_materials];
-    let survival = !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
+    let survival = !matches!(
+        problem.treatment,
+        crate::physics::AbsorptionTreatment::Analog
+    );
 
     while bank.n_alive() > 0 {
         stats.iterations += 1;
@@ -197,7 +209,12 @@ pub fn run_event_transport_mesh(
             let _g = prof.enter(EventStats::STAGE_NAMES[0]);
             let leaks: u64 = {
                 let ParticleBank {
-                    x, y, z, material, alive, ..
+                    x,
+                    y,
+                    z,
+                    material,
+                    alive,
+                    ..
                 } = &mut bank;
                 let (x, y, z, alive) = (&x[..], &y[..], &z[..], &alive[..]);
                 let material = SyncSlice::new(material);
@@ -362,9 +379,11 @@ pub fn run_event_transport_mesh(
         }
 
         // --- Stage 5: advance / collide --------------------------------
-        // Each chunk accumulates its own (tallies, sites, mesh) partial;
-        // partials merge in chunk order below, so float sums are
+        // Each chunk accumulates its own (integer tallies, sites, mesh)
+        // partial; partials merge in chunk order below, so results are
         // invariant to the thread count (the history loop's scheme).
+        // Float tallies bypass the chunk partials entirely: they land in
+        // per-particle slots and fold canonically after the pipeline.
         {
             let _g = prof.enter(EventStats::STAGE_NAMES[4]);
             let partials: Vec<(Tallies, Vec<Site>, Option<MeshTally>)> = {
@@ -398,6 +417,10 @@ pub fn run_event_transport_mesh(
                 let xs_all = &xs_buf[..];
                 let dc = &d_coll[..];
                 let db = &d_bound[..];
+                let tlw = SyncSlice::new(&mut tl_pp);
+                let ktw = SyncSlice::new(&mut kt_pp);
+                let kcw = SyncSlice::new(&mut kc_pp);
+                let kaw = SyncSlice::new(&mut ka_pp);
 
                 alive
                     .par_chunks(CHUNK)
@@ -416,8 +439,10 @@ pub fn run_event_transport_mesh(
                             let wt_before = unsafe { wtw.get(i) };
                             if db[i] <= dc[i] {
                                 let d = db[i];
-                                t.track_length += d;
-                                t.k_track += wt_before * d * xsi.nu_fission;
+                                unsafe {
+                                    tlw.set(i, tlw.get(i) + d);
+                                    ktw.set(i, ktw.get(i) + wt_before * d * xsi.nu_fission);
+                                }
                                 if let Some(m) = pmesh.as_mut() {
                                     m.score_track(pos, dir, d);
                                 }
@@ -430,8 +455,10 @@ pub fn run_event_transport_mesh(
                                 continue;
                             }
                             let d = dc[i];
-                            t.track_length += d;
-                            t.k_track += wt_before * d * xsi.nu_fission;
+                            unsafe {
+                                tlw.set(i, tlw.get(i) + d);
+                                ktw.set(i, ktw.get(i) + wt_before * d * xsi.nu_fission);
+                            }
                             if let Some(m) = pmesh.as_mut() {
                                 m.score_track(pos, dir, d);
                             }
@@ -442,11 +469,14 @@ pub fn run_event_transport_mesh(
                                 zw.set(i, new_pos.z);
                             }
                             t.record_collision(material[i]);
-                            t.k_collision += wt_before * xsi.nu_fission / xsi.total;
+                            unsafe {
+                                kcw.set(i, kcw.get(i) + wt_before * xsi.nu_fission / xsi.total);
+                            }
                             if survival && xsi.absorption > 0.0 {
-                                t.k_absorption += wt_before
+                                let ka = wt_before
                                     * (xsi.absorption / xsi.total)
                                     * (xsi.nu_fission / xsi.absorption);
+                                unsafe { kaw.set(i, kaw.get(i) + ka) };
                             }
 
                             let mat_id = material[i] as usize;
@@ -486,7 +516,8 @@ pub fn run_event_transport_mesh(
                                 CollisionOutcome::Absorbed { fission } => {
                                     t.record_absorption(material[i], fission);
                                     if !survival && xsi.absorption > 0.0 {
-                                        t.k_absorption += xsi.nu_fission / xsi.absorption;
+                                        let ka = xsi.nu_fission / xsi.absorption;
+                                        unsafe { kaw.set(i, kaw.get(i) + ka) };
                                     }
                                     unsafe { dead_w.set(i, true) };
                                 }
@@ -517,6 +548,22 @@ pub fn run_event_transport_mesh(
             bank.retain_alive(&dead);
         }
     }
+
+    // Canonical float-tally reduction: each particle's slot already holds
+    // its segment-ordered sum; folding CHUNK slots per partial and the
+    // partials in order rebuilds the exact reduction tree
+    // `run_histories_mesh` uses, so these four sums — and every k
+    // estimator derived from them — are bit-identical to the history
+    // loop's, independent of event-generation interleaving.
+    let fold = |pp: &[f64]| {
+        pp.chunks(CHUNK)
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0, |acc, s| acc + s)
+    };
+    out.tallies.track_length = fold(&tl_pp);
+    out.tallies.k_track = fold(&kt_pp);
+    out.tallies.k_collision = fold(&kc_pp);
+    out.tallies.k_absorption = fold(&ka_pp);
 
     // Events discover sites in generation order; restore history order.
     sort_sites(&mut out.sites);
@@ -550,19 +597,44 @@ mod tests {
 
         // Integer tallies must be identical: same trajectories.
         assert_eq!(hist.tallies.segments, evt.tallies.segments);
-        assert_eq!(hist.tallies.segments_by_material, evt.tallies.segments_by_material);
-        assert_eq!(hist.tallies.collisions_by_material, evt.tallies.collisions_by_material);
-        assert_eq!(hist.tallies.absorptions_by_material, evt.tallies.absorptions_by_material);
-        assert_eq!(hist.tallies.fissions_by_material, evt.tallies.fissions_by_material);
+        assert_eq!(
+            hist.tallies.segments_by_material,
+            evt.tallies.segments_by_material
+        );
+        assert_eq!(
+            hist.tallies.collisions_by_material,
+            evt.tallies.collisions_by_material
+        );
+        assert_eq!(
+            hist.tallies.absorptions_by_material,
+            evt.tallies.absorptions_by_material
+        );
+        assert_eq!(
+            hist.tallies.fissions_by_material,
+            evt.tallies.fissions_by_material
+        );
         assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
         assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
         assert_eq!(hist.tallies.fissions, evt.tallies.fissions);
         assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
-        // Float tallies agree to accumulation-order tolerance.
-        let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1e-300);
-        assert!(rel(hist.tallies.track_length, evt.tallies.track_length) < 1e-9);
-        assert!(rel(hist.tallies.k_track, evt.tallies.k_track) < 1e-9);
-        assert!(rel(hist.tallies.k_collision, evt.tallies.k_collision) < 1e-9);
+        // Float tallies are bit-identical: both drivers accumulate per
+        // particle in segment order and fold in the same chunked tree.
+        assert_eq!(
+            hist.tallies.track_length.to_bits(),
+            evt.tallies.track_length.to_bits()
+        );
+        assert_eq!(
+            hist.tallies.k_track.to_bits(),
+            evt.tallies.k_track.to_bits()
+        );
+        assert_eq!(
+            hist.tallies.k_collision.to_bits(),
+            evt.tallies.k_collision.to_bits()
+        );
+        assert_eq!(
+            hist.tallies.k_absorption.to_bits(),
+            evt.tallies.k_absorption.to_bits()
+        );
         // Fission banks identical site-for-site.
         assert_eq!(hist.sites.len(), evt.sites.len());
         for (a, b) in hist.sites.iter().zip(&evt.sites) {
@@ -626,7 +698,10 @@ mod tests {
         let sources = problem.sample_initial_source(n, 3);
         let streams = batch_streams(problem.seed, 1, n);
         let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
         assert_eq!(serial.iterations, parallel.iterations);
         assert_eq!(serial.lookups, parallel.lookups);

@@ -112,11 +112,8 @@ pub fn run_fixed_source(problem: &Problem, settings: &FixedSourceSettings) -> Fi
                 };
                 // Source particle stream = global index; progeny use
                 // sub-streams derived from (index, birth order).
-                let rng = Lcg63::for_history(
-                    problem.seed ^ 0xF15D,
-                    i as u64,
-                    mcs_rng::STREAM_STRIDE,
-                );
+                let rng =
+                    Lcg63::for_history(problem.seed ^ 0xF15D, i as u64, mcs_rng::STREAM_STRIDE);
                 let mut stack: Vec<(SourceSite, u32)> = vec![(site, 0)];
                 let mut born = 0u32;
                 let mut generations = 0usize;
@@ -265,7 +262,11 @@ mod tests {
         let fast = in_range(0.1, 20.0);
         let thermal = in_range(1e-11, 1e-6);
         assert!(fast > 0.2 * total, "fast fraction {}", fast / total);
-        assert!(thermal > 0.02 * total, "thermal fraction {}", thermal / total);
+        assert!(
+            thermal > 0.02 * total,
+            "thermal fraction {}",
+            thermal / total
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@ use rayon::prelude::*;
 
 use crate::mesh::{MeshSpec, MeshTally};
 use crate::particle::{Particle, Site, SourceSite};
-use crate::spectrum::SpectrumTally;
 use crate::physics::{collide, CollisionOutcome};
 use crate::problem::Problem;
+use crate::spectrum::SpectrumTally;
 use crate::tally::Tallies;
 use crate::E_FLOOR;
 
@@ -66,8 +66,40 @@ pub fn transport_particle_mesh(
 /// energy-spectrum tally scored along every flight segment, plus an
 /// optional leakage spectrum scored at escape (the shielding output of
 /// fixed-source runs).
+///
+/// Float tallies accumulate into a per-particle partial that is folded
+/// into `tallies` once the history ends. This fixes a canonical
+/// summation tree — per-particle in segment order, then particles in
+/// index order — that the event driver reproduces exactly, making the
+/// two transport algorithms' float tallies (and therefore k-eff)
+/// bit-identical, not merely close.
 #[allow(clippy::too_many_arguments)]
 pub fn transport_particle_full(
+    problem: &Problem,
+    p: &mut Particle,
+    tallies: &mut Tallies,
+    sites: &mut Vec<Site>,
+    prof: Option<&ThreadProfiler>,
+    mesh: Option<&mut MeshTally>,
+    spectrum: Option<&mut SpectrumTally>,
+    leak_spectrum: Option<&mut SpectrumTally>,
+) {
+    let mut per_particle = Tallies::default();
+    transport_particle_inner(
+        problem,
+        p,
+        &mut per_particle,
+        sites,
+        prof,
+        mesh,
+        spectrum,
+        leak_spectrum,
+    );
+    tallies.merge(&per_particle);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transport_particle_inner(
     problem: &Problem,
     p: &mut Particle,
     tallies: &mut Tallies,
@@ -89,11 +121,14 @@ pub fn transport_particle_full(
             return;
         };
 
-        // Cross-section lookup (the bottleneck routine).
+        // Cross-section lookup (the bottleneck routine). Uses the
+        // vectorized nuclide-loop kernel — the paper's first SIMD
+        // algorithm operates inside history transport — which also makes
+        // the lookup bit-identical to the event driver's batched kernel.
         tallies.record_segment(cell.material);
         let xs = {
             let _g = prof.map(|t| t.enter("calculate_xs"));
-            problem.macro_xs(cell.material, p.energy, &mut p.rng)
+            problem.macro_xs_vector(cell.material, p.energy, &mut p.rng)
         };
         debug_assert!(xs.total > 0.0, "non-positive total xs");
 
@@ -131,7 +166,10 @@ pub fn transport_particle_full(
         tallies.record_collision(cell.material);
         let w_before = p.weight;
         tallies.k_collision += w_before * xs.nu_fission / xs.total;
-        let survival = !matches!(problem.treatment, crate::physics::AbsorptionTreatment::Analog);
+        let survival = !matches!(
+            problem.treatment,
+            crate::physics::AbsorptionTreatment::Analog
+        );
         if survival && xs.absorption > 0.0 {
             // Implicit-capture absorption estimator: the weight absorbed
             // this collision times ν Σ_f / Σ_a.
@@ -247,7 +285,13 @@ pub fn run_histories_profiled(
     let _total = prof.enter("transport_total");
     for (i, (&site, &rng)) in sources.iter().zip(streams).enumerate() {
         let mut p = Particle::born(site, i as u32, rng);
-        transport_particle(problem, &mut p, &mut out.tallies, &mut out.sites, Some(prof));
+        transport_particle(
+            problem,
+            &mut p,
+            &mut out.tallies,
+            &mut out.sites,
+            Some(prof),
+        );
     }
     out
 }
@@ -383,8 +427,14 @@ mod tests {
         let sources = problem.sample_initial_source(300, 1);
         let streams = batch_streams(problem.seed, 0, 300);
 
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let a = pool1.install(|| run_histories(&problem, &sources, &streams));
         let b = pool4.install(|| run_histories(&problem, &sources, &streams));
         assert_eq!(a.tallies, b.tallies);

@@ -245,7 +245,9 @@ mod tests {
                 energy: 1.0 + i as f64,
             })
             .collect();
-        let streams: Vec<Lcg63> = (0..n).map(|i| Lcg63::for_history(7, i as u64, 101)).collect();
+        let streams: Vec<Lcg63> = (0..n)
+            .map(|i| Lcg63::for_history(7, i as u64, 101))
+            .collect();
         (sites, streams)
     }
 

@@ -248,13 +248,7 @@ pub fn sample_free_gas_target(beta_vn: f64, rng: &mut Lcg63) -> (f64, f64) {
 /// Elastic scattering off a *moving* free-gas target: full two-body
 /// kinematics with the target velocity drawn from the relative-speed-
 /// weighted Maxwellian. Returns the lab outgoing energy and direction.
-pub fn free_gas_scatter(
-    e: f64,
-    dir: Vec3,
-    awr: f64,
-    kt: f64,
-    rng: &mut Lcg63,
-) -> (f64, Vec3) {
+pub fn free_gas_scatter(e: f64, dir: Vec3, awr: f64, kt: f64, rng: &mut Lcg63) -> (f64, Vec3) {
     // Work in velocity units where v = sqrt(E) for the neutron (mass-
     // normalized); the target's Maxwellian has variance kT/awr in these
     // units.

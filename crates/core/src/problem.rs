@@ -7,11 +7,11 @@ use mcs_xs::sab::SabTable;
 use mcs_xs::urr::UrrTable;
 use mcs_xs::{LibrarySpec, Material, NuclideLibrary, SoaLibrary, UnionGrid};
 
+use crate::particle::SourceSite;
+use crate::physics::sample_watt;
 use crate::physics::{
     apply_physics, AbsorptionTreatment, MaterialSlots, Physics, SabPhysics, UrrPhysics,
 };
-use crate::particle::SourceSite;
-use crate::physics::sample_watt;
 use crate::physics::{WATT_A, WATT_B};
 
 /// Which Hoogenboom–Martin fuel inventory to use.

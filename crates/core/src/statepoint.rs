@@ -225,7 +225,10 @@ pub fn resume_eigenvalue(
         .collect();
     let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
     let k_std = if active_ks.len() > 1 {
-        let var = active_ks.iter().map(|k| (k - k_mean) * (k - k_mean)).sum::<f64>()
+        let var = active_ks
+            .iter()
+            .map(|k| (k - k_mean) * (k - k_mean))
+            .sum::<f64>()
             / (active_ks.len() - 1) as f64;
         (var / active_ks.len() as f64).sqrt()
     } else {

@@ -84,6 +84,26 @@ impl Tallies {
         self.k_absorption += o.k_absorption;
     }
 
+    /// Linearly rescale the per-particle structure to a batch of `n`
+    /// source particles.
+    ///
+    /// The figure/table harnesses probe transport with a small measured
+    /// batch and then price a paper-scale batch on the machine models;
+    /// only the count fields the models consume (segments, collisions,
+    /// and their per-material breakdowns) are rescaled.
+    pub fn scaled_to(&self, n: u64) -> Tallies {
+        let f = n as f64 / self.n_particles.max(1) as f64;
+        let mut t = *self;
+        t.n_particles = n;
+        t.segments = (t.segments as f64 * f) as u64;
+        t.collisions = (t.collisions as f64 * f) as u64;
+        for i in 0..8 {
+            t.segments_by_material[i] = (t.segments_by_material[i] as f64 * f) as u64;
+            t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
+        }
+        t
+    }
+
     /// Track-length k estimate for this batch.
     pub fn k_track_estimate(&self) -> f64 {
         self.k_track / self.n_particles.max(1) as f64

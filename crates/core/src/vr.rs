@@ -53,8 +53,7 @@ impl ImportanceMap {
         for k in 0..spec.nz {
             for j in 0..spec.ny {
                 for i in 0..spec.nx {
-                    importance[(k * spec.ny + j) * spec.nx + i] =
-                        factor_per_cell.powi(i as i32);
+                    importance[(k * spec.ny + j) * spec.nx + i] = factor_per_cell.powi(i as i32);
                 }
             }
         }
@@ -131,7 +130,11 @@ pub fn transport_with_splitting(
                     // Split: n copies expected, each w/r.
                     let n_f = r;
                     let n = n_f.floor() as u32
-                        + if p.rng.next_uniform() < n_f.fract() { 1 } else { 0 };
+                        + if p.rng.next_uniform() < n_f.fract() {
+                            1
+                        } else {
+                            0
+                        };
                     if n == 0 {
                         break 'flight; // stochastically rounded to nothing
                     }
@@ -213,11 +216,7 @@ pub fn run_with_splitting(
     let mut out = VrOutcome::default();
     let mut sites = Vec::new();
     for (i, &s) in sources.iter().enumerate() {
-        let rng = Lcg63::for_history(
-            problem.seed ^ seed_salt,
-            i as u64,
-            mcs_rng::STREAM_STRIDE,
-        );
+        let rng = Lcg63::for_history(problem.seed ^ seed_salt, i as u64, mcs_rng::STREAM_STRIDE);
         let p = Particle::born(s, i as u32, rng);
         transport_with_splitting(problem, p, map, &mut out, None, &mut sites);
     }
@@ -230,10 +229,7 @@ mod tests {
     use crate::problem::Problem;
 
     fn slab_map(problem: &Problem, factor: f64) -> ImportanceMap {
-        ImportanceMap::x_ramp(
-            MeshSpec::covering(problem.geometry.bounds, 8, 1, 1),
-            factor,
-        )
+        ImportanceMap::x_ramp(MeshSpec::covering(problem.geometry.bounds, 8, 1, 1), factor)
     }
 
     #[test]
@@ -247,11 +243,7 @@ mod tests {
 
         let streams: Vec<_> = (0..200)
             .map(|i| {
-                mcs_rng::Lcg63::for_history(
-                    problem.seed ^ 0x77,
-                    i as u64,
-                    mcs_rng::STREAM_STRIDE,
-                )
+                mcs_rng::Lcg63::for_history(problem.seed ^ 0x77, i as u64, mcs_rng::STREAM_STRIDE)
             })
             .collect();
         let analog = crate::history::run_histories(&problem, &sources, &streams);
@@ -275,7 +267,11 @@ mod tests {
             0x99,
         );
         let split = run_with_splitting(&problem, &sources, &slab_map(&problem, 1.8), 0x99);
-        assert!(split.splits > 100, "map should actually split ({})", split.splits);
+        assert!(
+            split.splits > 100,
+            "map should actually split ({})",
+            split.splits
+        );
         assert!(split.roulette_kills > 0, "and roulette on the way back");
 
         let analog_leak = analog.tallies.leaks as f64 / n as f64;

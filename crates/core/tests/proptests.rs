@@ -129,7 +129,9 @@ fn balance_partition_properties() {
     let mut rng = Lcg63::new(8);
     for _ in 0..200 {
         let n_ranks = 1 + (rng.next_uniform() * 8.0) as usize;
-        let rates: Vec<f64> = (0..n_ranks).map(|_| 0.1 + rng.next_uniform() * 10.0).collect();
+        let rates: Vec<f64> = (0..n_ranks)
+            .map(|_| 0.1 + rng.next_uniform() * 10.0)
+            .collect();
         let n_total = (rng.next_uniform() * 1e6) as u64;
         let split = proportional_split(n_total, &rates);
         assert_eq!(split.iter().sum::<u64>(), n_total);

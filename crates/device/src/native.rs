@@ -11,8 +11,7 @@ use mcs_core::tally::Tallies;
 
 use crate::spec::{KernelCounts, MachineSpec};
 use crate::workload::{
-    mesh_tally_segment_cost, segment_other_costs, xs_lookup_banked, xs_lookup_scalar,
-    ProblemShape,
+    mesh_tally_segment_cost, segment_other_costs, xs_lookup_banked, xs_lookup_scalar, ProblemShape,
 };
 
 /// Which kernel style the machine runs.
@@ -51,7 +50,11 @@ impl NativeModel {
     /// Native model with the default per-batch overhead for this machine
     /// class (in-order coprocessors pay more for fork/join + reduction).
     pub fn new(spec: MachineSpec, kind: TransportKind) -> Self {
-        let batch_overhead_s = if spec.threads_per_core >= 4 { 8e-3 } else { 2e-3 };
+        let batch_overhead_s = if spec.threads_per_core >= 4 {
+            8e-3
+        } else {
+            2e-3
+        };
         Self {
             spec,
             kind,
@@ -214,7 +217,11 @@ mod tests {
         let alpha_i = host.calc_rate(&shape, &t) / mic.calc_rate(&shape, &t);
         let alpha_a = host_m.calc_rate(&shape, &t) / mic_m.calc_rate(&shape, &t);
         let shift = (alpha_a / alpha_i - 1.0).abs();
-        assert!(shift < 0.02, "cheap tallies moved alpha by {:.1}%", shift * 100.0);
+        assert!(
+            shift < 0.02,
+            "cheap tallies moved alpha by {:.1}%",
+            shift * 100.0
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use crate::pcie::PcieBus;
 use crate::spec::MachineSpec;
 use crate::workload::{
-    bank_bytes_per_particle, banking_ns_host, banking_ns_mic, xs_lookup_banked,
-    xs_lookup_scalar, ProblemShape,
+    bank_bytes_per_particle, banking_ns_host, banking_ns_mic, xs_lookup_banked, xs_lookup_scalar,
+    ProblemShape,
 };
 
 /// The offload execution model.
@@ -93,6 +93,14 @@ pub struct OffloadBreakdown {
     pub compute_host_s: f64,
 }
 
+impl OffloadBreakdown {
+    /// Table II's structural claim: per iteration, the PCIe bank transfer
+    /// dwarfs the device compute, which in turn dwarfs host-side banking.
+    pub fn transfer_dominates(&self) -> bool {
+        self.transfer_bank_s > self.compute_device_s && self.compute_device_s > self.banking_host_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,12 +132,24 @@ mod tests {
         let m = OffloadModel::jlse();
         // H.M. Small, 1e5 particles: transfer ≈ 0.46 s; bank ≈ 0.5 GB.
         let b = m.breakdown(&shape(34), 100_000, 1.31e9);
-        assert!((b.bank_bytes - 4.96e8).abs() / 4.96e8 < 0.05, "{:.3e}", b.bank_bytes);
-        assert!((0.3..0.7).contains(&b.transfer_bank_s), "{}", b.transfer_bank_s);
+        assert!(
+            (b.bank_bytes - 4.96e8).abs() / 4.96e8 < 0.05,
+            "{:.3e}",
+            b.bank_bytes
+        );
+        assert!(
+            (0.3..0.7).contains(&b.transfer_bank_s),
+            "{}",
+            b.transfer_bank_s
+        );
         // H.M. Large: ≈ 2.84 GB, ≈ 2.2 s.
         let b = m.breakdown(&shape(320), 100_000, 8.37e9);
         assert!((b.bank_bytes - 2.84e9).abs() / 2.84e9 < 0.05);
-        assert!((1.8..2.7).contains(&b.transfer_bank_s), "{}", b.transfer_bank_s);
+        assert!(
+            (1.8..2.7).contains(&b.transfer_bank_s),
+            "{}",
+            b.transfer_bank_s
+        );
         // Grid: ~1 s per 5 GB.
         assert!((b.transfer_grid_s - 8.37 / 5.0).abs() < 0.1);
     }
@@ -152,7 +172,10 @@ mod tests {
         };
         let (tr_small, dev_small, host_small) = ratios(1_000);
         let (tr_big, dev_big, host_big) = ratios(1_000_000);
-        assert!(tr_big < tr_small, "transfer ratio should fall: {tr_small} → {tr_big}");
+        assert!(
+            tr_big < tr_small,
+            "transfer ratio should fall: {tr_small} → {tr_big}"
+        );
         assert!(dev_big < dev_small, "device ratio should fall");
         assert!(host_big > host_small, "host ratio should rise");
     }

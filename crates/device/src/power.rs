@@ -84,10 +84,7 @@ impl EnergyReport {
 /// its floor) for the remainder.
 pub fn batch_energy(label: &str, units: &[(PowerSpec, f64)], particles: u64) -> EnergyReport {
     let wall = units.iter().map(|&(_, t)| t).fold(0.0, f64::max);
-    let energy = units
-        .iter()
-        .map(|&(p, t)| p.energy_j(t, wall - t))
-        .sum();
+    let energy = units.iter().map(|&(p, t)| p.energy_j(t, wall - t)).sum();
     EnergyReport {
         label: label.to_string(),
         wall_s: wall,

@@ -186,14 +186,14 @@ impl MachineSpec {
             clock_ghz: 1.4,
             f32_lanes: 16,
             f64_lanes: 8,
-            scalar_ipc: 1.5,      // out-of-order
-            vector_ipc: 1.6,      // two VPUs per core
+            scalar_ipc: 1.5, // out-of-order
+            vector_ipc: 1.6, // two VPUs per core
             dep_latency_cycles: 4.0,
-            call_cycles: 90.0,    // OOO + branch prediction
+            call_cycles: 90.0, // OOO + branch prediction
             libm_cycles: 300.0,
             gather_scalar_ns: 0.30,
             gather_vector_ns: 0.08,
-            dram_gb_s: 400.0,     // MCDRAM
+            dram_gb_s: 400.0, // MCDRAM
             mem_gb: 16.0,
         }
     }
@@ -302,10 +302,7 @@ mod tests {
         };
         assert!((spec.kernel_time(&c) - 1.0).abs() < 1e-9);
         // Adding trivial compute doesn't change it.
-        let c2 = KernelCounts {
-            scalar: 1e6,
-            ..c
-        };
+        let c2 = KernelCounts { scalar: 1e6, ..c };
         assert!((spec.kernel_time(&c2) - 1.0).abs() < 1e-9);
     }
 

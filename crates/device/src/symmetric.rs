@@ -93,7 +93,11 @@ mod tests {
         assert!((ideal - 17_332.0).abs() < 1.0); // the paper's ideal
         let original = m.original_rate(n);
         // Paper: original 11,860 = 32% below ideal; model: 3·min = 12,150.
-        assert!((original / ideal - 0.68).abs() < 0.05, "{}", original / ideal);
+        assert!(
+            (original / ideal - 0.68).abs() < 0.05,
+            "{}",
+            original / ideal
+        );
         let balanced = m.balanced_rate(n);
         // Paper's balanced rate: 17,098 n/s ≈ 99% of ideal.
         assert!(balanced > 0.99 * ideal, "balanced = {balanced}");

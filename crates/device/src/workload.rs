@@ -227,7 +227,10 @@ mod tests {
         // time (412 s vs 36.6 s in the paper is ~11x; we accept 5–50x).
         let t_cpu_opt = cpu.kernel_time_ext(&distance_opt2_per_element().scale(1e11), true);
         let self_speedup = t_cpu / t_cpu_opt;
-        assert!((5.0..50.0).contains(&self_speedup), "cpu naive/opt2 = {self_speedup:.1}");
+        assert!(
+            (5.0..50.0).contains(&self_speedup),
+            "cpu naive/opt2 = {self_speedup:.1}"
+        );
     }
 
     #[test]
@@ -255,7 +258,10 @@ mod tests {
         let small = bank_bytes_per_particle(34) * 1e5;
         let large = bank_bytes_per_particle(320) * 1e5;
         assert!((small - 496e6).abs() / 496e6 < 0.01, "small = {small:.3e}");
-        assert!((large - 2.84e9).abs() / 2.84e9 < 0.02, "large = {large:.3e}");
+        assert!(
+            (large - 2.84e9).abs() / 2.84e9 < 0.02,
+            "large = {large:.3e}"
+        );
     }
 
     #[test]

@@ -222,9 +222,7 @@ pub fn hm_core(cfg: &HmConfig) -> Geometry {
         region: Vec::new(),
         fill: Fill::Lattice(pin_lat),
     });
-    let u_asm = g.push_universe(Universe {
-        cells: vec![c_asm],
-    });
+    let u_asm = g.push_universe(Universe { cells: vec![c_asm] });
 
     // Core lattice of assemblies.
     let n = cfg.core_lattice_n;
@@ -252,7 +250,9 @@ pub fn hm_core(cfg: &HmConfig) -> Geometry {
     let z_lo = g.push_surface(Surface::ZPlane {
         z0: -cfg.half_height,
     });
-    let z_hi = g.push_surface(Surface::ZPlane { z0: cfg.half_height });
+    let z_hi = g.push_surface(Surface::ZPlane {
+        z0: cfg.half_height,
+    });
     let c_root = g.push_cell(Cell {
         name: "root".into(),
         region: vec![
@@ -316,7 +316,11 @@ mod tests {
         let p = Vec3::new(x + cfg.fuel_radius + 0.01, x, 0.0);
         assert_eq!(g.find(p).unwrap().material, MAT_CLAD);
         // Pin-cell corner is water.
-        let p = Vec3::new(x + 0.5 * cfg.pin_pitch - 1e-4, x + 0.5 * cfg.pin_pitch - 1e-4, 0.0);
+        let p = Vec3::new(
+            x + 0.5 * cfg.pin_pitch - 1e-4,
+            x + 0.5 * cfg.pin_pitch - 1e-4,
+            0.0,
+        );
         assert_eq!(g.find(p).unwrap().material, MAT_WATER);
     }
 
@@ -326,7 +330,11 @@ mod tests {
         let cfg = HmConfig::default();
         let half = 0.5 * 19.0 * cfg.assembly_pitch;
         // Middle of the corner lattice position.
-        let p = Vec3::new(half - 0.5 * cfg.assembly_pitch, half - 0.5 * cfg.assembly_pitch, 0.0);
+        let p = Vec3::new(
+            half - 0.5 * cfg.assembly_pitch,
+            half - 0.5 * cfg.assembly_pitch,
+            0.0,
+        );
         assert_eq!(g.find(p).unwrap().material, MAT_WATER);
     }
 
@@ -355,7 +363,10 @@ mod tests {
         }
         // Crossed at least the core diameter.
         assert!(total > 300.0, "total path {total}");
-        assert!(steps > 100, "too few crossings ({steps}) for a core traverse");
+        assert!(
+            steps > 100,
+            "too few crossings ({steps}) for a core traverse"
+        );
     }
 
     #[test]
@@ -390,8 +401,8 @@ mod tests {
         let tube_wall = std::f64::consts::PI
             * (cfg.gt_outer_radius * cfg.gt_outer_radius
                 - cfg.gt_inner_radius * cfg.gt_inner_radius);
-        let analytic_clad = (264.0 * pin_annulus + 25.0 * tube_wall)
-            / (cfg.assembly_pitch * cfg.assembly_pitch);
+        let analytic_clad =
+            (264.0 * pin_annulus + 25.0 * tube_wall) / (cfg.assembly_pitch * cfg.assembly_pitch);
         let clad_frac = vols[MAT_CLAD as usize] / total;
         assert!(
             (clad_frac - analytic_clad).abs() < 0.005,

@@ -288,8 +288,16 @@ mod tests {
     /// Two nested z-cylinders inside a box: pin-cell-like fixture.
     fn pin_cell() -> Geometry {
         let mut g = Geometry::default();
-        let fuel_cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.4 });
-        let clad_cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.5 });
+        let fuel_cyl = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: 0.4,
+        });
+        let clad_cyl = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: 0.5,
+        });
         let x_lo = g.push_surface(Surface::XPlane { x0: -1.0 });
         let x_hi = g.push_surface(Surface::XPlane { x0: 1.0 });
         let y_lo = g.push_surface(Surface::YPlane { y0: -1.0 });
@@ -385,7 +393,11 @@ mod tests {
     fn lattice_geometry() -> Geometry {
         // 2x2 lattice of pin universes inside a box.
         let mut g = Geometry::default();
-        let cyl = g.push_surface(Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 0.3 });
+        let cyl = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: 0.3,
+        });
         let fuel = g.push_cell(Cell {
             name: "pin_fuel".into(),
             region: vec![(cyl, -1)],

@@ -155,12 +155,13 @@ impl Surface {
                 let k2 = q[0] * x * u
                     + q[1] * y * v
                     + q[2] * z * w
-                    + 0.5 * (q[3] * (x * v + y * u)
-                        + q[4] * (y * w + z * v)
-                        + q[5] * (x * w + z * u)
-                        + q[6] * u
-                        + q[7] * v
-                        + q[8] * w);
+                    + 0.5
+                        * (q[3] * (x * v + y * u)
+                            + q[4] * (y * w + z * v)
+                            + q[5] * (x * w + z * u)
+                            + q[6] * u
+                            + q[7] * v
+                            + q[8] * w);
                 let c2 = self.evaluate(p);
                 if a2.abs() < TINY {
                     if k2.abs() < TINY {
@@ -230,12 +231,19 @@ mod tests {
         assert!((s.distance(Vec3::ZERO, up) - 5.0).abs() < 1e-12);
         assert_eq!(s.distance(Vec3::ZERO, -up), f64::INFINITY);
         // Parallel flight never crosses.
-        assert_eq!(s.distance(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)), f64::INFINITY);
+        assert_eq!(
+            s.distance(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)),
+            f64::INFINITY
+        );
     }
 
     #[test]
     fn cylinder_from_inside_and_outside() {
-        let c = Surface::ZCylinder { x0: 0.0, y0: 0.0, r: 1.0 };
+        let c = Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: 1.0,
+        };
         let x = Vec3::new(1.0, 0.0, 0.0);
         // From centre outward: distance = r.
         assert!((c.distance(Vec3::ZERO, x) - 1.0).abs() < 1e-12);
@@ -244,10 +252,7 @@ mod tests {
         // From outside pointing away: no crossing.
         assert_eq!(c.distance(Vec3::new(2.0, 0.0, 0.0), x), f64::INFINITY);
         // Missing ray.
-        assert_eq!(
-            c.distance(Vec3::new(-2.0, 5.0, 0.0), x),
-            f64::INFINITY
-        );
+        assert_eq!(c.distance(Vec3::new(-2.0, 5.0, 0.0), x), f64::INFINITY);
         // Axis-parallel flight.
         assert_eq!(
             c.distance(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
@@ -257,7 +262,12 @@ mod tests {
 
     #[test]
     fn sphere_distances() {
-        let s = Surface::Sphere { x0: 0.0, y0: 0.0, z0: 0.0, r: 2.0 };
+        let s = Surface::Sphere {
+            x0: 0.0,
+            y0: 0.0,
+            z0: 0.0,
+            r: 2.0,
+        };
         let x = Vec3::new(1.0, 0.0, 0.0);
         assert!((s.distance(Vec3::ZERO, x) - 2.0).abs() < 1e-12);
         assert!((s.distance(Vec3::new(-5.0, 0.0, 0.0), x) - 3.0).abs() < 1e-12);
@@ -267,8 +277,13 @@ mod tests {
 
     #[test]
     fn cone_senses_and_distances() {
-        let c = Surface::ZCone { x0: 0.0, y0: 0.0, z0: 0.0, r2: 1.0 }; // 45° cone
-        // Inside the upper nappe (close to axis): f < 0.
+        let c = Surface::ZCone {
+            x0: 0.0,
+            y0: 0.0,
+            z0: 0.0,
+            r2: 1.0,
+        }; // 45° cone
+           // Inside the upper nappe (close to axis): f < 0.
         assert!(c.evaluate(Vec3::new(0.1, 0.0, 1.0)) < 0.0);
         // Outside: f > 0.
         assert!(c.evaluate(Vec3::new(2.0, 0.0, 1.0)) > 0.0);
@@ -282,7 +297,12 @@ mod tests {
     fn cone_negative_leading_coefficient_returns_nearest_crossing() {
         // A steep ray (|dz| dominant) makes the quadratic's leading
         // coefficient negative; the nearest crossing must still win.
-        let c = Surface::ZCone { x0: 0.0, y0: 0.0, z0: 0.0, r2: 1.0 };
+        let c = Surface::ZCone {
+            x0: 0.0,
+            y0: 0.0,
+            z0: 0.0,
+            r2: 1.0,
+        };
         // From inside the upper nappe heading steeply downward: it
         // crosses the upper nappe wall first (t ≈ 1.595 for this ray),
         // then would cross the lower nappe later — the solver must pick
@@ -309,7 +329,12 @@ mod tests {
         let q = Surface::Quadric {
             coeffs: [1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -4.0],
         };
-        let s = Surface::Sphere { x0: 0.0, y0: 0.0, z0: 0.0, r: 2.0 };
+        let s = Surface::Sphere {
+            x0: 0.0,
+            y0: 0.0,
+            z0: 0.0,
+            r: 2.0,
+        };
         let pts = [
             Vec3::new(0.3, -0.2, 0.5),
             Vec3::new(-3.0, 1.0, 0.0),
@@ -333,9 +358,23 @@ mod tests {
         // Position + d·u must satisfy |f(p)| ≈ 0 for every surface type.
         let surfaces = [
             Surface::XPlane { x0: 1.5 },
-            Surface::ZCylinder { x0: 0.3, y0: -0.2, r: 2.2 },
-            Surface::Sphere { x0: 0.1, y0: 0.2, z0: -0.4, r: 3.0 },
-            Surface::ZCone { x0: 0.0, y0: 0.1, z0: -2.0, r2: 0.5 },
+            Surface::ZCylinder {
+                x0: 0.3,
+                y0: -0.2,
+                r: 2.2,
+            },
+            Surface::Sphere {
+                x0: 0.1,
+                y0: 0.2,
+                z0: -0.4,
+                r: 3.0,
+            },
+            Surface::ZCone {
+                x0: 0.0,
+                y0: 0.1,
+                z0: -2.0,
+                r2: 0.5,
+            },
             Surface::Quadric {
                 coeffs: [1.0, 2.0, 0.5, 0.1, 0.0, 0.2, -0.3, 0.0, 0.1, -5.0],
             },

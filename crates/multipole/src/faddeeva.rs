@@ -83,8 +83,7 @@ fn asymptotic_w(z: C64) -> C64 {
         const A2: f64 = 0.051_765_358_792_987_82;
         const B2: f64 = 2.724_744_871_391_589;
         let z2 = z * z;
-        let term = (C64::from(A1) / (z2 - C64::from(B1)))
-            + (C64::from(A2) / (z2 - C64::from(B2)));
+        let term = (C64::from(A1) / (z2 - C64::from(B1))) + (C64::from(A2) / (z2 - C64::from(B2)));
         C64::I * z * term
     }
 }
@@ -166,10 +165,16 @@ mod tests {
         // w(x) = e^{−x²} + 2i·D(x)/√π with Dawson's integral D.
         // w(1) = 0.36787944 + 0.60715770 i
         let w1 = fast_w(C64::new(1.0, 0.0));
-        assert!(close(w1, C64::new(0.367_879_441, 0.607_157_705), 5e-5), "{w1:?}");
+        assert!(
+            close(w1, C64::new(0.367_879_441, 0.607_157_705), 5e-5),
+            "{w1:?}"
+        );
         // w(2) = 0.01831564 + 0.34002647 i
         let w2 = fast_w(C64::new(2.0, 0.0));
-        assert!(close(w2, C64::new(0.018_315_639, 0.340_026_47), 5e-5), "{w2:?}");
+        assert!(
+            close(w2, C64::new(0.018_315_639, 0.340_026_47), 5e-5),
+            "{w2:?}"
+        );
     }
 
     #[test]
@@ -205,7 +210,13 @@ mod tests {
 
     #[test]
     fn asymptotic_branch_matches_continued_fraction() {
-        for &(x, y) in &[(7.0, 0.5), (10.0, 2.0), (-8.0, 1.0), (0.0, 9.0), (20.0, 0.1)] {
+        for &(x, y) in &[
+            (7.0, 0.5),
+            (10.0, 2.0),
+            (-8.0, 1.0),
+            (0.0, 9.0),
+            (20.0, 0.1),
+        ] {
             let z = C64::new(x, y);
             let fast = fast_w(z);
             let want = w_reference(z);

@@ -137,8 +137,8 @@ pub fn rsbench_driver(
     let ln_hi = hi.ln();
     let mut checksum = 0.0;
     for _ in 0..n_lookups {
-        let k = ((rng.next_uniform() * lib.nuclides.len() as f64) as usize)
-            .min(lib.nuclides.len() - 1);
+        let k =
+            ((rng.next_uniform() * lib.nuclides.len() as f64) as usize).min(lib.nuclides.len() - 1);
         let e = (ln_lo + (ln_hi - ln_lo) * rng.next_uniform()).exp();
         let xs = if vectorized {
             lookup_vectorized(&lib.nuclides[k], e)

@@ -1,0 +1,383 @@
+//! JSON serialization of profiles.
+//!
+//! `mcs-check` embeds measured profiles in its machine-readable
+//! `check_report.json`, so [`Profile`](crate::Profile) needs a stable,
+//! dependency-free wire format. [`ProfileSnapshot`] is the owned
+//! (String-keyed) mirror of a `Profile`; it serializes to a small JSON
+//! object and parses back exactly, so round-tripping is lossless:
+//!
+//! ```
+//! use mcs_prof::{ProfileSnapshot, ThreadProfiler};
+//!
+//! let tp = ThreadProfiler::new();
+//! {
+//!     let _g = tp.enter("xs");
+//! }
+//! let snap = tp.finish().snapshot();
+//! let back = ProfileSnapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(snap, back);
+//! ```
+//!
+//! Durations travel as integer nanoseconds (`u128` in memory, emitted as
+//! a JSON number), which keeps the round trip bit-exact.
+
+use std::time::Duration;
+
+use crate::report::{Profile, RegionStats};
+
+/// An owned, serializable snapshot of a [`Profile`].
+///
+/// Region and call-path entries are sorted by name so the JSON output is
+/// deterministic across runs and platforms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Flat per-region statistics, sorted by region name.
+    pub regions: Vec<(String, RegionStats)>,
+    /// Call-path ("a => b") statistics, sorted by path.
+    pub paths: Vec<(String, RegionStats)>,
+}
+
+impl Profile {
+    /// An owned snapshot suitable for serialization.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let mut regions: Vec<(String, RegionStats)> = self
+            .regions()
+            .map(|(name, s)| (name.to_string(), *s))
+            .collect();
+        regions.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut paths: Vec<(String, RegionStats)> = self
+            .sorted_paths()
+            .into_iter()
+            .map(|(p, s)| (p.to_string(), s))
+            .collect();
+        paths.sort_by(|a, b| a.0.cmp(&b.0));
+        ProfileSnapshot { regions, paths }
+    }
+
+    /// Serialize to the snapshot JSON format.
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn stats_json(s: &RegionStats) -> String {
+    format!(
+        "{{\"calls\": {}, \"exclusive_ns\": {}, \"inclusive_ns\": {}}}",
+        s.calls,
+        s.exclusive.as_nanos(),
+        s.inclusive.as_nanos()
+    )
+}
+
+fn section_json(entries: &[(String, RegionStats)], indent: &str) -> String {
+    if entries.is_empty() {
+        return "{}".to_string();
+    }
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(name, s)| format!("{indent}  \"{}\": {}", escape(name), stats_json(s)))
+        .collect();
+    format!("{{\n{}\n{indent}}}", body.join(",\n"))
+}
+
+impl ProfileSnapshot {
+    /// Serialize as a two-section JSON object (`regions`, `paths`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"regions\": {},\n  \"paths\": {}\n}}",
+            section_json(&self.regions, "  "),
+            section_json(&self.paths, "  ")
+        )
+    }
+
+    /// Parse the format produced by [`ProfileSnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<ProfileSnapshot, String> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        p.expect('{')?;
+        let mut snap = ProfileSnapshot::default();
+        loop {
+            p.skip_ws();
+            if p.eat('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            let entries = p.stats_map()?;
+            match key.as_str() {
+                "regions" => snap.regions = entries,
+                "paths" => snap.paths = entries,
+                other => return Err(format!("unknown section {other:?}")),
+            }
+            p.skip_ws();
+            if !p.eat(',') {
+                p.skip_ws();
+                p.expect('}')?;
+                break;
+            }
+        }
+        snap.regions.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.paths.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(snap)
+    }
+}
+
+/// Minimal recursive-descent parser for the snapshot's own JSON subset
+/// (string keys, unsigned-integer values, no nesting beyond two levels).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at byte {} (found {:?})",
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("bad escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u128, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+
+    fn stats(&mut self) -> Result<RegionStats, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut s = RegionStats::default();
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let v = self.number()?;
+            match key.as_str() {
+                "calls" => s.calls = v as u64,
+                "exclusive_ns" => s.exclusive = duration_from_nanos(v),
+                "inclusive_ns" => s.inclusive = duration_from_nanos(v),
+                other => return Err(format!("unknown stats field {other:?}")),
+            }
+            self.skip_ws();
+            if !self.eat(',') {
+                self.skip_ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        Ok(s)
+    }
+
+    fn stats_map(&mut self) -> Result<Vec<(String, RegionStats)>, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let name = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let s = self.stats()?;
+            out.push((name, s));
+            self.skip_ws();
+            if !self.eat(',') {
+                self.skip_ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn duration_from_nanos(n: u128) -> Duration {
+    let secs = (n / 1_000_000_000) as u64;
+    let nanos = (n % 1_000_000_000) as u32;
+    Duration::new(secs, nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> ProfileSnapshot {
+        ProfileSnapshot {
+            regions: vec![
+                (
+                    "calculate_xs".to_string(),
+                    RegionStats {
+                        calls: 42,
+                        exclusive: Duration::new(3, 141_592_653),
+                        inclusive: Duration::new(4, 0),
+                    },
+                ),
+                (
+                    "weird \"name\"\n".to_string(),
+                    RegionStats {
+                        calls: 1,
+                        exclusive: Duration::from_nanos(7),
+                        inclusive: Duration::from_nanos(9),
+                    },
+                ),
+            ],
+            paths: vec![(
+                "transport => calculate_xs".to_string(),
+                RegionStats {
+                    calls: 42,
+                    exclusive: Duration::from_millis(5),
+                    inclusive: Duration::from_millis(5),
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let s = snap();
+        let back = ProfileSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        let s = ProfileSnapshot::default();
+        assert_eq!(ProfileSnapshot::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn live_profile_serializes() {
+        let tp = crate::ThreadProfiler::new();
+        {
+            let _outer = tp.enter("outer");
+            let _inner = tp.enter("inner");
+        }
+        let p = tp.finish();
+        let back = ProfileSnapshot::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p.snapshot());
+        assert_eq!(back.regions.len(), 2);
+        assert!(back.paths.iter().any(|(p, _)| p.contains("=>")));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ProfileSnapshot::from_json("not json").is_err());
+        assert!(ProfileSnapshot::from_json("{\"regions\": {\"a\": {\"calls\": }}}").is_err());
+        assert!(ProfileSnapshot::from_json("{\"bogus\": {}}").is_err());
+    }
+}

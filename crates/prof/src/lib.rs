@@ -28,9 +28,11 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod report;
 pub mod timer;
 
+pub use json::ProfileSnapshot;
 pub use report::{Profile, ProfileCompare, RegionStats};
 pub use timer::{RegionGuard, ThreadProfiler};
 

@@ -219,6 +219,59 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative() {
+        let a = profile_with(&[("xs", 5, 10), ("tally", 1, 1)]);
+        let b = profile_with(&[("xs", 7, 14), ("geom", 2, 3)]);
+        let c = profile_with(&[("geom", 4, 4), ("rng", 9, 9)]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        let mut ls = left.snapshot();
+        let mut rs = right.snapshot();
+        ls.regions.sort_by(|x, y| x.0.cmp(&y.0));
+        rs.regions.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(ls, rs);
+        assert_eq!(left.get("geom").unwrap().calls, 2);
+        assert_eq!(left.get("xs").unwrap().exclusive, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn merge_identity_is_empty_profile() {
+        let a = profile_with(&[("xs", 5, 10)]);
+        let mut merged = a.clone();
+        merged.merge(&Profile::default());
+        assert_eq!(merged.snapshot(), a.snapshot());
+    }
+
+    #[test]
+    fn sorted_by_exclusive_is_total_descending_order() {
+        let p = profile_with(&[("a", 3, 3), ("b", 50, 50), ("c", 1, 1), ("d", 17, 17)]);
+        let v = p.sorted_by_exclusive();
+        assert_eq!(v.len(), 4);
+        for w in v.windows(2) {
+            assert!(
+                w[0].1.exclusive >= w[1].1.exclusive,
+                "{} before {} but {:?} < {:?}",
+                w[0].0,
+                w[1].0,
+                w[0].1.exclusive,
+                w[1].1.exclusive
+            );
+        }
+        assert_eq!(v[0].0, "b");
+        assert_eq!(v[3].0, "c");
+    }
+
+    #[test]
     fn compare_rows_union_and_ratio() {
         let a = profile_with(&[("xs", 100, 100), ("tally", 10, 10)]);
         let b = profile_with(&[("xs", 50, 50), ("new_region", 5, 5)]);

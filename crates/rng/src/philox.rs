@@ -82,8 +82,17 @@ impl Philox4x32 {
     #[inline]
     pub fn position(&self) -> u128 {
         // `counter` has already advanced past the buffered block.
-        let consumed_blocks = if self.cursor == 4 { self.counter } else { self.counter - 1 };
-        consumed_blocks * 4 + if self.cursor == 4 { 0 } else { self.cursor as u128 }
+        let consumed_blocks = if self.cursor == 4 {
+            self.counter
+        } else {
+            self.counter - 1
+        };
+        consumed_blocks * 4
+            + if self.cursor == 4 {
+                0
+            } else {
+                self.cursor as u128
+            }
     }
 
     /// Generate the block at an absolute counter without touching stream
@@ -195,10 +204,7 @@ mod tests {
 
     #[test]
     fn kat_ones() {
-        let out = philox4x32_10(
-            [0xffff_ffff; 4],
-            [0xffff_ffff, 0xffff_ffff],
-        );
+        let out = philox4x32_10([0xffff_ffff; 4], [0xffff_ffff, 0xffff_ffff]);
         assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
     }
 

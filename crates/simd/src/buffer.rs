@@ -19,7 +19,10 @@ macro_rules! impl_avec {
         impl $name {
             /// Empty buffer.
             pub fn new() -> Self {
-                Self { blocks: Vec::new(), len: 0 }
+                Self {
+                    blocks: Vec::new(),
+                    len: 0,
+                }
             }
 
             /// Buffer of `n` elements, all set to `fill`.
@@ -70,10 +73,7 @@ macro_rules! impl_avec {
             pub fn as_mut_slice(&mut self) -> &mut [$elem] {
                 // SAFETY: as above; exclusive borrow of self.
                 unsafe {
-                    std::slice::from_raw_parts_mut(
-                        self.blocks.as_mut_ptr() as *mut $elem,
-                        self.len,
-                    )
+                    std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr() as *mut $elem, self.len)
                 }
             }
 

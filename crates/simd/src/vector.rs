@@ -154,7 +154,10 @@ macro_rules! impl_vector {
             /// Horizontal maximum of all lanes.
             #[inline(always)]
             pub fn reduce_max(self) -> $elem {
-                self.0.iter().copied().fold(<$elem>::NEG_INFINITY, <$elem>::max)
+                self.0
+                    .iter()
+                    .copied()
+                    .fold(<$elem>::NEG_INFINITY, <$elem>::max)
             }
 
             /// Lane-wise `<` comparison producing a mask.
@@ -183,7 +186,11 @@ macro_rules! impl_vector {
             pub fn select(mask: $mask, if_true: Self, if_false: Self) -> Self {
                 let mut out = [0.0; $lanes];
                 for i in 0..$lanes {
-                    out[i] = if mask.0 >> i & 1 == 1 { if_true.0[i] } else { if_false.0[i] };
+                    out[i] = if mask.0 >> i & 1 == 1 {
+                        if_true.0[i]
+                    } else {
+                        if_false.0[i]
+                    };
                 }
                 Self(out)
             }
@@ -435,7 +442,9 @@ mod tests {
     #[test]
     fn gather_from_table() {
         let table: Vec<f32> = (0..100).map(|i| i as f32 * 10.0).collect();
-        let idx = [0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 99];
+        let idx = [
+            0u32, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 99,
+        ];
         let g = F32x16::gather(&table, idx);
         assert_eq!(g[1], 50.0);
         assert_eq!(g[15], 990.0);

@@ -146,7 +146,10 @@ mod tests {
         let g = UnionGrid::build(&nucs);
         for n in &nucs {
             for &e in &n.energy {
-                assert!(g.energies().binary_search_by(|p| p.partial_cmp(&e).unwrap()).is_ok());
+                assert!(g
+                    .energies()
+                    .binary_search_by(|p| p.partial_cmp(&e).unwrap())
+                    .is_ok());
             }
         }
     }

@@ -471,10 +471,7 @@ mod tests {
         for &e in &probe_energies() {
             let r = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
             let v = macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, e);
-            assert!(
-                r.max_rel_diff(&v) < 1e-12,
-                "e={e} scalar={r:?} simd={v:?}"
-            );
+            assert!(r.max_rel_diff(&v) < 1e-12, "e={e} scalar={r:?} simd={v:?}");
         }
     }
 

@@ -131,11 +131,8 @@ impl NuclideLibrary {
             let mut s = if i % 3 == 0 {
                 NuclideSpec::heavy(&format!("MA{i:03}"), 230.0 + (i % 20) as f64, false, seed)
             } else {
-                let mut fp = NuclideSpec::structural(
-                    &format!("FP{i:03}"),
-                    80.0 + (i % 80) as f64,
-                    seed,
-                );
+                let mut fp =
+                    NuclideSpec::structural(&format!("FP{i:03}"), 80.0 + (i % 80) as f64, seed);
                 fp.n_resonances = 20;
                 fp.thermal_capture = 2.0 + (i % 20) as f64;
                 // Fission products: moderate resonance absorbers.

@@ -212,8 +212,7 @@ impl Nuclide {
                 let half = 0.5 * r.gamma;
                 let shape = if spec.temperature_k > 0.0 {
                     // Doppler width Δ = sqrt(4 E0 kT / A).
-                    let delta =
-                        (4.0 * r.e0 * K_B * spec.temperature_k / spec.awr).sqrt();
+                    let delta = (4.0 * r.e0 * K_B * spec.temperature_k / spec.awr).sqrt();
                     voigt_shape(e - r.e0, half, delta)
                 } else {
                     half * half / ((e - r.e0) * (e - r.e0) + half * half)
@@ -246,7 +245,11 @@ impl Nuclide {
             absorption,
             fission,
             resonances,
-            q_inelastic: if e_thr.is_finite() { spec.q_inelastic } else { 0.0 },
+            q_inelastic: if e_thr.is_finite() {
+                spec.q_inelastic
+            } else {
+                0.0
+            },
         }
     }
 
@@ -303,9 +306,8 @@ impl Nuclide {
     }
 
     fn build_grid(spec: &NuclideSpec, resonances: &[Resonance]) -> Vec<f64> {
-        let mut pts = Vec::with_capacity(
-            spec.n_base_grid + resonances.len() * spec.points_per_resonance + 2,
-        );
+        let mut pts =
+            Vec::with_capacity(spec.n_base_grid + resonances.len() * spec.points_per_resonance + 2);
         // Log-spaced smooth base grid.
         let log_min = E_MIN.ln();
         let log_max = E_MAX.ln();
@@ -485,7 +487,11 @@ mod tests {
         // real data.
         for r in n.resonances.iter().filter(|r| r.e0 < 1e-4) {
             let at_peak = n.micro_at(r.e0).total;
-            assert!(at_peak > 100.0, "peak total {at_peak} too small at {}", r.e0);
+            assert!(
+                at_peak > 100.0,
+                "peak total {at_peak} too small at {}",
+                r.e0
+            );
         }
     }
 
@@ -577,10 +583,7 @@ mod tests {
         let half = 0.5 * r.gamma;
         let wing_cold = half * half / (delta * delta + half * half);
         let wing_hot = voigt_shape(delta, half, delta);
-        assert!(
-            wing_hot > 10.0 * wing_cold,
-            "{wing_hot} !> 10x {wing_cold}"
-        );
+        assert!(wing_hot > 10.0 * wing_cold, "{wing_hot} !> 10x {wing_cold}");
     }
 
     #[test]

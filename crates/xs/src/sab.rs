@@ -134,7 +134,11 @@ impl SabTable {
         // Uniform within the bin for the energy fraction; angle coupled to
         // the bin parity (a stand-in for the (α,β) correlation).
         let frac = frac_lo + (frac_hi - frac_lo) * ((xi1 - prev_cdf(cdf, b)) / bin_w(cdf, b));
-        let mu = if b % 2 == 0 { 2.0 * xi2 - 1.0 } else { xi2.mul_add(1.0, -0.5).clamp(-1.0, 1.0) };
+        let mu = if b % 2 == 0 {
+            2.0 * xi2 - 1.0
+        } else {
+            xi2.mul_add(1.0, -0.5).clamp(-1.0, 1.0)
+        };
         let e_out = (frac * e).max(1e-12);
         (e_out, mu)
     }

@@ -74,7 +74,10 @@ fn main() {
     let comm = CommModel::fdr_infiniband();
     let node = NodeSpec::with_two_mics(r_cpu, r_mic);
     println!("\nstrong scaling, N = 1e7, nodes of [CPU + 2 MIC]:");
-    println!("{:>8} {:>14} {:>16} {:>12}", "nodes", "batch (s)", "rate (n/s)", "efficiency");
+    println!(
+        "{:>8} {:>14} {:>16} {:>12}",
+        "nodes", "batch (s)", "rate (n/s)", "efficiency"
+    );
     for p in strong_scaling(&node, &[4, 16, 64, 256, 1024], 10_000_000, &comm) {
         println!(
             "{:>8} {:>14.3} {:>16.0} {:>11.1}%",

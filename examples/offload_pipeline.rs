@@ -50,8 +50,10 @@ fn main() {
         "  wall time:           {wall:.2?} ({:.0} n/s on this host)",
         n as f64 / wall.as_secs_f64()
     );
-    println!("
-measured stage breakdown (this host):");
+    println!(
+        "
+measured stage breakdown (this host):"
+    );
     let total = stats.total_seconds();
     for (name, secs) in mcs::core::event::EventStats::STAGE_NAMES
         .iter()
@@ -72,10 +74,23 @@ measured stage breakdown (this host):");
     let b = model.breakdown(&shape, n, grid_bytes);
 
     println!("\noffload pipeline for one banked-lookup round of {n} particles (modeled, JLSE):");
-    println!("  bank on host:            {:>10.3} ms", b.banking_host_s * 1e3);
-    println!("  ship bank over PCIe:     {:>10.3} ms  ({:.0} MB)", b.transfer_bank_s * 1e3, b.bank_bytes / 1e6);
-    println!("  compute lookups on MIC:  {:>10.3} ms", b.compute_device_s * 1e3);
-    println!("  (same lookups on host):  {:>10.3} ms", b.compute_host_s * 1e3);
+    println!(
+        "  bank on host:            {:>10.3} ms",
+        b.banking_host_s * 1e3
+    );
+    println!(
+        "  ship bank over PCIe:     {:>10.3} ms  ({:.0} MB)",
+        b.transfer_bank_s * 1e3,
+        b.bank_bytes / 1e6
+    );
+    println!(
+        "  compute lookups on MIC:  {:>10.3} ms",
+        b.compute_device_s * 1e3
+    );
+    println!(
+        "  (same lookups on host):  {:>10.3} ms",
+        b.compute_host_s * 1e3
+    );
     println!(
         "  energy grid upload (once): {:>8.3} ms  ({:.2} GB, amortized over all batches)",
         b.transfer_grid_s * 1e3,

@@ -51,7 +51,10 @@ fn main() {
     // RNG streams, staged SIMD-friendly kernels — identical trajectories.
     settings.mode = TransportMode::Event;
     let evt = run_eigenvalue(&problem, &settings);
-    println!("\nevent-based (banking) run: k = {:.5} ± {:.5}", evt.k_mean, evt.k_std);
+    println!(
+        "\nevent-based (banking) run: k = {:.5} ± {:.5}",
+        evt.k_mean, evt.k_std
+    );
 
     let diff = (hist.k_mean - evt.k_mean).abs();
     assert!(

@@ -133,7 +133,11 @@ fn build_problem(args: &Args) -> Problem {
 fn cmd_info(args: &Args) {
     let problem = build_problem(args);
     println!("model:          {}", args.model);
-    println!("nuclides:       {} ({} fuel)", problem.library.len(), problem.library.n_fuel);
+    println!(
+        "nuclides:       {} ({} fuel)",
+        problem.library.len(),
+        problem.library.n_fuel
+    );
     println!("grid points:    {} (union)", problem.grid.n_points());
     println!(
         "grid size:      {:.1} MB union + {:.1} MB pointwise",
@@ -178,7 +182,10 @@ fn cmd_run(args: &Args) {
             eprintln!("error: cannot load statepoint {path}: {e}");
             std::process::exit(1);
         });
-        println!("resuming from {path} (after batch {})", sp.completed_batches);
+        println!(
+            "resuming from {path} (after batch {})",
+            sp.completed_batches
+        );
         resume_eigenvalue(&problem, &settings, &sp)
     } else if let Some(path) = &args.statepoint {
         // Checkpointing run: same physics as run_eigenvalue, plus a
@@ -186,7 +193,10 @@ fn cmd_run(args: &Args) {
         let total = settings.inactive + settings.active;
         let (batches, sp) = run_eigenvalue_checkpointed(&problem, &settings, total);
         sp.save(path).expect("write statepoint");
-        println!("wrote statepoint to {path} (after batch {})", sp.completed_batches);
+        println!(
+            "wrote statepoint to {path} (after batch {})",
+            sp.completed_batches
+        );
         summarize(batches, &sp, &settings)
     } else {
         run_eigenvalue(&problem, &settings)
@@ -234,7 +244,6 @@ fn cmd_run(args: &Args) {
         std::fs::write(path, out).expect("write spectrum csv");
         println!("wrote spectrum to {path}");
     }
-
 }
 
 /// Build a result summary from a checkpointed run's batch records.

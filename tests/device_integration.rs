@@ -66,12 +66,24 @@ fn measured_rates_feed_cluster_scaling_with_paper_shapes() {
     let node = NodeSpec::with_one_mic(r_cpu, r_mic);
 
     let strong = strong_scaling(&node, &[4, 128, 1024], 10_000_000, &comm);
-    assert!(strong[1].efficiency > 0.90, "128-node eff {}", strong[1].efficiency);
-    assert!(strong[2].efficiency < strong[1].efficiency, "tail must appear");
+    assert!(
+        strong[1].efficiency > 0.90,
+        "128-node eff {}",
+        strong[1].efficiency
+    );
+    assert!(
+        strong[2].efficiency < strong[1].efficiency,
+        "tail must appear"
+    );
 
     let weak = weak_scaling(&node, &[1, 16, 128, 1024], 1_000_000, &comm);
     for p in &weak {
-        assert!(p.efficiency > 0.93, "weak eff {} at {}", p.efficiency, p.nodes);
+        assert!(
+            p.efficiency > 0.93,
+            "weak eff {} at {}",
+            p.efficiency,
+            p.nodes
+        );
     }
 }
 
@@ -93,7 +105,10 @@ fn banked_kind_beats_scalar_kind_on_wide_machines_only_sometimes() {
     let host_gain = host_scalar.batch_time(&shape, &t) / host_banked.batch_time(&shape, &t);
     assert!(mic_gain > 2.0, "mic gain {mic_gain:.2}");
     assert!(host_gain > 1.0, "host gain {host_gain:.2}");
-    assert!(mic_gain > host_gain, "vector width should matter more on the MIC");
+    assert!(
+        mic_gain > host_gain,
+        "vector width should matter more on the MIC"
+    );
 }
 
 #[test]

@@ -60,7 +60,10 @@ fn parallel_event_still_matches_history_trajectories() {
     let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
 
     let (hist, hmesh) = run_histories_mesh(&problem, &sources, &streams, Some(spec));
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
     let (evt, _, emesh) =
         pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)));
 
@@ -87,7 +90,10 @@ fn serial_entry_point_counters_match_parallel() {
     let sources = problem.sample_initial_source(n, 9);
     let streams = batch_streams(problem.seed, 4, n);
     let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
     let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
     assert_eq!(serial.iterations, parallel.iterations);
     assert_eq!(serial.lookups, parallel.lookups);

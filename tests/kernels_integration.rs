@@ -65,9 +65,7 @@ fn lookup_kernels_preserve_reaction_consistency() {
     );
     for xs in &out {
         assert!(xs.total > 0.0);
-        assert!(
-            (xs.total - (xs.elastic + xs.inelastic + xs.absorption)).abs() < 1e-9 * xs.total
-        );
+        assert!((xs.total - (xs.elastic + xs.inelastic + xs.absorption)).abs() < 1e-9 * xs.total);
         assert!(xs.inelastic >= 0.0);
         assert!(xs.fission <= xs.absorption + 1e-12);
         assert!(xs.nu_fission >= xs.fission); // ν ≥ 1 where fission exists
@@ -107,7 +105,10 @@ fn distance_kernels_agree_and_have_exponential_statistics() {
         / n as f64;
     let expect = 1.0 / sigma as f64;
     assert!((mean - expect).abs() / expect < 0.02, "mean {mean}");
-    assert!((var - expect * expect).abs() / (expect * expect) < 0.05, "var {var}");
+    assert!(
+        (var - expect * expect).abs() / (expect * expect) < 0.05,
+        "var {var}"
+    );
 
     // Naive kernel: same statistics from a different generator.
     let mut out3 = vec![0.0f32; n];

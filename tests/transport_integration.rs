@@ -122,8 +122,18 @@ fn shannon_entropy_respects_bounds_mesh() {
     use mcs::geom::Vec3;
     // Sites outside the bounds clamp into edge boxes without panicking.
     let sites = vec![
-        Site { pos: Vec3::new(-99.0, 0.0, 0.0), energy: 1.0, parent: 0, seq: 0 },
-        Site { pos: Vec3::new(99.0, 0.0, 0.0), energy: 1.0, parent: 1, seq: 0 },
+        Site {
+            pos: Vec3::new(-99.0, 0.0, 0.0),
+            energy: 1.0,
+            parent: 0,
+            seq: 0,
+        },
+        Site {
+            pos: Vec3::new(99.0, 0.0, 0.0),
+            energy: 1.0,
+            parent: 1,
+            seq: 0,
+        },
     ];
     let h = shannon_entropy(
         &sites,
