@@ -24,6 +24,13 @@ pub struct Table3Row {
     pub balanced: Option<f64>,
     /// Ideal (sum-of-rates) rate, n/s.
     pub ideal: f64,
+    /// Degraded-mode rate after the last device rank dies and its quota
+    /// is rebalanced across the survivors (`None` for single-device
+    /// rows, where a death ends the job).
+    pub degraded: Option<f64>,
+    /// Sum of surviving ranks' rates — the ceiling `degraded` is judged
+    /// against (`None` when `degraded` is).
+    pub survivor_ideal: Option<f64>,
 }
 
 /// Typed result of the Table III harness.
@@ -85,38 +92,60 @@ pub fn run(scale: f64, verbose: bool) -> Table3Result {
     let mut csv_rows = Vec::new();
     vprintln!(
         verbose,
-        "{:<14} {:>14} {:>16} {:>14}",
+        "{:<14} {:>14} {:>16} {:>14} {:>14}",
         "hardware",
         "original",
         "load balanced",
-        "ideal"
+        "ideal",
+        "degraded"
     );
     let mut show = |label: &'static str, ranks: &[(&str, f64)], balanced_applies: bool| {
         let m = SymmetricModel::new(ranks);
         let orig = m.original_rate(n_total);
         let balanced = balanced_applies.then(|| m.balanced_rate(n_total));
+        // Degraded mode: the last device rank dies mid-run, its quota is
+        // redistributed proportionally across the survivors (what the
+        // executed runtime's `redistribute_dead` does), and the job
+        // finishes at the survivors' balanced rate.
+        let (degraded, survivor_ideal) = if balanced_applies {
+            let rates: Vec<f64> = ranks.iter().map(|&(_, r)| r).collect();
+            let mut alive = vec![true; rates.len()];
+            *alive.last_mut().unwrap() = false;
+            let d = mcs_core::balance::degraded_rate(n_total, &rates, &alive);
+            let ceiling: f64 = rates[..rates.len() - 1].iter().sum();
+            (Some(d), Some(ceiling))
+        } else {
+            (None, None)
+        };
         let bal_str = balanced
             .map(|b| format!("{b:.0}"))
             .unwrap_or_else(|| "N/A".to_string());
+        let deg_str = degraded
+            .map(|d| format!("{d:.0}"))
+            .unwrap_or_else(|| "N/A".to_string());
         vprintln!(
             verbose,
-            "{:<14} {:>14.0} {:>16} {:>14.0}",
+            "{:<14} {:>14.0} {:>16} {:>14.0} {:>14}",
             label,
             orig,
             bal_str,
-            m.ideal()
+            m.ideal(),
+            deg_str
         );
         csv_rows.push(vec![
             label.to_string(),
             format!("{orig:.0}"),
             bal_str,
             format!("{:.0}", m.ideal()),
+            deg_str.clone(),
         ]);
         rows.push(Table3Row {
             hardware: label,
             original: orig,
             balanced,
             ideal: m.ideal(),
+            degraded,
+            survivor_ideal,
         });
     };
     show("CPU only", &[("cpu", r_cpu)], false);
@@ -148,7 +177,13 @@ pub fn run(scale: f64, verbose: bool) -> Table3Result {
         headline,
         artifact: Artifact {
             name: "table3_symmetric_balance",
-            columns: vec!["hardware", "original_rate", "balanced_rate", "ideal_rate"],
+            columns: vec![
+                "hardware",
+                "original_rate",
+                "balanced_rate",
+                "ideal_rate",
+                "degraded_rate",
+            ],
             rows: csv_rows,
         },
     }

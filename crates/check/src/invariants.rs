@@ -316,6 +316,20 @@ pub fn check_table3(r: &table3::Table3Result) -> Vec<CheckOutcome> {
         .iter()
         .filter_map(|row| row.balanced.map(|b| b / row.original))
         .fold(f64::INFINITY, f64::min);
+    // Degraded mode (kill-one-device column): the rebalanced survivors
+    // must run at their own ideal rate, and the job must still be
+    // measurably slower than the healthy balanced run — throughput was
+    // genuinely lost, not papered over.
+    let degraded_recovery = r
+        .rows
+        .iter()
+        .filter_map(|row| row.degraded.zip(row.survivor_ideal).map(|(d, s)| d / s))
+        .fold(1.0, f64::min);
+    let degraded_cost = r
+        .rows
+        .iter()
+        .filter_map(|row| row.balanced.zip(row.degraded).map(|(b, d)| b / d))
+        .fold(f64::INFINITY, f64::min);
     vec![
         check(
             "T3.balanced_near_ideal",
@@ -337,6 +351,20 @@ pub fn check_table3(r: &table3::Table3Result) -> Vec<CheckOutcome> {
             "CPU + 2 MICs balanced over CPU only (paper: 4.2x)",
             r.headline,
             Band::Range { lo: 3.0, hi: 5.5 },
+        ),
+        check(
+            "T3.degraded_recovers",
+            "table3",
+            "after a device death, rebalanced survivors recover their ideal rate",
+            degraded_recovery,
+            Band::AtLeast(0.99),
+        ),
+        check(
+            "T3.degraded_cost",
+            "table3",
+            "losing a device costs real throughput vs the healthy balanced run",
+            degraded_cost,
+            Band::AtLeast(1.05),
         ),
     ]
 }
@@ -478,6 +506,8 @@ mod tests {
                 original: 41_000.0,
                 balanced: Some(55_016.0),
                 ideal: 55_016.0,
+                degraded: Some(34_342.0),
+                survivor_ideal: Some(34_342.0),
             }],
             headline: 4.03,
             artifact: mcs_bench::harness::Artifact {
@@ -496,6 +526,28 @@ mod tests {
         assert!(
             !out.iter()
                 .find(|c| c.id == "T3.balanced_beats_even")
+                .unwrap()
+                .passed
+        );
+        // And the degraded column: survivors falling short of their own
+        // ideal rate must trip T3.degraded_recovers.
+        let mut lossy = good.clone();
+        lossy.rows[0].degraded = Some(20_000.0); // well under 34,342 ideal
+        let out = check_table3(&lossy);
+        assert!(
+            !out.iter()
+                .find(|c| c.id == "T3.degraded_recovers")
+                .unwrap()
+                .passed
+        );
+        // A "degraded" run as fast as the healthy one means the death
+        // cost was papered over — T3.degraded_cost must catch it.
+        let mut free_lunch = good;
+        free_lunch.rows[0].degraded = Some(55_016.0);
+        let out = check_table3(&free_lunch);
+        assert!(
+            !out.iter()
+                .find(|c| c.id == "T3.degraded_cost")
                 .unwrap()
                 .passed
         );

@@ -1,0 +1,219 @@
+//! Direct unit tests for the `mcs-check` harness itself: the invariant
+//! scorer's band arithmetic, the per-column golden tolerance policy, and
+//! the report plumbing CI's exit code hangs off. The validation layer is
+//! load-bearing (every other crate's claims flow through it), so it gets
+//! its own regression suite rather than trusting it by construction.
+
+use mcs_bench::harness::Artifact;
+use mcs_check::{check, compare, policy, render_csv, Band, CheckReport, ColumnPolicy};
+
+// ---------------------------------------------------------------- bands
+
+#[test]
+fn bands_admit_their_boundaries() {
+    let r = Band::Range { lo: 1.0, hi: 2.0 };
+    assert!(r.admits(1.0) && r.admits(2.0) && r.admits(1.5));
+    assert!(!r.admits(0.999_999) && !r.admits(2.000_001));
+    assert!(Band::AtLeast(3.0).admits(3.0) && !Band::AtLeast(3.0).admits(2.999));
+    assert!(Band::AtMost(3.0).admits(3.0) && !Band::AtMost(3.0).admits(3.001));
+    assert!(Band::Holds.admits(1.0) && !Band::Holds.admits(0.0));
+}
+
+#[test]
+fn every_band_rejects_nan() {
+    // A NaN measurement must never pass a gate: the comparisons all come
+    // out false, so `admits` fails for every band kind — including the
+    // boolean one, where NaN != 1.0.
+    for band in [
+        Band::Range {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        },
+        Band::AtLeast(f64::NEG_INFINITY),
+        Band::AtMost(f64::INFINITY),
+        Band::Holds,
+    ] {
+        assert!(!band.admits(f64::NAN), "{band} admitted NaN");
+    }
+}
+
+#[test]
+fn scorer_evaluates_the_band_and_nan_serializes_as_null() {
+    let good = check("X.test", "unit", "a passing value", 1.5, Band::AtLeast(1.0));
+    assert!(good.passed);
+    let bad = check(
+        "X.test",
+        "unit",
+        "a non-finite value",
+        f64::NAN,
+        Band::AtLeast(0.0),
+    );
+    assert!(!bad.passed);
+    // The hand-rolled JSON writer must not emit bare `NaN` (invalid JSON).
+    let report = CheckReport {
+        scale: 0.1,
+        threads: 1,
+        invariants: vec![bad],
+        golden: vec![],
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"value\": null"), "{json}");
+    assert!(!json.contains("NaN"), "{json}");
+}
+
+#[test]
+fn perturbed_report_fails_and_says_so() {
+    // The CI contract: any failed invariant flips the report's top-level
+    // `passed` to false and n_failed goes non-zero — that is exactly what
+    // the mcs-check binary turns into a non-zero exit code.
+    let mut report = CheckReport {
+        scale: 0.1,
+        threads: 4,
+        invariants: vec![check(
+            "T3.headline",
+            "table3",
+            "CPU + 2 MICs balanced over CPU only",
+            4.2,
+            Band::Range { lo: 3.0, hi: 5.5 },
+        )],
+        golden: vec![],
+    };
+    assert!(report.passed());
+    assert_eq!(report.n_failed(), 0);
+    assert!(report.to_json().contains("\"passed\": true"));
+
+    report.invariants[0].value = 1.0; // perturb: balancing gain wiped out
+    report.invariants[0].passed = report.invariants[0].band.admits(1.0);
+    assert!(!report.passed());
+    assert_eq!(report.n_failed(), 1);
+    let json = report.to_json();
+    assert!(json.contains("\"passed\": false"), "{json}");
+    assert!(json.contains("\"n_failed\": 1"), "{json}");
+}
+
+// --------------------------------------------------- tolerance policies
+
+#[test]
+fn policy_distinguishes_exact_and_rel_columns() {
+    // Key columns are exact; data columns carry the 2% band.
+    assert_eq!(
+        policy("table3_symmetric_balance", "hardware", "CPU only"),
+        ColumnPolicy::Exact
+    );
+    assert_eq!(
+        policy("table3_symmetric_balance", "degraded_rate", "CPU + MIC"),
+        ColumnPolicy::Rel(0.02)
+    );
+    // Measured-throughput columns are sign-checked only (machine-speed
+    // dependent), while modeled rows of the same artifact stay banded.
+    assert_eq!(
+        policy("fig2_lookup_rates", "mic_measured_per_s", "1000"),
+        ColumnPolicy::Positive
+    );
+    assert_eq!(
+        policy("table1_distance_sampling", "cpu_s", "modeled opt2"),
+        ColumnPolicy::Rel(0.02)
+    );
+    // Unknown artifacts get the conservative default.
+    assert_eq!(
+        policy("nonexistent", "anything", ""),
+        ColumnPolicy::Rel(0.02)
+    );
+}
+
+fn table3_artifact() -> Artifact {
+    Artifact {
+        name: "table3_symmetric_balance",
+        columns: vec![
+            "hardware",
+            "original_rate",
+            "balanced_rate",
+            "ideal_rate",
+            "degraded_rate",
+        ],
+        rows: vec![
+            vec![
+                "CPU + MIC".into(),
+                "27334".into(),
+                "34341".into(),
+                "34342".into(),
+                "13667".into(),
+            ],
+            vec![
+                "CPU + 2 MICs".into(),
+                "41001".into(),
+                "55016".into(),
+                "55016".into(),
+                "34341".into(),
+            ],
+        ],
+    }
+}
+
+#[test]
+fn rel_column_tolerates_small_drift_but_not_large() {
+    let golden = render_csv(&table3_artifact());
+    let mut fresh = table3_artifact();
+    fresh.rows[0][4] = "13800".into(); // +0.97% < 2%
+    assert!(compare(&fresh, &golden).passed);
+    fresh.rows[0][4] = "15000".into(); // +9.8% > 2%
+    let out = compare(&fresh, &golden);
+    assert!(!out.passed);
+    assert!(out.detail.contains("degraded_rate"), "{}", out.detail);
+}
+
+#[test]
+fn exact_column_rejects_even_tiny_drift() {
+    let golden = render_csv(&table3_artifact());
+    let mut fresh = table3_artifact();
+    fresh.rows[0][0] = "CPU + MIC ".into(); // trailing space
+    assert!(!compare(&fresh, &golden).passed);
+}
+
+#[test]
+fn nan_cells_never_pass_a_numeric_policy() {
+    // A NaN in a Rel column is a numeric/non-numeric flip vs the golden
+    // number — hard failure, not a parsed comparison.
+    let golden = render_csv(&table3_artifact());
+    let mut fresh = table3_artifact();
+    fresh.rows[1][2] = "NaN".into();
+    let out = compare(&fresh, &golden);
+    assert!(!out.passed, "{}", out.detail);
+
+    // And a Positive column rejects NaN, inf, zero, and negatives alike:
+    // only a finite positive number proves the measurement ran.
+    let base = Artifact {
+        name: "fig2_lookup_rates",
+        columns: vec!["bank_size", "mic_measured_per_s"],
+        rows: vec![vec!["1000".into(), "123.0".into()]],
+    };
+    let golden = render_csv(&base);
+    for bad in ["NaN", "inf", "0", "-5.0", "n/a"] {
+        let mut fresh = base.clone();
+        fresh.rows[0][1] = bad.into();
+        assert!(
+            !compare(&fresh, &golden).passed,
+            "Positive policy admitted {bad:?}"
+        );
+    }
+    // Any other positive value passes — the column is sign-checked only.
+    let mut fresh = base.clone();
+    fresh.rows[0][1] = "9999.0".into();
+    assert!(compare(&fresh, &golden).passed);
+}
+
+#[test]
+fn golden_header_and_shape_changes_fail_loudly() {
+    let fresh = table3_artifact();
+    // Header drift (e.g. this PR adding degraded_rate) must be caught —
+    // that is what forces a deliberate re-bless.
+    let old_header = "hardware,original_rate,balanced_rate,ideal_rate\n";
+    let out = compare(&fresh, old_header);
+    assert!(!out.passed);
+    assert!(out.detail.contains("header changed"), "{}", out.detail);
+    // Row-count drift too.
+    let mut truncated = render_csv(&fresh);
+    truncated = truncated.lines().take(2).collect::<Vec<_>>().join("\n") + "\n";
+    let out = compare(&fresh, &truncated);
+    assert!(!out.passed, "{}", out.detail);
+}

@@ -37,6 +37,19 @@ impl CommModel {
         let exchange = hops * (local_sites * self.site_bytes) / (self.bandwidth_gb_s * 1e9);
         tree + exchange
     }
+
+    /// [`CommModel::batch_sync_time`] for a degraded job: dead ranks have
+    /// dropped out of the collective, so the tree shrinks, but the
+    /// survivors now carry the dead ranks' particles — the per-rank bank
+    /// share grows. Net effect: sync gets *cheaper* in latency and more
+    /// expensive in exchange volume; the load-imbalance cost of the
+    /// redistribution itself is priced by `balance::degraded_rate`, not
+    /// here. Panics if no rank survives.
+    pub fn degraded_sync_time(&self, alive: &[bool], n_total: u64) -> f64 {
+        let survivors = alive.iter().filter(|&&a| a).count();
+        assert!(survivors > 0, "every rank is dead; no collective to run");
+        self.batch_sync_time(survivors, n_total)
+    }
 }
 
 #[cfg(test)]
@@ -55,6 +68,29 @@ mod tests {
         let t64 = c.batch_sync_time(64, 0);
         let t4096 = c.batch_sync_time(4096, 0);
         assert!((t4096 / t64 - 2.0).abs() < 1e-9); // 12 hops vs 6
+    }
+
+    #[test]
+    fn degraded_sync_shrinks_the_tree_but_keeps_the_particles() {
+        let c = CommModel::fdr_infiniband();
+        let full = c.batch_sync_time(8, 1_000_000);
+        // Half the ranks die: same particle total over a 4-rank tree.
+        let alive = [true, false, true, false, true, false, true, false];
+        let degraded = c.degraded_sync_time(&alive, 1_000_000);
+        assert_eq!(degraded, c.batch_sync_time(4, 1_000_000));
+        // Fewer hops, but each survivor ships twice the sites; at this
+        // scale the exchange term dominates, so the degraded sync is a
+        // bit *slower* than the healthy one despite the smaller tree.
+        assert!(degraded > full);
+        // With no particles, only the latency tree remains — and that
+        // strictly shrinks with the rank count.
+        assert!(c.degraded_sync_time(&alive, 0) < c.batch_sync_time(8, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank is dead")]
+    fn degraded_sync_rejects_total_loss() {
+        CommModel::fdr_infiniband().degraded_sync_time(&[false, false], 1);
     }
 
     #[test]

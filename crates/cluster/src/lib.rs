@@ -35,7 +35,10 @@ pub mod scaling;
 
 pub use adaptive::AdaptiveBalancer;
 pub use comm::CommModel;
-pub use mpi::{run_distributed_eigenvalue, DistributedResult, DistributedSettings};
+pub use mpi::{
+    resume_distributed_eigenvalue, run_distributed_eigenvalue, DistributedBatch, DistributedResult,
+    DistributedSettings,
+};
 pub use node::NodeSpec;
 pub use rank::Rank;
 pub use scaling::{batch_time_mixed, min_efficiency, strong_scaling, weak_scaling, ScalingPoint};

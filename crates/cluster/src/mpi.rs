@@ -4,37 +4,59 @@
 //! communication, and OpenMP for shared memory multi-threading" (§II-A).
 //! Everywhere else in this crate the distributed machine is *modeled*;
 //! this module actually runs the distributed algorithm: every rank is an
-//! OS thread with its own transport state, and the two collectives
-//! OpenMC's eigenvalue loop needs — the fission-bank all-gather and the
-//! tally all-reduce — move real messages over channels.
+//! OS thread with its own transport state, and the collectives OpenMC's
+//! eigenvalue loop needs — the fission-bank all-gather, the tally
+//! all-reduce, and a per-batch status barrier — move real messages over
+//! channels.
 //!
 //! The crucial design point is the same one that makes the single-process
 //! engine reproducible: particle identity is *global*. Rank `r` owns a
 //! contiguous slice of the batch's global particle indices, every
 //! particle's RNG stream is derived from its global index, and banked
 //! fission sites are re-tagged with global parent indices before the
-//! all-gather. Consequently the distributed run produces **bit-identical
-//! physics to the serial run, for any rank count and any particle
-//! partition** — the test suite asserts it.
+//! all-gather. The tally all-reduce exchanges *per-chunk* partials keyed
+//! by global start index and folds them in key order, so whenever rank
+//! boundaries are `CHUNK`-aligned (every split this driver picks itself)
+//! the distributed float reduction rebuilds the **serial summation tree
+//! bitwise** — k-eff and all float tallies equal the serial driver's to
+//! the last bit, for any rank count. User-supplied unaligned partitions
+//! still agree to rounding (~1e-12).
+//!
+//! # Fault tolerance
+//!
+//! A seeded [`FaultPlan`] can kill ranks, slow stragglers, or both —
+//! deterministically, so any failure replays. Deaths are detected at the
+//! per-batch status barrier: a rank scheduled to die at batch `d`
+//! completes batch `d-1` in full, announces its departure in that batch's
+//! status exchange, and exits; every survivor marks it dead and
+//! redistributes its quota (chunk-aligned, proportional to prior
+//! assignments) before batch `d` begins. No particles are lost, so the
+//! degraded run's physics — and k-eff — is bit-identical to the healthy
+//! run's. Periodic [`Statepoint`] checkpoints (identical on every rank)
+//! let a killed job resume via [`resume_distributed_eigenvalue`] or the
+//! serial `resume_eigenvalue`, again bit-exactly.
 
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use mcs_core::balance::{chunk_aligned_split, redistribute_dead, split_among_alive};
 use mcs_core::eigenvalue::{resample_source, shannon_entropy};
-use mcs_core::history::{run_histories, TransportOutcome};
+use mcs_core::history::{run_histories_chunked, CHUNK};
 use mcs_core::particle::{sort_sites, Site};
 use mcs_core::problem::Problem;
+use mcs_core::statepoint::Statepoint;
 use mcs_core::tally::Tallies;
+use mcs_faults::{FaultLog, FaultPlan, FaultRecord, FaultRecordKind};
 use mcs_rng::Lcg63;
 
-use crate::adaptive::AdaptiveBalancer;
-
-/// A message between ranks. The `u32` is the sender's rank (carried for
-/// by-rank ordering where it matters; the site gather is order-free).
+/// A message between ranks. The `u32` is the sender's rank.
 enum Message {
     Sites(#[allow(dead_code)] u32, Vec<Site>),
-    Tallies(u32, Box<Tallies>),
-    Time(u32, f64),
+    /// Per-chunk tally partials, keyed by global particle start index.
+    Chunks(#[allow(dead_code)] u32, Vec<(u64, Tallies)>),
+    /// End-of-batch status: measured wall time and whether the sender
+    /// departs (dies) after this batch.
+    Status(u32, f64, bool),
 }
 
 /// One rank's communicator endpoint.
@@ -43,6 +65,9 @@ struct Comm {
     size: usize,
     txs: Vec<Sender<Message>>,
     rx: Receiver<Message>,
+    /// Liveness view, updated at status barriers; identical on every
+    /// surviving rank.
+    alive: Vec<bool>,
 }
 
 impl Comm {
@@ -56,23 +81,35 @@ impl Comm {
                 size,
                 txs: txs.clone(),
                 rx,
+                alive: vec![true; size],
             })
             .collect()
+    }
+
+    fn n_alive_peers(&self) -> usize {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(r, &a)| a && r != self.rank)
+            .count()
+    }
+
+    fn send_to_alive_peers(&self, mut make: impl FnMut() -> Message) {
+        for (r, tx) in self.txs.iter().enumerate() {
+            if r != self.rank && self.alive[r] {
+                tx.send(make()).expect("peer alive");
+            }
+        }
     }
 
     /// All-gather fission sites: returns the union in canonical (parent,
     /// seq) order, identical on every rank.
     fn allgather_sites(&self, local: Vec<Site>) -> Vec<Site> {
-        for (r, tx) in self.txs.iter().enumerate() {
-            if r != self.rank {
-                tx.send(Message::Sites(self.rank as u32, local.clone()))
-                    .expect("peer alive");
-            }
-        }
+        self.send_to_alive_peers(|| Message::Sites(self.rank as u32, local.clone()));
         let mut all = local;
         let mut received = 0;
         let mut pending = Vec::new();
-        while received < self.size - 1 {
+        while received < self.n_alive_peers() {
             match self.rx.recv().expect("peer alive") {
                 Message::Sites(_, sites) => {
                     all.extend(sites);
@@ -88,23 +125,20 @@ impl Comm {
         all
     }
 
-    /// All-reduce tallies (sum), deterministic: contributions are merged
-    /// in rank order on every rank.
-    fn allreduce_tallies(&self, local: Tallies) -> Tallies {
-        for (r, tx) in self.txs.iter().enumerate() {
-            if r != self.rank {
-                tx.send(Message::Tallies(self.rank as u32, Box::new(local)))
-                    .expect("peer alive");
-            }
-        }
-        let mut by_rank: Vec<Option<Tallies>> = vec![None; self.size];
-        by_rank[self.rank] = Some(local);
+    /// All-reduce tallies from per-chunk partials: every rank receives
+    /// every chunk and folds them in global-start-index order. With
+    /// chunk-aligned rank boundaries this reproduces the serial chunk
+    /// fold exactly (bitwise); unaligned boundaries still give a
+    /// deterministic, partition-stable-to-rounding sum.
+    fn allreduce_chunks(&self, local: Vec<(u64, Tallies)>) -> Tallies {
+        self.send_to_alive_peers(|| Message::Chunks(self.rank as u32, local.clone()));
+        let mut all = local;
         let mut received = 0;
         let mut pending = Vec::new();
-        while received < self.size - 1 {
+        while received < self.n_alive_peers() {
             match self.rx.recv().expect("peer alive") {
-                Message::Tallies(from, t) => {
-                    by_rank[from as usize] = Some(*t);
+                Message::Chunks(_, chunks) => {
+                    all.extend(chunks);
                     received += 1;
                 }
                 other => pending.push(other),
@@ -113,29 +147,29 @@ impl Comm {
         for msg in pending {
             self.txs[self.rank].send(msg).unwrap();
         }
+        all.sort_by_key(|&(start, _)| start);
         let mut merged = Tallies::default();
-        for t in by_rank.into_iter().flatten() {
-            merged.merge(&t);
+        for (_, t) in &all {
+            merged.merge(t);
         }
         merged
     }
 
-    /// Gather every rank's batch wall time (for the adaptive balancer).
-    fn allgather_times(&self, local: f64) -> Vec<f64> {
-        for (r, tx) in self.txs.iter().enumerate() {
-            if r != self.rank {
-                tx.send(Message::Time(self.rank as u32, local))
-                    .expect("peer alive");
-            }
-        }
+    /// Status barrier: gather every live rank's batch wall time and
+    /// departure flag. Dead ranks report (0.0, false).
+    fn allgather_status(&self, wall: f64, departing: bool) -> (Vec<f64>, Vec<bool>) {
+        self.send_to_alive_peers(|| Message::Status(self.rank as u32, wall, departing));
         let mut times = vec![0.0; self.size];
-        times[self.rank] = local;
+        let mut departs = vec![false; self.size];
+        times[self.rank] = wall;
+        departs[self.rank] = departing;
         let mut received = 0;
         let mut pending = Vec::new();
-        while received < self.size - 1 {
+        while received < self.n_alive_peers() {
             match self.rx.recv().expect("peer alive") {
-                Message::Time(from, t) => {
+                Message::Status(from, t, d) => {
                     times[from as usize] = t;
+                    departs[from as usize] = d;
                     received += 1;
                 }
                 other => pending.push(other),
@@ -144,7 +178,7 @@ impl Comm {
         for msg in pending {
             self.txs[self.rank].send(msg).unwrap();
         }
-        times
+        (times, departs)
     }
 }
 
@@ -158,11 +192,30 @@ pub struct DistributedSettings {
     /// Tallied batches.
     pub active: usize,
     /// Initial per-rank particle assignment (must sum to
-    /// `total_particles`); `None` = even split.
+    /// `total_particles`); `None` = chunk-aligned even split.
     pub assignments: Option<Vec<u64>>,
     /// Rebalance between batches from measured rank times (§V's runtime
-    /// α adaptation).
+    /// α adaptation), chunk-aligned.
     pub adaptive: bool,
+    /// Injected fault schedule (deaths, stragglers). `None` = healthy.
+    pub fault_plan: Option<FaultPlan>,
+    /// Write a [`Statepoint`] after every `n` completed batches.
+    pub checkpoint_every: Option<usize>,
+}
+
+impl DistributedSettings {
+    /// A healthy, checkpoint-free run (the pre-fault-layer default).
+    pub fn simple(total_particles: usize, inactive: usize, active: usize) -> Self {
+        Self {
+            total_particles,
+            inactive,
+            active,
+            assignments: None,
+            adaptive: false,
+            fault_plan: None,
+            checkpoint_every: None,
+        }
+    }
 }
 
 /// Per-batch record of a distributed run.
@@ -178,8 +231,10 @@ pub struct DistributedBatch {
     pub entropy: f64,
     /// Per-rank particle assignment used this batch.
     pub assignments: Vec<u64>,
-    /// Per-rank wall times (seconds).
+    /// Per-rank wall times (seconds; 0 for dead ranks).
     pub rank_times: Vec<f64>,
+    /// Which ranks participated in this batch.
+    pub alive: Vec<bool>,
 }
 
 /// Result of a distributed eigenvalue run.
@@ -187,36 +242,108 @@ pub struct DistributedBatch {
 pub struct DistributedResult {
     /// Per-batch records.
     pub batches: Vec<DistributedBatch>,
-    /// Mean k over active batches.
+    /// Mean k over completed active batches.
     pub k_mean: f64,
-    /// Merged global tallies over active batches.
+    /// Merged global tallies over completed active batches.
     pub tallies: Tallies,
+    /// Periodic checkpoints, oldest first (identical on every rank).
+    pub checkpoints: Vec<Statepoint>,
+    /// Faults observed during the run, in event order.
+    pub fault_log: FaultLog,
+    /// Whether the full batch plan completed (false = the job aborted
+    /// because every rank died; resume from `checkpoints.last()`).
+    pub completed: bool,
+}
+
+fn default_assignments(settings: &DistributedSettings, n_ranks: usize) -> Vec<u64> {
+    match &settings.assignments {
+        Some(a) => {
+            assert_eq!(a.len(), n_ranks);
+            assert_eq!(
+                a.iter().sum::<u64>() as usize,
+                settings.total_particles,
+                "assignments must sum to total_particles"
+            );
+            a.clone()
+        }
+        None => chunk_aligned_split(
+            settings.total_particles as u64,
+            &vec![1.0; n_ranks],
+            CHUNK as u64,
+        ),
+    }
 }
 
 /// Run a k-eigenvalue calculation across `n_ranks` rank threads with real
-/// collectives. Physics is bit-identical to the serial driver for any
-/// rank count or assignment.
+/// collectives. Physics is bit-identical to the serial driver whenever
+/// rank boundaries are chunk-aligned (all driver-chosen splits), and
+/// identical to rounding for arbitrary user partitions.
 pub fn run_distributed_eigenvalue(
     problem: &Arc<Problem>,
     n_ranks: usize,
     settings: &DistributedSettings,
 ) -> DistributedResult {
-    assert!(n_ranks > 0);
-    let n_total = settings.total_particles;
-    let init_assignments = match &settings.assignments {
-        Some(a) => {
-            assert_eq!(a.len(), n_ranks);
-            assert_eq!(a.iter().sum::<u64>() as usize, n_total);
-            a.clone()
-        }
-        None => {
-            let mut a = vec![(n_total / n_ranks) as u64; n_ranks];
-            for x in a.iter_mut().take(n_total % n_ranks) {
-                *x += 1;
-            }
-            a
-        }
+    let init = RankInit {
+        start_batch: 0,
+        source: None,
+        k_history: Vec::new(),
+        tallies: Tallies::default(),
     };
+    launch(problem, n_ranks, settings, init)
+}
+
+/// Resume a distributed run from a checkpoint (e.g. one written by a
+/// run that lost all its ranks), running the remaining batches of the
+/// plan. The resumed run may use any rank count; results are bit-exact
+/// against the uninterrupted run for driver-chosen partitions.
+pub fn resume_distributed_eigenvalue(
+    problem: &Arc<Problem>,
+    n_ranks: usize,
+    settings: &DistributedSettings,
+    checkpoint: &Statepoint,
+) -> DistributedResult {
+    assert_eq!(
+        checkpoint.seed, problem.seed,
+        "statepoint belongs to a different problem seed"
+    );
+    assert_eq!(
+        checkpoint.source.len(),
+        settings.total_particles,
+        "statepoint bank size does not match the batch size"
+    );
+    let total = settings.inactive + settings.active;
+    assert!(checkpoint.completed_batches < total, "nothing left to run");
+    let init = RankInit {
+        start_batch: checkpoint.completed_batches,
+        source: Some(checkpoint.source.clone()),
+        k_history: checkpoint.k_history.clone(),
+        tallies: checkpoint.tallies,
+    };
+    launch(problem, n_ranks, settings, init)
+}
+
+/// Shared per-rank starting state (cold start or checkpoint).
+#[derive(Clone)]
+struct RankInit {
+    start_batch: usize,
+    source: Option<Vec<mcs_core::particle::SourceSite>>,
+    k_history: Vec<f64>,
+    tallies: Tallies,
+}
+
+struct RankOutcome {
+    result: DistributedResult,
+    survived: bool,
+}
+
+fn launch(
+    problem: &Arc<Problem>,
+    n_ranks: usize,
+    settings: &DistributedSettings,
+    init: RankInit,
+) -> DistributedResult {
+    assert!(n_ranks > 0);
+    let init_assignments = default_assignments(settings, n_ranks);
 
     let comms = Comm::world(n_ranks);
     std::thread::scope(|scope| {
@@ -225,39 +352,63 @@ pub fn run_distributed_eigenvalue(
             .map(|comm| {
                 let problem = Arc::clone(problem);
                 let settings = settings.clone();
-                let init = init_assignments.clone();
-                scope.spawn(move || rank_main(&problem, comm, &settings, init))
+                let assignments = init_assignments.clone();
+                let init = init.clone();
+                scope.spawn(move || rank_main(&problem, comm, &settings, assignments, init))
             })
             .collect();
-        let mut results: Vec<DistributedResult> = handles
+        let outcomes: Vec<RankOutcome> = handles
             .into_iter()
             .map(|h| h.join().expect("rank panicked"))
             .collect();
-        // Every rank computed identical global results; return rank 0's.
-        results.swap_remove(0)
+        // Surviving ranks hold identical complete results; take the
+        // lowest-numbered one. If every rank died, take the longest
+        // partial record (the last ranks standing saw the most batches).
+        let pick = outcomes.iter().position(|o| o.survived).unwrap_or_else(|| {
+            outcomes
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, o)| (o.result.batches.len(), usize::MAX - i))
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        outcomes.into_iter().nth(pick).unwrap().result
     })
 }
 
 fn rank_main(
     problem: &Problem,
-    comm: Comm,
+    mut comm: Comm,
     settings: &DistributedSettings,
-    init_assignments: Vec<u64>,
-) -> DistributedResult {
+    mut assignments: Vec<u64>,
+    init: RankInit,
+) -> RankOutcome {
     let n_total = settings.total_particles;
     let total_batches = settings.inactive + settings.active;
-    let mut balancer = AdaptiveBalancer::new(comm.size, n_total as u64);
-    let mut assignments = init_assignments;
+    let plan = settings
+        .fault_plan
+        .clone()
+        .unwrap_or_else(|| FaultPlan::new(0));
+    // A death scheduled at or before the resume point is ignored (the
+    // plan belonged to the killed run).
+    let my_death = plan
+        .death_batch(comm.rank)
+        .filter(|&d| d > init.start_batch && d <= total_batches);
 
     // The global source is identical on all ranks (deterministic in the
-    // problem seed); each rank transports only its slice.
-    let mut global_source = problem.sample_initial_source(n_total, 0);
+    // problem seed / checkpoint); each rank transports only its slice.
+    let mut global_source = init
+        .source
+        .unwrap_or_else(|| problem.sample_initial_source(n_total, 0));
+    let mut k_history = init.k_history;
+    let mut tallies = init.tallies;
 
     let mut batches = Vec::new();
-    let mut k_sum = 0.0;
-    let mut tallies = Tallies::default();
+    let mut checkpoints = Vec::new();
+    let mut fault_log = FaultLog::new();
+    let mut survived = true;
 
-    for b in 0..total_batches {
+    for b in init.start_batch..total_batches {
         let active = b >= settings.inactive;
         let offset: u64 = assignments[..comm.rank].iter().sum();
         let count = assignments[comm.rank] as usize;
@@ -274,17 +425,34 @@ fn rank_main(
             .collect();
 
         let t0 = std::time::Instant::now();
-        let mut local: TransportOutcome = run_histories(problem, my_source, &streams);
-        let wall = t0.elapsed().as_secs_f64();
+        let chunked = run_histories_chunked(problem, my_source, &streams);
+        let mut wall = t0.elapsed().as_secs_f64();
+        // Straggler injection: inflate the *reported* time (what the
+        // adaptive balancer sees), deterministically from the plan.
+        let slow = plan.straggler_factor(comm.rank, b);
+        if slow > 1.0 {
+            wall *= slow;
+        }
 
-        // Globalize site parent tags before the exchange.
-        for s in &mut local.sites {
+        // Globalize: chunk partials keyed by global start index, site
+        // parents re-tagged with global particle indices.
+        let chunk_tallies: Vec<(u64, Tallies)> = chunked
+            .iter()
+            .enumerate()
+            .map(|(i, out)| (offset + (i * CHUNK) as u64, out.tallies))
+            .collect();
+        let mut local_sites: Vec<Site> = Vec::new();
+        for out in chunked {
+            local_sites.extend(out.sites);
+        }
+        for s in &mut local_sites {
             s.parent += offset as u32;
         }
 
-        let global_sites = comm.allgather_sites(local.sites);
-        let global_tallies = comm.allreduce_tallies(local.tallies);
-        let rank_times = comm.allgather_times(wall);
+        let global_sites = comm.allgather_sites(local_sites);
+        let global_tallies = comm.allreduce_chunks(chunk_tallies);
+        let departing = my_death == Some(b + 1);
+        let (rank_times, departs) = comm.allgather_status(wall, departing);
 
         let k = global_tallies.k_track_estimate();
         let entropy = shannon_entropy(&global_sites, problem.geometry.bounds, (8, 8, 4));
@@ -295,9 +463,10 @@ fn rank_main(
             entropy,
             assignments: assignments.clone(),
             rank_times: rank_times.clone(),
+            alive: comm.alive.clone(),
         });
+        k_history.push(k);
         if active {
-            k_sum += k;
             tallies.merge(&global_tallies);
         }
 
@@ -310,17 +479,98 @@ fn rank_main(
             problem.seed ^ (0xbeef << 8) ^ b as u64,
         );
 
+        // Checkpoint cadence: the statepoint matches the serial
+        // driver's exactly, so `resume_eigenvalue` consumes it too.
+        if let Some(every) = settings.checkpoint_every {
+            if every > 0 && (b + 1) % every == 0 {
+                checkpoints.push(Statepoint {
+                    seed: problem.seed,
+                    completed_batches: b + 1,
+                    source: global_source.clone(),
+                    k_history: k_history.clone(),
+                    tallies,
+                });
+            }
+        }
+
+        // Deterministic fault records, identical on every rank: the plan
+        // is shared, so stragglers are logged from it, deaths from the
+        // barrier's departure flags.
+        for r in 0..comm.size {
+            if comm.alive[r] {
+                let f = plan.straggler_factor(r, b);
+                if f > 1.0 {
+                    fault_log.push(FaultRecord {
+                        batch: b,
+                        rank: r,
+                        kind: FaultRecordKind::Straggler(f),
+                    });
+                }
+            }
+        }
+        let mut any_death = false;
+        for (r, &d) in departs.iter().enumerate() {
+            if d {
+                comm.alive[r] = false;
+                any_death = true;
+                fault_log.push(FaultRecord {
+                    batch: b + 1,
+                    rank: r,
+                    kind: FaultRecordKind::Death,
+                });
+            }
+        }
+
+        if departing {
+            // This rank dies here: its record ends at batch b.
+            survived = false;
+            break;
+        }
+        if b + 1 == total_batches {
+            break;
+        }
+        if comm.alive.iter().all(|&a| !a) {
+            unreachable!("a live rank is iterating");
+        }
+
+        // Re-partition for the next batch: adaptive from measured rates,
+        // or minimally after a death. Driver-chosen splits are always
+        // chunk-aligned, preserving the bitwise reduction.
         if settings.adaptive {
-            // Same observation on every rank ⇒ same next assignment.
-            balancer.observe_with_assignments(&assignments, &rank_times);
-            assignments = balancer.assignments().to_vec();
+            let rates: Vec<f64> = (0..comm.size)
+                .map(|r| {
+                    if comm.alive[r] && rank_times[r] > 0.0 {
+                        assignments[r] as f64 / rank_times[r]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            assignments = split_among_alive(n_total as u64, &rates, &comm.alive, CHUNK as u64);
+        } else if any_death {
+            assignments = redistribute_dead(&assignments, &comm.alive, CHUNK as u64);
         }
     }
 
-    DistributedResult {
-        batches,
-        k_mean: k_sum / settings.active.max(1) as f64,
-        tallies,
+    let active_ks: Vec<f64> = k_history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i >= settings.inactive)
+        .map(|(_, &k)| k)
+        .collect();
+    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
+    let completed = survived && batches.last().map(|b| b.index + 1) == Some(total_batches);
+
+    RankOutcome {
+        result: DistributedResult {
+            batches,
+            k_mean,
+            tallies,
+            checkpoints,
+            fault_log,
+            completed,
+        },
+        survived,
     }
 }
 
@@ -333,13 +583,7 @@ mod tests {
     }
 
     fn settings(n: usize) -> DistributedSettings {
-        DistributedSettings {
-            total_particles: n,
-            inactive: 1,
-            active: 2,
-            assignments: None,
-            adaptive: false,
-        }
+        DistributedSettings::simple(n, 1, 2)
     }
 
     #[test]
@@ -348,31 +592,30 @@ mod tests {
         let r1 = run_distributed_eigenvalue(&p, 1, &settings(300));
         let r2 = run_distributed_eigenvalue(&p, 2, &settings(300));
         let r4 = run_distributed_eigenvalue(&p, 4, &settings(300));
-        // Integer tallies identical; float sums identical too because
-        // the all-reduce merges in rank order over identical per-particle
-        // chunks... but chunk boundaries differ, so compare to tolerance.
+        // Integer tallies identical — and with the chunk-keyed reduce
+        // over chunk-aligned default splits the float sums are now
+        // bitwise identical too, not merely close.
         assert_eq!(r1.tallies.collisions, r2.tallies.collisions);
         assert_eq!(r1.tallies.collisions, r4.tallies.collisions);
         assert_eq!(r1.tallies.absorptions, r4.tallies.absorptions);
         assert_eq!(r1.tallies.fissions, r4.tallies.fissions);
+        assert_eq!(r1.tallies, r2.tallies);
+        assert_eq!(r1.tallies, r4.tallies);
         for (a, b) in [(&r1, &r2), (&r1, &r4)] {
             for (x, y) in a.batches.iter().zip(&b.batches) {
-                assert!(
-                    (x.k_track - y.k_track).abs() < 1e-12,
-                    "{} vs {}",
-                    x.k_track,
-                    y.k_track
-                );
+                assert_eq!(x.k_track.to_bits(), y.k_track.to_bits());
                 assert_eq!(x.entropy, y.entropy);
             }
         }
+        assert!(r1.completed && r2.completed && r4.completed);
     }
 
     #[test]
     fn distributed_equals_the_serial_driver() {
         // The strongest cross-check: the executed MPI runtime with any
         // rank count reproduces the serial eigenvalue driver's per-batch
-        // k exactly (identical streams, identical resampling).
+        // k bitwise (identical streams, identical resampling, identical
+        // summation tree via the chunk-keyed all-reduce).
         use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
         let p = problem();
         let serial = run_eigenvalue(
@@ -388,16 +631,17 @@ mod tests {
         );
         let dist = run_distributed_eigenvalue(&p, 3, &settings(300));
         for (a, b) in serial.batches.iter().zip(&dist.batches) {
-            assert!(
-                (a.k_track - b.k_track).abs() < 1e-12,
+            assert_eq!(
+                a.k_track.to_bits(),
+                b.k_track.to_bits(),
                 "batch {}: serial {} vs distributed {}",
                 a.index,
                 a.k_track,
                 b.k_track
             );
         }
-        assert_eq!(serial.tallies.collisions, dist.tallies.collisions);
-        assert_eq!(serial.tallies.fissions, dist.tallies.fissions);
+        assert_eq!(serial.tallies, dist.tallies);
+        assert_eq!(serial.k_mean.to_bits(), dist.k_mean.to_bits());
     }
 
     #[test]
@@ -417,7 +661,7 @@ mod tests {
     #[test]
     fn adaptive_rebalancing_runs_and_preserves_physics() {
         let p = problem();
-        let mut s = settings(300);
+        let mut s = settings(600);
         s.adaptive = true;
         s.inactive = 1;
         s.active = 3;
@@ -425,13 +669,13 @@ mod tests {
         s.adaptive = false;
         let fixed = run_distributed_eigenvalue(&p, 2, &s);
         // Rebalancing changes who computes what, never what is computed.
-        assert_eq!(adaptive.tallies.collisions, fixed.tallies.collisions);
+        assert_eq!(adaptive.tallies, fixed.tallies);
         for (x, y) in adaptive.batches.iter().zip(&fixed.batches) {
-            assert!((x.k_track - y.k_track).abs() < 1e-12);
+            assert_eq!(x.k_track.to_bits(), y.k_track.to_bits());
         }
         // And the later batches' assignments must still sum to the total.
         for b in &adaptive.batches {
-            assert_eq!(b.assignments.iter().sum::<u64>(), 300);
+            assert_eq!(b.assignments.iter().sum::<u64>(), 600);
         }
     }
 
@@ -444,5 +688,97 @@ mod tests {
             run_distributed_eigenvalue(&p, 2, &s)
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn rank_death_degrades_gracefully_and_preserves_physics() {
+        let p = problem();
+        let mut s = settings(600);
+        s.inactive = 1;
+        s.active = 3;
+        let healthy = run_distributed_eigenvalue(&p, 3, &s);
+
+        s.fault_plan = Some(FaultPlan::new(11).with_rank_death(1, 2));
+        let degraded = run_distributed_eigenvalue(&p, 3, &s);
+        assert!(degraded.completed);
+        assert_eq!(degraded.fault_log.n_deaths(), 1);
+        // Bit-identical physics: the dead rank's quota moved, nothing
+        // was lost.
+        assert_eq!(healthy.tallies, degraded.tallies);
+        assert_eq!(healthy.k_mean.to_bits(), degraded.k_mean.to_bits());
+        // The dead rank has no work from its death batch on.
+        for b in &degraded.batches {
+            if b.index >= 2 {
+                assert_eq!(b.assignments[1], 0, "batch {}", b.index);
+                assert!(!b.alive[1]);
+            }
+            assert_eq!(b.assignments.iter().sum::<u64>(), 600);
+        }
+    }
+
+    #[test]
+    fn all_ranks_dead_aborts_with_checkpoint() {
+        let p = problem();
+        let mut s = settings(300);
+        s.inactive = 1;
+        s.active = 3;
+        s.checkpoint_every = Some(2);
+        s.fault_plan = Some(
+            FaultPlan::new(5)
+                .with_rank_death(0, 3)
+                .with_rank_death(1, 3),
+        );
+        let r = run_distributed_eigenvalue(&p, 2, &s);
+        assert!(!r.completed, "the job lost every rank");
+        assert_eq!(r.batches.len(), 3); // batches 0..3 ran
+        assert_eq!(r.checkpoints.len(), 1);
+        assert_eq!(r.checkpoints[0].completed_batches, 2);
+    }
+
+    #[test]
+    fn checkpoints_match_the_serial_statepoint() {
+        use mcs_core::eigenvalue::{EigenvalueSettings, TransportMode};
+        use mcs_core::statepoint::run_eigenvalue_checkpointed;
+        let p = problem();
+        let mut s = settings(600);
+        s.inactive = 1;
+        s.active = 2;
+        s.checkpoint_every = Some(2);
+        let dist = run_distributed_eigenvalue(&p, 2, &s);
+        let (_, serial_sp) = run_eigenvalue_checkpointed(
+            &p,
+            &EigenvalueSettings {
+                particles: 600,
+                inactive: 1,
+                active: 2,
+                mode: TransportMode::History,
+                entropy_mesh: (8, 8, 4),
+                mesh_tally: None,
+            },
+            2,
+        );
+        let sp = &dist.checkpoints[0];
+        assert_eq!(
+            sp, &serial_sp,
+            "distributed checkpoint == serial checkpoint"
+        );
+    }
+
+    #[test]
+    fn straggler_slows_reported_time_only() {
+        let p = problem();
+        let mut s = settings(600);
+        s.fault_plan = Some(FaultPlan::new(3).with_straggler(0, 1, 1000.0));
+        let r = run_distributed_eigenvalue(&p, 2, &s);
+        let healthy = run_distributed_eigenvalue(&p, 2, &settings(600));
+        assert_eq!(r.tallies, healthy.tallies);
+        // The straggler batch reports a grossly inflated rank-0 time.
+        let b1 = &r.batches[1];
+        assert!(b1.rank_times[0] > 100.0 * b1.rank_times[1].max(1e-9));
+        assert!(r
+            .fault_log
+            .records
+            .iter()
+            .any(|rec| matches!(rec.kind, FaultRecordKind::Straggler(f) if f == 1000.0)));
     }
 }

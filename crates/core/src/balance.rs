@@ -60,6 +60,91 @@ pub fn proportional_split(n_total: u64, rates: &[f64]) -> Vec<u64> {
     out
 }
 
+/// [`proportional_split`] quantized to the transport engine's canonical
+/// reduction chunk: every rank boundary lands on a multiple of `chunk`
+/// (the final ragged chunk, if `n_total` is not a multiple, goes to the
+/// last rank with work). Assignments still sum exactly to `n_total`.
+///
+/// Chunk-aligned partitions are what let the distributed all-reduce
+/// rebuild the serial summation tree bitwise — see
+/// `run_histories_chunked` — so the fault-tolerant driver uses this for
+/// every split it chooses itself (initial, adaptive, and post-death).
+pub fn chunk_aligned_split(n_total: u64, weights: &[f64], chunk: u64) -> Vec<u64> {
+    assert!(chunk > 0);
+    if n_total == 0 {
+        return vec![0; weights.len()];
+    }
+    let n_units = n_total.div_ceil(chunk);
+    let units = proportional_split(n_units, weights);
+    // Convert unit counts to particle counts: each unit is `chunk`
+    // particles except the globally last one, which may be ragged.
+    let mut out = Vec::with_capacity(weights.len());
+    let mut start_unit = 0u64;
+    for u in units {
+        let lo = (start_unit * chunk).min(n_total);
+        let hi = ((start_unit + u) * chunk).min(n_total);
+        out.push(hi - lo);
+        start_unit += u;
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), n_total);
+    out
+}
+
+/// [`chunk_aligned_split`] over the surviving ranks only: dead ranks get
+/// zero, the full `n_total` is re-split across ranks with
+/// `alive[r] && weights[r] > 0` (equal weights if every survivor's
+/// weight is zero). Panics if no rank is alive.
+pub fn split_among_alive(n_total: u64, weights: &[f64], alive: &[bool], chunk: u64) -> Vec<u64> {
+    assert_eq!(weights.len(), alive.len());
+    let survivors: Vec<usize> = (0..alive.len()).filter(|&r| alive[r]).collect();
+    assert!(!survivors.is_empty(), "every rank is dead");
+    let mut w: Vec<f64> = survivors.iter().map(|&r| weights[r]).collect();
+    if w.iter().all(|&x| x <= 0.0) {
+        w = vec![1.0; w.len()];
+    } else {
+        // A survivor observed at zero weight still participates.
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        for x in w.iter_mut() {
+            if *x <= 0.0 {
+                *x = mean;
+            }
+        }
+    }
+    let split = chunk_aligned_split(n_total, &w, chunk);
+    let mut out = vec![0u64; alive.len()];
+    for (&r, &n) in survivors.iter().zip(&split) {
+        out[r] = n;
+    }
+    out
+}
+
+/// Redistribute a dead rank's quota to the survivors, proportionally to
+/// their previous assignments, keeping boundaries chunk-aligned. The
+/// graceful-degradation move: total particles per batch is preserved, so
+/// the physics (and k-eff) of the degraded run is identical to the
+/// healthy run's.
+pub fn redistribute_dead(assignments: &[u64], alive: &[bool], chunk: u64) -> Vec<u64> {
+    let n_total: u64 = assignments.iter().sum();
+    let weights: Vec<f64> = assignments.iter().map(|&a| a as f64).collect();
+    split_among_alive(n_total, &weights, alive, chunk)
+}
+
+/// Aggregate rate after rank deaths, with the survivors rebalanced
+/// proportionally to their rates (the degraded-mode column of the
+/// Table III harness). Compare against [`ideal_rate`] of the survivors
+/// to see the rebalancing quality, and against the full job's balanced
+/// rate to see the cost of the loss.
+pub fn degraded_rate(n_total: u64, rates: &[f64], alive: &[bool]) -> f64 {
+    assert_eq!(rates.len(), alive.len());
+    let surviving: Vec<f64> = (0..rates.len())
+        .filter(|&r| alive[r])
+        .map(|r| rates[r])
+        .collect();
+    assert!(!surviving.is_empty(), "every rank is dead");
+    let split = proportional_split(n_total, &surviving);
+    achieved_rate(&split, &surviving)
+}
+
 /// Wall time of a batch given per-rank assignments and rates: the slowest
 /// rank gates the batch (everyone synchronizes at the fission-bank
 /// reduction).
@@ -134,6 +219,76 @@ mod tests {
         // Table III *shape* — balanced ≈ ideal ≫ even split — holds).
         let loss = 1.0 - r_even / r_ideal;
         assert!((loss - 0.2346).abs() < 0.01, "loss = {loss}");
+    }
+
+    #[test]
+    fn chunk_aligned_split_sums_and_aligns() {
+        for (n, weights) in [
+            (300u64, vec![1.0, 1.0]),
+            (300, vec![1.0, 1.0, 1.0, 1.0]),
+            (1_000, vec![3.0, 1.0, 2.0]),
+            (256, vec![1.0, 5.0]),
+            (255, vec![1.0, 1.0]),
+            (10_000, vec![1.0, 0.62]),
+        ] {
+            let split = chunk_aligned_split(n, &weights, 256);
+            assert_eq!(split.iter().sum::<u64>(), n, "{weights:?}");
+            // Every boundary except the last is a multiple of the chunk.
+            let mut prefix = 0u64;
+            for &a in &split[..split.len() - 1] {
+                prefix += a;
+                assert!(
+                    prefix % 256 == 0 || prefix == n,
+                    "boundary {prefix} not aligned for n={n} {weights:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_particles_split_to_zero() {
+        assert_eq!(chunk_aligned_split(0, &[1.0, 2.0], 256), vec![0, 0]);
+    }
+
+    #[test]
+    fn redistribute_dead_preserves_total_and_zeroes_the_dead() {
+        let before = vec![512u64, 256, 256];
+        let after = redistribute_dead(&before, &[true, false, true], 256);
+        assert_eq!(after.iter().sum::<u64>(), 1024);
+        assert_eq!(after[1], 0);
+        assert!(after[0] > 0 && after[2] > 0);
+        // Survivors keep their 2:1 proportion, chunk-aligned.
+        assert_eq!(after[0] % 256, 0);
+    }
+
+    #[test]
+    fn split_among_alive_handles_zero_weight_survivors() {
+        // A survivor whose last assignment was zero re-enters at the
+        // mean weight instead of being starved forever.
+        let out = split_among_alive(1024, &[512.0, 0.0, 512.0], &[true, true, false], 256);
+        assert_eq!(out.iter().sum::<u64>(), 1024);
+        assert_eq!(out[2], 0);
+        assert!(out[1] > 0, "zero-weight survivor must get work: {out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank is dead")]
+    fn all_dead_is_rejected() {
+        let _ = split_among_alive(100, &[1.0, 1.0], &[false, false], 256);
+    }
+
+    #[test]
+    fn degraded_rate_sits_between_lone_survivor_and_full_ideal() {
+        let rates = [4_050.0, 6_641.0, 6_641.0]; // cpu + 2 mics
+        let alive = [true, true, false]; // one mic died
+        let d = degraded_rate(100_000, &rates, &alive);
+        let survivor_ideal = rates[0] + rates[1];
+        assert!(
+            d > 0.99 * survivor_ideal,
+            "rebalanced survivors near ideal: {d}"
+        );
+        assert!(d <= survivor_ideal + 1e-9);
+        assert!(d < ideal_rate(&rates), "a death must cost throughput");
     }
 
     #[test]

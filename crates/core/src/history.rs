@@ -273,6 +273,40 @@ pub fn run_histories_mesh(
     (merged, mesh)
 }
 
+/// [`run_histories`] exposing the per-chunk partial outcomes instead of
+/// the merged result, in chunk order (chunk `i` covers local particles
+/// `i*CHUNK .. (i+1)*CHUNK`).
+///
+/// This is the building block for *partition-invariant* distributed
+/// reduction: the canonical summation tree fixed by PR 2 is per-particle
+/// partials folded in index order within `CHUNK`-sized chunks, then
+/// chunks folded in chunk order. A distributed rank whose slice starts
+/// at a multiple of `CHUNK` produces chunk partials that coincide with
+/// the serial run's chunks, so the all-reduce can rebuild the *serial*
+/// fold exactly — merging whole-rank partials cannot (float addition is
+/// not associative across different groupings).
+pub fn run_histories_chunked(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> Vec<TransportOutcome> {
+    assert_eq!(sources.len(), streams.len());
+    sources
+        .par_chunks(CHUNK)
+        .zip(streams.par_chunks(CHUNK))
+        .enumerate()
+        .map(|(chunk_idx, (src, stream))| {
+            let mut out = TransportOutcome::default();
+            for (i, (&site, &rng)) in src.iter().zip(stream).enumerate() {
+                let index = (chunk_idx * CHUNK + i) as u32;
+                let mut p = Particle::born(site, index, rng);
+                transport_particle(problem, &mut p, &mut out.tallies, &mut out.sites, None);
+            }
+            out
+        })
+        .collect()
+}
+
 /// Single-threaded run with TAU-style instrumentation (for the Fig. 4
 /// profile comparison).
 pub fn run_histories_profiled(
@@ -454,6 +488,25 @@ mod tests {
         let profile = prof.finish();
         assert!(profile.get("calculate_xs").unwrap().calls > 0);
         assert!(profile.get("transport_total").is_some());
+    }
+
+    #[test]
+    fn chunked_partials_rebuild_the_merged_run_bitwise() {
+        let problem = Problem::test_small();
+        let n = 600; // 3 chunks: 256 + 256 + 88
+        let sources = problem.sample_initial_source(n, 0);
+        let streams = batch_streams(problem.seed, 0, n);
+        let merged = run_histories(&problem, &sources, &streams);
+        let chunks = run_histories_chunked(&problem, &sources, &streams);
+        assert_eq!(chunks.len(), n.div_ceil(CHUNK));
+        let mut rebuilt = TransportOutcome::default();
+        for c in &chunks {
+            rebuilt.tallies.merge(&c.tallies);
+            rebuilt.sites.extend(c.sites.iter().copied());
+        }
+        // Bitwise, not approximately: the fold tree is identical.
+        assert_eq!(rebuilt.tallies, merged.tallies);
+        assert_eq!(rebuilt.sites, merged.sites);
     }
 
     #[test]

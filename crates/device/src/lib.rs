@@ -52,7 +52,7 @@ pub mod workload;
 
 pub use native::{NativeModel, TransportKind};
 pub use offload::{OffloadBreakdown, OffloadModel};
-pub use pcie::PcieBus;
+pub use pcie::{PcieBus, TransferError, TransferKind, TransferReport};
 pub use power::{EnergyReport, PowerSpec};
 pub use spec::{KernelCounts, MachineSpec};
 pub use symmetric::SymmetricModel;

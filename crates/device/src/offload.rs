@@ -7,7 +7,10 @@
 //! its asymptotics: they dominate at small banks and amortize away above
 //! ~10³–10⁴ particles.
 
-use crate::pcie::PcieBus;
+use mcs_faults::{FaultPlan, RetryPolicy};
+use mcs_prof::Counters;
+
+use crate::pcie::{PcieBus, TransferError, TransferKind, TransferReport};
 use crate::spec::MachineSpec;
 use crate::workload::{
     bank_bytes_per_particle, banking_ns_host, banking_ns_mic, xs_lookup_banked, xs_lookup_scalar,
@@ -59,6 +62,36 @@ impl OffloadModel {
             compute_host_s: self.host.kernel_time(&lookups_host),
             compute_device_s: self.launch_s + self.device.kernel_time(&lookups_dev),
         }
+    }
+
+    /// [`OffloadModel::breakdown`] over a faulty PCIe link: the bank
+    /// shipment runs through the retry engine, its degraded transfer
+    /// time replaces the clean one, and the per-attempt accounting is
+    /// returned alongside. `transfer_id` identifies the shipment in the
+    /// plan's coordinate space (e.g. the batch index), so a seeded plan
+    /// replays the same fault history.
+    #[allow(clippy::too_many_arguments)] // one coordinate per fault-model input
+    pub fn breakdown_with_faults(
+        &self,
+        shape: &ProblemShape,
+        n: usize,
+        grid_bytes: f64,
+        transfer_id: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        counters: &mut Counters,
+    ) -> Result<(OffloadBreakdown, TransferReport), TransferError> {
+        let mut b = self.breakdown(shape, n, grid_bytes);
+        let report = self.bus.transfer_with_retries(
+            b.bank_bytes,
+            TransferKind::Banked,
+            transfer_id,
+            plan,
+            policy,
+            counters,
+        )?;
+        b.transfer_bank_s = self.marshal_s + report.total_s;
+        Ok((b, report))
     }
 
     /// Whether offloading the lookups pays off for `n` particles, given
@@ -178,6 +211,36 @@ mod tests {
         );
         assert!(dev_big < dev_small, "device ratio should fall");
         assert!(host_big > host_small, "host ratio should rise");
+    }
+
+    #[test]
+    fn faulty_link_degrades_but_preserves_structure() {
+        use mcs_faults::TransferFaultKind;
+        let m = OffloadModel::jlse();
+        let s = shape(34);
+        let clean = m.breakdown(&s, 100_000, 1.31e9);
+        let plan = mcs_faults::FaultPlan::new(7)
+            .with_transfer_fault(0, 1, TransferFaultKind::Corrupt)
+            .with_transfer_fault(0, 2, TransferFaultKind::Timeout);
+        let mut c = mcs_prof::Counters::new();
+        let (faulty, report) = m
+            .breakdown_with_faults(
+                &s,
+                100_000,
+                1.31e9,
+                0,
+                &plan,
+                &mcs_faults::RetryPolicy::pcie_default(),
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(report.attempts, 3);
+        assert!(faulty.transfer_bank_s > clean.transfer_bank_s);
+        // Everything that is not the bank transfer is untouched.
+        assert_eq!(faulty.compute_device_s, clean.compute_device_s);
+        assert_eq!(faulty.banking_host_s, clean.banking_host_s);
+        assert_eq!(c.get("pcie.corruptions"), 1);
+        assert_eq!(c.get("pcie.timeouts"), 1);
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Seeded, deterministic fault injection for the cluster and device
+//! models.
+//!
+//! Production MC runs at Stampede scale lose ranks, hit flaky PCIe
+//! links, and ride out stragglers; codes like OpenMC survive via
+//! statepoint checkpointing. This crate provides the *schedule* side of
+//! that story: a [`FaultPlan`] is a deterministic, seed-replayable map
+//! from (rank, batch) and (transfer, attempt) coordinates to injected
+//! faults. The same seed always replays the identical schedule — the
+//! determinism contract the recovery tests lean on — so a failure seen
+//! once can be reproduced forever.
+//!
+//! The plan is *passive*: it never spawns timers or signals. The
+//! execution layers (`mcs-cluster`'s executed MPI runtime, `mcs-device`'s
+//! PCIe model) query it at well-defined points:
+//!
+//! * **rank deaths** — a rank scheduled to die at batch `d` completes
+//!   batches `0..d`, announces its departure at batch `d-1`'s status
+//!   barrier, and exits; survivors redistribute its quota.
+//! * **stragglers** — a multiplicative slowdown applied to a rank's
+//!   reported batch wall time (feeding the adaptive balancer).
+//! * **PCIe transfer faults** — corruptions and timeouts on individual
+//!   transfer attempts, driving the retry/backoff engine.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use mcs_rng::Lcg63;
+
+/// What went wrong with one PCIe transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFaultKind {
+    /// The payload arrived, but failed its integrity check; the full
+    /// payload time was spent before the error was detected.
+    Corrupt,
+    /// The transfer hung and was abandoned after the policy's timeout.
+    Timeout,
+}
+
+/// Retry/backoff policy for faulted transfers (capped exponential).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, seconds; doubles per retry.
+    pub backoff_base_s: f64,
+    /// Ceiling on any single backoff, seconds.
+    pub backoff_cap_s: f64,
+    /// Time charged for an attempt that times out, seconds.
+    pub timeout_s: f64,
+}
+
+impl RetryPolicy {
+    /// A sane default for the modeled PCIe 2.0 link: four attempts,
+    /// 100 µs initial backoff capped at 10 ms, 5 ms hang detection.
+    pub fn pcie_default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_s: 100e-6,
+            backoff_cap_s: 10e-3,
+            timeout_s: 5e-3,
+        }
+    }
+
+    /// Backoff slept after failed attempt `attempt` (1-based), seconds.
+    pub fn backoff_after(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(52);
+        (self.backoff_base_s * (1u64 << exp) as f64).min(self.backoff_cap_s)
+    }
+}
+
+/// Parameters for generating a random-but-seeded [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Ranks in the job.
+    pub n_ranks: usize,
+    /// Batches in the run.
+    pub n_batches: usize,
+    /// Per-rank probability of dying at some batch in `1..n_batches`.
+    pub death_p: f64,
+    /// Per-(rank, batch) probability of a straggler slowdown.
+    pub straggler_p: f64,
+    /// Slowdown factor range `[lo, hi]`, each >= 1.
+    pub straggler_range: (f64, f64),
+    /// Per-attempt probability a PCIe transfer arrives corrupted.
+    pub transfer_corrupt_p: f64,
+    /// Per-attempt probability a PCIe transfer times out.
+    pub transfer_timeout_p: f64,
+}
+
+/// A deterministic schedule of injected faults, replayable from its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// rank -> first batch the rank no longer participates in (>= 1).
+    deaths: BTreeMap<usize, usize>,
+    /// (rank, batch) -> wall-time multiplier (>= 1).
+    stragglers: BTreeMap<(usize, usize), f64>,
+    /// (transfer id, attempt) -> forced fault, checked before the
+    /// probabilistic draw.
+    forced_transfers: BTreeMap<(u64, u32), TransferFaultKind>,
+    transfer_corrupt_p: f64,
+    transfer_timeout_p: f64,
+}
+
+/// SplitMix64 finalizer: decorrelates the (seed, coordinate) hash that
+/// seeds each per-coordinate fault draw.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// One uniform in [0, 1) derived purely from (seed, domain, a, b).
+fn coord_uniform(seed: u64, domain: u64, a: u64, b: u64) -> f64 {
+    let h = mix64(seed ^ mix64(domain).wrapping_add(mix64(a).rotate_left(17)) ^ mix64(b));
+    Lcg63::new(h).next_uniform()
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            deaths: BTreeMap::new(),
+            stragglers: BTreeMap::new(),
+            forced_transfers: BTreeMap::new(),
+            transfer_corrupt_p: 0.0,
+            transfer_timeout_p: 0.0,
+        }
+    }
+
+    /// Generate a schedule from `spec`, deterministically in `seed`.
+    /// Calling this twice with the same arguments yields an identical
+    /// plan (asserted by tests — the replay contract).
+    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
+        assert!(spec.straggler_range.0 >= 1.0 && spec.straggler_range.1 >= spec.straggler_range.0);
+        let mut plan = Self::new(seed);
+        plan.transfer_corrupt_p = spec.transfer_corrupt_p;
+        plan.transfer_timeout_p = spec.transfer_timeout_p;
+        for rank in 0..spec.n_ranks {
+            let u = coord_uniform(seed, 0xdead, rank as u64, 0);
+            if u < spec.death_p && spec.n_batches > 1 {
+                let v = coord_uniform(seed, 0xdead, rank as u64, 1);
+                let batch = 1 + (v * (spec.n_batches - 1) as f64) as usize;
+                plan.deaths
+                    .insert(rank, batch.min(spec.n_batches - 1).max(1));
+            }
+            for batch in 0..spec.n_batches {
+                let u = coord_uniform(seed, 0x57a6, rank as u64, batch as u64);
+                if u < spec.straggler_p {
+                    let v = coord_uniform(seed, 0x57a7, rank as u64, batch as u64);
+                    let (lo, hi) = spec.straggler_range;
+                    plan.stragglers.insert((rank, batch), lo + v * (hi - lo));
+                }
+            }
+        }
+        plan
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedule rank `rank` to die at batch `batch` (it completes
+    /// batches `0..batch`; `batch >= 1` so at least one batch runs).
+    pub fn with_rank_death(mut self, rank: usize, batch: usize) -> Self {
+        assert!(batch >= 1, "a rank must survive at least batch 0");
+        self.deaths.insert(rank, batch);
+        self
+    }
+
+    /// Multiply rank `rank`'s reported wall time by `factor` at `batch`.
+    pub fn with_straggler(mut self, rank: usize, batch: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "a straggler can only be slower");
+        self.stragglers.insert((rank, batch), factor);
+        self
+    }
+
+    /// Force attempt `attempt` (1-based) of transfer `id` to fail.
+    pub fn with_transfer_fault(mut self, id: u64, attempt: u32, kind: TransferFaultKind) -> Self {
+        self.forced_transfers.insert((id, attempt), kind);
+        self
+    }
+
+    /// Set probabilistic per-attempt corruption/timeout rates.
+    pub fn with_transfer_rates(mut self, corrupt_p: f64, timeout_p: f64) -> Self {
+        assert!(corrupt_p >= 0.0 && timeout_p >= 0.0 && corrupt_p + timeout_p <= 1.0);
+        self.transfer_corrupt_p = corrupt_p;
+        self.transfer_timeout_p = timeout_p;
+        self
+    }
+
+    /// The batch at which `rank` dies, if scheduled.
+    pub fn death_batch(&self, rank: usize) -> Option<usize> {
+        self.deaths.get(&rank).copied()
+    }
+
+    /// Whether `rank` is already dead when batch `batch` starts.
+    pub fn is_dead(&self, rank: usize, batch: usize) -> bool {
+        self.death_batch(rank).is_some_and(|d| batch >= d)
+    }
+
+    /// All scheduled deaths, in rank order.
+    pub fn deaths(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.deaths.iter().map(|(&r, &b)| (r, b))
+    }
+
+    /// All scheduled stragglers, in (rank, batch) order.
+    pub fn stragglers(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.stragglers.iter().map(|(&(r, b), &f)| (r, b, f))
+    }
+
+    /// Wall-time multiplier for `rank` at `batch` (1.0 = no slowdown).
+    pub fn straggler_factor(&self, rank: usize, batch: usize) -> f64 {
+        self.stragglers.get(&(rank, batch)).copied().unwrap_or(1.0)
+    }
+
+    /// The fault injected into attempt `attempt` (1-based) of transfer
+    /// `id`, if any. Forced faults win; otherwise a deterministic
+    /// per-(id, attempt) draw against the configured rates.
+    pub fn transfer_fault(&self, id: u64, attempt: u32) -> Option<TransferFaultKind> {
+        if let Some(&k) = self.forced_transfers.get(&(id, attempt)) {
+            return Some(k);
+        }
+        if self.transfer_corrupt_p <= 0.0 && self.transfer_timeout_p <= 0.0 {
+            return None;
+        }
+        let u = coord_uniform(self.seed, 0x9c1e, id, attempt as u64);
+        if u < self.transfer_corrupt_p {
+            Some(TransferFaultKind::Corrupt)
+        } else if u < self.transfer_corrupt_p + self.transfer_timeout_p {
+            Some(TransferFaultKind::Timeout)
+        } else {
+            None
+        }
+    }
+}
+
+/// What a recorded fault was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultRecordKind {
+    /// A rank left the job (first missed batch = the record's batch).
+    Death,
+    /// A rank reported a slowed batch, by this factor.
+    Straggler(f64),
+    /// A transfer attempt failed and was retried.
+    TransferRetry(TransferFaultKind),
+}
+
+/// One observed/injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    /// Batch coordinate of the event.
+    pub batch: usize,
+    /// Rank the event applies to.
+    pub rank: usize,
+    /// What happened.
+    pub kind: FaultRecordKind,
+}
+
+/// An ordered log of faults observed during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    /// Records in the order they were observed.
+    pub records: Vec<FaultRecord>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, rec: FaultRecord) {
+        self.records.push(rec);
+    }
+
+    /// Number of rank deaths recorded.
+    pub fn n_deaths(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.kind, FaultRecordKind::Death))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            n_ranks: 8,
+            n_batches: 20,
+            death_p: 0.4,
+            straggler_p: 0.15,
+            straggler_range: (1.5, 4.0),
+            transfer_corrupt_p: 0.05,
+            transfer_timeout_p: 0.02,
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identical_schedule() {
+        let a = FaultPlan::generate(0x5eed, &spec());
+        let b = FaultPlan::generate(0x5eed, &spec());
+        assert_eq!(a, b);
+        // Including the probabilistic transfer draws.
+        for id in 0..50u64 {
+            for attempt in 1..=4u32 {
+                assert_eq!(a.transfer_fault(id, attempt), b.transfer_fault(id, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::generate(1, &spec());
+        let b = FaultPlan::generate(2, &spec());
+        // Deterministic check (not flaky): these two specific seeds were
+        // verified to produce different schedules.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_deaths_respect_bounds() {
+        for seed in 0..32u64 {
+            let p = FaultPlan::generate(seed, &spec());
+            for (rank, batch) in p.deaths() {
+                assert!(rank < 8);
+                assert!((1..20).contains(&batch), "death at batch {batch}");
+            }
+            for (_, _, f) in p.stragglers() {
+                assert!((1.5..=4.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn is_dead_tracks_death_batch() {
+        let p = FaultPlan::new(1).with_rank_death(2, 3);
+        assert!(!p.is_dead(2, 0));
+        assert!(!p.is_dead(2, 2));
+        assert!(p.is_dead(2, 3));
+        assert!(p.is_dead(2, 7));
+        assert!(!p.is_dead(1, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn death_at_batch_zero_is_rejected() {
+        let _ = FaultPlan::new(1).with_rank_death(0, 0);
+    }
+
+    #[test]
+    fn forced_transfer_faults_win_over_draws() {
+        let p = FaultPlan::new(9)
+            .with_transfer_rates(0.0, 0.0)
+            .with_transfer_fault(7, 2, TransferFaultKind::Timeout);
+        assert_eq!(p.transfer_fault(7, 1), None);
+        assert_eq!(p.transfer_fault(7, 2), Some(TransferFaultKind::Timeout));
+        assert_eq!(p.transfer_fault(8, 2), None);
+    }
+
+    #[test]
+    fn transfer_rates_roughly_respected() {
+        let p = FaultPlan::new(0xabc).with_transfer_rates(0.25, 0.10);
+        let n = 20_000u64;
+        let (mut c, mut t) = (0, 0);
+        for id in 0..n {
+            match p.transfer_fault(id, 1) {
+                Some(TransferFaultKind::Corrupt) => c += 1,
+                Some(TransferFaultKind::Timeout) => t += 1,
+                None => {}
+            }
+        }
+        let (fc, ft) = (c as f64 / n as f64, t as f64 / n as f64);
+        assert!((fc - 0.25).abs() < 0.02, "corrupt rate {fc}");
+        assert!((ft - 0.10).abs() < 0.01, "timeout rate {ft}");
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_s: 1e-3,
+            backoff_cap_s: 5e-3,
+            timeout_s: 1e-2,
+        };
+        assert_eq!(p.backoff_after(1), 1e-3);
+        assert_eq!(p.backoff_after(2), 2e-3);
+        assert_eq!(p.backoff_after(3), 4e-3);
+        assert_eq!(p.backoff_after(4), 5e-3); // capped
+        assert_eq!(p.backoff_after(8), 5e-3);
+    }
+
+    #[test]
+    fn fault_log_counts_deaths() {
+        let mut log = FaultLog::new();
+        log.push(FaultRecord {
+            batch: 3,
+            rank: 1,
+            kind: FaultRecordKind::Death,
+        });
+        log.push(FaultRecord {
+            batch: 4,
+            rank: 0,
+            kind: FaultRecordKind::Straggler(2.0),
+        });
+        assert_eq!(log.n_deaths(), 1);
+        assert_eq!(log.records.len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Named event counters (errors, retries, fault events).
+//!
+//! The region timers in this crate answer "where did the time go"; the
+//! counters answer "how often did X happen" — PCIe retry attempts,
+//! corrupted transfers, exhausted backoff loops. Keys are ordered
+//! (`BTreeMap`) so reports and JSON renders are deterministic.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counts.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Fold another counter set into this one (summing shared keys).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, &v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Render as a stable JSON object (keys sorted).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("pcie.retries"), 0);
+        c.incr("pcie.retries");
+        c.add("pcie.retries", 2);
+        assert_eq!(c.get("pcie.retries"), 3);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_sums_shared_keys() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 10);
+        let mut b = Counters::new();
+        b.add("y", 5);
+        b.add("z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 15);
+        assert_eq!(a.get("z"), 7);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        assert_eq!(c.to_json(), "{\"a\": 1, \"b\": 2}");
+        assert_eq!(Counters::new().to_json(), "{}");
+    }
+
+    #[test]
+    fn iter_in_key_order() {
+        let mut c = Counters::new();
+        c.add("zz", 1);
+        c.add("aa", 2);
+        let keys: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["aa", "zz"]);
+    }
+}

@@ -28,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod json;
 pub mod report;
 pub mod timer;
 
+pub use counters::Counters;
 pub use json::ProfileSnapshot;
 pub use report::{Profile, ProfileCompare, RegionStats};
 pub use timer::{RegionGuard, ThreadProfiler};

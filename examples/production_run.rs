@@ -94,11 +94,8 @@ fn main() {
         &problem,
         4,
         &DistributedSettings {
-            total_particles: 3_000,
-            inactive: 2,
-            active: 3,
-            assignments: None,
             adaptive: true,
+            ..DistributedSettings::simple(3_000, 2, 3)
         },
     );
     for b in &dist.batches {

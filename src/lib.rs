@@ -22,6 +22,7 @@
 //! | [`cluster`] | `mcs-cluster` | strong/weak scaling with heterogeneous ranks |
 //! | [`prof`] | `mcs-prof` | TAU-like instrumentation |
 //! | [`multipole`] | `mcs-multipole` | windowed multipole / RSBench equivalent |
+//! | [`faults`] | `mcs-faults` | seeded fault injection: rank deaths, stragglers, transfer faults |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use mcs_cluster as cluster;
 pub use mcs_core as core;
 pub use mcs_device as device;
+pub use mcs_faults as faults;
 pub use mcs_geom as geom;
 pub use mcs_multipole as multipole;
 pub use mcs_prof as prof;

@@ -1,0 +1,231 @@
+//! Kill-and-resume determinism: the fault-injection layer's core
+//! contract, end to end.
+//!
+//! A distributed job that loses ranks mid-run — or loses *every* rank
+//! and restarts from its last checkpoint — must finish with final k-eff
+//! and tallies **bit-identical** (`f64::to_bits`) to the uninterrupted
+//! run. This extends the workspace's canonical-reduction guarantee
+//! across process death: RNG streams are keyed by global particle index,
+//! driver-chosen rank splits are chunk-aligned, and the tally all-reduce
+//! folds per-chunk partials in global index order, so neither
+//! redistribution nor restart can perturb a single bit.
+
+use std::sync::Arc;
+
+use mcs::cluster::{
+    resume_distributed_eigenvalue, run_distributed_eigenvalue, DistributedSettings,
+};
+use mcs::core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs::core::problem::Problem;
+use mcs::core::statepoint::resume_eigenvalue;
+use mcs::core::tally::Tallies;
+use mcs::faults::FaultPlan;
+
+const N: usize = 600;
+const INACTIVE: usize = 2;
+const ACTIVE: usize = 4;
+
+fn problem() -> Arc<Problem> {
+    Arc::new(Problem::test_small())
+}
+
+fn settings() -> DistributedSettings {
+    DistributedSettings {
+        checkpoint_every: Some(2),
+        ..DistributedSettings::simple(N, INACTIVE, ACTIVE)
+    }
+}
+
+fn serial_settings() -> EigenvalueSettings {
+    EigenvalueSettings {
+        particles: N,
+        inactive: INACTIVE,
+        active: ACTIVE,
+        mode: TransportMode::History,
+        entropy_mesh: (8, 8, 4),
+        mesh_tally: None,
+    }
+}
+
+/// `to_bits` equality on k-eff and all four float tallies.
+fn assert_bitwise(label: &str, k_a: f64, t_a: &Tallies, k_b: f64, t_b: &Tallies) {
+    assert_eq!(
+        k_a.to_bits(),
+        k_b.to_bits(),
+        "{label}: k-eff {k_a} vs {k_b}"
+    );
+    for (name, a, b) in [
+        ("track_length", t_a.track_length, t_b.track_length),
+        ("k_track", t_a.k_track, t_b.k_track),
+        ("k_collision", t_a.k_collision, t_b.k_collision),
+        ("k_absorption", t_a.k_absorption, t_b.k_absorption),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: {name} {a} vs {b}");
+    }
+    assert_eq!(t_a, t_b, "{label}: integer tallies diverged");
+}
+
+#[test]
+fn kill_then_resume_is_bitwise_identical_across_rank_counts() {
+    let p = problem();
+    // The reference: an uninterrupted serial run.
+    let serial = run_eigenvalue(&p, &serial_settings());
+
+    for n_ranks in [1usize, 2, 4] {
+        // Healthy uninterrupted distributed run, same rank count.
+        let healthy = run_distributed_eigenvalue(&p, n_ranks, &settings());
+        assert!(healthy.completed);
+        assert_bitwise(
+            &format!("{n_ranks} ranks healthy vs serial"),
+            healthy.k_mean,
+            &healthy.tallies,
+            serial.k_mean,
+            &serial.tallies,
+        );
+
+        // Kill every rank at batch 3 (after the batch-2 checkpoint): the
+        // job aborts, leaving a checkpoint at completed_batches = 2.
+        let mut killed_settings = settings();
+        let mut plan = FaultPlan::new(42 + n_ranks as u64);
+        for r in 0..n_ranks {
+            plan = plan.with_rank_death(r, 3);
+        }
+        killed_settings.fault_plan = Some(plan);
+        let killed = run_distributed_eigenvalue(&p, n_ranks, &killed_settings);
+        assert!(!killed.completed, "{n_ranks} ranks: job should have died");
+        let cp = killed.checkpoints.last().expect("checkpoint written");
+        assert_eq!(cp.completed_batches, 2);
+
+        // Resume path A: the distributed runtime, same rank count.
+        let resumed = resume_distributed_eigenvalue(&p, n_ranks, &settings(), cp);
+        assert!(resumed.completed);
+        assert_bitwise(
+            &format!("{n_ranks} ranks resumed vs serial"),
+            resumed.k_mean,
+            &resumed.tallies,
+            serial.k_mean,
+            &serial.tallies,
+        );
+
+        // Resume path B: the *serial* driver consumes the distributed
+        // checkpoint — the statepoint format and semantics are shared.
+        let serial_resumed = resume_eigenvalue(&p, &serial_settings(), cp);
+        assert_bitwise(
+            &format!("{n_ranks} ranks -> serial resume"),
+            serial_resumed.k_mean,
+            &serial_resumed.tallies,
+            serial.k_mean,
+            &serial.tallies,
+        );
+    }
+}
+
+#[test]
+fn partial_death_degrades_without_losing_a_bit() {
+    let p = problem();
+    let healthy = run_distributed_eigenvalue(&p, 4, &settings());
+
+    // Kill rank 0 specifically: the result must come from a surviving
+    // higher-numbered rank, still bit-identical.
+    let mut s = settings();
+    s.fault_plan = Some(FaultPlan::new(7).with_rank_death(0, 2));
+    let degraded = run_distributed_eigenvalue(&p, 4, &s);
+    assert!(degraded.completed);
+    assert_eq!(degraded.fault_log.n_deaths(), 1);
+    assert_bitwise(
+        "rank-0 death",
+        degraded.k_mean,
+        &degraded.tallies,
+        healthy.k_mean,
+        &healthy.tallies,
+    );
+
+    // Two staggered deaths out of four ranks.
+    let mut s = settings();
+    s.fault_plan = Some(
+        FaultPlan::new(9)
+            .with_rank_death(1, 2)
+            .with_rank_death(3, 4),
+    );
+    let degraded = run_distributed_eigenvalue(&p, 4, &s);
+    assert!(degraded.completed);
+    assert_eq!(degraded.fault_log.n_deaths(), 2);
+    assert_bitwise(
+        "staggered deaths",
+        degraded.k_mean,
+        &degraded.tallies,
+        healthy.k_mean,
+        &healthy.tallies,
+    );
+    // Dead ranks carry no particles after their deaths.
+    for b in &degraded.batches {
+        if b.index >= 2 {
+            assert_eq!(b.assignments[1], 0);
+        }
+        if b.index >= 4 {
+            assert_eq!(b.assignments[3], 0);
+        }
+        assert_eq!(b.assignments.iter().sum::<u64>(), N as u64);
+    }
+}
+
+#[test]
+fn resume_with_a_different_rank_count_is_still_bitwise() {
+    // The checkpoint is rank-count agnostic: die with 4 ranks, resume
+    // with 2 (or 1), and the bits still match the uninterrupted run.
+    let p = problem();
+    let healthy = run_distributed_eigenvalue(&p, 4, &settings());
+
+    let mut s = settings();
+    let mut plan = FaultPlan::new(1);
+    for r in 0..4 {
+        plan = plan.with_rank_death(r, 4);
+    }
+    s.fault_plan = Some(plan);
+    let killed = run_distributed_eigenvalue(&p, 4, &s);
+    assert!(!killed.completed);
+    let cp = killed.checkpoints.last().unwrap();
+
+    for resume_ranks in [1usize, 2] {
+        let resumed = resume_distributed_eigenvalue(&p, resume_ranks, &settings(), cp);
+        assert!(resumed.completed);
+        assert_bitwise(
+            &format!("resume with {resume_ranks} ranks"),
+            resumed.k_mean,
+            &resumed.tallies,
+            healthy.k_mean,
+            &healthy.tallies,
+        );
+    }
+}
+
+#[test]
+fn same_fault_seed_replays_the_same_run() {
+    use mcs::faults::FaultSpec;
+    let spec = FaultSpec {
+        n_ranks: 4,
+        n_batches: INACTIVE + ACTIVE,
+        death_p: 0.3,
+        straggler_p: 0.2,
+        straggler_range: (1.5, 3.0),
+        transfer_corrupt_p: 0.0,
+        transfer_timeout_p: 0.0,
+    };
+    let plan_a = FaultPlan::generate(123, &spec);
+    let plan_b = FaultPlan::generate(123, &spec);
+    assert_eq!(plan_a, plan_b, "same seed must replay the same schedule");
+
+    let p = problem();
+    let mut s = settings();
+    s.fault_plan = Some(plan_a);
+    let run_a = run_distributed_eigenvalue(&p, 4, &s);
+    s.fault_plan = Some(plan_b);
+    let run_b = run_distributed_eigenvalue(&p, 4, &s);
+    // Identical fault schedule → identical fault log and identical runs
+    // (deaths and all), whatever the schedule turned out to be.
+    assert_eq!(run_a.fault_log.records.len(), run_b.fault_log.records.len());
+    assert_eq!(run_a.fault_log.n_deaths(), run_b.fault_log.n_deaths());
+    assert_eq!(run_a.completed, run_b.completed);
+    assert_eq!(run_a.k_mean.to_bits(), run_b.k_mean.to_bits());
+    assert_eq!(run_a.tallies, run_b.tallies);
+}

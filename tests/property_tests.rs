@@ -120,3 +120,114 @@ fn geometry_ray_positions_always_resolve_after_nudge() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Statepoint serialization: round-trip fidelity and truncation safety.
+
+use mcs::core::particle::SourceSite;
+use mcs::core::statepoint::Statepoint;
+use mcs::core::tally::Tallies;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Finite only: NaN breaks PartialEq round-trip equality, and the
+    // engine never tallies non-finite values.
+    -1e15f64..1e15
+}
+
+fn arb_source() -> impl Strategy<Value = SourceSite> {
+    (finite_f64(), finite_f64(), finite_f64(), 1e-11f64..20.0).prop_map(|(x, y, z, e)| SourceSite {
+        pos: Vec3::new(x, y, z),
+        energy: e,
+    })
+}
+
+fn arb_tallies() -> impl Strategy<Value = Tallies> {
+    (
+        prop::array::uniform8(any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+    )
+        .prop_map(
+            |(by_mat, (np, seg, col), (abs, fis, leak), (tl, kt, kc, ka))| {
+                let mut t = Tallies {
+                    n_particles: np as u64,
+                    segments: seg as u64,
+                    collisions: col as u64,
+                    absorptions: abs as u64,
+                    fissions: fis as u64,
+                    leaks: leak as u64,
+                    track_length: tl,
+                    k_track: kt,
+                    k_collision: kc,
+                    k_absorption: ka,
+                    ..Default::default()
+                };
+                for (i, &m) in by_mat.iter().enumerate() {
+                    t.segments_by_material[i] = m as u64;
+                    t.collisions_by_material[i] = (m as u64).rotate_left(7);
+                    t.absorptions_by_material[i] = (m as u64).wrapping_mul(3);
+                    t.fissions_by_material[i] = (m as u64) ^ 0x5a5a;
+                }
+                t
+            },
+        )
+}
+
+fn arb_statepoint() -> impl Strategy<Value = Statepoint> {
+    (
+        any::<u64>(),
+        0usize..2_000,
+        prop::collection::vec(arb_source(), 0..64),
+        prop::collection::vec(finite_f64(), 0..32),
+        arb_tallies(),
+    )
+        .prop_map(
+            |(seed, completed_batches, source, k_history, tallies)| Statepoint {
+                seed,
+                completed_batches,
+                source,
+                k_history,
+                tallies,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn statepoint_roundtrips_bitwise(sp in arb_statepoint()) {
+        // Arbitrary batch counts, bank sizes, and tally shapes survive
+        // write→read with every field (floats included) bit-exact.
+        let mut buf = Vec::new();
+        sp.write_to(&mut buf).unwrap();
+        let back = Statepoint::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&back, &sp);
+        // And the float payloads really are to_bits-identical, not just
+        // PartialEq-close.
+        for (a, b) in sp.k_history.iter().zip(&back.k_history) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(sp.tallies.k_track.to_bits(), back.tallies.k_track.to_bits());
+    }
+
+    #[test]
+    fn truncated_statepoint_errors_never_panics(sp in arb_statepoint(), cut in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        sp.write_to(&mut buf).unwrap();
+        // Cut the stream at an arbitrary interior byte: every prefix
+        // must surface io::Error — reads past the end, bad counts, or a
+        // checksum mismatch — and never panic or return a statepoint.
+        let len = ((buf.len() - 1) as f64 * cut) as usize;
+        prop_assert!(Statepoint::read_from(&mut buf[..len].as_ref()).is_err());
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        // A stream that does not open with the magic is refused up
+        // front, whatever else it contains.
+        prop_assume!(junk.len() < 8 || &junk[..8] != b"MCSSTPT\x01");
+        prop_assert!(Statepoint::read_from(&mut junk.as_slice()).is_err());
+    }
+}
