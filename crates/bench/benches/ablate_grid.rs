@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mcs_bench::log_energies;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_xs::kernel::{macro_xs_direct, macro_xs_union};
 
 fn bench(c: &mut Criterion) {
     let cfg = ProblemConfig {
@@ -24,7 +23,7 @@ fn bench(c: &mut Criterion) {
             |es| {
                 let mut acc = 0.0;
                 for e in es {
-                    acc += macro_xs_direct(&problem.library, fuel, e).total;
+                    acc += problem.xs.macro_xs_direct(fuel, e).total;
                 }
                 acc
             },
@@ -37,7 +36,7 @@ fn bench(c: &mut Criterion) {
             |es| {
                 let mut acc = 0.0;
                 for e in es {
-                    acc += macro_xs_union(&problem.library, &problem.grid, fuel, e).total;
+                    acc += problem.xs.macro_xs(fuel, e).total;
                 }
                 acc
             },

@@ -1,0 +1,87 @@
+//! Ablation: energy-grid search backends behind the unified `XsContext` —
+//! per-nuclide binary search vs the unionized grid vs the hash-binned
+//! grid, swept over bank sizes.
+//!
+//! For each backend × bank size the harness measures SIMD-banked lookups
+//! per second and records the backend's index-structure memory, then
+//! re-verifies the determinism contract (bit-identical per-batch k across
+//! backends). A machine-readable summary lands in
+//! `results/BENCH_grid_backend.json` and the CSV in
+//! `results/BENCH_grid_backend.csv`.
+
+use mcs_bench::harness::grid_backend;
+use mcs_xs::GridBackendKind;
+
+fn assert_invariants(res: &grid_backend::GridBackendResult) {
+    assert!(
+        res.k_bits_identical(),
+        "backends disagree on per-batch k: {:?}",
+        res.batch_k_bits
+    );
+    let frac = res.hash_index_fraction();
+    assert!(
+        frac < 0.25,
+        "hash index is {:.1}% of unionized (must be < 25%)",
+        frac * 100.0
+    );
+    assert!(res.index_bytes_of(GridBackendKind::PerNuclideBinary) == 0);
+    for row in &res.rows {
+        assert!(
+            row.lookups_per_s > 0.0 && row.checksum > 0.0,
+            "degenerate sample: {row:?}"
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+
+    if quick {
+        // Smoke run under `cargo test`: tiny banks, invariants only —
+        // no timing claims, no JSON.
+        let res = grid_backend::run(0.02, false);
+        assert_invariants(&res);
+        println!("ablate_grid_backend: ok (test mode)");
+        return;
+    }
+
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let res = grid_backend::run(scale, true);
+    assert_invariants(&res);
+    res.artifact.write();
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = res
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"bank\": {}, \"lookups_per_second\": {:.1}, \"index_bytes\": {}, \"checksum\": {:.9e}}}",
+                r.backend.name(),
+                r.bank,
+                r.lookups_per_s,
+                r.index_bytes,
+                r.checksum
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"grid_backend\",\n  \"mcs_scale\": {scale},\n  \"k_bitwise_identical\": {},\n  \"hash_index_fraction_of_unionized\": {:.4},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        res.k_bits_identical(),
+        res.hash_index_fraction(),
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_grid_backend.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

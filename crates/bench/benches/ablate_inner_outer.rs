@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mcs_bench::log_energies;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_xs::kernel::{
-    batch_macro_xs_outer_simd, batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs,
-};
+use mcs_xs::MacroXs;
 
 const N: usize = 2_048;
 
@@ -27,19 +25,21 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("scalar_reference", |b| {
         b.iter(|| {
-            batch_macro_xs_scalar(&problem.library, &problem.grid, fuel, &energies, &mut out);
+            problem.xs.batch_macro_xs_seq(fuel, &energies, &mut out);
             out[N - 1].total
         })
     });
     g.bench_function("inner_loop_simd", |b| {
         b.iter(|| {
-            batch_macro_xs_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out);
+            problem.xs.batch_macro_xs_simd(fuel, &energies, &mut out);
             out[N - 1].total
         })
     });
     g.bench_function("outer_loop_simd", |b| {
         b.iter(|| {
-            batch_macro_xs_outer_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out);
+            problem
+                .xs
+                .batch_macro_xs_outer_simd(fuel, &energies, &mut out);
             out[N - 1].total
         })
     });

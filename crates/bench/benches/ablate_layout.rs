@@ -4,8 +4,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcs_bench::log_energies;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
-use mcs_xs::kernel::{macro_xs_simd, macro_xs_union_aos, macro_xs_union_soa};
-use mcs_xs::AosLibrary;
 
 fn bench(c: &mut Criterion) {
     let cfg = ProblemConfig {
@@ -14,7 +12,6 @@ fn bench(c: &mut Criterion) {
         ..Default::default()
     };
     let problem = Problem::hm(HmModel::Small, &cfg);
-    let aos = AosLibrary::build(&problem.library);
     let fuel = &problem.materials[0];
     let energies = log_energies(256, 11);
 
@@ -24,7 +21,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &e in &energies {
-                acc += macro_xs_union_aos(&aos, &problem.grid, fuel, e).total;
+                acc += problem.xs.macro_xs_aos(fuel, e).total;
             }
             acc
         })
@@ -33,7 +30,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &e in &energies {
-                acc += macro_xs_union_soa(&problem.soa, &problem.grid, fuel, e).total;
+                acc += problem.xs.macro_xs(fuel, e).total;
             }
             acc
         })
@@ -42,7 +39,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &e in &energies {
-                acc += macro_xs_simd(&problem.soa, &problem.grid, fuel, e).total;
+                acc += problem.xs.macro_xs_simd(fuel, e).total;
             }
             acc
         })

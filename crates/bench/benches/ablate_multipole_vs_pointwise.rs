@@ -6,7 +6,6 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mcs_bench::log_energies;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_multipole::{rsbench_driver, MultipoleLibrary, MultipoleSpec};
-use mcs_xs::kernel::macro_xs_union;
 
 const N: usize = 20_000;
 
@@ -37,7 +36,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &e in &energies {
-                acc += macro_xs_union(&problem.library, &problem.grid, fuel, e).total;
+                acc += problem.xs.macro_xs(fuel, e).total;
             }
             acc
         })

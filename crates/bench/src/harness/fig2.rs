@@ -15,7 +15,7 @@ use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::shape_of;
 use mcs_device::workload::{xs_lookup_banked, xs_lookup_scalar};
 use mcs_device::MachineSpec;
-use mcs_xs::kernel::{batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs};
+use mcs_xs::MacroXs;
 
 use super::{vprintln, Artifact};
 use crate::{fmt_secs, header_with_scale, log_energies, scaled_by, time_it};
@@ -80,8 +80,8 @@ pub fn run(scale: f64, verbose: bool) -> Fig2Result {
     vprintln!(
         verbose,
         "H.M. Large: {} nuclides, union grid {} points (built in {})\n",
-        problem.library.len(),
-        problem.grid.n_points(),
+        problem.xs.lib().len(),
+        problem.xs.search_points(),
         fmt_secs(t_build)
     );
     let fuel = &problem.materials[0];
@@ -106,14 +106,30 @@ pub fn run(scale: f64, verbose: bool) -> Fig2Result {
         let energies = log_energies(n, 0xF162);
         let mut out = vec![MacroXs::default(); n];
 
-        let (_, t_scalar) = time_it(|| {
-            batch_macro_xs_scalar(&problem.library, &problem.grid, fuel, &energies, &mut out)
-        });
-        let checksum_scalar: f64 = out.iter().map(|x| x.total).sum();
-
-        let (_, t_banked) =
-            time_it(|| batch_macro_xs_simd(&problem.soa, &problem.grid, fuel, &energies, &mut out));
-        let checksum_banked: f64 = out.iter().map(|x| x.total).sum();
+        // Interleaved median-of-N timings: the host measurements feed a
+        // *ratio* invariant, so the two kernels must sample the same
+        // epochs of machine state (frequency, contention on a shared
+        // core); the median then discards scheduler-noise outliers
+        // without favoring whichever kernel has the wider spread (a
+        // minimum would).
+        let mut ts_scalar = Vec::with_capacity(5);
+        let mut ts_banked = Vec::with_capacity(5);
+        let mut checksum_scalar = 0.0;
+        let mut checksum_banked = 0.0;
+        for _ in 0..5 {
+            let (_, t) = time_it(|| problem.xs.batch_macro_xs_seq(fuel, &energies, &mut out));
+            ts_scalar.push(t);
+            checksum_scalar = out.iter().map(|x| x.total).sum();
+            let (_, t) = time_it(|| problem.xs.batch_macro_xs_simd(fuel, &energies, &mut out));
+            ts_banked.push(t);
+            checksum_banked = out.iter().map(|x| x.total).sum();
+        }
+        let median = |ts: &mut Vec<f64>| {
+            ts.sort_by(f64::total_cmp);
+            ts[ts.len() / 2]
+        };
+        let t_scalar = median(&mut ts_scalar);
+        let t_banked = median(&mut ts_banked);
         let checksum_rel_err = ((checksum_scalar - checksum_banked) / checksum_scalar).abs();
 
         // Modeled times: the banked lookups on the MIC and the scalar

@@ -86,7 +86,7 @@ pub fn run(scale: f64, verbose: bool) -> Fig3Result {
         TransportKind::HistoryScalar,
     );
     let offload = OffloadModel::jlse();
-    let grid_bytes = (problem.grid.data_bytes() + problem.soa.data_bytes()) as f64;
+    let grid_bytes = (problem.xs.index_bytes() + problem.xs.data_bytes()) as f64;
 
     vprintln!(
         verbose,

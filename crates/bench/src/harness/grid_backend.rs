@@ -1,0 +1,186 @@
+//! Grid-backend ablation: lookup rate and index-structure memory for the
+//! three energy-grid search strategies behind [`mcs_xs::XsContext`] —
+//! per-nuclide binary search (the paper's baseline), the unionized grid
+//! (Leppänen, the paper's shared optimization), and the hash-binned grid
+//! (the XSBench-style memory-frugal alternative).
+//!
+//! Two claims are measured per backend × bank size:
+//!
+//! * **rate** — SIMD-banked macroscopic lookups per second over a Watt-ish
+//!   log-uniform energy bank (checksummed so the golden diff pins the
+//!   arithmetic, not just the timing);
+//! * **index bytes** — the memory the backend's search structures add on
+//!   top of the pointwise data (the unionized grid trades ~`n_union ×
+//!   n_nuclides × 4 B` for its O(1) second stage; the hash grid caps that
+//!   at `n_bins × n_nuclides × 4 B`).
+//!
+//! The determinism contract is re-verified end to end: a short
+//! history-mode eigenvalue per backend must produce bit-identical k per
+//! batch, since every backend resolves the same grid intervals.
+
+use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs_core::problem::Problem;
+use mcs_xs::{GridBackendKind, LibrarySpec, MacroXs, Material, NuclideLibrary, XsContext};
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, log_energies, scaled_by, time_it};
+
+/// One backend × bank-size sample.
+#[derive(Debug, Clone)]
+pub struct GridBackendRow {
+    /// Grid-search backend.
+    pub backend: GridBackendKind,
+    /// Bank size (scaled).
+    pub bank: usize,
+    /// MEASURED SIMD-banked lookup rate on this host (lookups/s).
+    pub lookups_per_s: f64,
+    /// Bytes of index structures this backend adds over the pointwise data.
+    pub index_bytes: usize,
+    /// Σ of the total cross sections over the bank (golden anchor).
+    pub checksum: f64,
+}
+
+/// Typed result of the grid-backend harness.
+#[derive(Debug, Clone)]
+pub struct GridBackendResult {
+    /// Rows grouped by backend, ascending bank size within each.
+    pub rows: Vec<GridBackendRow>,
+    /// Per-backend bit patterns of the per-batch track-length k from a
+    /// short history-mode eigenvalue (the cross-backend determinism
+    /// contract: all entries must be identical across backends).
+    pub batch_k_bits: Vec<(GridBackendKind, Vec<u64>)>,
+    /// The `BENCH_grid_backend` CSV.
+    pub artifact: Artifact,
+}
+
+impl GridBackendResult {
+    /// Index bytes reported for a backend (0 if absent).
+    pub fn index_bytes_of(&self, kind: GridBackendKind) -> usize {
+        self.rows
+            .iter()
+            .find(|r| r.backend == kind)
+            .map(|r| r.index_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Hash-binned index size as a fraction of the unionized index size.
+    pub fn hash_index_fraction(&self) -> f64 {
+        let union = self.index_bytes_of(GridBackendKind::Unionized) as f64;
+        self.index_bytes_of(GridBackendKind::HashBinned) as f64 / union.max(1.0)
+    }
+
+    /// True iff every backend produced bit-identical per-batch k.
+    pub fn k_bits_identical(&self) -> bool {
+        let (_, reference) = &self.batch_k_bits[0];
+        self.batch_k_bits.iter().all(|(_, bits)| bits == reference)
+    }
+}
+
+/// Run the backend × bank-size sweep at `scale`.
+pub fn run(scale: f64, verbose: bool) -> GridBackendResult {
+    if verbose {
+        header_with_scale(
+            "BENCH grid_backend",
+            "XS lookup rate and index memory per energy-grid backend (H.M. Small)",
+            scale,
+        );
+    }
+    // S(α,β)/URR removed, as in the paper's lookup micro-benchmark.
+    let lib = NuclideLibrary::build(&LibrarySpec::hm_small());
+    let fuel = Material::hm_fuel(&lib);
+    let contexts: Vec<XsContext> = GridBackendKind::ALL
+        .iter()
+        .map(|&k| XsContext::new(lib.clone(), k))
+        .collect();
+
+    vprintln!(
+        verbose,
+        "{:>10} {:>10} {:>16} {:>14} {:>14}",
+        "backend",
+        "bank",
+        "lookups/s meas",
+        "index bytes",
+        "checksum"
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for ctx in &contexts {
+        for &n in &[1_000usize, 10_000, 100_000] {
+            let n = scaled_by(n, scale);
+            let energies = log_energies(n, 0x6B1D);
+            let mut out = vec![MacroXs::default(); n];
+            let (_, secs) = time_it(|| ctx.batch_macro_xs_simd(&fuel, &energies, &mut out));
+            let checksum: f64 = out.iter().map(|x| x.total).sum();
+            let row = GridBackendRow {
+                backend: ctx.backend_kind(),
+                bank: n,
+                lookups_per_s: n as f64 / secs.max(1e-12),
+                index_bytes: ctx.index_bytes(),
+                checksum,
+            };
+            vprintln!(
+                verbose,
+                "{:>10} {:>10} {:>16.0} {:>14} {:>14.6e}",
+                row.backend.name(),
+                row.bank,
+                row.lookups_per_s,
+                row.index_bytes,
+                row.checksum
+            );
+            csv_rows.push(vec![
+                row.backend.name().to_string(),
+                row.bank.to_string(),
+                format!("{:.1}", row.lookups_per_s),
+                row.index_bytes.to_string(),
+                format!("{:.9e}", row.checksum),
+            ]);
+            rows.push(row);
+        }
+    }
+
+    // Determinism contract across backends: short history-mode
+    // eigenvalue, per-batch k bit patterns.
+    let settings = EigenvalueSettings {
+        particles: scaled_by(1_000, scale).max(100),
+        inactive: 1,
+        active: 2,
+        mode: TransportMode::History,
+        entropy_mesh: (4, 4, 4),
+        mesh_tally: None,
+    };
+    let batch_k_bits: Vec<(GridBackendKind, Vec<u64>)> = GridBackendKind::ALL
+        .iter()
+        .map(|&kind| {
+            let problem = Problem::test_small_with_backend(kind);
+            let res = run_eigenvalue(&problem, &settings);
+            let bits = res.batches.iter().map(|b| b.k_track.to_bits()).collect();
+            (kind, bits)
+        })
+        .collect();
+    if verbose {
+        let agree = {
+            let (_, reference) = &batch_k_bits[0];
+            batch_k_bits.iter().all(|(_, b)| b == reference)
+        };
+        println!(
+            "\nper-batch k bit-identical across backends: {}",
+            if agree { "yes" } else { "NO" }
+        );
+    }
+
+    GridBackendResult {
+        rows,
+        batch_k_bits,
+        artifact: Artifact {
+            name: "BENCH_grid_backend",
+            columns: vec![
+                "backend",
+                "bank_size",
+                "lookups_measured_per_s",
+                "index_bytes",
+                "checksum",
+            ],
+            rows: csv_rows,
+        },
+    }
+}

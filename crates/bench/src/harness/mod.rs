@@ -28,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod futurework;
+pub mod grid_backend;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -49,7 +49,7 @@ pub fn run(scale: f64, verbose: bool) -> Table2Result {
     };
     let small = Problem::hm(HmModel::Small, &cfg);
     let large = Problem::hm(HmModel::Large, &cfg);
-    let grid_bytes = |p: &Problem| (p.grid.data_bytes() + p.soa.data_bytes()) as f64;
+    let grid_bytes = |p: &Problem| (p.xs.index_bytes() + p.xs.data_bytes()) as f64;
 
     let mut rows = Vec::new();
     vprintln!(
@@ -63,7 +63,7 @@ pub fn run(scale: f64, verbose: bool) -> Table2Result {
         (
             ProblemShape {
                 nuclides_per_material: vec![34, 1, 3],
-                union_points: small.grid.n_points(),
+                union_points: small.xs.search_points(),
                 full_physics: false,
             },
             grid_bytes(&small),
@@ -72,7 +72,7 @@ pub fn run(scale: f64, verbose: bool) -> Table2Result {
         (
             ProblemShape {
                 nuclides_per_material: vec![320, 1, 3],
-                union_points: large.grid.n_points(),
+                union_points: large.xs.search_points(),
                 full_physics: false,
             },
             grid_bytes(&large),

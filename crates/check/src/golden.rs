@@ -83,6 +83,14 @@ pub fn policy(artifact: &str, column: &str, row_key: &str) -> ColumnPolicy {
             "hardware" => Exact,
             _ => Rel(0.02),
         },
+        "BENCH_grid_backend" => match column {
+            "backend" | "bank_size" | "index_bytes" => Exact,
+            c if c.ends_with("_measured_per_s") => Positive,
+            // The checksum is a deterministic float reduction, identical
+            // across hosts up to print precision.
+            "checksum" => Rel(1e-9),
+            _ => Rel(0.02),
+        },
         _ => Rel(0.02),
     }
 }

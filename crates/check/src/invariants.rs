@@ -15,7 +15,8 @@
 
 use crate::report::{check, Band, CheckOutcome};
 use mcs_bench::harness::{
-    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, table1, table2, table3,
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend, table1, table2,
+    table3,
 };
 use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
@@ -453,6 +454,38 @@ pub fn check_event_history_keff(scale: f64) -> Vec<CheckOutcome> {
             "worst per-batch relative k disagreement between the two drivers",
             max_rel,
             Band::AtMost(1e-12),
+        ),
+    ]
+}
+
+/// Grid-backend ablation — the unified lookup context's determinism and
+/// memory contracts across the three energy-grid search strategies.
+pub fn check_grid_backend(r: &grid_backend::GridBackendResult) -> Vec<CheckOutcome> {
+    let rates_positive = r
+        .rows
+        .iter()
+        .all(|row| row.lookups_per_s > 0.0 && row.checksum > 0.0);
+    vec![
+        check(
+            "GB.k_bitwise",
+            "grid_backend",
+            "per-batch k-eff is bit-identical across all three grid backends",
+            holds(r.k_bits_identical()),
+            Band::Holds,
+        ),
+        check(
+            "GB.hash_index_fraction",
+            "grid_backend",
+            "hash-binned index bytes as a fraction of the unionized index",
+            r.hash_index_fraction(),
+            Band::AtMost(0.25),
+        ),
+        check(
+            "GB.rates_positive",
+            "grid_backend",
+            "every backend x bank sample produced a positive lookup rate and checksum",
+            holds(rates_positive),
+            Band::Holds,
         ),
     ]
 }

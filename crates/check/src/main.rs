@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mcs_bench::harness::{
-    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, table1, table2, table3, Artifact,
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend, table1, table2,
+    table3, Artifact,
 };
 use mcs_check::invariants as inv;
 use mcs_check::{golden, CheckReport, GoldenOutcome};
@@ -119,6 +120,11 @@ fn main() {
     });
     step("eigenvalue", &mut |rep, _| {
         rep.invariants.extend(inv::check_event_history_keff(scale));
+    });
+    step("gridback", &mut |rep, arts| {
+        let r = grid_backend::run(scale, verbose);
+        rep.invariants.extend(inv::check_grid_backend(&r));
+        arts.push(r.artifact);
     });
 
     // Fresh CSVs go under results/check/ so a CI artifact upload always

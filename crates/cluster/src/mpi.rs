@@ -645,6 +645,27 @@ mod tests {
     }
 
     #[test]
+    fn distributed_run_is_backend_invariant() {
+        // The grid backend rides along inside the problem's `XsContext`;
+        // since every backend resolves identical grid intervals, the
+        // distributed per-batch k must be bit-identical across backends.
+        use mcs_core::problem::GridBackendKind;
+        let results: Vec<DistributedResult> = GridBackendKind::ALL
+            .iter()
+            .map(|&kind| {
+                let p = Arc::new(Problem::test_small_with_backend(kind));
+                run_distributed_eigenvalue(&p, 2, &settings(300))
+            })
+            .collect();
+        for other in &results[1..] {
+            assert_eq!(results[0].tallies, other.tallies);
+            for (a, b) in results[0].batches.iter().zip(&other.batches) {
+                assert_eq!(a.k_track.to_bits(), b.k_track.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn distributed_is_partition_invariant() {
         let p = problem();
         let mut s = settings(300);

@@ -366,6 +366,36 @@ mod tests {
     }
 
     #[test]
+    fn grid_backends_produce_bitwise_identical_batches() {
+        // The determinism contract of the unified lookup context: every
+        // grid backend resolves the same interpolation intervals, so both
+        // transport drivers yield bit-identical per-batch k under any of
+        // them.
+        use crate::problem::GridBackendKind;
+        let mut settings = EigenvalueSettings::test_scale();
+        for mode in [TransportMode::History, TransportMode::Event] {
+            settings.mode = mode;
+            let runs: Vec<EigenvalueResult> = GridBackendKind::ALL
+                .iter()
+                .map(|&kind| run_eigenvalue(&Problem::test_small_with_backend(kind), &settings))
+                .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0].k_mean.to_bits(), other.k_mean.to_bits());
+                assert_eq!(runs[0].tallies, other.tallies);
+                for (a, b) in runs[0].batches.iter().zip(&other.batches) {
+                    assert_eq!(
+                        a.k_track.to_bits(),
+                        b.k_track.to_bits(),
+                        "batch {} diverges across backends ({mode:?})",
+                        a.index
+                    );
+                    assert_eq!(a.entropy.to_bits(), b.entropy.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn survival_biasing_agrees_with_analog_k() {
         // Implicit capture is an unbiased game: k agrees with the analog
         // run within combined Monte Carlo noise, while histories live

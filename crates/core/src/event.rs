@@ -8,8 +8,8 @@
 //! 1. **Locate** — resolve each particle's cell (leaks terminate here).
 //! 2. **XS lookup** — the bank is bucketed by material and each bucket is
 //!    fed through the gather-indexed banked kernel
-//!    ([`mcs_xs::kernel::batch_macro_xs_simd_indexed`], Fig. 2's banked
-//!    lookup with the inner loop over nuclides vectorized).
+//!    ([`mcs_xs::XsContext::batch_macro_xs_simd_indexed`], Fig. 2's
+//!    banked lookup with the inner loop over nuclides vectorized).
 //! 3. **Distance sampling** — `d = −ln ξ / Σ_t` across the bank (the
 //!    Table I kernel): uniforms via the batched-stream fill in
 //!    `mcs-rng`, the negate/divide 8-wide in [`F64x8`].
@@ -38,7 +38,7 @@ use mcs_prof::ThreadProfiler;
 use mcs_rng::batch::lcg_fill_uniform;
 use mcs_rng::Lcg63;
 use mcs_simd::F64x8;
-use mcs_xs::kernel::{batch_macro_xs_simd_indexed, MacroXs};
+use mcs_xs::MacroXs;
 use rayon::prelude::*;
 
 use crate::history::{TransportOutcome, CHUNK};
@@ -175,6 +175,10 @@ pub fn run_event_transport_mesh(
     out.tallies.n_particles = n as u64;
     let mut stats = EventStats::default();
     let prof = ThreadProfiler::new();
+    // Lookup accounting comes from the instrumented context layer: the
+    // stage-2 batch drivers bump `problem.xs`'s counter, and the delta
+    // over this run is the pipeline's lookup count.
+    let lookups0 = problem.xs.lookups();
 
     let mut xs_buf: Vec<MacroXs> = vec![MacroXs::default(); n];
     let mut d_coll = vec![0.0f64; n];
@@ -264,8 +268,6 @@ pub fn run_event_transport_mesh(
                 buckets[m as usize].push(iu);
                 out.tallies.record_segment(m);
             }
-            stats.lookups += bank.n_alive() as u64;
-
             let tasks: Vec<(u32, &[u32])> = buckets
                 .iter()
                 .enumerate()
@@ -278,14 +280,9 @@ pub fn run_event_transport_mesh(
                 let mat = &problem.materials[mat_id as usize];
                 let mut base = [MacroXs::default(); CHUNK];
                 let m = idxs.len();
-                batch_macro_xs_simd_indexed(
-                    &problem.soa,
-                    &problem.grid,
-                    mat,
-                    energy,
-                    idxs,
-                    &mut base[..m],
-                );
+                problem
+                    .xs
+                    .batch_macro_xs_simd_indexed(mat, energy, idxs, &mut base[..m]);
                 for (k, &iu) in idxs.iter().enumerate() {
                     let i = iu as usize;
                     let mut xs = base[k];
@@ -295,8 +292,7 @@ pub fn run_event_transport_mesh(
                     if problem.physics.any() {
                         let mut r = unsafe { rng.get(i) };
                         apply_physics(
-                            &problem.library,
-                            &problem.grid,
+                            &problem.xs,
                             mat,
                             energy[i],
                             &problem.physics,
@@ -486,8 +482,7 @@ pub fn run_event_transport_mesh(
                             let mut wt = wt_before;
                             let mut seq = unsafe { sbw.get(i) };
                             let outcome = collide(
-                                &problem.library,
-                                &problem.grid,
+                                &problem.xs,
                                 &problem.materials[mat_id],
                                 &problem.physics,
                                 &problem.slots[mat_id],
@@ -567,6 +562,8 @@ pub fn run_event_transport_mesh(
 
     // Events discover sites in generation order; restore history order.
     sort_sites(&mut out.sites);
+
+    stats.lookups = problem.xs.lookups().saturating_sub(lookups0);
 
     // Stages are barrier-synchronized, so each region's inclusive time is
     // its stage's wall time; the sum is the staged region's wall time.

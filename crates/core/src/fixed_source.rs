@@ -198,6 +198,28 @@ mod tests {
     }
 
     #[test]
+    fn fixed_source_is_grid_backend_invariant() {
+        // Every grid backend resolves the same lower-bound index, so the
+        // full subcritical fission chains — source sampling, transport,
+        // progeny, and the leak spectrum — must be bitwise identical.
+        use crate::problem::GridBackendKind;
+        let reference = run_fixed_source(&Problem::test_small(), &settings(300));
+        for kind in GridBackendKind::ALL {
+            let problem = Problem::test_small_with_backend(kind);
+            let r = run_fixed_source(&problem, &settings(300));
+            assert_eq!(r.tallies, reference.tallies, "backend {}", kind.name());
+            assert_eq!(r.progeny, reference.progeny, "backend {}", kind.name());
+            assert_eq!(r.truncated_chains, reference.truncated_chains);
+            assert_eq!(
+                r.leak_spectrum,
+                reference.leak_spectrum,
+                "leak spectrum diverged under backend {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
     fn multiplication_matches_generation_resolved_k() {
         // The subcritical multiplication identity, generation-resolved:
         // the fixed-source chains start from the SAME flat fuel source

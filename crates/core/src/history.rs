@@ -180,8 +180,7 @@ fn transport_particle_inner(
         let outcome = {
             let _g = prof.map(|t| t.enter("sample_reaction"));
             collide(
-                &problem.library,
-                &problem.grid,
+                &problem.xs,
                 &problem.materials[cell.material as usize],
                 &problem.physics,
                 &problem.slots[cell.material as usize],

@@ -14,10 +14,9 @@
 
 use mcs_geom::Vec3;
 use mcs_rng::Lcg63;
-use mcs_xs::kernel::MacroXs;
 use mcs_xs::sab::{SabTable, SAB_CUTOFF};
 use mcs_xs::urr::UrrTable;
-use mcs_xs::{Material, NuclideLibrary, UnionGrid};
+use mcs_xs::{MacroXs, Material, XsContext};
 
 use crate::particle::Site;
 
@@ -124,8 +123,7 @@ impl MaterialSlots {
 /// makes the same simplification for its ptable "inelastic competition").
 #[allow(clippy::too_many_arguments)]
 pub fn apply_physics(
-    lib: &NuclideLibrary,
-    grid: &UnionGrid,
+    ctx: &XsContext,
     mat: &Material,
     e: f64,
     phys: &Physics,
@@ -143,11 +141,11 @@ pub fn apply_physics(
         let j = j as usize;
         let xi = rng.next_uniform();
         let fac = entry.table.sample(e, xi);
-        let u = grid.find(e);
         let k = mat.nuclides[j];
-        let micro = lib
+        let micro = ctx
+            .lib()
             .nuclide(k)
-            .micro_at_index(grid.nuclide_index(u, k as usize) as usize, e);
+            .micro_at_index(ctx.nuclide_index(e, k as usize) as usize, e);
         let adjusted = fac.apply(micro);
         let d = mat.densities[j];
         let dn = mat.densities_nu[j];
@@ -161,11 +159,11 @@ pub fn apply_physics(
         if sab.table.in_range(e) {
             let j = j as usize;
             let factor = sab.table.elastic_factor(e, sab.temperature);
-            let u = grid.find(e);
             let k = mat.nuclides[j];
-            let micro = lib
+            let micro = ctx
+                .lib()
                 .nuclide(k)
-                .micro_at_index(grid.nuclide_index(u, k as usize) as usize, e);
+                .micro_at_index(ctx.nuclide_index(e, k as usize) as usize, e);
             let delta = mat.densities[j] * (factor - 1.0) * micro.elastic;
             xs.elastic += delta;
             xs.total += delta;
@@ -313,8 +311,7 @@ pub enum CollisionOutcome {
 /// at `*seq`).
 #[allow(clippy::too_many_arguments)]
 pub fn collide(
-    lib: &NuclideLibrary,
-    grid: &UnionGrid,
+    ctx: &XsContext,
     mat: &Material,
     phys: &Physics,
     slots: &MaterialSlots,
@@ -351,7 +348,7 @@ pub fn collide(
         // Implicit capture.
         *weight *= 1.0 - xs.absorption / xs.total;
         // Always scatter.
-        scatter(lib, grid, mat, phys, slots, dir, energy, xs, rng);
+        scatter(ctx, mat, phys, slots, dir, energy, xs, rng);
         // Russian roulette.
         if *weight < weight_cutoff {
             if rng.next_uniform() < *weight / survival_weight {
@@ -392,7 +389,7 @@ pub fn collide(
         return CollisionOutcome::Absorbed { fission: false };
     }
 
-    scatter(lib, grid, mat, phys, slots, dir, energy, xs, rng);
+    scatter(ctx, mat, phys, slots, dir, energy, xs, rng);
     CollisionOutcome::Scattered
 }
 
@@ -401,8 +398,7 @@ pub fn collide(
 /// Σ_s), then outgoing kinematics.
 #[allow(clippy::too_many_arguments)]
 fn scatter(
-    lib: &NuclideLibrary,
-    grid: &UnionGrid,
+    ctx: &XsContext,
     mat: &Material,
     phys: &Physics,
     slots: &MaterialSlots,
@@ -416,14 +412,15 @@ fn scatter(
     // be chosen afterwards without a second walk.
     let xi_nuc = rng.next_uniform();
     let target = xi_nuc * (xs.elastic + xs.inelastic);
-    let u = grid.find(e_clamped(*energy));
+    let ix = ctx.indexer(e_clamped(*energy));
     let mut cum = 0.0;
     let mut chosen = mat.nuclides.len() - 1;
     let mut chosen_inelastic_frac = 0.0;
     for (j, (k, density)) in mat.iter().enumerate() {
-        let micro = lib
+        let micro = ctx
+            .lib()
             .nuclide(k)
-            .micro_at_index(grid.nuclide_index(u, k as usize) as usize, *energy);
+            .micro_at_index(ix.index(k as usize) as usize, *energy);
         let mut sig_s = density * micro.elastic;
         if let (Some(sab), Some(sj)) = (&phys.sab, slots.sab) {
             if sj as usize == j && sab.table.in_range(*energy) {
@@ -447,7 +444,7 @@ fn scatter(
 
     // Channel choice within the chosen nuclide.
     if chosen_inelastic_frac > 0.0 && rng.next_uniform() < chosen_inelastic_frac {
-        let nuc = lib.nuclide(k);
+        let nuc = ctx.lib().nuclide(k);
         let mu_cm = 2.0 * rng.next_uniform() - 1.0;
         let (e_out, mu_lab) = inelastic_kinematics(*energy, nuc.awr, nuc.q_inelastic, mu_cm);
         let phi = 2.0 * std::f64::consts::PI * rng.next_uniform();
@@ -469,7 +466,7 @@ fn scatter(
         *dir = dir.rotate_scatter(mu, phi);
         *energy = e_out.max(crate::E_FLOOR);
     } else {
-        let awr = lib.nuclide(k).awr;
+        let awr = ctx.lib().nuclide(k).awr;
         let kt = phys.kt_mev();
         if phys.free_gas && *energy < 400.0 * kt {
             let (e_out, d_out) = free_gas_scatter(*energy, *dir, awr, kt, rng);

@@ -2,10 +2,10 @@
 
 use mcs_geom::{hm_core, Geometry, HmConfig, Vec3};
 use mcs_rng::Lcg63;
-use mcs_xs::kernel::{macro_xs_simd, macro_xs_union, MacroXs};
 use mcs_xs::sab::SabTable;
 use mcs_xs::urr::UrrTable;
-use mcs_xs::{LibrarySpec, Material, NuclideLibrary, SoaLibrary, UnionGrid};
+pub use mcs_xs::GridBackendKind;
+use mcs_xs::{LibrarySpec, MacroXs, Material, NuclideLibrary, XsContext};
 
 use crate::particle::SourceSite;
 use crate::physics::sample_watt;
@@ -40,6 +40,8 @@ pub struct ProblemConfig {
     /// Doppler-broaden the fuel nuclides to this temperature (K);
     /// `0.0` = unbroadened baseline.
     pub fuel_temperature_k: f64,
+    /// Energy-grid search backend for all cross-section lookups.
+    pub grid_backend: GridBackendKind,
     /// Master seed (library synthesis + transport streams derive from it).
     pub seed: u64,
 }
@@ -53,6 +55,7 @@ impl Default for ProblemConfig {
             enable_urr: true,
             enable_free_gas: true,
             fuel_temperature_k: 0.0,
+            grid_backend: GridBackendKind::Unionized,
             seed: 0x4d43_5f30,
         }
     }
@@ -73,12 +76,9 @@ impl ProblemConfig {
 /// A fully assembled transport problem.
 #[derive(Debug, Clone)]
 pub struct Problem {
-    /// Nuclide data.
-    pub library: NuclideLibrary,
-    /// Unionized energy grid over the library.
-    pub grid: UnionGrid,
-    /// SoA flattening for the vectorized kernels.
-    pub soa: SoaLibrary,
+    /// The unified cross-section lookup context: library, layouts, and the
+    /// pluggable energy-grid backend.
+    pub xs: XsContext,
     /// Materials, indexed by the geometry's material ids
     /// (0 = fuel, 1 = clad, 2 = water).
     pub materials: Vec<Material>,
@@ -111,15 +111,22 @@ impl Problem {
     /// Build a small problem for unit tests (tiny nuclide library,
     /// single-assembly geometry).
     pub fn test_small() -> Self {
-        let cfg = ProblemConfig::test_scale();
+        Self::test_small_with_backend(GridBackendKind::Unionized)
+    }
+
+    /// [`Problem::test_small`] with an explicit grid backend — used by the
+    /// cross-backend bit-identity tests.
+    pub fn test_small_with_backend(backend: GridBackendKind) -> Self {
+        let cfg = ProblemConfig {
+            grid_backend: backend,
+            ..ProblemConfig::test_scale()
+        };
         let library =
             NuclideLibrary::build(&LibrarySpec::tiny().with_grid_density(cfg.grid_density));
         Self::assemble(library, &cfg)
     }
 
     fn assemble(library: NuclideLibrary, cfg: &ProblemConfig) -> Self {
-        let grid = UnionGrid::build(&library.nuclides);
-        let soa = SoaLibrary::build(&library);
         let materials = vec![
             Material::hm_fuel(&library),
             Material::hm_clad(&library),
@@ -154,9 +161,7 @@ impl Problem {
             .collect();
 
         Self {
-            library,
-            grid,
-            soa,
+            xs: XsContext::new(library, cfg.grid_backend),
             materials,
             geometry,
             physics,
@@ -171,11 +176,10 @@ impl Problem {
     #[inline]
     pub fn macro_xs(&self, mat_id: u32, e: f64, rng: &mut Lcg63) -> MacroXs {
         let mat = &self.materials[mat_id as usize];
-        let mut xs = macro_xs_union(&self.library, &self.grid, mat, e);
+        let mut xs = self.xs.macro_xs(mat, e);
         if self.physics.any() {
             apply_physics(
-                &self.library,
-                &self.grid,
+                &self.xs,
                 mat,
                 e,
                 &self.physics,
@@ -193,11 +197,10 @@ impl Problem {
     #[inline]
     pub fn macro_xs_vector(&self, mat_id: u32, e: f64, rng: &mut Lcg63) -> MacroXs {
         let mat = &self.materials[mat_id as usize];
-        let mut xs = macro_xs_simd(&self.soa, &self.grid, mat, e);
+        let mut xs = self.xs.macro_xs_simd(mat, e);
         if self.physics.any() {
             apply_physics(
-                &self.library,
-                &self.grid,
+                &self.xs,
                 mat,
                 e,
                 &self.physics,
@@ -254,8 +257,9 @@ mod tests {
     fn test_problem_assembles() {
         let p = Problem::test_small();
         assert_eq!(p.n_materials(), 3);
-        assert!(p.grid.n_points() > 100);
-        assert_eq!(p.grid.n_nuclides(), p.library.len());
+        let grid = p.xs.union_grid().expect("default backend is unionized");
+        assert!(grid.n_points() > 100);
+        assert_eq!(grid.n_nuclides(), p.xs.lib().len());
         assert!(p.physics.sab.is_some());
         assert_eq!(p.physics.urr.len(), 2);
         // Fuel contains the URR nuclides; water contains the sab nuclide.
@@ -295,10 +299,37 @@ mod tests {
         let e = 1.0e-9;
         let mut rng = Lcg63::new(1);
         let with = p.macro_xs(2, e, &mut rng);
-        // Compare against raw kernel (no physics).
-        let raw = macro_xs_union(&p.library, &p.grid, &p.materials[2], e);
+        // Compare against the raw context lookup (no physics).
+        let raw = p.xs.macro_xs(&p.materials[2], e);
         assert!(with.elastic > raw.elastic * 1.5, "sab enhancement missing");
         assert!((with.absorption - raw.absorption).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_backends_give_bitwise_identical_macro_xs_with_physics() {
+        let problems: Vec<Problem> = GridBackendKind::ALL
+            .iter()
+            .map(|&k| Problem::test_small_with_backend(k))
+            .collect();
+        // Span thermal (S(α,β)), URR, and fast energies.
+        for &e in &[1.0e-9, 5.0e-3, 0.5, 2.0] {
+            for mat_id in 0..3u32 {
+                let mut rngs: Vec<Lcg63> = (0..problems.len()).map(|_| Lcg63::new(42)).collect();
+                let xs: Vec<MacroXs> = problems
+                    .iter()
+                    .zip(rngs.iter_mut())
+                    .map(|(p, r)| p.macro_xs(mat_id, e, r))
+                    .collect();
+                for other in &xs[1..] {
+                    assert_eq!(xs[0].total.to_bits(), other.total.to_bits());
+                    assert_eq!(xs[0].nu_fission.to_bits(), other.nu_fission.to_bits());
+                    assert_eq!(xs[0].elastic.to_bits(), other.elastic.to_bits());
+                }
+                for r in &rngs[1..] {
+                    assert_eq!(&rngs[0], r, "rng consumption must match across backends");
+                }
+            }
+        }
     }
 
     #[test]

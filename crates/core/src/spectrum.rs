@@ -7,7 +7,7 @@
 //! (Watt) fast peak around 1 MeV — which the tests assert.
 
 /// A log-uniform energy-binned track-length tally.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpectrumTally {
     /// Lower edge of the first bin (MeV).
     pub e_min: f64,

@@ -174,8 +174,7 @@ pub fn transport_with_splitting(
             out.tallies.k_collision += p.weight * xs.nu_fission / xs.total;
 
             let outcome = collide(
-                &problem.library,
-                &problem.grid,
+                &problem.xs,
                 &problem.materials[cell.material as usize],
                 &problem.physics,
                 &problem.slots[cell.material as usize],

@@ -23,11 +23,14 @@ pub enum TransportKind {
     EventBanked,
 }
 
-/// Extract the cost-model shape from a problem.
+/// Extract the cost-model shape from a problem. The search-space size
+/// comes from the instrumented context layer: for the unionized backend
+/// this is the union point count, for the alternatives the equivalent
+/// per-lookup search space ([`mcs_xs::XsContext::search_points`]).
 pub fn shape_of(problem: &Problem) -> ProblemShape {
     ProblemShape {
         nuclides_per_material: problem.materials.iter().map(|m| m.len()).collect(),
-        union_points: problem.grid.n_points(),
+        union_points: problem.xs.search_points(),
         full_physics: problem.physics.any(),
     }
 }

@@ -1,7 +1,7 @@
 //! JSON serialization of profiles.
 //!
 //! `mcs-check` embeds measured profiles in its machine-readable
-//! `check_report.json`, so [`Profile`](crate::Profile) needs a stable,
+//! `check_report.json`, so [`crate::Profile`] needs a stable,
 //! dependency-free wire format. [`ProfileSnapshot`] is the owned
 //! (String-keyed) mirror of a `Profile`; it serializes to a small JSON
 //! object and parses back exactly, so round-tripping is lossless:

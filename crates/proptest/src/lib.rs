@@ -6,7 +6,7 @@
 //!
 //! * the [`proptest!`] macro (multiple `#[test]` fns, `pat in strategy`
 //!   binders, optional `#![proptest_config(...)]` header);
-//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples,
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges, tuples,
 //!   `any::<T>()`, `prop::collection::vec`, and `prop::array::uniform*`;
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
 //!   `prop_assume!`.

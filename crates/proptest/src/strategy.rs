@@ -155,7 +155,7 @@ pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, len }
 }
 
-/// Strategy produced by [`vec`].
+/// Strategy produced by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     len: Range<usize>,

@@ -201,6 +201,53 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_single_point_grids_stay_in_bounds() {
+        let mut nucs = small_set();
+        let mut one = nucs[0].clone();
+        one.energy = vec![1.0e-6];
+        one.total = vec![1.0];
+        nucs.push(one);
+        let g = UnionGrid::build(&nucs);
+        // The one-point nuclide's index must stay 0 at every union point.
+        for u in 0..g.n_points() {
+            assert_eq!(g.nuclide_index(u, 3), 0);
+        }
+        // And the regular nuclides' indices must stay within the last
+        // interpolable interval.
+        for u in 0..g.n_points() {
+            for (k, n) in nucs.iter().take(3).enumerate() {
+                assert!((g.nuclide_index(u, k) as usize) <= n.energy.len() - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_energies_across_nuclides_dedup() {
+        let nucs = small_set();
+        let twin = vec![nucs[0].clone(), nucs[0].clone()];
+        let g = UnionGrid::build(&twin);
+        // Identical grids merge to one copy of the points...
+        assert_eq!(g.n_points(), nucs[0].energy.len());
+        // ...and both nuclides share every index row entry.
+        for u in 0..g.n_points() {
+            assert_eq!(g.nuclide_index(u, 0), g.nuclide_index(u, 1));
+        }
+    }
+
+    #[test]
+    fn one_nuclide_library_builds_and_maps_identity() {
+        let nucs = vec![small_set().remove(1)];
+        let g = UnionGrid::build(&nucs);
+        assert_eq!(g.n_nuclides(), 1);
+        assert_eq!(g.n_points(), nucs[0].energy.len());
+        for u in 0..g.n_points() {
+            let i = g.nuclide_index(u, 0) as usize;
+            assert!(i <= nucs[0].energy.len() - 2);
+            assert_eq!(i, u.min(nucs[0].energy.len() - 2));
+        }
+    }
+
+    #[test]
     fn data_bytes_scales_with_points_and_nuclides() {
         let nucs = small_set();
         let g = UnionGrid::build(&nucs);

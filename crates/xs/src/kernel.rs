@@ -1,22 +1,29 @@
 //! Macroscopic cross-section kernels — the paper's bottleneck computation.
 //!
-//! Variants, in the order the paper develops them:
+//! This module holds the *arithmetic* of a macroscopic lookup; *index
+//! resolution* (which grid structure finds each nuclide's bracketing
+//! interval) is abstracted behind the crate-private `NuclideIndexer`
+//! trait and supplied by [`crate::context::XsContext`], which is the
+//! public API surface. The kernels come in two shapes:
 //!
-//! * [`macro_xs_direct`] — one binary search per nuclide (pre-Leppänen
-//!   baseline for the grid ablation).
-//! * [`macro_xs_union`] — scalar lookup with the unionized grid; this is
-//!   `calculate_xs()` in the history-based code.
-//! * [`macro_xs_union_aos`] / [`macro_xs_union_soa`] — the same lookup over
-//!   the flattened AoS / SoA layouts (layout ablation).
-//! * [`macro_xs_simd`] — the banked kernel's heart: the inner loop over
-//!   nuclides vectorized 8-wide with gathers (Algorithm 2 lines 11–14).
-//! * `batch_macro_xs_*` — whole-bank drivers for the Fig. 2
-//!   micro-benchmark, including the outer-loop-vectorized variant the
-//!   paper found *slower* (§III-A1).
+//! * `macro_xs_lanes_simd` — the banked kernel's heart: the inner loop
+//!   over nuclides vectorized 8-wide with gathers (Algorithm 2 lines
+//!   11–14, the configuration the paper found fastest).
+//! * `macro_xs_lanes_scalar` — a scalar transcription of the *same*
+//!   lane-striped accumulation: 8 lane accumulators per component, the
+//!   identical pairwise reduction tree, the identical scalar remainder.
+//!   Because every floating-point operation matches the vector kernel
+//!   lane for lane, scalar and SIMD results are bit-identical — the
+//!   repo's determinism contract extended down into the lookup layer.
+//!
+//! Cross-backend bit-identity then follows from index equality alone:
+//! every `NuclideIndexer` resolves the same interval index that a
+//! per-nuclide binary search would, so the interpolation arithmetic —
+//! shared here — sees identical inputs regardless of backend.
 
 use mcs_simd::F64x8;
 
-use crate::grid::{lower_bound_index, UnionGrid};
+use crate::grid::lower_bound_index;
 use crate::layout::{AosLibrary, SoaLibrary};
 use crate::library::NuclideLibrary;
 use crate::material::Material;
@@ -65,75 +72,101 @@ impl MacroXs {
     }
 }
 
-/// Scalar lookup, one binary search per nuclide (no union grid).
-pub fn macro_xs_direct(lib: &NuclideLibrary, mat: &Material, e: f64) -> MacroXs {
-    let mut acc = MacroXs::default();
-    for (j, (k, density)) in mat.iter().enumerate() {
-        let nuc = lib.nuclide(k);
-        acc.accumulate(density, mat.densities_nu[j], nuc.micro_at(e));
-    }
-    acc
-}
-
-/// Scalar lookup with the unionized grid (`calculate_xs()`).
-pub fn macro_xs_union(lib: &NuclideLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
-    let u = grid.find(e);
-    let row = grid.index_row(u);
-    let mut acc = MacroXs::default();
-    for (j, (k, density)) in mat.iter().enumerate() {
-        let nuc = lib.nuclide(k);
-        acc.accumulate(
-            density,
-            mat.densities_nu[j],
-            nuc.micro_at_index(row[k as usize] as usize, e),
-        );
-    }
-    acc
+/// Resolves, for one fixed energy, the bracketing interval index of each
+/// nuclide's grid (the value a per-nuclide binary search would return,
+/// clamped to the last interval). Implementations are the grid backends'
+/// inner loops, monomorphized into the kernels below.
+pub(crate) trait NuclideIndexer {
+    /// Interval index into nuclide `k`'s grid segment.
+    fn index(&self, k: usize) -> u32;
 }
 
 #[inline(always)]
-fn lerp_interval(e: f64, e0: f64, e1: f64) -> f64 {
+pub(crate) fn lerp_interval(e: f64, e0: f64, e1: f64) -> f64 {
     ((e - e0) / (e1 - e0)).clamp(0.0, 1.0)
 }
 
-/// Scalar lookup over the AoS layout.
-pub fn macro_xs_union_aos(aos: &AosLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
-    let u = grid.find(e);
-    let row = grid.index_row(u);
-    let mut acc = MacroXs::default();
-    for (j, (k, density)) in mat.iter().enumerate() {
-        let base = aos.offsets[k as usize] as usize;
-        let i = base + row[k as usize] as usize;
-        let p0 = &aos.points[i];
-        let p1 = &aos.points[i + 1];
-        let f = lerp_interval(e, p0.energy, p1.energy);
-        let fission = p0.fission + f * (p1.fission - p0.fission);
-        acc.total += density * (p0.total + f * (p1.total - p0.total));
-        acc.elastic += density * (p0.elastic + f * (p1.elastic - p0.elastic));
-        acc.inelastic += density * (p0.inelastic + f * (p1.inelastic - p0.inelastic));
-        acc.absorption += density * (p0.absorption + f * (p1.absorption - p0.absorption));
-        acc.fission += density * fission;
-        acc.nu_fission += mat.densities_nu[j] * fission;
+/// Pairwise reduction tree identical to [`F64x8::reduce_sum`].
+#[inline(always)]
+fn reduce8(mut acc: [f64; 8]) -> f64 {
+    let mut width = 4;
+    while width >= 1 {
+        for i in 0..width {
+            acc[i] += acc[i + width];
+        }
+        width /= 2;
     }
-    acc
+    acc[0]
 }
 
-/// Scalar lookup over the SoA layout.
-pub fn macro_xs_union_soa(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
-    let u = grid.find(e);
-    let row = grid.index_row(u);
-    let mut acc = MacroXs::default();
-    for (j, (k, density)) in mat.iter().enumerate() {
-        let i = soa.offsets[k as usize] as usize + row[k as usize] as usize;
-        let f = lerp_interval(e, soa.energy[i], soa.energy[i + 1]);
-        let lerp = |a: &[f64]| a[i] + f * (a[i + 1] - a[i]);
-        let fission = lerp(soa.fission.as_slice());
-        acc.total += density * lerp(soa.total.as_slice());
-        acc.elastic += density * lerp(soa.elastic.as_slice());
-        acc.inelastic += density * lerp(soa.inelastic.as_slice());
-        acc.absorption += density * lerp(soa.absorption.as_slice());
-        acc.fission += density * fission;
-        acc.nu_fission += mat.densities_nu[j] * fission;
+/// Scalar transcription of [`macro_xs_lanes_simd`]: identical lane
+/// striping, identical reduction tree, identical remainder — so the two
+/// agree to the bit for every backend.
+#[allow(clippy::needless_range_loop)] // explicit lane indices mirror the vector kernel
+pub(crate) fn macro_xs_lanes_scalar<I: NuclideIndexer>(
+    soa: &SoaLibrary,
+    mat: &Material,
+    e: f64,
+    ix: &I,
+) -> MacroXs {
+    let n = mat.len();
+
+    let energy = soa.energy.as_slice();
+    let total = soa.total.as_slice();
+    let elastic = soa.elastic.as_slice();
+    let inelastic = soa.inelastic.as_slice();
+    let absorption = soa.absorption.as_slice();
+    let fission = soa.fission.as_slice();
+
+    let mut acc_t = [0.0f64; 8];
+    let mut acc_s = [0.0f64; 8];
+    let mut acc_i = [0.0f64; 8];
+    let mut acc_a = [0.0f64; 8];
+    let mut acc_f = [0.0f64; 8];
+    let mut acc_nf = [0.0f64; 8];
+
+    let full = n / 8 * 8;
+    let mut j = 0;
+    while j < full {
+        for l in 0..8 {
+            let k = mat.nuclides[j + l] as usize;
+            let i = (soa.offsets[k] + ix.index(k)) as usize;
+            let e0 = energy[i];
+            let e1 = energy[i + 1];
+            let f = ((e - e0) / (e1 - e0)).clamp(0.0, 1.0);
+            let d = mat.densities[j + l];
+            acc_t[l] += d * (total[i] + f * (total[i + 1] - total[i]));
+            acc_s[l] += d * (elastic[i] + f * (elastic[i + 1] - elastic[i]));
+            acc_i[l] += d * (inelastic[i] + f * (inelastic[i + 1] - inelastic[i]));
+            acc_a[l] += d * (absorption[i] + f * (absorption[i + 1] - absorption[i]));
+            let sig_f = fission[i] + f * (fission[i + 1] - fission[i]);
+            acc_f[l] += d * sig_f;
+            acc_nf[l] += mat.densities_nu[j + l] * sig_f;
+        }
+        j += 8;
+    }
+
+    let mut acc = MacroXs {
+        total: reduce8(acc_t),
+        elastic: reduce8(acc_s),
+        inelastic: reduce8(acc_i),
+        absorption: reduce8(acc_a),
+        fission: reduce8(acc_f),
+        nu_fission: reduce8(acc_nf),
+    };
+
+    for jj in full..n {
+        let k = mat.nuclides[jj] as usize;
+        let i = (soa.offsets[k] + ix.index(k)) as usize;
+        let f = lerp_interval(e, energy[i], energy[i + 1]);
+        let d = mat.densities[jj];
+        let sig_f = fission[i] + f * (fission[i + 1] - fission[i]);
+        acc.total += d * (total[i] + f * (total[i + 1] - total[i]));
+        acc.elastic += d * (elastic[i] + f * (elastic[i + 1] - elastic[i]));
+        acc.inelastic += d * (inelastic[i] + f * (inelastic[i + 1] - inelastic[i]));
+        acc.absorption += d * (absorption[i] + f * (absorption[i + 1] - absorption[i]));
+        acc.fission += d * sig_f;
+        acc.nu_fission += mat.densities_nu[jj] * sig_f;
     }
     acc
 }
@@ -142,9 +175,12 @@ pub fn macro_xs_union_soa(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e:
 /// with gathers from the SoA arrays (the paper's `#pragma simd` on
 /// Algorithm 2 line 11, the choice that beat outer-loop vectorization).
 #[allow(clippy::needless_range_loop)] // explicit lane indices mirror the intrinsic style
-pub fn macro_xs_simd(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64) -> MacroXs {
-    let u = grid.find(e);
-    let row = grid.index_row(u);
+pub(crate) fn macro_xs_lanes_simd<I: NuclideIndexer>(
+    soa: &SoaLibrary,
+    mat: &Material,
+    e: f64,
+    ix: &I,
+) -> MacroXs {
     let n = mat.len();
 
     let ev = F64x8::splat(e);
@@ -165,11 +201,11 @@ pub fn macro_xs_simd(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64)
     let full = n / 8 * 8;
     let mut j = 0;
     while j < full {
-        // Per-lane flat indices: offsets[nuclide] + row[nuclide].
+        // Per-lane flat indices: offsets[nuclide] + resolved interval.
         let mut idx = [0u32; 8];
         for l in 0..8 {
             let k = mat.nuclides[j + l] as usize;
-            idx[l] = soa.offsets[k] + row[k];
+            idx[l] = soa.offsets[k] + ix.index(k);
         }
         let mut idx1 = [0u32; 8];
         for l in 0..8 {
@@ -222,7 +258,7 @@ pub fn macro_xs_simd(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64)
     // Scalar remainder.
     for jj in full..n {
         let k = mat.nuclides[jj] as usize;
-        let i = soa.offsets[k] as usize + row[k] as usize;
+        let i = (soa.offsets[k] + ix.index(k)) as usize;
         let f = lerp_interval(e, energy[i], energy[i + 1]);
         let d = mat.densities[jj];
         let sig_f = fission[i] + f * (fission[i + 1] - fission[i]);
@@ -236,63 +272,54 @@ pub fn macro_xs_simd(soa: &SoaLibrary, grid: &UnionGrid, mat: &Material, e: f64)
     acc
 }
 
-/// Whole-bank driver, scalar (the history-style reference for Fig. 2).
-pub fn batch_macro_xs_scalar(
+/// Sequential scalar lookup over the AoS layout (layout-ablation
+/// baseline; not part of the bit-identity contract).
+pub(crate) fn macro_xs_aos_seq<I: NuclideIndexer>(
+    aos: &AosLibrary,
+    mat: &Material,
+    e: f64,
+    ix: &I,
+) -> MacroXs {
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let base = aos.offsets[k as usize] as usize;
+        let i = base + ix.index(k as usize) as usize;
+        let p0 = &aos.points[i];
+        let p1 = &aos.points[i + 1];
+        let f = lerp_interval(e, p0.energy, p1.energy);
+        let fission = p0.fission + f * (p1.fission - p0.fission);
+        acc.total += density * (p0.total + f * (p1.total - p0.total));
+        acc.elastic += density * (p0.elastic + f * (p1.elastic - p0.elastic));
+        acc.inelastic += density * (p0.inelastic + f * (p1.inelastic - p0.inelastic));
+        acc.absorption += density * (p0.absorption + f * (p1.absorption - p0.absorption));
+        acc.fission += density * fission;
+        acc.nu_fission += mat.densities_nu[j] * fission;
+    }
+    acc
+}
+
+/// Sequential history-style lookup — the paper's `calculate_xs()` loop:
+/// one nuclide at a time through the per-nuclide structs, accumulated in
+/// material order with a single accumulator chain. This is the measured
+/// "history method" baseline of Fig. 2; transport uses the lane-striped
+/// paths above, which trade the sequential order for scalar/SIMD
+/// bit-identity (the two agree to rounding, not bits).
+pub(crate) fn macro_xs_seq<I: NuclideIndexer>(
     lib: &NuclideLibrary,
-    grid: &UnionGrid,
     mat: &Material,
-    energies: &[f64],
-    out: &mut [MacroXs],
-) {
-    assert_eq!(energies.len(), out.len());
-    for (e, o) in energies.iter().zip(out.iter_mut()) {
-        *o = macro_xs_union(lib, grid, mat, *e);
+    e: f64,
+    ix: &I,
+) -> MacroXs {
+    let mut acc = MacroXs::default();
+    for (j, (k, density)) in mat.iter().enumerate() {
+        let nuc = lib.nuclide(k);
+        acc.accumulate(
+            density,
+            mat.densities_nu[j],
+            nuc.micro_at_index(ix.index(k as usize) as usize, e),
+        );
     }
-}
-
-/// Whole-bank driver with the inner (nuclide) loop vectorized — the
-/// banked-lookup configuration the paper measures in Fig. 2.
-pub fn batch_macro_xs_simd(
-    soa: &SoaLibrary,
-    grid: &UnionGrid,
-    mat: &Material,
-    energies: &[f64],
-    out: &mut [MacroXs],
-) {
-    assert_eq!(energies.len(), out.len());
-    for (e, o) in energies.iter().zip(out.iter_mut()) {
-        *o = macro_xs_simd(soa, grid, mat, *e);
-    }
-}
-
-/// Banked-lookup driver addressing the bank through gather indices: lane
-/// `k` computes the cross section at `energy[indices[k]]` and writes it to
-/// `out[k]`.
-///
-/// The event loop's XS stage buckets live particles by material, which
-/// leaves each bucket a sorted-but-non-contiguous subset of the bank.
-/// This driver gathers those energies through a stack-resident staging
-/// tile and feeds the contiguous tile to [`batch_macro_xs_simd`], so no
-/// heap copy of the bucket's energies is ever materialized. Per element
-/// the result is exactly `macro_xs_simd(soa, grid, mat, energy[indices[k]])`.
-pub fn batch_macro_xs_simd_indexed(
-    soa: &SoaLibrary,
-    grid: &UnionGrid,
-    mat: &Material,
-    energy: &[f64],
-    indices: &[u32],
-    out: &mut [MacroXs],
-) {
-    assert_eq!(indices.len(), out.len());
-    const TILE: usize = 64;
-    let mut tile = [0.0f64; TILE];
-    for (idx_tile, out_tile) in indices.chunks(TILE).zip(out.chunks_mut(TILE)) {
-        let m = idx_tile.len();
-        for (slot, &i) in tile[..m].iter_mut().zip(idx_tile) {
-            *slot = energy[i as usize];
-        }
-        batch_macro_xs_simd(soa, grid, mat, &tile[..m], out_tile);
-    }
+    acc
 }
 
 /// Whole-bank driver vectorized across the *outer* (particle) loop:
@@ -300,16 +327,15 @@ pub fn batch_macro_xs_simd_indexed(
 /// paper notes this performs worse because the inner trip counts and
 /// table addresses diverge across lanes; it is kept for the ablation.
 #[allow(clippy::needless_range_loop)] // explicit lane indices mirror the intrinsic style
-pub fn batch_macro_xs_outer_simd(
+pub(crate) fn batch_outer_simd_with<I: NuclideIndexer, F: Fn(f64) -> I>(
     soa: &SoaLibrary,
-    grid: &UnionGrid,
     mat: &Material,
     energies: &[f64],
     out: &mut [MacroXs],
+    make_ix: F,
 ) {
     assert_eq!(energies.len(), out.len());
     let n = energies.len();
-    let n_nuc = grid.n_nuclides();
     let full = n / 8 * 8;
 
     let energy = soa.energy.as_slice();
@@ -321,12 +347,10 @@ pub fn batch_macro_xs_outer_simd(
 
     let mut p = 0;
     while p < full {
-        // Per-lane union interval (scalar binary searches — lane-divergent
-        // work that outer vectorization cannot hide).
-        let mut u = [0usize; 8];
-        for l in 0..8 {
-            u[l] = grid.find(energies[p + l]);
-        }
+        // Per-lane index resolution (lane-divergent work that outer
+        // vectorization cannot hide — for the unionized backend this is
+        // 8 scalar binary searches).
+        let ixs: [I; 8] = std::array::from_fn(|l| make_ix(energies[p + l]));
         let ev = F64x8::from_slice(&energies[p..]);
         let mut acc_t = F64x8::zero();
         let mut acc_s = F64x8::zero();
@@ -340,13 +364,12 @@ pub fn batch_macro_xs_outer_simd(
             let off = soa.offsets[k];
             let mut idx = [0u32; 8];
             for l in 0..8 {
-                idx[l] = off + grid.index_row(u[l])[k];
+                idx[l] = off + ixs[l].index(k);
             }
             let mut idx1 = [0u32; 8];
             for l in 0..8 {
                 idx1[l] = idx[l] + 1;
             }
-            let _ = n_nuc;
 
             let e0 = F64x8::gather(energy, idx);
             let e1 = F64x8::gather(energy, idx1);
@@ -387,7 +410,7 @@ pub fn batch_macro_xs_outer_simd(
         p += 8;
     }
     for pp in full..n {
-        out[pp] = macro_xs_union_soa(soa, grid, mat, energies[pp]);
+        out[pp] = macro_xs_lanes_scalar(soa, mat, energies[pp], &make_ix(energies[pp]));
     }
 }
 
@@ -405,139 +428,19 @@ pub fn soa_micro_total(soa: &SoaLibrary, k: usize, e: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::{LibrarySpec, NuclideLibrary};
 
-    struct Fixture {
-        lib: NuclideLibrary,
-        grid: UnionGrid,
-        soa: SoaLibrary,
-        aos: AosLibrary,
-        fuel: Material,
-        water: Material,
-    }
-
-    fn fixture() -> Fixture {
-        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
-        let grid = UnionGrid::build(&lib.nuclides);
-        let soa = SoaLibrary::build(&lib);
-        let aos = AosLibrary::build(&lib);
-        let fuel = Material::hm_fuel(&lib);
-        let water = Material::hm_water(&lib);
-        Fixture {
-            lib,
-            grid,
-            soa,
-            aos,
-            fuel,
-            water,
-        }
-    }
-
-    fn probe_energies() -> Vec<f64> {
-        let mut es = Vec::new();
-        let mut e = 2.3e-11;
-        while e < 19.0 {
-            es.push(e);
-            e *= 1.9;
-        }
-        es
+    #[test]
+    fn reduce8_matches_f64x8_reduce_sum() {
+        let a = [1.5, -2.25, 3.0, 4.0, 5.5, 6.0, 7.75, 8.0];
+        let scalar = reduce8(a);
+        let vector = F64x8::from_slice(&a).reduce_sum();
+        assert_eq!(scalar.to_bits(), vector.to_bits());
     }
 
     #[test]
-    fn union_equals_direct() {
-        let fx = fixture();
-        for &e in &probe_energies() {
-            let a = macro_xs_direct(&fx.lib, &fx.fuel, e);
-            let b = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
-            assert!(a.max_rel_diff(&b) < 1e-14, "e={e}");
-        }
-    }
-
-    #[test]
-    fn layouts_agree_with_reference() {
-        let fx = fixture();
-        for &e in &probe_energies() {
-            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
-            let aos = macro_xs_union_aos(&fx.aos, &fx.grid, &fx.fuel, e);
-            let soa = macro_xs_union_soa(&fx.soa, &fx.grid, &fx.fuel, e);
-            assert!(r.max_rel_diff(&aos) < 1e-14);
-            assert!(r.max_rel_diff(&soa) < 1e-14);
-        }
-    }
-
-    #[test]
-    fn simd_matches_scalar_within_reassociation() {
-        let fx = fixture();
-        for &e in &probe_energies() {
-            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
-            let v = macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, e);
-            assert!(r.max_rel_diff(&v) < 1e-12, "e={e} scalar={r:?} simd={v:?}");
-        }
-    }
-
-    #[test]
-    fn simd_handles_materials_smaller_than_vector_width() {
-        let fx = fixture();
-        // Water has 3 nuclides, all remainder.
-        for &e in &probe_energies() {
-            let r = macro_xs_union(&fx.lib, &fx.grid, &fx.water, e);
-            let v = macro_xs_simd(&fx.soa, &fx.grid, &fx.water, e);
-            assert!(r.max_rel_diff(&v) < 1e-12);
-        }
-    }
-
-    #[test]
-    fn batch_drivers_agree() {
-        let fx = fixture();
-        let es = probe_energies();
-        let mut a = vec![MacroXs::default(); es.len()];
-        let mut b = vec![MacroXs::default(); es.len()];
-        let mut c = vec![MacroXs::default(); es.len()];
-        batch_macro_xs_scalar(&fx.lib, &fx.grid, &fx.fuel, &es, &mut a);
-        batch_macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, &es, &mut b);
-        batch_macro_xs_outer_simd(&fx.soa, &fx.grid, &fx.fuel, &es, &mut c);
-        for i in 0..es.len() {
-            assert!(a[i].max_rel_diff(&b[i]) < 1e-12, "i={i}");
-            assert!(a[i].max_rel_diff(&c[i]) < 1e-12, "i={i}");
-        }
-    }
-
-    #[test]
-    fn indexed_driver_matches_elementwise_simd() {
-        let fx = fixture();
-        // An energy table larger than one staging tile, addressed by a
-        // scrambled, repeating index set (as material buckets are).
-        let energy: Vec<f64> = (0..150).map(|i| 2.3e-11 * 1.18f64.powi(i)).collect();
-        let indices: Vec<u32> = (0..150u32).map(|k| (k * 67 + 13) % 150).collect();
-        let mut out = vec![MacroXs::default(); indices.len()];
-        batch_macro_xs_simd_indexed(&fx.soa, &fx.grid, &fx.fuel, &energy, &indices, &mut out);
-        for (k, &i) in indices.iter().enumerate() {
-            let want = macro_xs_simd(&fx.soa, &fx.grid, &fx.fuel, energy[i as usize]);
-            assert_eq!(out[k], want, "k={k}");
-        }
-    }
-
-    #[test]
-    fn macro_xs_is_positive_and_total_consistent() {
-        let fx = fixture();
-        for &e in &probe_energies() {
-            let m = macro_xs_union(&fx.lib, &fx.grid, &fx.fuel, e);
-            assert!(m.total > 0.0);
-            assert!(m.fission >= 0.0);
-            assert!(m.absorption >= m.fission - 1e-15);
-            let sum = m.elastic + m.inelastic + m.absorption;
-            assert!((m.total - sum).abs() < 1e-9 * m.total);
-        }
-    }
-
-    #[test]
-    fn soa_micro_total_matches_nuclide() {
-        let fx = fixture();
-        for k in 0..fx.lib.len() {
-            let e = 1.3e-4;
-            let via_soa = soa_micro_total(&fx.soa, k, e);
-            let via_nuc = fx.lib.nuclide(k as u32).micro_at(e).total;
-            assert!((via_soa - via_nuc).abs() < 1e-12 * via_nuc.max(1.0));
-        }
+    fn lerp_interval_clamps() {
+        assert_eq!(lerp_interval(0.0, 1.0, 2.0), 0.0);
+        assert_eq!(lerp_interval(1.5, 1.0, 2.0), 0.5);
+        assert_eq!(lerp_interval(9.0, 1.0, 2.0), 1.0);
     }
 }

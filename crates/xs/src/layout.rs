@@ -6,10 +6,10 @@
 //! can measure exactly that transform:
 //!
 //! * [`AosLibrary`] — one array of [`GridPoint`] records per library
-//!   (energy + 4 reactions packed in 40 bytes). A scalar lookup touches one
+//!   (energy + 5 reactions packed in 48 bytes). A scalar lookup touches one
 //!   or two cache lines; a vector gather of one reaction across nuclides
 //!   touches eight.
-//! * [`SoaLibrary`] — five flat, 64-byte-aligned arrays. A vector gather of
+//! * [`SoaLibrary`] — six flat, 64-byte-aligned arrays. A vector gather of
 //!   one reaction across nuclides touches only that reaction's array.
 
 use mcs_simd::AVec64;
@@ -33,6 +33,10 @@ pub struct GridPoint {
     /// Fission cross section.
     pub fission: f64,
 }
+
+// The AoS record layout the ablation measures: energy + 5 reactions,
+// 6 × 8 = 48 bytes, no padding.
+const _: () = assert!(std::mem::size_of::<GridPoint>() == 48);
 
 /// Array-of-structs flattening: all nuclides' points concatenated.
 #[derive(Debug, Clone)]

@@ -19,32 +19,40 @@
 //! * [`grid`] — per-nuclide binary search and the *unionized energy grid*
 //!   (Leppänen's algorithm, the paper's ref. \[13\]) with per-nuclide index
 //!   maps.
+//! * [`hash`] — the hash-binned energy grid (the XSBench-style
+//!   memory-frugal alternative: log-spaced bins + bounded in-bin scan).
 //! * [`layout`] — AoS and SoA flattenings of the library (the paper's most
 //!   important MIC optimization is the AoS→SoA transform, §III-A1).
-//! * [`kernel`] — macroscopic cross-section kernels: scalar history-style
-//!   lookups and vectorized banked lookups (inner-loop-over-nuclides, as
+//! * [`kernel`] — the shared macroscopic lookup arithmetic: lane-striped
+//!   scalar and vectorized banked kernels (inner-loop-over-nuclides, as
 //!   the paper found fastest, plus the outer-loop variant for the
 //!   ablation).
+//! * [`context`] — [`XsContext`], the one public lookup surface: library +
+//!   layouts + a pluggable [`GridBackend`], instrumented, with all
+//!   backends and both scalar/SIMD paths bit-identical.
 //! * [`sab`] — S(α,β) thermal-scattering adjustment (branchy physics the
 //!   paper had to strip to vectorize; kept optional here).
 //! * [`urr`] — unresolved-resonance-range probability tables (Levitt's
 //!   method, the paper's ref. \[9\]).
 
 //! ```
-//! use mcs_xs::{LibrarySpec, Material, NuclideLibrary, UnionGrid};
-//! use mcs_xs::kernel::macro_xs_union;
+//! use mcs_xs::{GridBackendKind, LibrarySpec, Material, NuclideLibrary, XsContext};
 //!
 //! let lib = NuclideLibrary::build(&LibrarySpec::tiny());
-//! let grid = UnionGrid::build(&lib.nuclides);
-//! let fuel = Material::hm_fuel(&lib);
-//! let xs = macro_xs_union(&lib, &grid, &fuel, 1.0e-6); // 1 eV
+//! let ctx = XsContext::new(lib, GridBackendKind::Unionized);
+//! let fuel = Material::hm_fuel(ctx.lib());
+//! let xs = ctx.macro_xs(&fuel, 1.0e-6); // 1 eV
 //! assert!(xs.total > 0.0);
 //! assert!((xs.total - (xs.elastic + xs.absorption)).abs() < 1e-9 * xs.total);
+//! // Every backend and the SIMD path return bit-identical results.
+//! assert_eq!(xs, ctx.macro_xs_simd(&fuel, 1.0e-6));
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod grid;
+pub mod hash;
 pub mod kernel;
 pub mod layout;
 pub mod library;
@@ -53,7 +61,9 @@ pub mod nuclide;
 pub mod sab;
 pub mod urr;
 
+pub use context::{EnergyIndexer, GridBackend, GridBackendKind, XsContext};
 pub use grid::UnionGrid;
+pub use hash::HashGrid;
 pub use kernel::MacroXs;
 pub use layout::{AosLibrary, SoaLibrary};
 pub use library::{LibrarySpec, NuclideLibrary};

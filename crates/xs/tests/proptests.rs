@@ -1,31 +1,94 @@
 //! Property tests for the cross-section substrate.
 
+use std::sync::OnceLock;
+
 use mcs_xs::grid::lower_bound_index;
-use mcs_xs::kernel::{macro_xs_direct, macro_xs_simd, macro_xs_union};
 use mcs_xs::nuclide::{Nuclide, NuclideSpec};
-use mcs_xs::{LibrarySpec, Material, NuclideLibrary, SoaLibrary, UnionGrid};
+use mcs_xs::{GridBackendKind, LibrarySpec, Material, NuclideLibrary, XsContext};
 use proptest::prelude::*;
 
-fn fixture() -> (NuclideLibrary, UnionGrid, SoaLibrary, Material) {
-    let lib = NuclideLibrary::build(&LibrarySpec::tiny());
-    let grid = UnionGrid::build(&lib.nuclides);
-    let soa = SoaLibrary::build(&lib);
-    let fuel = Material::hm_fuel(&lib);
-    (lib, grid, soa, fuel)
+/// One context per backend over the shared tiny library, built once.
+fn contexts() -> &'static [XsContext; 3] {
+    static CTXS: OnceLock<[XsContext; 3]> = OnceLock::new();
+    CTXS.get_or_init(|| {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        [
+            XsContext::new(lib.clone(), GridBackendKind::PerNuclideBinary),
+            XsContext::new(lib.clone(), GridBackendKind::Unionized),
+            XsContext::new(lib, GridBackendKind::HashBinned),
+        ]
+    })
+}
+
+fn assert_bits_eq(a: &mcs_xs::MacroXs, b: &mcs_xs::MacroXs) -> Result<(), TestCaseError> {
+    for (x, y) in [
+        (a.total, b.total),
+        (a.elastic, b.elastic),
+        (a.inelastic, b.inelastic),
+        (a.absorption, b.absorption),
+        (a.fission, b.fission),
+        (a.nu_fission, b.nu_fission),
+    ] {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+    }
+    Ok(())
+}
+
+/// A random material over the tiny library: random nuclide multiset
+/// (repeats allowed, order scrambled) with random densities.
+fn random_material() -> impl Strategy<Value = Material> {
+    let n_nuclides = contexts()[0].lib().len() as u32;
+    prop::collection::vec((0..n_nuclides, 1.0e-6..10.0f64), 1..24)
+        .prop_map(|pairs| Material::new("prop", &pairs).with_nu(contexts()[0].lib()))
+}
+
+/// Energies spanning the tabulated range plus out-of-range extremes and
+/// exactly-on-grid-point values (the vendored proptest has no
+/// `prop_oneof`, so a selector integer picks the case class).
+fn probe_energy() -> impl Strategy<Value = f64> {
+    (0u32..8, 0u32..4, 0usize..4096, (-25.3f64)..3.0).prop_map(|(sel, k, i, loge)| {
+        match sel {
+            // Below the first tabulated point.
+            0 => mcs_xs::E_MIN / 7.0,
+            // Above the last tabulated point.
+            1 => mcs_xs::E_MAX * 3.0,
+            // The exact range endpoints.
+            2 => mcs_xs::E_MIN,
+            3 => mcs_xs::E_MAX,
+            // Exactly on a tabulated grid point of some nuclide.
+            4 | 5 => {
+                let nuc = contexts()[0].lib().nuclide(k);
+                nuc.energy[i % nuc.energy.len()]
+            }
+            // Log-uniform inside (and slightly beyond) the range.
+            _ => loge.exp(),
+        }
+    })
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// The tentpole contract: for any material, densities, and energy —
+    /// including out-of-range and exactly-on-grid-point energies — every
+    /// backend's `macro_xs` agrees *bitwise* with `macro_xs_direct`, and
+    /// the SIMD path agrees bitwise with the scalar path per backend.
     #[test]
-    fn lookup_paths_agree_at_any_energy(loge in (-25.3f64)..3.0) {
+    fn all_backends_bitwise_equal_direct(mat in random_material(), e in probe_energy()) {
+        let reference = contexts()[0].macro_xs_direct(&mat, e);
+        for ctx in contexts() {
+            let scalar = ctx.macro_xs(&mat, e);
+            let simd = ctx.macro_xs_simd(&mat, e);
+            assert_bits_eq(&scalar, &reference)?;
+            assert_bits_eq(&simd, &scalar)?;
+        }
+    }
+
+    #[test]
+    fn lookup_is_positive_and_consistent(loge in (-25.3f64)..3.0) {
         let e = loge.exp();
-        let (lib, grid, soa, fuel) = fixture();
-        let a = macro_xs_direct(&lib, &fuel, e);
-        let b = macro_xs_union(&lib, &grid, &fuel, e);
-        let c = macro_xs_simd(&soa, &grid, &fuel, e);
-        prop_assert!(a.max_rel_diff(&b) < 1e-13);
-        prop_assert!(a.max_rel_diff(&c) < 1e-11);
+        let fuel = Material::hm_fuel(contexts()[0].lib());
+        let a = contexts()[1].macro_xs(&fuel, e);
         prop_assert!(a.total > 0.0);
         prop_assert!(
             (a.total - (a.elastic + a.inelastic + a.absorption)).abs() < 1e-9 * a.total
@@ -46,14 +109,14 @@ proptest! {
     }
 
     #[test]
-    fn union_grid_index_map_consistent_at_random_points(loge in (-25.0f64)..2.9) {
-        let e = loge.exp();
-        let (lib, grid, _, _) = fixture();
-        let u = grid.find(e);
-        for (k, n) in lib.nuclides.iter().enumerate() {
-            let mapped = grid.nuclide_index(u, k) as usize;
-            let direct = lower_bound_index(&n.energy, e);
-            prop_assert_eq!(mapped, direct, "k={} e={}", k, e);
+    fn every_backend_resolves_binary_search_indices(e in probe_energy()) {
+        for ctx in contexts() {
+            let ix = ctx.indexer(e);
+            for (k, n) in ctx.lib().nuclides.iter().enumerate() {
+                let direct = lower_bound_index(&n.energy, e);
+                prop_assert_eq!(ix.index(k) as usize, direct, "{} k={} e={}",
+                    ctx.backend_kind().name(), k, e);
+            }
         }
     }
 
@@ -109,8 +172,28 @@ fn library_data_volumes_scale_with_nuclide_count() {
 
 #[test]
 fn union_grid_size_bounded_by_sum_of_parts() {
-    let lib = NuclideLibrary::build(&LibrarySpec::tiny());
-    let grid = UnionGrid::build(&lib.nuclides);
-    assert!(grid.n_points() <= lib.total_points());
-    assert!(grid.n_points() >= lib.nuclides.iter().map(|n| n.n_points()).max().unwrap());
+    let ctx = &contexts()[1];
+    let grid = ctx.union_grid().expect("unionized context");
+    assert!(grid.n_points() <= ctx.lib().total_points());
+    assert!(
+        grid.n_points()
+            >= ctx
+                .lib()
+                .nuclides
+                .iter()
+                .map(|n| n.n_points())
+                .max()
+                .unwrap()
+    );
+}
+
+#[test]
+fn hash_index_bytes_stay_under_quarter_of_unionized() {
+    let union = contexts()[1].index_bytes();
+    let hash = contexts()[2].index_bytes();
+    assert!(hash > 0);
+    assert!(
+        (hash as f64) < 0.25 * union as f64,
+        "hash {hash} union {union}"
+    );
 }

@@ -28,9 +28,9 @@ fn main() {
     println!(
         "built in {:.2?}: {} nuclides, {} union-grid points, grid {:.0} MB",
         t0.elapsed(),
-        problem.library.len(),
-        problem.grid.n_points(),
-        problem.grid.data_bytes() as f64 / 1e6
+        problem.xs.lib().len(),
+        problem.xs.search_points(),
+        problem.xs.index_bytes() as f64 / 1e6
     );
     println!(
         "geometry: {} cells, {} surfaces, {} lattices; core bounds {:.1} cm across",

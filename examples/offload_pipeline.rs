@@ -70,7 +70,7 @@ measured stage breakdown (this host):"
     // Price one banked-lookup round through the offload pipeline.
     let shape = shape_of(&problem);
     let model = OffloadModel::jlse();
-    let grid_bytes = (problem.grid.data_bytes() + problem.soa.data_bytes()) as f64;
+    let grid_bytes = (problem.xs.index_bytes() + problem.xs.data_bytes()) as f64;
     let b = model.breakdown(&shape, n, grid_bytes);
 
     println!("\noffload pipeline for one banked-lookup round of {n} particles (modeled, JLSE):");

@@ -15,8 +15,8 @@ fn main() {
     let problem = Problem::test_small();
     println!(
         "problem: {} nuclides, {} union grid points, {} materials",
-        problem.library.len(),
-        problem.grid.n_points(),
+        problem.xs.lib().len(),
+        problem.xs.search_points(),
         problem.n_materials()
     );
 

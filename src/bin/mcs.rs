@@ -135,14 +135,18 @@ fn cmd_info(args: &Args) {
     println!("model:          {}", args.model);
     println!(
         "nuclides:       {} ({} fuel)",
-        problem.library.len(),
-        problem.library.n_fuel
+        problem.xs.lib().len(),
+        problem.xs.lib().n_fuel
     );
-    println!("grid points:    {} (union)", problem.grid.n_points());
     println!(
-        "grid size:      {:.1} MB union + {:.1} MB pointwise",
-        problem.grid.data_bytes() as f64 / 1e6,
-        problem.soa.data_bytes() as f64 / 1e6
+        "grid points:    {} ({})",
+        problem.xs.search_points(),
+        problem.xs.backend_kind().name()
+    );
+    println!(
+        "grid size:      {:.1} MB index + {:.1} MB pointwise",
+        problem.xs.index_bytes() as f64 / 1e6,
+        problem.xs.data_bytes() as f64 / 1e6
     );
     println!(
         "geometry:       {} cells, {} surfaces, {} lattices",

@@ -117,7 +117,7 @@ fn offload_breakdown_consistent_with_real_problem_bytes() {
     let problem = Problem::test_small();
     let shape = shape_of(&problem);
     let model = OffloadModel::jlse();
-    let grid_bytes = (problem.grid.data_bytes() + problem.soa.data_bytes()) as f64;
+    let grid_bytes = (problem.xs.index_bytes() + problem.xs.data_bytes()) as f64;
     let b = model.breakdown(&shape, 10_000, grid_bytes);
     assert!(b.bank_bytes > 0.0);
     assert!(b.transfer_bank_s > b.banking_host_s);

@@ -8,9 +8,7 @@ use mcs::core::distance::{
 use mcs::core::problem::Problem;
 use mcs::rng::{Lcg63, StreamPartition};
 use mcs::simd::AVec32;
-use mcs::xs::kernel::{
-    batch_macro_xs_outer_simd, batch_macro_xs_scalar, batch_macro_xs_simd, MacroXs,
-};
+use mcs::xs::{GridBackendKind, MacroXs};
 
 fn probe_energies(n: usize) -> Vec<f64> {
     let mut rng = Lcg63::new(0x9e3);
@@ -29,9 +27,11 @@ fn all_lookup_kernels_agree_over_every_material() {
         let mut scalar = vec![MacroXs::default(); energies.len()];
         let mut simd = vec![MacroXs::default(); energies.len()];
         let mut outer = vec![MacroXs::default(); energies.len()];
-        batch_macro_xs_scalar(&problem.library, &problem.grid, mat, &energies, &mut scalar);
-        batch_macro_xs_simd(&problem.soa, &problem.grid, mat, &energies, &mut simd);
-        batch_macro_xs_outer_simd(&problem.soa, &problem.grid, mat, &energies, &mut outer);
+        problem.xs.batch_macro_xs(mat, &energies, &mut scalar);
+        problem.xs.batch_macro_xs_simd(mat, &energies, &mut simd);
+        problem
+            .xs
+            .batch_macro_xs_outer_simd(mat, &energies, &mut outer);
         for i in 0..energies.len() {
             assert!(
                 scalar[i].max_rel_diff(&simd[i]) < 1e-11,
@@ -56,13 +56,9 @@ fn lookup_kernels_preserve_reaction_consistency() {
     let problem = Problem::test_small();
     let energies = probe_energies(256);
     let mut out = vec![MacroXs::default(); energies.len()];
-    batch_macro_xs_simd(
-        &problem.soa,
-        &problem.grid,
-        &problem.materials[0],
-        &energies,
-        &mut out,
-    );
+    problem
+        .xs
+        .batch_macro_xs_simd(&problem.materials[0], &energies, &mut out);
     for xs in &out {
         assert!(xs.total > 0.0);
         assert!((xs.total - (xs.elastic + xs.inelastic + xs.absorption)).abs() < 1e-9 * xs.total);
@@ -118,14 +114,22 @@ fn distance_kernels_agree_and_have_exponential_statistics() {
 }
 
 #[test]
-fn union_grid_lookup_equals_per_nuclide_search_end_to_end() {
-    use mcs::xs::kernel::{macro_xs_direct, macro_xs_union};
-    let problem = Problem::test_small();
-    for &e in probe_energies(200).iter() {
-        for mat in &problem.materials {
-            let direct = macro_xs_direct(&problem.library, mat, e);
-            let union = macro_xs_union(&problem.library, &problem.grid, mat, e);
-            assert!(direct.max_rel_diff(&union) < 1e-13);
+fn every_grid_backend_equals_per_nuclide_search_end_to_end() {
+    for kind in GridBackendKind::ALL {
+        let problem = Problem::test_small_with_backend(kind);
+        for &e in probe_energies(200).iter() {
+            for mat in &problem.materials {
+                let direct = problem.xs.macro_xs_direct(mat, e);
+                let via_backend = problem.xs.macro_xs(mat, e);
+                assert_eq!(
+                    direct.total.to_bits(),
+                    via_backend.total.to_bits(),
+                    "{} {} e={e}",
+                    kind.name(),
+                    mat.name
+                );
+                assert!(direct.max_rel_diff(&via_backend) < 1e-13);
+            }
         }
     }
 }
