@@ -3,8 +3,8 @@
 //! the paper.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mcs_core::event::run_event_transport;
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, Algorithm, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::Problem;
 
 const N: usize = 400;
@@ -18,16 +18,29 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     g.bench_function("history_based", |b| {
+        let mut policy = Threaded::ambient();
         b.iter(|| {
-            run_histories(&problem, &sources, &streams)
-                .tallies
-                .collisions
+            transport_batch(
+                &problem,
+                &sources,
+                &streams,
+                &BatchRequest::default(),
+                &mut policy,
+            )
+            .outcome
+            .tallies
+            .collisions
         })
     });
     g.bench_function("event_based_banking", |b| {
+        let mut policy = Threaded::ambient();
+        let req = BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            ..BatchRequest::default()
+        };
         b.iter(|| {
-            run_event_transport(&problem, &sources, &streams)
-                .0
+            transport_batch(&problem, &sources, &streams, &req, &mut policy)
+                .outcome
                 .tallies
                 .collisions
         })

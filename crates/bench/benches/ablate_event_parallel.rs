@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use mcs_core::event::run_event_transport;
+use mcs_core::engine::{transport_batch, Algorithm, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::Problem;
 
@@ -44,7 +44,15 @@ fn time_config(problem: &Problem, bank: usize, threads: usize) -> Sample {
     let mut collisions = 0;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let (out, _) = pool.install(|| run_event_transport(problem, &sources, &streams));
+        let req = BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            ..BatchRequest::default()
+        };
+        let out = pool
+            .install(|| {
+                transport_batch(problem, &sources, &streams, &req, &mut Threaded::ambient())
+            })
+            .outcome;
         times.push(t0.elapsed().as_secs_f64());
         collisions = out.tallies.collisions;
     }

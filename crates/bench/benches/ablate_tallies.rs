@@ -4,7 +4,8 @@
 //! user-defined tallies are collected throughout phase space".
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mcs_core::history::{batch_streams, run_histories, run_histories_mesh, run_histories_spectrum};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::mesh::MeshSpec;
 use mcs_core::problem::Problem;
 
@@ -19,25 +20,41 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("tally_overhead");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
+    let mut policy = Threaded::ambient();
     g.bench_function("no_tallies_inactive_batch", |b| {
         b.iter(|| {
-            run_histories(&problem, &sources, &streams)
-                .tallies
-                .collisions
+            transport_batch(
+                &problem,
+                &sources,
+                &streams,
+                &BatchRequest::default(),
+                &mut policy,
+            )
+            .outcome
+            .tallies
+            .collisions
         })
     });
     g.bench_function("with_mesh_tally_active_batch", |b| {
+        let req = BatchRequest {
+            mesh: Some(mesh),
+            ..BatchRequest::default()
+        };
         b.iter(|| {
-            run_histories_mesh(&problem, &sources, &streams, Some(mesh))
-                .0
+            transport_batch(&problem, &sources, &streams, &req, &mut policy)
+                .outcome
                 .tallies
                 .collisions
         })
     });
     g.bench_function("with_energy_spectrum", |b| {
+        let req = BatchRequest {
+            spectrum: true,
+            ..BatchRequest::default()
+        };
         b.iter(|| {
-            run_histories_spectrum(&problem, &sources, &streams)
-                .0
+            transport_batch(&problem, &sources, &streams, &req, &mut policy)
+                .outcome
                 .tallies
                 .collisions
         })

@@ -14,7 +14,8 @@
 //! Generation time and the material mix are derived from a real measured
 //! transport run; per-operation times are modeled.
 
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::OffloadModel;
@@ -71,7 +72,14 @@ pub fn run(scale: f64, verbose: bool) -> Fig3Result {
     let n_probe = scaled_by(2_000, scale);
     let sources = problem.sample_initial_source(n_probe, 0);
     let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let shape = shape_of(&problem);
     let segs_pp = out.tallies.segments as f64 / n_probe as f64;
     vprintln!(

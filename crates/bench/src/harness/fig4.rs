@@ -7,7 +7,8 @@
 //! both machines, the MIC beats the CPU on exactly those bottleneck
 //! routines, and the total is ≈1.5–1.6× faster on the MIC.
 
-use mcs_core::history::{batch_streams, run_histories_profiled};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::MachineSpec;
@@ -57,7 +58,17 @@ pub fn run(scale: f64, verbose: bool) -> Fig4Result {
 
     // MEASURED host profile (single-threaded instrumented run).
     let prof = ThreadProfiler::new();
-    let out = run_histories_profiled(&problem, &sources, &streams, &prof);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            profiler: Some(&prof),
+            ..BatchRequest::default()
+        },
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let host_profile = prof.finish();
     vprintln!(verbose, "\nMEASURED host profile ({} histories):\n", n);
     if verbose {

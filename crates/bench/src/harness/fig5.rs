@@ -7,8 +7,8 @@
 //! Checks: MIC ≈ 1.5–2× the CPU above 10⁴ particles, consistent
 //! α_i/α_a ≈ 0.61–0.62, and collapsing rates at small batch sizes.
 
-use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{self, transport_batch, BatchRequest, RunPlan, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::MachineSpec;
@@ -99,7 +99,14 @@ pub fn run(scale: f64, verbose: bool) -> Fig5Result {
         for (label, batch_index) in [("inactive", 0u64), ("active", 1u64)] {
             let sources = problem.sample_initial_source(n, batch_index);
             let streams = batch_streams(problem.seed, batch_index, n);
-            let out = run_histories(&problem, &sources, &streams);
+            let out = transport_batch(
+                &problem,
+                &sources,
+                &streams,
+                &BatchRequest::default(),
+                &mut Threaded::ambient(),
+            )
+            .outcome;
             let r_cpu = host.calc_rate(&shape, &out.tallies);
             let r_mic = mic.calc_rate(&shape, &out.tallies);
             let alpha = r_cpu / r_mic;
@@ -142,15 +149,16 @@ pub fn run(scale: f64, verbose: bool) -> Fig5Result {
     // Also demonstrate a real (measured, this-host) eigenvalue run with
     // converging source, to show rates are stable across batches.
     let n = scaled_by(2_000, scale);
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: n,
         inactive: 2,
         active: 3,
-        mode: TransportMode::History,
         entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
-    let result = run_eigenvalue(&problem, &settings);
+    let result = engine::run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     vprintln!(
         verbose,
         "\nreal eigenvalue run on this host: k = {:.5} ± {:.5}, mean rate {:.0} n/s (measured)",

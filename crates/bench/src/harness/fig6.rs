@@ -9,7 +9,8 @@
 //! 2-MIC curve stopping at 384 nodes (Stampede's partition size).
 
 use mcs_cluster::{strong_scaling, CommModel, NodeSpec, ScalingPoint};
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::MachineSpec;
@@ -62,7 +63,14 @@ fn stampede_rates(scale: f64) -> (f64, f64) {
     let n_probe = scaled_by(2_000, scale);
     let sources = problem.sample_initial_source(n_probe, 0);
     let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let t = out.tallies.scaled_to(100_000);
     let cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar);
     let mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar);

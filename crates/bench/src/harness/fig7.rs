@@ -5,7 +5,8 @@
 //! paper's footnoted claim) the curve stays flat out to 2¹⁰ nodes.
 
 use mcs_cluster::{min_efficiency, weak_scaling, CommModel, NodeSpec, ScalingPoint};
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::MachineSpec;
@@ -49,7 +50,14 @@ pub fn run(scale: f64, verbose: bool) -> Fig7Result {
     let n_probe = scaled_by(2_000, scale);
     let sources = problem.sample_initial_source(n_probe, 0);
     let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let t = out.tallies.scaled_to(100_000);
     let r_cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar)
         .calc_rate(&shape, &t);

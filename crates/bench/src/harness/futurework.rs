@@ -12,7 +12,8 @@
 
 use mcs_cluster::adaptive::{simulate_adaptive, static_alpha_wall};
 use mcs_cluster::Rank;
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::power::{batch_energy, PowerSpec};
@@ -73,7 +74,14 @@ pub fn run(scale: f64, verbose: bool) -> FutureworkResult {
     let n_probe = scaled_by(2_000, scale);
     let sources = problem.sample_initial_source(n_probe, 0);
     let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let t = out.tallies.scaled_to(100_000);
 
     let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);

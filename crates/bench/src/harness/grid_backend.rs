@@ -18,7 +18,7 @@
 //! history-mode eigenvalue per backend must produce bit-identical k per
 //! batch, since every backend resolves the same grid intervals.
 
-use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs_core::engine::{self, RunPlan, Threaded};
 use mcs_core::problem::Problem;
 use mcs_xs::{GridBackendKind, LibrarySpec, MacroXs, Material, NuclideLibrary, XsContext};
 
@@ -140,19 +140,20 @@ pub fn run(scale: f64, verbose: bool) -> GridBackendResult {
 
     // Determinism contract across backends: short history-mode
     // eigenvalue, per-batch k bit patterns.
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: scaled_by(1_000, scale).max(100),
         inactive: 1,
         active: 2,
-        mode: TransportMode::History,
         entropy_mesh: (4, 4, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
     let batch_k_bits: Vec<(GridBackendKind, Vec<u64>)> = GridBackendKind::ALL
         .iter()
         .map(|&kind| {
             let problem = Problem::test_small_with_backend(kind);
-            let res = run_eigenvalue(&problem, &settings);
+            let res = engine::run_with_problem(&problem, &plan, &mut Threaded::ambient())
+                .into_eigenvalue()
+                .result;
             let bits = res.batches.iter().map(|b| b.k_track.to_bits()).collect();
             (kind, bits)
         })

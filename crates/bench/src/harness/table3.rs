@@ -5,7 +5,8 @@
 //! Rank rates come from the native models priced on a real measured
 //! transport run; the symmetric-mode arithmetic is then exact.
 
-use mcs_core::history::{batch_streams, run_histories};
+use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::{MachineSpec, SymmetricModel};
@@ -67,7 +68,14 @@ pub fn run(scale: f64, verbose: bool) -> Table3Result {
     let n_probe = scaled_by(2_000, scale);
     let sources = problem.sample_initial_source(n_probe, 0);
     let streams = batch_streams(problem.seed, 0, n_probe);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let t = out.tallies.scaled_to(100_000);
 
     let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);

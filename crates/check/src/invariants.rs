@@ -13,12 +13,12 @@
 //! are gated on `scale >= 1.0`; at the reduced CI scale the MODELED
 //! invariants carry those claims.
 
-use crate::report::{check, Band, CheckOutcome};
+use crate::report::{check, check_warn, Band, CheckOutcome};
 use mcs_bench::harness::{
     fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend, table1, table2,
     table3,
 };
-use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs_core::engine::{self, Algorithm, RunPlan, Threaded};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
 
 fn holds(p: bool) -> f64 {
@@ -50,13 +50,21 @@ pub fn check_fig1(r: &fig1::Fig1Result) -> Vec<CheckOutcome> {
 }
 
 /// Fig. 2 — banked/MIC vs history/E5 lookup rates.
-pub fn check_fig2(r: &fig2::Fig2Result) -> Vec<CheckOutcome> {
+///
+/// `host_threads` is the runner's core count: on a single-core host the
+/// measured banked/history kernel ratio is dominated by scheduling noise
+/// (the banked kernel's only structural advantage is SIMD lane
+/// occupancy, which a 1-thread timeshared runner cannot resolve), so
+/// `F2.banked_ge_history_host` is scored on the warn band there —
+/// reported, never gating. See EXPERIMENTS.md ("Fig. 2" notes).
+pub fn check_fig2(r: &fig2::Fig2Result, host_threads: usize) -> Vec<CheckOutcome> {
     let big = r.largest();
     let worst_checksum = r
         .rows
         .iter()
         .map(|row| row.checksum_rel_err)
         .fold(0.0, f64::max);
+    let host_ratio = if host_threads == 1 { check_warn } else { check };
     vec![
         check(
             "F2.mic_over_e5",
@@ -65,7 +73,7 @@ pub fn check_fig2(r: &fig2::Fig2Result) -> Vec<CheckOutcome> {
             big.mic_over_e5(),
             Band::Range { lo: 8.0, hi: 12.0 },
         ),
-        check(
+        host_ratio(
             "F2.banked_ge_history_host",
             "fig2",
             "banked kernel at least matches the history kernel on this host",
@@ -413,22 +421,26 @@ pub fn check_futurework(r: &futurework::FutureworkResult) -> Vec<CheckOutcome> {
 /// the paper reproduction.
 pub fn check_event_history_keff(scale: f64) -> Vec<CheckOutcome> {
     let problem = Problem::hm(HmModel::Small, &ProblemConfig::default());
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: mcs_bench::scaled_by(2_000, scale).max(100),
         inactive: 1,
         active: 2,
-        mode: TransportMode::History,
         entropy_mesh: (4, 4, 2),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
-    let rh = run_eigenvalue(&problem, &settings);
-    let re = run_eigenvalue(
+    let rh = engine::run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
+    let re = engine::run_with_problem(
         &problem,
-        &EigenvalueSettings {
-            mode: TransportMode::Event,
-            ..settings
+        &RunPlan {
+            algorithm: Algorithm::EventBanking,
+            ..plan
         },
-    );
+        &mut Threaded::ambient(),
+    )
+    .into_eigenvalue()
+    .result;
     let bitwise = rh
         .batches
         .iter()

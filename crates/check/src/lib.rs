@@ -12,7 +12,7 @@ pub mod invariants;
 pub mod report;
 
 pub use golden::{compare, policy, render_csv, ColumnPolicy, GoldenOutcome};
-pub use report::{check, Band, CheckOutcome, CheckReport};
+pub use report::{check, check_warn, Band, CheckOutcome, CheckReport};
 
 /// Default workload scale for a check run (override with `MCS_SCALE`).
 /// Small enough for CI, large enough that every ratio invariant is out

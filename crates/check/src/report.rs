@@ -95,6 +95,10 @@ pub struct CheckOutcome {
     pub band: Band,
     /// `band.admits(value)`.
     pub passed: bool,
+    /// Warn-band outcome: a violation is *reported* but does not gate
+    /// the run (used where the measurement is known-unstable, e.g. the
+    /// F2 host kernel ratio on a single-core runner).
+    pub warn: bool,
 }
 
 /// Build an outcome, evaluating the band.
@@ -112,6 +116,23 @@ pub fn check(
         value,
         band,
         passed: band.admits(value),
+        warn: false,
+    }
+}
+
+/// Build an outcome on the warn band: scored and reported exactly like
+/// [`check`], but a violation does not count toward [`CheckReport::n_failed`]
+/// (the runner prints `WARN` instead of `FAIL`).
+pub fn check_warn(
+    id: &'static str,
+    harness: &'static str,
+    description: &'static str,
+    value: f64,
+    band: Band,
+) -> CheckOutcome {
+    CheckOutcome {
+        warn: true,
+        ..check(id, harness, description, value, band)
     }
 }
 
@@ -130,8 +151,19 @@ pub struct CheckReport {
 
 impl CheckReport {
     pub fn n_failed(&self) -> usize {
-        self.invariants.iter().filter(|c| !c.passed).count()
+        self.invariants
+            .iter()
+            .filter(|c| !c.passed && !c.warn)
+            .count()
             + self.golden.iter().filter(|g| !g.passed).count()
+    }
+
+    /// Warn-band invariants that did not hold (reported, never gating).
+    pub fn n_warned(&self) -> usize {
+        self.invariants
+            .iter()
+            .filter(|c| !c.passed && c.warn)
+            .count()
     }
 
     pub fn passed(&self) -> bool {
@@ -152,13 +184,14 @@ impl CheckReport {
         for (i, c) in self.invariants.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": {}, \"harness\": {}, \"description\": {}, \
-                 \"value\": {}, \"band\": {}, \"passed\": {}}}{}\n",
+                 \"value\": {}, \"band\": {}, \"passed\": {}, \"warn\": {}}}{}\n",
                 json_str(c.id),
                 json_str(c.harness),
                 json_str(c.description),
                 json_num(c.value),
                 c.band.to_json(),
                 c.passed,
+                c.warn,
                 if i + 1 < self.invariants.len() {
                     ","
                 } else {
@@ -249,6 +282,32 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"n_failed\": 2"));
         assert!(j.contains("\"passed\": false"));
+    }
+
+    #[test]
+    fn warn_band_reports_but_never_gates() {
+        let mut r = CheckReport {
+            scale: 0.1,
+            threads: 1,
+            ..Default::default()
+        };
+        r.invariants.push(check_warn(
+            "W.x",
+            "figW",
+            "violated but warn-band",
+            0.0,
+            Band::Holds,
+        ));
+        assert!(!r.invariants[0].passed);
+        assert_eq!(r.n_failed(), 0, "warn outcomes must not gate");
+        assert_eq!(r.n_warned(), 1);
+        assert!(r.passed());
+        let j = r.to_json();
+        assert!(j.contains("\"warn\": true"), "{j}");
+        // A held warn-band invariant is not counted as warned.
+        r.invariants
+            .push(check_warn("W.y", "figW", "holds", 1.0, Band::Holds));
+        assert_eq!(r.n_warned(), 1);
     }
 
     #[test]

@@ -25,20 +25,22 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod adaptive;
 pub mod comm;
 pub mod mpi;
 pub mod node;
+pub mod policy;
 pub mod rank;
 pub mod scaling;
 
 pub use adaptive::AdaptiveBalancer;
 pub use comm::CommModel;
-pub use mpi::{
-    resume_distributed_eigenvalue, run_distributed_eigenvalue, DistributedBatch, DistributedResult,
-    DistributedSettings,
-};
+#[allow(deprecated)]
+pub use mpi::{resume_distributed_eigenvalue, run_distributed_eigenvalue};
+pub use mpi::{DistributedBatch, DistributedResult, DistributedSettings};
 pub use node::NodeSpec;
+pub use policy::{DistributedPolicy, RankBatchDetail};
 pub use rank::Rank;
 pub use scaling::{batch_time_mixed, min_efficiency, strong_scaling, weak_scaling, ScalingPoint};

@@ -39,15 +39,14 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use mcs_core::balance::{chunk_aligned_split, redistribute_dead, split_among_alive};
-use mcs_core::eigenvalue::{resample_source, shannon_entropy};
-use mcs_core::history::{run_histories_chunked, CHUNK};
+use mcs_core::engine::{self, PolicySpec, RunPlan};
 use mcs_core::particle::{sort_sites, Site};
 use mcs_core::problem::Problem;
 use mcs_core::statepoint::Statepoint;
 use mcs_core::tally::Tallies;
-use mcs_faults::{FaultLog, FaultPlan, FaultRecord, FaultRecordKind};
-use mcs_rng::Lcg63;
+use mcs_faults::{FaultLog, FaultPlan};
+
+use crate::policy::DistributedPolicy;
 
 /// A message between ranks. The `u32` is the sender's rank.
 enum Message {
@@ -60,7 +59,7 @@ enum Message {
 }
 
 /// One rank's communicator endpoint.
-struct Comm {
+pub(crate) struct Comm {
     rank: usize,
     size: usize,
     txs: Vec<Sender<Message>>,
@@ -72,7 +71,7 @@ struct Comm {
 
 impl Comm {
     /// Build all endpoints for a `size`-rank job.
-    fn world(size: usize) -> Vec<Comm> {
+    pub(crate) fn world(size: usize) -> Vec<Comm> {
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded()).unzip();
         rxs.into_iter()
             .enumerate()
@@ -104,7 +103,7 @@ impl Comm {
 
     /// All-gather fission sites: returns the union in canonical (parent,
     /// seq) order, identical on every rank.
-    fn allgather_sites(&self, local: Vec<Site>) -> Vec<Site> {
+    pub(crate) fn allgather_sites(&self, local: Vec<Site>) -> Vec<Site> {
         self.send_to_alive_peers(|| Message::Sites(self.rank as u32, local.clone()));
         let mut all = local;
         let mut received = 0;
@@ -130,7 +129,7 @@ impl Comm {
     /// chunk-aligned rank boundaries this reproduces the serial chunk
     /// fold exactly (bitwise); unaligned boundaries still give a
     /// deterministic, partition-stable-to-rounding sum.
-    fn allreduce_chunks(&self, local: Vec<(u64, Tallies)>) -> Tallies {
+    pub(crate) fn allreduce_chunks(&self, local: Vec<(u64, Tallies)>) -> Tallies {
         self.send_to_alive_peers(|| Message::Chunks(self.rank as u32, local.clone()));
         let mut all = local;
         let mut received = 0;
@@ -157,7 +156,7 @@ impl Comm {
 
     /// Status barrier: gather every live rank's batch wall time and
     /// departure flag. Dead ranks report (0.0, false).
-    fn allgather_status(&self, wall: f64, departing: bool) -> (Vec<f64>, Vec<bool>) {
+    pub(crate) fn allgather_status(&self, wall: f64, departing: bool) -> (Vec<f64>, Vec<bool>) {
         self.send_to_alive_peers(|| Message::Status(self.rank as u32, wall, departing));
         let mut times = vec![0.0; self.size];
         let mut departs = vec![false; self.size];
@@ -255,22 +254,59 @@ pub struct DistributedResult {
     pub completed: bool,
 }
 
-fn default_assignments(settings: &DistributedSettings, n_ranks: usize) -> Vec<u64> {
-    match &settings.assignments {
-        Some(a) => {
-            assert_eq!(a.len(), n_ranks);
-            assert_eq!(
-                a.iter().sum::<u64>() as usize,
-                settings.total_particles,
-                "assignments must sum to total_particles"
-            );
-            a.clone()
+impl DistributedSettings {
+    /// The engine [`RunPlan`] this settings struct describes. The legacy
+    /// distributed driver hardcoded the history algorithm and an (8,8,4)
+    /// entropy mesh, so the shims do too.
+    fn to_plan(&self, n_ranks: usize) -> RunPlan {
+        RunPlan {
+            particles: self.total_particles,
+            inactive: self.inactive,
+            active: self.active,
+            entropy_mesh: (8, 8, 4),
+            checkpoint_every: self.checkpoint_every,
+            policy: PolicySpec::Distributed { ranks: n_ranks },
+            ..RunPlan::default()
         }
-        None => chunk_aligned_split(
-            settings.total_particles as u64,
-            &vec![1.0; n_ranks],
-            CHUNK as u64,
-        ),
+    }
+
+    /// The [`DistributedPolicy`] this settings struct describes.
+    fn to_policy(&self, n_ranks: usize) -> DistributedPolicy {
+        DistributedPolicy::new(n_ranks)
+            .with_assignments(self.assignments.clone())
+            .with_adaptive(self.adaptive)
+            .with_fault_plan(self.fault_plan.clone())
+    }
+}
+
+/// Rebuild the legacy result view from an engine report plus the
+/// policy's per-rank decomposition records.
+fn legacy_result(report: engine::RunReport, policy: &mut DistributedPolicy) -> DistributedResult {
+    let details = policy.take_details();
+    let batches = report
+        .batches
+        .iter()
+        .zip(details)
+        .map(|(b, d)| {
+            debug_assert_eq!(b.index, d.index);
+            DistributedBatch {
+                index: b.index,
+                active: b.active,
+                k_track: b.k_track,
+                entropy: b.entropy,
+                assignments: d.assignments,
+                rank_times: d.rank_times,
+                alive: d.alive,
+            }
+        })
+        .collect();
+    DistributedResult {
+        batches,
+        k_mean: report.result.k_mean,
+        tallies: report.result.tallies,
+        checkpoints: report.checkpoints,
+        fault_log: policy.take_fault_log(),
+        completed: report.completed,
     }
 }
 
@@ -278,24 +314,25 @@ fn default_assignments(settings: &DistributedSettings, n_ranks: usize) -> Vec<u6
 /// collectives. Physics is bit-identical to the serial driver whenever
 /// rank boundaries are chunk-aligned (all driver-chosen splits), and
 /// identical to rounding for arbitrary user partitions.
+#[deprecated(note = "use mcs_core::engine::run with an mcs_cluster::DistributedPolicy")]
 pub fn run_distributed_eigenvalue(
     problem: &Arc<Problem>,
     n_ranks: usize,
     settings: &DistributedSettings,
 ) -> DistributedResult {
-    let init = RankInit {
-        start_batch: 0,
-        source: None,
-        k_history: Vec::new(),
-        tallies: Tallies::default(),
-    };
-    launch(problem, n_ranks, settings, init)
+    let plan = settings.to_plan(n_ranks);
+    let mut policy = settings.to_policy(n_ranks);
+    let report = engine::run_with_problem(problem, &plan, &mut policy).into_eigenvalue();
+    legacy_result(report, &mut policy)
 }
 
 /// Resume a distributed run from a checkpoint (e.g. one written by a
 /// run that lost all its ranks), running the remaining batches of the
 /// plan. The resumed run may use any rank count; results are bit-exact
 /// against the uninterrupted run for driver-chosen partitions.
+#[deprecated(
+    note = "use mcs_core::engine::resume_with_problem with an mcs_cluster::DistributedPolicy"
+)]
 pub fn resume_distributed_eigenvalue(
     problem: &Arc<Problem>,
     n_ranks: usize,
@@ -313,270 +350,17 @@ pub fn resume_distributed_eigenvalue(
     );
     let total = settings.inactive + settings.active;
     assert!(checkpoint.completed_batches < total, "nothing left to run");
-    let init = RankInit {
-        start_batch: checkpoint.completed_batches,
-        source: Some(checkpoint.source.clone()),
-        k_history: checkpoint.k_history.clone(),
-        tallies: checkpoint.tallies,
-    };
-    launch(problem, n_ranks, settings, init)
-}
-
-/// Shared per-rank starting state (cold start or checkpoint).
-#[derive(Clone)]
-struct RankInit {
-    start_batch: usize,
-    source: Option<Vec<mcs_core::particle::SourceSite>>,
-    k_history: Vec<f64>,
-    tallies: Tallies,
-}
-
-struct RankOutcome {
-    result: DistributedResult,
-    survived: bool,
-}
-
-fn launch(
-    problem: &Arc<Problem>,
-    n_ranks: usize,
-    settings: &DistributedSettings,
-    init: RankInit,
-) -> DistributedResult {
-    assert!(n_ranks > 0);
-    let init_assignments = default_assignments(settings, n_ranks);
-
-    let comms = Comm::world(n_ranks);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|comm| {
-                let problem = Arc::clone(problem);
-                let settings = settings.clone();
-                let assignments = init_assignments.clone();
-                let init = init.clone();
-                scope.spawn(move || rank_main(&problem, comm, &settings, assignments, init))
-            })
-            .collect();
-        let outcomes: Vec<RankOutcome> = handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect();
-        // Surviving ranks hold identical complete results; take the
-        // lowest-numbered one. If every rank died, take the longest
-        // partial record (the last ranks standing saw the most batches).
-        let pick = outcomes.iter().position(|o| o.survived).unwrap_or_else(|| {
-            outcomes
-                .iter()
-                .enumerate()
-                .max_by_key(|(i, o)| (o.result.batches.len(), usize::MAX - i))
-                .map(|(i, _)| i)
-                .unwrap()
-        });
-        outcomes.into_iter().nth(pick).unwrap().result
-    })
-}
-
-fn rank_main(
-    problem: &Problem,
-    mut comm: Comm,
-    settings: &DistributedSettings,
-    mut assignments: Vec<u64>,
-    init: RankInit,
-) -> RankOutcome {
-    let n_total = settings.total_particles;
-    let total_batches = settings.inactive + settings.active;
-    let plan = settings
-        .fault_plan
-        .clone()
-        .unwrap_or_else(|| FaultPlan::new(0));
-    // A death scheduled at or before the resume point is ignored (the
-    // plan belonged to the killed run).
-    let my_death = plan
-        .death_batch(comm.rank)
-        .filter(|&d| d > init.start_batch && d <= total_batches);
-
-    // The global source is identical on all ranks (deterministic in the
-    // problem seed / checkpoint); each rank transports only its slice.
-    let mut global_source = init
-        .source
-        .unwrap_or_else(|| problem.sample_initial_source(n_total, 0));
-    let mut k_history = init.k_history;
-    let mut tallies = init.tallies;
-
-    let mut batches = Vec::new();
-    let mut checkpoints = Vec::new();
-    let mut fault_log = FaultLog::new();
-    let mut survived = true;
-
-    for b in init.start_batch..total_batches {
-        let active = b >= settings.inactive;
-        let offset: u64 = assignments[..comm.rank].iter().sum();
-        let count = assignments[comm.rank] as usize;
-        let my_source = &global_source[offset as usize..offset as usize + count];
-        // Streams from GLOBAL particle indices: partition-independent.
-        let streams: Vec<Lcg63> = (0..count)
-            .map(|i| {
-                Lcg63::for_history(
-                    problem.seed,
-                    b as u64 * n_total as u64 + offset + i as u64,
-                    mcs_rng::STREAM_STRIDE,
-                )
-            })
-            .collect();
-
-        let t0 = std::time::Instant::now();
-        let chunked = run_histories_chunked(problem, my_source, &streams);
-        let mut wall = t0.elapsed().as_secs_f64();
-        // Straggler injection: inflate the *reported* time (what the
-        // adaptive balancer sees), deterministically from the plan.
-        let slow = plan.straggler_factor(comm.rank, b);
-        if slow > 1.0 {
-            wall *= slow;
-        }
-
-        // Globalize: chunk partials keyed by global start index, site
-        // parents re-tagged with global particle indices.
-        let chunk_tallies: Vec<(u64, Tallies)> = chunked
-            .iter()
-            .enumerate()
-            .map(|(i, out)| (offset + (i * CHUNK) as u64, out.tallies))
-            .collect();
-        let mut local_sites: Vec<Site> = Vec::new();
-        for out in chunked {
-            local_sites.extend(out.sites);
-        }
-        for s in &mut local_sites {
-            s.parent += offset as u32;
-        }
-
-        let global_sites = comm.allgather_sites(local_sites);
-        let global_tallies = comm.allreduce_chunks(chunk_tallies);
-        let departing = my_death == Some(b + 1);
-        let (rank_times, departs) = comm.allgather_status(wall, departing);
-
-        let k = global_tallies.k_track_estimate();
-        let entropy = shannon_entropy(&global_sites, problem.geometry.bounds, (8, 8, 4));
-        batches.push(DistributedBatch {
-            index: b,
-            active,
-            k_track: k,
-            entropy,
-            assignments: assignments.clone(),
-            rank_times: rank_times.clone(),
-            alive: comm.alive.clone(),
-        });
-        k_history.push(k);
-        if active {
-            tallies.merge(&global_tallies);
-        }
-
-        // Identical resampling on every rank (same bank, same seed —
-        // and the same constant the serial driver uses, so a 1-rank
-        // distributed run IS the serial run).
-        global_source = resample_source(
-            &global_sites,
-            n_total,
-            problem.seed ^ (0xbeef << 8) ^ b as u64,
-        );
-
-        // Checkpoint cadence: the statepoint matches the serial
-        // driver's exactly, so `resume_eigenvalue` consumes it too.
-        if let Some(every) = settings.checkpoint_every {
-            if every > 0 && (b + 1) % every == 0 {
-                checkpoints.push(Statepoint {
-                    seed: problem.seed,
-                    completed_batches: b + 1,
-                    source: global_source.clone(),
-                    k_history: k_history.clone(),
-                    tallies,
-                });
-            }
-        }
-
-        // Deterministic fault records, identical on every rank: the plan
-        // is shared, so stragglers are logged from it, deaths from the
-        // barrier's departure flags.
-        for r in 0..comm.size {
-            if comm.alive[r] {
-                let f = plan.straggler_factor(r, b);
-                if f > 1.0 {
-                    fault_log.push(FaultRecord {
-                        batch: b,
-                        rank: r,
-                        kind: FaultRecordKind::Straggler(f),
-                    });
-                }
-            }
-        }
-        let mut any_death = false;
-        for (r, &d) in departs.iter().enumerate() {
-            if d {
-                comm.alive[r] = false;
-                any_death = true;
-                fault_log.push(FaultRecord {
-                    batch: b + 1,
-                    rank: r,
-                    kind: FaultRecordKind::Death,
-                });
-            }
-        }
-
-        if departing {
-            // This rank dies here: its record ends at batch b.
-            survived = false;
-            break;
-        }
-        if b + 1 == total_batches {
-            break;
-        }
-        if comm.alive.iter().all(|&a| !a) {
-            unreachable!("a live rank is iterating");
-        }
-
-        // Re-partition for the next batch: adaptive from measured rates,
-        // or minimally after a death. Driver-chosen splits are always
-        // chunk-aligned, preserving the bitwise reduction.
-        if settings.adaptive {
-            let rates: Vec<f64> = (0..comm.size)
-                .map(|r| {
-                    if comm.alive[r] && rank_times[r] > 0.0 {
-                        assignments[r] as f64 / rank_times[r]
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            assignments = split_among_alive(n_total as u64, &rates, &comm.alive, CHUNK as u64);
-        } else if any_death {
-            assignments = redistribute_dead(&assignments, &comm.alive, CHUNK as u64);
-        }
-    }
-
-    let active_ks: Vec<f64> = k_history
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i >= settings.inactive)
-        .map(|(_, &k)| k)
-        .collect();
-    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
-    let completed = survived && batches.last().map(|b| b.index + 1) == Some(total_batches);
-
-    RankOutcome {
-        result: DistributedResult {
-            batches,
-            k_mean,
-            tallies,
-            checkpoints,
-            fault_log,
-            completed,
-        },
-        survived,
-    }
+    let plan = settings.to_plan(n_ranks);
+    let mut policy = settings.to_policy(n_ranks);
+    let report = engine::resume_with_problem(problem, &plan, &mut policy, checkpoint);
+    legacy_result(report, &mut policy)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use mcs_faults::FaultRecordKind;
 
     fn problem() -> Arc<Problem> {
         Arc::new(Problem::test_small())

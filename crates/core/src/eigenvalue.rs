@@ -7,17 +7,16 @@
 //! *calculation rate* (simulated neutrons per second) — the paper's
 //! primary performance metric (Fig. 5, Table III).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mcs_geom::Vec3;
 use mcs_rng::Lcg63;
 
-use crate::event::{run_event_transport_mesh, EventStats};
-use crate::history::{batch_streams, run_histories_mesh};
+use crate::event::EventStats;
 use crate::mesh::{MeshSpec, MeshStats, MeshTally};
 use crate::particle::{Site, SourceSite};
 use crate::problem::Problem;
-use crate::tally::{BatchStats, Tallies};
+use crate::tally::Tallies;
 
 /// Which transport algorithm drives the batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,78 +167,41 @@ pub fn resample_source(sites: &[Site], n: usize, seed: u64) -> Vec<SourceSite> {
         .collect()
 }
 
-/// Run the full power iteration.
-pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> EigenvalueResult {
-    let n = settings.particles;
-    let total_batches = settings.inactive + settings.active;
-    let mut source = problem.sample_initial_source(n, 0);
-
-    let mut batches = Vec::with_capacity(total_batches);
-    let mut k_stats = BatchStats::default();
-    let mut tallies = Tallies::default();
-    let mut mesh_total = settings.mesh_tally.map(MeshTally::new);
-    let mut mesh_stats = settings.mesh_tally.map(MeshStats::new);
-    let mut event_stats: Option<EventStats> = None;
-    let t_start = Instant::now();
-
-    for b in 0..total_batches {
-        let active = b >= settings.inactive;
-        let streams = batch_streams(problem.seed, b as u64, n);
-        // User-defined tallies only run in active batches.
-        let mesh_spec = if active { settings.mesh_tally } else { None };
-        let t0 = Instant::now();
-        let (outcome, batch_mesh) = match settings.mode {
-            TransportMode::History => run_histories_mesh(problem, &source, &streams, mesh_spec),
-            TransportMode::Event => {
-                let (o, s, m) = run_event_transport_mesh(problem, &source, &streams, mesh_spec);
-                match event_stats.as_mut() {
-                    Some(total) => total.merge(&s),
-                    None => event_stats = Some(s),
-                }
-                (o, m)
-            }
-        };
-        let wall = t0.elapsed();
-        if let (Some(total), Some(bm)) = (mesh_total.as_mut(), batch_mesh.as_ref()) {
-            total.merge(bm);
-        }
-        if let (Some(stats), Some(bm)) = (mesh_stats.as_mut(), batch_mesh.as_ref()) {
-            stats.observe(bm);
-        }
-
-        let entropy = shannon_entropy(
-            &outcome.sites,
-            problem.geometry.bounds,
-            settings.entropy_mesh,
+/// Translate legacy [`EigenvalueSettings`] into the engine's
+/// [`crate::engine::RunPlan`]. The deprecated shims only support mesh
+/// specs covering the problem bounds (the only kind any in-tree caller
+/// ever built); arbitrary mesh windows need the engine API directly.
+pub(crate) fn plan_for(problem: &Problem, settings: &EigenvalueSettings) -> crate::engine::RunPlan {
+    let mesh_tally = settings.mesh_tally.map(|spec| {
+        let covering = MeshSpec::covering(problem.geometry.bounds, spec.nx, spec.ny, spec.nz);
+        assert_eq!(
+            spec, covering,
+            "legacy driver shims only support mesh tallies covering the \
+             problem bounds; use mcs_core::engine directly"
         );
-        let k_track = outcome.tallies.k_track_estimate();
-        batches.push(BatchResult {
-            index: b,
-            active,
-            k_track,
-            k_collision: outcome.tallies.k_collision_estimate(),
-            k_absorption: outcome.tallies.k_absorption_estimate(),
-            entropy,
-            wall,
-            rate: n as f64 / wall.as_secs_f64().max(1e-12),
-        });
-        if active {
-            k_stats.push(k_track);
-            tallies.merge(&outcome.tallies);
-        }
-        source = resample_source(&outcome.sites, n, problem.seed ^ (0xbeef << 8) ^ b as u64);
+        (spec.nx, spec.ny, spec.nz)
+    });
+    crate::engine::RunPlan {
+        algorithm: match settings.mode {
+            TransportMode::History => crate::engine::Algorithm::History,
+            TransportMode::Event => crate::engine::Algorithm::EventBanking,
+        },
+        particles: settings.particles,
+        inactive: settings.inactive,
+        active: settings.active,
+        entropy_mesh: settings.entropy_mesh,
+        mesh_tally,
+        ..crate::engine::RunPlan::default()
     }
+}
 
-    EigenvalueResult {
-        batches,
-        k_mean: k_stats.mean(),
-        k_std: k_stats.std_error(),
-        tallies,
-        mesh: mesh_total,
-        mesh_stats,
-        event_stats,
-        total_time: t_start.elapsed(),
-    }
+/// Run the full power iteration.
+#[deprecated(note = "use mcs_core::engine::run with a RunPlan")]
+pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> EigenvalueResult {
+    let plan = plan_for(problem, settings);
+    crate::engine::run_with_problem(problem, &plan, &mut crate::engine::Threaded::ambient())
+        .into_eigenvalue()
+        .result
 }
 
 /// Run batches `[start_batch, end_batch)` of the plan, seeded either from
@@ -247,6 +209,7 @@ pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> Eigen
 /// or from a statepoint. Returns the batch records produced and the
 /// statepoint after `end_batch`. Stream and resampling seeds are
 /// identical to [`run_eigenvalue`]'s, so checkpoint/resume is bit-exact.
+#[deprecated(note = "use mcs_core::engine::run_batches")]
 pub fn run_eigenvalue_partial(
     problem: &Problem,
     settings: &EigenvalueSettings,
@@ -254,79 +217,47 @@ pub fn run_eigenvalue_partial(
     end_batch: usize,
     checkpoint: Option<crate::statepoint::Statepoint>,
 ) -> (Vec<BatchResult>, crate::statepoint::Statepoint) {
-    let n = settings.particles;
-    assert!(end_batch <= settings.inactive + settings.active);
-    let (mut source, mut k_history, mut tallies) = match checkpoint {
-        Some(c) => {
-            assert_eq!(c.completed_batches, start_batch, "checkpoint/plan mismatch");
-            (c.source, c.k_history, c.tallies)
-        }
-        None => {
-            assert_eq!(start_batch, 0, "cold starts begin at batch 0");
-            (
-                problem.sample_initial_source(n, 0),
-                Vec::new(),
-                Tallies::default(),
-            )
-        }
-    };
-
-    let mut batches = Vec::with_capacity(end_batch - start_batch);
-    for b in start_batch..end_batch {
-        let active = b >= settings.inactive;
-        let streams = batch_streams(problem.seed, b as u64, n);
-        let t0 = Instant::now();
-        let (outcome, _) = match settings.mode {
-            TransportMode::History => run_histories_mesh(problem, &source, &streams, None),
-            TransportMode::Event => {
-                let (o, _, m) = run_event_transport_mesh(problem, &source, &streams, None);
-                (o, m)
-            }
-        };
-        let wall = t0.elapsed();
-        let entropy = shannon_entropy(
-            &outcome.sites,
-            problem.geometry.bounds,
-            settings.entropy_mesh,
-        );
-        let k_track = outcome.tallies.k_track_estimate();
-        batches.push(BatchResult {
-            index: b,
-            active,
-            k_track,
-            k_collision: outcome.tallies.k_collision_estimate(),
-            k_absorption: outcome.tallies.k_absorption_estimate(),
-            entropy,
-            wall,
-            rate: n as f64 / wall.as_secs_f64().max(1e-12),
-        });
-        k_history.push(k_track);
-        if active {
-            tallies.merge(&outcome.tallies);
-        }
-        source = resample_source(&outcome.sites, n, problem.seed ^ (0xbeef << 8) ^ b as u64);
-    }
-
-    let sp = crate::statepoint::Statepoint {
-        seed: problem.seed,
-        completed_batches: end_batch,
-        source,
-        k_history,
-        tallies,
-    };
-    (batches, sp)
+    // The legacy partial driver never scored user meshes.
+    let mut plan = plan_for(problem, settings);
+    plan.mesh_tally = None;
+    let report = crate::engine::run_batches(
+        problem,
+        &plan,
+        &mut crate::engine::Threaded::ambient(),
+        start_batch,
+        end_batch,
+        checkpoint.as_ref(),
+    );
+    (report.batches, report.statepoint)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{self, Algorithm, RunPlan, Threaded};
     use crate::problem::Problem;
+
+    /// Engine-plan twin of [`EigenvalueSettings::test_scale`].
+    fn test_plan() -> RunPlan {
+        RunPlan {
+            particles: 500,
+            inactive: 2,
+            active: 3,
+            entropy_mesh: (4, 4, 4),
+            ..RunPlan::default()
+        }
+    }
+
+    fn run_plan(problem: &Problem, plan: &RunPlan) -> EigenvalueResult {
+        engine::run_with_problem(problem, plan, &mut Threaded::ambient())
+            .into_eigenvalue()
+            .result
+    }
 
     #[test]
     fn eigenvalue_run_produces_sane_k() {
         let problem = Problem::test_small();
-        let settings = EigenvalueSettings::test_scale();
-        let r = run_eigenvalue(&problem, &settings);
+        let r = run_plan(&problem, &test_plan());
         assert_eq!(r.batches.len(), 5);
         assert_eq!(r.batches.iter().filter(|b| b.active).count(), 3);
         // A tiny single assembly with huge leakage: k in a broad
@@ -342,10 +273,10 @@ mod tests {
     #[test]
     fn event_and_history_drivers_agree_statistically() {
         let problem = Problem::test_small();
-        let mut settings = EigenvalueSettings::test_scale();
-        let rh = run_eigenvalue(&problem, &settings);
-        settings.mode = TransportMode::Event;
-        let re = run_eigenvalue(&problem, &settings);
+        let mut plan = test_plan();
+        let rh = run_plan(&problem, &plan);
+        plan.algorithm = Algorithm::EventBanking;
+        let re = run_plan(&problem, &plan);
         // Identical trajectories, resampling, and canonical float-tally
         // reduction ⇒ k per batch matches bit for bit.
         for (a, b) in rh.batches.iter().zip(&re.batches) {
@@ -362,7 +293,7 @@ mod tests {
         let es = re.event_stats.expect("event driver reports stats");
         assert!(es.iterations >= 5, "5 batches, ≥1 generation each");
         assert!(es.lookups > 0);
-        assert_eq!(es.peak_bank, settings.particles as u64);
+        assert_eq!(es.peak_bank, plan.particles as u64);
     }
 
     #[test]
@@ -372,12 +303,12 @@ mod tests {
         // transport drivers yield bit-identical per-batch k under any of
         // them.
         use crate::problem::GridBackendKind;
-        let mut settings = EigenvalueSettings::test_scale();
-        for mode in [TransportMode::History, TransportMode::Event] {
-            settings.mode = mode;
+        let mut plan = test_plan();
+        for mode in [Algorithm::History, Algorithm::EventBanking] {
+            plan.algorithm = mode;
             let runs: Vec<EigenvalueResult> = GridBackendKind::ALL
                 .iter()
-                .map(|&kind| run_eigenvalue(&Problem::test_small_with_backend(kind), &settings))
+                .map(|&kind| run_plan(&Problem::test_small_with_backend(kind), &plan))
                 .collect();
             for other in &runs[1..] {
                 assert_eq!(runs[0].k_mean.to_bits(), other.k_mean.to_bits());
@@ -404,16 +335,15 @@ mod tests {
         let mut biased_problem = Problem::test_small();
         biased_problem.treatment = crate::physics::AbsorptionTreatment::survival_default();
 
-        let settings = EigenvalueSettings {
+        let plan = RunPlan {
             particles: 2_000,
             inactive: 2,
             active: 6,
-            mode: TransportMode::History,
             entropy_mesh: (4, 4, 4),
-            mesh_tally: None,
+            ..RunPlan::default()
         };
-        let analog = run_eigenvalue(&analog_problem, &settings);
-        let biased = run_eigenvalue(&biased_problem, &settings);
+        let analog = run_plan(&analog_problem, &plan);
+        let biased = run_plan(&biased_problem, &plan);
         let sigma = (analog.k_std.powi(2) + biased.k_std.powi(2))
             .sqrt()
             .max(1e-4);
@@ -442,8 +372,10 @@ mod tests {
         let n = 400;
         let sources = problem.sample_initial_source(n, 0);
         let streams = crate::history::batch_streams(problem.seed, 0, n);
-        let hist = crate::history::run_histories(&problem, &sources, &streams);
-        let (evt, _) = crate::event::run_event_transport(&problem, &sources, &streams);
+        let (hist, _, _) =
+            crate::history::run_history_batch(&problem, &sources, &streams, None, false, None);
+        let (evt, _, _) =
+            crate::event::event_transport_mesh_impl(&problem, &sources, &streams, None);
         assert_eq!(hist.tallies.segments, evt.tallies.segments);
         assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
         assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
@@ -456,10 +388,9 @@ mod tests {
     #[test]
     fn mesh_tally_accumulates_only_active_batches() {
         let problem = Problem::test_small();
-        let spec = crate::mesh::MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
-        let mut settings = EigenvalueSettings::test_scale();
-        settings.mesh_tally = Some(spec);
-        let r = run_eigenvalue(&problem, &settings);
+        let mut plan = test_plan();
+        plan.mesh_tally = Some((4, 4, 2));
+        let r = run_plan(&problem, &plan);
         let mesh = r.mesh.expect("mesh requested");
         assert!(mesh.total() > 0.0);
         // Mesh covers the whole geometry, so it captures (almost all of)
@@ -476,12 +407,11 @@ mod tests {
     #[test]
     fn mesh_tally_identical_between_history_and_event() {
         let problem = Problem::test_small();
-        let spec = crate::mesh::MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
-        let mut settings = EigenvalueSettings::test_scale();
-        settings.mesh_tally = Some(spec);
-        let rh = run_eigenvalue(&problem, &settings);
-        settings.mode = TransportMode::Event;
-        let re = run_eigenvalue(&problem, &settings);
+        let mut plan = test_plan();
+        plan.mesh_tally = Some((4, 4, 2));
+        let rh = run_plan(&problem, &plan);
+        plan.algorithm = Algorithm::EventBanking;
+        let re = run_plan(&problem, &plan);
         let (mh, me) = (rh.mesh.unwrap(), re.mesh.unwrap());
         for (a, b) in mh.bins.iter().zip(&me.bins) {
             let denom = a.abs().max(1e-300);
@@ -551,5 +481,45 @@ mod tests {
     #[should_panic(expected = "fission bank empty")]
     fn resample_empty_bank_panics() {
         resample_source(&[], 10, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_driver_shims_match_the_engine() {
+        // The one place the legacy entry points are exercised: the shims
+        // must stay bit-identical to the engine they delegate to.
+        let problem = Problem::test_small();
+        let settings = EigenvalueSettings {
+            particles: 500,
+            inactive: 2,
+            active: 3,
+            mode: TransportMode::Event,
+            entropy_mesh: (4, 4, 4),
+            mesh_tally: Some(crate::mesh::MeshSpec::covering(
+                problem.geometry.bounds,
+                4,
+                4,
+                2,
+            )),
+        };
+        let shim = run_eigenvalue(&problem, &settings);
+        let mut plan = test_plan();
+        plan.algorithm = Algorithm::EventBanking;
+        plan.mesh_tally = Some((4, 4, 2));
+        let engine = run_plan(&problem, &plan);
+        assert_eq!(shim.k_mean.to_bits(), engine.k_mean.to_bits());
+        assert_eq!(shim.k_std.to_bits(), engine.k_std.to_bits());
+        assert_eq!(shim.tallies, engine.tallies);
+        assert_eq!(shim.mesh.unwrap().bins, engine.mesh.unwrap().bins);
+
+        let (batches, sp) = run_eigenvalue_partial(&problem, &settings, 0, 5, None);
+        let report =
+            crate::engine::run_batches(&problem, &plan, &mut Threaded::ambient(), 0, 5, None);
+        assert_eq!(batches.len(), report.batches.len());
+        for (a, b) in batches.iter().zip(&report.batches) {
+            assert_eq!(a.k_track.to_bits(), b.k_track.to_bits());
+        }
+        assert_eq!(sp.source, report.statepoint.source);
+        assert_eq!(sp.k_history, report.statepoint.k_history);
     }
 }

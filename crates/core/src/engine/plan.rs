@@ -1,0 +1,560 @@
+//! Serializable run plans.
+//!
+//! A [`RunPlan`] is the complete, declarative description of one
+//! simulation: which problem to build, which transport algorithm to use,
+//! the run mode, the batch/particle scale, and the optional tally,
+//! spectrum, and checkpoint features. Plans round-trip through a small
+//! TOML subset ([`RunPlan::to_toml`] / [`RunPlan::from_toml`]) so they
+//! can be stored on disk and replayed bit-identically (`mcs run --plan`).
+
+use crate::physics::AbsorptionTreatment;
+use crate::problem::{HmModel, Problem, ProblemConfig};
+
+/// Which problem geometry/library to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelRef {
+    /// The tiny single-assembly unit-test problem ([`Problem::test_small`]).
+    Test,
+    /// Hoogenboom–Martin small (34 nuclides).
+    Small,
+    /// Hoogenboom–Martin large (~300 nuclides, the paper's benchmark).
+    Large,
+}
+
+impl ModelRef {
+    /// The plan-file keyword for this model.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ModelRef::Test => "test",
+            ModelRef::Small => "small",
+            ModelRef::Large => "large",
+        }
+    }
+}
+
+/// Which transport algorithm executes each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Classical history-based transport (one particle start-to-finish).
+    History,
+    /// The paper's SIMD event-banking pipeline (staged bank transport).
+    EventBanking,
+}
+
+impl Algorithm {
+    /// The plan-file keyword for this algorithm.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Algorithm::History => "history",
+            Algorithm::EventBanking => "event",
+        }
+    }
+}
+
+/// The simulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Power-iteration k-eigenvalue run (inactive + active batches).
+    Eigenvalue,
+    /// Fixed-source run with fission-chain following.
+    FixedSource,
+}
+
+impl RunMode {
+    /// The plan-file keyword for this mode.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RunMode::Eigenvalue => "eigenvalue",
+            RunMode::FixedSource => "fixed-source",
+        }
+    }
+}
+
+/// Declarative description of the execution policy to run under.
+///
+/// This is plain data: `mcs_core` can instantiate `Serial` and
+/// `Threaded`; `Distributed` is mapped to a policy object by
+/// `mcs-cluster` (the core crate has no rank runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Single-threaded execution (a 1-thread pool).
+    Serial,
+    /// A dedicated rayon pool with `threads` workers.
+    Threaded {
+        /// Worker-thread count (0 = ambient/default pool).
+        threads: usize,
+    },
+    /// The chunk-keyed distributed runtime with `ranks` ranks.
+    Distributed {
+        /// Number of simulated MPI ranks.
+        ranks: usize,
+    },
+}
+
+impl PolicySpec {
+    /// Human-readable one-line description.
+    pub fn describe(self) -> String {
+        match self {
+            PolicySpec::Serial => "serial (1 thread)".to_string(),
+            PolicySpec::Threaded { threads: 0 } => "threaded (ambient pool)".to_string(),
+            PolicySpec::Threaded { threads } => format!("threaded ({threads} threads)"),
+            PolicySpec::Distributed { ranks } => format!("distributed ({ranks} ranks)"),
+        }
+    }
+}
+
+/// A complete, serializable description of one simulation run.
+///
+/// The engine executes a plan with [`crate::engine::run`]; every knob the
+/// legacy drivers exposed (mesh tallies, spectrum pass, checkpoint
+/// cadence, survival biasing, seed override) is a field here so the whole
+/// run matrix is one declarative value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// Problem to build.
+    pub model: ModelRef,
+    /// Transport algorithm for every batch.
+    pub algorithm: Algorithm,
+    /// Eigenvalue or fixed-source.
+    pub mode: RunMode,
+    /// Particles per batch (eigenvalue) or source particles (fixed-source).
+    pub particles: usize,
+    /// Inactive (discarded) batches.
+    pub inactive: usize,
+    /// Active (tallied) batches.
+    pub active: usize,
+    /// Override of the problem's master seed (`None` = model default).
+    pub seed: Option<u64>,
+    /// Use survival-biasing absorption treatment.
+    pub survival: bool,
+    /// Shannon-entropy mesh resolution.
+    pub entropy_mesh: (usize, usize, usize),
+    /// Optional mesh-tally resolution (covering the problem bounds),
+    /// scored over active batches only.
+    pub mesh_tally: Option<(usize, usize, usize)>,
+    /// Score a flux spectrum in a dedicated history pass after the run.
+    pub spectrum: bool,
+    /// Write a statepoint every `n` batches.
+    pub checkpoint_every: Option<usize>,
+    /// Fission-chain depth cap (fixed-source mode only).
+    pub max_chain: usize,
+    /// Execution policy to run under.
+    pub policy: PolicySpec,
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan {
+            model: ModelRef::Test,
+            algorithm: Algorithm::History,
+            mode: RunMode::Eigenvalue,
+            particles: 2000,
+            inactive: 3,
+            active: 5,
+            seed: None,
+            survival: false,
+            entropy_mesh: (8, 8, 4),
+            mesh_tally: None,
+            spectrum: false,
+            checkpoint_every: None,
+            max_chain: 100_000,
+            policy: PolicySpec::Serial,
+        }
+    }
+}
+
+impl RunPlan {
+    /// Total batch count (inactive + active).
+    pub fn total_batches(&self) -> usize {
+        self.inactive + self.active
+    }
+
+    /// The problem configuration this plan's model resolves to (before
+    /// the seed override). Cheap — does not build the nuclide library.
+    pub fn default_config(&self) -> ProblemConfig {
+        match self.model {
+            ModelRef::Test => ProblemConfig::test_scale(),
+            ModelRef::Small | ModelRef::Large => ProblemConfig::default(),
+        }
+    }
+
+    /// The master seed the run will actually use.
+    pub fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or(self.default_config().seed)
+    }
+
+    /// Build the problem this plan describes, applying the survival
+    /// treatment and seed override.
+    pub fn build_problem(&self) -> Problem {
+        let mut problem = match self.model {
+            ModelRef::Test => Problem::test_small(),
+            ModelRef::Small => Problem::hm(HmModel::Small, &ProblemConfig::default()),
+            ModelRef::Large => Problem::hm(HmModel::Large, &ProblemConfig::default()),
+        };
+        if self.survival {
+            problem.treatment = AbsorptionTreatment::survival_default();
+        }
+        if let Some(s) = self.seed {
+            problem.seed = s;
+        }
+        problem
+    }
+
+    /// Fully-resolved multi-line description (what `mcs run --plan
+    /// --dry-run` prints).
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("model:            {}\n", self.model.keyword()));
+        s.push_str(&format!("algorithm:        {}\n", self.algorithm.keyword()));
+        s.push_str(&format!("mode:             {}\n", self.mode.keyword()));
+        s.push_str(&format!("policy:           {}\n", self.policy.describe()));
+        s.push_str(&format!(
+            "seed:             {} ({})\n",
+            self.resolved_seed(),
+            if self.seed.is_some() {
+                "plan override"
+            } else {
+                "model default"
+            }
+        ));
+        match self.mode {
+            RunMode::Eigenvalue => {
+                s.push_str(&format!(
+                    "batches:          {} inactive + {} active = {}\n",
+                    self.inactive,
+                    self.active,
+                    self.total_batches()
+                ));
+                s.push_str(&format!("particles/batch:  {}\n", self.particles));
+                let (ex, ey, ez) = self.entropy_mesh;
+                s.push_str(&format!("entropy mesh:     {ex}x{ey}x{ez}\n"));
+                match self.mesh_tally {
+                    Some((nx, ny, nz)) => {
+                        s.push_str(&format!("mesh tally:       {nx}x{ny}x{nz}\n"))
+                    }
+                    None => s.push_str("mesh tally:       off\n"),
+                }
+                s.push_str(&format!(
+                    "spectrum pass:    {}\n",
+                    if self.spectrum { "on" } else { "off" }
+                ));
+                match self.checkpoint_every {
+                    Some(n) => s.push_str(&format!("checkpoints:      every {n} batches\n")),
+                    None => s.push_str("checkpoints:      off\n"),
+                }
+            }
+            RunMode::FixedSource => {
+                s.push_str(&format!("source particles: {}\n", self.particles));
+                s.push_str(&format!("max chain depth:  {}\n", self.max_chain));
+            }
+        }
+        s.push_str(&format!(
+            "survival biasing: {}\n",
+            if self.survival { "on" } else { "off" }
+        ));
+        s
+    }
+
+    /// Serialize to the plan-file TOML subset. Round-trips through
+    /// [`RunPlan::from_toml`].
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        s.push_str("[plan]\n");
+        s.push_str(&format!("model = \"{}\"\n", self.model.keyword()));
+        s.push_str(&format!("algorithm = \"{}\"\n", self.algorithm.keyword()));
+        s.push_str(&format!("mode = \"{}\"\n", self.mode.keyword()));
+        s.push_str(&format!("particles = {}\n", self.particles));
+        s.push_str(&format!("inactive = {}\n", self.inactive));
+        s.push_str(&format!("active = {}\n", self.active));
+        if let Some(seed) = self.seed {
+            s.push_str(&format!("seed = {seed}\n"));
+        }
+        s.push_str(&format!("survival = {}\n", self.survival));
+        let (ex, ey, ez) = self.entropy_mesh;
+        s.push_str(&format!("entropy_mesh = [{ex}, {ey}, {ez}]\n"));
+        if let Some((nx, ny, nz)) = self.mesh_tally {
+            s.push_str(&format!("mesh_tally = [{nx}, {ny}, {nz}]\n"));
+        }
+        s.push_str(&format!("spectrum = {}\n", self.spectrum));
+        if let Some(every) = self.checkpoint_every {
+            s.push_str(&format!("checkpoint_every = {every}\n"));
+        }
+        s.push_str(&format!("max_chain = {}\n", self.max_chain));
+        s.push_str("\n[policy]\n");
+        match self.policy {
+            PolicySpec::Serial => s.push_str("kind = \"serial\"\n"),
+            PolicySpec::Threaded { threads } => {
+                s.push_str("kind = \"threaded\"\n");
+                s.push_str(&format!("threads = {threads}\n"));
+            }
+            PolicySpec::Distributed { ranks } => {
+                s.push_str("kind = \"distributed\"\n");
+                s.push_str(&format!("ranks = {ranks}\n"));
+            }
+        }
+        s
+    }
+
+    /// Parse a plan from the TOML subset emitted by
+    /// [`RunPlan::to_toml`]: `[plan]` / `[policy]` tables with
+    /// `key = value` pairs (integers, booleans, quoted strings, and
+    /// 3-element integer arrays), `#` comments.
+    pub fn from_toml(text: &str) -> Result<RunPlan, String> {
+        let mut plan = RunPlan::default();
+        let mut policy_kind: Option<String> = None;
+        let mut policy_threads: Option<usize> = None;
+        let mut policy_ranks: Option<usize> = None;
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("plan line {}: {}", lineno + 1, msg);
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "plan" && section != "policy" {
+                    return Err(err(&format!(
+                        "unknown section [{section}] (expected [plan] or [policy])"
+                    )));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`"))?;
+            let key = key.trim();
+            let value = Value::parse(value.trim()).map_err(|e| err(&e))?;
+            match (section.as_str(), key) {
+                ("plan", "model") => {
+                    plan.model = match value.as_str().map_err(|e| err(&e))? {
+                        "test" => ModelRef::Test,
+                        "small" => ModelRef::Small,
+                        "large" => ModelRef::Large,
+                        other => return Err(err(&format!("unknown model \"{other}\""))),
+                    }
+                }
+                ("plan", "algorithm") => {
+                    plan.algorithm = match value.as_str().map_err(|e| err(&e))? {
+                        "history" => Algorithm::History,
+                        "event" => Algorithm::EventBanking,
+                        other => return Err(err(&format!("unknown algorithm \"{other}\""))),
+                    }
+                }
+                ("plan", "mode") => {
+                    plan.mode = match value.as_str().map_err(|e| err(&e))? {
+                        "eigenvalue" => RunMode::Eigenvalue,
+                        "fixed-source" => RunMode::FixedSource,
+                        other => return Err(err(&format!("unknown mode \"{other}\""))),
+                    }
+                }
+                ("plan", "particles") => plan.particles = value.as_usize().map_err(|e| err(&e))?,
+                ("plan", "inactive") => plan.inactive = value.as_usize().map_err(|e| err(&e))?,
+                ("plan", "active") => plan.active = value.as_usize().map_err(|e| err(&e))?,
+                ("plan", "seed") => plan.seed = Some(value.as_u64().map_err(|e| err(&e))?),
+                ("plan", "survival") => plan.survival = value.as_bool().map_err(|e| err(&e))?,
+                ("plan", "entropy_mesh") => {
+                    plan.entropy_mesh = value.as_triple().map_err(|e| err(&e))?
+                }
+                ("plan", "mesh_tally") => {
+                    plan.mesh_tally = Some(value.as_triple().map_err(|e| err(&e))?)
+                }
+                ("plan", "spectrum") => plan.spectrum = value.as_bool().map_err(|e| err(&e))?,
+                ("plan", "checkpoint_every") => {
+                    plan.checkpoint_every = Some(value.as_usize().map_err(|e| err(&e))?)
+                }
+                ("plan", "max_chain") => plan.max_chain = value.as_usize().map_err(|e| err(&e))?,
+                ("policy", "kind") => {
+                    policy_kind = Some(value.as_str().map_err(|e| err(&e))?.to_string())
+                }
+                ("policy", "threads") => {
+                    policy_threads = Some(value.as_usize().map_err(|e| err(&e))?)
+                }
+                ("policy", "ranks") => policy_ranks = Some(value.as_usize().map_err(|e| err(&e))?),
+                ("", k) => return Err(err(&format!("key `{k}` before any [section]"))),
+                (s, k) => return Err(err(&format!("unknown key `{k}` in [{s}]"))),
+            }
+        }
+        if let Some(kind) = policy_kind {
+            plan.policy = match kind.as_str() {
+                "serial" => PolicySpec::Serial,
+                "threaded" => PolicySpec::Threaded {
+                    threads: policy_threads.unwrap_or(0),
+                },
+                "distributed" => PolicySpec::Distributed {
+                    ranks: policy_ranks.ok_or("policy kind \"distributed\" requires `ranks`")?,
+                },
+                other => return Err(format!("unknown policy kind \"{other}\"")),
+            };
+        }
+        if plan.mode == RunMode::Eigenvalue && plan.total_batches() == 0 {
+            return Err("plan has zero batches (inactive + active == 0)".to_string());
+        }
+        if plan.particles == 0 {
+            return Err("plan has zero particles".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+/// Truncate `line` at the first `#` that is outside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A parsed plan-file value.
+enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    Array(Vec<u64>),
+}
+
+impl Value {
+    fn parse(raw: &str) -> Result<Value, String> {
+        if let Some(inner) = raw.strip_prefix('"') {
+            let inner = inner
+                .strip_suffix('"')
+                .ok_or_else(|| format!("unterminated string {raw}"))?;
+            if inner.contains('"') {
+                return Err(format!("embedded quote in string {raw}"));
+            }
+            return Ok(Value::Str(inner.to_string()));
+        }
+        if raw == "true" {
+            return Ok(Value::Bool(true));
+        }
+        if raw == "false" {
+            return Ok(Value::Bool(false));
+        }
+        if let Some(inner) = raw.strip_prefix('[') {
+            let inner = inner
+                .strip_suffix(']')
+                .ok_or_else(|| format!("unterminated array {raw}"))?;
+            let items: Result<Vec<u64>, _> =
+                inner.split(',').map(|s| s.trim().parse::<u64>()).collect();
+            return items
+                .map(Value::Array)
+                .map_err(|_| format!("non-integer array element in {raw}"));
+        }
+        // Allow underscore digit grouping, as TOML does.
+        raw.replace('_', "")
+            .parse::<u64>()
+            .map(Value::Int)
+            .map_err(|_| format!("cannot parse value `{raw}`"))
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err("expected a quoted string".to_string()),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            _ => Err("expected an integer".to_string()),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err("expected `true` or `false`".to_string()),
+        }
+    }
+
+    fn as_triple(&self) -> Result<(usize, usize, usize), String> {
+        match self {
+            Value::Array(v) if v.len() == 3 => Ok((v[0] as usize, v[1] as usize, v[2] as usize)),
+            _ => Err("expected a 3-element integer array".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_round_trips() {
+        let plan = RunPlan::default();
+        let text = plan.to_toml();
+        let back = RunPlan::from_toml(&text).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn full_plan_round_trips() {
+        let plan = RunPlan {
+            model: ModelRef::Small,
+            algorithm: Algorithm::EventBanking,
+            mode: RunMode::Eigenvalue,
+            particles: 12_345,
+            inactive: 7,
+            active: 11,
+            seed: Some(0xDEAD_BEEF),
+            survival: true,
+            entropy_mesh: (4, 5, 6),
+            mesh_tally: Some((10, 11, 12)),
+            spectrum: true,
+            checkpoint_every: Some(3),
+            max_chain: 42,
+            policy: PolicySpec::Distributed { ranks: 4 },
+        };
+        let back = RunPlan::from_toml(&plan.to_toml()).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let text = "\n# a comment\n[plan]\n  model = \"test\"  # trailing\n\nparticles = 1_000\n[policy]\nkind = \"threaded\"\nthreads = 2\n";
+        let plan = RunPlan::from_toml(text).expect("parse");
+        assert_eq!(plan.model, ModelRef::Test);
+        assert_eq!(plan.particles, 1000);
+        assert_eq!(plan.policy, PolicySpec::Threaded { threads: 2 });
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let text = "[plan]\nmodell = \"test\"\n";
+        assert!(RunPlan::from_toml(text).is_err());
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        assert!(RunPlan::from_toml("[nope]\n").is_err());
+    }
+
+    #[test]
+    fn distributed_requires_ranks() {
+        let text = "[policy]\nkind = \"distributed\"\n";
+        assert!(RunPlan::from_toml(text).is_err());
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        assert!(RunPlan::from_toml("[plan]\ninactive = 0\nactive = 0\n").is_err());
+        assert!(RunPlan::from_toml("[plan]\nparticles = 0\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        // No current keyword contains '#', but the lexer must not split
+        // strings on it.
+        assert_eq!(strip_comment("key = \"a#b\" # real"), "key = \"a#b\" ");
+    }
+}

@@ -134,12 +134,13 @@ impl<'a, T: Copy> SyncSlice<'a, T> {
 
 /// Run the full event-based transport over a bank born from `sources`,
 /// parallelized over the ambient rayon thread count.
+#[deprecated(note = "use mcs_core::engine::transport_batch with Algorithm::EventBanking")]
 pub fn run_event_transport(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
 ) -> (TransportOutcome, EventStats) {
-    let (out, stats, _) = run_event_transport_mesh(problem, sources, streams, None);
+    let (out, stats, _) = event_transport_mesh_impl(problem, sources, streams, None);
     (out, stats)
 }
 
@@ -147,6 +148,7 @@ pub fn run_event_transport(
 /// for speedup measurements. Bit-identical to the parallel entry points:
 /// the pipeline's chunking, not its thread count, fixes every
 /// accumulation order.
+#[deprecated(note = "use mcs_core::engine with the Serial policy")]
 pub fn run_event_transport_serial(
     problem: &Problem,
     sources: &[SourceSite],
@@ -156,18 +158,106 @@ pub fn run_event_transport_serial(
         .num_threads(1)
         .build()
         .expect("single-thread pool");
-    pool.install(|| run_event_transport(problem, sources, streams))
+    let (out, stats, _) =
+        pool.install(|| event_transport_mesh_impl(problem, sources, streams, None));
+    (out, stats)
 }
 
 /// [`run_event_transport`] with an optional mesh tally scored in the
 /// advance stage (merged across chunks in chunk order, like the history
 /// path's).
+#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::mesh")]
 pub fn run_event_transport_mesh(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
     mesh_spec: Option<MeshSpec>,
 ) -> (TransportOutcome, EventStats, Option<MeshTally>) {
+    event_transport_mesh_impl(problem, sources, streams, mesh_spec)
+}
+
+/// Raw pipeline output before the canonical float fold: integer tallies
+/// and sorted sites in `out`, floats still in per-particle slots.
+struct PipelineRaw {
+    out: TransportOutcome,
+    stats: EventStats,
+    mesh: Option<MeshTally>,
+    tl_pp: Vec<f64>,
+    kt_pp: Vec<f64>,
+    kc_pp: Vec<f64>,
+    ka_pp: Vec<f64>,
+}
+
+/// The collapsed event batch driver ([`crate::engine`]'s event path):
+/// run the staged pipeline and apply the canonical CHUNK=256 float fold.
+pub(crate) fn event_transport_mesh_impl(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    mesh_spec: Option<MeshSpec>,
+) -> (TransportOutcome, EventStats, Option<MeshTally>) {
+    let mut raw = event_pipeline(problem, sources, streams, mesh_spec);
+    // Canonical float-tally reduction: each particle's slot already holds
+    // its segment-ordered sum; folding CHUNK slots per partial and the
+    // partials in order rebuilds the exact reduction tree the history
+    // driver uses, so these four sums — and every k estimator derived
+    // from them — are bit-identical to the history loop's, independent
+    // of event-generation interleaving.
+    let fold = |pp: &[f64]| {
+        pp.chunks(CHUNK)
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0, |acc, s| acc + s)
+    };
+    raw.out.tallies.track_length = fold(&raw.tl_pp);
+    raw.out.tallies.k_track = fold(&raw.kt_pp);
+    raw.out.tallies.k_collision = fold(&raw.kc_pp);
+    raw.out.tallies.k_absorption = fold(&raw.ka_pp);
+    (raw.out, raw.stats, raw.mesh)
+}
+
+/// The event bank transported into CHUNK=256 keyed partials, for the
+/// distributed chunk-keyed all-reduce: chunk `k`'s float fields hold the
+/// sum of per-particle slots `[k*CHUNK, (k+1)*CHUNK)` — exactly the
+/// chunk partials of the serial fold — while every (associative) integer
+/// tally rides in chunk 0. Folding the chunks in index order therefore
+/// rebuilds the serial result bit for bit, and chunks from ranks whose
+/// slices start at CHUNK-aligned offsets coincide with the serial run's
+/// chunks. Sites come back sorted by (parent, seq), parents local to
+/// this slice.
+pub(crate) fn run_event_transport_chunked_impl(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> (Vec<Tallies>, Vec<Site>, EventStats) {
+    let raw = event_pipeline(problem, sources, streams, None);
+    let n = sources.len();
+    let n_chunks = n.div_ceil(CHUNK);
+    let mut chunk_tallies = vec![Tallies::default(); n_chunks];
+    if n_chunks > 0 {
+        // `raw.out.tallies`' float fields are still zero here, so chunk 0
+        // starts as pure integer totals.
+        chunk_tallies[0] = raw.out.tallies;
+        for (k, t) in chunk_tallies.iter_mut().enumerate() {
+            let lo = k * CHUNK;
+            let hi = ((k + 1) * CHUNK).min(n);
+            t.track_length = raw.tl_pp[lo..hi].iter().sum::<f64>();
+            t.k_track = raw.kt_pp[lo..hi].iter().sum::<f64>();
+            t.k_collision = raw.kc_pp[lo..hi].iter().sum::<f64>();
+            t.k_absorption = raw.ka_pp[lo..hi].iter().sum::<f64>();
+        }
+    }
+    (chunk_tallies, raw.out.sites, raw.stats)
+}
+
+/// The staged pipeline proper: stages 1–6 over the live bank. Integer
+/// tallies accumulate into `out.tallies` (chunk-order partial merges);
+/// float tallies land in per-particle slots and are *not* folded here.
+fn event_pipeline(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    mesh_spec: Option<MeshSpec>,
+) -> PipelineRaw {
     let mut mesh = mesh_spec.map(MeshTally::new);
     let mut bank = ParticleBank::from_sources(sources, streams);
     let n = bank.capacity();
@@ -544,22 +634,6 @@ pub fn run_event_transport_mesh(
         }
     }
 
-    // Canonical float-tally reduction: each particle's slot already holds
-    // its segment-ordered sum; folding CHUNK slots per partial and the
-    // partials in order rebuilds the exact reduction tree
-    // `run_histories_mesh` uses, so these four sums — and every k
-    // estimator derived from them — are bit-identical to the history
-    // loop's, independent of event-generation interleaving.
-    let fold = |pp: &[f64]| {
-        pp.chunks(CHUNK)
-            .map(|c| c.iter().sum::<f64>())
-            .fold(0.0, |acc, s| acc + s)
-    };
-    out.tallies.track_length = fold(&tl_pp);
-    out.tallies.k_track = fold(&kt_pp);
-    out.tallies.k_collision = fold(&kc_pp);
-    out.tallies.k_absorption = fold(&ka_pp);
-
     // Events discover sites in generation order; restore history order.
     sort_sites(&mut out.sites);
 
@@ -573,14 +647,37 @@ pub fn run_event_transport_mesh(
             stats.stage_seconds[k] = r.inclusive.as_secs_f64();
         }
     }
-    (out, stats, mesh)
+    PipelineRaw {
+        out,
+        stats,
+        mesh,
+        tl_pp,
+        kt_pp,
+        kc_pp,
+        ka_pp,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{batch_streams, run_histories};
+    use crate::history::batch_streams;
     use crate::problem::Problem;
+
+    /// Test shorthand for the merged event run without a mesh.
+    fn run_event(
+        problem: &Problem,
+        sources: &[SourceSite],
+        streams: &[Lcg63],
+    ) -> (TransportOutcome, EventStats) {
+        let (out, stats, _) = event_transport_mesh_impl(problem, sources, streams, None);
+        (out, stats)
+    }
+
+    /// Test shorthand for the merged history run.
+    fn run_hist(problem: &Problem, sources: &[SourceSite], streams: &[Lcg63]) -> TransportOutcome {
+        crate::history::run_history_batch(problem, sources, streams, None, false, None).0
+    }
 
     #[test]
     fn event_matches_history_exactly() {
@@ -589,8 +686,8 @@ mod tests {
         let sources = problem.sample_initial_source(n, 0);
         let streams = batch_streams(problem.seed, 0, n);
 
-        let hist = run_histories(&problem, &sources, &streams);
-        let (evt, stats) = run_event_transport(&problem, &sources, &streams);
+        let hist = run_hist(&problem, &sources, &streams);
+        let (evt, stats) = run_event(&problem, &sources, &streams);
 
         // Integer tallies must be identical: same trajectories.
         assert_eq!(hist.tallies.segments, evt.tallies.segments);
@@ -664,7 +761,7 @@ mod tests {
                 .num_threads(threads)
                 .build()
                 .unwrap();
-            pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)))
+            pool.install(|| event_transport_mesh_impl(&problem, &sources, &streams, Some(spec)))
         };
         let (out1, stats1, mesh1) = run(1);
         let (out2, stats2, mesh2) = run(2);
@@ -683,7 +780,11 @@ mod tests {
             assert_eq!(a.peak_bank, b.peak_bank);
         }
 
-        let (out_serial, _) = run_event_transport_serial(&problem, &sources, &streams);
+        let serial_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let (out_serial, _) = serial_pool.install(|| run_event(&problem, &sources, &streams));
         assert_eq!(out_serial.tallies, out1.tallies);
         assert_eq!(out_serial.sites, out1.sites);
     }
@@ -694,12 +795,16 @@ mod tests {
         let n = 256;
         let sources = problem.sample_initial_source(n, 3);
         let streams = batch_streams(problem.seed, 1, n);
-        let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
+        let serial_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let (_, serial) = serial_pool.install(|| run_event(&problem, &sources, &streams));
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
-        let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
+        let (_, parallel) = pool.install(|| run_event(&problem, &sources, &streams));
         assert_eq!(serial.iterations, parallel.iterations);
         assert_eq!(serial.lookups, parallel.lookups);
         assert_eq!(serial.peak_bank, parallel.peak_bank);
@@ -734,8 +839,31 @@ mod tests {
         let n = 64;
         let sources = problem.sample_initial_source(n, 5);
         let streams = batch_streams(problem.seed, 3, n);
-        let (out, _) = run_event_transport(&problem, &sources, &streams);
+        let (out, _) = run_event(&problem, &sources, &streams);
         assert_eq!(out.tallies.absorptions + out.tallies.leaks, n as u64);
+    }
+
+    #[test]
+    fn chunked_event_partials_rebuild_the_merged_run_bitwise() {
+        let problem = Problem::test_small();
+        let n = 600; // 3 chunks: 256 + 256 + 88
+        let sources = problem.sample_initial_source(n, 0);
+        let streams = batch_streams(problem.seed, 0, n);
+        let (merged, merged_stats) = run_event(&problem, &sources, &streams);
+        let (chunks, sites, stats) = run_event_transport_chunked_impl(&problem, &sources, &streams);
+        assert_eq!(chunks.len(), n.div_ceil(CHUNK));
+        let mut rebuilt = Tallies::default();
+        for c in &chunks {
+            rebuilt.merge(c);
+        }
+        // Bitwise: the chunk float sums are the serial fold's partials.
+        assert_eq!(rebuilt, merged.tallies);
+        assert_eq!(sites, merged.sites);
+        assert_eq!(stats.iterations, merged_stats.iterations);
+        assert_eq!(stats.lookups, merged_stats.lookups);
+        // Integer totals ride in chunk 0 only.
+        assert_eq!(chunks[0].segments, merged.tallies.segments);
+        assert_eq!(chunks[1].segments, 0);
     }
 
     #[test]
@@ -750,7 +878,7 @@ mod tests {
             })
             .collect();
         let streams = batch_streams(problem.seed, 0, 16);
-        let (out, stats) = run_event_transport(&problem, &sources, &streams);
+        let (out, stats) = run_event(&problem, &sources, &streams);
         assert_eq!(out.tallies.leaks, 16);
         assert_eq!(out.tallies.collisions, 0);
         assert_eq!(stats.iterations, 1);
@@ -767,8 +895,8 @@ mod tests {
             s.pos = Vec3::new(400.0 + i as f64, 0.0, 0.0);
         }
         let streams = batch_streams(problem.seed, 0, 20);
-        let hist = run_histories(&problem, &sources, &streams);
-        let (evt, _) = run_event_transport(&problem, &sources, &streams);
+        let hist = run_hist(&problem, &sources, &streams);
+        let (evt, _) = run_event(&problem, &sources, &streams);
         assert!(hist.tallies.leaks >= 10);
         assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
         assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
@@ -785,8 +913,8 @@ mod tests {
             s.energy = crate::E_FLOOR * 2.0;
         }
         let streams = batch_streams(problem.seed, 0, 12);
-        let hist = run_histories(&problem, &sources, &streams);
-        let (evt, _) = run_event_transport(&problem, &sources, &streams);
+        let hist = run_hist(&problem, &sources, &streams);
+        let (evt, _) = run_event(&problem, &sources, &streams);
         assert_eq!(hist.tallies.absorptions + hist.tallies.leaks, 12);
         assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
     }
@@ -794,8 +922,31 @@ mod tests {
     #[test]
     fn empty_bank_is_a_noop() {
         let problem = Problem::test_small();
-        let (out, stats) = run_event_transport(&problem, &[], &[]);
+        let (out, stats) = run_event(&problem, &[], &[]);
         assert_eq!(out.tallies.n_particles, 0);
         assert_eq!(stats.iterations, 0);
+    }
+
+    /// The deprecated shims are exact aliases of the collapsed driver.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_collapsed_driver() {
+        let problem = Problem::test_small();
+        let n = 300;
+        let sources = problem.sample_initial_source(n, 2);
+        let streams = batch_streams(problem.seed, 1, n);
+        let (base, base_stats) = run_event(&problem, &sources, &streams);
+        let (shim, shim_stats) = run_event_transport(&problem, &sources, &streams);
+        assert_eq!(base.tallies, shim.tallies);
+        assert_eq!(base.sites, shim.sites);
+        assert_eq!(base_stats.iterations, shim_stats.iterations);
+        let (serial, _) = run_event_transport_serial(&problem, &sources, &streams);
+        assert_eq!(base.tallies, serial.tallies);
+        let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+        let (m_out, _, m_mesh) =
+            event_transport_mesh_impl(&problem, &sources, &streams, Some(spec));
+        let (s_out, _, s_mesh) = run_event_transport_mesh(&problem, &sources, &streams, Some(spec));
+        assert_eq!(m_out.tallies, s_out.tallies);
+        assert_eq!(m_mesh.unwrap().bins, s_mesh.unwrap().bins);
     }
 }

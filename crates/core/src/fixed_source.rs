@@ -88,7 +88,17 @@ fn emit(problem: &Problem, def: &SourceDef, index: usize, n: usize) -> SourceSit
 /// Run a fixed-source calculation: each source particle's full fission
 /// chain is transported within its own history (depth-first over the
 /// progeny stack, all on the particle's own RNG stream family).
+#[deprecated(note = "use mcs_core::engine::run with RunMode::FixedSource")]
 pub fn run_fixed_source(problem: &Problem, settings: &FixedSourceSettings) -> FixedSourceResult {
+    run_fixed_source_impl(problem, settings)
+}
+
+/// The fixed-source chain runner ([`crate::engine`]'s fixed-source
+/// dispatch target; thread-local policies wrap it in their pool).
+pub(crate) fn run_fixed_source_impl(
+    problem: &Problem,
+    settings: &FixedSourceSettings,
+) -> FixedSourceResult {
     let n = settings.particles;
     // Pre-sample fuel-Watt sources once (deterministic); point sources
     // are trivially per-index.
@@ -177,7 +187,7 @@ pub fn run_fixed_source(problem: &Problem, settings: &FixedSourceSettings) -> Fi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+    use crate::engine::{self, RunPlan, Threaded};
     use crate::problem::Problem;
 
     fn settings(n: usize) -> FixedSourceSettings {
@@ -191,8 +201,8 @@ mod tests {
     #[test]
     fn fixed_source_is_deterministic() {
         let problem = Problem::test_small();
-        let a = run_fixed_source(&problem, &settings(300));
-        let b = run_fixed_source(&problem, &settings(300));
+        let a = run_fixed_source_impl(&problem, &settings(300));
+        let b = run_fixed_source_impl(&problem, &settings(300));
         assert_eq!(a.tallies, b.tallies);
         assert_eq!(a.progeny, b.progeny);
     }
@@ -203,10 +213,10 @@ mod tests {
         // full subcritical fission chains — source sampling, transport,
         // progeny, and the leak spectrum — must be bitwise identical.
         use crate::problem::GridBackendKind;
-        let reference = run_fixed_source(&Problem::test_small(), &settings(300));
+        let reference = run_fixed_source_impl(&Problem::test_small(), &settings(300));
         for kind in GridBackendKind::ALL {
             let problem = Problem::test_small_with_backend(kind);
-            let r = run_fixed_source(&problem, &settings(300));
+            let r = run_fixed_source_impl(&problem, &settings(300));
             assert_eq!(r.tallies, reference.tallies, "backend {}", kind.name());
             assert_eq!(r.progeny, reference.progeny, "backend {}", kind.name());
             assert_eq!(r.truncated_chains, reference.truncated_chains);
@@ -229,21 +239,20 @@ mod tests {
         // extended with the converged k for the tail. This is tighter
         // than 1/(1−k_mode), which ignores source-shape convergence.
         let problem = Problem::test_small();
-        let fixed = run_fixed_source(&problem, &settings(3_000));
+        let fixed = run_fixed_source_impl(&problem, &settings(3_000));
         assert_eq!(fixed.truncated_chains, 0, "subcritical chains must die");
         let m = fixed.multiplication();
 
-        let eig = run_eigenvalue(
-            &problem,
-            &EigenvalueSettings {
-                particles: 3_000,
-                inactive: 4,
-                active: 6,
-                mode: TransportMode::History,
-                entropy_mesh: (4, 4, 4),
-                mesh_tally: None,
-            },
-        );
+        let plan = RunPlan {
+            particles: 3_000,
+            inactive: 4,
+            active: 6,
+            entropy_mesh: (4, 4, 4),
+            ..RunPlan::default()
+        };
+        let eig = engine::run_with_problem(&problem, &plan, &mut Threaded::ambient())
+            .into_eigenvalue()
+            .result;
         let ks: Vec<f64> = eig.batches.iter().map(|b| b.k_track).collect();
         let k_mode = eig.k_mean;
         assert!(k_mode < 0.95, "identity needs a clearly subcritical system");
@@ -269,7 +278,7 @@ mod tests {
         // thermal component (moderated escapees; most thermal neutrons
         // are absorbed before reaching the boundary).
         let problem = Problem::test_small();
-        let r = run_fixed_source(&problem, &settings(1_000));
+        let r = run_fixed_source_impl(&problem, &settings(1_000));
         let total: f64 = r.leak_spectrum.total();
         assert!((total - r.tallies.leaks as f64).abs() < 1e-9);
         let in_range = |lo: f64, hi: f64| -> f64 {
@@ -302,7 +311,7 @@ mod tests {
             },
             max_chain: 10_000,
         };
-        let r = run_fixed_source(&problem, &s);
+        let r = run_fixed_source_impl(&problem, &s);
         assert_eq!(r.tallies.n_particles, (200 + r.progeny) as u64);
         assert!(r.tallies.collisions > 0);
         assert_eq!(
@@ -318,7 +327,7 @@ mod tests {
         let problem = Problem::test_small();
         let mut s = settings(50);
         s.max_chain = 0;
-        let r = run_fixed_source(&problem, &s);
+        let r = run_fixed_source_impl(&problem, &s);
         assert_eq!(r.truncated_chains, 50);
         assert_eq!(r.tallies.n_particles, 0);
     }

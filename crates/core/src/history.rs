@@ -5,6 +5,10 @@
 //! control flow diverges independently (§I). Parallelism over particles
 //! uses fixed-size chunks folded in chunk order, so results are bitwise
 //! identical for any thread count.
+//!
+//! The `run_histories_*` driver zoo is collapsed into one parameterized
+//! batch function consumed by `mcs_core::engine`; the old entry points
+//! remain for one PR as `#[deprecated]` shims.
 
 use mcs_geom::{Vec3, BOUNDARY_EPS};
 use mcs_prof::ThreadProfiler;
@@ -218,62 +222,97 @@ fn transport_particle_inner(
     panic!("particle exceeded {MAX_SEGMENTS} flight segments");
 }
 
-/// Run a set of histories in parallel (rayon), deterministically: chunk
-/// `CHUNK` particles per task, fold partial results in chunk order.
-pub fn run_histories(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> TransportOutcome {
-    run_histories_mesh(problem, sources, streams, None).0
-}
-
-/// [`run_histories`] with an optional mesh tally (deterministically
-/// merged in chunk order, like everything else).
-pub fn run_histories_mesh(
+/// The collapsed history batch driver: every `run_histories_*` variant
+/// is this one function with different knobs.
+///
+/// * `mesh_spec` — score a mesh tally along every segment.
+/// * `want_spectrum` — score a full-range energy spectrum.
+/// * `profiler` — run *sequentially* on the calling thread under the
+///   `transport_total` region with per-routine attribution (the fig. 4
+///   measurement; its single-accumulator float fold is part of the
+///   measurement and differs from the chunked tree above `CHUNK`
+///   particles, which is why the profiled path stays sequential).
+///
+/// The parallel path chunks `CHUNK` particles per task and folds partial
+/// results in chunk order, so every thread count reproduces the serial
+/// summation tree bit for bit.
+pub(crate) fn run_history_batch(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
     mesh_spec: Option<MeshSpec>,
-) -> (TransportOutcome, Option<MeshTally>) {
+    want_spectrum: bool,
+    profiler: Option<&ThreadProfiler>,
+) -> (TransportOutcome, Option<MeshTally>, Option<SpectrumTally>) {
     assert_eq!(sources.len(), streams.len());
-    let partials: Vec<(TransportOutcome, Option<MeshTally>)> = sources
+
+    if let Some(prof) = profiler {
+        // Sequential instrumented path: one accumulator, no chunk fold —
+        // bit-identical to the historical `run_histories_profiled`.
+        let mut out = TransportOutcome::default();
+        let mut mesh = mesh_spec.map(MeshTally::new);
+        let mut spectrum = want_spectrum.then(SpectrumTally::standard);
+        let _total = prof.enter("transport_total");
+        for (i, (&site, &rng)) in sources.iter().zip(streams).enumerate() {
+            let mut p = Particle::born(site, i as u32, rng);
+            transport_particle_full(
+                problem,
+                &mut p,
+                &mut out.tallies,
+                &mut out.sites,
+                Some(prof),
+                mesh.as_mut(),
+                spectrum.as_mut(),
+                None,
+            );
+        }
+        return (out, mesh, spectrum);
+    }
+
+    let partials: Vec<(TransportOutcome, Option<MeshTally>, Option<SpectrumTally>)> = sources
         .par_chunks(CHUNK)
         .zip(streams.par_chunks(CHUNK))
         .enumerate()
         .map(|(chunk_idx, (src, stream))| {
             let mut out = TransportOutcome::default();
             let mut mesh = mesh_spec.map(MeshTally::new);
+            let mut spectrum = want_spectrum.then(SpectrumTally::standard);
             for (i, (&site, &rng)) in src.iter().zip(stream).enumerate() {
                 let index = (chunk_idx * CHUNK + i) as u32;
                 let mut p = Particle::born(site, index, rng);
-                transport_particle_mesh(
+                transport_particle_full(
                     problem,
                     &mut p,
                     &mut out.tallies,
                     &mut out.sites,
                     None,
                     mesh.as_mut(),
+                    spectrum.as_mut(),
+                    None,
                 );
             }
-            (out, mesh)
+            (out, mesh, spectrum)
         })
         .collect();
 
     let mut merged = TransportOutcome::default();
     let mut mesh = mesh_spec.map(MeshTally::new);
-    for (part, part_mesh) in partials {
+    let mut spectrum = want_spectrum.then(SpectrumTally::standard);
+    for (part, part_mesh, part_spectrum) in partials {
         merged.tallies.merge(&part.tallies);
         merged.sites.extend(part.sites);
         if let (Some(m), Some(pm)) = (mesh.as_mut(), part_mesh.as_ref()) {
             m.merge(pm);
         }
+        if let (Some(sp), Some(ps)) = (spectrum.as_mut(), part_spectrum.as_ref()) {
+            sp.merge(ps);
+        }
     }
-    (merged, mesh)
+    (merged, mesh, spectrum)
 }
 
-/// [`run_histories`] exposing the per-chunk partial outcomes instead of
-/// the merged result, in chunk order (chunk `i` covers local particles
+/// [`run_history_batch`] exposing the per-chunk partial outcomes instead
+/// of the merged result, in chunk order (chunk `i` covers local particles
 /// `i*CHUNK .. (i+1)*CHUNK`).
 ///
 /// This is the building block for *partition-invariant* distributed
@@ -284,7 +323,7 @@ pub fn run_histories_mesh(
 /// the serial run's chunks, so the all-reduce can rebuild the *serial*
 /// fold exactly — merging whole-rank partials cannot (float addition is
 /// not associative across different groupings).
-pub fn run_histories_chunked(
+pub(crate) fn run_histories_chunked_impl(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
@@ -306,70 +345,63 @@ pub fn run_histories_chunked(
         .collect()
 }
 
+/// Run a set of histories in parallel (rayon), deterministically: chunk
+/// `CHUNK` particles per task, fold partial results in chunk order.
+#[deprecated(note = "use mcs_core::engine::transport_batch with Algorithm::History")]
+pub fn run_histories(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> TransportOutcome {
+    run_history_batch(problem, sources, streams, None, false, None).0
+}
+
+/// [`run_histories`] with an optional mesh tally (deterministically
+/// merged in chunk order, like everything else).
+#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::mesh")]
+pub fn run_histories_mesh(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+    mesh_spec: Option<MeshSpec>,
+) -> (TransportOutcome, Option<MeshTally>) {
+    let (out, mesh, _) = run_history_batch(problem, sources, streams, mesh_spec, false, None);
+    (out, mesh)
+}
+
+/// [`run_histories`] exposing the per-chunk partial outcomes instead of
+/// the merged result, in chunk order.
+#[deprecated(note = "use mcs_core::engine::transport_chunks")]
+pub fn run_histories_chunked(
+    problem: &Problem,
+    sources: &[SourceSite],
+    streams: &[Lcg63],
+) -> Vec<TransportOutcome> {
+    run_histories_chunked_impl(problem, sources, streams)
+}
+
 /// Single-threaded run with TAU-style instrumentation (for the Fig. 4
 /// profile comparison).
+#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::profiler")]
 pub fn run_histories_profiled(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
     prof: &ThreadProfiler,
 ) -> TransportOutcome {
-    let mut out = TransportOutcome::default();
-    let _total = prof.enter("transport_total");
-    for (i, (&site, &rng)) in sources.iter().zip(streams).enumerate() {
-        let mut p = Particle::born(site, i as u32, rng);
-        transport_particle(
-            problem,
-            &mut p,
-            &mut out.tallies,
-            &mut out.sites,
-            Some(prof),
-        );
-    }
-    out
+    run_history_batch(problem, sources, streams, None, false, Some(prof)).0
 }
 
 /// [`run_histories`] plus a full-range energy-spectrum tally
 /// (deterministically merged in chunk order).
+#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::spectrum")]
 pub fn run_histories_spectrum(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
 ) -> (TransportOutcome, SpectrumTally) {
-    assert_eq!(sources.len(), streams.len());
-    let partials: Vec<(TransportOutcome, SpectrumTally)> = sources
-        .par_chunks(CHUNK)
-        .zip(streams.par_chunks(CHUNK))
-        .enumerate()
-        .map(|(chunk_idx, (src, stream))| {
-            let mut out = TransportOutcome::default();
-            let mut spectrum = SpectrumTally::standard();
-            for (i, (&site, &rng)) in src.iter().zip(stream).enumerate() {
-                let index = (chunk_idx * CHUNK + i) as u32;
-                let mut p = Particle::born(site, index, rng);
-                transport_particle_full(
-                    problem,
-                    &mut p,
-                    &mut out.tallies,
-                    &mut out.sites,
-                    None,
-                    None,
-                    Some(&mut spectrum),
-                    None,
-                );
-            }
-            (out, spectrum)
-        })
-        .collect();
-
-    let mut merged = TransportOutcome::default();
-    let mut spectrum = SpectrumTally::standard();
-    for (part, sp) in partials {
-        merged.tallies.merge(&part.tallies);
-        merged.sites.extend(part.sites);
-        spectrum.merge(&sp);
-    }
-    (merged, spectrum)
+    let (out, _, spectrum) = run_history_batch(problem, sources, streams, None, true, None);
+    (out, spectrum.expect("spectrum requested"))
 }
 
 /// The per-history RNG streams for batch `batch_index` of a run: particle
@@ -404,7 +436,7 @@ mod tests {
         let problem = Problem::test_small();
         let sources = problem.sample_initial_source(n, 0);
         let streams = batch_streams(problem.seed, 0, n);
-        let out = run_histories(&problem, &sources, &streams);
+        let out = run_history_batch(&problem, &sources, &streams, None, false, None).0;
         (problem, out)
     }
 
@@ -468,8 +500,10 @@ mod tests {
             .num_threads(4)
             .build()
             .unwrap();
-        let a = pool1.install(|| run_histories(&problem, &sources, &streams));
-        let b = pool4.install(|| run_histories(&problem, &sources, &streams));
+        let a =
+            pool1.install(|| run_history_batch(&problem, &sources, &streams, None, false, None).0);
+        let b =
+            pool4.install(|| run_history_batch(&problem, &sources, &streams, None, false, None).0);
         assert_eq!(a.tallies, b.tallies);
         assert_eq!(a.sites, b.sites);
     }
@@ -480,8 +514,8 @@ mod tests {
         let sources = problem.sample_initial_source(100, 2);
         let streams = batch_streams(problem.seed, 0, 100);
         let prof = mcs_prof::ThreadProfiler::new();
-        let a = run_histories_profiled(&problem, &sources, &streams, &prof);
-        let b = run_histories(&problem, &sources, &streams);
+        let a = run_history_batch(&problem, &sources, &streams, None, false, Some(&prof)).0;
+        let b = run_history_batch(&problem, &sources, &streams, None, false, None).0;
         assert_eq!(a.tallies, b.tallies);
         assert_eq!(a.sites, b.sites);
         let profile = prof.finish();
@@ -495,8 +529,8 @@ mod tests {
         let n = 600; // 3 chunks: 256 + 256 + 88
         let sources = problem.sample_initial_source(n, 0);
         let streams = batch_streams(problem.seed, 0, n);
-        let merged = run_histories(&problem, &sources, &streams);
-        let chunks = run_histories_chunked(&problem, &sources, &streams);
+        let merged = run_history_batch(&problem, &sources, &streams, None, false, None).0;
+        let chunks = run_histories_chunked_impl(&problem, &sources, &streams);
         assert_eq!(chunks.len(), n.div_ceil(CHUNK));
         let mut rebuilt = TransportOutcome::default();
         for c in &chunks {
@@ -513,5 +547,51 @@ mod tests {
         // A single short assembly leaks plenty of fast neutrons.
         let (_, out) = small_run(500);
         assert!(out.tallies.leaks > 0);
+    }
+
+    /// The deprecated shims are exact aliases of the collapsed driver.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_collapsed_driver() {
+        let problem = Problem::test_small();
+        let n = 300; // 2 chunks, exercising the fold
+        let sources = problem.sample_initial_source(n, 3);
+        let streams = batch_streams(problem.seed, 1, n);
+
+        let base = run_history_batch(&problem, &sources, &streams, None, false, None).0;
+        let shim = run_histories(&problem, &sources, &streams);
+        assert_eq!(base.tallies, shim.tallies);
+        assert_eq!(base.sites, shim.sites);
+
+        let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
+        let (m_out, m_mesh, _) =
+            run_history_batch(&problem, &sources, &streams, Some(spec), false, None);
+        let (s_out, s_mesh) = run_histories_mesh(&problem, &sources, &streams, Some(spec));
+        assert_eq!(m_out.tallies, s_out.tallies);
+        assert_eq!(m_mesh.unwrap().bins, s_mesh.unwrap().bins);
+
+        let (sp_out, _, sp_tally) =
+            run_history_batch(&problem, &sources, &streams, None, true, None);
+        let (ss_out, ss_tally) = run_histories_spectrum(&problem, &sources, &streams);
+        assert_eq!(sp_out.tallies, ss_out.tallies);
+        assert_eq!(sp_tally.unwrap().bins, ss_tally.bins);
+
+        let chunks_a = run_histories_chunked_impl(&problem, &sources, &streams);
+        let chunks_b = run_histories_chunked(&problem, &sources, &streams);
+        assert_eq!(chunks_a.len(), chunks_b.len());
+        for (a, b) in chunks_a.iter().zip(&chunks_b) {
+            assert_eq!(a.tallies, b.tallies);
+            assert_eq!(a.sites, b.sites);
+        }
+
+        // The profiled shim reproduces the sequential instrumented path
+        // (whose single-accumulator float fold differs from the chunked
+        // tree above CHUNK particles, so compare against that path).
+        let prof_a = mcs_prof::ThreadProfiler::new();
+        let p_base = run_history_batch(&problem, &sources, &streams, None, false, Some(&prof_a)).0;
+        let prof_b = mcs_prof::ThreadProfiler::new();
+        let p_shim = run_histories_profiled(&problem, &sources, &streams, &prof_b);
+        assert_eq!(p_base.tallies, p_shim.tallies);
+        assert_eq!(p_base.sites, p_shim.sites);
     }
 }

@@ -26,10 +26,12 @@
 //! micro-kernels (naive, batch-RNG, batch-RNG + SIMD intrinsics).
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod balance;
 pub mod distance;
 pub mod eigenvalue;
+pub mod engine;
 pub mod event;
 pub mod fixed_source;
 pub mod history;
@@ -43,7 +45,13 @@ pub mod tally;
 pub mod vr;
 
 pub use eigenvalue::{EigenvalueResult, EigenvalueSettings, TransportMode};
-pub use fixed_source::{run_fixed_source, FixedSourceResult, FixedSourceSettings, SourceDef};
+pub use engine::{
+    Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
+    Serial, Threaded,
+};
+#[allow(deprecated)] // legacy re-export kept alive for one PR alongside the shim
+pub use fixed_source::run_fixed_source;
+pub use fixed_source::{FixedSourceResult, FixedSourceSettings, SourceDef};
 pub use mesh::{MeshSpec, MeshTally};
 pub use particle::{Particle, ParticleBank, Site, SourceSite};
 pub use problem::{HmModel, Problem};

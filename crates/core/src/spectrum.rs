@@ -102,7 +102,7 @@ impl SpectrumTally {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{batch_streams, run_histories_spectrum};
+    use crate::history::{batch_streams, run_history_batch};
     use crate::problem::Problem;
 
     #[test]
@@ -151,7 +151,8 @@ mod tests {
         let n = 1_200;
         let sources = problem.sample_initial_source(n, 0);
         let streams = batch_streams(problem.seed, 0, n);
-        let (out, spectrum) = run_histories_spectrum(&problem, &sources, &streams);
+        let (out, _, spectrum) = run_history_batch(&problem, &sources, &streams, None, true, None);
+        let spectrum = spectrum.expect("spectrum requested");
 
         // Conservation: the spectrum integrates (within range cut) to the
         // total weighted track length (analog ⇒ weight 1).

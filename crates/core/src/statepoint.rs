@@ -188,84 +188,72 @@ impl Statepoint {
 /// Run an eigenvalue calculation up to (and including) batch
 /// `stop_after_batches`, returning the partial result and a statepoint
 /// from which [`resume_eigenvalue`] continues bit-exactly.
+#[deprecated(note = "use mcs_core::engine::run_batches with a RunPlan")]
 pub fn run_eigenvalue_checkpointed(
     problem: &Problem,
     settings: &EigenvalueSettings,
     stop_after_batches: usize,
 ) -> (Vec<BatchResult>, Statepoint) {
-    crate::eigenvalue::run_eigenvalue_partial(problem, settings, 0, stop_after_batches, None)
+    // The legacy checkpoint driver never scored user meshes.
+    let mut plan = crate::eigenvalue::plan_for(problem, settings);
+    plan.mesh_tally = None;
+    let report = crate::engine::run_batches(
+        problem,
+        &plan,
+        &mut crate::engine::Threaded::ambient(),
+        0,
+        stop_after_batches,
+        None,
+    );
+    (report.batches, report.statepoint)
 }
 
 /// Resume from a statepoint, running the remaining batches of the plan.
+#[deprecated(note = "use mcs_core::engine::resume_with_problem")]
 pub fn resume_eigenvalue(
     problem: &Problem,
     settings: &EigenvalueSettings,
     checkpoint: &Statepoint,
 ) -> EigenvalueResult {
-    assert_eq!(
-        checkpoint.seed, problem.seed,
-        "statepoint belongs to a different problem seed"
-    );
-    let total = settings.inactive + settings.active;
-    let (batches, final_sp) = crate::eigenvalue::run_eigenvalue_partial(
+    let mut plan = crate::eigenvalue::plan_for(problem, settings);
+    plan.mesh_tally = None;
+    let report = crate::engine::resume_with_problem(
         problem,
-        settings,
-        checkpoint.completed_batches,
-        total,
-        Some(checkpoint.clone()),
+        &plan,
+        &mut crate::engine::Threaded::ambient(),
+        checkpoint,
     );
-    // Assemble the full-run view from the checkpoint's history plus the
-    // resumed batches.
-    let active_ks: Vec<f64> = final_sp
-        .k_history
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i >= settings.inactive)
-        .map(|(_, &k)| k)
-        .collect();
-    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
-    let k_std = if active_ks.len() > 1 {
-        let var = active_ks
-            .iter()
-            .map(|k| (k - k_mean) * (k - k_mean))
-            .sum::<f64>()
-            / (active_ks.len() - 1) as f64;
-        (var / active_ks.len() as f64).sqrt()
-    } else {
-        0.0
-    };
-    EigenvalueResult {
-        batches,
-        k_mean,
-        k_std,
-        tallies: final_sp.tallies,
-        mesh: None,
-        mesh_stats: None,
-        event_stats: None,
-        total_time: std::time::Duration::ZERO,
-    }
+    // The legacy resume path never reported mesh/event stats or a wall
+    // time (it only assembled the statistics view).
+    let mut result = report.result;
+    result.event_stats = None;
+    result.total_time = std::time::Duration::ZERO;
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eigenvalue::{run_eigenvalue, TransportMode};
+    use crate::engine::{self, RunPlan, Threaded};
 
-    fn settings() -> EigenvalueSettings {
-        EigenvalueSettings {
+    fn plan() -> RunPlan {
+        RunPlan {
             particles: 400,
             inactive: 2,
             active: 4,
-            mode: TransportMode::History,
             entropy_mesh: (4, 4, 4),
-            mesh_tally: None,
+            ..RunPlan::default()
         }
+    }
+
+    fn checkpoint_at(problem: &Problem, plan: &RunPlan, stop: usize) -> Statepoint {
+        engine::run_batches(problem, plan, &mut Threaded::ambient(), 0, stop, None).statepoint
     }
 
     #[test]
     fn roundtrip_through_bytes() {
         let problem = Problem::test_small();
-        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 3);
+        let sp = checkpoint_at(&problem, &plan(), 3);
         let mut buf = Vec::new();
         sp.write_to(&mut buf).unwrap();
         let back = Statepoint::read_from(&mut buf.as_slice()).unwrap();
@@ -275,7 +263,7 @@ mod tests {
     #[test]
     fn corrupt_file_is_rejected() {
         let problem = Problem::test_small();
-        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        let sp = checkpoint_at(&problem, &plan(), 2);
         let mut buf = Vec::new();
         sp.write_to(&mut buf).unwrap();
         // Flip a byte in the middle of the source bank.
@@ -291,16 +279,19 @@ mod tests {
     #[test]
     fn resume_is_bit_exact() {
         let problem = Problem::test_small();
-        let s = settings();
-        let full = run_eigenvalue(&problem, &s);
+        let p = plan();
+        let full = engine::run_with_problem(&problem, &p, &mut Threaded::ambient())
+            .into_eigenvalue()
+            .result;
 
-        let (_, sp) = run_eigenvalue_checkpointed(&problem, &s, 3);
+        let sp = checkpoint_at(&problem, &p, 3);
         // Round-trip the checkpoint through its file format.
         let mut buf = Vec::new();
         sp.write_to(&mut buf).unwrap();
         let sp = Statepoint::read_from(&mut buf.as_slice()).unwrap();
 
-        let resumed = resume_eigenvalue(&problem, &s, &sp);
+        let resumed =
+            engine::resume_with_problem(&problem, &p, &mut Threaded::ambient(), &sp).result;
         assert_eq!(full.k_mean, resumed.k_mean, "resume must be bit-exact");
         assert_eq!(full.tallies, resumed.tallies);
         // Per-batch k's of the resumed tail match the full run's tail.
@@ -313,10 +304,10 @@ mod tests {
     #[test]
     fn resume_rejects_foreign_problem() {
         let problem = Problem::test_small();
-        let (_, mut sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        let mut sp = checkpoint_at(&problem, &plan(), 2);
         sp.seed ^= 1;
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            resume_eigenvalue(&problem, &settings(), &sp)
+            engine::resume_with_problem(&problem, &plan(), &mut Threaded::ambient(), &sp)
         }));
         assert!(r.is_err());
     }
@@ -324,11 +315,40 @@ mod tests {
     #[test]
     fn save_and_load_files() {
         let problem = Problem::test_small();
-        let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings(), 2);
+        let sp = checkpoint_at(&problem, &plan(), 2);
         let path = std::env::temp_dir().join("mcs_statepoint_test.bin");
         sp.save(&path).unwrap();
         let back = Statepoint::load(&path).unwrap();
         assert_eq!(sp, back);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_checkpoint_shims_match_the_engine() {
+        use crate::eigenvalue::{EigenvalueSettings, TransportMode};
+        let problem = Problem::test_small();
+        let settings = EigenvalueSettings {
+            particles: 400,
+            inactive: 2,
+            active: 4,
+            mode: TransportMode::History,
+            entropy_mesh: (4, 4, 4),
+            mesh_tally: None,
+        };
+        let (batches, sp) = run_eigenvalue_checkpointed(&problem, &settings, 3);
+        let report = engine::run_batches(&problem, &plan(), &mut Threaded::ambient(), 0, 3, None);
+        assert_eq!(sp, report.statepoint);
+        assert_eq!(batches.len(), report.batches.len());
+
+        let resumed_shim = resume_eigenvalue(&problem, &settings, &sp);
+        let resumed_engine =
+            engine::resume_with_problem(&problem, &plan(), &mut Threaded::ambient(), &sp).result;
+        assert_eq!(
+            resumed_shim.k_mean.to_bits(),
+            resumed_engine.k_mean.to_bits()
+        );
+        assert_eq!(resumed_shim.k_std.to_bits(), resumed_engine.k_std.to_bits());
+        assert_eq!(resumed_shim.tallies, resumed_engine.tallies);
     }
 }

@@ -245,7 +245,8 @@ mod tests {
                 mcs_rng::Lcg63::for_history(problem.seed ^ 0x77, i as u64, mcs_rng::STREAM_STRIDE)
             })
             .collect();
-        let analog = crate::history::run_histories(&problem, &sources, &streams);
+        let (analog, _, _) =
+            crate::history::run_history_batch(&problem, &sources, &streams, None, false, None);
         assert_eq!(vr.tallies.collisions, analog.tallies.collisions);
         assert_eq!(vr.tallies.leaks, analog.tallies.leaks);
         assert_eq!(vr.splits, 0);

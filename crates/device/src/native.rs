@@ -144,13 +144,21 @@ impl NativeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcs_core::history::{batch_streams, run_histories};
+    use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
+    use mcs_core::history::batch_streams;
 
     fn measured_tallies() -> (ProblemShape, Tallies) {
         let problem = Problem::test_small();
         let sources = problem.sample_initial_source(300, 0);
         let streams = batch_streams(problem.seed, 0, 300);
-        let out = run_histories(&problem, &sources, &streams);
+        let out = transport_batch(
+            &problem,
+            &sources,
+            &streams,
+            &BatchRequest::default(),
+            &mut Threaded::ambient(),
+        )
+        .outcome;
         (shape_of(&problem), out.tallies)
     }
 

@@ -12,9 +12,9 @@
 //! MCS_PARTICLES=20000 cargo run --release --example full_core_eigenvalue
 //! ```
 
-use mcs::core::eigenvalue::run_eigenvalue;
+use mcs::core::engine::{run_with_problem, ModelRef, RunPlan, Threaded};
 use mcs::core::problem::{HmModel, ProblemConfig};
-use mcs::core::{EigenvalueSettings, Problem, TransportMode};
+use mcs::core::Problem;
 
 fn main() {
     let particles: usize = std::env::var("MCS_PARTICLES")
@@ -40,20 +40,22 @@ fn main() {
         problem.geometry.bounds.1.x - problem.geometry.bounds.0.x,
     );
 
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
+        model: ModelRef::Large,
         particles,
         inactive: 4,
         active: 6,
-        mode: TransportMode::History,
         entropy_mesh: (16, 16, 8),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
     println!(
         "\nrunning {} batches x {} particles (history-based)...\n",
-        settings.inactive + settings.active,
-        settings.particles
+        plan.total_batches(),
+        plan.particles
     );
-    let result = run_eigenvalue(&problem, &settings);
+    let result = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
 
     println!(
         "{:>6} {:>9} {:>10} {:>10} {:>10} {:>9} {:>10}",

@@ -13,7 +13,8 @@
 //! ```
 
 use mcs::cluster::{strong_scaling, CommModel, NodeSpec};
-use mcs::core::history::{batch_streams, run_histories};
+use mcs::core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs::core::history::batch_streams;
 use mcs::core::problem::{HmModel, ProblemConfig};
 use mcs::core::Problem;
 use mcs::device::native::{shape_of, NativeModel, TransportKind};
@@ -25,7 +26,14 @@ fn main() {
     let n = 2_000;
     let sources = problem.sample_initial_source(n, 0);
     let streams = batch_streams(problem.seed, 0, n);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let shape = shape_of(&problem);
 
     // Scale the measured counts to a production batch so fixed per-batch

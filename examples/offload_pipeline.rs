@@ -11,7 +11,7 @@
 //! cargo run --release --example offload_pipeline
 //! ```
 
-use mcs::core::event::run_event_transport;
+use mcs::core::engine::{transport_batch, Algorithm, BatchRequest, Threaded};
 use mcs::core::history::batch_streams;
 use mcs::core::problem::{HmModel, ProblemConfig};
 use mcs::core::Problem;
@@ -32,7 +32,17 @@ fn main() {
     let sources = problem.sample_initial_source(n, 0);
     let streams = batch_streams(problem.seed, 0, n);
     let t0 = std::time::Instant::now();
-    let (outcome, stats) = run_event_transport(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            ..BatchRequest::default()
+        },
+        &mut Threaded::ambient(),
+    );
+    let (outcome, stats) = (out.outcome, out.event_stats.expect("event-banking stats"));
     let wall = t0.elapsed();
 
     println!("\nevent-loop execution (measured on this host):");

@@ -2,37 +2,44 @@
 //! checkpoint/restart, and the distributed (executed-MPI) runtime — the
 //! features a downstream user reaches for once the physics works.
 //!
+//! Every section drives the same unified engine (`mcs::core::engine`):
+//! the only thing that changes between a laptop run and the simulated
+//! MPI run is the [`ExecutionPolicy`] handed to it.
+//!
 //! ```sh
 //! cargo run --release --example production_run
 //! ```
 
-use std::sync::Arc;
-
-use mcs::cluster::{run_distributed_eigenvalue, DistributedSettings};
-use mcs::core::eigenvalue::run_eigenvalue;
+use mcs::cluster::DistributedPolicy;
+use mcs::core::engine::{
+    resume_with_problem, run_batches, run_with_problem, PolicySpec, RunPlan, Threaded,
+};
 use mcs::core::physics::AbsorptionTreatment;
-use mcs::core::statepoint::{resume_eigenvalue, run_eigenvalue_checkpointed, Statepoint};
-use mcs::core::{EigenvalueSettings, MeshSpec, Problem, TransportMode};
+use mcs::core::statepoint::Statepoint;
+use mcs::core::Problem;
 
 fn main() {
     let mut problem = Problem::test_small();
     // Variance reduction: implicit capture + Russian roulette.
     problem.treatment = AbsorptionTreatment::survival_default();
 
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: 3_000,
         inactive: 3,
         active: 5,
-        mode: TransportMode::History,
+        survival: true,
         entropy_mesh: (8, 8, 4),
         // A user-defined flux mesh over the assembly, scored in active
         // batches only.
-        mesh_tally: Some(MeshSpec::covering(problem.geometry.bounds, 17, 17, 4)),
+        mesh_tally: Some((17, 17, 4)),
+        ..RunPlan::default()
     };
 
     // --- 1. straight-through run with survival biasing + mesh ----------
     println!("[1] survival-biased run with a 17x17x4 flux mesh:");
-    let result = run_eigenvalue(&problem, &settings);
+    let result = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     println!(
         "    k = {:.5} ± {:.5}   ({:.1} segments/history — biased histories live long)",
         result.k_mean,
@@ -67,7 +74,10 @@ fn main() {
 
     // --- 2. checkpoint and bit-exact restart ---------------------------
     println!("\n[2] checkpoint/restart:");
-    let (_, sp) = run_eigenvalue_checkpointed(&problem, &settings, 4);
+    // Run the first 4 batches only; the report's statepoint captures the
+    // source bank and k history at the stop point.
+    let partial = run_batches(&problem, &plan, &mut Threaded::ambient(), 0, 4, None);
+    let sp = partial.statepoint;
     let path = std::env::temp_dir().join("mcs_production_example.statepoint");
     sp.save(&path).expect("write statepoint");
     println!(
@@ -77,7 +87,7 @@ fn main() {
         sp.source.len()
     );
     let sp = Statepoint::load(&path).expect("read statepoint");
-    let resumed = resume_eigenvalue(&problem, &settings, &sp);
+    let resumed = resume_with_problem(&problem, &plan, &mut Threaded::ambient(), &sp).result;
     println!(
         "    resumed k = {:.5} (straight-through k = {:.5}) — bit-exact: {}",
         resumed.k_mean,
@@ -89,20 +99,22 @@ fn main() {
 
     // --- 3. the distributed runtime -------------------------------------
     println!("\n[3] executed MPI-style runtime (4 rank threads, adaptive balancing):");
-    let problem = Arc::new(Problem::test_small()); // analog for this one
-    let dist = run_distributed_eigenvalue(
-        &problem,
-        4,
-        &DistributedSettings {
-            adaptive: true,
-            ..DistributedSettings::simple(3_000, 2, 3)
-        },
-    );
-    for b in &dist.batches {
+    let problem = Problem::test_small(); // analog for this one
+    let plan = RunPlan {
+        particles: 3_000,
+        inactive: 2,
+        active: 3,
+        entropy_mesh: (8, 8, 4),
+        policy: PolicySpec::Distributed { ranks: 4 },
+        ..RunPlan::default()
+    };
+    let mut policy = DistributedPolicy::new(4).with_adaptive(true);
+    let report = run_with_problem(&problem, &plan, &mut policy).into_eigenvalue();
+    for (b, d) in report.batches.iter().zip(policy.details()) {
         println!(
             "    batch {} assignments {:?}  k = {:.5}",
-            b.index, b.assignments, b.k_track
+            b.index, d.assignments, b.k_track
         );
     }
-    println!("    distributed k = {:.5}", dist.k_mean);
+    println!("    distributed k = {:.5}", report.result.k_mean);
 }

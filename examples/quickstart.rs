@@ -5,12 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mcs::core::eigenvalue::run_eigenvalue;
-use mcs::core::{EigenvalueSettings, Problem, TransportMode};
+use mcs::core::engine::{run_with_problem, Algorithm, RunPlan, Threaded};
+use mcs::core::Problem;
 
 fn main() {
     // A single fuel assembly with the tiny synthetic nuclide library —
-    // small enough to run in seconds. `Problem::hm(HmModel::Large, ...)`
+    // small enough to run in seconds. `ModelRef::Large` in the plan
     // builds the full 241-assembly core with 320 fuel nuclides.
     let problem = Problem::test_small();
     println!(
@@ -20,17 +20,18 @@ fn main() {
         problem.n_materials()
     );
 
-    let mut settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: 2_000,
         inactive: 3,
         active: 5,
-        mode: TransportMode::History,
         entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
 
     // History-based transport (OpenMC's algorithm: one task per particle).
-    let hist = run_eigenvalue(&problem, &settings);
+    let hist = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     println!("\nhistory-based batches:");
     for b in &hist.batches {
         println!(
@@ -49,8 +50,13 @@ fn main() {
 
     // Event-based transport (the banking algorithm): same physics, same
     // RNG streams, staged SIMD-friendly kernels — identical trajectories.
-    settings.mode = TransportMode::Event;
-    let evt = run_eigenvalue(&problem, &settings);
+    let evt_plan = RunPlan {
+        algorithm: Algorithm::EventBanking,
+        ..plan.clone()
+    };
+    let evt = run_with_problem(&problem, &evt_plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     println!(
         "\nevent-based (banking) run: k = {:.5} ± {:.5}",
         evt.k_mean, evt.k_std

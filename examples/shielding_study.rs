@@ -10,7 +10,8 @@
 //! cargo run --release --example shielding_study
 //! ```
 
-use mcs::core::fixed_source::{run_fixed_source, FixedSourceSettings, SourceDef};
+use mcs::core::engine::{ExecutionPolicy, Threaded};
+use mcs::core::fixed_source::{FixedSourceSettings, SourceDef};
 use mcs::core::Problem;
 use mcs::geom::Vec3;
 
@@ -29,7 +30,11 @@ fn run_with_boron(boron: f64, label: &str) {
         },
         max_chain: 100_000,
     };
-    let r = run_fixed_source(&problem, &settings);
+    // Custom sources go through the policy layer directly (the RunPlan
+    // TOML form only describes the standard fuel-Watt source).
+    let r = Threaded::ambient()
+        .run_fixed_source(&problem, &settings)
+        .expect("thread-local policies support fixed-source mode");
     let t = &r.tallies;
     let leak_frac = t.leaks as f64 / t.n_particles as f64;
     println!(

@@ -1,32 +1,40 @@
-//! `mcs` — command-line driver for the transport engine.
+//! `mcs` — command-line driver for the unified transport engine.
 //!
 //! ```text
+//! mcs run   --plan FILE.toml [--dry-run]
 //! mcs run   [--model test|small|large] [--particles N] [--inactive I]
 //!           [--active A] [--mode history|event] [--survival]
 //!           [--mesh NX,NY,NZ] [--spectrum FILE.csv]
+//!           [--policy serial|threaded:N|distributed:N]
 //!           [--statepoint FILE] [--resume FILE]
 //! mcs info  [--model test|small|large]
 //! mcs plot  [--model test|small|large] [--width N] [--z Z]
 //! mcs fixed [--model test|small|large] [--particles N]
 //! ```
 //!
+//! Every run is a [`RunPlan`] executed by `mcs_core::engine::run` under an
+//! execution policy; the flag form builds the plan on the fly, the
+//! `--plan` form loads a TOML plan file and replays it bit-identically.
+//!
 //! Examples:
 //!
 //! ```sh
 //! mcs run --model small --particles 5000 --inactive 5 --active 10
 //! mcs run --model test --mode event --survival --mesh 17,17,4
-//! mcs run --model test --statepoint cp.bin        # save after the run plan
-//! mcs run --model test --resume cp.bin            # continue bit-exactly
+//! mcs run --model test --policy distributed:4
+//! mcs run --plan plan.toml --dry-run         # resolve + print, no transport
+//! mcs run --model test --statepoint cp.bin   # save after the run plan
+//! mcs run --model test --resume cp.bin       # continue bit-exactly
 //! ```
 
 use std::process::ExitCode;
 
-use mcs::core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
-use mcs::core::history::{batch_streams, run_histories_spectrum};
-use mcs::core::physics::AbsorptionTreatment;
-use mcs::core::problem::{HmModel, ProblemConfig};
-use mcs::core::statepoint::{resume_eigenvalue, run_eigenvalue_checkpointed, Statepoint};
-use mcs::core::{MeshSpec, Problem};
+use mcs::cluster::DistributedPolicy;
+use mcs::core::engine::{
+    self, Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
+};
+use mcs::core::statepoint::Statepoint;
+use mcs::core::Problem;
 
 struct Args {
     command: String,
@@ -34,24 +42,47 @@ struct Args {
     particles: usize,
     inactive: usize,
     active: usize,
-    mode: TransportMode,
+    algorithm: Algorithm,
     survival: bool,
     mesh: Option<(usize, usize, usize)>,
     spectrum: Option<String>,
     statepoint: Option<String>,
     resume: Option<String>,
+    policy: PolicySpec,
+    plan: Option<String>,
+    dry_run: bool,
     width: usize,
     z: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mcs <run|info|plot|fixed> [--model test|small|large] [--particles N]\n\
+        "usage: mcs run --plan FILE.toml [--dry-run]\n\
+         \x20      mcs <run|info|plot|fixed> [--model test|small|large] [--particles N]\n\
          \x20          [--inactive I] [--active A] [--mode history|event]\n\
          \x20          [--survival] [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
+         \x20          [--policy serial|threaded:N|distributed:N]\n\
          \x20          [--statepoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
+}
+
+fn parse_policy(raw: &str) -> PolicySpec {
+    match raw.split_once(':') {
+        None => match raw {
+            "serial" => PolicySpec::Serial,
+            "threaded" => PolicySpec::Threaded { threads: 0 },
+            _ => usage(),
+        },
+        Some((kind, n)) => {
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            match kind {
+                "threaded" => PolicySpec::Threaded { threads: n },
+                "distributed" => PolicySpec::Distributed { ranks: n },
+                _ => usage(),
+            }
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -61,12 +92,15 @@ fn parse_args() -> Args {
         particles: 2_000,
         inactive: 3,
         active: 5,
-        mode: TransportMode::History,
+        algorithm: Algorithm::History,
         survival: false,
         mesh: None,
         spectrum: None,
         statepoint: None,
         resume: None,
+        policy: PolicySpec::Threaded { threads: 0 },
+        plan: None,
+        dry_run: false,
         width: 80,
         z: 0.0,
     };
@@ -87,9 +121,9 @@ fn parse_args() -> Args {
             "--inactive" => args.inactive = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--active" => args.active = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--mode" => {
-                args.mode = match value(&mut i).as_str() {
-                    "history" => TransportMode::History,
-                    "event" => TransportMode::Event,
+                args.algorithm = match value(&mut i).as_str() {
+                    "history" => Algorithm::History,
+                    "event" => Algorithm::EventBanking,
                     _ => usage(),
                 }
             }
@@ -108,6 +142,9 @@ fn parse_args() -> Args {
             "--spectrum" => args.spectrum = Some(value(&mut i)),
             "--statepoint" => args.statepoint = Some(value(&mut i)),
             "--resume" => args.resume = Some(value(&mut i)),
+            "--policy" => args.policy = parse_policy(&value(&mut i)),
+            "--plan" => args.plan = Some(value(&mut i)),
+            "--dry-run" => args.dry_run = true,
             "--width" => args.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--z" => args.z = value(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -117,21 +154,44 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_problem(args: &Args) -> Problem {
-    let mut problem = match args.model.as_str() {
-        "test" => Problem::test_small(),
-        "small" => Problem::hm(HmModel::Small, &ProblemConfig::default()),
-        "large" => Problem::hm(HmModel::Large, &ProblemConfig::default()),
+fn model_ref(name: &str) -> ModelRef {
+    match name {
+        "test" => ModelRef::Test,
+        "small" => ModelRef::Small,
+        "large" => ModelRef::Large,
         _ => usage(),
-    };
-    if args.survival {
-        problem.treatment = AbsorptionTreatment::survival_default();
     }
-    problem
+}
+
+/// The plan the flag form of `mcs run`/`mcs fixed` describes.
+fn plan_from_args(args: &Args, mode: RunMode) -> RunPlan {
+    RunPlan {
+        model: model_ref(&args.model),
+        algorithm: args.algorithm,
+        mode,
+        particles: args.particles,
+        inactive: args.inactive,
+        active: args.active,
+        survival: args.survival,
+        mesh_tally: args.mesh,
+        spectrum: args.spectrum.is_some(),
+        policy: args.policy,
+        ..RunPlan::default()
+    }
+}
+
+/// Instantiate the execution policy a spec describes. The CLI links
+/// `mcs-cluster`, so unlike `engine::policy_for` it can also build the
+/// distributed policy.
+fn build_policy(spec: PolicySpec) -> Box<dyn ExecutionPolicy> {
+    match spec {
+        PolicySpec::Distributed { ranks } => Box::new(DistributedPolicy::new(ranks)),
+        other => engine::policy_for(other),
+    }
 }
 
 fn cmd_info(args: &Args) {
-    let problem = build_problem(args);
+    let problem = plan_from_args(args, RunMode::Eigenvalue).build_problem();
     println!("model:          {}", args.model);
     println!(
         "nuclides:       {} ({} fuel)",
@@ -168,49 +228,12 @@ fn cmd_info(args: &Args) {
     );
 }
 
-fn cmd_run(args: &Args) {
-    let problem = build_problem(args);
-    let settings = EigenvalueSettings {
-        particles: args.particles,
-        inactive: args.inactive,
-        active: args.active,
-        mode: args.mode,
-        entropy_mesh: (8, 8, 4),
-        mesh_tally: args
-            .mesh
-            .map(|(nx, ny, nz)| MeshSpec::covering(problem.geometry.bounds, nx, ny, nz)),
-    };
-
-    let result = if let Some(path) = &args.resume {
-        let sp = Statepoint::load(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot load statepoint {path}: {e}");
-            std::process::exit(1);
-        });
-        println!(
-            "resuming from {path} (after batch {})",
-            sp.completed_batches
-        );
-        resume_eigenvalue(&problem, &settings, &sp)
-    } else if let Some(path) = &args.statepoint {
-        // Checkpointing run: same physics as run_eigenvalue, plus a
-        // statepoint written at the end of the plan.
-        let total = settings.inactive + settings.active;
-        let (batches, sp) = run_eigenvalue_checkpointed(&problem, &settings, total);
-        sp.save(path).expect("write statepoint");
-        println!(
-            "wrote statepoint to {path} (after batch {})",
-            sp.completed_batches
-        );
-        summarize(batches, &sp, &settings)
-    } else {
-        run_eigenvalue(&problem, &settings)
-    };
-
+fn print_report(report: &RunReport, spectrum_path: Option<&str>) {
     println!(
         "{:>6} {:>9} {:>10} {:>9} {:>10}",
         "batch", "kind", "k_track", "entropy", "rate(n/s)"
     );
-    for b in &result.batches {
+    for b in &report.result.batches {
         println!(
             "{:>6} {:>9} {:>10.5} {:>9.3} {:>10.0}",
             b.index,
@@ -220,6 +243,7 @@ fn cmd_run(args: &Args) {
             b.rate
         );
     }
+    let result = &report.result;
     println!("\nk-effective = {:.5} ± {:.5}", result.k_mean, result.k_std);
     let t = &result.tallies;
     println!(
@@ -236,60 +260,118 @@ fn cmd_run(args: &Args) {
         );
     }
 
-    if let Some(path) = &args.spectrum {
-        // One dedicated batch for the spectrum, from the converged source.
-        let sources = problem.sample_initial_source(args.particles, 0);
-        let streams = batch_streams(problem.seed, 0, args.particles);
-        let (_, spectrum) = run_histories_spectrum(&problem, &sources, &streams);
-        let mut out = String::from("energy_mev,flux_per_lethargy\n");
-        for (c, v) in spectrum.bin_centers().iter().zip(spectrum.per_lethargy()) {
-            out.push_str(&format!("{c:.6e},{v:.6e}\n"));
+    if !report.completed {
+        println!(
+            "RUN INCOMPLETE: {}",
+            report.halt_reason.as_deref().unwrap_or("policy halt")
+        );
+    }
+
+    if let Some(spectrum) = &report.spectrum {
+        match spectrum_path {
+            Some(path) => {
+                let mut out = String::from("energy_mev,flux_per_lethargy\n");
+                for (c, v) in spectrum.bin_centers().iter().zip(spectrum.per_lethargy()) {
+                    out.push_str(&format!("{c:.6e},{v:.6e}\n"));
+                }
+                std::fs::write(path, out).expect("write spectrum csv");
+                println!("wrote spectrum to {path}");
+            }
+            None => println!(
+                "spectrum pass: {} bins, total weighted track {:.4e}",
+                spectrum.bins.len(),
+                spectrum.total()
+            ),
         }
-        std::fs::write(path, out).expect("write spectrum csv");
-        println!("wrote spectrum to {path}");
     }
 }
 
-/// Build a result summary from a checkpointed run's batch records.
-fn summarize(
-    batches: Vec<mcs::core::eigenvalue::BatchResult>,
-    sp: &Statepoint,
-    settings: &EigenvalueSettings,
-) -> mcs::core::eigenvalue::EigenvalueResult {
-    let active_ks: Vec<f64> = sp
-        .k_history
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i >= settings.inactive)
-        .map(|(_, &k)| k)
-        .collect();
-    let k_mean = active_ks.iter().sum::<f64>() / active_ks.len().max(1) as f64;
-    let k_std = if active_ks.len() > 1 {
-        let var = active_ks
-            .iter()
-            .map(|k| (k - k_mean) * (k - k_mean))
-            .sum::<f64>()
-            / (active_ks.len() - 1) as f64;
-        (var / active_ks.len() as f64).sqrt()
-    } else {
-        0.0
-    };
-    mcs::core::eigenvalue::EigenvalueResult {
-        batches,
-        k_mean,
-        k_std,
-        tallies: sp.tallies,
-        mesh: None,
-        mesh_stats: None,
-        event_stats: None,
-        total_time: std::time::Duration::ZERO,
+fn print_fixed(r: &mcs::core::fixed_source::FixedSourceResult) {
+    let t = &r.tallies;
+    println!(
+        "histories: {} source + {} progeny = {} total",
+        r.source_particles, r.progeny, t.n_particles
+    );
+    println!("net multiplication M = {:.4}", r.multiplication());
+    println!(
+        "implied k = 1 - 1/M = {:.4}",
+        1.0 - 1.0 / r.multiplication()
+    );
+    println!(
+        "tallies: {} collisions, {} absorptions, {} fissions, {} leaks",
+        t.collisions, t.absorptions, t.fissions, t.leaks
+    );
+    if r.truncated_chains > 0 {
+        println!(
+            "WARNING: {} chains hit the generation cap (system near or above critical)",
+            r.truncated_chains
+        );
     }
+}
+
+/// Execute a plan (from a file or from flags) and print the outcome.
+fn execute_plan(plan: &RunPlan, args: &Args) {
+    let problem = plan.build_problem();
+    let mut policy = build_policy(plan.policy);
+
+    if let Some(path) = &args.resume {
+        let sp = Statepoint::load(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot load statepoint {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "resuming from {path} (after batch {})",
+            sp.completed_batches
+        );
+        let report = engine::resume_with_problem(&problem, plan, policy.as_mut(), &sp);
+        print_report(&report, args.spectrum.as_deref());
+        return;
+    }
+
+    match engine::run_with_problem(&problem, plan, policy.as_mut()) {
+        RunOutput::Eigenvalue(report) => {
+            if let Some(path) = &args.statepoint {
+                report.statepoint.save(path).expect("write statepoint");
+                println!(
+                    "wrote statepoint to {path} (after batch {})",
+                    report.statepoint.completed_batches
+                );
+            }
+            print_report(&report, args.spectrum.as_deref());
+        }
+        RunOutput::FixedSource(r) => print_fixed(&r),
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let plan = match &args.plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read plan {path}: {e}");
+                std::process::exit(1);
+            });
+            RunPlan::from_toml(&text).unwrap_or_else(|e| {
+                eprintln!("error: invalid plan {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => plan_from_args(args, RunMode::Eigenvalue),
+    };
+
+    if args.dry_run {
+        // Summary to stderr, plan TOML alone to stdout, so
+        // `mcs run ... --dry-run > plan.toml` writes a loadable plan.
+        eprint!("{}", plan.describe());
+        print!("{}", plan.to_toml());
+        return;
+    }
+    execute_plan(&plan, args);
 }
 
 /// ASCII material map of a z-slice through the geometry (OpenMC's `plot`
 /// in spirit): `.` water, `#` fuel, `:` clad, space = outside.
 fn cmd_plot(args: &Args) {
-    let problem = build_problem(args);
+    let problem: Problem = plan_from_args(args, RunMode::Eigenvalue).build_problem();
     let (lo, hi) = problem.geometry.bounds;
     let w = args.width.max(10);
     let aspect = (hi.y - lo.y) / (hi.x - lo.x);
@@ -327,38 +409,12 @@ fn cmd_plot(args: &Args) {
 
 /// Fixed-source run: external Watt source in fuel, full fission chains.
 fn cmd_fixed(args: &Args) {
-    use mcs::core::fixed_source::{run_fixed_source, FixedSourceSettings, SourceDef};
-    let problem = build_problem(args);
-    let settings = FixedSourceSettings {
-        particles: args.particles,
-        source: SourceDef::FuelWatt,
-        max_chain: 100_000,
-    };
+    let plan = plan_from_args(args, RunMode::FixedSource);
     println!(
         "fixed-source run: {} source particles, full fission chains...",
         args.particles
     );
-    let r = run_fixed_source(&problem, &settings);
-    let t = &r.tallies;
-    println!(
-        "histories: {} source + {} progeny = {} total",
-        r.source_particles, r.progeny, t.n_particles
-    );
-    println!("net multiplication M = {:.4}", r.multiplication());
-    println!(
-        "implied k = 1 - 1/M = {:.4}",
-        1.0 - 1.0 / r.multiplication()
-    );
-    println!(
-        "tallies: {} collisions, {} absorptions, {} fissions, {} leaks",
-        t.collisions, t.absorptions, t.fissions, t.leaks
-    );
-    if r.truncated_chains > 0 {
-        println!(
-            "WARNING: {} chains hit the generation cap (system near or above critical)",
-            r.truncated_chains
-        );
-    }
+    execute_plan(&plan, args);
 }
 
 fn main() -> ExitCode {

@@ -26,25 +26,32 @@
 //!
 //! ## Quickstart
 //!
+//! Every run is a declarative [`core::engine::RunPlan`] executed by the
+//! unified engine under an execution policy (serial, threaded, or — via
+//! `mcs::cluster::DistributedPolicy` — simulated MPI ranks):
+//!
 //! ```
-//! use mcs::core::{EigenvalueSettings, Problem, TransportMode};
-//! use mcs::core::eigenvalue::run_eigenvalue;
+//! use mcs::core::engine::{run, RunPlan, Serial};
 //!
 //! // A reduced single-assembly problem (a full H.M. core works the same
-//! // way via `Problem::hm(HmModel::Large, &config)`).
-//! let problem = Problem::test_small();
-//! let settings = EigenvalueSettings {
+//! // way with `model: ModelRef::Large`).
+//! let plan = RunPlan {
 //!     particles: 500,
 //!     inactive: 2,
 //!     active: 3,
-//!     mode: TransportMode::History,
 //!     entropy_mesh: (4, 4, 4),
-//!     mesh_tally: None,
+//!     ..RunPlan::default()
 //! };
-//! let result = run_eigenvalue(&problem, &settings);
-//! assert!(result.k_mean > 0.0);
-//! println!("k-effective = {:.5} ± {:.5}", result.k_mean, result.k_std);
+//! let report = run(&plan, &mut Serial::new()).into_eigenvalue();
+//! assert!(report.result.k_mean > 0.0);
+//! println!(
+//!     "k-effective = {:.5} ± {:.5}",
+//!     report.result.k_mean, report.result.k_std
+//! );
 //! ```
+//!
+//! Plans round-trip through TOML (`RunPlan::to_toml` / `from_toml`), so
+//! the same run can be replayed bit-identically with `mcs run --plan`.
 
 #![warn(missing_docs)]
 

@@ -2,7 +2,8 @@
 //! transport counts reproduce the paper's headline ratios.
 
 use mcs::cluster::{strong_scaling, weak_scaling, CommModel, NodeSpec};
-use mcs::core::history::{batch_streams, run_histories};
+use mcs::core::engine::{transport_batch, BatchRequest, Threaded};
+use mcs::core::history::batch_streams;
 use mcs::core::problem::Problem;
 use mcs::core::tally::Tallies;
 use mcs::device::native::{shape_of, NativeModel, TransportKind};
@@ -14,7 +15,14 @@ fn measured_counts(scale: f64) -> Tallies {
     let n = 400;
     let sources = problem.sample_initial_source(n, 0);
     let streams = batch_streams(problem.seed, 0, n);
-    let out = run_histories(&problem, &sources, &streams);
+    let out = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
     let mut t = out.tallies;
     t.n_particles = (t.n_particles as f64 * scale) as u64;
     t.segments = (t.segments as f64 * scale) as u64;

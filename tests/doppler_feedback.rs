@@ -5,9 +5,8 @@
 //! reactor, emerging here from the synthetic data + transport stack with
 //! no dedicated modeling.
 
-use mcs::core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
+use mcs::core::engine::{run_with_problem, RunPlan, Threaded};
 use mcs::core::problem::{HmModel, Problem, ProblemConfig};
-use mcs::core::TransportMode as _;
 
 fn k_at_fuel_temperature(t_k: f64) -> (f64, f64) {
     let cfg = ProblemConfig {
@@ -15,17 +14,16 @@ fn k_at_fuel_temperature(t_k: f64) -> (f64, f64) {
         ..Default::default()
     };
     let problem = Problem::hm(HmModel::Small, &cfg);
-    let r = run_eigenvalue(
-        &problem,
-        &EigenvalueSettings {
-            particles: 2_500,
-            inactive: 2,
-            active: 4,
-            mode: TransportMode::History,
-            entropy_mesh: (8, 8, 4),
-            mesh_tally: None,
-        },
-    );
+    let plan = RunPlan {
+        particles: 2_500,
+        inactive: 2,
+        active: 4,
+        entropy_mesh: (8, 8, 4),
+        ..RunPlan::default()
+    };
+    let r = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     (r.k_mean, r.k_std)
 }
 

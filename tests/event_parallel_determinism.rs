@@ -1,10 +1,11 @@
 //! Cross-crate determinism contract of the parallel event pipeline:
 //! identical results for any thread count, and identical trajectories to
 //! the history engine — the properties the ablation bench relies on when
-//! it compares serial and parallel timings.
+//! it compares serial and parallel timings. All entry points go through
+//! the unified engine's `transport_batch`.
 
-use mcs::core::event::{run_event_transport, run_event_transport_mesh, run_event_transport_serial};
-use mcs::core::history::{batch_streams, run_histories_mesh};
+use mcs::core::engine::{transport_batch, Algorithm, BatchOutput, BatchRequest, Serial, Threaded};
+use mcs::core::history::batch_streams;
 use mcs::core::mesh::MeshSpec;
 use mcs::core::problem::Problem;
 
@@ -16,36 +17,56 @@ fn event_pipeline_thread_count_invariant() {
     let streams = batch_streams(problem.seed, 0, n);
     let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
 
-    let run = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)))
+    let run = |threads: usize| -> BatchOutput {
+        transport_batch(
+            &problem,
+            &sources,
+            &streams,
+            &BatchRequest {
+                algorithm: Algorithm::EventBanking,
+                mesh: Some(spec),
+                ..BatchRequest::default()
+            },
+            &mut Threaded::new(threads),
+        )
     };
 
-    let (out1, stats1, mesh1) = run(1);
+    let one = run(1);
+    let stats1 = one.event_stats.unwrap();
     for threads in [2, 4, 8] {
-        let (outn, statsn, meshn) = run(threads);
+        let multi = run(threads);
         // Full outcome bitwise identical: integer and float tallies,
         // and the banked fission sites in order.
-        assert_eq!(out1.tallies, outn.tallies, "{threads} threads");
-        assert_eq!(out1.sites, outn.sites, "{threads} threads");
         assert_eq!(
-            mesh1.as_ref().unwrap().bins,
-            meshn.as_ref().unwrap().bins,
+            one.outcome.tallies, multi.outcome.tallies,
             "{threads} threads"
         );
+        assert_eq!(one.outcome.sites, multi.outcome.sites, "{threads} threads");
+        assert_eq!(
+            one.mesh.as_ref().unwrap().bins,
+            multi.mesh.as_ref().unwrap().bins,
+            "{threads} threads"
+        );
+        let statsn = multi.event_stats.unwrap();
         assert_eq!(stats1.iterations, statsn.iterations);
         assert_eq!(stats1.lookups, statsn.lookups);
         assert_eq!(stats1.peak_bank, statsn.peak_bank);
     }
 
-    // The dedicated serial entry point is the same algorithm pinned to
-    // one worker; it must agree bitwise too.
-    let (out_serial, _) = run_event_transport_serial(&problem, &sources, &streams);
-    assert_eq!(out_serial.tallies, out1.tallies);
-    assert_eq!(out_serial.sites, out1.sites);
+    // The dedicated serial policy is the same algorithm pinned to one
+    // worker; it must agree bitwise too.
+    let serial = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            ..BatchRequest::default()
+        },
+        &mut Serial::new(),
+    );
+    assert_eq!(serial.outcome.tallies, one.outcome.tallies);
+    assert_eq!(serial.outcome.sites, one.outcome.sites);
 }
 
 #[test]
@@ -59,24 +80,39 @@ fn parallel_event_still_matches_history_trajectories() {
     let streams = batch_streams(problem.seed, 2, n);
     let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
 
-    let (hist, hmesh) = run_histories_mesh(&problem, &sources, &streams, Some(spec));
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
-        .build()
-        .unwrap();
-    let (evt, _, emesh) =
-        pool.install(|| run_event_transport_mesh(&problem, &sources, &streams, Some(spec)));
+    let hist = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            mesh: Some(spec),
+            ..BatchRequest::default()
+        },
+        &mut Threaded::ambient(),
+    );
+    let evt = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            mesh: Some(spec),
+            ..BatchRequest::default()
+        },
+        &mut Threaded::new(4),
+    );
 
-    assert_eq!(hist.tallies.segments, evt.tallies.segments);
-    assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
-    assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
-    assert_eq!(hist.tallies.fissions, evt.tallies.fissions);
-    assert_eq!(hist.tallies.leaks, evt.tallies.leaks);
-    assert_eq!(hist.sites, evt.sites);
+    let (h, e) = (&hist.outcome, &evt.outcome);
+    assert_eq!(h.tallies.segments, e.tallies.segments);
+    assert_eq!(h.tallies.collisions, e.tallies.collisions);
+    assert_eq!(h.tallies.absorptions, e.tallies.absorptions);
+    assert_eq!(h.tallies.fissions, e.tallies.fissions);
+    assert_eq!(h.tallies.leaks, e.tallies.leaks);
+    assert_eq!(h.sites, e.sites);
     let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1e-300);
-    assert!(rel(hist.tallies.track_length, evt.tallies.track_length) < 1e-9);
-    assert!(rel(hist.tallies.k_track, evt.tallies.k_track) < 1e-9);
-    for (a, b) in hmesh.unwrap().bins.iter().zip(&emesh.unwrap().bins) {
+    assert!(rel(h.tallies.track_length, e.tallies.track_length) < 1e-9);
+    assert!(rel(h.tallies.k_track, e.tallies.k_track) < 1e-9);
+    for (a, b) in hist.mesh.unwrap().bins.iter().zip(&evt.mesh.unwrap().bins) {
         assert!((a - b).abs() / a.abs().max(1e-300) < 1e-9, "{a} vs {b}");
     }
 }
@@ -89,12 +125,16 @@ fn serial_entry_point_counters_match_parallel() {
     let n = 350;
     let sources = problem.sample_initial_source(n, 9);
     let streams = batch_streams(problem.seed, 4, n);
-    let (_, serial) = run_event_transport_serial(&problem, &sources, &streams);
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(8)
-        .build()
+    let req = BatchRequest {
+        algorithm: Algorithm::EventBanking,
+        ..BatchRequest::default()
+    };
+    let serial = transport_batch(&problem, &sources, &streams, &req, &mut Serial::new())
+        .event_stats
         .unwrap();
-    let (_, parallel) = pool.install(|| run_event_transport(&problem, &sources, &streams));
+    let parallel = transport_batch(&problem, &sources, &streams, &req, &mut Threaded::new(8))
+        .event_stats
+        .unwrap();
     assert_eq!(serial.iterations, parallel.iterations);
     assert_eq!(serial.lookups, parallel.lookups);
     assert_eq!(serial.peak_bank, parallel.peak_bank);

@@ -1,5 +1,5 @@
 //! Kill-and-resume determinism: the fault-injection layer's core
-//! contract, end to end.
+//! contract, end to end, driven through the unified engine.
 //!
 //! A distributed job that loses ranks mid-run — or loses *every* rank
 //! and restarts from its last checkpoint — must finish with final k-eff
@@ -10,14 +10,12 @@
 //! folds per-chunk partials in global index order, so neither
 //! redistribution nor restart can perturb a single bit.
 
-use std::sync::Arc;
-
-use mcs::cluster::{
-    resume_distributed_eigenvalue, run_distributed_eigenvalue, DistributedSettings,
+use mcs::cluster::DistributedPolicy;
+use mcs::core::engine::{
+    resume_with_problem, run_with_problem, PolicySpec, RunPlan, RunReport, Threaded,
 };
-use mcs::core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
 use mcs::core::problem::Problem;
-use mcs::core::statepoint::resume_eigenvalue;
+use mcs::core::statepoint::Statepoint;
 use mcs::core::tally::Tallies;
 use mcs::faults::FaultPlan;
 
@@ -25,26 +23,47 @@ const N: usize = 600;
 const INACTIVE: usize = 2;
 const ACTIVE: usize = 4;
 
-fn problem() -> Arc<Problem> {
-    Arc::new(Problem::test_small())
+fn problem() -> Problem {
+    Problem::test_small()
 }
 
-fn settings() -> DistributedSettings {
-    DistributedSettings {
-        checkpoint_every: Some(2),
-        ..DistributedSettings::simple(N, INACTIVE, ACTIVE)
-    }
-}
-
-fn serial_settings() -> EigenvalueSettings {
-    EigenvalueSettings {
+fn dist_plan(ranks: usize) -> RunPlan {
+    RunPlan {
         particles: N,
         inactive: INACTIVE,
         active: ACTIVE,
-        mode: TransportMode::History,
         entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
+        checkpoint_every: Some(2),
+        policy: PolicySpec::Distributed { ranks },
+        ..RunPlan::default()
     }
+}
+
+fn serial_plan() -> RunPlan {
+    RunPlan {
+        particles: N,
+        inactive: INACTIVE,
+        active: ACTIVE,
+        entropy_mesh: (8, 8, 4),
+        ..RunPlan::default()
+    }
+}
+
+/// Run `plan` distributed over `ranks` simulated MPI ranks, returning
+/// the report plus the policy (for fault logs and decomposition records).
+fn run_dist(
+    p: &Problem,
+    ranks: usize,
+    faults: Option<FaultPlan>,
+) -> (RunReport, DistributedPolicy) {
+    let mut policy = DistributedPolicy::new(ranks).with_fault_plan(faults);
+    let report = run_with_problem(p, &dist_plan(ranks), &mut policy).into_eigenvalue();
+    (report, policy)
+}
+
+fn resume_dist(p: &Problem, ranks: usize, cp: &Statepoint) -> RunReport {
+    let mut policy = DistributedPolicy::new(ranks);
+    resume_with_problem(p, &dist_plan(ranks), &mut policy, cp)
 }
 
 /// `to_bits` equality on k-eff and all four float tallies.
@@ -68,48 +87,49 @@ fn assert_bitwise(label: &str, k_a: f64, t_a: &Tallies, k_b: f64, t_b: &Tallies)
 #[test]
 fn kill_then_resume_is_bitwise_identical_across_rank_counts() {
     let p = problem();
-    // The reference: an uninterrupted serial run.
-    let serial = run_eigenvalue(&p, &serial_settings());
+    // The reference: an uninterrupted thread-local run of the same plan.
+    let serial = run_with_problem(&p, &serial_plan(), &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
 
     for n_ranks in [1usize, 2, 4] {
         // Healthy uninterrupted distributed run, same rank count.
-        let healthy = run_distributed_eigenvalue(&p, n_ranks, &settings());
+        let (healthy, _) = run_dist(&p, n_ranks, None);
         assert!(healthy.completed);
         assert_bitwise(
             &format!("{n_ranks} ranks healthy vs serial"),
-            healthy.k_mean,
-            &healthy.tallies,
+            healthy.result.k_mean,
+            &healthy.result.tallies,
             serial.k_mean,
             &serial.tallies,
         );
 
         // Kill every rank at batch 3 (after the batch-2 checkpoint): the
         // job aborts, leaving a checkpoint at completed_batches = 2.
-        let mut killed_settings = settings();
-        let mut plan = FaultPlan::new(42 + n_ranks as u64);
+        let mut fault = FaultPlan::new(42 + n_ranks as u64);
         for r in 0..n_ranks {
-            plan = plan.with_rank_death(r, 3);
+            fault = fault.with_rank_death(r, 3);
         }
-        killed_settings.fault_plan = Some(plan);
-        let killed = run_distributed_eigenvalue(&p, n_ranks, &killed_settings);
+        let (killed, _) = run_dist(&p, n_ranks, Some(fault));
         assert!(!killed.completed, "{n_ranks} ranks: job should have died");
         let cp = killed.checkpoints.last().expect("checkpoint written");
         assert_eq!(cp.completed_batches, 2);
 
-        // Resume path A: the distributed runtime, same rank count.
-        let resumed = resume_distributed_eigenvalue(&p, n_ranks, &settings(), cp);
+        // Resume path A: the distributed policy, same rank count.
+        let resumed = resume_dist(&p, n_ranks, cp);
         assert!(resumed.completed);
         assert_bitwise(
             &format!("{n_ranks} ranks resumed vs serial"),
-            resumed.k_mean,
-            &resumed.tallies,
+            resumed.result.k_mean,
+            &resumed.result.tallies,
             serial.k_mean,
             &serial.tallies,
         );
 
-        // Resume path B: the *serial* driver consumes the distributed
+        // Resume path B: a *thread-local* policy consumes the distributed
         // checkpoint — the statepoint format and semantics are shared.
-        let serial_resumed = resume_eigenvalue(&p, &serial_settings(), cp);
+        let serial_resumed =
+            resume_with_problem(&p, &serial_plan(), &mut Threaded::ambient(), cp).result;
         assert_bitwise(
             &format!("{n_ranks} ranks -> serial resume"),
             serial_resumed.k_mean,
@@ -123,49 +143,50 @@ fn kill_then_resume_is_bitwise_identical_across_rank_counts() {
 #[test]
 fn partial_death_degrades_without_losing_a_bit() {
     let p = problem();
-    let healthy = run_distributed_eigenvalue(&p, 4, &settings());
+    let (healthy, _) = run_dist(&p, 4, None);
 
     // Kill rank 0 specifically: the result must come from a surviving
     // higher-numbered rank, still bit-identical.
-    let mut s = settings();
-    s.fault_plan = Some(FaultPlan::new(7).with_rank_death(0, 2));
-    let degraded = run_distributed_eigenvalue(&p, 4, &s);
+    let (degraded, mut policy) = run_dist(&p, 4, Some(FaultPlan::new(7).with_rank_death(0, 2)));
     assert!(degraded.completed);
-    assert_eq!(degraded.fault_log.n_deaths(), 1);
+    assert_eq!(policy.take_fault_log().n_deaths(), 1);
     assert_bitwise(
         "rank-0 death",
-        degraded.k_mean,
-        &degraded.tallies,
-        healthy.k_mean,
-        &healthy.tallies,
+        degraded.result.k_mean,
+        &degraded.result.tallies,
+        healthy.result.k_mean,
+        &healthy.result.tallies,
     );
 
     // Two staggered deaths out of four ranks.
-    let mut s = settings();
-    s.fault_plan = Some(
-        FaultPlan::new(9)
-            .with_rank_death(1, 2)
-            .with_rank_death(3, 4),
+    let (degraded, mut policy) = run_dist(
+        &p,
+        4,
+        Some(
+            FaultPlan::new(9)
+                .with_rank_death(1, 2)
+                .with_rank_death(3, 4),
+        ),
     );
-    let degraded = run_distributed_eigenvalue(&p, 4, &s);
     assert!(degraded.completed);
-    assert_eq!(degraded.fault_log.n_deaths(), 2);
+    let log = policy.take_fault_log();
+    assert_eq!(log.n_deaths(), 2);
     assert_bitwise(
         "staggered deaths",
-        degraded.k_mean,
-        &degraded.tallies,
-        healthy.k_mean,
-        &healthy.tallies,
+        degraded.result.k_mean,
+        &degraded.result.tallies,
+        healthy.result.k_mean,
+        &healthy.result.tallies,
     );
     // Dead ranks carry no particles after their deaths.
-    for b in &degraded.batches {
-        if b.index >= 2 {
-            assert_eq!(b.assignments[1], 0);
+    for d in policy.details() {
+        if d.index >= 2 {
+            assert_eq!(d.assignments[1], 0);
         }
-        if b.index >= 4 {
-            assert_eq!(b.assignments[3], 0);
+        if d.index >= 4 {
+            assert_eq!(d.assignments[3], 0);
         }
-        assert_eq!(b.assignments.iter().sum::<u64>(), N as u64);
+        assert_eq!(d.assignments.iter().sum::<u64>(), N as u64);
     }
 }
 
@@ -174,27 +195,25 @@ fn resume_with_a_different_rank_count_is_still_bitwise() {
     // The checkpoint is rank-count agnostic: die with 4 ranks, resume
     // with 2 (or 1), and the bits still match the uninterrupted run.
     let p = problem();
-    let healthy = run_distributed_eigenvalue(&p, 4, &settings());
+    let (healthy, _) = run_dist(&p, 4, None);
 
-    let mut s = settings();
-    let mut plan = FaultPlan::new(1);
+    let mut fault = FaultPlan::new(1);
     for r in 0..4 {
-        plan = plan.with_rank_death(r, 4);
+        fault = fault.with_rank_death(r, 4);
     }
-    s.fault_plan = Some(plan);
-    let killed = run_distributed_eigenvalue(&p, 4, &s);
+    let (killed, _) = run_dist(&p, 4, Some(fault));
     assert!(!killed.completed);
     let cp = killed.checkpoints.last().unwrap();
 
     for resume_ranks in [1usize, 2] {
-        let resumed = resume_distributed_eigenvalue(&p, resume_ranks, &settings(), cp);
+        let resumed = resume_dist(&p, resume_ranks, cp);
         assert!(resumed.completed);
         assert_bitwise(
             &format!("resume with {resume_ranks} ranks"),
-            resumed.k_mean,
-            &resumed.tallies,
-            healthy.k_mean,
-            &healthy.tallies,
+            resumed.result.k_mean,
+            &resumed.result.tallies,
+            healthy.result.k_mean,
+            &healthy.result.tallies,
         );
     }
 }
@@ -216,16 +235,14 @@ fn same_fault_seed_replays_the_same_run() {
     assert_eq!(plan_a, plan_b, "same seed must replay the same schedule");
 
     let p = problem();
-    let mut s = settings();
-    s.fault_plan = Some(plan_a);
-    let run_a = run_distributed_eigenvalue(&p, 4, &s);
-    s.fault_plan = Some(plan_b);
-    let run_b = run_distributed_eigenvalue(&p, 4, &s);
+    let (run_a, mut pol_a) = run_dist(&p, 4, Some(plan_a));
+    let (run_b, mut pol_b) = run_dist(&p, 4, Some(plan_b));
     // Identical fault schedule → identical fault log and identical runs
     // (deaths and all), whatever the schedule turned out to be.
-    assert_eq!(run_a.fault_log.records.len(), run_b.fault_log.records.len());
-    assert_eq!(run_a.fault_log.n_deaths(), run_b.fault_log.n_deaths());
+    let (log_a, log_b) = (pol_a.take_fault_log(), pol_b.take_fault_log());
+    assert_eq!(log_a.records.len(), log_b.records.len());
+    assert_eq!(log_a.n_deaths(), log_b.n_deaths());
     assert_eq!(run_a.completed, run_b.completed);
-    assert_eq!(run_a.k_mean.to_bits(), run_b.k_mean.to_bits());
-    assert_eq!(run_a.tallies, run_b.tallies);
+    assert_eq!(run_a.result.k_mean.to_bits(), run_b.result.k_mean.to_bits());
+    assert_eq!(run_a.result.tallies, run_b.result.tallies);
 }

@@ -1,11 +1,13 @@
 //! Cross-crate integration: the two transport algorithms over the full
-//! problem stack (synthetic data → unionized grid → geometry → physics).
+//! problem stack (synthetic data → unionized grid → geometry → physics),
+//! driven through the unified engine.
 
-use mcs::core::eigenvalue::{run_eigenvalue, shannon_entropy, EigenvalueSettings};
-use mcs::core::event::run_event_transport;
-use mcs::core::history::{batch_streams, run_histories};
-use mcs::core::problem::{HmModel, Problem, ProblemConfig};
-use mcs::core::TransportMode;
+use mcs::core::eigenvalue::shannon_entropy;
+use mcs::core::engine::{
+    run, run_with_problem, transport_batch, Algorithm, BatchRequest, ModelRef, RunPlan, Threaded,
+};
+use mcs::core::history::batch_streams;
+use mcs::core::problem::Problem;
 
 fn small_problem() -> Problem {
     Problem::test_small()
@@ -19,8 +21,25 @@ fn event_and_history_trajectories_identical_full_physics() {
     let sources = problem.sample_initial_source(n, 0);
     let streams = batch_streams(problem.seed, 0, n);
 
-    let hist = run_histories(&problem, &sources, &streams);
-    let (evt, _) = run_event_transport(&problem, &sources, &streams);
+    let hist = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::ambient(),
+    )
+    .outcome;
+    let evt = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest {
+            algorithm: Algorithm::EventBanking,
+            ..BatchRequest::default()
+        },
+        &mut Threaded::ambient(),
+    )
+    .outcome;
 
     assert_eq!(hist.tallies.segments, evt.tallies.segments);
     assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
@@ -33,16 +52,19 @@ fn event_and_history_trajectories_identical_full_physics() {
 #[test]
 fn eigenvalue_is_deterministic_across_runs() {
     let problem = small_problem();
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: 400,
         inactive: 1,
         active: 2,
-        mode: TransportMode::History,
         entropy_mesh: (4, 4, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
-    let a = run_eigenvalue(&problem, &settings);
-    let b = run_eigenvalue(&problem, &settings);
+    let a = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
+    let b = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     assert_eq!(a.k_mean, b.k_mean);
     for (x, y) in a.batches.iter().zip(&b.batches) {
         assert_eq!(x.k_track, y.k_track);
@@ -57,7 +79,14 @@ fn neutron_balance_holds_every_batch() {
     for batch in 0..3u64 {
         let sources = problem.sample_initial_source(n, batch);
         let streams = batch_streams(problem.seed, batch, n);
-        let out = run_histories(&problem, &sources, &streams);
+        let out = transport_batch(
+            &problem,
+            &sources,
+            &streams,
+            &BatchRequest::default(),
+            &mut Threaded::ambient(),
+        )
+        .outcome;
         let t = out.tallies;
         assert_eq!(t.n_particles, n as u64);
         assert_eq!(t.absorptions + t.leaks, n as u64, "batch {batch}");
@@ -73,17 +102,20 @@ fn neutron_balance_holds_every_batch() {
 fn full_core_hm_small_is_near_critical() {
     // The headline physics check: the Hoogenboom–Martin-like core with
     // the synthesized library sits near criticality. Uses the Small model
-    // (34 fuel nuclides) to keep the test under a minute.
-    let problem = Problem::hm(HmModel::Small, &ProblemConfig::default());
-    let settings = EigenvalueSettings {
+    // (34 fuel nuclides) to keep the test under a minute. The plan builds
+    // the problem itself (`ModelRef::Small`), exactly as `mcs run --plan`
+    // would.
+    let plan = RunPlan {
+        model: ModelRef::Small,
         particles: 2_000,
         inactive: 3,
         active: 4,
-        mode: TransportMode::History,
         entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
-    let r = run_eigenvalue(&problem, &settings);
+    let r = run(&plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     // The Small model runs slightly supercritical (~1.15): with only 34
     // fuel nuclides it lacks the extra 286 fission-product/minor-actinide
     // absorbers whose ladders trim H.M. Large to k ≈ 1.00.
@@ -101,15 +133,16 @@ fn full_core_hm_small_is_near_critical() {
 #[test]
 fn entropy_converges_across_inactive_batches() {
     let problem = small_problem();
-    let settings = EigenvalueSettings {
+    let plan = RunPlan {
         particles: 1_500,
         inactive: 5,
         active: 2,
-        mode: TransportMode::History,
         entropy_mesh: (8, 8, 4),
-        mesh_tally: None,
+        ..RunPlan::default()
     };
-    let r = run_eigenvalue(&problem, &settings);
+    let r = run_with_problem(&problem, &plan, &mut Threaded::ambient())
+        .into_eigenvalue()
+        .result;
     // Entropy is finite and positive once the source spreads.
     for b in &r.batches {
         assert!(b.entropy.is_finite() && b.entropy > 0.0);
@@ -149,16 +182,23 @@ fn thread_count_does_not_change_results() {
     let n = 500;
     let sources = problem.sample_initial_source(n, 9);
     let streams = batch_streams(problem.seed, 9, n);
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap()
-        .install(|| run_histories(&problem, &sources, &streams));
-    let multi = rayon::ThreadPoolBuilder::new()
-        .num_threads(8)
-        .build()
-        .unwrap()
-        .install(|| run_histories(&problem, &sources, &streams));
+    // Dedicated engine pools: 1 worker vs 8 workers.
+    let single = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::new(1),
+    )
+    .outcome;
+    let multi = transport_batch(
+        &problem,
+        &sources,
+        &streams,
+        &BatchRequest::default(),
+        &mut Threaded::new(8),
+    )
+    .outcome;
     assert_eq!(single.tallies, multi.tallies);
     assert_eq!(single.sites, multi.sites);
 }
