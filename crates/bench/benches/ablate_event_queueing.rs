@@ -1,0 +1,102 @@
+//! Ablation: Stage-2 particle queueing for the event pipeline —
+//! queueing mode × energy-grid backend × bank size.
+//!
+//! Thin driver over `mcs_bench::harness::event_queueing`: runs the sweep
+//! at `MCS_SCALE` (default 1.0 here — full scale, unlike mcs-check),
+//! re-asserts the two structural claims loudly, and writes the
+//! machine-readable summary to `results/BENCH_event_queueing.json`.
+//!
+//! Claims asserted:
+//!
+//! * every (backend, bank) cell produces bit-identical k across all
+//!   three queueing modes (queueing reorders lookups, never results);
+//! * on the hash-binned backend, `material+energy` queueing does fewer
+//!   `bin_scan_steps` per lookup than `material` (the warm-start payoff).
+//!
+//! `--test` (cargo test's bench smoke) runs a reduced sweep with the
+//! same assertions and writes no JSON.
+
+use mcs_bench::harness::event_queueing;
+
+fn assert_claims(r: &event_queueing::EventQueueingResult) {
+    assert!(
+        r.k_bits_identical(),
+        "queueing changed physics: per-batch k bits differ across modes/backends"
+    );
+    assert!(
+        r.rates_positive(),
+        "non-positive rate in the sweep: timing is broken"
+    );
+    let ratio = r.hash_scan_ratio();
+    assert!(
+        ratio < 1.0,
+        "material+energy queueing did not reduce hash scan steps/lookup (ratio {ratio:.3})"
+    );
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+
+    if quick {
+        // Smoke run under `cargo test`: tiny banks, full assertion set,
+        // no JSON and no timing claims.
+        let r = event_queueing::run(0.05, false);
+        assert_claims(&r);
+        println!("ablate_event_queueing: ok (test mode)");
+        return;
+    }
+
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let r = event_queueing::run(scale, true);
+    assert_claims(&r);
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"bank\": {}, \
+                 \"particles_per_second\": {:.1}, \"lookups\": {}, \
+                 \"bin_scan_steps\": {}, \"gather_span_bytes\": {}, \
+                 \"gather_span_pairs\": {}, \"k_track_bits\": \"{:016x}\"}}",
+                s.backend.name(),
+                s.mode.name(),
+                s.bank,
+                s.particles_per_s,
+                s.lookups,
+                s.bin_scan_steps,
+                s.gather_span_bytes,
+                s.gather_span_pairs,
+                s.k_bits
+            )
+        })
+        .collect();
+    let counters: Vec<String> = r
+        .counters
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"event_queueing\",\n  \"mcs_scale\": {scale},\n  \
+         \"k_bits_identical\": {},\n  \"hash_scan_ratio\": {:.6},\n  \
+         \"hash_material_energy_counters\": {{\n{}\n  }},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        r.k_bits_identical(),
+        r.hash_scan_ratio(),
+        counters.join(",\n"),
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_event_queueing.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

@@ -15,8 +15,8 @@
 
 use crate::report::{check, check_warn, Band, CheckOutcome};
 use mcs_bench::harness::{
-    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend, table1, table2,
-    table3,
+    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
+    table1, table2, table3,
 };
 use mcs_core::engine::{self, Algorithm, RunPlan, Threaded};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
@@ -502,6 +502,35 @@ pub fn check_grid_backend(r: &grid_backend::GridBackendResult) -> Vec<CheckOutco
     ]
 }
 
+/// `BENCH_event_queueing` — Stage-2 particle queueing for the event
+/// pipeline: bitwise-equivalence across queueing modes, and the
+/// warm-start scan-locality payoff on the hash-binned backend.
+pub fn check_event_queueing(r: &event_queueing::EventQueueingResult) -> Vec<CheckOutcome> {
+    vec![
+        check(
+            "EQ.k_bitwise",
+            "event_queueing",
+            "per-batch k-eff is bit-identical across every queueing mode and backend",
+            holds(r.k_bits_identical()),
+            Band::Holds,
+        ),
+        check(
+            "EQ.hash_scan_locality",
+            "event_queueing",
+            "hash-grid scan steps per lookup: material+energy over material (< 1 = payoff)",
+            r.hash_scan_ratio(),
+            Band::AtMost(0.95),
+        ),
+        check(
+            "EQ.rates_positive",
+            "event_queueing",
+            "every backend x mode x bank sample produced a positive particle rate",
+            holds(r.rates_positive()),
+            Band::Holds,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +557,7 @@ mod tests {
             scale: 0.05,
             threads: 1,
             invariants: after,
+            counters: vec![],
             golden: vec![],
         };
         assert!(

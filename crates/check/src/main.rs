@@ -14,8 +14,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mcs_bench::harness::{
-    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend, table1, table2,
-    table3, Artifact,
+    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
+    table1, table2, table3, Artifact,
 };
 use mcs_check::invariants as inv;
 use mcs_check::{golden, CheckReport, GoldenOutcome};
@@ -124,6 +124,12 @@ fn main() {
     step("gridback", &mut |rep, arts| {
         let r = grid_backend::run(scale, verbose);
         rep.invariants.extend(inv::check_grid_backend(&r));
+        arts.push(r.artifact);
+    });
+    step("eventqueue", &mut |rep, arts| {
+        let r = event_queueing::run(scale, verbose);
+        rep.invariants.extend(inv::check_event_queueing(&r));
+        rep.counters = r.counters.clone();
         arts.push(r.artifact);
     });
 

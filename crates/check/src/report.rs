@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "mcs-check-report/1",
+//!   "schema": "mcs-check-report/2",
 //!   "scale": 0.1,
 //!   "threads": 8,
 //!   "passed": true,
@@ -17,6 +17,7 @@
 //!      "passed": true},
 //!     ...
 //!   ],
+//!   "counters": {"xs.bin_scan_steps": 676787, "xs.gather_span_bytes": 6036960, ...},
 //!   "golden": [
 //!     {"artifact": "fig2_lookup_rates", "passed": true,
 //!      "detail": "6 rows, worst rel err 0.000e0"},
@@ -145,6 +146,10 @@ pub struct CheckReport {
     pub threads: usize,
     /// Scalar invariants, in run order.
     pub invariants: Vec<CheckOutcome>,
+    /// Instrumentation counters surfaced by the harnesses (currently the
+    /// `xs.*` set of the event-queueing sweep's optimized hash run), as
+    /// `(name, count)` in name order.
+    pub counters: Vec<(String, u64)>,
     /// Golden-CSV comparisons, in run order.
     pub golden: Vec<GoldenOutcome>,
 }
@@ -174,7 +179,7 @@ impl CheckReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mcs-check-report/1\",\n");
+        s.push_str("  \"schema\": \"mcs-check-report/2\",\n");
         s.push_str(&format!("  \"scale\": {},\n", json_num(self.scale)));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"passed\": {},\n", self.passed()));
@@ -200,6 +205,14 @@ impl CheckReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_str(k), v));
+        }
+        s.push_str("},\n");
         s.push_str("  \"golden\": [\n");
         for (i, g) in self.golden.iter().enumerate() {
             s.push_str(&format!(
@@ -308,6 +321,21 @@ mod tests {
         r.invariants
             .push(check_warn("W.y", "figW", "holds", 1.0, Band::Holds));
         assert_eq!(r.n_warned(), 1);
+    }
+
+    #[test]
+    fn counters_section_renders() {
+        let mut r = CheckReport::default();
+        r.counters.push(("xs.gather_span_bytes".into(), 7));
+        r.counters.push(("xs.lookups".into(), 42));
+        let j = r.to_json();
+        assert!(
+            j.contains("\"counters\": {\"xs.gather_span_bytes\": 7, \"xs.lookups\": 42}"),
+            "{j}"
+        );
+        // Empty set still renders a valid (empty) object.
+        let empty = CheckReport::default().to_json();
+        assert!(empty.contains("\"counters\": {}"), "{empty}");
     }
 
     #[test]

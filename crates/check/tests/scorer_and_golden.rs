@@ -54,6 +54,7 @@ fn scorer_evaluates_the_band_and_nan_serializes_as_null() {
         scale: 0.1,
         threads: 1,
         invariants: vec![bad],
+        counters: vec![],
         golden: vec![],
     };
     let json = report.to_json();
@@ -76,6 +77,7 @@ fn perturbed_report_fails_and_says_so() {
             4.2,
             Band::Range { lo: 3.0, hi: 5.5 },
         )],
+        counters: vec![],
         golden: vec![],
     };
     assert!(report.passed());

@@ -37,9 +37,7 @@ pub mod scaling;
 
 pub use adaptive::AdaptiveBalancer;
 pub use comm::CommModel;
-#[allow(deprecated)]
-pub use mpi::{resume_distributed_eigenvalue, run_distributed_eigenvalue};
-pub use mpi::{DistributedBatch, DistributedResult, DistributedSettings};
+pub use mpi::{distributed_result, DistributedBatch, DistributedResult, DistributedSettings};
 pub use node::NodeSpec;
 pub use policy::{DistributedPolicy, RankBatchDetail};
 pub use rank::Rank;

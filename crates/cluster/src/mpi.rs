@@ -33,15 +33,12 @@
 //! assignments) before batch `d` begins. No particles are lost, so the
 //! degraded run's physics — and k-eff — is bit-identical to the healthy
 //! run's. Periodic [`Statepoint`] checkpoints (identical on every rank)
-//! let a killed job resume via [`resume_distributed_eigenvalue`] or the
-//! serial `resume_eigenvalue`, again bit-exactly.
-
-use std::sync::Arc;
+//! let a killed job resume via `mcs_core::engine::resume_with_problem`
+//! under any policy — distributed or serial — again bit-exactly.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mcs_core::engine::{self, PolicySpec, RunPlan};
 use mcs_core::particle::{sort_sites, Site};
-use mcs_core::problem::Problem;
 use mcs_core::statepoint::Statepoint;
 use mcs_core::tally::Tallies;
 use mcs_faults::{FaultLog, FaultPlan};
@@ -255,10 +252,11 @@ pub struct DistributedResult {
 }
 
 impl DistributedSettings {
-    /// The engine [`RunPlan`] this settings struct describes. The legacy
-    /// distributed driver hardcoded the history algorithm and an (8,8,4)
-    /// entropy mesh, so the shims do too.
-    fn to_plan(&self, n_ranks: usize) -> RunPlan {
+    /// The engine [`RunPlan`] this settings struct describes (history
+    /// algorithm, (8,8,4) entropy mesh — the legacy distributed driver's
+    /// hardcoded choices). Run it with
+    /// `mcs_core::engine::run_with_problem` and [`Self::to_policy`].
+    pub fn to_plan(&self, n_ranks: usize) -> RunPlan {
         RunPlan {
             particles: self.total_particles,
             inactive: self.inactive,
@@ -271,7 +269,7 @@ impl DistributedSettings {
     }
 
     /// The [`DistributedPolicy`] this settings struct describes.
-    fn to_policy(&self, n_ranks: usize) -> DistributedPolicy {
+    pub fn to_policy(&self, n_ranks: usize) -> DistributedPolicy {
         DistributedPolicy::new(n_ranks)
             .with_assignments(self.assignments.clone())
             .with_adaptive(self.adaptive)
@@ -279,9 +277,12 @@ impl DistributedSettings {
     }
 }
 
-/// Rebuild the legacy result view from an engine report plus the
-/// policy's per-rank decomposition records.
-fn legacy_result(report: engine::RunReport, policy: &mut DistributedPolicy) -> DistributedResult {
+/// Assemble the [`DistributedResult`] view from an engine report plus
+/// the policy's per-rank decomposition records.
+pub fn distributed_result(
+    report: engine::RunReport,
+    policy: &mut DistributedPolicy,
+) -> DistributedResult {
     let details = policy.take_details();
     let batches = report
         .batches
@@ -310,57 +311,12 @@ fn legacy_result(report: engine::RunReport, policy: &mut DistributedPolicy) -> D
     }
 }
 
-/// Run a k-eigenvalue calculation across `n_ranks` rank threads with real
-/// collectives. Physics is bit-identical to the serial driver whenever
-/// rank boundaries are chunk-aligned (all driver-chosen splits), and
-/// identical to rounding for arbitrary user partitions.
-#[deprecated(note = "use mcs_core::engine::run with an mcs_cluster::DistributedPolicy")]
-pub fn run_distributed_eigenvalue(
-    problem: &Arc<Problem>,
-    n_ranks: usize,
-    settings: &DistributedSettings,
-) -> DistributedResult {
-    let plan = settings.to_plan(n_ranks);
-    let mut policy = settings.to_policy(n_ranks);
-    let report = engine::run_with_problem(problem, &plan, &mut policy).into_eigenvalue();
-    legacy_result(report, &mut policy)
-}
-
-/// Resume a distributed run from a checkpoint (e.g. one written by a
-/// run that lost all its ranks), running the remaining batches of the
-/// plan. The resumed run may use any rank count; results are bit-exact
-/// against the uninterrupted run for driver-chosen partitions.
-#[deprecated(
-    note = "use mcs_core::engine::resume_with_problem with an mcs_cluster::DistributedPolicy"
-)]
-pub fn resume_distributed_eigenvalue(
-    problem: &Arc<Problem>,
-    n_ranks: usize,
-    settings: &DistributedSettings,
-    checkpoint: &Statepoint,
-) -> DistributedResult {
-    assert_eq!(
-        checkpoint.seed, problem.seed,
-        "statepoint belongs to a different problem seed"
-    );
-    assert_eq!(
-        checkpoint.source.len(),
-        settings.total_particles,
-        "statepoint bank size does not match the batch size"
-    );
-    let total = settings.inactive + settings.active;
-    assert!(checkpoint.completed_batches < total, "nothing left to run");
-    let plan = settings.to_plan(n_ranks);
-    let mut policy = settings.to_policy(n_ranks);
-    let report = engine::resume_with_problem(problem, &plan, &mut policy, checkpoint);
-    legacy_result(report, &mut policy)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use mcs_core::problem::Problem;
     use mcs_faults::FaultRecordKind;
+    use std::sync::Arc;
 
     fn problem() -> Arc<Problem> {
         Arc::new(Problem::test_small())
@@ -368,6 +324,19 @@ mod tests {
 
     fn settings(n: usize) -> DistributedSettings {
         DistributedSettings::simple(n, 1, 2)
+    }
+
+    /// Run the settings through the engine under a distributed policy
+    /// (the composition the removed legacy driver used to hide).
+    fn run_distributed_eigenvalue(
+        problem: &Arc<Problem>,
+        n_ranks: usize,
+        settings: &DistributedSettings,
+    ) -> DistributedResult {
+        let plan = settings.to_plan(n_ranks);
+        let mut policy = settings.to_policy(n_ranks);
+        let report = engine::run_with_problem(problem, &plan, &mut policy).into_eigenvalue();
+        distributed_result(report, &mut policy)
     }
 
     #[test]
@@ -400,19 +369,17 @@ mod tests {
         // rank count reproduces the serial eigenvalue driver's per-batch
         // k bitwise (identical streams, identical resampling, identical
         // summation tree via the chunk-keyed all-reduce).
-        use mcs_core::eigenvalue::{run_eigenvalue, EigenvalueSettings, TransportMode};
         let p = problem();
-        let serial = run_eigenvalue(
-            &p,
-            &EigenvalueSettings {
-                particles: 300,
-                inactive: 1,
-                active: 2,
-                mode: TransportMode::History,
-                entropy_mesh: (8, 8, 4),
-                mesh_tally: None,
-            },
-        );
+        let serial_plan = RunPlan {
+            particles: 300,
+            inactive: 1,
+            active: 2,
+            entropy_mesh: (8, 8, 4),
+            ..RunPlan::default()
+        };
+        let serial = engine::run_with_problem(&p, &serial_plan, &mut engine::Threaded::ambient())
+            .into_eigenvalue()
+            .result;
         let dist = run_distributed_eigenvalue(&p, 3, &settings(300));
         for (a, b) in serial.batches.iter().zip(&dist.batches) {
             assert_eq!(
@@ -542,26 +509,28 @@ mod tests {
 
     #[test]
     fn checkpoints_match_the_serial_statepoint() {
-        use mcs_core::eigenvalue::{EigenvalueSettings, TransportMode};
-        use mcs_core::statepoint::run_eigenvalue_checkpointed;
         let p = problem();
         let mut s = settings(600);
         s.inactive = 1;
         s.active = 2;
         s.checkpoint_every = Some(2);
         let dist = run_distributed_eigenvalue(&p, 2, &s);
-        let (_, serial_sp) = run_eigenvalue_checkpointed(
+        let serial_plan = RunPlan {
+            particles: 600,
+            inactive: 1,
+            active: 2,
+            entropy_mesh: (8, 8, 4),
+            ..RunPlan::default()
+        };
+        let serial_sp = engine::run_batches(
             &p,
-            &EigenvalueSettings {
-                particles: 600,
-                inactive: 1,
-                active: 2,
-                mode: TransportMode::History,
-                entropy_mesh: (8, 8, 4),
-                mesh_tally: None,
-            },
+            &serial_plan,
+            &mut engine::Threaded::ambient(),
+            0,
             2,
-        );
+            None,
+        )
+        .statepoint;
         let sp = &dist.checkpoints[0];
         assert_eq!(
             sp, &serial_sp,

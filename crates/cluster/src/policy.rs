@@ -40,8 +40,8 @@ use crate::mpi::Comm;
 type RankOutput = (Vec<Site>, Tallies, Vec<f64>, Option<EventStats>);
 
 /// Per-batch decomposition record: who computed what, how fast, and who
-/// was alive. The deprecated `DistributedResult` view is rebuilt by
-/// zipping these with the engine's batch records.
+/// was alive. The `DistributedResult` view is rebuilt by zipping these
+/// with the engine's batch records.
 #[derive(Debug, Clone)]
 pub struct RankBatchDetail {
     /// Batch index.
@@ -246,6 +246,7 @@ impl ExecutionPolicy for DistributedPolicy {
         let sources = ctx.sources;
         let streams = ctx.streams;
         let algorithm = ctx.algorithm;
+        let queueing = ctx.queueing;
         let assignments = &self.assignments;
         let fault_plan = &self.fault_plan;
 
@@ -266,7 +267,8 @@ impl ExecutionPolicy for DistributedPolicy {
                         let my_streams = &streams[lo..lo + count];
 
                         let t0 = Instant::now();
-                        let chunked = transport_chunks(problem, my_sources, my_streams, algorithm);
+                        let chunked =
+                            transport_chunks(problem, my_sources, my_streams, algorithm, &queueing);
                         let mut wall = t0.elapsed().as_secs_f64();
                         // Straggler injection inflates the *reported*
                         // time (what the adaptive balancer sees).

@@ -15,7 +15,6 @@ use mcs_rng::Lcg63;
 use crate::event::EventStats;
 use crate::mesh::{MeshSpec, MeshStats, MeshTally};
 use crate::particle::{Site, SourceSite};
-use crate::problem::Problem;
 use crate::tally::Tallies;
 
 /// Which transport algorithm drives the batches.
@@ -167,70 +166,6 @@ pub fn resample_source(sites: &[Site], n: usize, seed: u64) -> Vec<SourceSite> {
         .collect()
 }
 
-/// Translate legacy [`EigenvalueSettings`] into the engine's
-/// [`crate::engine::RunPlan`]. The deprecated shims only support mesh
-/// specs covering the problem bounds (the only kind any in-tree caller
-/// ever built); arbitrary mesh windows need the engine API directly.
-pub(crate) fn plan_for(problem: &Problem, settings: &EigenvalueSettings) -> crate::engine::RunPlan {
-    let mesh_tally = settings.mesh_tally.map(|spec| {
-        let covering = MeshSpec::covering(problem.geometry.bounds, spec.nx, spec.ny, spec.nz);
-        assert_eq!(
-            spec, covering,
-            "legacy driver shims only support mesh tallies covering the \
-             problem bounds; use mcs_core::engine directly"
-        );
-        (spec.nx, spec.ny, spec.nz)
-    });
-    crate::engine::RunPlan {
-        algorithm: match settings.mode {
-            TransportMode::History => crate::engine::Algorithm::History,
-            TransportMode::Event => crate::engine::Algorithm::EventBanking,
-        },
-        particles: settings.particles,
-        inactive: settings.inactive,
-        active: settings.active,
-        entropy_mesh: settings.entropy_mesh,
-        mesh_tally,
-        ..crate::engine::RunPlan::default()
-    }
-}
-
-/// Run the full power iteration.
-#[deprecated(note = "use mcs_core::engine::run with a RunPlan")]
-pub fn run_eigenvalue(problem: &Problem, settings: &EigenvalueSettings) -> EigenvalueResult {
-    let plan = plan_for(problem, settings);
-    crate::engine::run_with_problem(problem, &plan, &mut crate::engine::Threaded::ambient())
-        .into_eigenvalue()
-        .result
-}
-
-/// Run batches `[start_batch, end_batch)` of the plan, seeded either from
-/// the initial source (`checkpoint = None`, requires `start_batch == 0`)
-/// or from a statepoint. Returns the batch records produced and the
-/// statepoint after `end_batch`. Stream and resampling seeds are
-/// identical to [`run_eigenvalue`]'s, so checkpoint/resume is bit-exact.
-#[deprecated(note = "use mcs_core::engine::run_batches")]
-pub fn run_eigenvalue_partial(
-    problem: &Problem,
-    settings: &EigenvalueSettings,
-    start_batch: usize,
-    end_batch: usize,
-    checkpoint: Option<crate::statepoint::Statepoint>,
-) -> (Vec<BatchResult>, crate::statepoint::Statepoint) {
-    // The legacy partial driver never scored user meshes.
-    let mut plan = plan_for(problem, settings);
-    plan.mesh_tally = None;
-    let report = crate::engine::run_batches(
-        problem,
-        &plan,
-        &mut crate::engine::Threaded::ambient(),
-        start_batch,
-        end_batch,
-        checkpoint.as_ref(),
-    );
-    (report.batches, report.statepoint)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,8 +309,13 @@ mod tests {
         let streams = crate::history::batch_streams(problem.seed, 0, n);
         let (hist, _, _) =
             crate::history::run_history_batch(&problem, &sources, &streams, None, false, None);
-        let (evt, _, _) =
-            crate::event::event_transport_mesh_impl(&problem, &sources, &streams, None);
+        let (evt, _, _) = crate::event::event_transport_mesh_impl(
+            &problem,
+            &sources,
+            &streams,
+            None,
+            &crate::queueing::QueueingConfig::default(),
+        );
         assert_eq!(hist.tallies.segments, evt.tallies.segments);
         assert_eq!(hist.tallies.collisions, evt.tallies.collisions);
         assert_eq!(hist.tallies.absorptions, evt.tallies.absorptions);
@@ -481,45 +421,5 @@ mod tests {
     #[should_panic(expected = "fission bank empty")]
     fn resample_empty_bank_panics() {
         resample_source(&[], 10, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_driver_shims_match_the_engine() {
-        // The one place the legacy entry points are exercised: the shims
-        // must stay bit-identical to the engine they delegate to.
-        let problem = Problem::test_small();
-        let settings = EigenvalueSettings {
-            particles: 500,
-            inactive: 2,
-            active: 3,
-            mode: TransportMode::Event,
-            entropy_mesh: (4, 4, 4),
-            mesh_tally: Some(crate::mesh::MeshSpec::covering(
-                problem.geometry.bounds,
-                4,
-                4,
-                2,
-            )),
-        };
-        let shim = run_eigenvalue(&problem, &settings);
-        let mut plan = test_plan();
-        plan.algorithm = Algorithm::EventBanking;
-        plan.mesh_tally = Some((4, 4, 2));
-        let engine = run_plan(&problem, &plan);
-        assert_eq!(shim.k_mean.to_bits(), engine.k_mean.to_bits());
-        assert_eq!(shim.k_std.to_bits(), engine.k_std.to_bits());
-        assert_eq!(shim.tallies, engine.tallies);
-        assert_eq!(shim.mesh.unwrap().bins, engine.mesh.unwrap().bins);
-
-        let (batches, sp) = run_eigenvalue_partial(&problem, &settings, 0, 5, None);
-        let report =
-            crate::engine::run_batches(&problem, &plan, &mut Threaded::ambient(), 0, 5, None);
-        assert_eq!(batches.len(), report.batches.len());
-        for (a, b) in batches.iter().zip(&report.batches) {
-            assert_eq!(a.k_track.to_bits(), b.k_track.to_bits());
-        }
-        assert_eq!(sp.source, report.statepoint.source);
-        assert_eq!(sp.k_history, report.statepoint.k_history);
     }
 }

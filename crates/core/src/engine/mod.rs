@@ -17,10 +17,10 @@
 //!               ExecutionPolicy:   Serial | Threaded | Distributed
 //! ```
 //!
-//! Legacy entry points (`run_eigenvalue`, `run_histories_*`,
+//! The pre-engine entry points (`run_eigenvalue`, `run_histories_*`,
 //! `run_event_transport*`, `run_fixed_source`,
-//! `run_distributed_eigenvalue`) survive one PR as `#[deprecated]`
-//! shims over this module.
+//! `run_distributed_eigenvalue`) rode along for one PR as
+//! `#[deprecated]` shims and are gone; this module is the only way in.
 
 pub mod plan;
 pub mod policy;
@@ -39,6 +39,7 @@ use crate::history::batch_streams;
 use crate::mesh::{MeshSpec, MeshStats, MeshTally};
 use crate::particle::{Site, SourceSite};
 use crate::problem::Problem;
+use crate::queueing::QueueingConfig;
 use crate::spectrum::SpectrumTally;
 use crate::statepoint::Statepoint;
 use crate::tally::Tallies;
@@ -217,6 +218,7 @@ pub fn run_batches(
             mesh: batch_mesh_spec,
             spectrum: false,
             profiler: None,
+            queueing: plan.queueing,
         };
         let t0 = Instant::now();
         let out = match policy.transport_batch(problem, &ctx) {
@@ -289,6 +291,7 @@ pub fn run_batches(
             mesh: None,
             spectrum: true,
             profiler: None,
+            queueing: plan.queueing,
         };
         spectrum = policy
             .transport_batch(problem, &ctx)
@@ -385,6 +388,8 @@ pub struct BatchRequest<'a> {
     pub spectrum: bool,
     /// External profiler: forces the sequential fig. 4 history path.
     pub profiler: Option<&'a mcs_prof::ThreadProfiler>,
+    /// Stage-2 queueing for the event pipeline.
+    pub queueing: QueueingConfig,
 }
 
 impl Default for BatchRequest<'static> {
@@ -394,6 +399,7 @@ impl Default for BatchRequest<'static> {
             mesh: None,
             spectrum: false,
             profiler: None,
+            queueing: QueueingConfig::default(),
         }
     }
 }
@@ -415,6 +421,7 @@ pub fn transport_batch(
         mesh: req.mesh,
         spectrum: req.spectrum,
         profiler: req.profiler,
+        queueing: req.queueing,
     };
     match policy.transport_batch(problem, &ctx) {
         Ok(out) => out,
@@ -445,6 +452,7 @@ pub fn transport_chunks(
     sources: &[SourceSite],
     streams: &[Lcg63],
     algorithm: Algorithm,
+    queueing: &QueueingConfig,
 ) -> ChunkedBatch {
     match algorithm {
         Algorithm::History => {
@@ -463,7 +471,7 @@ pub fn transport_chunks(
         }
         Algorithm::EventBanking => {
             let (chunk_tallies, sites, stats) =
-                crate::event::run_event_transport_chunked_impl(problem, sources, streams);
+                crate::event::run_event_transport_chunked_impl(problem, sources, streams, queueing);
             ChunkedBatch {
                 chunk_tallies,
                 sites,

@@ -9,6 +9,7 @@
 
 use crate::physics::AbsorptionTreatment;
 use crate::problem::{HmModel, Problem, ProblemConfig};
+use crate::queueing::{QueueingConfig, QueueingMode};
 
 /// Which problem geometry/library to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +139,10 @@ pub struct RunPlan {
     pub checkpoint_every: Option<usize>,
     /// Fission-chain depth cap (fixed-source mode only).
     pub max_chain: usize,
+    /// Stage-2 particle queueing for the event pipeline (ignored by the
+    /// history algorithm). Any setting is bitwise-equivalent; this is a
+    /// pure lookup-locality knob.
+    pub queueing: QueueingConfig,
     /// Execution policy to run under.
     pub policy: PolicySpec,
 }
@@ -158,6 +163,7 @@ impl Default for RunPlan {
             spectrum: false,
             checkpoint_every: None,
             max_chain: 100_000,
+            queueing: QueueingConfig::default(),
             policy: PolicySpec::Serial,
         }
     }
@@ -252,6 +258,18 @@ impl RunPlan {
             "survival biasing: {}\n",
             if self.survival { "on" } else { "off" }
         ));
+        if self.algorithm == Algorithm::EventBanking {
+            s.push_str(&format!(
+                "event queueing:   {} ({} bins{})\n",
+                self.queueing.mode.name(),
+                self.queueing.energy_bins,
+                if self.queueing.fuel_split {
+                    ", fuel split"
+                } else {
+                    ""
+                }
+            ));
+        }
         s
     }
 
@@ -280,6 +298,12 @@ impl RunPlan {
             s.push_str(&format!("checkpoint_every = {every}\n"));
         }
         s.push_str(&format!("max_chain = {}\n", self.max_chain));
+        s.push_str(&format!("queueing = \"{}\"\n", self.queueing.mode.name()));
+        s.push_str(&format!("queueing_bins = {}\n", self.queueing.energy_bins));
+        s.push_str(&format!(
+            "queueing_fuel_split = {}\n",
+            self.queueing.fuel_split
+        ));
         s.push_str("\n[policy]\n");
         match self.policy {
             PolicySpec::Serial => s.push_str("kind = \"serial\"\n"),
@@ -364,6 +388,21 @@ impl RunPlan {
                     plan.checkpoint_every = Some(value.as_usize().map_err(|e| err(&e))?)
                 }
                 ("plan", "max_chain") => plan.max_chain = value.as_usize().map_err(|e| err(&e))?,
+                ("plan", "queueing") => {
+                    let name = value.as_str().map_err(|e| err(&e))?;
+                    plan.queueing.mode = QueueingMode::from_name(name).ok_or_else(|| {
+                        err(&format!(
+                            "unknown queueing mode \"{name}\" \
+                             (expected off | material | material+energy)"
+                        ))
+                    })?;
+                }
+                ("plan", "queueing_bins") => {
+                    plan.queueing.energy_bins = value.as_usize().map_err(|e| err(&e))?
+                }
+                ("plan", "queueing_fuel_split") => {
+                    plan.queueing.fuel_split = value.as_bool().map_err(|e| err(&e))?
+                }
                 ("policy", "kind") => {
                     policy_kind = Some(value.as_str().map_err(|e| err(&e))?.to_string())
                 }
@@ -393,6 +432,7 @@ impl RunPlan {
         if plan.particles == 0 {
             return Err("plan has zero particles".to_string());
         }
+        plan.queueing.validate()?;
         Ok(plan)
     }
 }
@@ -513,10 +553,26 @@ mod tests {
             spectrum: true,
             checkpoint_every: Some(3),
             max_chain: 42,
+            queueing: QueueingConfig {
+                mode: QueueingMode::MaterialEnergy,
+                energy_bins: 512,
+                fuel_split: true,
+            },
             policy: PolicySpec::Distributed { ranks: 4 },
         };
         let back = RunPlan::from_toml(&plan.to_toml()).expect("parse");
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn queueing_fields_parse_and_validate() {
+        let text = "[plan]\nqueueing = \"off\"\nqueueing_bins = 128\n";
+        let plan = RunPlan::from_toml(text).expect("parse");
+        assert_eq!(plan.queueing.mode, QueueingMode::Off);
+        assert_eq!(plan.queueing.energy_bins, 128);
+        assert!(!plan.queueing.fuel_split);
+        assert!(RunPlan::from_toml("[plan]\nqueueing = \"bogus\"\n").is_err());
+        assert!(RunPlan::from_toml("[plan]\nqueueing_bins = 100\n").is_err());
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! iteration, through staged kernels:
 //!
 //! 1. **Locate** — resolve each particle's cell (leaks terminate here).
-//! 2. **XS lookup** — the bank is bucketed by material and each bucket is
-//!    fed through the gather-indexed banked kernel
+//! 2. **XS lookup** — the bank is partitioned into per-material (and
+//!    optionally per-log-E-bin) queues by [`crate::queueing`] and each
+//!    queue is fed through the gather-indexed banked kernel
 //!    ([`mcs_xs::XsContext::batch_macro_xs_simd_indexed`], Fig. 2's
-//!    banked lookup with the inner loop over nuclides vectorized).
+//!    banked lookup with the inner loop over nuclides vectorized;
+//!    energy-ordered queues take the warm-start variant).
 //! 3. **Distance sampling** — `d = −ln ξ / Σ_t` across the bank (the
 //!    Table I kernel): uniforms via the batched-stream fill in
 //!    `mcs-rng`, the negate/divide 8-wide in [`F64x8`].
@@ -46,6 +48,7 @@ use crate::mesh::{MeshSpec, MeshTally};
 use crate::particle::{sort_sites, ParticleBank, Site, SourceSite};
 use crate::physics::{apply_physics, collide, CollisionOutcome};
 use crate::problem::Problem;
+use crate::queueing::{build_queues, material_order, QueueBuffers, QueueingConfig};
 use crate::tally::Tallies;
 use crate::E_FLOOR;
 
@@ -132,50 +135,6 @@ impl<'a, T: Copy> SyncSlice<'a, T> {
     }
 }
 
-/// Run the full event-based transport over a bank born from `sources`,
-/// parallelized over the ambient rayon thread count.
-#[deprecated(note = "use mcs_core::engine::transport_batch with Algorithm::EventBanking")]
-pub fn run_event_transport(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> (TransportOutcome, EventStats) {
-    let (out, stats, _) = event_transport_mesh_impl(problem, sources, streams, None);
-    (out, stats)
-}
-
-/// The staged pipeline pinned to one worker thread — the serial reference
-/// for speedup measurements. Bit-identical to the parallel entry points:
-/// the pipeline's chunking, not its thread count, fixes every
-/// accumulation order.
-#[deprecated(note = "use mcs_core::engine with the Serial policy")]
-pub fn run_event_transport_serial(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> (TransportOutcome, EventStats) {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("single-thread pool");
-    let (out, stats, _) =
-        pool.install(|| event_transport_mesh_impl(problem, sources, streams, None));
-    (out, stats)
-}
-
-/// [`run_event_transport`] with an optional mesh tally scored in the
-/// advance stage (merged across chunks in chunk order, like the history
-/// path's).
-#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::mesh")]
-pub fn run_event_transport_mesh(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-    mesh_spec: Option<MeshSpec>,
-) -> (TransportOutcome, EventStats, Option<MeshTally>) {
-    event_transport_mesh_impl(problem, sources, streams, mesh_spec)
-}
-
 /// Raw pipeline output before the canonical float fold: integer tallies
 /// and sorted sites in `out`, floats still in per-particle slots.
 struct PipelineRaw {
@@ -195,8 +154,9 @@ pub(crate) fn event_transport_mesh_impl(
     sources: &[SourceSite],
     streams: &[Lcg63],
     mesh_spec: Option<MeshSpec>,
+    queueing: &QueueingConfig,
 ) -> (TransportOutcome, EventStats, Option<MeshTally>) {
-    let mut raw = event_pipeline(problem, sources, streams, mesh_spec);
+    let mut raw = event_pipeline(problem, sources, streams, mesh_spec, queueing);
     // Canonical float-tally reduction: each particle's slot already holds
     // its segment-ordered sum; folding CHUNK slots per partial and the
     // partials in order rebuilds the exact reduction tree the history
@@ -228,8 +188,9 @@ pub(crate) fn run_event_transport_chunked_impl(
     problem: &Problem,
     sources: &[SourceSite],
     streams: &[Lcg63],
+    queueing: &QueueingConfig,
 ) -> (Vec<Tallies>, Vec<Site>, EventStats) {
-    let raw = event_pipeline(problem, sources, streams, None);
+    let raw = event_pipeline(problem, sources, streams, None, queueing);
     let n = sources.len();
     let n_chunks = n.div_ceil(CHUNK);
     let mut chunk_tallies = vec![Tallies::default(); n_chunks];
@@ -257,6 +218,7 @@ fn event_pipeline(
     sources: &[SourceSite],
     streams: &[Lcg63],
     mesh_spec: Option<MeshSpec>,
+    queueing: &QueueingConfig,
 ) -> PipelineRaw {
     let mut mesh = mesh_spec.map(MeshTally::new);
     let mut bank = ParticleBank::from_sources(sources, streams);
@@ -287,8 +249,8 @@ fn event_pipeline(
     let mut kt_pp = vec![0.0f64; n];
     let mut kc_pp = vec![0.0f64; n];
     let mut ka_pp = vec![0.0f64; n];
-    let n_materials = problem.n_materials();
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_materials];
+    let mat_order = material_order(&problem.materials, queueing.fuel_split);
+    let mut qbufs = QueueBuffers::new(problem.n_materials());
     let survival = !matches!(
         problem.treatment,
         crate::physics::AbsorptionTreatment::Analog
@@ -340,39 +302,54 @@ fn event_pipeline(
             break;
         }
 
-        // --- Stage 2: banked XS lookups, bucketed by material ----------
+        // --- Stage 2: banked XS lookups over material/energy queues ----
         // Per-particle RNG streams make the processing order irrelevant
-        // to reproducibility, so grouping by material is free. A single
-        // serial bucketing pass builds (material, chunk) tasks; the tasks
-        // then run in parallel, each gathering its bucket's energies into
-        // the vectorized banked kernel and applying the per-particle
-        // physics corrections (URR sampling draws) afterwards — exactly
+        // to reproducibility, so the queueing layer is free to permute
+        // the live list ([`crate::queueing`]): by material (a lookup task
+        // needs one material), and optionally by log-E bin within each
+        // material so the banked gathers walk near-contiguous grid rows.
+        // A single serial partition pass builds ≤CHUNK-sized tasks; the
+        // tasks then run in parallel, each gathering its queue's energies
+        // into the vectorized banked kernel (warm-start variant for
+        // energy-ordered queues) and applying the per-particle physics
+        // corrections (URR sampling draws) afterwards — exactly
         // `Problem::macro_xs_vector`, batched.
         {
             let _g = prof.enter(EventStats::STAGE_NAMES[1]);
-            for b in &mut buckets {
-                b.clear();
-            }
             for &iu in &bank.alive {
-                let m = bank.material[iu as usize];
-                buckets[m as usize].push(iu);
-                out.tallies.record_segment(m);
+                out.tallies.record_segment(bank.material[iu as usize]);
             }
-            let tasks: Vec<(u32, &[u32])> = buckets
-                .iter()
-                .enumerate()
-                .flat_map(|(m, b)| b.chunks(CHUNK).map(move |c| (m as u32, c)))
-                .collect();
+            build_queues(
+                queueing,
+                &mat_order,
+                &bank.alive,
+                &bank.material,
+                &bank.energy,
+                CHUNK,
+                &mut qbufs,
+            );
             let energy = &bank.energy[..];
+            let queued = &qbufs.queued[..];
             let rng = SyncSlice::new(&mut bank.rng);
             let xs_w = SyncSlice::new(&mut xs_buf);
-            tasks.par_iter().for_each(|&(mat_id, idxs)| {
+            qbufs.tasks.par_iter().for_each(|t| {
+                let mat_id = t.mat;
+                let idxs = &queued[t.start as usize..t.end as usize];
                 let mat = &problem.materials[mat_id as usize];
                 let mut base = [MacroXs::default(); CHUNK];
                 let m = idxs.len();
-                problem
-                    .xs
-                    .batch_macro_xs_simd_indexed(mat, energy, idxs, &mut base[..m]);
+                if t.binned {
+                    problem.xs.batch_macro_xs_simd_indexed_binned(
+                        mat,
+                        energy,
+                        idxs,
+                        &mut base[..m],
+                    );
+                } else {
+                    problem
+                        .xs
+                        .batch_macro_xs_simd_indexed(mat, energy, idxs, &mut base[..m]);
+                }
                 for (k, &iu) in idxs.iter().enumerate() {
                     let i = iu as usize;
                     let mut xs = base[k];
@@ -664,13 +641,15 @@ mod tests {
     use crate::history::batch_streams;
     use crate::problem::Problem;
 
-    /// Test shorthand for the merged event run without a mesh.
+    /// Test shorthand for the merged event run without a mesh, default
+    /// (material) queueing.
     fn run_event(
         problem: &Problem,
         sources: &[SourceSite],
         streams: &[Lcg63],
     ) -> (TransportOutcome, EventStats) {
-        let (out, stats, _) = event_transport_mesh_impl(problem, sources, streams, None);
+        let (out, stats, _) =
+            event_transport_mesh_impl(problem, sources, streams, None, &QueueingConfig::default());
         (out, stats)
     }
 
@@ -761,7 +740,15 @@ mod tests {
                 .num_threads(threads)
                 .build()
                 .unwrap();
-            pool.install(|| event_transport_mesh_impl(&problem, &sources, &streams, Some(spec)))
+            pool.install(|| {
+                event_transport_mesh_impl(
+                    &problem,
+                    &sources,
+                    &streams,
+                    Some(spec),
+                    &QueueingConfig::default(),
+                )
+            })
         };
         let (out1, stats1, mesh1) = run(1);
         let (out2, stats2, mesh2) = run(2);
@@ -850,7 +837,12 @@ mod tests {
         let sources = problem.sample_initial_source(n, 0);
         let streams = batch_streams(problem.seed, 0, n);
         let (merged, merged_stats) = run_event(&problem, &sources, &streams);
-        let (chunks, sites, stats) = run_event_transport_chunked_impl(&problem, &sources, &streams);
+        let (chunks, sites, stats) = run_event_transport_chunked_impl(
+            &problem,
+            &sources,
+            &streams,
+            &QueueingConfig::default(),
+        );
         assert_eq!(chunks.len(), n.div_ceil(CHUNK));
         let mut rebuilt = Tallies::default();
         for c in &chunks {
@@ -927,26 +919,83 @@ mod tests {
         assert_eq!(stats.iterations, 0);
     }
 
-    /// The deprecated shims are exact aliases of the collapsed driver.
+    /// Queueing permutes only the lookup order: every mode (and the fuel
+    /// split) must reproduce the default run bit for bit — tallies,
+    /// sites, mesh, and op counters alike.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_collapsed_driver() {
+    fn queueing_modes_are_bitwise_equivalent() {
+        use crate::queueing::QueueingMode;
         let problem = Problem::test_small();
-        let n = 300;
+        let n = 500;
         let sources = problem.sample_initial_source(n, 2);
         let streams = batch_streams(problem.seed, 1, n);
-        let (base, base_stats) = run_event(&problem, &sources, &streams);
-        let (shim, shim_stats) = run_event_transport(&problem, &sources, &streams);
-        assert_eq!(base.tallies, shim.tallies);
-        assert_eq!(base.sites, shim.sites);
-        assert_eq!(base_stats.iterations, shim_stats.iterations);
-        let (serial, _) = run_event_transport_serial(&problem, &sources, &streams);
-        assert_eq!(base.tallies, serial.tallies);
         let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
-        let (m_out, _, m_mesh) =
-            event_transport_mesh_impl(&problem, &sources, &streams, Some(spec));
-        let (s_out, _, s_mesh) = run_event_transport_mesh(&problem, &sources, &streams, Some(spec));
-        assert_eq!(m_out.tallies, s_out.tallies);
-        assert_eq!(m_mesh.unwrap().bins, s_mesh.unwrap().bins);
+        let run = |cfg: &QueueingConfig| {
+            event_transport_mesh_impl(&problem, &sources, &streams, Some(spec), cfg)
+        };
+        let (base, base_stats, base_mesh) = run(&QueueingConfig::default());
+        let variants = [
+            QueueingConfig {
+                mode: QueueingMode::Off,
+                ..QueueingConfig::default()
+            },
+            QueueingConfig {
+                mode: QueueingMode::MaterialEnergy,
+                ..QueueingConfig::default()
+            },
+            QueueingConfig {
+                mode: QueueingMode::MaterialEnergy,
+                energy_bins: 64,
+                fuel_split: true,
+            },
+            QueueingConfig {
+                fuel_split: true,
+                ..QueueingConfig::default()
+            },
+        ];
+        for cfg in &variants {
+            let (out, stats, mesh) = run(cfg);
+            assert_eq!(base.tallies, out.tallies, "{:?}", cfg.mode);
+            assert_eq!(base.sites, out.sites, "{:?}", cfg.mode);
+            assert_eq!(
+                base_mesh.as_ref().unwrap().bins,
+                mesh.as_ref().unwrap().bins,
+                "{:?}",
+                cfg.mode
+            );
+            assert_eq!(base_stats.iterations, stats.iterations);
+            assert_eq!(base_stats.lookups, stats.lookups);
+            assert_eq!(base_stats.peak_bank, stats.peak_bank);
+        }
+    }
+
+    /// On the hash backend, energy queueing + warm-start must spend fewer
+    /// in-bin scan steps per lookup than material-only queueing — the
+    /// locality claim of the ablation, asserted at test scale.
+    #[test]
+    fn energy_queueing_reduces_hash_scan_steps() {
+        use crate::problem::GridBackendKind;
+        use crate::queueing::QueueingMode;
+        let problem = Problem::test_small_with_backend(GridBackendKind::HashBinned);
+        let n = 600;
+        let sources = problem.sample_initial_source(n, 4);
+        let streams = batch_streams(problem.seed, 2, n);
+        let run = |mode: QueueingMode| {
+            problem.xs.reset_counters();
+            let cfg = QueueingConfig {
+                mode,
+                ..QueueingConfig::default()
+            };
+            let (out, _, _) = event_transport_mesh_impl(&problem, &sources, &streams, None, &cfg);
+            (out, problem.xs.bin_scan_steps(), problem.xs.lookups())
+        };
+        let (base, mat_steps, mat_lookups) = run(QueueingMode::Material);
+        let (binned, bin_steps, bin_lookups) = run(QueueingMode::MaterialEnergy);
+        assert_eq!(base.tallies, binned.tallies);
+        assert_eq!(mat_lookups, bin_lookups);
+        assert!(
+            bin_steps < mat_steps,
+            "energy queueing took {bin_steps} scan steps vs {mat_steps} material-only"
+        );
     }
 }

@@ -85,14 +85,6 @@ fn emit(problem: &Problem, def: &SourceDef, index: usize, n: usize) -> SourceSit
     }
 }
 
-/// Run a fixed-source calculation: each source particle's full fission
-/// chain is transported within its own history (depth-first over the
-/// progeny stack, all on the particle's own RNG stream family).
-#[deprecated(note = "use mcs_core::engine::run with RunMode::FixedSource")]
-pub fn run_fixed_source(problem: &Problem, settings: &FixedSourceSettings) -> FixedSourceResult {
-    run_fixed_source_impl(problem, settings)
-}
-
 /// The fixed-source chain runner ([`crate::engine`]'s fixed-source
 /// dispatch target; thread-local policies wrap it in their pool).
 pub(crate) fn run_fixed_source_impl(

@@ -8,7 +8,7 @@
 //!
 //! The `run_histories_*` driver zoo is collapsed into one parameterized
 //! batch function consumed by `mcs_core::engine`; the old entry points
-//! remain for one PR as `#[deprecated]` shims.
+//! are gone — go through the engine.
 
 use mcs_geom::{Vec3, BOUNDARY_EPS};
 use mcs_prof::ThreadProfiler;
@@ -345,65 +345,6 @@ pub(crate) fn run_histories_chunked_impl(
         .collect()
 }
 
-/// Run a set of histories in parallel (rayon), deterministically: chunk
-/// `CHUNK` particles per task, fold partial results in chunk order.
-#[deprecated(note = "use mcs_core::engine::transport_batch with Algorithm::History")]
-pub fn run_histories(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> TransportOutcome {
-    run_history_batch(problem, sources, streams, None, false, None).0
-}
-
-/// [`run_histories`] with an optional mesh tally (deterministically
-/// merged in chunk order, like everything else).
-#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::mesh")]
-pub fn run_histories_mesh(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-    mesh_spec: Option<MeshSpec>,
-) -> (TransportOutcome, Option<MeshTally>) {
-    let (out, mesh, _) = run_history_batch(problem, sources, streams, mesh_spec, false, None);
-    (out, mesh)
-}
-
-/// [`run_histories`] exposing the per-chunk partial outcomes instead of
-/// the merged result, in chunk order.
-#[deprecated(note = "use mcs_core::engine::transport_chunks")]
-pub fn run_histories_chunked(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> Vec<TransportOutcome> {
-    run_histories_chunked_impl(problem, sources, streams)
-}
-
-/// Single-threaded run with TAU-style instrumentation (for the Fig. 4
-/// profile comparison).
-#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::profiler")]
-pub fn run_histories_profiled(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-    prof: &ThreadProfiler,
-) -> TransportOutcome {
-    run_history_batch(problem, sources, streams, None, false, Some(prof)).0
-}
-
-/// [`run_histories`] plus a full-range energy-spectrum tally
-/// (deterministically merged in chunk order).
-#[deprecated(note = "use mcs_core::engine::transport_batch with BatchRequest::spectrum")]
-pub fn run_histories_spectrum(
-    problem: &Problem,
-    sources: &[SourceSite],
-    streams: &[Lcg63],
-) -> (TransportOutcome, SpectrumTally) {
-    let (out, _, spectrum) = run_history_batch(problem, sources, streams, None, true, None);
-    (out, spectrum.expect("spectrum requested"))
-}
-
 /// The per-history RNG streams for batch `batch_index` of a run: particle
 /// `i` gets the stream starting `(<batch offset> + i) · STRIDE` draws into
 /// the master sequence.
@@ -547,51 +488,5 @@ mod tests {
         // A single short assembly leaks plenty of fast neutrons.
         let (_, out) = small_run(500);
         assert!(out.tallies.leaks > 0);
-    }
-
-    /// The deprecated shims are exact aliases of the collapsed driver.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_collapsed_driver() {
-        let problem = Problem::test_small();
-        let n = 300; // 2 chunks, exercising the fold
-        let sources = problem.sample_initial_source(n, 3);
-        let streams = batch_streams(problem.seed, 1, n);
-
-        let base = run_history_batch(&problem, &sources, &streams, None, false, None).0;
-        let shim = run_histories(&problem, &sources, &streams);
-        assert_eq!(base.tallies, shim.tallies);
-        assert_eq!(base.sites, shim.sites);
-
-        let spec = MeshSpec::covering(problem.geometry.bounds, 4, 4, 2);
-        let (m_out, m_mesh, _) =
-            run_history_batch(&problem, &sources, &streams, Some(spec), false, None);
-        let (s_out, s_mesh) = run_histories_mesh(&problem, &sources, &streams, Some(spec));
-        assert_eq!(m_out.tallies, s_out.tallies);
-        assert_eq!(m_mesh.unwrap().bins, s_mesh.unwrap().bins);
-
-        let (sp_out, _, sp_tally) =
-            run_history_batch(&problem, &sources, &streams, None, true, None);
-        let (ss_out, ss_tally) = run_histories_spectrum(&problem, &sources, &streams);
-        assert_eq!(sp_out.tallies, ss_out.tallies);
-        assert_eq!(sp_tally.unwrap().bins, ss_tally.bins);
-
-        let chunks_a = run_histories_chunked_impl(&problem, &sources, &streams);
-        let chunks_b = run_histories_chunked(&problem, &sources, &streams);
-        assert_eq!(chunks_a.len(), chunks_b.len());
-        for (a, b) in chunks_a.iter().zip(&chunks_b) {
-            assert_eq!(a.tallies, b.tallies);
-            assert_eq!(a.sites, b.sites);
-        }
-
-        // The profiled shim reproduces the sequential instrumented path
-        // (whose single-accumulator float fold differs from the chunked
-        // tree above CHUNK particles, so compare against that path).
-        let prof_a = mcs_prof::ThreadProfiler::new();
-        let p_base = run_history_batch(&problem, &sources, &streams, None, false, Some(&prof_a)).0;
-        let prof_b = mcs_prof::ThreadProfiler::new();
-        let p_shim = run_histories_profiled(&problem, &sources, &streams, &prof_b);
-        assert_eq!(p_base.tallies, p_shim.tallies);
-        assert_eq!(p_base.sites, p_shim.sites);
     }
 }

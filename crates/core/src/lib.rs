@@ -39,6 +39,7 @@ pub mod mesh;
 pub mod particle;
 pub mod physics;
 pub mod problem;
+pub mod queueing;
 pub mod spectrum;
 pub mod statepoint;
 pub mod tally;
@@ -49,12 +50,11 @@ pub use engine::{
     Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
     Serial, Threaded,
 };
-#[allow(deprecated)] // legacy re-export kept alive for one PR alongside the shim
-pub use fixed_source::run_fixed_source;
 pub use fixed_source::{FixedSourceResult, FixedSourceSettings, SourceDef};
 pub use mesh::{MeshSpec, MeshTally};
 pub use particle::{Particle, ParticleBank, Site, SourceSite};
 pub use problem::{HmModel, Problem};
+pub use queueing::{QueueingConfig, QueueingMode};
 pub use spectrum::SpectrumTally;
 pub use statepoint::Statepoint;
 pub use tally::Tallies;

@@ -5,7 +5,7 @@ use mcs_rng::Lcg63;
 use mcs_xs::sab::SabTable;
 use mcs_xs::urr::UrrTable;
 pub use mcs_xs::GridBackendKind;
-use mcs_xs::{LibrarySpec, MacroXs, Material, NuclideLibrary, XsContext};
+use mcs_xs::{LibrarySpec, MacroXs, Material, XsContext};
 
 use crate::particle::SourceSite;
 use crate::physics::sample_watt;
@@ -104,8 +104,10 @@ impl Problem {
         }
         .with_grid_density(cfg.grid_density)
         .with_fuel_temperature(cfg.fuel_temperature_k);
-        let library = NuclideLibrary::build(&lib_spec);
-        Self::assemble(library, cfg)
+        Self::assemble(
+            mcs_xs::cache::context_for_spec(&lib_spec, cfg.grid_backend),
+            cfg,
+        )
     }
 
     /// Build a small problem for unit tests (tiny nuclide library,
@@ -121,16 +123,19 @@ impl Problem {
             grid_backend: backend,
             ..ProblemConfig::test_scale()
         };
-        let library =
-            NuclideLibrary::build(&LibrarySpec::tiny().with_grid_density(cfg.grid_density));
-        Self::assemble(library, &cfg)
+        let spec = LibrarySpec::tiny().with_grid_density(cfg.grid_density);
+        Self::assemble(mcs_xs::cache::context_for_spec(&spec, backend), &cfg)
     }
 
-    fn assemble(library: NuclideLibrary, cfg: &ProblemConfig) -> Self {
+    /// Assemble around an already built lookup context (normally a
+    /// counter-fresh clone from [`mcs_xs::cache`]); geometry, materials,
+    /// and optional physics come from `cfg`.
+    fn assemble(xs: XsContext, cfg: &ProblemConfig) -> Self {
+        let library = xs.lib();
         let materials = vec![
-            Material::hm_fuel(&library),
-            Material::hm_clad(&library),
-            Material::hm_water(&library),
+            Material::hm_fuel(library),
+            Material::hm_clad(library),
+            Material::hm_water(library),
         ];
         let geometry = hm_core(&cfg.geometry);
 
@@ -161,7 +166,7 @@ impl Problem {
             .collect();
 
         Self {
-            xs: XsContext::new(library, cfg.grid_backend),
+            xs,
             materials,
             geometry,
             physics,

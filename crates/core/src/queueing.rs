@@ -1,0 +1,480 @@
+//! Particle queueing for the event pipeline's XS-lookup stage.
+//!
+//! The banked lookup stage is memory-bound: each lookup gathers per-nuclide
+//! rows addressed by the particle's energy, so the *order* the bank is
+//! processed in decides gather locality. Tramm et al. (PAPERS.md) show that
+//! on wide-vector hardware sorting/queueing particles by material and
+//! energy is the dominant throughput lever, because neighbouring lookups
+//! then touch neighbouring grid rows.
+//!
+//! Per-particle RNG streams and the canonical per-particle float-tally
+//! slots make lookup order *physically irrelevant*: queueing permutes only
+//! the order stage 2 resolves cross sections in, never a trajectory, an
+//! RNG draw, or a tally fold. That is the determinism argument — any
+//! partition produced here yields bit-identical transport results, which
+//! the equivalence-matrix tests assert.
+//!
+//! Three modes, ordered by how much structure they impose:
+//!
+//! * [`QueueingMode::Off`] — live-list order, split only at material
+//!   changes (a lookup task needs a single material). The locality
+//!   baseline.
+//! * [`QueueingMode::Material`] — bucket the bank by material, chunk each
+//!   bucket. This is the event engine's historical behaviour.
+//! * [`QueueingMode::MaterialEnergy`] — within each material bucket,
+//!   stable counting-sort particles by log-energy bin. Consecutive lookups
+//!   then carry near-equal energies, which the hash backend's warm-start
+//!   driver ([`mcs_xs::XsContext::batch_macro_xs_simd_indexed_binned`])
+//!   and the unionized backend's row gathers both convert into
+//!   near-contiguous index walks.
+//!
+//! With `fuel_split`, fissionable materials queue ahead of non-fuel ones
+//! (fuel lookups sum hundreds of nuclides, non-fuel a handful; separating
+//! the queues keeps task cost uniform within each phase of the sweep).
+
+use mcs_xs::Material;
+use mcs_xs::{E_MAX, E_MIN};
+
+/// How stage 2 orders the live bank for banked XS lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueingMode {
+    /// Live-list order; tasks split only where the material changes.
+    Off,
+    /// Bucket by material (the historical event-engine behaviour).
+    #[default]
+    Material,
+    /// Bucket by material, then stable-sort each bucket by log-E bin.
+    MaterialEnergy,
+}
+
+impl QueueingMode {
+    /// All modes, in ablation order.
+    pub const ALL: [QueueingMode; 3] = [
+        QueueingMode::Off,
+        QueueingMode::Material,
+        QueueingMode::MaterialEnergy,
+    ];
+
+    /// Stable name used in TOML, CLI flags, and result rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueingMode::Off => "off",
+            QueueingMode::Material => "material",
+            QueueingMode::MaterialEnergy => "material+energy",
+        }
+    }
+
+    /// Parse a [`Self::name`] back.
+    pub fn from_name(s: &str) -> Option<QueueingMode> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// Stage-2 queueing configuration, carried by
+/// [`crate::engine::RunPlan`] and threaded through every execution policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingConfig {
+    /// Partitioning mode.
+    pub mode: QueueingMode,
+    /// Log-E bin count for [`QueueingMode::MaterialEnergy`]; must be a
+    /// power of two. Finer than the hash backend's grid bins, so
+    /// same-queue-bin neighbours usually share a hash bin and the
+    /// warm-start scan pays ~0 steps.
+    pub energy_bins: usize,
+    /// Queue fissionable materials ahead of non-fuel materials.
+    pub fuel_split: bool,
+}
+
+impl Default for QueueingConfig {
+    fn default() -> Self {
+        Self {
+            mode: QueueingMode::Material,
+            energy_bins: 4096,
+            fuel_split: false,
+        }
+    }
+}
+
+impl QueueingConfig {
+    /// Validate the configuration (the same rules `RunPlan::validate`
+    /// applies when the fields arrive via TOML).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.energy_bins.is_power_of_two() {
+            return Err(format!(
+                "queueing_bins must be a power of two, got {}",
+                self.energy_bins
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Maps energies to log-spaced queue bins over the library's tabulated
+/// range. Distinct from [`mcs_xs::HashGrid`]'s bins: queue bins only order
+/// particles, so they can be (and default to being) much finer.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyBinner {
+    n_bins: usize,
+    log_e_min: f64,
+    inv_bin_width: f64,
+}
+
+impl EnergyBinner {
+    /// A binner with `n_bins` log-spaced bins across `[E_MIN, E_MAX]`.
+    pub fn new(n_bins: usize) -> Self {
+        let log_e_min = E_MIN.ln();
+        Self {
+            n_bins,
+            log_e_min,
+            inv_bin_width: n_bins as f64 / (E_MAX.ln() - log_e_min),
+        }
+    }
+
+    /// Bin of `e`, clamped to `[0, n_bins)`; NaN (from `e <= 0`) clamps
+    /// to 0 like the hash grid's hash does.
+    #[inline]
+    pub fn bin_of(&self, e: f64) -> usize {
+        let t = (e.ln() - self.log_e_min) * self.inv_bin_width;
+        (t as isize).clamp(0, self.n_bins as isize - 1) as usize
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+}
+
+/// One stage-2 lookup task: particles `queued[start..end]` share material
+/// `mat`. `binned` marks energy-ordered tasks, which the driver routes to
+/// the warm-start banked kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueTask {
+    /// Material id shared by the task's particles.
+    pub mat: u32,
+    /// Start offset into [`QueueBuffers::queued`].
+    pub start: u32,
+    /// End offset (exclusive).
+    pub end: u32,
+    /// True when the task's particles are energy-ordered.
+    pub binned: bool,
+}
+
+/// Reused scratch for [`build_queues`]: the per-material buckets, the
+/// flattened queue, and the task list. Allocation-stable across event
+/// generations.
+#[derive(Debug, Default)]
+pub struct QueueBuffers {
+    buckets: Vec<Vec<u32>>,
+    counts: Vec<u32>,
+    scratch: Vec<u32>,
+    /// The queued live list: a permutation of the `alive` slice handed to
+    /// [`build_queues`], grouped per the queueing mode.
+    pub queued: Vec<u32>,
+    /// Lookup tasks over `queued`, each at most `chunk` long.
+    pub tasks: Vec<QueueTask>,
+}
+
+impl QueueBuffers {
+    /// Buffers for a problem with `n_materials` materials.
+    pub fn new(n_materials: usize) -> Self {
+        Self {
+            buckets: vec![Vec::new(); n_materials],
+            ..Self::default()
+        }
+    }
+}
+
+/// The order materials drain in: identity, or fissionable-first (stable)
+/// when `fuel_split` is set.
+pub fn material_order(materials: &[Material], fuel_split: bool) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..materials.len() as u32).collect();
+    if fuel_split {
+        order.sort_by_key(|&m| !materials[m as usize].is_fissionable());
+    }
+    order
+}
+
+/// Partition the live list into lookup tasks per `cfg`.
+///
+/// `alive` is the live particle list, `material`/`energy` the bank's SoA
+/// columns indexed by particle id, `chunk` the task-size cap, `mat_order`
+/// from [`material_order`]. On return `bufs.queued` is a permutation of
+/// `alive` and `bufs.tasks` tiles it exactly; the partition depends only
+/// on (`cfg`, `mat_order`, `alive` order) — never on thread count — so
+/// instrumentation counters stay deterministic.
+pub fn build_queues(
+    cfg: &QueueingConfig,
+    mat_order: &[u32],
+    alive: &[u32],
+    material: &[u32],
+    energy: &[f64],
+    chunk: usize,
+    bufs: &mut QueueBuffers,
+) {
+    bufs.queued.clear();
+    bufs.tasks.clear();
+    if alive.is_empty() {
+        return;
+    }
+
+    if cfg.mode == QueueingMode::Off {
+        // Live-list order: emit a task at every material change or chunk
+        // boundary. No reordering at all.
+        bufs.queued.extend_from_slice(alive);
+        let mut run_start = 0usize;
+        let mut run_mat = material[alive[0] as usize];
+        for (k, &iu) in alive.iter().enumerate().skip(1) {
+            let m = material[iu as usize];
+            if m != run_mat || k - run_start >= chunk {
+                bufs.tasks.push(QueueTask {
+                    mat: run_mat,
+                    start: run_start as u32,
+                    end: k as u32,
+                    binned: false,
+                });
+                run_start = k;
+                run_mat = m;
+            }
+        }
+        bufs.tasks.push(QueueTask {
+            mat: run_mat,
+            start: run_start as u32,
+            end: alive.len() as u32,
+            binned: false,
+        });
+        return;
+    }
+
+    // Material and MaterialEnergy both start from per-material buckets,
+    // built in one stable pass over the live list.
+    for b in &mut bufs.buckets {
+        b.clear();
+    }
+    for &iu in alive {
+        bufs.buckets[material[iu as usize] as usize].push(iu);
+    }
+
+    let energy_sort = cfg.mode == QueueingMode::MaterialEnergy;
+    let binner = EnergyBinner::new(cfg.energy_bins);
+    for &m in mat_order {
+        let bucket = &mut bufs.buckets[m as usize];
+        if bucket.is_empty() {
+            continue;
+        }
+        if energy_sort && bucket.len() > 1 {
+            // Stable counting sort by queue bin: O(bucket + bins), and
+            // stability keeps equal-bin particles in live-list order so
+            // the permutation is deterministic.
+            bufs.counts.clear();
+            bufs.counts.resize(cfg.energy_bins + 1, 0);
+            for &iu in bucket.iter() {
+                bufs.counts[binner.bin_of(energy[iu as usize]) + 1] += 1;
+            }
+            for b in 1..bufs.counts.len() {
+                bufs.counts[b] += bufs.counts[b - 1];
+            }
+            bufs.scratch.clear();
+            bufs.scratch.resize(bucket.len(), 0);
+            for &iu in bucket.iter() {
+                let b = binner.bin_of(energy[iu as usize]);
+                bufs.scratch[bufs.counts[b] as usize] = iu;
+                bufs.counts[b] += 1;
+            }
+            bucket.copy_from_slice(&bufs.scratch);
+        }
+        let base = bufs.queued.len();
+        bufs.queued.extend_from_slice(bucket);
+        let mut start = base;
+        while start < bufs.queued.len() {
+            let end = (start + chunk).min(bufs.queued.len());
+            bufs.tasks.push(QueueTask {
+                mat: m,
+                start: start as u32,
+                end: end as u32,
+                binned: energy_sort,
+            });
+            start = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_xs::{LibrarySpec, NuclideLibrary};
+
+    fn fake_bank(n: usize) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+        let alive: Vec<u32> = (0..n as u32).collect();
+        let material: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % 3) as u32).collect();
+        let energy: Vec<f64> = (0..n)
+            .map(|i| 1.5e-11 * 1.27f64.powi(((i * 13 + 5) % 80) as i32))
+            .collect();
+        (alive, material, energy)
+    }
+
+    fn check_partition(alive: &[u32], bufs: &QueueBuffers, material: &[u32]) {
+        // queued is a permutation of alive…
+        let mut a = alive.to_vec();
+        let mut q = bufs.queued.clone();
+        a.sort_unstable();
+        q.sort_unstable();
+        assert_eq!(a, q);
+        // …and the tasks tile it exactly, each single-material.
+        let mut cursor = 0u32;
+        for t in &bufs.tasks {
+            assert_eq!(t.start, cursor);
+            assert!(t.end > t.start);
+            cursor = t.end;
+            for &iu in &bufs.queued[t.start as usize..t.end as usize] {
+                assert_eq!(material[iu as usize], t.mat);
+            }
+        }
+        assert_eq!(cursor as usize, bufs.queued.len());
+    }
+
+    #[test]
+    fn every_mode_partitions_the_live_list() {
+        let (alive, material, energy) = fake_bank(700);
+        let order = [0u32, 1, 2];
+        for mode in QueueingMode::ALL {
+            let cfg = QueueingConfig {
+                mode,
+                ..QueueingConfig::default()
+            };
+            let mut bufs = QueueBuffers::new(3);
+            build_queues(&cfg, &order, &alive, &material, &energy, 256, &mut bufs);
+            check_partition(&alive, &bufs, &material);
+        }
+    }
+
+    #[test]
+    fn material_mode_matches_historical_bucketing() {
+        let (alive, material, energy) = fake_bank(300);
+        let cfg = QueueingConfig::default();
+        let mut bufs = QueueBuffers::new(3);
+        build_queues(&cfg, &[0, 1, 2], &alive, &material, &energy, 256, &mut bufs);
+        // Bucketed concatenation in material order, stable within bucket.
+        let mut expect = Vec::new();
+        for m in 0..3u32 {
+            expect.extend(alive.iter().copied().filter(|&i| material[i as usize] == m));
+        }
+        assert_eq!(bufs.queued, expect);
+        assert!(bufs.tasks.iter().all(|t| !t.binned));
+    }
+
+    #[test]
+    fn energy_mode_orders_bins_within_buckets() {
+        let (alive, material, energy) = fake_bank(512);
+        let cfg = QueueingConfig {
+            mode: QueueingMode::MaterialEnergy,
+            ..QueueingConfig::default()
+        };
+        let binner = EnergyBinner::new(cfg.energy_bins);
+        let mut bufs = QueueBuffers::new(3);
+        build_queues(&cfg, &[0, 1, 2], &alive, &material, &energy, 256, &mut bufs);
+        check_partition(&alive, &bufs, &material);
+        // Within each material, bins must be non-decreasing; equal bins
+        // must preserve live-list order (stability).
+        for m in 0..3u32 {
+            let per: Vec<u32> = bufs
+                .queued
+                .iter()
+                .copied()
+                .filter(|&i| material[i as usize] == m)
+                .collect();
+            for w in per.windows(2) {
+                let (b0, b1) = (
+                    binner.bin_of(energy[w[0] as usize]),
+                    binner.bin_of(energy[w[1] as usize]),
+                );
+                assert!(b0 <= b1);
+                if b0 == b1 {
+                    assert!(w[0] < w[1], "stability violated");
+                }
+            }
+        }
+        assert!(bufs.tasks.iter().all(|t| t.binned));
+    }
+
+    #[test]
+    fn off_mode_preserves_live_order_and_splits_on_material_change() {
+        let alive: Vec<u32> = (0..10).collect();
+        let material = vec![0, 0, 1, 1, 1, 0, 2, 2, 2, 2];
+        let energy = vec![1.0e-6; 10];
+        let cfg = QueueingConfig {
+            mode: QueueingMode::Off,
+            ..QueueingConfig::default()
+        };
+        let mut bufs = QueueBuffers::new(3);
+        build_queues(&cfg, &[0, 1, 2], &alive, &material, &energy, 256, &mut bufs);
+        assert_eq!(bufs.queued, alive);
+        let mats: Vec<u32> = bufs.tasks.iter().map(|t| t.mat).collect();
+        assert_eq!(mats, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn tasks_respect_the_chunk_cap() {
+        let (alive, material, energy) = fake_bank(2000);
+        for mode in QueueingMode::ALL {
+            let cfg = QueueingConfig {
+                mode,
+                ..QueueingConfig::default()
+            };
+            let mut bufs = QueueBuffers::new(3);
+            build_queues(&cfg, &[0, 1, 2], &alive, &material, &energy, 128, &mut bufs);
+            assert!(bufs.tasks.iter().all(|t| (t.end - t.start) as usize <= 128));
+        }
+    }
+
+    #[test]
+    fn fuel_split_orders_fissionable_first() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        let mats = vec![
+            Material::hm_water(&lib),
+            Material::hm_fuel(&lib),
+            Material::hm_clad(&lib),
+        ];
+        assert_eq!(material_order(&mats, false), vec![0, 1, 2]);
+        // Fissionable (index 1) first, others in stable original order.
+        assert_eq!(material_order(&mats, true), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn binner_clamps_and_covers_the_range() {
+        let b = EnergyBinner::new(4096);
+        assert_eq!(b.bin_of(E_MIN / 10.0), 0);
+        assert_eq!(b.bin_of(-1.0), 0);
+        assert_eq!(b.bin_of(E_MAX * 10.0), 4095);
+        let lo = b.bin_of(1.0e-9);
+        let hi = b.bin_of(1.0);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn config_validation_rejects_non_power_of_two() {
+        let mut cfg = QueueingConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.energy_bins = 1000;
+        assert!(cfg.validate().is_err());
+        cfg.energy_bins = 1;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in QueueingMode::ALL {
+            assert_eq!(QueueingMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(QueueingMode::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn empty_live_list_is_a_noop() {
+        let cfg = QueueingConfig::default();
+        let mut bufs = QueueBuffers::new(3);
+        build_queues(&cfg, &[0, 1, 2], &[], &[], &[], 256, &mut bufs);
+        assert!(bufs.queued.is_empty());
+        assert!(bufs.tasks.is_empty());
+    }
+}

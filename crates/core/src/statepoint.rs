@@ -15,9 +15,7 @@ use std::path::Path;
 
 use mcs_geom::Vec3;
 
-use crate::eigenvalue::{BatchResult, EigenvalueResult, EigenvalueSettings};
 use crate::particle::SourceSite;
-use crate::problem::Problem;
 use crate::tally::Tallies;
 
 const MAGIC: &[u8; 8] = b"MCSSTPT\x01";
@@ -185,56 +183,11 @@ impl Statepoint {
     }
 }
 
-/// Run an eigenvalue calculation up to (and including) batch
-/// `stop_after_batches`, returning the partial result and a statepoint
-/// from which [`resume_eigenvalue`] continues bit-exactly.
-#[deprecated(note = "use mcs_core::engine::run_batches with a RunPlan")]
-pub fn run_eigenvalue_checkpointed(
-    problem: &Problem,
-    settings: &EigenvalueSettings,
-    stop_after_batches: usize,
-) -> (Vec<BatchResult>, Statepoint) {
-    // The legacy checkpoint driver never scored user meshes.
-    let mut plan = crate::eigenvalue::plan_for(problem, settings);
-    plan.mesh_tally = None;
-    let report = crate::engine::run_batches(
-        problem,
-        &plan,
-        &mut crate::engine::Threaded::ambient(),
-        0,
-        stop_after_batches,
-        None,
-    );
-    (report.batches, report.statepoint)
-}
-
-/// Resume from a statepoint, running the remaining batches of the plan.
-#[deprecated(note = "use mcs_core::engine::resume_with_problem")]
-pub fn resume_eigenvalue(
-    problem: &Problem,
-    settings: &EigenvalueSettings,
-    checkpoint: &Statepoint,
-) -> EigenvalueResult {
-    let mut plan = crate::eigenvalue::plan_for(problem, settings);
-    plan.mesh_tally = None;
-    let report = crate::engine::resume_with_problem(
-        problem,
-        &plan,
-        &mut crate::engine::Threaded::ambient(),
-        checkpoint,
-    );
-    // The legacy resume path never reported mesh/event stats or a wall
-    // time (it only assembled the statistics view).
-    let mut result = report.result;
-    result.event_stats = None;
-    result.total_time = std::time::Duration::ZERO;
-    result
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{self, RunPlan, Threaded};
+    use crate::problem::Problem;
 
     fn plan() -> RunPlan {
         RunPlan {
@@ -321,34 +274,5 @@ mod tests {
         let back = Statepoint::load(&path).unwrap();
         assert_eq!(sp, back);
         let _ = std::fs::remove_file(path);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_checkpoint_shims_match_the_engine() {
-        use crate::eigenvalue::{EigenvalueSettings, TransportMode};
-        let problem = Problem::test_small();
-        let settings = EigenvalueSettings {
-            particles: 400,
-            inactive: 2,
-            active: 4,
-            mode: TransportMode::History,
-            entropy_mesh: (4, 4, 4),
-            mesh_tally: None,
-        };
-        let (batches, sp) = run_eigenvalue_checkpointed(&problem, &settings, 3);
-        let report = engine::run_batches(&problem, &plan(), &mut Threaded::ambient(), 0, 3, None);
-        assert_eq!(sp, report.statepoint);
-        assert_eq!(batches.len(), report.batches.len());
-
-        let resumed_shim = resume_eigenvalue(&problem, &settings, &sp);
-        let resumed_engine =
-            engine::resume_with_problem(&problem, &plan(), &mut Threaded::ambient(), &sp).result;
-        assert_eq!(
-            resumed_shim.k_mean.to_bits(),
-            resumed_engine.k_mean.to_bits()
-        );
-        assert_eq!(resumed_shim.k_std.to_bits(), resumed_engine.k_std.to_bits());
-        assert_eq!(resumed_shim.tallies, resumed_engine.tallies);
     }
 }

@@ -22,9 +22,12 @@
 //! determinism contract.
 //!
 //! The context also instruments itself: `xs.lookups` (macroscopic lookups
-//! served), `xs.bin_scan_steps` (hash-grid scan steps), and
-//! `xs.index_bytes` (resident index-structure size) are kept in relaxed
-//! atomics and exported into [`mcs_prof::Counters`] via
+//! served), `xs.bin_scan_steps` (hash-grid scan steps),
+//! `xs.gather_span_bytes` / `xs.gather_span_pairs` (the byte distance
+//! between the index rows touched by consecutive lookups of one batch
+//! call — the gather-locality proxy the event queueing ablation reads),
+//! and `xs.index_bytes` (resident index-structure size) are kept in
+//! relaxed atomics and exported into [`mcs_prof::Counters`] via
 //! [`XsContext::export_counters`].
 
 use std::cell::Cell;
@@ -109,6 +112,8 @@ pub struct XsContext {
     backend: GridBackend,
     lookups: AtomicU64,
     bin_scan_steps: AtomicU64,
+    gather_span_bytes: AtomicU64,
+    gather_span_pairs: AtomicU64,
 }
 
 impl Clone for XsContext {
@@ -122,7 +127,51 @@ impl Clone for XsContext {
             backend: self.backend.clone(),
             lookups: AtomicU64::new(0),
             bin_scan_steps: AtomicU64::new(0),
+            gather_span_bytes: AtomicU64::new(0),
+            gather_span_pairs: AtomicU64::new(0),
         }
+    }
+}
+
+/// Gather-locality tracker for one batch-driver call: accumulates the
+/// byte distance between the backend index rows touched by *consecutive*
+/// lookups (union grid point rows, hash bin bounds rows; the per-nuclide
+/// binary backend has no shared index and contributes nothing).
+///
+/// One tracker lives per driver call, so spans never straddle unrelated
+/// call sites; the totals flush into the context's relaxed atomics when
+/// the call completes. The mean span per pair is the cache-miss proxy the
+/// event-queueing ablation reports: energy-ordered banks walk adjacent
+/// rows, unordered banks jump across the whole index.
+struct SpanTracker {
+    primed: Cell<bool>,
+    last: Cell<u64>,
+    bytes: Cell<u64>,
+    pairs: Cell<u64>,
+}
+
+impl SpanTracker {
+    fn new() -> Self {
+        Self {
+            primed: Cell::new(false),
+            last: Cell::new(0),
+            bytes: Cell::new(0),
+            pairs: Cell::new(0),
+        }
+    }
+
+    /// Record that a lookup touched index row `pos` (row stride
+    /// `row_bytes`).
+    #[inline]
+    fn observe(&self, pos: u64, row_bytes: u64) {
+        if self.primed.get() {
+            let prev = self.last.get();
+            let d = pos.abs_diff(prev);
+            self.bytes.set(self.bytes.get() + d * row_bytes);
+            self.pairs.set(self.pairs.get() + 1);
+        }
+        self.primed.set(true);
+        self.last.set(pos);
     }
 }
 
@@ -241,13 +290,51 @@ impl Drop for EnergyIndexer<'_> {
     }
 }
 
+/// Warm-start hash resolver for energy-ordered banks: per nuclide, the
+/// scan restarts from the previous lookup's resolved index whenever the
+/// energy hashes to the same bin (otherwise from the bin's stored bound,
+/// like [`HashIx`]). The bidirectional scan resolves the exact lower
+/// bound from any start, so this only changes `bin_scan_steps`, never
+/// the cross sections.
+struct HashWarmIx<'a> {
+    hash: &'a HashGrid,
+    soa: &'a SoaLibrary,
+    e: f64,
+    bin: usize,
+    steps: &'a Cell<u64>,
+    cursor: &'a [Cell<u32>],
+    cursor_bin: &'a [Cell<u32>],
+}
+
+impl NuclideIndexer for HashWarmIx<'_> {
+    #[inline(always)]
+    fn index(&self, k: usize) -> u32 {
+        let lo = self.soa.offsets[k] as usize;
+        let hi = self.soa.offsets[k + 1] as usize;
+        let seg = &self.soa.energy.as_slice()[lo..hi];
+        let i = if self.cursor_bin[k].get() == self.bin as u32 {
+            self.hash
+                .find_in_segment_from(self.cursor[k].get() as usize, seg, self.e, self.steps)
+        } else {
+            self.hash
+                .find_in_segment(self.bin, k, seg, self.e, self.steps)
+        };
+        self.cursor[k].set(i);
+        self.cursor_bin[k].set(self.bin as u32);
+        i
+    }
+}
+
 /// Dispatch to the backend-specific resolver, binding it as `$ix` in
-/// `$body`. `$steps` is a `Cell<u64>` collecting hash scan steps.
+/// `$body`. `$steps` is a `Cell<u64>` collecting hash scan steps;
+/// `$span` is the call's [`SpanTracker`] observing which index row the
+/// lookup touches (no observation for the index-free binary backend).
 macro_rules! with_resolver {
-    ($self:ident, $e:expr, $steps:ident, $ix:ident => $body:expr) => {
+    ($self:ident, $e:expr, $steps:ident, $span:ident, $ix:ident => $body:expr) => {
         match &$self.backend {
             GridBackend::Unionized(g) => {
                 let u = g.find($e);
+                $span.observe(u as u64, (g.n_nuclides() * 4) as u64);
                 let $ix = UnionIx {
                     row: g.index_row(u),
                 };
@@ -261,11 +348,13 @@ macro_rules! with_resolver {
                 $body
             }
             GridBackend::HashBinned(h) => {
+                let bin = h.bin_of($e);
+                $span.observe(bin as u64, (h.n_nuclides() * 4) as u64);
                 let $ix = HashIx {
                     hash: h,
                     soa: &$self.soa,
                     e: $e,
-                    bin: h.bin_of($e),
+                    bin,
                     steps: &$steps,
                 };
                 $body
@@ -307,6 +396,8 @@ impl XsContext {
             backend,
             lookups: AtomicU64::new(0),
             bin_scan_steps: AtomicU64::new(0),
+            gather_span_bytes: AtomicU64::new(0),
+            gather_span_pairs: AtomicU64::new(0),
         }
     }
 
@@ -390,8 +481,8 @@ impl XsContext {
     pub fn macro_xs(&self, mat: &Material, e: f64) -> MacroXs {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let steps = Cell::new(0u64);
-        let out =
-            with_resolver!(self, e, steps, ix => macro_xs_lanes_scalar(&self.soa, mat, e, &ix));
+        let span = SpanTracker::new();
+        let out = with_resolver!(self, e, steps, span, ix => macro_xs_lanes_scalar(&self.soa, mat, e, &ix));
         self.flush_steps(&steps);
         out
     }
@@ -401,14 +492,21 @@ impl XsContext {
     pub fn macro_xs_simd(&self, mat: &Material, e: f64) -> MacroXs {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let steps = Cell::new(0u64);
-        let out = self.macro_xs_simd_inner(mat, e, &steps);
+        let span = SpanTracker::new();
+        let out = self.macro_xs_simd_inner(mat, e, &steps, &span);
         self.flush_steps(&steps);
         out
     }
 
     #[inline]
-    fn macro_xs_simd_inner(&self, mat: &Material, e: f64, steps: &Cell<u64>) -> MacroXs {
-        with_resolver!(self, e, steps, ix => macro_xs_lanes_simd(&self.soa, mat, e, &ix))
+    fn macro_xs_simd_inner(
+        &self,
+        mat: &Material,
+        e: f64,
+        steps: &Cell<u64>,
+        span: &SpanTracker,
+    ) -> MacroXs {
+        with_resolver!(self, e, steps, span, ix => macro_xs_lanes_simd(&self.soa, mat, e, &ix))
     }
 
     /// Reference lookup: per-nuclide binary search regardless of the
@@ -424,7 +522,9 @@ impl XsContext {
     pub fn macro_xs_aos(&self, mat: &Material, e: f64) -> MacroXs {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let steps = Cell::new(0u64);
-        let out = with_resolver!(self, e, steps, ix => macro_xs_aos_seq(&self.aos, mat, e, &ix));
+        let span = SpanTracker::new();
+        let out =
+            with_resolver!(self, e, steps, span, ix => macro_xs_aos_seq(&self.aos, mat, e, &ix));
         self.flush_steps(&steps);
         out
     }
@@ -437,10 +537,12 @@ impl XsContext {
         self.lookups
             .fetch_add(energies.len() as u64, Ordering::Relaxed);
         let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
         for (e, o) in energies.iter().zip(out.iter_mut()) {
-            *o = with_resolver!(self, *e, steps, ix => macro_xs_lanes_scalar(&self.soa, mat, *e, &ix));
+            *o = with_resolver!(self, *e, steps, span, ix => macro_xs_lanes_scalar(&self.soa, mat, *e, &ix));
         }
         self.flush_steps(&steps);
+        self.flush_gather(&span);
     }
 
     /// Whole-bank sequential driver — the paper's history-method
@@ -454,10 +556,12 @@ impl XsContext {
         self.lookups
             .fetch_add(energies.len() as u64, Ordering::Relaxed);
         let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
         for (e, o) in energies.iter().zip(out.iter_mut()) {
-            *o = with_resolver!(self, *e, steps, ix => macro_xs_seq(&self.lib, mat, *e, &ix));
+            *o = with_resolver!(self, *e, steps, span, ix => macro_xs_seq(&self.lib, mat, *e, &ix));
         }
         self.flush_steps(&steps);
+        self.flush_gather(&span);
     }
 
     /// Whole-bank driver with the inner (nuclide) loop vectorized — the
@@ -467,10 +571,12 @@ impl XsContext {
         self.lookups
             .fetch_add(energies.len() as u64, Ordering::Relaxed);
         let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
         for (e, o) in energies.iter().zip(out.iter_mut()) {
-            *o = self.macro_xs_simd_inner(mat, *e, &steps);
+            *o = self.macro_xs_simd_inner(mat, *e, &steps, &span);
         }
         self.flush_steps(&steps);
+        self.flush_gather(&span);
     }
 
     /// Banked-lookup driver addressing the bank through gather indices:
@@ -494,6 +600,7 @@ impl XsContext {
         self.lookups
             .fetch_add(indices.len() as u64, Ordering::Relaxed);
         let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
         const TILE: usize = 64;
         let mut tile = [0.0f64; TILE];
         for (idx_tile, out_tile) in indices.chunks(TILE).zip(out.chunks_mut(TILE)) {
@@ -502,10 +609,68 @@ impl XsContext {
                 *slot = energy[i as usize];
             }
             for (e, o) in tile[..m].iter().zip(out_tile.iter_mut()) {
-                *o = self.macro_xs_simd_inner(mat, *e, &steps);
+                *o = self.macro_xs_simd_inner(mat, *e, &steps, &span);
             }
         }
         self.flush_steps(&steps);
+        self.flush_gather(&span);
+    }
+
+    /// [`Self::batch_macro_xs_simd_indexed`] for *energy-ordered* index
+    /// lists (the event queueing's `material+energy` buckets, where
+    /// consecutive energies fall in the same or adjacent log-E bins).
+    ///
+    /// On the hash backend each nuclide keeps a scan cursor: whenever two
+    /// consecutive lookups hash to the same bin, the in-bin scan
+    /// warm-starts from the previous resolved index instead of the bin's
+    /// lower-edge bound, cutting `bin_scan_steps` when the caller really
+    /// did sort by energy. Other backends (and the cross sections under
+    /// every backend) are exactly `batch_macro_xs_simd_indexed` — the
+    /// scan converges to the same lower bound from any starting point,
+    /// so ordering is a pure locality knob.
+    pub fn batch_macro_xs_simd_indexed_binned(
+        &self,
+        mat: &Material,
+        energy: &[f64],
+        indices: &[u32],
+        out: &mut [MacroXs],
+    ) {
+        let h = match &self.backend {
+            GridBackend::HashBinned(h) => h,
+            _ => return self.batch_macro_xs_simd_indexed(mat, energy, indices, out),
+        };
+        assert_eq!(indices.len(), out.len());
+        self.lookups
+            .fetch_add(indices.len() as u64, Ordering::Relaxed);
+        let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
+        let nk = h.n_nuclides();
+        let cursor: Vec<Cell<u32>> = (0..nk).map(|_| Cell::new(0)).collect();
+        let cursor_bin: Vec<Cell<u32>> = (0..nk).map(|_| Cell::new(u32::MAX)).collect();
+        const TILE: usize = 64;
+        let mut tile = [0.0f64; TILE];
+        for (idx_tile, out_tile) in indices.chunks(TILE).zip(out.chunks_mut(TILE)) {
+            let m = idx_tile.len();
+            for (slot, &i) in tile[..m].iter_mut().zip(idx_tile) {
+                *slot = energy[i as usize];
+            }
+            for (e, o) in tile[..m].iter().zip(out_tile.iter_mut()) {
+                let bin = h.bin_of(*e);
+                span.observe(bin as u64, (nk * 4) as u64);
+                let ix = HashWarmIx {
+                    hash: h,
+                    soa: &self.soa,
+                    e: *e,
+                    bin,
+                    steps: &steps,
+                    cursor: &cursor,
+                    cursor_bin: &cursor_bin,
+                };
+                *o = macro_xs_lanes_simd(&self.soa, mat, *e, &ix);
+            }
+        }
+        self.flush_steps(&steps);
+        self.flush_gather(&span);
     }
 
     /// Whole-bank driver vectorized across the *outer* (particle) loop —
@@ -515,10 +680,12 @@ impl XsContext {
         self.lookups
             .fetch_add(energies.len() as u64, Ordering::Relaxed);
         let steps = Cell::new(0u64);
+        let span = SpanTracker::new();
         match &self.backend {
             GridBackend::Unionized(g) => {
                 batch_outer_simd_with(&self.soa, mat, energies, out, |e| {
                     let u = g.find(e);
+                    span.observe(u as u64, (g.n_nuclides() * 4) as u64);
                     UnionIx {
                         row: g.index_row(u),
                     }
@@ -531,16 +698,21 @@ impl XsContext {
                 })
             }
             GridBackend::HashBinned(h) => {
-                batch_outer_simd_with(&self.soa, mat, energies, out, |e| HashIx {
-                    hash: h,
-                    soa: &self.soa,
-                    e,
-                    bin: h.bin_of(e),
-                    steps: &steps,
+                batch_outer_simd_with(&self.soa, mat, energies, out, |e| {
+                    let bin = h.bin_of(e);
+                    span.observe(bin as u64, (h.n_nuclides() * 4) as u64);
+                    HashIx {
+                        hash: h,
+                        soa: &self.soa,
+                        e,
+                        bin,
+                        steps: &steps,
+                    }
                 })
             }
         }
         self.flush_steps(&steps);
+        self.flush_gather(&span);
     }
 
     // -- physics-layer index resolution -------------------------------
@@ -581,6 +753,16 @@ impl XsContext {
         }
     }
 
+    #[inline]
+    fn flush_gather(&self, span: &SpanTracker) {
+        let pairs = span.pairs.get();
+        if pairs > 0 {
+            self.gather_span_bytes
+                .fetch_add(span.bytes.get(), Ordering::Relaxed);
+            self.gather_span_pairs.fetch_add(pairs, Ordering::Relaxed);
+        }
+    }
+
     /// Macroscopic lookups served since construction (or counter reset).
     pub fn lookups(&self) -> u64 {
         self.lookups.load(Ordering::Relaxed)
@@ -591,17 +773,47 @@ impl XsContext {
         self.bin_scan_steps.load(Ordering::Relaxed)
     }
 
+    /// Total byte distance between the index rows touched by consecutive
+    /// lookups of the batch drivers (0 for the index-free binary
+    /// backend). Divide by [`Self::gather_span_pairs`] for the mean span.
+    pub fn gather_span_bytes(&self) -> u64 {
+        self.gather_span_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of consecutive-lookup pairs behind
+    /// [`Self::gather_span_bytes`].
+    pub fn gather_span_pairs(&self) -> u64 {
+        self.gather_span_pairs.load(Ordering::Relaxed)
+    }
+
+    /// Mean gather span in bytes per consecutive-lookup pair (the
+    /// cache-miss proxy the queueing ablation reports; 0.0 when no batch
+    /// lookups ran).
+    pub fn mean_gather_span_bytes(&self) -> f64 {
+        let pairs = self.gather_span_pairs();
+        if pairs == 0 {
+            0.0
+        } else {
+            self.gather_span_bytes() as f64 / pairs as f64
+        }
+    }
+
     /// Reset the instrumentation counters to zero.
     pub fn reset_counters(&self) {
         self.lookups.store(0, Ordering::Relaxed);
         self.bin_scan_steps.store(0, Ordering::Relaxed);
+        self.gather_span_bytes.store(0, Ordering::Relaxed);
+        self.gather_span_pairs.store(0, Ordering::Relaxed);
     }
 
-    /// Export `xs.lookups`, `xs.bin_scan_steps`, and `xs.index_bytes`
-    /// into a profiling counter set.
+    /// Export `xs.lookups`, `xs.bin_scan_steps`, `xs.gather_span_bytes`,
+    /// `xs.gather_span_pairs`, and `xs.index_bytes` into a profiling
+    /// counter set.
     pub fn export_counters(&self, c: &mut mcs_prof::Counters) {
         c.add("xs.lookups", self.lookups());
         c.add("xs.bin_scan_steps", self.bin_scan_steps());
+        c.add("xs.gather_span_bytes", self.gather_span_bytes());
+        c.add("xs.gather_span_pairs", self.gather_span_pairs());
         c.add("xs.index_bytes", self.index_bytes() as u64);
     }
 }
@@ -709,6 +921,88 @@ mod tests {
                 assert_eq!(out[k], want, "k={k}");
             }
         }
+    }
+
+    #[test]
+    fn binned_indexed_driver_is_bitwise_identical_to_indexed() {
+        for ctx in &contexts() {
+            let fuel = Material::hm_fuel(ctx.lib());
+            // Energy-sorted, reverse-sorted, and shuffled index orders:
+            // the warm-start path must be a pure locality knob.
+            let energy: Vec<f64> = (0..200).map(|i| 2.3e-11 * 1.14f64.powi(i)).collect();
+            let sorted: Vec<u32> = (0..200u32).collect();
+            let reversed: Vec<u32> = (0..200u32).rev().collect();
+            let shuffled: Vec<u32> = (0..200u32).map(|k| (k * 73 + 31) % 200).collect();
+            for indices in [&sorted, &reversed, &shuffled] {
+                let mut plain = vec![MacroXs::default(); indices.len()];
+                let mut binned = vec![MacroXs::default(); indices.len()];
+                ctx.batch_macro_xs_simd_indexed(&fuel, &energy, indices, &mut plain);
+                ctx.batch_macro_xs_simd_indexed_binned(&fuel, &energy, indices, &mut binned);
+                for (k, (a, b)) in plain.iter().zip(&binned).enumerate() {
+                    assert_bits_eq(a, b, &format!("{} k={k}", ctx.backend_kind().name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binned_driver_cuts_scan_steps_on_sorted_banks() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        let ctx = XsContext::new(lib, GridBackendKind::HashBinned);
+        let fuel = Material::hm_fuel(ctx.lib());
+        let energy: Vec<f64> = (0..512).map(|i| 2.3e-11 * 1.055f64.powi(i)).collect();
+        let sorted: Vec<u32> = (0..512u32).collect();
+        let mut out = vec![MacroXs::default(); sorted.len()];
+        ctx.reset_counters();
+        ctx.batch_macro_xs_simd_indexed(&fuel, &energy, &sorted, &mut out);
+        let cold = ctx.bin_scan_steps();
+        ctx.reset_counters();
+        ctx.batch_macro_xs_simd_indexed_binned(&fuel, &energy, &sorted, &mut out);
+        let warm = ctx.bin_scan_steps();
+        assert!(
+            warm < cold,
+            "warm-start took {warm} steps vs {cold} cold on a sorted bank"
+        );
+    }
+
+    #[test]
+    fn gather_span_tracks_batch_locality() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        let ctx = XsContext::new(lib.clone(), GridBackendKind::Unionized);
+        let fuel = Material::hm_fuel(ctx.lib());
+        // A strictly ascending sweep touches adjacent union rows; the
+        // same energies interleaved low/high jump across the whole grid.
+        let sorted: Vec<f64> = (0..256).map(|i| 2.3e-11 * 1.11f64.powi(i)).collect();
+        let mut interleaved = Vec::with_capacity(sorted.len());
+        for i in 0..sorted.len() / 2 {
+            interleaved.push(sorted[i]);
+            interleaved.push(sorted[sorted.len() - 1 - i]);
+        }
+        let mut out = vec![MacroXs::default(); sorted.len()];
+        ctx.reset_counters();
+        ctx.batch_macro_xs_simd(&fuel, &sorted, &mut out);
+        assert_eq!(ctx.gather_span_pairs(), sorted.len() as u64 - 1);
+        let near = ctx.mean_gather_span_bytes();
+        ctx.reset_counters();
+        ctx.batch_macro_xs_simd(&fuel, &interleaved, &mut out);
+        let far = ctx.mean_gather_span_bytes();
+        assert!(
+            near < far,
+            "sorted sweep span {near} not below interleaved span {far}"
+        );
+        // Single-energy lookups form no pairs; the binary backend has no
+        // shared index rows to span.
+        ctx.reset_counters();
+        ctx.macro_xs(&fuel, 1.0e-3);
+        assert_eq!(ctx.gather_span_pairs(), 0);
+        let binary = XsContext::new(lib, GridBackendKind::PerNuclideBinary);
+        binary.batch_macro_xs_simd(&fuel, &sorted, &mut out);
+        assert_eq!(binary.gather_span_bytes(), 0);
+        // Counters export alongside the existing ones.
+        let mut c = mcs_prof::Counters::new();
+        ctx.export_counters(&mut c);
+        assert_eq!(c.get("xs.gather_span_bytes"), ctx.gather_span_bytes());
+        assert_eq!(c.get("xs.gather_span_pairs"), ctx.gather_span_pairs());
     }
 
     #[test]

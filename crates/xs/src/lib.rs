@@ -30,6 +30,9 @@
 //! * [`context`] — [`XsContext`], the one public lookup surface: library +
 //!   layouts + a pluggable [`GridBackend`], instrumented, with all
 //!   backends and both scalar/SIMD paths bit-identical.
+//! * [`cache`] — process-wide memoization of built contexts keyed by
+//!   model hash × backend, so harnesses stop rebuilding identical grid
+//!   indices.
 //! * [`sab`] — S(α,β) thermal-scattering adjustment (branchy physics the
 //!   paper had to strip to vectorize; kept optional here).
 //! * [`urr`] — unresolved-resonance-range probability tables (Levitt's
@@ -50,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod context;
 pub mod grid;
 pub mod hash;

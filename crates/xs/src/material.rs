@@ -101,6 +101,13 @@ impl Material {
         Self::new("clad", &[(lib.known.zr, 4.3e-2)]).with_nu(lib)
     }
 
+    /// True if any constituent contributes to `νΣ_f` — the fuel/non-fuel
+    /// split used by the event engine's queueing layer.
+    #[inline]
+    pub fn is_fissionable(&self) -> bool {
+        self.densities_nu.iter().any(|&d| d > 0.0)
+    }
+
     /// Iterate `(nuclide index, density)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.nuclides
@@ -130,6 +137,15 @@ mod tests {
         let h = w.densities[0];
         let o = w.densities[1];
         assert!((h / o - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fissionability_follows_nu_weights() {
+        let lib = NuclideLibrary::build(&LibrarySpec::tiny());
+        assert!(Material::hm_fuel(&lib).is_fissionable());
+        assert!(!Material::hm_water(&lib).is_fissionable());
+        assert!(!Material::hm_clad(&lib).is_fissionable());
+        assert!(!Material::new("bare", &[(0, 1.0)]).is_fissionable());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!           [--active A] [--mode history|event] [--survival]
 //!           [--mesh NX,NY,NZ] [--spectrum FILE.csv]
 //!           [--policy serial|threaded:N|distributed:N]
-//!           [--statepoint FILE] [--resume FILE]
+//!           [--queueing off|material|material+energy] [--queue-bins N]
+//!           [--fuel-split] [--statepoint FILE] [--resume FILE]
 //! mcs info  [--model test|small|large]
 //! mcs plot  [--model test|small|large] [--width N] [--z Z]
 //! mcs fixed [--model test|small|large] [--particles N]
@@ -34,7 +35,7 @@ use mcs::core::engine::{
     self, Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
 };
 use mcs::core::statepoint::Statepoint;
-use mcs::core::Problem;
+use mcs::core::{Problem, QueueingConfig, QueueingMode};
 
 struct Args {
     command: String,
@@ -49,6 +50,7 @@ struct Args {
     statepoint: Option<String>,
     resume: Option<String>,
     policy: PolicySpec,
+    queueing: QueueingConfig,
     plan: Option<String>,
     dry_run: bool,
     width: usize,
@@ -62,7 +64,8 @@ fn usage() -> ! {
          \x20          [--inactive I] [--active A] [--mode history|event]\n\
          \x20          [--survival] [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
          \x20          [--policy serial|threaded:N|distributed:N]\n\
-         \x20          [--statepoint FILE] [--resume FILE]"
+         \x20          [--queueing off|material|material+energy] [--queue-bins N]\n\
+         \x20          [--fuel-split] [--statepoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
 }
@@ -99,6 +102,7 @@ fn parse_args() -> Args {
         statepoint: None,
         resume: None,
         policy: PolicySpec::Threaded { threads: 0 },
+        queueing: QueueingConfig::default(),
         plan: None,
         dry_run: false,
         width: 80,
@@ -143,6 +147,14 @@ fn parse_args() -> Args {
             "--statepoint" => args.statepoint = Some(value(&mut i)),
             "--resume" => args.resume = Some(value(&mut i)),
             "--policy" => args.policy = parse_policy(&value(&mut i)),
+            "--queueing" => {
+                args.queueing.mode =
+                    QueueingMode::from_name(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--queue-bins" => {
+                args.queueing.energy_bins = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fuel-split" => args.queueing.fuel_split = true,
             "--plan" => args.plan = Some(value(&mut i)),
             "--dry-run" => args.dry_run = true,
             "--width" => args.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -150,6 +162,10 @@ fn parse_args() -> Args {
             _ => usage(),
         }
         i += 1;
+    }
+    if let Err(e) = args.queueing.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
     args
 }
@@ -176,6 +192,7 @@ fn plan_from_args(args: &Args, mode: RunMode) -> RunPlan {
         mesh_tally: args.mesh,
         spectrum: args.spectrum.is_some(),
         policy: args.policy,
+        queueing: args.queueing,
         ..RunPlan::default()
     }
 }

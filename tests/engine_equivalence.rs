@@ -4,13 +4,20 @@
 //! for both transport algorithms. Plus the declarative-plan guarantees:
 //! TOML round-tripping is lossless, and a plan replayed from its TOML
 //! form reproduces the original run to the last bit.
+//!
+//! A second matrix covers stage-2 particle queueing: every queueing
+//! mode, on every energy-grid backend, under serial and threaded
+//! execution, reproduces the unqueued serial run bit-for-bit — the
+//! "queueing reorders lookups, never results" contract the ablation
+//! bench's speedups rest on.
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
     resume_with_problem, run_batches, run_with_problem, Algorithm, ExecutionPolicy, ModelRef,
     PolicySpec, RunMode, RunPlan, Serial, Threaded,
 };
-use mcs::core::problem::Problem;
+use mcs::core::problem::{GridBackendKind, Problem};
+use mcs::core::queueing::{QueueingConfig, QueueingMode};
 use mcs::core::tally::Tallies;
 use proptest::prelude::*;
 
@@ -74,6 +81,68 @@ fn every_policy_reproduces_serial_bitwise_for_both_algorithms() {
                 reference.k_mean,
                 &reference.tallies,
             );
+        }
+    }
+}
+
+#[test]
+fn queueing_is_bitwise_invisible_across_backends_and_policies() {
+    // For each energy-grid backend: the serial, queueing-off run is the
+    // reference; every queueing mode (with and without the fuel split,
+    // at two bin widths) under serial AND threaded execution must
+    // reproduce it to the last bit. Queueing is a lookup-order knob.
+    let configs: Vec<(String, QueueingConfig)> = QueueingMode::ALL
+        .iter()
+        .flat_map(|&mode| {
+            [(false, 4096usize), (true, 4096), (true, 64)]
+                .into_iter()
+                .map(move |(fuel_split, energy_bins)| {
+                    (
+                        format!("{}/bins={energy_bins}/fuel={fuel_split}", mode.name()),
+                        QueueingConfig {
+                            mode,
+                            energy_bins,
+                            fuel_split,
+                        },
+                    )
+                })
+        })
+        .collect();
+
+    for backend in GridBackendKind::ALL {
+        let problem = Problem::test_small_with_backend(backend);
+        let reference_plan = RunPlan {
+            queueing: QueueingConfig {
+                mode: QueueingMode::Off,
+                ..QueueingConfig::default()
+            },
+            ..plan_for(Algorithm::EventBanking)
+        };
+        let reference = run_with_problem(&problem, &reference_plan, &mut Serial::new())
+            .into_eigenvalue()
+            .result;
+
+        for (name, queueing) in &configs {
+            let plan = RunPlan {
+                queueing: *queueing,
+                ..plan_for(Algorithm::EventBanking)
+            };
+            let policies: [(&str, Box<dyn ExecutionPolicy>); 2] = [
+                ("serial", Box::new(Serial::new())),
+                ("threaded-4", Box::new(Threaded::new(4))),
+            ];
+            for (plabel, mut policy) in policies {
+                let got = run_with_problem(&problem, &plan, policy.as_mut())
+                    .into_eigenvalue()
+                    .result;
+                assert_bitwise(
+                    &format!("{} / {name} / {plabel}", backend.name()),
+                    got.k_mean,
+                    &got.tallies,
+                    reference.k_mean,
+                    &reference.tallies,
+                );
+            }
         }
     }
 }
@@ -157,6 +226,7 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
             1usize..1_000_000,
         ),
         (0u8..3, 0usize..32, 1usize..16),
+        (0u8..3, 0u32..15, any::<bool>()),
     )
         .prop_map(
             |(
@@ -164,6 +234,7 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
                 (inactive, active, survival, entropy_mesh),
                 ((has_mesh, mesh), spectrum, (has_cp, cp_every), max_chain),
                 (policy_kind, threads, ranks),
+                (queue_mode, queue_bins_log2, fuel_split),
             )| {
                 RunPlan {
                     model: match model {
@@ -195,6 +266,16 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
                         0 => PolicySpec::Serial,
                         1 => PolicySpec::Threaded { threads },
                         _ => PolicySpec::Distributed { ranks },
+                    },
+                    queueing: QueueingConfig {
+                        mode: match queue_mode {
+                            0 => QueueingMode::Off,
+                            1 => QueueingMode::Material,
+                            _ => QueueingMode::MaterialEnergy,
+                        },
+                        // Power of two, as `validate` demands of TOML input.
+                        energy_bins: 1usize << queue_bins_log2,
+                        fuel_split,
                     },
                 }
             },
