@@ -1,0 +1,268 @@
+//! `mcs-bench trend`: the perf-trajectory gate.
+//!
+//! Ingests `results/BENCH_*.json` + `check_report.json`, appends one
+//! [`TrendRecord`](mcs_bench::trend::TrendRecord) to the per-leg
+//! JSONL history, classifies every
+//! metric against the trailing median baseline, prices each benchmark
+//! cell against the bandwidth roofline, writes `trend_report.json`,
+//! and exits non-zero on a sustained regression.
+//!
+//! Exit codes: `0` gate passed, `1` gate failed (sustained regression
+//! beyond tolerance), `2` the run itself failed (corrupt history,
+//! unparseable artifact, no input).
+//!
+//! ```text
+//! trend [--results-dir DIR] [--history-dir DIR] [--leg TAG]
+//!       [--commit SHA] [--timestamp SECS] [--rate-tol PCT]
+//!       [--counter-tol PCT] [--sustain N] [--bandwidth-gbs GBS]
+//!       [--max-keep N] [--report FILE] [--dry-run]
+//! ```
+//!
+//! Environment fallbacks: `MCS_RESULTS_DIR`, `MCS_TREND_DIR`,
+//! `MCS_TREND_LEG`, `MCS_TREND_TIMESTAMP`, `MCS_TREND_BW_GBS`,
+//! `GITHUB_SHA`.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+use mcs_bench::trend::{self, TrendOptions, TrendOutcome};
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+/// Best-effort commit id: `--commit` > `GITHUB_SHA` > `git rev-parse`.
+fn detect_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn detect_timestamp() -> u64 {
+    if let Ok(t) = std::env::var("MCS_TREND_TIMESTAMP") {
+        if let Ok(t) = t.parse() {
+            return t;
+        }
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+struct Cli {
+    opts: TrendOptions,
+    report_path: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trend [--results-dir DIR] [--history-dir DIR] [--leg TAG] [--commit SHA]\n\
+         \x20            [--timestamp SECS] [--rate-tol PCT] [--counter-tol PCT] [--sustain N]\n\
+         \x20            [--bandwidth-gbs GBS] [--max-keep N] [--report FILE] [--dry-run]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let results_dir = PathBuf::from(env_or("MCS_RESULTS_DIR", "results"));
+    let mut opts = TrendOptions::new(results_dir.clone(), PathBuf::new());
+    let mut history_dir: Option<PathBuf> = std::env::var("MCS_TREND_DIR").ok().map(PathBuf::from);
+    let mut report_path: Option<PathBuf> = None;
+    opts.leg = env_or("MCS_TREND_LEG", "local");
+    opts.commit = String::new();
+    if let Ok(bw) = std::env::var("MCS_TREND_BW_GBS") {
+        opts.bandwidth_gbs = bw.parse().ok();
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--results-dir" => opts.results_dir = PathBuf::from(value("--results-dir")),
+            "--history-dir" => history_dir = Some(PathBuf::from(value("--history-dir"))),
+            "--leg" => opts.leg = value("--leg"),
+            "--commit" => opts.commit = value("--commit"),
+            "--timestamp" => match value("--timestamp").parse() {
+                Ok(t) => opts.timestamp = t,
+                Err(_) => usage(),
+            },
+            "--rate-tol" => match value("--rate-tol").parse() {
+                Ok(t) => opts.tolerances.rate_pct = t,
+                Err(_) => usage(),
+            },
+            "--counter-tol" => match value("--counter-tol").parse() {
+                Ok(t) => opts.tolerances.counter_pct = t,
+                Err(_) => usage(),
+            },
+            "--sustain" => match value("--sustain").parse() {
+                Ok(n) => opts.tolerances.sustain = n,
+                Err(_) => usage(),
+            },
+            "--bandwidth-gbs" => match value("--bandwidth-gbs").parse() {
+                Ok(b) => opts.bandwidth_gbs = Some(b),
+                Err(_) => usage(),
+            },
+            "--max-keep" => match value("--max-keep").parse() {
+                Ok(n) => opts.max_keep = n,
+                Err(_) => usage(),
+            },
+            "--report" => report_path = Some(PathBuf::from(value("--report"))),
+            "--dry-run" => opts.append = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    opts.history_dir = history_dir.unwrap_or_else(|| opts.results_dir.join("trend"));
+    if opts.commit.is_empty() {
+        opts.commit = detect_commit();
+    }
+    if opts.timestamp == 0 {
+        opts.timestamp = detect_timestamp();
+    }
+    Cli {
+        report_path: report_path.unwrap_or_else(|| opts.results_dir.join("trend_report.json")),
+        opts,
+    }
+}
+
+fn print_summary(out: &TrendOutcome) {
+    let r = &out.report;
+    println!("==============================================================");
+    println!(
+        "TREND: leg {} @ {} (scale {}, {} threads)",
+        r.leg, r.commit, r.mcs_scale, r.host_threads
+    );
+    println!(
+        "history: {} record(s){}",
+        out.history_len,
+        if out.appended {
+            " (appended)"
+        } else if r.appended {
+            ""
+        } else {
+            " (not appended: dry run or already recorded)"
+        }
+    );
+    if r.warn_only_rates {
+        println!("note: 1-thread host — rate regressions are warn-only");
+    }
+    println!("==============================================================");
+
+    let noteworthy: Vec<_> = r
+        .deltas
+        .iter()
+        .filter(|d| d.class.name() != "ok" && d.class.name() != "no_baseline")
+        .collect();
+    if noteworthy.is_empty() {
+        let n_base = r.deltas.iter().filter(|d| d.baseline.is_some()).count();
+        println!(
+            "deltas: {} metric(s), {} with baseline, all within tolerance",
+            r.deltas.len(),
+            n_base
+        );
+    } else {
+        println!(
+            "{:<44} {:>12} {:>12} {:>9} {:>4} {:<10}",
+            "metric", "current", "baseline", "delta%", "bad", "class"
+        );
+        for d in noteworthy {
+            println!(
+                "{:<44} {:>12.3e} {:>12} {:>+9.2} {:>4} {:<10}{}",
+                d.metric,
+                d.current,
+                d.baseline.map_or("-".to_string(), |b| format!("{b:.3e}")),
+                d.delta_pct,
+                d.consecutive_bad,
+                d.class.name(),
+                if d.gating { "  <-- GATING" } else { "" },
+            );
+        }
+    }
+
+    if !r.roofline.is_empty() {
+        println!();
+        println!(
+            "{:<16} {:<32} {:>12} {:>10} {:>12} {:>8}",
+            "benchmark", "cell", "rate", "B/op", "roofline", "%peak"
+        );
+        for c in &r.roofline {
+            println!(
+                "{:<16} {:<32} {:>12.3e} {:>10.1} {:>12.3e} {:>8.3}",
+                c.benchmark,
+                c.cell,
+                c.measured_rate,
+                c.bytes_per_op,
+                c.roofline_rate,
+                c.pct_of_roofline
+            );
+        }
+        println!("(%peak > 100 means caches absorb the span-priced traffic)");
+    }
+
+    println!();
+    if r.gate_passed() {
+        println!(
+            "GATE: PASS ({} suspect, {} improved)",
+            r.n_class(mcs_bench::trend::delta::DeltaClass::Suspect),
+            r.n_class(mcs_bench::trend::delta::DeltaClass::Improved)
+        );
+    } else {
+        println!("GATE: FAIL — sustained regression in:");
+        for d in r.gating() {
+            println!(
+                "  {} ({}): {:+.2}% over {} consecutive record(s)",
+                d.metric,
+                d.kind.name(),
+                d.delta_pct,
+                d.consecutive_bad
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let out = match trend::run(&cli.opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("trend: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(parent) = cli.report_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&cli.report_path, out.report.to_json()) {
+        eprintln!(
+            "trend: error: cannot write {}: {e}",
+            cli.report_path.display()
+        );
+        return ExitCode::from(2);
+    }
+    print_summary(&out);
+    println!("[json] wrote {}", cli.report_path.display());
+    if out.report.gate_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

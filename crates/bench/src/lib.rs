@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod trend;
 
 use std::fs;
 use std::io::Write;

@@ -1,0 +1,347 @@
+//! Ingestion: `results/BENCH_*.json` + `check_report.json` → one record.
+//!
+//! Discovery looks in the results dir *and* its `check/` subdirectory
+//! (where the CI check job redirects its fresh reduced-scale bench
+//! JSONs via `MCS_RESULTS_DIR`); on a basename collision the `check/`
+//! copy wins, so a CI run trends its own fresh measurements rather than
+//! the committed full-scale artifacts that came along with the
+//! checkout.
+//!
+//! Records must be comparable, so every ingested file has to agree on
+//! `mcs_scale`: the consensus scale is the most common one among the
+//! candidate files (ties break toward `check_report.json`'s scale), and
+//! files at any other scale — or missing the stamp entirely, like
+//! pre-PR2 `BENCH_event_parallel.json` — are skipped with a note that
+//! lands in the report's `skipped` list instead of poisoning the
+//! baseline.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mcs_prof::value::JsonValue;
+use mcs_prof::Counters;
+
+use super::TrendError;
+
+/// One `BENCH_grid_backend` sample row, kept for the roofline estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Grid backend name (`binary`, `unionized`, `hash`).
+    pub backend: String,
+    /// Bank size of the sweep cell.
+    pub bank: u64,
+    /// Measured lookups/s.
+    pub rate: f64,
+    /// Index-structure bytes of this backend.
+    pub index_bytes: u64,
+}
+
+/// One `BENCH_event_queueing` sample row, kept for the roofline
+/// estimate and the per-cell counter surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqCell {
+    /// Grid backend name.
+    pub backend: String,
+    /// Queueing mode (`off`, `material`, `material+energy`).
+    pub mode: String,
+    /// Bank size of the sweep cell.
+    pub bank: u64,
+    /// Measured particles/s.
+    pub rate: f64,
+    /// Grid lookups performed (deterministic).
+    pub lookups: u64,
+    /// Hash segment-scan steps (deterministic; 0 off-hash).
+    pub bin_scan_steps: u64,
+    /// Priced gather span in bytes (deterministic).
+    pub gather_span_bytes: u64,
+    /// Gather span pairs observed (deterministic).
+    pub gather_span_pairs: u64,
+}
+
+/// Everything ingested from one results directory.
+#[derive(Debug, Clone, Default)]
+pub struct Ingested {
+    /// Consensus workload scale of the ingested files.
+    pub mcs_scale: f64,
+    /// Host threads of the measured run (from `check_report.json` when
+    /// available, else this process's view).
+    pub host_threads: usize,
+    /// Rate metrics keyed by stable cell ID (`grid.hash.b100000`, ...).
+    pub rates: BTreeMap<String, f64>,
+    /// Deterministic counters (per-cell + the `xs.*` report set).
+    pub counters: BTreeMap<String, u64>,
+    /// Grid-backend cells for the roofline estimate.
+    pub grid_cells: Vec<GridCell>,
+    /// Event-queueing cells for the roofline estimate.
+    pub eq_cells: Vec<EqCell>,
+    /// Files that contributed to this record.
+    pub sources: Vec<String>,
+    /// Files found but not ingested, with the reason.
+    pub skipped: Vec<String>,
+}
+
+fn parse_err(file: &Path, msg: impl Into<String>) -> TrendError {
+    TrendError::Parse {
+        file: file.display().to_string(),
+        msg: msg.into(),
+    }
+}
+
+fn read_json(path: &Path) -> Result<JsonValue, TrendError> {
+    let text = fs::read_to_string(path).map_err(|e| TrendError::Io {
+        path: path.display().to_string(),
+        msg: e.to_string(),
+    })?;
+    JsonValue::parse(&text).map_err(|e| parse_err(path, e))
+}
+
+fn num(v: &JsonValue, path: &Path, key: &str) -> Result<f64, TrendError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| parse_err(path, format!("missing/invalid number {key:?}")))
+}
+
+fn uint(v: &JsonValue, path: &Path, key: &str) -> Result<u64, TrendError> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| parse_err(path, format!("missing/invalid integer {key:?}")))
+}
+
+fn string<'a>(v: &'a JsonValue, path: &Path, key: &str) -> Result<&'a str, TrendError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| parse_err(path, format!("missing string {key:?}")))
+}
+
+fn samples<'a>(v: &'a JsonValue, path: &Path) -> Result<&'a [JsonValue], TrendError> {
+    v.get("samples")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| parse_err(path, "missing \"samples\" array"))
+}
+
+/// Candidate files: `BENCH_*.json` under `dir` and `dir/check`
+/// (preferring `check/` on collision), plus `check_report.json`.
+fn discover(dir: &Path) -> Vec<PathBuf> {
+    let mut by_name: BTreeMap<String, PathBuf> = BTreeMap::new();
+    for sub in [dir.to_path_buf(), dir.join("check")] {
+        let Ok(entries) = fs::read_dir(&sub) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                // Later iteration (check/) overwrites the committed copy.
+                by_name.insert(name, e.path());
+            }
+        }
+    }
+    let mut files: Vec<PathBuf> = by_name.into_values().collect();
+    for candidate in [
+        dir.join("check_report.json"),
+        dir.join("check/check_report.json"),
+    ] {
+        if candidate.is_file() {
+            files.push(candidate);
+            break;
+        }
+    }
+    files
+}
+
+fn file_label(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Scale stamped on a candidate file (`mcs_scale` for benches, `scale`
+/// for the check report); `None` if absent.
+fn scale_of(doc: &JsonValue) -> Option<f64> {
+    doc.get("mcs_scale")
+        .or_else(|| doc.get("scale"))
+        .and_then(JsonValue::as_f64)
+        .filter(|s| s.is_finite() && *s > 0.0)
+}
+
+/// Ingest every known artifact under `results_dir` into one snapshot.
+///
+/// Errors if no benchmark file could be ingested at all; skipped files
+/// (scale mismatch, missing scale stamp, unknown bench tag) are noted
+/// but not fatal.
+pub fn ingest(results_dir: &Path) -> Result<Ingested, TrendError> {
+    let files = discover(results_dir);
+    // First pass: parse all candidates and establish the consensus scale.
+    let mut parsed: Vec<(PathBuf, JsonValue)> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    for path in files {
+        match read_json(&path) {
+            Ok(doc) => parsed.push((path, doc)),
+            Err(e) => {
+                // A malformed artifact is a hard error: it means the
+                // producing job is broken, which the gate must surface.
+                return Err(e);
+            }
+        }
+    }
+    let is_report = |path: &Path| path.file_name().is_some_and(|n| n == "check_report.json");
+    let mut scale_votes: Vec<(f64, usize)> = Vec::new();
+    let mut report_scale = None;
+    for (path, doc) in &parsed {
+        let Some(s) = scale_of(doc) else { continue };
+        if is_report(path) {
+            report_scale = Some(s);
+        }
+        match scale_votes.iter_mut().find(|(v, _)| *v == s) {
+            Some((_, n)) => *n += 1,
+            None => scale_votes.push((s, 1)),
+        }
+    }
+    let consensus = scale_votes
+        .iter()
+        .max_by(|a, b| {
+            a.1.cmp(&b.1).then_with(|| {
+                // Tie-break toward the check report's scale.
+                let a_is_rep = Some(a.0) == report_scale;
+                let b_is_rep = Some(b.0) == report_scale;
+                a_is_rep.cmp(&b_is_rep)
+            })
+        })
+        .map(|&(s, _)| s);
+    let Some(mcs_scale) = consensus else {
+        return Err(TrendError::NoInput {
+            dir: results_dir.display().to_string(),
+        });
+    };
+
+    let mut out = Ingested {
+        mcs_scale,
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        ..Default::default()
+    };
+    let mut eq_xs_counters: Option<Counters> = None;
+    let mut report_xs_counters: Option<Counters> = None;
+    let mut ingested_bench = false;
+
+    for (path, doc) in &parsed {
+        let label = file_label(path, results_dir);
+        match scale_of(doc) {
+            Some(s) if s == mcs_scale => {}
+            Some(s) => {
+                skipped.push(format!("{label} (scale {s} != consensus {mcs_scale})"));
+                continue;
+            }
+            None => {
+                skipped.push(format!("{label} (no scale stamp)"));
+                continue;
+            }
+        }
+        if is_report(path) {
+            if let Some(threads) = doc.get("threads").and_then(JsonValue::as_u64) {
+                out.host_threads = (threads as usize).max(1);
+            }
+            if let Some(c) = doc.get("counters") {
+                report_xs_counters = Some(Counters::from_value(c).map_err(|e| parse_err(path, e))?);
+            }
+            out.sources.push(label);
+            continue;
+        }
+        match string(doc, path, "bench")? {
+            "grid_backend" => {
+                ingest_grid(doc, path, &mut out)?;
+                ingested_bench = true;
+                out.sources.push(label);
+            }
+            "event_queueing" => {
+                ingest_eq(doc, path, &mut out)?;
+                if let Some(c) = doc.get("hash_material_energy_counters") {
+                    eq_xs_counters = Some(Counters::from_value(c).map_err(|e| parse_err(path, e))?);
+                }
+                ingested_bench = true;
+                out.sources.push(label);
+            }
+            "event_parallel" => {
+                ingest_ep(doc, path, &mut out)?;
+                ingested_bench = true;
+                out.sources.push(label);
+            }
+            other => {
+                skipped.push(format!("{label} (unknown bench tag {other:?})"));
+            }
+        }
+    }
+
+    if !ingested_bench {
+        return Err(TrendError::NoInput {
+            dir: results_dir.display().to_string(),
+        });
+    }
+
+    // The canonical `xs.*` set: the check report's surfaced counters
+    // when they ran at the consensus scale, else the event-queueing
+    // bench's own export of the same configuration.
+    if let Some(c) = report_xs_counters.or(eq_xs_counters) {
+        for (k, v) in c.iter() {
+            out.counters.insert(k.to_string(), v);
+        }
+    }
+    out.skipped = skipped;
+    Ok(out)
+}
+
+fn ingest_grid(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let cell = GridCell {
+            backend: string(s, path, "backend")?.to_string(),
+            bank: uint(s, path, "bank")?,
+            rate: num(s, path, "lookups_per_second")?,
+            index_bytes: uint(s, path, "index_bytes")?,
+        };
+        let key = format!("grid.{}.b{}", cell.backend, cell.bank);
+        out.rates.insert(key.clone(), cell.rate);
+        out.counters
+            .insert(format!("{key}.index_bytes"), cell.index_bytes);
+        out.grid_cells.push(cell);
+    }
+    Ok(())
+}
+
+fn ingest_eq(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let cell = EqCell {
+            backend: string(s, path, "backend")?.to_string(),
+            mode: string(s, path, "mode")?.to_string(),
+            bank: uint(s, path, "bank")?,
+            rate: num(s, path, "particles_per_second")?,
+            lookups: uint(s, path, "lookups")?,
+            bin_scan_steps: uint(s, path, "bin_scan_steps")?,
+            gather_span_bytes: uint(s, path, "gather_span_bytes")?,
+            gather_span_pairs: uint(s, path, "gather_span_pairs")?,
+        };
+        let key = format!("eq.{}.{}.b{}", cell.backend, cell.mode, cell.bank);
+        out.rates.insert(key.clone(), cell.rate);
+        out.counters.insert(format!("{key}.lookups"), cell.lookups);
+        out.counters
+            .insert(format!("{key}.bin_scan_steps"), cell.bin_scan_steps);
+        out.counters
+            .insert(format!("{key}.gather_span_bytes"), cell.gather_span_bytes);
+        out.counters
+            .insert(format!("{key}.gather_span_pairs"), cell.gather_span_pairs);
+        out.eq_cells.push(cell);
+    }
+    Ok(())
+}
+
+fn ingest_ep(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let bank = uint(s, path, "bank")?;
+        let threads = uint(s, path, "threads")?;
+        let rate = num(s, path, "particles_per_second")?;
+        out.rates.insert(format!("ep.t{threads}.b{bank}"), rate);
+    }
+    Ok(())
+}

@@ -1,0 +1,297 @@
+//! The machine-readable `trend_report.json`.
+//!
+//! Schema `mcs-trend-report/1`. The report carries everything CI (or a
+//! human reading the artifact) needs to act on the gate without re-
+//! running anything: per-metric deltas with their classification,
+//! the roofline table, the gate verdict, and which files fed the
+//! record. [`schema_paths`] flattens a report to its sorted set of
+//! JSON key paths so a blessed golden under `results/golden/` catches
+//! schema drift exactly like the CSV goldens do.
+
+use mcs_prof::value::{escape_json, JsonValue};
+
+use super::delta::{DeltaClass, MetricDelta, Tolerances};
+use super::roofline::RooflineCell;
+
+/// Schema tag stamped on every report.
+pub const REPORT_SCHEMA: &str = "mcs-trend-report/1";
+
+/// The full trend evaluation of one record against its history.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// ISA leg evaluated.
+    pub leg: String,
+    /// Commit of the evaluated record.
+    pub commit: String,
+    /// Unix seconds of the evaluated record.
+    pub timestamp: u64,
+    /// Workload scale of the evaluated record.
+    pub mcs_scale: f64,
+    /// Host threads of the measured run.
+    pub host_threads: usize,
+    /// History length *after* this run (including the evaluated record).
+    pub history_len: usize,
+    /// Whether this run appended a new record (false: idempotent re-run
+    /// or dry run).
+    pub appended: bool,
+    /// Whether rate regressions are warn-only on this host.
+    pub warn_only_rates: bool,
+    /// Tolerances the gate ran with.
+    pub tolerances: Tolerances,
+    /// Per-metric deltas, in metric order.
+    pub deltas: Vec<MetricDelta>,
+    /// Roofline estimates per benchmark cell.
+    pub roofline: Vec<RooflineCell>,
+    /// Files that fed the record.
+    pub sources: Vec<String>,
+    /// Files found but skipped, with reasons.
+    pub skipped: Vec<String>,
+}
+
+impl TrendReport {
+    /// Deltas that fail the gate.
+    pub fn gating(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.gating)
+    }
+
+    /// Whether the gate passes (no gating regression).
+    pub fn gate_passed(&self) -> bool {
+        self.gating().next().is_none()
+    }
+
+    /// Count of a classification.
+    pub fn n_class(&self, class: DeltaClass) -> usize {
+        self.deltas.iter().filter(|d| d.class == class).count()
+    }
+
+    /// Render the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let num = mcs_check_num;
+        let mut s = String::with_capacity(8192);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{REPORT_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"leg\": \"{}\",\n", escape_json(&self.leg)));
+        s.push_str(&format!(
+            "  \"commit\": \"{}\",\n",
+            escape_json(&self.commit)
+        ));
+        s.push_str(&format!("  \"timestamp\": {},\n", self.timestamp));
+        s.push_str(&format!("  \"mcs_scale\": {},\n", num(self.mcs_scale)));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!("  \"history_len\": {},\n", self.history_len));
+        s.push_str(&format!("  \"appended\": {},\n", self.appended));
+        s.push_str("  \"gate\": {");
+        s.push_str(&format!(
+            "\"passed\": {}, \"n_gating\": {}, \"n_regressed\": {}, \"n_suspect\": {}, \
+             \"n_improved\": {}, \"warn_only_rates\": {}, ",
+            self.gate_passed(),
+            self.gating().count(),
+            self.n_class(DeltaClass::Regressed),
+            self.n_class(DeltaClass::Suspect),
+            self.n_class(DeltaClass::Improved),
+            self.warn_only_rates,
+        ));
+        s.push_str(&format!(
+            "\"tolerances\": {{\"rate_pct\": {}, \"counter_pct\": {}, \"sustain\": {}}}}},\n",
+            num(self.tolerances.rate_pct),
+            num(self.tolerances.counter_pct),
+            self.tolerances.sustain,
+        ));
+        s.push_str("  \"deltas\": [\n");
+        for (i, d) in self.deltas.iter().enumerate() {
+            let baseline = match d.baseline {
+                Some(b) => num(b),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "    {{\"metric\": \"{}\", \"kind\": \"{}\", \"current\": {}, \
+                 \"baseline\": {}, \"delta_pct\": {}, \"consecutive_bad\": {}, \
+                 \"class\": \"{}\", \"gating\": {}}}{}\n",
+                escape_json(&d.metric),
+                d.kind.name(),
+                num(d.current),
+                baseline,
+                num(d.delta_pct),
+                d.consecutive_bad,
+                d.class.name(),
+                d.gating,
+                if i + 1 < self.deltas.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"roofline\": [\n");
+        for (i, r) in self.roofline.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"benchmark\": \"{}\", \"cell\": \"{}\", \"unit\": \"{}\", \
+                 \"measured_rate\": {}, \"bytes_per_op\": {}, \"roofline_rate\": {}, \
+                 \"pct_of_roofline\": {}}}{}\n",
+                r.benchmark,
+                escape_json(&r.cell),
+                r.unit,
+                num(r.measured_rate),
+                num(r.bytes_per_op),
+                num(r.roofline_rate),
+                num(r.pct_of_roofline),
+                if i + 1 < self.roofline.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        let str_list = |items: &[String]| -> String {
+            let q: Vec<String> = items
+                .iter()
+                .map(|x| format!("\"{}\"", escape_json(x)))
+                .collect();
+            q.join(", ")
+        };
+        s.push_str(&format!("  \"sources\": [{}],\n", str_list(&self.sources)));
+        s.push_str(&format!("  \"skipped\": [{}]\n", str_list(&self.skipped)));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A finite f64 as a JSON number (NaN/inf → null), matching the
+/// convention of `check_report.json`.
+fn mcs_check_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Flatten a JSON document to its sorted, deduplicated key paths
+/// (arrays contribute `path[]` plus their element paths). This is the
+/// shape the schema golden pins: adding, renaming, or removing report
+/// fields changes the path set even when values differ run to run.
+pub fn schema_paths(text: &str) -> Result<Vec<String>, String> {
+    fn walk(v: &JsonValue, prefix: &str, out: &mut Vec<String>) {
+        match v {
+            JsonValue::Object(m) => {
+                for (k, child) in m {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    out.push(path.clone());
+                    walk(child, &path, out);
+                }
+            }
+            JsonValue::Array(items) => {
+                let path = format!("{prefix}[]");
+                out.push(path.clone());
+                for item in items {
+                    walk(item, &path, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let v = JsonValue::parse(text)?;
+    let mut out = Vec::new();
+    walk(&v, "", &mut out);
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trend::delta::MetricKind;
+
+    fn sample_report() -> TrendReport {
+        TrendReport {
+            leg: "scalar".into(),
+            commit: "abc123".into(),
+            timestamp: 1_754_000_000,
+            mcs_scale: 0.1,
+            host_threads: 2,
+            history_len: 3,
+            appended: true,
+            warn_only_rates: false,
+            tolerances: Tolerances::default(),
+            deltas: vec![
+                MetricDelta {
+                    metric: "grid.hash.b1000".into(),
+                    kind: MetricKind::Rate,
+                    current: 900.0,
+                    baseline: Some(1000.0),
+                    delta_pct: -10.0,
+                    consecutive_bad: 0,
+                    class: DeltaClass::Ok,
+                    gating: false,
+                },
+                MetricDelta {
+                    metric: "xs.lookups".into(),
+                    kind: MetricKind::Counter,
+                    current: 42.0,
+                    baseline: None,
+                    delta_pct: 0.0,
+                    consecutive_bad: 0,
+                    class: DeltaClass::NoBaseline,
+                    gating: false,
+                },
+            ],
+            roofline: vec![RooflineCell {
+                benchmark: "grid_backend",
+                cell: "grid.hash.b1000".into(),
+                unit: "lookups/s",
+                measured_rate: 900.0,
+                bytes_per_op: 19.8,
+                roofline_rate: 1e9,
+                pct_of_roofline: 9e-5,
+            }],
+            sources: vec!["BENCH_grid_backend.json".into()],
+            skipped: vec!["BENCH_event_parallel.json (no scale stamp)".into()],
+        }
+    }
+
+    #[test]
+    fn report_is_valid_json_with_stable_paths() {
+        let text = sample_report().to_json();
+        let v = JsonValue::parse(&text).expect("report must parse");
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(
+            v.get("gate")
+                .and_then(|g| g.get("passed"))
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        let paths = schema_paths(&text).unwrap();
+        for must in [
+            "gate.passed",
+            "gate.tolerances.rate_pct",
+            "deltas[].metric",
+            "deltas[].class",
+            "roofline[].pct_of_roofline",
+            "sources[]",
+        ] {
+            assert!(paths.contains(&must.to_string()), "missing path {must}");
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_any_delta_gates() {
+        let mut r = sample_report();
+        assert!(r.gate_passed());
+        r.deltas[0].class = DeltaClass::Regressed;
+        r.deltas[0].gating = true;
+        assert!(!r.gate_passed());
+        let text = r.to_json();
+        assert!(text.contains("\"passed\": false"));
+        assert!(text.contains("\"n_gating\": 1"));
+        // The offending metric is named.
+        assert!(text.contains("\"metric\": \"grid.hash.b1000\", \"kind\": \"rate\""));
+    }
+
+    #[test]
+    fn null_baseline_renders_as_null() {
+        let text = sample_report().to_json();
+        assert!(text.contains("\"baseline\": null"));
+    }
+}

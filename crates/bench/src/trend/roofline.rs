@@ -1,0 +1,197 @@
+//! Bandwidth-roofline estimates per benchmark cell.
+//!
+//! Absolute rates in the trend history are host-specific; the roofline
+//! column makes them interpretable across hosts by normalizing each
+//! cell against a bandwidth ceiling: the deterministic gather-traffic
+//! counters (`xs.gather_span_bytes` per lookup/particle) priced against
+//! the [`MachineSpec`] DRAM bandwidth parameter. A cell reporting 4% of
+//! roofline on one machine and 4% on another is behaving the same even
+//! if the raw rates differ 10×.
+//!
+//! The traffic model is the *span-priced* gather distance, an upper
+//! bound on the DRAM lines a perfectly cold cache would move — so
+//! percent-of-roofline can exceed 100 when the cache absorbs the spans
+//! (that is a finding, not an error: it means the working set fits).
+//! Cells with zero priced traffic (the per-nuclide binary backend keeps
+//! no index) have no bandwidth ceiling and are skipped.
+
+use mcs_device::MachineSpec;
+
+use super::ingest::Ingested;
+
+/// One benchmark cell's percent-of-roofline estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineCell {
+    /// Which benchmark the cell belongs to.
+    pub benchmark: &'static str,
+    /// Stable cell ID (matches the rate metric key).
+    pub cell: String,
+    /// Unit of the measured rate.
+    pub unit: &'static str,
+    /// Measured throughput of the cell.
+    pub measured_rate: f64,
+    /// Estimated DRAM traffic per operation (span-priced bytes).
+    pub bytes_per_op: f64,
+    /// Bandwidth ceiling: ops/s if the kernel were purely memory-bound.
+    pub roofline_rate: f64,
+    /// `100 × measured / roofline` (may exceed 100 when caches absorb
+    /// the priced spans).
+    pub pct_of_roofline: f64,
+}
+
+fn cell(
+    benchmark: &'static str,
+    id: String,
+    unit: &'static str,
+    rate: f64,
+    bytes_per_op: f64,
+    spec: &MachineSpec,
+) -> Option<RooflineCell> {
+    if bytes_per_op <= 0.0 || !bytes_per_op.is_finite() || rate <= 0.0 {
+        return None;
+    }
+    let roofline = spec.roofline_ops_per_s(bytes_per_op);
+    Some(RooflineCell {
+        benchmark,
+        cell: id,
+        unit,
+        measured_rate: rate,
+        bytes_per_op,
+        roofline_rate: roofline,
+        pct_of_roofline: rate / roofline * 100.0,
+    })
+}
+
+/// Estimate percent-of-roofline for every cell with priced traffic.
+///
+/// Event-queueing cells carry their own span counters. Grid-backend
+/// cells reuse the per-lookup traffic of the *same backend's*
+/// unqueued (`off`) event-queueing cell at the largest bank — the
+/// closest deterministic measurement of what one lookup of that
+/// backend moves.
+pub fn estimate(ing: &Ingested, spec: &MachineSpec) -> Vec<RooflineCell> {
+    let mut out = Vec::new();
+
+    // Event-queueing: bytes per particle, directly from the cell.
+    for c in &ing.eq_cells {
+        let bytes_per_particle = c.gather_span_bytes as f64 / (c.bank as f64).max(1.0);
+        out.extend(cell(
+            "event_queueing",
+            format!("eq.{}.{}.b{}", c.backend, c.mode, c.bank),
+            "particles/s",
+            c.rate,
+            bytes_per_particle,
+            spec,
+        ));
+    }
+
+    // Grid-backend: bytes per lookup, borrowed from the same backend's
+    // unqueued event-queueing cell at the largest bank.
+    for g in &ing.grid_cells {
+        let donor = ing
+            .eq_cells
+            .iter()
+            .filter(|c| c.backend == g.backend && c.mode == "off" && c.lookups > 0)
+            .max_by_key(|c| c.bank);
+        let Some(donor) = donor else { continue };
+        let bytes_per_lookup = donor.gather_span_bytes as f64 / donor.lookups as f64;
+        out.extend(cell(
+            "grid_backend",
+            format!("grid.{}.b{}", g.backend, g.bank),
+            "lookups/s",
+            g.rate,
+            bytes_per_lookup,
+            spec,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trend::ingest::{EqCell, GridCell};
+
+    fn ing() -> Ingested {
+        Ingested {
+            mcs_scale: 1.0,
+            host_threads: 4,
+            eq_cells: vec![
+                EqCell {
+                    backend: "hash".into(),
+                    mode: "off".into(),
+                    bank: 10_000,
+                    rate: 27_532.0,
+                    lookups: 585_733,
+                    bin_scan_steps: 1_000_000,
+                    gather_span_bytes: 11_600_000,
+                    gather_span_pairs: 580_000,
+                },
+                EqCell {
+                    backend: "binary".into(),
+                    mode: "off".into(),
+                    bank: 10_000,
+                    rate: 27_532.0,
+                    lookups: 585_733,
+                    bin_scan_steps: 0,
+                    gather_span_bytes: 0, // no index ⇒ no priced traffic
+                    gather_span_pairs: 0,
+                },
+            ],
+            grid_cells: vec![
+                GridCell {
+                    backend: "hash".into(),
+                    bank: 100_000,
+                    rate: 896_429.9,
+                    index_bytes: 375_592,
+                },
+                GridCell {
+                    backend: "binary".into(),
+                    bank: 100_000,
+                    rate: 486_363.1,
+                    index_bytes: 0,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn prices_cells_against_bandwidth() {
+        let spec = MachineSpec::trend_reference_host();
+        let cells = estimate(&ing(), &spec);
+        // Both the eq hash cell and the grid hash cell appear; the
+        // binary cells (zero priced traffic) are skipped.
+        let eq = cells
+            .iter()
+            .find(|c| c.cell == "eq.hash.off.b10000")
+            .expect("eq hash cell");
+        assert_eq!(eq.benchmark, "event_queueing");
+        // 11.6 MB / 10k particles = 1160 B/particle; 20 GB/s / 1160 B
+        // ≈ 1.724e7 particles/s ceiling.
+        assert!((eq.bytes_per_op - 1160.0).abs() < 1e-9);
+        assert!((eq.roofline_rate - 20e9 / 1160.0).abs() < 1.0);
+        assert!(eq.pct_of_roofline > 0.0 && eq.pct_of_roofline < 100.0);
+
+        let grid = cells
+            .iter()
+            .find(|c| c.cell == "grid.hash.b100000")
+            .expect("grid hash cell");
+        // Donor traffic: 11.6e6 / 585733 ≈ 19.8 B/lookup.
+        assert!((grid.bytes_per_op - 11_600_000.0 / 585_733.0).abs() < 1e-9);
+        assert!(grid.pct_of_roofline > 0.0);
+
+        assert!(!cells.iter().any(|c| c.cell.contains("binary")));
+    }
+
+    #[test]
+    fn bandwidth_override_scales_percent() {
+        let mut fast = MachineSpec::trend_reference_host();
+        fast.dram_gb_s *= 2.0;
+        let slow_cells = estimate(&ing(), &MachineSpec::trend_reference_host());
+        let fast_cells = estimate(&ing(), &fast);
+        // Doubling the ceiling halves percent-of-roofline.
+        let ratio = slow_cells[0].pct_of_roofline / fast_cells[0].pct_of_roofline;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end tests of the `mcs-bench trend` pipeline: synthetic
+//! results directories run through [`mcs_bench::trend::run`], plus
+//! property tests of the JSONL codec and the blessed report-schema
+//! golden.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mcs_bench::trend::{self, history, record::TrendRecord, report, TrendError, TrendOptions};
+use proptest::prelude::*;
+
+/// A fresh scratch dir per test (std tempdir only — no extra deps).
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mcs-trend-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Write a minimal but complete synthetic results directory whose grid
+/// rates are scaled by `rate_factor` (1.0 = the healthy baseline).
+fn write_results(dir: &Path, rate_factor: f64) {
+    let grid_rate = 900_000.0 * rate_factor;
+    let eq_rate = 27_000.0 * rate_factor;
+    fs::write(
+        dir.join("BENCH_grid_backend.json"),
+        format!(
+            "{{\"bench\": \"grid_backend\", \"mcs_scale\": 0.1, \"samples\": [\n\
+             {{\"backend\": \"hash\", \"bank\": 10000, \"lookups_per_second\": {grid_rate}, \
+             \"index_bytes\": 375592}},\n\
+             {{\"backend\": \"binary\", \"bank\": 10000, \"lookups_per_second\": 480000.0, \
+             \"index_bytes\": 0}}\n]}}\n"
+        ),
+    )
+    .unwrap();
+    fs::write(
+        dir.join("BENCH_event_queueing.json"),
+        format!(
+            "{{\"bench\": \"event_queueing\", \"mcs_scale\": 0.1, \"samples\": [\n\
+             {{\"backend\": \"hash\", \"mode\": \"off\", \"bank\": 10000, \
+             \"particles_per_second\": {eq_rate}, \"lookups\": 585733, \
+             \"bin_scan_steps\": 110751, \"gather_span_bytes\": 11600000, \
+             \"gather_span_pairs\": 57125}}\n]}}\n"
+        ),
+    )
+    .unwrap();
+    // check_report stamps a multi-thread host so rate regressions gate.
+    fs::write(
+        dir.join("check_report.json"),
+        "{\"schema\": \"mcs-check-report/2\", \"scale\": 0.1, \"threads\": 4,\n\
+         \"counters\": {\"xs.bin_scan_steps\": 110751, \"xs.gather_span_bytes\": 11600000, \
+         \"xs.gather_span_pairs\": 57125, \"xs.index_bytes\": 13024, \"xs.lookups\": 57971}}\n",
+    )
+    .unwrap();
+}
+
+fn opts(results: &Path, hist: &Path, commit: &str, ts: u64) -> TrendOptions {
+    let mut o = TrendOptions::new(results.to_path_buf(), hist.to_path_buf());
+    o.leg = "test".into();
+    o.commit = commit.into();
+    o.timestamp = ts;
+    o
+}
+
+#[test]
+fn run_twice_on_identical_inputs_is_idempotent() {
+    let d = scratch("idempotent");
+    let results = d.join("results");
+    let hist = d.join("trend");
+    fs::create_dir_all(&results).unwrap();
+    write_results(&results, 1.0);
+
+    let first = trend::run(&opts(&results, &hist, "c0", 100)).unwrap();
+    assert!(first.appended);
+    assert_eq!(first.history_len, 1);
+
+    // Second run: same inputs, later timestamp. Must not double-append,
+    // must report zero deltas.
+    let second = trend::run(&opts(&results, &hist, "c0", 200)).unwrap();
+    assert!(!second.appended, "identical measurement must not re-append");
+    assert_eq!(second.history_len, 1);
+    assert!(second.report.gate_passed());
+    for delta in &second.report.deltas {
+        assert_eq!(delta.delta_pct, 0.0, "{} delta not zero", delta.metric);
+    }
+    let on_disk = history::load(&history::history_file(&hist, "test")).unwrap();
+    assert_eq!(on_disk.len(), 1, "history must hold exactly one record");
+}
+
+#[test]
+fn injected_regression_must_trip_the_gate_when_sustained() {
+    let d = scratch("regression");
+    let results = d.join("results");
+    let hist = d.join("trend");
+    fs::create_dir_all(&results).unwrap();
+
+    // Build a healthy 5-record history.
+    for i in 0..5 {
+        write_results(&results, 1.0 + 0.001 * i as f64); // tiny jitter
+        let out = trend::run(&opts(&results, &hist, &format!("good{i}"), i)).unwrap();
+        assert!(out.report.gate_passed(), "healthy record {i} must pass");
+    }
+
+    // Inject a 25% rate regression. First bad record: suspect, not gating.
+    write_results(&results, 0.75);
+    let first_bad = trend::run(&opts(&results, &hist, "bad0", 100)).unwrap();
+    assert!(
+        first_bad.report.gate_passed(),
+        "single bad record must be warn-only (suspect)"
+    );
+    assert!(first_bad
+        .report
+        .deltas
+        .iter()
+        .any(|x| x.class.name() == "suspect"));
+
+    // Second consecutive bad record: sustained ⇒ gate trips.
+    let second_bad = trend::run(&opts(&results, &hist, "bad1", 101)).unwrap();
+    assert!(
+        !second_bad.report.gate_passed(),
+        "2 consecutive bad records must fail the gate"
+    );
+    // The offending metric is named in the machine-readable report.
+    let json = second_bad.report.to_json();
+    let gating: Vec<_> = second_bad.report.gating().collect();
+    assert!(!gating.is_empty());
+    assert!(gating.iter().any(|g| g.metric == "grid.hash.b10000"));
+    assert!(json.contains("\"metric\": \"grid.hash.b10000\""));
+    assert!(json.contains("\"passed\": false"));
+}
+
+#[test]
+fn counter_growth_gates_even_on_one_thread() {
+    let d = scratch("counter");
+    let results = d.join("results");
+    let hist = d.join("trend");
+    fs::create_dir_all(&results).unwrap();
+    write_results(&results, 1.0);
+    // Re-stamp the report as a 1-thread host.
+    let report_path = results.join("check_report.json");
+    let text = fs::read_to_string(&report_path)
+        .unwrap()
+        .replace("\"threads\": 4", "\"threads\": 1");
+    fs::write(&report_path, text).unwrap();
+
+    for i in 0..5 {
+        trend::run(&opts(&results, &hist, &format!("g{i}"), i)).unwrap();
+    }
+    // Inflate a deterministic counter, then record it 2 runs straight
+    // (distinct commits so the idempotency dedupe does not kick in).
+    let text = fs::read_to_string(&report_path).unwrap().replace(
+        "\"xs.bin_scan_steps\": 110751",
+        "\"xs.bin_scan_steps\": 221502",
+    );
+    fs::write(&report_path, text).unwrap();
+
+    let first = trend::run(&opts(&results, &hist, "cb0", 100)).unwrap();
+    assert!(first.report.warn_only_rates, "1-thread host is warn-only");
+    assert!(first.report.gate_passed(), "one bad record is suspect only");
+
+    let second = trend::run(&opts(&results, &hist, "cb1", 101)).unwrap();
+    assert!(
+        !second.report.gate_passed(),
+        "sustained counter growth must gate even on 1 thread"
+    );
+    assert!(second.report.gating().all(|g| g.kind.name() == "counter"));
+    assert!(second
+        .report
+        .gating()
+        .any(|g| g.metric == "xs.bin_scan_steps"));
+}
+
+#[test]
+fn truncated_history_is_a_hard_err_not_a_panic() {
+    let d = scratch("trunc");
+    let results = d.join("results");
+    let hist = d.join("trend");
+    fs::create_dir_all(&results).unwrap();
+    write_results(&results, 1.0);
+    trend::run(&opts(&results, &hist, "c0", 1)).unwrap();
+
+    let path = history::history_file(&hist, "test");
+    let mut text = fs::read_to_string(&path).unwrap();
+    text.truncate(text.len() - 7);
+    fs::write(&path, text).unwrap();
+
+    match trend::run(&opts(&results, &hist, "c1", 2)) {
+        Err(TrendError::Corrupt { .. }) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn report_schema_matches_blessed_golden() {
+    // The golden pins the report's key paths; regenerate it with
+    // MCS_BLESS=1 after a deliberate schema change (same discipline as
+    // the CSV goldens).
+    let d = scratch("schema");
+    let results = d.join("results");
+    let hist = d.join("trend");
+    fs::create_dir_all(&results).unwrap();
+    write_results(&results, 1.0);
+    // Two runs so the report contains non-null baselines too.
+    trend::run(&opts(&results, &hist, "c0", 1)).unwrap();
+    write_results(&results, 1.01);
+    let out = trend::run(&opts(&results, &hist, "c1", 2)).unwrap();
+
+    let paths = report::schema_paths(&out.report.to_json()).unwrap();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/golden/trend_report.schema"
+    );
+    let fresh = paths.join("\n") + "\n";
+    if std::env::var("MCS_BLESS").is_ok() {
+        fs::write(golden_path, &fresh).unwrap();
+        return;
+    }
+    let blessed = fs::read_to_string(golden_path)
+        .expect("results/golden/trend_report.schema missing — run with MCS_BLESS=1");
+    assert_eq!(
+        fresh, blessed,
+        "trend_report.json schema drifted from the blessed golden; \
+         if intentional, re-bless with MCS_BLESS=1"
+    );
+}
+
+/// Expand a seed into an arbitrary but reproducible record (splitmix64
+/// drives every field — the vendored proptest has no string/map
+/// strategies, so the structure diversity lives here instead).
+fn record_from_seed(seed: u64) -> TrendRecord {
+    let mut state = seed;
+    let mut next = move || -> u64 {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    // Keys exercise the separators (and JSON-escaped chars) real cell
+    // IDs use, e.g. `eq.hash.material+energy.b10000.gather_span_bytes`.
+    let key = |n: u64| -> String {
+        let stems = [
+            "grid.hash",
+            "eq.unionized.material+energy",
+            "ep.t8",
+            "xs",
+            "a \"b\"\\c",
+        ];
+        format!("{}.b{}", stems[(n % 5) as usize], n % 1_000_000)
+    };
+    let mut rates = BTreeMap::new();
+    for _ in 0..(next() % 8) {
+        // Finite non-negative rate with a wide dynamic range.
+        let r = (next() % (1 << 53)) as f64 / ((next() % 1000) + 1) as f64;
+        rates.insert(key(next()), r);
+    }
+    let mut counters = BTreeMap::new();
+    for _ in 0..(next() % 8) {
+        counters.insert(key(next()), next() % (1 << 53));
+    }
+    TrendRecord {
+        commit: format!("{:012x}", next()),
+        timestamp: next() % (1 << 40),
+        leg: ["simd-native", "scalar", "local", "leg \"x\""][(next() % 4) as usize].to_string(),
+        mcs_scale: ((next() % 100_000) + 1) as f64 / 1000.0,
+        host_threads: ((next() % 512) + 1) as usize,
+        rates,
+        counters,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jsonl_round_trip_is_lossless(seed in any::<u64>()) {
+        let rec = record_from_seed(seed);
+        let line = rec.to_json_line();
+        prop_assert!(!line.contains('\n'), "JSONL line must be single-line");
+        let back = TrendRecord::from_json_line(&line).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_lines_never_parse(seed in any::<u64>(), cut in 1usize..200) {
+        let rec = record_from_seed(seed);
+        let line = rec.to_json_line();
+        if cut < line.len() {
+            let truncated = &line[..line.len() - cut];
+            prop_assert!(
+                TrendRecord::from_json_line(truncated).is_err(),
+                "truncated line must not parse: {}",
+                truncated
+            );
+        }
+    }
+}

@@ -56,7 +56,10 @@ pub fn check_fig1(r: &fig1::Fig1Result) -> Vec<CheckOutcome> {
 /// (the banked kernel's only structural advantage is SIMD lane
 /// occupancy, which a 1-thread timeshared runner cannot resolve), so
 /// `F2.banked_ge_history_host` is scored on the warn band there —
-/// reported, never gating. See EXPERIMENTS.md ("Fig. 2" notes).
+/// reported, never gating. The same host condition drives the trend
+/// gate's rate metrics ([`mcs_bench::trend::rate_gate_warn_only`]), so
+/// check and trend always agree on which hosts can gate on timing.
+/// See EXPERIMENTS.md ("Fig. 2" notes).
 pub fn check_fig2(r: &fig2::Fig2Result, host_threads: usize) -> Vec<CheckOutcome> {
     let big = r.largest();
     let worst_checksum = r
@@ -64,7 +67,11 @@ pub fn check_fig2(r: &fig2::Fig2Result, host_threads: usize) -> Vec<CheckOutcome
         .iter()
         .map(|row| row.checksum_rel_err)
         .fold(0.0, f64::max);
-    let host_ratio = if host_threads == 1 { check_warn } else { check };
+    let host_ratio = if mcs_bench::trend::rate_gate_warn_only(host_threads) {
+        check_warn
+    } else {
+        check
+    };
     vec![
         check(
             "F2.mic_over_e5",

@@ -63,10 +63,37 @@ impl Counters {
             if i > 0 {
                 s.push_str(", ");
             }
-            s.push_str(&format!("\"{k}\": {v}"));
+            s.push_str(&format!("\"{}\": {v}", crate::value::escape_json(k)));
         }
         s.push('}');
         s
+    }
+
+    /// Parse the flat-object format produced by [`Counters::to_json`]
+    /// (and embedded as the `"counters"` section of `check_report.json`).
+    /// Strict: non-object input, non-integer values, or malformed JSON
+    /// are an `Err` — consumers like `mcs-bench trend` must distinguish
+    /// "no counters" from "corrupt counters".
+    pub fn from_json(text: &str) -> Result<Counters, String> {
+        Self::from_value(&crate::value::JsonValue::parse(text)?)
+    }
+
+    /// Build a counter set from an already-parsed JSON object node.
+    pub fn from_value(v: &crate::value::JsonValue) -> Result<Counters, String> {
+        let obj = v.as_object().ok_or("counters section is not an object")?;
+        let mut c = Counters::new();
+        for (k, v) in obj {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("counter {k:?} is not a non-negative integer"))?;
+            c.add(k, n);
+        }
+        Ok(c)
+    }
+
+    /// Counters whose name starts with `prefix`, in key order.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
     }
 }
 
@@ -105,6 +132,35 @@ mod tests {
         c.add("a", 1);
         assert_eq!(c.to_json(), "{\"a\": 1, \"b\": 2}");
         assert_eq!(Counters::new().to_json(), "{}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut c = Counters::new();
+        c.add("xs.lookups", 585_733);
+        c.add("xs.gather_span_bytes", 22_478_806_592);
+        let back = Counters::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(Counters::from_json("{}").unwrap(), Counters::new());
+    }
+
+    #[test]
+    fn from_json_rejects_corruption() {
+        assert!(Counters::from_json("not json").is_err());
+        assert!(Counters::from_json("[1, 2]").is_err());
+        assert!(Counters::from_json("{\"a\": -1}").is_err());
+        assert!(Counters::from_json("{\"a\": 1.5}").is_err());
+        assert!(Counters::from_json("{\"a\": 1").is_err());
+    }
+
+    #[test]
+    fn prefix_filter_selects_namespace() {
+        let mut c = Counters::new();
+        c.add("xs.lookups", 1);
+        c.add("xs.index_bytes", 2);
+        c.add("pcie.retries", 3);
+        let xs: Vec<&str> = c.with_prefix("xs.").map(|(k, _)| k).collect();
+        assert_eq!(xs, vec!["xs.index_bytes", "xs.lookups"]);
     }
 
     #[test]

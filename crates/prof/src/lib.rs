@@ -32,11 +32,13 @@ pub mod counters;
 pub mod json;
 pub mod report;
 pub mod timer;
+pub mod value;
 
 pub use counters::Counters;
 pub use json::ProfileSnapshot;
 pub use report::{Profile, ProfileCompare, RegionStats};
 pub use timer::{RegionGuard, ThreadProfiler};
+pub use value::JsonValue;
 
 #[cfg(test)]
 mod tests {
