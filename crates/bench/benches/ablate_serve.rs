@@ -1,0 +1,112 @@
+//! Ablation: the `mcs serve` plan-execution service under load —
+//! cache hit rate, dedupe, admission control, and end-to-end latency.
+//!
+//! Thin driver over `mcs_bench::harness::serve_load`: runs the
+//! three-phase battery at `MCS_SCALE` (default 1.0 — the concurrent
+//! phase then pushes 1k+ submissions from racing clients), re-asserts
+//! the service contract loudly, and writes the machine-readable
+//! summary to `results/BENCH_serve.json`.
+//!
+//! Claims asserted:
+//!
+//! * a cached replay is bit-identical to the cold run and costs zero
+//!   additional cross-section lookups;
+//! * every distinct plan executes at most once, and the hit/coalesce/
+//!   cold/reject ledger balances the submission count in every phase;
+//! * admission control rejects exactly the engineered overflow and
+//!   nothing else;
+//! * every phase reports positive, finite throughput and latency.
+//!
+//! `--test` (cargo test's bench smoke) runs a reduced battery with the
+//! same assertions and writes no JSON.
+
+use mcs_bench::harness::serve_load;
+
+fn assert_claims(r: &serve_load::ServeLoadResult) {
+    assert!(
+        r.cache_bitwise,
+        "cache replay was not bit-identical to the cold run"
+    );
+    assert!(
+        r.relookup_free,
+        "serving the hit wave moved the xs.lookups counter"
+    );
+    assert!(
+        r.ledger_balanced(),
+        "hit/coalesce/cold/reject ledger does not balance submissions"
+    );
+    assert!(
+        r.rejects_expected(),
+        "admission rejections outside the engineered overflow"
+    );
+    assert!(
+        r.rates_positive(),
+        "non-positive throughput or latency: timing is broken"
+    );
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+
+    if quick {
+        // Smoke run under `cargo test`: tiny submission counts, full
+        // assertion set, no JSON and no timing claims.
+        let r = serve_load::run(0.05, false);
+        assert_claims(&r);
+        println!("ablate_serve: ok (test mode)");
+        return;
+    }
+
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let r = serve_load::run(scale, true);
+    assert_claims(&r);
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"phase\": \"{}\", \"submissions\": {}, \"unique_plans\": {}, \
+                 \"served_saved\": {}, \"cold_runs\": {}, \"rejects\": {}, \
+                 \"plans_per_second\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                row.phase,
+                row.submissions,
+                row.unique_plans,
+                row.served_saved,
+                row.cold_runs,
+                row.rejects,
+                row.plans_per_second,
+                row.p50_ms,
+                row.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mcs_scale\": {scale},\n  \
+         \"workers\": {},\n  \"queue_cap\": {},\n  \"cache_bitwise\": {},\n  \
+         \"relookup_free\": {},\n  \"hits\": {},\n  \"coalesced\": {},\n  \
+         \"saved_fraction\": {:.6},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        r.workers,
+        r.queue_cap,
+        r.cache_bitwise,
+        r.relookup_free,
+        r.hits,
+        r.coalesced,
+        r.saved_fraction(),
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_serve.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

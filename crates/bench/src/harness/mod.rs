@@ -30,6 +30,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod futurework;
 pub mod grid_backend;
+pub mod serve_load;
 pub mod table1;
 pub mod table2;
 pub mod table3;

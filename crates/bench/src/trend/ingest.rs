@@ -269,6 +269,11 @@ pub fn ingest(results_dir: &Path) -> Result<Ingested, TrendError> {
                 ingested_bench = true;
                 out.sources.push(label);
             }
+            "serve" => {
+                ingest_serve(doc, path, &mut out)?;
+                ingested_bench = true;
+                out.sources.push(label);
+            }
             other => {
                 skipped.push(format!("{label} (unknown bench tag {other:?})"));
             }
@@ -342,6 +347,28 @@ fn ingest_ep(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), Tre
         let threads = uint(s, path, "threads")?;
         let rate = num(s, path, "particles_per_second")?;
         out.rates.insert(format!("ep.t{threads}.b{bank}"), rate);
+    }
+    Ok(())
+}
+
+fn ingest_serve(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let phase = string(s, path, "phase")?;
+        // Throughput is measured (host-sensitive → warn-band on
+        // 1-thread hosts); cold runs and rejects are deterministic at
+        // fixed scale, so they ride the hard counter gate. The
+        // hit/coalesce split is scheduling-dependent and deliberately
+        // NOT trended.
+        out.rates.insert(
+            format!("serve.{phase}.plans_per_s"),
+            num(s, path, "plans_per_second")?,
+        );
+        out.counters.insert(
+            format!("serve.{phase}.cold_runs"),
+            uint(s, path, "cold_runs")?,
+        );
+        out.counters
+            .insert(format!("serve.{phase}.rejects"), uint(s, path, "rejects")?);
     }
     Ok(())
 }

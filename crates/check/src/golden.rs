@@ -101,6 +101,15 @@ pub fn policy(artifact: &str, column: &str, row_key: &str) -> ColumnPolicy {
             "k_track" => Rel(1e-9),
             _ => Rel(0.02),
         },
+        "BENCH_serve" => match column {
+            // Pure counting, no FP: exact on every host and ISA leg.
+            // The throughput and latency quantiles are wall-clock
+            // measurements — any positive finite value passes.
+            "phase" | "submissions" | "unique_plans" | "served_saved" | "cold_runs" | "rejects" => {
+                Exact
+            }
+            _ => Positive,
+        },
         _ => Rel(0.02),
     }
 }

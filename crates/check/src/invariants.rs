@@ -16,7 +16,7 @@
 use crate::report::{check, check_warn, Band, CheckOutcome};
 use mcs_bench::harness::{
     event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
-    table1, table2, table3,
+    serve_load, table1, table2, table3,
 };
 use mcs_core::engine::{self, Algorithm, RunPlan, Threaded};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
@@ -538,6 +538,56 @@ pub fn check_event_queueing(r: &event_queueing::EventQueueingResult) -> Vec<Chec
     ]
 }
 
+/// `BENCH_serve` — the plan-execution service under load: the cache's
+/// bitwise/zero-relookup contract, the submission ledger, and the
+/// engineered admission overflow.
+pub fn check_serve(r: &serve_load::ServeLoadResult) -> Vec<CheckOutcome> {
+    vec![
+        check(
+            "SV.cache_bitwise",
+            "serve_load",
+            "cached replay is bit-identical to the cold run of the same plan",
+            holds(r.cache_bitwise),
+            Band::Holds,
+        ),
+        check(
+            "SV.relookup_free",
+            "serve_load",
+            "serving the cache-hit wave moved xs.lookups by exactly zero",
+            holds(r.relookup_free),
+            Band::Holds,
+        ),
+        check(
+            "SV.ledger_balanced",
+            "serve_load",
+            "hits + coalesces + cold runs + rejects == submissions, and no plan ran twice",
+            holds(r.ledger_balanced()),
+            Band::Holds,
+        ),
+        check(
+            "SV.rejects_bounded",
+            "serve_load",
+            "admission control rejected exactly the engineered overflow, nowhere else",
+            holds(r.rejects_expected()),
+            Band::Holds,
+        ),
+        check(
+            "SV.hit_rate",
+            "serve_load",
+            "fraction of admitted submissions served without an engine run",
+            r.saved_fraction(),
+            Band::AtLeast(0.5),
+        ),
+        check(
+            "SV.rates_positive",
+            "serve_load",
+            "every phase reported positive finite throughput and p99 >= p50 latency",
+            holds(r.rates_positive()),
+            Band::Holds,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,5 +721,45 @@ mod tests {
         for c in &out {
             assert!(c.passed, "{}: value {} not in {}", c.id, c.value, c.band);
         }
+    }
+
+    #[test]
+    fn intact_serve_passes_and_perturbed_serve_fails() {
+        // One real reduced-scale battery (live TCP servers on
+        // ephemeral ports), then targeted perturbations of the typed
+        // result — the exit-flip demonstration for every SV gate.
+        let good = serve_load::run(0.05, false);
+        let before = check_serve(&good);
+        assert!(before.iter().all(|c| c.passed), "{before:?}");
+
+        let fails = |r: &serve_load::ServeLoadResult, id: &str| {
+            let out = check_serve(r);
+            assert!(
+                !out.iter().find(|c| c.id == id).unwrap().passed,
+                "{id} should fail after perturbation"
+            );
+        };
+        let mut r = good.clone();
+        r.cache_bitwise = false;
+        fails(&r, "SV.cache_bitwise");
+
+        let mut r = good.clone();
+        r.relookup_free = false;
+        fails(&r, "SV.relookup_free");
+
+        // A phantom duplicate run: the ledger stops balancing.
+        let mut r = good.clone();
+        r.rows[0].cold_runs += 1;
+        fails(&r, "SV.ledger_balanced");
+
+        // A reject outside the engineered admission overflow.
+        let mut r = good.clone();
+        r.rows[0].rejects += 1;
+        fails(&r, "SV.rejects_bounded");
+
+        // A stalled phase: zero throughput must trip the timing check.
+        let mut r = good;
+        r.rows[1].plans_per_second = 0.0;
+        fails(&r, "SV.rates_positive");
     }
 }

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use mcs_bench::harness::{
     event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
-    table1, table2, table3, Artifact,
+    serve_load, table1, table2, table3, Artifact,
 };
 use mcs_check::invariants as inv;
 use mcs_check::{golden, CheckReport, GoldenOutcome};
@@ -130,6 +130,11 @@ fn main() {
         let r = event_queueing::run(scale, verbose);
         rep.invariants.extend(inv::check_event_queueing(&r));
         rep.counters = r.counters.clone();
+        arts.push(r.artifact);
+    });
+    step("serve", &mut |rep, arts| {
+        let r = serve_load::run(scale, verbose);
+        rep.invariants.extend(inv::check_serve(&r));
         arts.push(r.artifact);
     });
 

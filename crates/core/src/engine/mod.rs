@@ -44,6 +44,41 @@ use crate::spectrum::SpectrumTally;
 use crate::statepoint::Statepoint;
 use crate::tally::Tallies;
 
+/// A borrowed view of one completed batch, delivered through
+/// [`BatchObserver::on_batch`] the moment the engine has folded it into
+/// the run state — before the next batch starts transporting.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProgress<'a> {
+    /// The batch record just completed (k estimates, entropy, timing).
+    pub batch: &'a BatchResult,
+    /// Batches completed over the *whole* run so far; on a resumed run
+    /// this counts the replayed prefix too.
+    pub completed: usize,
+    /// Total batches the plan will run.
+    pub total: usize,
+}
+
+/// Observe engine progress without owning engine state.
+///
+/// This is the one progress seam of the batch loop: events borrow the
+/// loop's own records (no per-event allocation) and are emitted after
+/// the policy returns, so serial, threaded, and distributed runs all
+/// stream the identical sequence. The CLI's live batch printout, the
+/// serve crate's per-subscriber progress streams, and checkpoint sinks
+/// all hang off this trait instead of re-deriving per-batch bookkeeping
+/// from the finished report.
+pub trait BatchObserver {
+    /// One batch completed and was folded into the run state.
+    fn on_batch(&mut self, _progress: BatchProgress<'_>) {}
+    /// A periodic statepoint was emitted (plan's `checkpoint_every`).
+    fn on_checkpoint(&mut self, _statepoint: &Statepoint) {}
+}
+
+/// The do-nothing observer every non-streaming caller uses.
+pub struct NoProgress;
+
+impl BatchObserver for NoProgress {}
+
 /// Everything an eigenvalue engine run produced.
 #[derive(Debug)]
 pub struct RunReport {
@@ -112,9 +147,29 @@ pub fn run_with_problem(
     plan: &RunPlan,
     policy: &mut dyn ExecutionPolicy,
 ) -> RunOutput {
+    run_with_problem_observed(problem, plan, policy, &mut NoProgress)
+}
+
+/// [`run_with_problem`] with a progress observer: `observer` sees every
+/// completed batch (and checkpoint) as it happens. Fixed-source runs
+/// have no batch structure and emit no events.
+pub fn run_with_problem_observed(
+    problem: &Problem,
+    plan: &RunPlan,
+    policy: &mut dyn ExecutionPolicy,
+    observer: &mut dyn BatchObserver,
+) -> RunOutput {
     match plan.mode {
         RunMode::Eigenvalue => {
-            let report = run_batches(problem, plan, policy, 0, plan.total_batches(), None);
+            let report = run_batches_observed(
+                problem,
+                plan,
+                policy,
+                0,
+                plan.total_batches(),
+                None,
+                observer,
+            );
             RunOutput::Eigenvalue(Box::new(report))
         }
         RunMode::FixedSource => {
@@ -140,17 +195,31 @@ pub fn resume_with_problem(
     policy: &mut dyn ExecutionPolicy,
     checkpoint: &Statepoint,
 ) -> RunReport {
+    resume_with_problem_observed(problem, plan, policy, checkpoint, &mut NoProgress)
+}
+
+/// [`resume_with_problem`] with a progress observer; only the batches
+/// this call executes emit events (the replayed prefix is state, not
+/// work), but `completed`/`total` count the whole run.
+pub fn resume_with_problem_observed(
+    problem: &Problem,
+    plan: &RunPlan,
+    policy: &mut dyn ExecutionPolicy,
+    checkpoint: &Statepoint,
+    observer: &mut dyn BatchObserver,
+) -> RunReport {
     assert_eq!(
         checkpoint.seed, problem.seed,
         "statepoint belongs to a different problem seed"
     );
-    run_batches(
+    run_batches_observed(
         problem,
         plan,
         policy,
         checkpoint.completed_batches,
         plan.total_batches(),
         Some(checkpoint),
+        observer,
     )
 }
 
@@ -170,6 +239,31 @@ pub fn run_batches(
     start_batch: usize,
     stop_batch: usize,
     checkpoint: Option<&Statepoint>,
+) -> RunReport {
+    run_batches_observed(
+        problem,
+        plan,
+        policy,
+        start_batch,
+        stop_batch,
+        checkpoint,
+        &mut NoProgress,
+    )
+}
+
+/// [`run_batches`] with a [`BatchObserver`]: the loop body is identical
+/// (the observer cannot perturb the run — it only borrows the records
+/// the loop produces anyway), so observed and unobserved runs of the
+/// same plan are bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batches_observed(
+    problem: &Problem,
+    plan: &RunPlan,
+    policy: &mut dyn ExecutionPolicy,
+    start_batch: usize,
+    stop_batch: usize,
+    checkpoint: Option<&Statepoint>,
+    observer: &mut dyn BatchObserver,
 ) -> RunReport {
     let n = plan.particles;
     let total_batches = plan.total_batches();
@@ -262,6 +356,11 @@ pub fn run_batches(
         }
         source = resample_source(&outcome.sites, n, problem.seed ^ (0xbeef << 8) ^ b as u64);
         completed_batches = b + 1;
+        observer.on_batch(BatchProgress {
+            batch: batches.last().expect("batch just pushed"),
+            completed: completed_batches,
+            total: total_batches,
+        });
 
         if let Some(every) = plan.checkpoint_every {
             if every > 0 && (b + 1) % every == 0 {
@@ -272,6 +371,7 @@ pub fn run_batches(
                     k_history: k_history.clone(),
                     tallies,
                 });
+                observer.on_checkpoint(checkpoints.last().expect("checkpoint just pushed"));
             }
         }
     }

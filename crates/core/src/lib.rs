@@ -47,8 +47,8 @@ pub mod vr;
 
 pub use eigenvalue::{EigenvalueResult, EigenvalueSettings, TransportMode};
 pub use engine::{
-    Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
-    Serial, Threaded,
+    Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelRef, NoProgress, PolicySpec,
+    RunMode, RunOutput, RunPlan, RunReport, Serial, Threaded,
 };
 pub use fixed_source::{FixedSourceResult, FixedSourceSettings, SourceDef};
 pub use mesh::{MeshSpec, MeshTally};

@@ -1,0 +1,101 @@
+//! Bounded hash-keyed result cache.
+//!
+//! A plain FIFO-evicting map from canonical plan hash to
+//! `Arc<ServedResult>`. It is *not* internally synchronized — it lives
+//! inside the scheduler's state mutex, which already serializes every
+//! cache touch with the in-flight dedupe bookkeeping (a lookup and a
+//! coalesce decision must be atomic together, so a cache-level lock
+//! would be redundant).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::result::ServedResult;
+
+/// FIFO-bounded `plan_hash -> Arc<ServedResult>` map.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<u64, Arc<ServedResult>>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` results (`cap == 0` caches
+    /// nothing — every submission is a cold run or a coalesce).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Cached result for `hash`, if present.
+    pub fn get(&self, hash: u64) -> Option<Arc<ServedResult>> {
+        self.map.get(&hash).cloned()
+    }
+
+    /// Insert a finished result, evicting the oldest entry at capacity.
+    /// Re-inserting an existing hash refreshes the value without
+    /// consuming a slot.
+    pub fn insert(&mut self, hash: u64, result: Arc<ServedResult>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(hash, result).is_none() {
+            self.order.push_back(hash);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::tests::sample;
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, Arc::new(sample(1)));
+        c.insert(2, Arc::new(sample(2)));
+        c.insert(3, Arc::new(sample(3)));
+        assert!(c.get(1).is_none(), "oldest entry evicted");
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_slots() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, Arc::new(sample(1)));
+        c.insert(1, Arc::new(sample(1)));
+        c.insert(2, Arc::new(sample(2)));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, Arc::new(sample(1)));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

@@ -1,0 +1,498 @@
+//! The bounded, deduplicating plan scheduler.
+//!
+//! One mutex-guarded state block owns the four structures whose
+//! transitions must be atomic together: the result cache, the
+//! in-flight table (plan hash → subscribers), the two priority queues,
+//! and the admission counters. A submission therefore takes exactly
+//! one of four paths, decided under a single lock acquisition:
+//!
+//! ```text
+//!   submit ──▶ cache hit ──────▶ Result now (no slot, no run)
+//!          ──▶ in-flight hit ──▶ attach subscriber (no slot, no run)
+//!          ──▶ queue has room ─▶ enqueue by priority (cold run later)
+//!          ──▶ otherwise ──────▶ typed reject (queue-full / draining)
+//! ```
+//!
+//! Workers execute every job under the `Serial` policy. That is not a
+//! simplification — it is the point: the engine's determinism contract
+//! makes the result independent of the submitting client's
+//! `PolicySpec`, so the service runs the cheapest policy and still
+//! answers threaded and distributed submissions bit-exactly.
+//!
+//! Built problems are shared through an internal pool keyed by
+//! [`problem_key`], so every job over the same model reuses one
+//! `Arc<Problem>` — and through it the PR-6 Arc-cached `XsContext`,
+//! whose atomic instrumentation counters then observe lookups across
+//! all jobs (the integration tests' "cache hits cost zero lookups"
+//! assertion reads exactly this).
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mcs_core::engine::{self, BatchObserver, BatchProgress, RunMode, RunPlan, Serial};
+use mcs_core::Problem;
+
+use crate::cache::ResultCache;
+use crate::hash::{plan_hash, problem_key};
+use crate::protocol::{Priority, RejectReason, Response, Source, StatsSnapshot};
+use crate::result::ServedResult;
+
+/// Scheduler sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads executing cold runs.
+    pub workers: usize,
+    /// Admission cap: maximum *queued* (not running) jobs. Cache hits
+    /// and coalesced submissions never consume a slot.
+    pub queue_cap: usize,
+    /// Result-cache capacity (FIFO-evicted).
+    pub cache_cap: usize,
+    /// Shared-problem pool capacity (FIFO-evicted; evicted problems
+    /// retire their lookup counts into the cumulative statistic).
+    pub problem_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 1024,
+            problem_cap: 32,
+        }
+    }
+}
+
+/// One party awaiting a submission's outcome. Every accepted
+/// submission has exactly one subscriber; a coalesced job has many.
+#[derive(Debug, Clone)]
+pub struct Subscriber {
+    /// Connection-local submission id, echoed on every event.
+    pub id: u64,
+    /// Stream per-batch [`Response::Progress`] events.
+    pub progress: bool,
+    /// Event sink (the connection's writer channel).
+    pub tx: Sender<Response>,
+}
+
+/// What [`Scheduler::submit`] decided, after any synchronous events
+/// were already delivered to the subscriber's channel.
+#[derive(Debug, Clone)]
+pub enum Submission {
+    /// Served from the cache; `Accepted` + `Result` already sent.
+    Cached(Arc<ServedResult>),
+    /// Attached to an identical in-flight job; `Accepted` sent, the
+    /// shared `Result` will follow.
+    Coalesced {
+        /// Canonical hash of the joined plan.
+        plan_hash: u64,
+    },
+    /// Queued for a cold run; `Accepted` sent, `Result` will follow.
+    Scheduled {
+        /// Canonical hash of the queued plan.
+        plan_hash: u64,
+    },
+    /// Refused; `Rejected` already sent, no further events.
+    Rejected(RejectReason),
+}
+
+struct QueuedJob {
+    hash: u64,
+    plan: RunPlan,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    cold_runs: u64,
+    rejected: u64,
+}
+
+struct State {
+    high: VecDeque<QueuedJob>,
+    normal: VecDeque<QueuedJob>,
+    inflight: HashMap<u64, Vec<Subscriber>>,
+    cache: ResultCache,
+    running: usize,
+    paused: bool,
+    draining: bool,
+    stats: Stats,
+    /// Plan hashes in cold-run *start* order (the priority-ordering
+    /// tests read this; cheap enough to keep unconditionally).
+    started_order: Vec<u64>,
+}
+
+/// FIFO-bounded pool of built problems, with retired-lookup carryover
+/// so `xs_lookups` stays cumulative across evictions.
+struct ProblemPool {
+    map: HashMap<u64, Arc<Problem>>,
+    order: VecDeque<u64>,
+    cap: usize,
+    retired_lookups: u64,
+}
+
+impl ProblemPool {
+    fn lookups(&self) -> u64 {
+        self.retired_lookups + self.map.values().map(|p| p.xs.lookups()).sum::<u64>()
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    idle: Condvar,
+    problems: Mutex<ProblemPool>,
+}
+
+/// The plan scheduler: a bounded worker pool over the dedupe/cache
+/// state machine. Cheaply cloneable via `Arc` by callers; the server
+/// holds one per process.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Start `cfg.workers` worker threads over an empty state.
+    pub fn new(cfg: ServeConfig) -> Scheduler {
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                inflight: HashMap::new(),
+                cache: ResultCache::new(cfg.cache_cap),
+                running: 0,
+                paused: false,
+                draining: false,
+                stats: Stats::default(),
+                started_order: Vec::new(),
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            problems: Mutex::new(ProblemPool {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                cap: cfg.problem_cap.max(1),
+                retired_lookups: 0,
+            }),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Scheduler {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a plan on behalf of `sub`. All synchronous events
+    /// (`Accepted`, `Rejected`, and a cache hit's `Result`) are sent
+    /// into `sub.tx` *before* this returns, under the state lock, so
+    /// they always precede any asynchronous `Progress`/`Result` a
+    /// worker later sends for the same id.
+    pub fn submit(&self, plan: RunPlan, priority: Priority, sub: Subscriber) -> Submission {
+        let hash = plan_hash(&plan);
+        let mut st = self.shared.state.lock().unwrap();
+        st.stats.submitted += 1;
+
+        if plan.mode != RunMode::Eigenvalue {
+            st.stats.rejected += 1;
+            let reason = RejectReason::Unsupported {
+                detail: format!("{} mode", plan.mode.keyword()),
+            };
+            let _ = sub.tx.send(Response::Rejected {
+                id: sub.id,
+                reason: reason.clone(),
+            });
+            return Submission::Rejected(reason);
+        }
+
+        if let Some(hit) = st.cache.get(hash) {
+            st.stats.cache_hits += 1;
+            let _ = sub.tx.send(Response::Accepted {
+                id: sub.id,
+                plan_hash: hash,
+                source: Source::Cache,
+            });
+            let _ = sub.tx.send(Response::Result {
+                id: sub.id,
+                source: Source::Cache,
+                result: hit.clone(),
+            });
+            return Submission::Cached(hit);
+        }
+
+        if st.inflight.contains_key(&hash) {
+            st.stats.coalesced += 1;
+            let subs = st.inflight.get_mut(&hash).expect("key checked");
+            let _ = sub.tx.send(Response::Accepted {
+                id: sub.id,
+                plan_hash: hash,
+                source: Source::Coalesced,
+            });
+            subs.push(sub);
+            return Submission::Coalesced { plan_hash: hash };
+        }
+
+        let reject = |st: &mut State, reason: RejectReason| {
+            st.stats.rejected += 1;
+            let _ = sub.tx.send(Response::Rejected {
+                id: sub.id,
+                reason: reason.clone(),
+            });
+            Submission::Rejected(reason)
+        };
+        if st.draining {
+            return reject(&mut st, RejectReason::Draining);
+        }
+        let queued = st.high.len() + st.normal.len();
+        if queued >= self.shared.cfg.queue_cap {
+            return reject(
+                &mut st,
+                RejectReason::QueueFull {
+                    queued: queued as u64,
+                    cap: self.shared.cfg.queue_cap as u64,
+                },
+            );
+        }
+
+        let _ = sub.tx.send(Response::Accepted {
+            id: sub.id,
+            plan_hash: hash,
+            source: Source::Scheduled,
+        });
+        st.inflight.insert(hash, vec![sub]);
+        let job = QueuedJob { hash, plan };
+        match priority {
+            Priority::High => st.high.push_back(job),
+            Priority::Normal => st.normal.push_back(job),
+        }
+        drop(st);
+        self.shared.work.notify_one();
+        Submission::Scheduled { plan_hash: hash }
+    }
+
+    /// Hold workers before their next job pop. Queued and coalescing
+    /// submissions keep accumulating; running jobs finish. The
+    /// admission and priority tests use this to build queue states
+    /// deterministically on any core count.
+    pub fn pause(&self) {
+        self.shared.state.lock().unwrap().paused = true;
+    }
+
+    /// Release paused workers.
+    pub fn resume(&self) {
+        self.shared.state.lock().unwrap().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Graceful drain: stop admitting new work (cache hits still
+    /// serve), un-pause, and block until every queued and running job
+    /// has delivered its result.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.draining = true;
+        st.paused = false;
+        self.shared.work.notify_all();
+        while st.running > 0 || !st.high.is_empty() || !st.normal.is_empty() {
+            st = self.shared.idle.wait(st).unwrap();
+        }
+    }
+
+    /// [`Scheduler::drain`], then join the worker threads.
+    pub fn shutdown(&self) {
+        self.drain();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let st = self.shared.state.lock().unwrap();
+        let xs_lookups = self.shared.problems.lock().unwrap().lookups();
+        StatsSnapshot {
+            submitted: st.stats.submitted,
+            cache_hits: st.stats.cache_hits,
+            coalesced: st.stats.coalesced,
+            cold_runs: st.stats.cold_runs,
+            rejected: st.stats.rejected,
+            queued: (st.high.len() + st.normal.len()) as u64,
+            running: st.running as u64,
+            cache_entries: st.cache.len() as u64,
+            xs_lookups,
+        }
+    }
+
+    /// Plan hashes in the order cold runs *started* (test/diagnostic
+    /// surface for priority ordering).
+    pub fn started_order(&self) -> Vec<u64> {
+        self.shared.state.lock().unwrap().started_order.clone()
+    }
+
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.cfg
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // Idempotent: a second drain/join after an explicit shutdown
+        // sees empty queues and no handles.
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if !st.paused {
+                    if let Some(job) = st.high.pop_front().or_else(|| st.normal.pop_front()) {
+                        st.running += 1;
+                        st.stats.cold_runs += 1;
+                        let hash = job.hash;
+                        st.started_order.push(hash);
+                        break Some(job);
+                    }
+                    if st.draining {
+                        break None;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let Some(job) = job else {
+            shared.idle.notify_all();
+            return;
+        };
+
+        let problem = problem_for(shared, &job.plan);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut policy = Serial::new();
+            let mut observer = FanoutObserver {
+                shared,
+                hash: job.hash,
+            };
+            engine::run_with_problem_observed(&problem, &job.plan, &mut policy, &mut observer)
+                .into_eigenvalue()
+        }));
+
+        let mut st = shared.state.lock().unwrap();
+        match outcome {
+            Ok(report) => {
+                let result = Arc::new(ServedResult::from_report(job.hash, &report));
+                st.cache.insert(job.hash, result.clone());
+                if let Some(subs) = st.inflight.remove(&job.hash) {
+                    for s in subs {
+                        let _ = s.tx.send(Response::Result {
+                            id: s.id,
+                            source: Source::Run,
+                            result: result.clone(),
+                        });
+                    }
+                }
+            }
+            Err(panic) => {
+                let detail = panic_message(&panic);
+                if let Some(subs) = st.inflight.remove(&job.hash) {
+                    for s in subs {
+                        let _ = s.tx.send(Response::Error {
+                            detail: format!("execution failed: {detail}"),
+                        });
+                    }
+                }
+            }
+        }
+        st.running -= 1;
+        drop(st);
+        shared.idle.notify_all();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Fetch or build the shared problem for `plan`. Builds happen outside
+/// the pool lock (they are the expensive step); a concurrent build of
+/// the same key is resolved insert-if-absent, mirroring
+/// `mcs_xs::cache`.
+fn problem_for(shared: &Shared, plan: &RunPlan) -> Arc<Problem> {
+    let key = problem_key(plan);
+    if let Some(p) = shared.problems.lock().unwrap().map.get(&key) {
+        return p.clone();
+    }
+    let built = Arc::new(plan.build_problem());
+    let mut pool = shared.problems.lock().unwrap();
+    if let Some(p) = pool.map.get(&key) {
+        return p.clone();
+    }
+    pool.map.insert(key, built.clone());
+    pool.order.push_back(key);
+    while pool.order.len() > pool.cap {
+        if let Some(old) = pool.order.pop_front() {
+            if let Some(evicted) = pool.map.remove(&old) {
+                // A still-running job holding this Arc keeps counting
+                // into its own clone; those late lookups are the one
+                // (bounded, documented) undercount in `xs_lookups`.
+                pool.retired_lookups += evicted.xs.lookups();
+            }
+        }
+    }
+    built
+}
+
+/// Streams one job's per-batch engine events to every progress
+/// subscriber currently attached to its hash. Senders are snapshotted
+/// under the lock, then used outside it — late joiners start receiving
+/// from the next batch, which keeps each subscriber's stream monotone.
+struct FanoutObserver<'a> {
+    shared: &'a Shared,
+    hash: u64,
+}
+
+impl BatchObserver for FanoutObserver<'_> {
+    fn on_batch(&mut self, progress: BatchProgress<'_>) {
+        let targets: Vec<(u64, Sender<Response>)> = {
+            let st = self.shared.state.lock().unwrap();
+            match st.inflight.get(&self.hash) {
+                Some(subs) => subs
+                    .iter()
+                    .filter(|s| s.progress)
+                    .map(|s| (s.id, s.tx.clone()))
+                    .collect(),
+                None => Vec::new(),
+            }
+        };
+        for (id, tx) in targets {
+            let _ = tx.send(Response::Progress {
+                id,
+                completed: progress.completed as u64,
+                total: progress.total as u64,
+                active: progress.batch.active,
+                k_bits: progress.batch.k_track.to_bits(),
+                entropy_bits: progress.batch.entropy.to_bits(),
+            });
+        }
+    }
+}

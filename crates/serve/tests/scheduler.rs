@@ -1,0 +1,284 @@
+//! Scheduler concurrency battery.
+//!
+//! The container running CI may have a single hardware thread, so none
+//! of these tests race the clock: queue states are built
+//! deterministically with [`Scheduler::pause`] (workers hold before
+//! their next pop while submissions accumulate), then released. Every
+//! assertion is on ordering or exact counts, never on timing.
+
+use std::sync::mpsc::{self, Receiver};
+use std::time::Duration;
+
+use mcs_core::engine::{RunMode, RunPlan};
+use mcs_serve::protocol::{Priority, RejectReason, Response, Source};
+use mcs_serve::scheduler::{Scheduler, ServeConfig, Submission, Subscriber};
+use mcs_serve::ServedResult;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A tiny unique plan: `salt` perturbs the seed, so each salt is a
+/// distinct canonical hash over the same built model problem.
+fn tiny_plan(salt: u64) -> RunPlan {
+    RunPlan {
+        particles: 64,
+        inactive: 1,
+        active: 1,
+        entropy_mesh: (2, 2, 2),
+        seed: Some(0x5eed_0000 + salt),
+        ..RunPlan::default()
+    }
+}
+
+fn subscriber(id: u64, progress: bool) -> (Subscriber, Receiver<Response>) {
+    let (tx, rx) = mpsc::channel();
+    (Subscriber { id, progress, tx }, rx)
+}
+
+/// Drain `rx` until the terminal event for `id`, returning the result.
+fn recv_result(rx: &Receiver<Response>, id: u64) -> std::sync::Arc<ServedResult> {
+    loop {
+        match rx.recv_timeout(RECV_TIMEOUT).expect("event before timeout") {
+            Response::Result {
+                id: rid, result, ..
+            } if rid == id => return result,
+            Response::Rejected { id: rid, reason } if rid == id => {
+                panic!("submission {rid} rejected: {reason}")
+            }
+            Response::Error { detail } => panic!("job failed: {detail}"),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn admission_rejects_exactly_above_queue_cap() {
+    let sched = Scheduler::new(ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        cache_cap: 8,
+        problem_cap: 4,
+    });
+    sched.pause();
+
+    let (s0, rx0) = subscriber(0, false);
+    let (s1, rx1) = subscriber(1, false);
+    let (s2, rx2) = subscriber(2, false);
+    assert!(matches!(
+        sched.submit(tiny_plan(0), Priority::Normal, s0),
+        Submission::Scheduled { .. }
+    ));
+    assert!(matches!(
+        sched.submit(tiny_plan(1), Priority::Normal, s1),
+        Submission::Scheduled { .. }
+    ));
+    // Queue holds exactly `cap` jobs; the next unique plan is refused
+    // with the typed reason carrying the observed depth and the cap.
+    match sched.submit(tiny_plan(2), Priority::Normal, s2) {
+        Submission::Rejected(RejectReason::QueueFull { queued, cap }) => {
+            assert_eq!((queued, cap), (2, 2));
+        }
+        other => panic!("expected queue-full reject, got {other:?}"),
+    }
+    match rx2.recv_timeout(RECV_TIMEOUT).expect("rejected event") {
+        Response::Rejected {
+            id: 2,
+            reason: RejectReason::QueueFull { queued: 2, cap: 2 },
+        } => {}
+        other => panic!("expected rejected event, got {other:?}"),
+    }
+
+    // A duplicate of a *queued* plan coalesces — dedupe consumes no
+    // admission slot even at a full queue.
+    let (s3, rx3) = subscriber(3, false);
+    assert!(matches!(
+        sched.submit(tiny_plan(0), Priority::Normal, s3),
+        Submission::Coalesced { .. }
+    ));
+
+    sched.resume();
+    let r0 = recv_result(&rx0, 0);
+    let r1 = recv_result(&rx1, 1);
+    let r3 = recv_result(&rx3, 3);
+    assert_eq!(r0, r3, "coalesced subscriber got the identical result");
+    assert_ne!(r0, r1, "different plans, different results");
+
+    let stats = sched.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.cold_runs, 2);
+    sched.shutdown();
+}
+
+#[test]
+fn high_priority_jobs_start_before_earlier_normal_ones() {
+    let sched = Scheduler::new(ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        cache_cap: 8,
+        problem_cap: 4,
+    });
+    sched.pause();
+
+    let (n1, rxn1) = subscriber(0, false);
+    let (n2, rxn2) = subscriber(1, false);
+    let (h1, rxh1) = subscriber(2, false);
+    let Submission::Scheduled { plan_hash: hn1 } =
+        sched.submit(tiny_plan(10), Priority::Normal, n1)
+    else {
+        panic!("n1 should schedule")
+    };
+    let Submission::Scheduled { plan_hash: hn2 } =
+        sched.submit(tiny_plan(11), Priority::Normal, n2)
+    else {
+        panic!("n2 should schedule")
+    };
+    let Submission::Scheduled { plan_hash: hh1 } = sched.submit(tiny_plan(12), Priority::High, h1)
+    else {
+        panic!("h1 should schedule")
+    };
+
+    sched.resume();
+    recv_result(&rxn1, 0);
+    recv_result(&rxn2, 1);
+    recv_result(&rxh1, 2);
+
+    // The high-priority job was submitted last but must start first;
+    // the normal class keeps FIFO order among itself.
+    assert_eq!(sched.started_order(), vec![hh1, hn1, hn2]);
+    sched.shutdown();
+}
+
+#[test]
+fn graceful_drain_completes_queued_work_then_rejects() {
+    let sched = Scheduler::new(ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        cache_cap: 8,
+        problem_cap: 4,
+    });
+    sched.pause();
+
+    let subs: Vec<_> = (0..3).map(|i| subscriber(i, false)).collect();
+    let mut rxs = Vec::new();
+    for (i, (sub, rx)) in subs.into_iter().enumerate() {
+        assert!(matches!(
+            sched.submit(tiny_plan(20 + i as u64), Priority::Normal, sub),
+            Submission::Scheduled { .. }
+        ));
+        rxs.push(rx);
+    }
+
+    // Drain un-pauses, blocks until the queue is empty and every
+    // in-flight job has delivered, then keeps refusing new work.
+    sched.drain();
+    for (i, rx) in rxs.iter().enumerate() {
+        recv_result(rx, i as u64);
+    }
+
+    let (late, rx_late) = subscriber(9, false);
+    assert!(matches!(
+        sched.submit(tiny_plan(99), Priority::High, late),
+        Submission::Rejected(RejectReason::Draining)
+    ));
+    assert!(matches!(
+        rx_late.recv_timeout(RECV_TIMEOUT),
+        Ok(Response::Rejected {
+            reason: RejectReason::Draining,
+            ..
+        })
+    ));
+
+    // Cache hits still serve during drain: the results computed before
+    // the drain remain available.
+    let (hit, rx_hit) = subscriber(10, false);
+    assert!(matches!(
+        sched.submit(tiny_plan(20), Priority::Normal, hit),
+        Submission::Cached(_)
+    ));
+    recv_result(&rx_hit, 10);
+    sched.shutdown();
+}
+
+#[test]
+fn progress_events_are_monotone_per_subscriber_and_precede_the_result() {
+    let sched = Scheduler::new(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 4,
+        problem_cap: 4,
+    });
+    let plan = RunPlan {
+        inactive: 2,
+        active: 3,
+        ..tiny_plan(30)
+    };
+    sched.pause();
+
+    // Two progress subscribers on one job: the submitter and a
+    // coalesced joiner attached before the run starts.
+    let (s0, rx0) = subscriber(0, true);
+    let (s1, rx1) = subscriber(1, true);
+    assert!(matches!(
+        sched.submit(plan.clone(), Priority::Normal, s0),
+        Submission::Scheduled { .. }
+    ));
+    assert!(matches!(
+        sched.submit(plan, Priority::Normal, s1),
+        Submission::Coalesced { .. }
+    ));
+    sched.resume();
+
+    for (id, rx) in [(0u64, &rx0), (1u64, &rx1)] {
+        let mut completed_seen = Vec::new();
+        loop {
+            match rx.recv_timeout(RECV_TIMEOUT).expect("event") {
+                Response::Accepted { id: rid, .. } => assert_eq!(rid, id),
+                Response::Progress {
+                    id: rid,
+                    completed,
+                    total,
+                    ..
+                } => {
+                    assert_eq!(rid, id);
+                    assert_eq!(total, 5);
+                    completed_seen.push(completed);
+                }
+                Response::Result {
+                    id: rid, source, ..
+                } => {
+                    assert_eq!(rid, id);
+                    assert_eq!(source, Source::Run);
+                    break;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Strictly increasing batch order, one event per batch, and
+        // the result arrived only after the last batch.
+        assert_eq!(completed_seen, vec![1, 2, 3, 4, 5], "subscriber {id}");
+    }
+    sched.shutdown();
+}
+
+#[test]
+fn fixed_source_submissions_get_a_typed_unsupported_reject() {
+    let sched = Scheduler::new(ServeConfig::default());
+    let (sub, rx) = subscriber(0, false);
+    let plan = RunPlan {
+        mode: RunMode::FixedSource,
+        ..tiny_plan(40)
+    };
+    assert!(matches!(
+        sched.submit(plan, Priority::Normal, sub),
+        Submission::Rejected(RejectReason::Unsupported { .. })
+    ));
+    assert!(matches!(
+        rx.recv_timeout(RECV_TIMEOUT),
+        Ok(Response::Rejected {
+            reason: RejectReason::Unsupported { .. },
+            ..
+        })
+    ));
+    sched.shutdown();
+}

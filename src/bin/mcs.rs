@@ -11,6 +11,7 @@
 //! mcs info  [--model test|small|large]
 //! mcs plot  [--model test|small|large] [--width N] [--z Z]
 //! mcs fixed [--model test|small|large] [--particles N]
+//! mcs serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //! ```
 //!
 //! Every run is a [`RunPlan`] executed by `mcs_core::engine::run` under an
@@ -32,10 +33,12 @@ use std::process::ExitCode;
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
-    self, Algorithm, ExecutionPolicy, ModelRef, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
+    self, Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelRef, PolicySpec, RunMode,
+    RunOutput, RunPlan, RunReport,
 };
 use mcs::core::statepoint::Statepoint;
 use mcs::core::{Problem, QueueingConfig, QueueingMode};
+use mcs::serve::scheduler::ServeConfig;
 
 struct Args {
     command: String,
@@ -55,6 +58,8 @@ struct Args {
     dry_run: bool,
     width: usize,
     z: f64,
+    addr: String,
+    serve: ServeConfig,
 }
 
 fn usage() -> ! {
@@ -65,7 +70,8 @@ fn usage() -> ! {
          \x20          [--survival] [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
          \x20          [--policy serial|threaded:N|distributed:N]\n\
          \x20          [--queueing off|material|material+energy] [--queue-bins N]\n\
-         \x20          [--fuel-split] [--statepoint FILE] [--resume FILE]"
+         \x20          [--fuel-split] [--statepoint FILE] [--resume FILE]\n\
+         \x20      mcs serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]"
     );
     std::process::exit(2);
 }
@@ -107,6 +113,8 @@ fn parse_args() -> Args {
         dry_run: false,
         width: 80,
         z: 0.0,
+        addr: "127.0.0.1:7171".into(),
+        serve: ServeConfig::default(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -156,6 +164,14 @@ fn parse_args() -> Args {
             }
             "--fuel-split" => args.queueing.fuel_split = true,
             "--plan" => args.plan = Some(value(&mut i)),
+            "--addr" => args.addr = value(&mut i),
+            "--workers" => args.serve.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => {
+                args.serve.queue_cap = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-cap" => {
+                args.serve.cache_cap = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--dry-run" => args.dry_run = true,
             "--width" => args.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--z" => args.z = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -245,12 +261,24 @@ fn cmd_info(args: &Args) {
     );
 }
 
-fn print_report(report: &RunReport, spectrum_path: Option<&str>) {
-    println!(
-        "{:>6} {:>9} {:>10} {:>9} {:>10}",
-        "batch", "kind", "k_track", "entropy", "rate(n/s)"
-    );
-    for b in &report.result.batches {
+/// Streams the per-batch table as batches complete, through the
+/// engine's [`BatchObserver`] seam — the run is visible while it
+/// executes instead of being replayed from the finished report.
+#[derive(Default)]
+struct LiveBatchPrinter {
+    header_printed: bool,
+}
+
+impl BatchObserver for LiveBatchPrinter {
+    fn on_batch(&mut self, progress: BatchProgress<'_>) {
+        if !self.header_printed {
+            self.header_printed = true;
+            println!(
+                "{:>6} {:>9} {:>10} {:>9} {:>10}",
+                "batch", "kind", "k_track", "entropy", "rate(n/s)"
+            );
+        }
+        let b = progress.batch;
         println!(
             "{:>6} {:>9} {:>10.5} {:>9.3} {:>10.0}",
             b.index,
@@ -260,6 +288,17 @@ fn print_report(report: &RunReport, spectrum_path: Option<&str>) {
             b.rate
         );
     }
+
+    fn on_checkpoint(&mut self, statepoint: &Statepoint) {
+        println!(
+            "{:>6} {:>9} checkpoint after batch {}",
+            "", "", statepoint.completed_batches
+        );
+    }
+}
+
+/// Post-run summary (the batch table already streamed live).
+fn print_report(report: &RunReport, spectrum_path: Option<&str>) {
     let result = &report.result;
     println!("\nk-effective = {:.5} ± {:.5}", result.k_mean, result.k_std);
     let t = &result.tallies;
@@ -340,12 +379,20 @@ fn execute_plan(plan: &RunPlan, args: &Args) {
             "resuming from {path} (after batch {})",
             sp.completed_batches
         );
-        let report = engine::resume_with_problem(&problem, plan, policy.as_mut(), &sp);
+        let mut printer = LiveBatchPrinter::default();
+        let report = engine::resume_with_problem_observed(
+            &problem,
+            plan,
+            policy.as_mut(),
+            &sp,
+            &mut printer,
+        );
         print_report(&report, args.spectrum.as_deref());
         return;
     }
 
-    match engine::run_with_problem(&problem, plan, policy.as_mut()) {
+    let mut printer = LiveBatchPrinter::default();
+    match engine::run_with_problem_observed(&problem, plan, policy.as_mut(), &mut printer) {
         RunOutput::Eigenvalue(report) => {
             if let Some(path) = &args.statepoint {
                 report.statepoint.save(path).expect("write statepoint");
@@ -434,6 +481,15 @@ fn cmd_fixed(args: &Args) {
     execute_plan(&plan, args);
 }
 
+/// Long-running plan-execution service (see `mcs::serve`): hash-keyed
+/// result cache, in-flight dedupe, bounded prioritized scheduling.
+fn cmd_serve(args: &Args) {
+    if let Err(e) = mcs::serve::server::serve_forever(args.addr.as_str(), args.serve) {
+        eprintln!("error: cannot serve on {}: {e}", args.addr);
+        std::process::exit(1);
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
@@ -441,6 +497,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "plot" => cmd_plot(&args),
         "fixed" => cmd_fixed(&args),
+        "serve" => cmd_serve(&args),
         _ => usage(),
     }
     ExitCode::SUCCESS

@@ -23,6 +23,7 @@
 //! | [`prof`] | `mcs-prof` | TAU-like instrumentation |
 //! | [`multipole`] | `mcs-multipole` | windowed multipole / RSBench equivalent |
 //! | [`faults`] | `mcs-faults` | seeded fault injection: rank deaths, stragglers, transfer faults |
+//! | [`serve`] | `mcs-serve` | plan-execution service: canonical plan hash, result cache, dedupe, line-protocol TCP server (`mcs serve`) |
 //!
 //! ## Quickstart
 //!
@@ -63,5 +64,6 @@ pub use mcs_geom as geom;
 pub use mcs_multipole as multipole;
 pub use mcs_prof as prof;
 pub use mcs_rng as rng;
+pub use mcs_serve as serve;
 pub use mcs_simd as simd;
 pub use mcs_xs as xs;

@@ -1,0 +1,240 @@
+//! End-to-end tests for `mcs serve` over a real TCP socket.
+//!
+//! These exercise the full stack — client codec, server framing,
+//! scheduler, engine, cache — and pin the service's core contract:
+//! a plan served from cache is `to_bits`-identical to the cold run
+//! and costs zero additional cross-section lookups.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use mcs::core::engine::{self, PolicySpec, RunPlan, Serial};
+use mcs::serve::{Client, Priority, Request, Response, ServeConfig, ServedResult, Server, Source};
+
+fn tiny_plan(salt: u64) -> RunPlan {
+    RunPlan {
+        particles: 64,
+        inactive: 1,
+        active: 2,
+        entropy_mesh: (2, 2, 2),
+        seed: Some(0xe2e_000 + salt),
+        ..RunPlan::default()
+    }
+}
+
+fn test_server(cfg: ServeConfig) -> (Server, Client) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    (server, client)
+}
+
+#[test]
+fn cache_hit_is_bit_identical_and_relookup_free() {
+    let (server, mut client) = test_server(ServeConfig::default());
+    let plan = tiny_plan(1);
+
+    let (src_cold, cold) = client.run(&plan, Priority::Normal).expect("cold run");
+    assert_eq!(src_cold, Source::Run);
+    let lookups_after_cold = client.stats().expect("stats").xs_lookups;
+    assert!(lookups_after_cold > 0, "a cold run performs xs lookups");
+
+    let (src_hit, hit) = client.run(&plan, Priority::Normal).expect("cache hit");
+    assert_eq!(src_hit, Source::Cache);
+    // The acceptance contract: bit-identical payload (ServedResult's
+    // Eq is over float *bit patterns*), and the engine never ran —
+    // the global lookup counter did not move.
+    assert_eq!(cold, hit);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.xs_lookups, lookups_after_cold);
+    assert_eq!(stats.cold_runs, 1);
+    assert_eq!(stats.cache_hits, 1);
+
+    // The served result matches a direct in-process serial run of the
+    // same plan, bit for bit: the service adds no numerical noise.
+    let report = engine::run_with_problem(&plan.build_problem(), &plan, &mut Serial::new())
+        .into_eigenvalue();
+    let local = ServedResult::from_report(mcs::serve::plan_hash(&plan), &report);
+    assert_eq!(*cold, local);
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submissions_run_the_engine_once() {
+    const N: u64 = 8;
+    let plan = tiny_plan(2);
+
+    // Reference cost: one cold run of this exact plan on a fresh
+    // server. Determinism makes the lookup count a stable fingerprint.
+    let (ref_server, mut ref_client) = test_server(ServeConfig::default());
+    ref_client
+        .run(&plan, Priority::Normal)
+        .expect("reference run");
+    let one_run_lookups = ref_client.stats().expect("stats").xs_lookups;
+    ref_server.shutdown();
+
+    // Now N identical submissions pipelined while the workers are
+    // paused, so every one of them is in flight simultaneously.
+    let (server, mut client) = test_server(ServeConfig::default());
+    server.scheduler().pause();
+    let ids: Vec<u64> = (0..N)
+        .map(|_| {
+            client
+                .submit(&plan, Priority::Normal, false)
+                .expect("submit")
+        })
+        .collect();
+    // Stats round-trip as a barrier: it orders this client behind its
+    // own pipelined submit frames, so every submission is in flight
+    // (not still in the reader's parse queue) when the workers resume.
+    client.stats().expect("barrier");
+    server.scheduler().resume();
+
+    let mut results = Vec::new();
+    for id in ids {
+        let (_, result) = client.wait_result(id).expect("result");
+        results.push(result);
+    }
+    for r in &results[1..] {
+        assert_eq!(results[0], *r, "all subscribers receive identical bits");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.cold_runs, 1,
+        "engine executed once for {N} submissions"
+    );
+    assert_eq!(stats.coalesced, N - 1);
+    assert_eq!(
+        stats.xs_lookups, one_run_lookups,
+        "xs lookup delta equals exactly one run"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mixed_policy_submissions_share_one_cache_entry() {
+    let (server, mut client) = test_server(ServeConfig::default());
+    let base = tiny_plan(3);
+    let plans = [
+        RunPlan {
+            policy: PolicySpec::Serial,
+            ..base.clone()
+        },
+        RunPlan {
+            policy: PolicySpec::Threaded { threads: 4 },
+            ..base.clone()
+        },
+        RunPlan {
+            policy: PolicySpec::Distributed { ranks: 3 },
+            ..base
+        },
+    ];
+
+    let mut results = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let (source, result) = client.run(plan, Priority::Normal).expect("run");
+        // The policy is execution advice, not physics: the first
+        // submission runs cold, the rest hit the same cache line.
+        if i == 0 {
+            assert_eq!(source, Source::Run);
+        } else {
+            assert_eq!(source, Source::Cache);
+        }
+        results.push(result);
+    }
+    for r in &results[1..] {
+        assert_eq!(results[0], *r);
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cold_runs, 1);
+    assert_eq!(
+        stats.cache_entries, 1,
+        "three policies, one canonical entry"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn buffered_rejections_do_not_starve_an_earlier_wait() {
+    // Regression test: with the workers paused, overflow submissions
+    // are rejected synchronously, so the socket holds Rejected frames
+    // for *later* ids ahead of the Result for id 0. `wait_result(0)`
+    // must buffer those terminal events once and keep reading fresh
+    // frames — an earlier client looped over its own pending buffer
+    // and spun forever on the first non-matching Rejected.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    };
+    let (server, mut client) = test_server(cfg);
+    server.scheduler().pause();
+    let ids: Vec<u64> = (0..6)
+        .map(|salt| {
+            client
+                .submit(&tiny_plan(10 + salt), Priority::Normal, false)
+                .expect("submit")
+        })
+        .collect();
+    // Barrier before resuming, so the admitted/rejected split is exact
+    // (see concurrent_identical_submissions_run_the_engine_once). The
+    // rejections it reads past land in the client's pending buffer —
+    // exactly the state the original bug spun on.
+    client.stats().expect("barrier");
+    server.scheduler().resume();
+
+    // The client now holds buffered Rejected events for ids 2..6;
+    // waiting on id 0 must skip over them and read fresh frames.
+    let (source, _) = client.wait_result(ids[0]).expect("first admitted result");
+    assert_eq!(source, Source::Run);
+
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    for &id in &ids[1..] {
+        match client.wait_result(id) {
+            Ok(_) => admitted += 1,
+            Err(mcs::serve::ClientError::Rejected(_)) => rejected += 1,
+            Err(e) => panic!("unexpected client error: {e}"),
+        }
+    }
+    assert_eq!(admitted, 1, "queue cap admits exactly two distinct plans");
+    assert_eq!(rejected, 4, "the four overflow submissions are refused");
+    server.shutdown();
+}
+
+#[test]
+fn garbage_frame_gets_typed_error_and_connection_survives() {
+    let (server, _client) = test_server(ServeConfig::default());
+
+    // Raw socket: the Client won't emit malformed frames, so speak the
+    // wire format by hand.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "{{\"op\":\"launch-missiles\"}}").expect("write");
+    writeln!(writer, "this is not even json").expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    for _ in 0..2 {
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        assert!(
+            matches!(Response::parse(line.trim_end()), Ok(Response::Error { .. })),
+            "bad frame answered with a typed error, got: {line}"
+        );
+    }
+
+    // The same connection still serves well-formed requests.
+    writeln!(writer, "{}", Request::Stats.to_line()).expect("write");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(matches!(
+        Response::parse(line.trim_end()),
+        Ok(Response::Stats(_))
+    ));
+    server.shutdown();
+}
