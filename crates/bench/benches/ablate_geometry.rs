@@ -1,0 +1,111 @@
+//! Ablation: nested vs flattened lattice lookup over the model catalog —
+//! model × traversal treatment × bank size.
+//!
+//! Thin driver over `mcs_bench::harness::geometry`: runs the sweep at
+//! `MCS_SCALE` (default 1.0 here — full scale, unlike mcs-check),
+//! re-asserts the structural claims loudly, and writes the
+//! machine-readable summary to `results/BENCH_geometry.json`.
+//!
+//! Claims asserted:
+//!
+//! * every (model, bank) cell produces bit-identical k across both
+//!   traversal treatments (traversal reorders geometry work, never
+//!   results);
+//! * on every model, the flattened treatment visits no more cells than
+//!   the nested one (`find_steps` ratio ≤ 1 — wrapper pass-throughs and
+//!   pre-inlined universe fills only ever remove visits).
+//!
+//! `--test` (cargo test's bench smoke) runs a reduced sweep with the
+//! same assertions and writes no JSON.
+
+use mcs_bench::harness::geometry;
+
+fn assert_claims(r: &geometry::GeometryResult) {
+    assert!(
+        r.treatment_bitwise(),
+        "traversal changed physics: per-batch k bits differ across treatments"
+    );
+    assert!(
+        r.rates_positive(),
+        "non-positive rate in the sweep: timing is broken"
+    );
+    for &m in geometry::MODELS.iter() {
+        let ratio = r.flatten_step_ratio(m);
+        assert!(
+            ratio <= 1.0,
+            "flattened traversal visited more cells than nested on {m} (ratio {ratio:.3})"
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+
+    if quick {
+        // Smoke run under `cargo test`: tiny banks, full assertion set,
+        // no JSON and no timing claims.
+        let r = geometry::run(0.05, false);
+        assert_claims(&r);
+        println!("ablate_geometry: ok (test mode)");
+        return;
+    }
+
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let r = geometry::run(scale, true);
+    assert_claims(&r);
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"model\": \"{}\", \"treatment\": \"{}\", \"bank\": {}, \
+                 \"particles_per_second\": {:.1}, \"finds\": {}, \"find_steps\": {}, \
+                 \"surface_tests\": {}, \"boundary_calls\": {}, \
+                 \"find_steps_per_particle\": {:.4}, \"k_track_bits\": \"{:016x}\"}}",
+                s.model,
+                s.treatment.name(),
+                s.bank,
+                s.particles_per_s,
+                s.finds,
+                s.find_steps,
+                s.surface_tests,
+                s.boundary_calls,
+                s.find_steps_per_particle(),
+                s.k_bits
+            )
+        })
+        .collect();
+    let ratios: Vec<String> = geometry::MODELS
+        .iter()
+        .map(|&m| format!("    \"{m}\": {:.6}", r.flatten_step_ratio(m)))
+        .collect();
+    let counters: Vec<String> = r
+        .counters
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"geometry\",\n  \"mcs_scale\": {scale},\n  \
+         \"treatment_bitwise\": {},\n  \"flatten_step_ratios\": {{\n{}\n  }},\n  \
+         \"flattened_counters\": {{\n{}\n  }},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        r.treatment_bitwise(),
+        ratios.join(",\n"),
+        counters.join(",\n"),
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_geometry.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

@@ -1,0 +1,268 @@
+//! Geometry ablation: nested vs flattened lattice lookup over the model
+//! catalog — model × traversal treatment × bank size.
+//!
+//! The traversal seam ([`mcs_geom::GeomTraversal`]) offers two
+//! treatments of the same CSG tree: `nested` walks the pin → assembly →
+//! core universe hierarchy on every query (the classic recursive
+//! search); `flattened` pre-inlines universe indirections into per-level
+//! cell lists and skips wrapper universes entirely. The treatments are
+//! **bitwise-equivalent by contract** — same cells, bit-identical
+//! boundary distances — so the only things that may move are throughput
+//! and the traversal-work counters:
+//!
+//! * **rate** — MEASURED particles/s through one history batch;
+//! * **`geom.find_steps`** — cells visited per `find`; the flattened
+//!   treatment exists to shrink this (wrapper universes become
+//!   pass-throughs, universe fills are pre-inlined);
+//! * **`geom.surface_tests`** — half-space evaluations, the unit of
+//!   actual floating-point geometry work.
+//!
+//! The bitwise contract is re-verified across the sweep: each
+//! (model, bank) cell must produce one identical per-batch k bit
+//! pattern across both treatments (`GM.treatment_bitwise`).
+
+use mcs_core::catalog;
+use mcs_core::engine::{transport_batch, BatchRequest, ModelSpec, Threaded};
+use mcs_core::history::batch_streams;
+use mcs_core::problem::Problem;
+use mcs_geom::TraversalKind;
+
+use super::{vprintln, Artifact};
+use crate::{header_with_scale, scaled_by, time_it};
+
+/// Catalog entries the sweep covers: the unit-scale entry plus the two
+/// new scenario shapes. (`small`/`large` share their geometry with the
+/// historic figures; re-timing them here buys nothing.)
+pub const MODELS: [&str; 3] = ["test", "smr", "shield"];
+
+/// One model × treatment × bank-size sample.
+#[derive(Debug, Clone)]
+pub struct GeometryRow {
+    /// Catalog model name.
+    pub model: &'static str,
+    /// Traversal treatment.
+    pub treatment: TraversalKind,
+    /// Bank size (scaled).
+    pub bank: usize,
+    /// MEASURED history-batch throughput (particles/s).
+    pub particles_per_s: f64,
+    /// `geom.finds` over the batch (deterministic).
+    pub finds: u64,
+    /// `geom.find_steps`: cells visited across all finds (deterministic).
+    pub find_steps: u64,
+    /// `geom.surface_tests`: half-space evaluations (deterministic).
+    pub surface_tests: u64,
+    /// `geom.boundary_calls` over the batch (deterministic).
+    pub boundary_calls: u64,
+    /// Bit pattern of the batch's track-length k (determinism anchor).
+    pub k_bits: u64,
+}
+
+impl GeometryRow {
+    /// Cells visited per transported particle — the paper-shape metric.
+    pub fn find_steps_per_particle(&self) -> f64 {
+        self.find_steps as f64 / self.bank as f64
+    }
+}
+
+/// Typed result of the geometry harness.
+#[derive(Debug, Clone)]
+pub struct GeometryResult {
+    /// Rows in (model, bank, treatment) order.
+    pub rows: Vec<GeometryRow>,
+    /// `geom.*` counters of the flattened run of the last model at the
+    /// largest bank, as exported by `GeomTraversal::export_counters`.
+    pub counters: Vec<(String, u64)>,
+    /// The `BENCH_geometry` CSV.
+    pub artifact: Artifact,
+}
+
+impl GeometryResult {
+    /// True iff every (model, bank) cell produced identical k bits
+    /// across both traversal treatments.
+    pub fn treatment_bitwise(&self) -> bool {
+        let mut by_cell: Vec<(&str, usize, u64)> = Vec::new();
+        for r in &self.rows {
+            match by_cell
+                .iter()
+                .find(|(m, b, _)| *m == r.model && *b == r.bank)
+            {
+                Some(&(_, _, bits)) => {
+                    if bits != r.k_bits {
+                        return false;
+                    }
+                }
+                None => by_cell.push((r.model, r.bank, r.k_bits)),
+            }
+        }
+        true
+    }
+
+    /// True iff every configuration reported a positive, finite rate.
+    pub fn rates_positive(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.particles_per_s > 0.0 && r.particles_per_s.is_finite())
+    }
+
+    /// Summed `find_steps`, flattened over nested, for one model — the
+    /// structural claim is that this is `< 1` everywhere (the flattened
+    /// treatment never visits *more* cells).
+    pub fn flatten_step_ratio(&self, model: &str) -> f64 {
+        let steps = |t: TraversalKind| -> u64 {
+            self.rows
+                .iter()
+                .filter(|r| r.model == model && r.treatment == t)
+                .map(|r| r.find_steps)
+                .sum()
+        };
+        steps(TraversalKind::Flattened) as f64 / steps(TraversalKind::Nested).max(1) as f64
+    }
+
+    /// The per-model k bit patterns at the largest bank (model, bits) —
+    /// the eigenvalue anchors mcs-check bands against.
+    pub fn k_by_model(&self) -> Vec<(&'static str, f64)> {
+        MODELS
+            .iter()
+            .map(|&m| {
+                let r = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.model == m)
+                    .max_by_key(|r| r.bank)
+                    .expect("model present in sweep");
+                (m, f64::from_bits(r.k_bits))
+            })
+            .collect()
+    }
+}
+
+fn sample(problem: &Problem, model: &'static str, bank: usize) -> GeometryRow {
+    let sources = problem.sample_initial_source(bank, 0);
+    let streams = batch_streams(problem.seed, 0, bank);
+    let req = BatchRequest::default();
+    problem.traversal.reset_counters();
+    let (out, secs) =
+        time_it(|| transport_batch(problem, &sources, &streams, &req, &mut Threaded::ambient()));
+    let mut c = mcs_prof::Counters::new();
+    problem.traversal.export_counters(&mut c);
+    GeometryRow {
+        model,
+        treatment: problem.traversal.kind(),
+        bank,
+        particles_per_s: bank as f64 / secs.max(1e-12),
+        finds: c.get("geom.finds"),
+        find_steps: c.get("geom.find_steps"),
+        surface_tests: c.get("geom.surface_tests"),
+        boundary_calls: c.get("geom.boundary_calls"),
+        k_bits: out.outcome.tallies.k_track_estimate().to_bits(),
+    }
+}
+
+/// Run the model × treatment × bank-size sweep at `scale`.
+pub fn run(scale: f64, verbose: bool) -> GeometryResult {
+    if verbose {
+        header_with_scale(
+            "BENCH geometry",
+            "Model-catalog traversal ablation: nested vs flattened lattice lookup",
+            scale,
+        );
+    }
+    let banks = [
+        scaled_by(2_000, scale).max(400),
+        scaled_by(10_000, scale).max(800),
+    ];
+
+    vprintln!(
+        verbose,
+        "{:>8} {:>10} {:>8} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "model",
+        "treatment",
+        "bank",
+        "particles/s",
+        "find_steps",
+        "surface_tests",
+        "steps/part",
+        "k"
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for &model in MODELS.iter() {
+        for &bank in &banks {
+            for treatment in TraversalKind::ALL {
+                let problem = catalog::build(&ModelSpec::named(model), treatment)
+                    .expect("catalog model builds");
+                let row = sample(&problem, model, bank);
+                if treatment == TraversalKind::Flattened && bank == banks[banks.len() - 1] {
+                    let mut c = mcs_prof::Counters::new();
+                    problem.traversal.export_counters(&mut c);
+                    counters = c.iter().map(|(k, v)| (k.to_string(), v)).collect();
+                }
+                vprintln!(
+                    verbose,
+                    "{:>8} {:>10} {:>8} {:>12.0} {:>12} {:>14} {:>12.2} {:>10.6}",
+                    row.model,
+                    row.treatment.name(),
+                    row.bank,
+                    row.particles_per_s,
+                    row.find_steps,
+                    row.surface_tests,
+                    row.find_steps_per_particle(),
+                    f64::from_bits(row.k_bits)
+                );
+                csv_rows.push(vec![
+                    row.model.to_string(),
+                    row.treatment.name().to_string(),
+                    row.bank.to_string(),
+                    format!("{:.1}", row.particles_per_s),
+                    row.finds.to_string(),
+                    row.find_steps.to_string(),
+                    row.surface_tests.to_string(),
+                    row.boundary_calls.to_string(),
+                    format!("{:.4}", row.find_steps_per_particle()),
+                    format!("{:.9e}", f64::from_bits(row.k_bits)),
+                ]);
+                rows.push(row);
+            }
+        }
+    }
+
+    let result = GeometryResult {
+        rows,
+        counters,
+        artifact: Artifact {
+            name: "BENCH_geometry",
+            columns: vec![
+                "model",
+                "treatment",
+                "bank_size",
+                "particles_measured_per_s",
+                "finds",
+                "find_steps",
+                "surface_tests",
+                "boundary_calls",
+                "find_steps_per_particle",
+                "k_track",
+            ],
+            rows: csv_rows,
+        },
+    };
+    if verbose {
+        println!(
+            "\nk bit-identical across treatments: {}",
+            if result.treatment_bitwise() {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        for &m in MODELS.iter() {
+            println!(
+                "{m}: flattened/nested find_steps ratio {:.3}",
+                result.flatten_step_ratio(m)
+            );
+        }
+    }
+    result
+}

@@ -29,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod futurework;
+pub mod geometry;
 pub mod grid_backend;
 pub mod serve_load;
 pub mod table1;

@@ -274,6 +274,11 @@ pub fn ingest(results_dir: &Path) -> Result<Ingested, TrendError> {
                 ingested_bench = true;
                 out.sources.push(label);
             }
+            "geometry" => {
+                ingest_geometry(doc, path, &mut out)?;
+                ingested_bench = true;
+                out.sources.push(label);
+            }
             other => {
                 skipped.push(format!("{label} (unknown bench tag {other:?})"));
             }
@@ -347,6 +352,28 @@ fn ingest_ep(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), Tre
         let threads = uint(s, path, "threads")?;
         let rate = num(s, path, "particles_per_second")?;
         out.rates.insert(format!("ep.t{threads}.b{bank}"), rate);
+    }
+    Ok(())
+}
+
+fn ingest_geometry(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let model = string(s, path, "model")?;
+        let treatment = string(s, path, "treatment")?;
+        let bank = uint(s, path, "bank")?;
+        let key = format!("geom.{model}.{treatment}.b{bank}");
+        // Throughput is measured; the traversal work counters are
+        // deterministic at fixed scale and ride the hard counter gate.
+        out.rates
+            .insert(key.clone(), num(s, path, "particles_per_second")?);
+        out.counters
+            .insert(format!("{key}.finds"), uint(s, path, "finds")?);
+        out.counters
+            .insert(format!("{key}.find_steps"), uint(s, path, "find_steps")?);
+        out.counters.insert(
+            format!("{key}.surface_tests"),
+            uint(s, path, "surface_tests")?,
+        );
     }
     Ok(())
 }

@@ -15,8 +15,8 @@
 
 use crate::report::{check, check_warn, Band, CheckOutcome};
 use mcs_bench::harness::{
-    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
-    serve_load, table1, table2, table3,
+    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, geometry,
+    grid_backend, serve_load, table1, table2, table3,
 };
 use mcs_core::engine::{self, Algorithm, RunPlan, Threaded};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
@@ -536,6 +536,74 @@ pub fn check_event_queueing(r: &event_queueing::EventQueueingResult) -> Vec<Chec
             Band::Holds,
         ),
     ]
+}
+
+/// `BENCH_geometry` — the model-catalog traversal ablation: the
+/// flattened/nested bitwise contract, per-model k-eff plausibility
+/// bands, and the flattening payoff.
+///
+/// The k bands are wide on purpose: a single-batch k_track at the
+/// sweep's bank size moves with `MCS_SCALE`, so the band must admit
+/// both the CI scale and full scale. The *bitwise* agreement across
+/// treatments is the sharp check; the bands only catch a model whose
+/// physics went off the rails (an absorber that stopped absorbing, a
+/// zoning that doubled the fissile inventory).
+pub fn check_geometry(r: &geometry::GeometryResult) -> Vec<CheckOutcome> {
+    let mut out = vec![
+        check(
+            "GM.treatment_bitwise",
+            "geometry",
+            "per-batch k-eff is bit-identical between flattened and nested traversal on every model",
+            holds(r.treatment_bitwise()),
+            Band::Holds,
+        ),
+        check(
+            "GM.rates_positive",
+            "geometry",
+            "every model x treatment x bank sample produced a positive particle rate",
+            holds(r.rates_positive()),
+            Band::Holds,
+        ),
+        check(
+            "GM.flatten_no_more_steps",
+            "geometry",
+            "find_steps, flattened over nested, worst model (<= 1 = flattening never adds visits)",
+            geometry::MODELS
+                .iter()
+                .map(|&m| r.flatten_step_ratio(m))
+                .fold(0.0, f64::max),
+            Band::AtMost(1.0),
+        ),
+    ];
+    for (model, k) in r.k_by_model() {
+        let (lo, hi) = match model {
+            // Single unreflected assembly, tiny 7-nuclide library:
+            // leakage-dominated, deeply subcritical on a batch-0
+            // uniform source (observed ~0.51-0.55 across banks).
+            "test" => (0.3, 0.8),
+            // 37-assembly SMR with a rodded centre: near critical
+            // (observed ~1.08).
+            "smr" => (0.8, 1.3),
+            // One assembly mid-tank: the deep water reflector returns
+            // thermalized neutrons, so the assembly itself runs
+            // slightly supercritical (observed ~1.09-1.11).
+            "shield" => (0.8, 1.35),
+            _ => (0.1, 2.0),
+        };
+        out.push(check(
+            match model {
+                "test" => "GM.keff_test",
+                "smr" => "GM.keff_smr",
+                "shield" => "GM.keff_shield",
+                _ => "GM.keff_other",
+            },
+            "geometry",
+            "largest-bank single-batch k_track sits in the model's plausibility band",
+            k,
+            Band::Range { lo, hi },
+        ));
+    }
+    out
 }
 
 /// `BENCH_serve` — the plan-execution service under load: the cache's

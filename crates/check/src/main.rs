@@ -14,8 +14,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mcs_bench::harness::{
-    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, grid_backend,
-    serve_load, table1, table2, table3, Artifact,
+    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, geometry,
+    grid_backend, serve_load, table1, table2, table3, Artifact,
 };
 use mcs_check::invariants as inv;
 use mcs_check::{golden, CheckReport, GoldenOutcome};
@@ -130,6 +130,13 @@ fn main() {
         let r = event_queueing::run(scale, verbose);
         rep.invariants.extend(inv::check_event_queueing(&r));
         rep.counters = r.counters.clone();
+        arts.push(r.artifact);
+    });
+    step("geometry", &mut |rep, arts| {
+        let r = geometry::run(scale, verbose);
+        rep.invariants.extend(inv::check_geometry(&r));
+        // geom.* traversal counters ride alongside the xs.* set.
+        rep.counters.extend(r.counters.clone());
         arts.push(r.artifact);
     });
     step("serve", &mut |rep, arts| {

@@ -1,0 +1,230 @@
+//! The model catalog: named problem scenarios with parameter overrides.
+//!
+//! A [`ModelSpec`] names a catalog entry and
+//! optionally overrides a few [`CoreSpec`] parameters; this module maps
+//! the spec to a [`ProblemConfig`] + nuclide library and assembles the
+//! [`Problem`]. Five entries exist:
+//!
+//! | name     | library    | geometry                                   |
+//! |----------|------------|--------------------------------------------|
+//! | `test`   | tiny (7)   | HM single assembly, short axial extent     |
+//! | `small`  | HM small   | HM full core, 34 fuel nuclides             |
+//! | `large`  | HM large   | HM full core, 320 fuel nuclides            |
+//! | `smr`    | HM small   | ExaSMR-style 37-assembly core, 3 zones,    |
+//! |          |            | rodded centre                              |
+//! | `shield` | tiny (7)   | one assembly in a 5×5 water tank           |
+//!
+//! `test`, `small`, and `large` are the historic `ModelRef` scenarios:
+//! they build **bit-identically** to the pre-catalog problems (same
+//! library spec, same geometry construction, same materials), so every
+//! golden result carries over unchanged.
+
+use mcs_geom::{CoreSpec, TraversalKind};
+use mcs_xs::LibrarySpec;
+
+use crate::engine::ModelSpec;
+use crate::problem::{Problem, ProblemConfig};
+
+/// Names of all catalog entries, in presentation order.
+pub const NAMES: [&str; 5] = ["test", "small", "large", "smr", "shield"];
+
+/// One-line description per entry, parallel to [`NAMES`].
+pub const DESCRIPTIONS: [&str; 5] = [
+    "single HM assembly, tiny 7-nuclide library (unit-test scale)",
+    "Hoogenboom-Martin full core, 34 fuel nuclides",
+    "Hoogenboom-Martin full core, 320 fuel nuclides (the paper's benchmark)",
+    "ExaSMR-style SMR: 37 assemblies, 3 enrichment zones, rodded centre",
+    "shielding variant: one assembly in a 5x5 deep-water tank",
+];
+
+/// Is `name` a catalog entry?
+pub fn is_known(name: &str) -> bool {
+    NAMES.contains(&name)
+}
+
+/// The comma-separated entry list (for error messages and usage text).
+pub fn names_joined() -> String {
+    NAMES.join(", ")
+}
+
+/// The nuclide library a catalog entry loads (before grid-density and
+/// temperature adjustments from the [`ProblemConfig`]).
+pub fn library_for(name: &str) -> Result<LibrarySpec, String> {
+    match name {
+        "test" | "shield" => Ok(LibrarySpec::tiny()),
+        "small" | "smr" => Ok(LibrarySpec::hm_small()),
+        "large" => Ok(LibrarySpec::hm_large()),
+        other => Err(unknown_model(other)),
+    }
+}
+
+/// The standard "no such model" message, naming the valid entries.
+pub fn unknown_model(name: &str) -> String {
+    format!(
+        "unknown model \"{name}\" (valid catalog entries: {})",
+        names_joined()
+    )
+}
+
+/// Resolve a [`ModelSpec`] to the problem configuration it describes
+/// (catalog baseline + overrides applied). Cheap — does not build the
+/// nuclide library.
+pub fn config_for(spec: &ModelSpec) -> Result<ProblemConfig, String> {
+    let mut cfg = match spec.name.as_str() {
+        "test" => ProblemConfig::test_scale(),
+        "small" | "large" => ProblemConfig::default(),
+        "smr" => ProblemConfig {
+            core: CoreSpec::smr(),
+            ..ProblemConfig::default()
+        },
+        "shield" => ProblemConfig {
+            grid_density: 0.25,
+            core: CoreSpec::shield(),
+            ..ProblemConfig::default()
+        },
+        other => return Err(unknown_model(other)),
+    };
+    let o = &spec.overrides;
+    if let Some(n) = o.assemblies {
+        if n == 0 {
+            return Err("model override `assemblies` must be at least 1".into());
+        }
+        let cap = cfg.core.core_lattice_n * cfg.core.core_lattice_n;
+        if n > cap {
+            return Err(format!(
+                "model override `assemblies = {n}` exceeds the {cap}-position core lattice"
+            ));
+        }
+        cfg.core.n_assemblies = n;
+    }
+    if let Some(e) = o.enrichment {
+        if !(e.is_finite() && e > 0.0) {
+            return Err(format!(
+                "model override `enrichment = {e}` must be a positive finite multiplier"
+            ));
+        }
+        for z in &mut cfg.core.enrichment_zones {
+            *z *= e;
+        }
+    }
+    if let Some(r) = o.rods {
+        cfg.core.rods = r;
+    }
+    if let Some(h) = o.half_height {
+        if !(h.is_finite() && h > 0.0) {
+            return Err(format!(
+                "model override `half_height = {h}` must be a positive length (cm)"
+            ));
+        }
+        cfg.core.half_height = h;
+    }
+    if cfg.core.n_materials() > 8 {
+        return Err(format!(
+            "model \"{}\" with overrides needs {} materials; the tally arrays hold 8",
+            spec.name,
+            cfg.core.n_materials()
+        ));
+    }
+    Ok(cfg)
+}
+
+/// Build the problem a [`ModelSpec`] describes under the given traversal
+/// treatment. The config is validated by [`config_for`]; library contexts
+/// are shared through the process-wide cache, so repeated builds of the
+/// same entry are cheap.
+pub fn build(spec: &ModelSpec, traversal: TraversalKind) -> Result<Problem, String> {
+    let mut cfg = config_for(spec)?;
+    cfg.traversal = traversal;
+    let lib_spec = library_for(&spec.name)?
+        .with_grid_density(cfg.grid_density)
+        .with_fuel_temperature(cfg.fuel_temperature_k);
+    Ok(Problem::from_config(
+        mcs_xs::cache::context_for_spec(&lib_spec, cfg.grid_backend),
+        &cfg,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ModelOverrides;
+
+    #[test]
+    fn every_entry_has_a_config_and_library() {
+        for name in NAMES {
+            let spec = ModelSpec::named(name);
+            assert!(config_for(&spec).is_ok(), "{name}");
+            assert!(library_for(name).is_ok(), "{name}");
+        }
+        assert_eq!(NAMES.len(), DESCRIPTIONS.len());
+    }
+
+    #[test]
+    fn unknown_entry_names_the_catalog() {
+        let e = config_for(&ModelSpec::named("warp-core")).unwrap_err();
+        assert!(e.contains("warp-core"));
+        for name in NAMES {
+            assert!(e.contains(name), "error should list {name}: {e}");
+        }
+    }
+
+    #[test]
+    fn overrides_reshape_the_core() {
+        let spec = ModelSpec {
+            name: "shield".into(),
+            overrides: ModelOverrides {
+                assemblies: Some(5),
+                enrichment: Some(1.5),
+                rods: Some(mcs_geom::RodPattern::Checkerboard),
+                half_height: Some(60.0),
+            },
+        };
+        let cfg = config_for(&spec).expect("valid overrides");
+        assert_eq!(cfg.core.n_assemblies, 5);
+        assert_eq!(cfg.core.enrichment_zones, vec![1.5]);
+        assert_eq!(cfg.core.rods, mcs_geom::RodPattern::Checkerboard);
+        assert_eq!(cfg.core.half_height, 60.0);
+    }
+
+    #[test]
+    fn bad_overrides_are_rejected() {
+        let bad = |o: ModelOverrides| {
+            config_for(&ModelSpec {
+                name: "test".into(),
+                overrides: o,
+            })
+            .unwrap_err()
+        };
+        assert!(bad(ModelOverrides {
+            assemblies: Some(0),
+            ..Default::default()
+        })
+        .contains("assemblies"));
+        assert!(bad(ModelOverrides {
+            assemblies: Some(999),
+            ..Default::default()
+        })
+        .contains("exceeds"));
+        assert!(bad(ModelOverrides {
+            enrichment: Some(-1.0),
+            ..Default::default()
+        })
+        .contains("enrichment"));
+        assert!(bad(ModelOverrides {
+            half_height: Some(0.0),
+            ..Default::default()
+        })
+        .contains("half_height"));
+    }
+
+    #[test]
+    fn test_entry_matches_the_historic_test_problem() {
+        // The catalog path and the historic constructor must agree on
+        // every config field that feeds the build.
+        let cfg = config_for(&ModelSpec::test()).unwrap();
+        let legacy = ProblemConfig::test_scale();
+        assert_eq!(cfg.grid_density, legacy.grid_density);
+        assert_eq!(cfg.core, legacy.core);
+        assert_eq!(cfg.seed, legacy.seed);
+    }
+}

@@ -25,7 +25,7 @@
 pub mod plan;
 pub mod policy;
 
-pub use plan::{Algorithm, ModelRef, PolicySpec, RunMode, RunPlan};
+pub use plan::{Algorithm, ModelOverrides, ModelSpec, PlanError, PolicySpec, RunMode, RunPlan};
 pub use policy::{BatchContext, BatchOutput, ExecutionPolicy, Halt, Serial, Threaded};
 
 use std::time::{Duration, Instant};

@@ -7,31 +7,137 @@
 //! TOML subset ([`RunPlan::to_toml`] / [`RunPlan::from_toml`]) so they
 //! can be stored on disk and replayed bit-identically (`mcs run --plan`).
 
+use std::fmt;
+
+use mcs_geom::{RodPattern, TraversalKind};
+
+use crate::catalog;
 use crate::physics::AbsorptionTreatment;
-use crate::problem::{HmModel, Problem, ProblemConfig};
+use crate::problem::{Problem, ProblemConfig};
 use crate::queueing::{QueueingConfig, QueueingMode};
 
-/// Which problem geometry/library to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ModelRef {
-    /// The tiny single-assembly unit-test problem ([`Problem::test_small`]).
-    Test,
-    /// Hoogenboom–Martin small (34 nuclides).
-    Small,
-    /// Hoogenboom–Martin large (~300 nuclides, the paper's benchmark).
-    Large,
+/// Which problem to build: a catalog entry name plus optional parameter
+/// overrides (the open replacement for the old closed `ModelRef` enum).
+///
+/// The name is validated against [`crate::catalog::NAMES`] when a plan is
+/// parsed; specs constructed programmatically with an unknown name panic
+/// at [`RunPlan::build_problem`] time with the same catalog listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Catalog entry name (`test`, `small`, `large`, `smr`, `shield`).
+    pub name: String,
+    /// Parameter overrides applied on top of the entry's baseline.
+    pub overrides: ModelOverrides,
 }
 
-impl ModelRef {
-    /// The plan-file keyword for this model.
-    pub fn keyword(self) -> &'static str {
+/// Optional per-plan overrides of a catalog entry's [`mcs_geom::CoreSpec`]
+/// parameters. `None` everywhere (the default) leaves the entry exactly
+/// as catalogued — and serializes to nothing, so plans without overrides
+/// keep their historic TOML text and plan hash.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelOverrides {
+    /// Occupied assembly positions in the core lattice.
+    pub assemblies: Option<usize>,
+    /// Multiplier applied to every enrichment zone.
+    pub enrichment: Option<f64>,
+    /// Control-rod insertion pattern.
+    pub rods: Option<RodPattern>,
+    /// Axial half-height of the active core (cm).
+    pub half_height: Option<f64>,
+}
+
+impl ModelOverrides {
+    /// True when no override is set.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        Self::test()
+    }
+}
+
+impl ModelSpec {
+    /// A spec for catalog entry `name` with no overrides.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            overrides: ModelOverrides::default(),
+        }
+    }
+
+    /// The tiny single-assembly unit-test problem.
+    pub fn test() -> Self {
+        Self::named("test")
+    }
+
+    /// Hoogenboom–Martin small (34 nuclides).
+    pub fn small() -> Self {
+        Self::named("small")
+    }
+
+    /// Hoogenboom–Martin large (~300 nuclides, the paper's benchmark).
+    pub fn large() -> Self {
+        Self::named("large")
+    }
+
+    /// The plan-file keyword (catalog entry name).
+    pub fn keyword(&self) -> &str {
+        &self.name
+    }
+
+    /// Canonical one-line rendering of name + overrides. Injective over
+    /// distinct specs, so it is safe key material for problem caches.
+    pub fn spec_string(&self) -> String {
+        let mut s = self.name.clone();
+        let o = &self.overrides;
+        if let Some(n) = o.assemblies {
+            s.push_str(&format!(";assemblies={n}"));
+        }
+        if let Some(e) = o.enrichment {
+            s.push_str(&format!(";enrichment={e}"));
+        }
+        if let Some(r) = o.rods {
+            s.push_str(&format!(";rods={}", r.name()));
+        }
+        if let Some(h) = o.half_height {
+            s.push_str(&format!(";half_height={h}"));
+        }
+        s
+    }
+}
+
+/// A typed plan-parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan names a model that is not a catalog entry.
+    UnknownModel {
+        /// The name the plan asked for.
+        name: String,
+    },
+    /// Any other syntax or validation error, with a 1-based line number
+    /// where one is known.
+    Parse {
+        /// Line the error was detected on (`None` for whole-plan checks).
+        line: Option<usize>,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelRef::Test => "test",
-            ModelRef::Small => "small",
-            ModelRef::Large => "large",
+            PlanError::UnknownModel { name } => write!(f, "{}", catalog::unknown_model(name)),
+            PlanError::Parse { line: Some(l), msg } => write!(f, "plan line {l}: {msg}"),
+            PlanError::Parse { line: None, msg } => write!(f, "{msg}"),
         }
     }
 }
+
+impl std::error::Error for PlanError {}
 
 /// Which transport algorithm executes each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,8 +218,13 @@ impl PolicySpec {
 /// run matrix is one declarative value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunPlan {
-    /// Problem to build.
-    pub model: ModelRef,
+    /// Problem to build: catalog entry + overrides.
+    pub model: ModelSpec,
+    /// Geometry-lookup treatment (flattened cell lists vs nested
+    /// universe search). Any setting is bitwise-equivalent; this is a
+    /// pure traversal-work knob, but it is kept in the plan hash because
+    /// it changes the instrumentation profile of a run.
+    pub traversal: TraversalKind,
     /// Transport algorithm for every batch.
     pub algorithm: Algorithm,
     /// Eigenvalue or fixed-source.
@@ -150,7 +261,8 @@ pub struct RunPlan {
 impl Default for RunPlan {
     fn default() -> Self {
         RunPlan {
-            model: ModelRef::Test,
+            model: ModelSpec::test(),
+            traversal: TraversalKind::default(),
             algorithm: Algorithm::History,
             mode: RunMode::Eigenvalue,
             particles: 2000,
@@ -177,11 +289,13 @@ impl RunPlan {
 
     /// The problem configuration this plan's model resolves to (before
     /// the seed override). Cheap — does not build the nuclide library.
+    ///
+    /// # Panics
+    /// If the model spec is invalid (unknown entry or bad overrides) —
+    /// impossible for plans that came through [`RunPlan::from_toml`],
+    /// which validates the spec.
     pub fn default_config(&self) -> ProblemConfig {
-        match self.model {
-            ModelRef::Test => ProblemConfig::test_scale(),
-            ModelRef::Small | ModelRef::Large => ProblemConfig::default(),
-        }
+        catalog::config_for(&self.model).unwrap_or_else(|e| panic!("invalid model spec: {e}"))
     }
 
     /// The master seed the run will actually use.
@@ -191,12 +305,12 @@ impl RunPlan {
 
     /// Build the problem this plan describes, applying the survival
     /// treatment and seed override.
+    ///
+    /// # Panics
+    /// If the model spec is invalid (see [`RunPlan::default_config`]).
     pub fn build_problem(&self) -> Problem {
-        let mut problem = match self.model {
-            ModelRef::Test => Problem::test_small(),
-            ModelRef::Small => Problem::hm(HmModel::Small, &ProblemConfig::default()),
-            ModelRef::Large => Problem::hm(HmModel::Large, &ProblemConfig::default()),
-        };
+        let mut problem = catalog::build(&self.model, self.traversal)
+            .unwrap_or_else(|e| panic!("invalid model spec: {e}"));
         if self.survival {
             problem.treatment = AbsorptionTreatment::survival_default();
         }
@@ -210,7 +324,8 @@ impl RunPlan {
     /// --dry-run` prints).
     pub fn describe(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("model:            {}\n", self.model.keyword()));
+        s.push_str(&format!("model:            {}\n", self.model.spec_string()));
+        s.push_str(&format!("traversal:        {}\n", self.traversal.name()));
         s.push_str(&format!("algorithm:        {}\n", self.algorithm.keyword()));
         s.push_str(&format!("mode:             {}\n", self.mode.keyword()));
         s.push_str(&format!("policy:           {}\n", self.policy.describe()));
@@ -304,6 +419,27 @@ impl RunPlan {
             "queueing_fuel_split = {}\n",
             self.queueing.fuel_split
         ));
+        // Emitted only off-default so plans without the new knobs keep
+        // their historic TOML text (and therefore their plan hash).
+        if self.traversal != TraversalKind::default() {
+            s.push_str(&format!("traversal = \"{}\"\n", self.traversal.name()));
+        }
+        if !self.model.overrides.is_default() {
+            let o = &self.model.overrides;
+            s.push_str("\n[model]\n");
+            if let Some(n) = o.assemblies {
+                s.push_str(&format!("assemblies = {n}\n"));
+            }
+            if let Some(e) = o.enrichment {
+                s.push_str(&format!("enrichment = {e}\n"));
+            }
+            if let Some(r) = o.rods {
+                s.push_str(&format!("rods = \"{}\"\n", r.name()));
+            }
+            if let Some(h) = o.half_height {
+                s.push_str(&format!("half_height = {h}\n"));
+            }
+        }
         s.push_str("\n[policy]\n");
         match self.policy {
             PolicySpec::Serial => s.push_str("kind = \"serial\"\n"),
@@ -320,10 +456,14 @@ impl RunPlan {
     }
 
     /// Parse a plan from the TOML subset emitted by
-    /// [`RunPlan::to_toml`]: `[plan]` / `[policy]` tables with
-    /// `key = value` pairs (integers, booleans, quoted strings, and
-    /// 3-element integer arrays), `#` comments.
-    pub fn from_toml(text: &str) -> Result<RunPlan, String> {
+    /// [`RunPlan::to_toml`]: `[plan]` / `[model]` / `[policy]` tables
+    /// with `key = value` pairs (integers, floats, booleans, quoted
+    /// strings, and 3-element integer arrays), `#` comments.
+    ///
+    /// The model name is validated against the catalog here: an unknown
+    /// name is a typed [`PlanError::UnknownModel`] whose message names
+    /// the valid entries, never a silent default.
+    pub fn from_toml(text: &str) -> Result<RunPlan, PlanError> {
         let mut plan = RunPlan::default();
         let mut policy_kind: Option<String> = None;
         let mut policy_threads: Option<usize> = None;
@@ -334,12 +474,15 @@ impl RunPlan {
             if line.is_empty() {
                 continue;
             }
-            let err = |msg: &str| format!("plan line {}: {}", lineno + 1, msg);
+            let err = |msg: &str| PlanError::Parse {
+                line: Some(lineno + 1),
+                msg: msg.to_string(),
+            };
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if section != "plan" && section != "policy" {
+                if section != "plan" && section != "model" && section != "policy" {
                     return Err(err(&format!(
-                        "unknown section [{section}] (expected [plan] or [policy])"
+                        "unknown section [{section}] (expected [plan], [model], or [policy])"
                     )));
                 }
                 continue;
@@ -351,12 +494,40 @@ impl RunPlan {
             let value = Value::parse(value.trim()).map_err(|e| err(&e))?;
             match (section.as_str(), key) {
                 ("plan", "model") => {
-                    plan.model = match value.as_str().map_err(|e| err(&e))? {
-                        "test" => ModelRef::Test,
-                        "small" => ModelRef::Small,
-                        "large" => ModelRef::Large,
-                        other => return Err(err(&format!("unknown model \"{other}\""))),
+                    let name = value.as_str().map_err(|e| err(&e))?;
+                    if !catalog::is_known(name) {
+                        return Err(PlanError::UnknownModel {
+                            name: name.to_string(),
+                        });
                     }
+                    plan.model.name = name.to_string();
+                }
+                ("plan", "traversal") => {
+                    let name = value.as_str().map_err(|e| err(&e))?;
+                    plan.traversal = TraversalKind::from_name(name).ok_or_else(|| {
+                        err(&format!(
+                            "unknown traversal \"{name}\" (expected flattened | nested)"
+                        ))
+                    })?;
+                }
+                ("model", "assemblies") => {
+                    plan.model.overrides.assemblies = Some(value.as_usize().map_err(|e| err(&e))?)
+                }
+                ("model", "enrichment") => {
+                    plan.model.overrides.enrichment = Some(value.as_f64().map_err(|e| err(&e))?)
+                }
+                ("model", "rods") => {
+                    let name = value.as_str().map_err(|e| err(&e))?;
+                    plan.model.overrides.rods =
+                        Some(RodPattern::from_name(name).ok_or_else(|| {
+                            err(&format!(
+                                "unknown rod pattern \"{name}\" \
+                                 (expected none | center | checkerboard)"
+                            ))
+                        })?);
+                }
+                ("model", "half_height") => {
+                    plan.model.overrides.half_height = Some(value.as_f64().map_err(|e| err(&e))?)
                 }
                 ("plan", "algorithm") => {
                     plan.algorithm = match value.as_str().map_err(|e| err(&e))? {
@@ -414,6 +585,7 @@ impl RunPlan {
                 (s, k) => return Err(err(&format!("unknown key `{k}` in [{s}]"))),
             }
         }
+        let invalid = |msg: String| PlanError::Parse { line: None, msg };
         if let Some(kind) = policy_kind {
             plan.policy = match kind.as_str() {
                 "serial" => PolicySpec::Serial,
@@ -421,18 +593,25 @@ impl RunPlan {
                     threads: policy_threads.unwrap_or(0),
                 },
                 "distributed" => PolicySpec::Distributed {
-                    ranks: policy_ranks.ok_or("policy kind \"distributed\" requires `ranks`")?,
+                    ranks: policy_ranks.ok_or_else(|| {
+                        invalid("policy kind \"distributed\" requires `ranks`".to_string())
+                    })?,
                 },
-                other => return Err(format!("unknown policy kind \"{other}\"")),
+                other => return Err(invalid(format!("unknown policy kind \"{other}\""))),
             };
         }
         if plan.mode == RunMode::Eigenvalue && plan.total_batches() == 0 {
-            return Err("plan has zero batches (inactive + active == 0)".to_string());
+            return Err(invalid(
+                "plan has zero batches (inactive + active == 0)".to_string(),
+            ));
         }
         if plan.particles == 0 {
-            return Err("plan has zero particles".to_string());
+            return Err(invalid("plan has zero particles".to_string()));
         }
-        plan.queueing.validate()?;
+        plan.queueing.validate().map_err(invalid)?;
+        // Validate the full model spec (overrides included) up front, so
+        // `build_problem` cannot fail later on a parsed plan.
+        catalog::config_for(&plan.model).map_err(invalid)?;
         Ok(plan)
     }
 }
@@ -454,6 +633,7 @@ fn strip_comment(line: &str) -> &str {
 enum Value {
     Str(String),
     Int(u64),
+    Float(f64),
     Bool(bool),
     Array(Vec<u64>),
 }
@@ -485,11 +665,20 @@ impl Value {
                 .map(Value::Array)
                 .map_err(|_| format!("non-integer array element in {raw}"));
         }
-        // Allow underscore digit grouping, as TOML does.
-        raw.replace('_', "")
-            .parse::<u64>()
-            .map(Value::Int)
-            .map_err(|_| format!("cannot parse value `{raw}`"))
+        // Allow underscore digit grouping, as TOML does. Integers first,
+        // then floats — `{}`-formatted f64 round-trips exactly, and a
+        // whole-number float ("120") comes back through the integer arm
+        // with the identical value.
+        let digits = raw.replace('_', "");
+        if let Ok(v) = digits.parse::<u64>() {
+            return Ok(Value::Int(v));
+        }
+        digits
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Value::Float)
+            .ok_or_else(|| format!("cannot parse value `{raw}`"))
     }
 
     fn as_str(&self) -> Result<&str, String> {
@@ -508,6 +697,14 @@ impl Value {
 
     fn as_usize(&self) -> Result<usize, String> {
         Ok(self.as_u64()? as usize)
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            _ => Err("expected a number".to_string()),
+        }
     }
 
     fn as_bool(&self) -> Result<bool, String> {
@@ -540,7 +737,8 @@ mod tests {
     #[test]
     fn full_plan_round_trips() {
         let plan = RunPlan {
-            model: ModelRef::Small,
+            model: ModelSpec::small(),
+            traversal: TraversalKind::Nested,
             algorithm: Algorithm::EventBanking,
             mode: RunMode::Eigenvalue,
             particles: 12_345,
@@ -579,9 +777,108 @@ mod tests {
     fn comments_and_whitespace_tolerated() {
         let text = "\n# a comment\n[plan]\n  model = \"test\"  # trailing\n\nparticles = 1_000\n[policy]\nkind = \"threaded\"\nthreads = 2\n";
         let plan = RunPlan::from_toml(text).expect("parse");
-        assert_eq!(plan.model, ModelRef::Test);
+        assert_eq!(plan.model, ModelSpec::test());
         assert_eq!(plan.particles, 1000);
         assert_eq!(plan.policy, PolicySpec::Threaded { threads: 2 });
+    }
+
+    #[test]
+    fn model_section_and_traversal_round_trip() {
+        let plan = RunPlan {
+            model: ModelSpec {
+                name: "smr".into(),
+                overrides: ModelOverrides {
+                    assemblies: Some(21),
+                    enrichment: Some(1.12),
+                    rods: Some(RodPattern::Checkerboard),
+                    half_height: Some(90.5),
+                },
+            },
+            traversal: TraversalKind::Nested,
+            ..RunPlan::default()
+        };
+        let text = plan.to_toml();
+        assert!(text.contains("[model]"));
+        assert!(text.contains("traversal = \"nested\""));
+        // The [model] section must precede [policy] so the serve layer's
+        // canonical-text cut keeps it inside the plan hash.
+        assert!(text.find("[model]").unwrap() < text.find("[policy]").unwrap());
+        let back = RunPlan::from_toml(&text).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn default_knobs_keep_the_historic_toml_shape() {
+        // Plans without overrides or a non-default traversal serialize
+        // exactly as before this refactor: no [model] section, no
+        // traversal key — so historic plan hashes are preserved.
+        let text = RunPlan::default().to_toml();
+        assert!(!text.contains("[model]"));
+        assert!(!text.contains("traversal"));
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error_naming_the_catalog() {
+        let err = RunPlan::from_toml("[plan]\nmodel = \"warp-core\"\n").unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownModel {
+                name: "warp-core".into()
+            }
+        );
+        let msg = err.to_string();
+        for name in crate::catalog::NAMES {
+            assert!(msg.contains(name), "error must name {name}: {msg}");
+        }
+    }
+
+    #[test]
+    fn catalog_models_parse() {
+        for name in crate::catalog::NAMES {
+            let text = format!("[plan]\nmodel = \"{name}\"\n");
+            let plan = RunPlan::from_toml(&text).expect(name);
+            assert_eq!(plan.model, ModelSpec::named(name));
+        }
+    }
+
+    #[test]
+    fn bad_overrides_fail_at_parse_time() {
+        let err = RunPlan::from_toml("[plan]\nmodel = \"test\"\n[model]\nassemblies = 999\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+        let err = RunPlan::from_toml("[model]\nrods = \"sideways\"\n").unwrap_err();
+        assert!(err.to_string().contains("rod pattern"));
+        let err = RunPlan::from_toml("[plan]\ntraversal = \"sideways\"\n").unwrap_err();
+        assert!(err.to_string().contains("traversal"));
+    }
+
+    #[test]
+    fn float_values_parse_and_round_trip() {
+        let plan =
+            RunPlan::from_toml("[model]\nenrichment = 1.25\nhalf_height = 120\n").expect("parse");
+        assert_eq!(plan.model.overrides.enrichment, Some(1.25));
+        assert_eq!(plan.model.overrides.half_height, Some(120.0));
+        let back = RunPlan::from_toml(&plan.to_toml()).expect("round trip");
+        assert_eq!(plan, back);
+        assert!(RunPlan::from_toml("[model]\nenrichment = \"hot\"\n").is_err());
+        assert!(RunPlan::from_toml("[model]\nenrichment = 1.2.3\n").is_err());
+    }
+
+    #[test]
+    fn spec_string_is_injective_over_overrides() {
+        let a = ModelSpec::named("smr");
+        let mut b = a.clone();
+        b.overrides.enrichment = Some(1.1);
+        let mut c = a.clone();
+        c.overrides.half_height = Some(1.1);
+        let strings = [a.spec_string(), b.spec_string(), c.spec_string()];
+        assert_eq!(
+            strings
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            3
+        );
     }
 
     #[test]

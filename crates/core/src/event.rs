@@ -281,7 +281,7 @@ fn event_pipeline(
                         let mut leaks = 0u64;
                         for &iu in chunk {
                             let i = iu as usize;
-                            match problem.geometry.find(Vec3::new(x[i], y[i], z[i])) {
+                            match problem.find(Vec3::new(x[i], y[i], z[i])) {
                                 // SAFETY: each live index appears in
                                 // exactly one chunk.
                                 Some(c) => unsafe { material.set(i, c.material) },
@@ -432,9 +432,7 @@ fn event_pipeline(
             alive.par_chunks(CHUNK).for_each(|chunk| {
                 for &iu in chunk {
                     let i = iu as usize;
-                    let d = problem
-                        .geometry
-                        .distance_to_boundary(bank_ref.pos(i), bank_ref.dir(i));
+                    let d = problem.distance_to_boundary(bank_ref.pos(i), bank_ref.dir(i));
                     // SAFETY: disjoint chunks of unique live indices.
                     unsafe { d_w.set(i, d) };
                 }

@@ -117,7 +117,7 @@ fn transport_particle_inner(
     let mut seq = p.sites_banked;
     for _ in 0..MAX_SEGMENTS {
         // Locate.
-        let Some(cell) = problem.geometry.find(p.pos) else {
+        let Some(cell) = problem.find(p.pos) else {
             tallies.leaks += 1;
             if let Some(ls) = leak_spectrum.as_deref_mut() {
                 ls.score(p.energy, p.weight);
@@ -140,7 +140,7 @@ fn transport_particle_inner(
         let d_coll = -p.rng.next_uniform().ln() / xs.total;
         let d_bound = {
             let _g = prof.map(|t| t.enter("distance_to_boundary"));
-            problem.geometry.distance_to_boundary(p.pos, p.dir)
+            problem.distance_to_boundary(p.pos, p.dir)
         };
 
         if d_bound <= d_coll {
@@ -365,7 +365,7 @@ pub fn batch_streams(seed: u64, batch_index: u64, n: usize) -> Vec<Lcg63> {
 /// cross-check intermediate state.
 pub fn segment_pos_after(problem: &Problem, start: Vec3, dir: Vec3, d: f64) -> Option<Vec3> {
     let p = start + dir * d;
-    problem.geometry.find(p).map(|_| p)
+    problem.find(p).map(|_| p)
 }
 
 #[cfg(test)]

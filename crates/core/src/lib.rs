@@ -29,6 +29,7 @@
 #![deny(deprecated)]
 
 pub mod balance;
+pub mod catalog;
 pub mod distance;
 pub mod eigenvalue;
 pub mod engine;
@@ -47,10 +48,11 @@ pub mod vr;
 
 pub use eigenvalue::{EigenvalueResult, EigenvalueSettings, TransportMode};
 pub use engine::{
-    Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelRef, NoProgress, PolicySpec,
-    RunMode, RunOutput, RunPlan, RunReport, Serial, Threaded,
+    Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelOverrides, ModelSpec,
+    NoProgress, PlanError, PolicySpec, RunMode, RunOutput, RunPlan, RunReport, Serial, Threaded,
 };
 pub use fixed_source::{FixedSourceResult, FixedSourceSettings, SourceDef};
+pub use mcs_geom::{CoreSpec, MaterialRole, RodPattern, TraversalKind};
 pub use mesh::{MeshSpec, MeshTally};
 pub use particle::{Particle, ParticleBank, Site, SourceSite};
 pub use problem::{HmModel, Problem};

@@ -1,6 +1,8 @@
 //! Problem assembly: cross sections + geometry + materials + physics.
 
-use mcs_geom::{hm_core, Geometry, HmConfig, Vec3};
+use mcs_geom::{
+    CellRef, CoreSpec, GeomTraversal, Geometry, HmConfig, MaterialRole, TraversalKind, Vec3,
+};
 use mcs_rng::Lcg63;
 use mcs_xs::sab::SabTable;
 use mcs_xs::urr::UrrTable;
@@ -29,8 +31,11 @@ pub struct ProblemConfig {
     /// Per-nuclide grid-point density multiplier (1.0 ≈ a thousand points
     /// per heavy nuclide).
     pub grid_density: f64,
-    /// Geometry parameters.
-    pub geometry: HmConfig,
+    /// Parameterized core geometry (pin → assembly → core generator).
+    pub core: CoreSpec,
+    /// Geometry lookup treatment (flattened vs nested — bitwise-equivalent
+    /// by contract, differing only in traversal work).
+    pub traversal: TraversalKind,
     /// Include S(α,β) thermal scattering for hydrogen in water.
     pub enable_sab: bool,
     /// Include URR probability tables for U-235/U-238.
@@ -50,7 +55,8 @@ impl Default for ProblemConfig {
     fn default() -> Self {
         Self {
             grid_density: 1.0,
-            geometry: HmConfig::default(),
+            core: CoreSpec::hm(&HmConfig::default()),
+            traversal: TraversalKind::default(),
             enable_sab: true,
             enable_urr: true,
             enable_free_gas: true,
@@ -67,7 +73,7 @@ impl ProblemConfig {
     pub fn test_scale() -> Self {
         Self {
             grid_density: 0.25,
-            geometry: HmConfig::single_assembly(),
+            core: CoreSpec::hm(&HmConfig::single_assembly()),
             ..Self::default()
         }
     }
@@ -79,11 +85,16 @@ pub struct Problem {
     /// The unified cross-section lookup context: library, layouts, and the
     /// pluggable energy-grid backend.
     pub xs: XsContext,
-    /// Materials, indexed by the geometry's material ids
-    /// (0 = fuel, 1 = clad, 2 = water).
+    /// Materials, indexed by the geometry's material ids (0 = zone-0 fuel,
+    /// 1 = clad, 2 = water, then extra enrichment zones and the absorber,
+    /// per the model's [`MaterialRole`] table).
     pub materials: Vec<Material>,
     /// The geometry.
     pub geometry: Geometry,
+    /// The geometry lookup treatment (flattened or nested), with its own
+    /// traversal counters. All transport queries route through
+    /// [`Problem::find`] / [`Problem::distance_to_boundary`].
+    pub traversal: GeomTraversal,
     /// Optional physics.
     pub physics: Physics,
     /// Per-material physics slots, parallel to `materials`.
@@ -104,7 +115,7 @@ impl Problem {
         }
         .with_grid_density(cfg.grid_density)
         .with_fuel_temperature(cfg.fuel_temperature_k);
-        Self::assemble(
+        Self::from_config(
             mcs_xs::cache::context_for_spec(&lib_spec, cfg.grid_backend),
             cfg,
         )
@@ -124,20 +135,31 @@ impl Problem {
             ..ProblemConfig::test_scale()
         };
         let spec = LibrarySpec::tiny().with_grid_density(cfg.grid_density);
-        Self::assemble(mcs_xs::cache::context_for_spec(&spec, backend), &cfg)
+        Self::from_config(mcs_xs::cache::context_for_spec(&spec, backend), &cfg)
     }
 
     /// Assemble around an already built lookup context (normally a
     /// counter-fresh clone from [`mcs_xs::cache`]); geometry, materials,
-    /// and optional physics come from `cfg`.
-    fn assemble(xs: XsContext, cfg: &ProblemConfig) -> Self {
+    /// and optional physics come from `cfg`. This is the single assembly
+    /// path — the catalog ([`crate::catalog::build`]) and the historic
+    /// constructors both land here.
+    pub(crate) fn from_config(xs: XsContext, cfg: &ProblemConfig) -> Self {
         let library = xs.lib();
-        let materials = vec![
-            Material::hm_fuel(library),
-            Material::hm_clad(library),
-            Material::hm_water(library),
-        ];
-        let geometry = hm_core(&cfg.geometry);
+        let model = cfg.core.build();
+        let materials: Vec<Material> = model
+            .roles
+            .iter()
+            .map(|role| match *role {
+                MaterialRole::Fuel { enrichment } => {
+                    Material::hm_fuel_enriched(library, enrichment)
+                }
+                MaterialRole::Clad => Material::hm_clad(library),
+                MaterialRole::Water => Material::hm_water(library),
+                MaterialRole::Absorber => Material::hm_absorber(library),
+            })
+            .collect();
+        let geometry = model.geometry;
+        let traversal = GeomTraversal::new(cfg.traversal, &geometry);
 
         let mut physics = Physics::none();
         physics.free_gas = cfg.enable_free_gas;
@@ -169,11 +191,28 @@ impl Problem {
             xs,
             materials,
             geometry,
+            traversal,
             physics,
             slots,
             treatment: AbsorptionTreatment::Analog,
             seed: cfg.seed,
         }
+    }
+
+    /// Locate a point, routed through the configured traversal treatment.
+    /// Bitwise-equivalent to `geometry.find(p)` under either treatment;
+    /// records `geom.*` traversal counters.
+    #[inline]
+    pub fn find(&self, p: Vec3) -> Option<CellRef> {
+        self.traversal.find(&self.geometry, p)
+    }
+
+    /// Distance to the nearest surface or lattice wall along `dir`, routed
+    /// through the configured traversal treatment (bitwise-equivalent to
+    /// `geometry.distance_to_boundary`).
+    #[inline]
+    pub fn distance_to_boundary(&self, p: Vec3, dir: Vec3) -> f64 {
+        self.traversal.distance_to_boundary(&self.geometry, p, dir)
     }
 
     /// Macroscopic cross section with optional physics, scalar kernel
@@ -237,8 +276,8 @@ impl Problem {
                 lo.y + span.y * rng.next_uniform(),
                 lo.z + span.z * rng.next_uniform(),
             );
-            match self.geometry.find(p) {
-                Some(c) if c.material == mcs_geom::hm::MAT_FUEL => {
+            match self.find(p) {
+                Some(c) if self.materials[c.material as usize].is_fissionable() => {
                     let energy = sample_watt(&mut rng, WATT_A, WATT_B);
                     out.push(SourceSite { pos: p, energy });
                 }

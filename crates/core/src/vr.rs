@@ -112,7 +112,7 @@ pub fn transport_with_splitting(
         let mut importance_here = map.at(p.pos);
         let mut seq = p.sites_banked;
         'flight: loop {
-            let Some(cell) = problem.geometry.find(p.pos) else {
+            let Some(cell) = problem.find(p.pos) else {
                 out.tallies.leaks += 1;
                 out.leaked_weight += p.weight;
                 if let Some(ls) = leak_spectrum.as_deref_mut() {
@@ -160,7 +160,7 @@ pub fn transport_with_splitting(
 
             let xs = problem.macro_xs(cell.material, p.energy, &mut p.rng);
             let d_coll = -p.rng.next_uniform().ln() / xs.total;
-            let d_bound = problem.geometry.distance_to_boundary(p.pos, p.dir);
+            let d_bound = problem.distance_to_boundary(p.pos, p.dir);
             if d_bound <= d_coll {
                 out.tallies.track_length += d_bound;
                 out.tallies.k_track += p.weight * d_bound * xs.nu_fission;

@@ -1,0 +1,632 @@
+//! Parameterized pin → assembly → core model generator.
+//!
+//! [`CoreSpec`] generalizes the hard-wired Hoogenboom–Martin builder in
+//! [`hm`](crate::hm) into a catalog of PWR-style cores: pin dimensions,
+//! pins per assembly, assembly map, radial enrichment zoning, and
+//! control-rod patterns are all parameters. Three shapes matter:
+//!
+//! * [`CoreSpec::hm`] — the paper's HM benchmark. `build()` reproduces
+//!   [`hm_core`](crate::hm::hm_core) **bit-identically** (same surfaces,
+//!   cells, universes, lattices, bounds, in the same construction order),
+//!   so every existing golden result is preserved through the catalog
+//!   path. The old builder stays as an independent oracle; the equality
+//!   is asserted in this module's tests.
+//! * [`CoreSpec::smr`] — an ExaSMR-style small modular reactor: 37
+//!   assemblies on a 7×7 grid, three radial enrichment zones, a rodded
+//!   central assembly. The control rods use genuine `Fill::Universe`
+//!   nesting (rod stack inside the guide-tube bore), so nested vs
+//!   flattened traversal do different amounts of work here.
+//! * [`CoreSpec::shield`] — a fixed-source-style shielding variant: one
+//!   assembly in the middle of a 5×5 water tank, most of the model being
+//!   deep-penetration reflector.
+//!
+//! `build()` returns a [`CoreModel`]: the geometry plus a
+//! [`MaterialRole`] per material index, so the problem-assembly layer can
+//! mix the right physical material (fuel at a zone's enrichment, clad,
+//! water, rod absorber) for each slot without the geometry crate knowing
+//! anything about nuclides.
+
+use crate::hm::{HmConfig, GUIDE_TUBE_POSITIONS, MAT_CLAD, MAT_WATER};
+use crate::model::{Cell, Fill, Geometry, Lattice, Universe};
+use crate::surface::Surface;
+use crate::vec3::Vec3;
+
+/// Control-rod insertion pattern over the occupied assembly positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RodPattern {
+    /// No control rods anywhere.
+    #[default]
+    None,
+    /// Rods inserted in the central assembly only.
+    Center,
+    /// Rods inserted in every occupied position with even `i + j`.
+    Checkerboard,
+}
+
+impl RodPattern {
+    /// All patterns, for sweeps.
+    pub const ALL: [RodPattern; 3] = [
+        RodPattern::None,
+        RodPattern::Center,
+        RodPattern::Checkerboard,
+    ];
+
+    /// Stable keyword (TOML / CLI / JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            RodPattern::None => "none",
+            RodPattern::Center => "center",
+            RodPattern::Checkerboard => "checkerboard",
+        }
+    }
+
+    /// Parse a keyword produced by [`RodPattern::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(RodPattern::None),
+            "center" => Some(RodPattern::Center),
+            "checkerboard" => Some(RodPattern::Checkerboard),
+            _ => None,
+        }
+    }
+
+    /// Is the occupied position `(i, j)` of an `n × n` core rodded?
+    fn rodded(self, n: usize, i: usize, j: usize) -> bool {
+        match self {
+            RodPattern::None => false,
+            RodPattern::Center => i == n / 2 && j == n / 2,
+            RodPattern::Checkerboard => (i + j).is_multiple_of(2),
+        }
+    }
+}
+
+/// What each material index in a generated model physically is. The
+/// problem-assembly layer maps roles to nuclide inventories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaterialRole {
+    /// UO₂ fuel; `enrichment` scales the fissile number density
+    /// (1.0 = the HM baseline inventory).
+    Fuel {
+        /// U-235 density multiplier relative to the HM baseline.
+        enrichment: f64,
+    },
+    /// Zirconium cladding.
+    Clad,
+    /// Borated water.
+    Water,
+    /// Control-rod absorber.
+    Absorber,
+}
+
+/// A generated model: geometry plus the role of every material index.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    /// The geometry; material ids index into `roles`.
+    pub geometry: Geometry,
+    /// Role of each material index.
+    pub roles: Vec<MaterialRole>,
+}
+
+/// Parameterized pin → assembly → core specification (lengths in cm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// Fuel pellet radius.
+    pub fuel_radius: f64,
+    /// Clad outer radius.
+    pub clad_radius: f64,
+    /// Guide-tube inner radius.
+    pub gt_inner_radius: f64,
+    /// Guide-tube outer radius.
+    pub gt_outer_radius: f64,
+    /// Control-rod radius (inside the guide-tube bore).
+    pub rod_radius: f64,
+    /// Pin lattice pitch.
+    pub pin_pitch: f64,
+    /// Pins per assembly side. Guide tubes are placed only for the
+    /// Westinghouse 17×17 layout ([`GUIDE_TUBE_POSITIONS`]).
+    pub pins_per_side: usize,
+    /// Assembly pitch.
+    pub assembly_pitch: f64,
+    /// Assemblies across the core lattice (odd).
+    pub core_lattice_n: usize,
+    /// Number of occupied assembly positions (nearest the axis first).
+    pub n_assemblies: usize,
+    /// Axial half-height of the active core.
+    pub half_height: f64,
+    /// Radial enrichment zones, innermost first: occupied assemblies are
+    /// split into `len()` equal-count radial groups, and group `z` fuels
+    /// its pins at `enrichment_zones[z]` × the baseline fissile density.
+    /// Must be non-empty; `vec![1.0]` reproduces single-zone HM fuel.
+    pub enrichment_zones: Vec<f64>,
+    /// Control-rod insertion pattern.
+    pub rods: RodPattern,
+}
+
+impl CoreSpec {
+    /// The Hoogenboom–Martin core for `cfg`; `build()` is bit-identical
+    /// to [`hm_core`](crate::hm::hm_core)`(cfg)`.
+    pub fn hm(cfg: &HmConfig) -> Self {
+        Self {
+            fuel_radius: cfg.fuel_radius,
+            clad_radius: cfg.clad_radius,
+            gt_inner_radius: cfg.gt_inner_radius,
+            gt_outer_radius: cfg.gt_outer_radius,
+            rod_radius: 0.4331,
+            pin_pitch: cfg.pin_pitch,
+            pins_per_side: 17,
+            assembly_pitch: cfg.assembly_pitch,
+            core_lattice_n: cfg.core_lattice_n,
+            n_assemblies: cfg.n_assemblies,
+            half_height: cfg.half_height,
+            enrichment_zones: vec![1.0],
+            rods: RodPattern::None,
+        }
+    }
+
+    /// ExaSMR-style small modular reactor: 37 assemblies on a 7×7 grid,
+    /// three radial enrichment zones, rodded central assembly.
+    pub fn smr() -> Self {
+        Self {
+            core_lattice_n: 7,
+            n_assemblies: 37,
+            half_height: 120.0,
+            enrichment_zones: vec![1.0, 1.12, 1.25],
+            rods: RodPattern::Center,
+            ..Self::hm(&HmConfig::default())
+        }
+    }
+
+    /// Shielding variant: a single assembly in the middle of a 5×5
+    /// water tank — most of the model is deep-penetration reflector.
+    pub fn shield() -> Self {
+        Self {
+            core_lattice_n: 5,
+            n_assemblies: 1,
+            half_height: 40.0,
+            ..Self::hm(&HmConfig::default())
+        }
+    }
+
+    /// Number of materials `build()` will emit.
+    pub fn n_materials(&self) -> usize {
+        let rodded = self.any_rodded();
+        3 + (self.enrichment_zones.len() - 1) + usize::from(rodded)
+    }
+
+    /// Does the rod pattern insert rods into at least one occupied
+    /// position?
+    fn any_rodded(&self) -> bool {
+        let n = self.core_lattice_n;
+        let map = crate::hm::core_map(n, self.n_assemblies);
+        (0..n * n).any(|idx| map[idx] && self.rods.rodded(n, idx % n, idx / n))
+    }
+
+    /// Material index for fuel zone `z` (zone 0 is material 0, the HM
+    /// fuel slot; later zones follow clad and water).
+    fn zone_material(z: usize) -> u32 {
+        if z == 0 {
+            0
+        } else {
+            (2 + z) as u32
+        }
+    }
+
+    /// Zone of each occupied position: occupied positions ranked by
+    /// distance from the axis (the same `(r², index)` order
+    /// [`core_map`](crate::hm::core_map) uses) and split into
+    /// `enrichment_zones.len()` equal-count groups, innermost first.
+    fn zone_map(&self) -> Vec<Option<usize>> {
+        let n = self.core_lattice_n;
+        let nz = self.enrichment_zones.len();
+        let c = (n as f64 - 1.0) / 2.0;
+        let mut order: Vec<(f64, usize)> = (0..n * n)
+            .map(|idx| {
+                let i = (idx % n) as f64;
+                let j = (idx / n) as f64;
+                let r2 = (i - c) * (i - c) + (j - c) * (j - c);
+                (r2, idx)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let n_occ = self.n_assemblies.min(n * n);
+        let mut zones = vec![None; n * n];
+        for (rank, &(_, idx)) in order.iter().take(n_occ).enumerate() {
+            zones[idx] = Some((rank * nz / n_occ).min(nz - 1));
+        }
+        zones
+    }
+
+    /// Generate the geometry and the material-role table.
+    ///
+    /// Construction order matches [`hm_core`](crate::hm::hm_core) exactly
+    /// when the spec degenerates to an HM config (one zone, no rods), so
+    /// the emitted `Geometry` is structurally bit-identical to the
+    /// hand-written builder's.
+    pub fn build(&self) -> CoreModel {
+        assert!(
+            !self.enrichment_zones.is_empty(),
+            "CoreSpec needs at least one enrichment zone"
+        );
+        let nz = self.enrichment_zones.len();
+        assert!(
+            self.n_materials() <= 8,
+            "tally arrays hold at most 8 materials ({} requested)",
+            self.n_materials()
+        );
+        let rodded_any = self.any_rodded();
+        let npin = self.pins_per_side;
+
+        let mut g = Geometry::default();
+
+        // --- universes: reserve root as universe 0 ---
+        g.push_universe(Universe::default());
+
+        // Fuel pin universes, one per enrichment zone. Zone 0 is the HM
+        // pin verbatim (names included, so the oracle comparison covers
+        // the whole structure).
+        let fuel_cyl = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: self.fuel_radius,
+        });
+        let clad_cyl = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: self.clad_radius,
+        });
+        let mut u_pin = Vec::with_capacity(nz);
+        for z in 0..nz {
+            let tag = if z == 0 {
+                "pin".to_string()
+            } else {
+                format!("pin:z{z}")
+            };
+            let c_fuel = g.push_cell(Cell {
+                name: format!("{tag}:fuel"),
+                region: vec![(fuel_cyl, -1)],
+                fill: Fill::Material(Self::zone_material(z)),
+            });
+            let c_clad = g.push_cell(Cell {
+                name: format!("{tag}:clad"),
+                region: vec![(fuel_cyl, 1), (clad_cyl, -1)],
+                fill: Fill::Material(MAT_CLAD),
+            });
+            let c_pin_water = g.push_cell(Cell {
+                name: format!("{tag}:water"),
+                region: vec![(clad_cyl, 1)],
+                fill: Fill::Material(MAT_WATER),
+            });
+            u_pin.push(g.push_universe(Universe {
+                cells: vec![c_fuel, c_clad, c_pin_water],
+            }));
+        }
+
+        // Guide-tube universe: water | clad tube | water.
+        let gt_in = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: self.gt_inner_radius,
+        });
+        let gt_out = g.push_surface(Surface::ZCylinder {
+            x0: 0.0,
+            y0: 0.0,
+            r: self.gt_outer_radius,
+        });
+        let c_gt_bore = g.push_cell(Cell {
+            name: "gt:bore".into(),
+            region: vec![(gt_in, -1)],
+            fill: Fill::Material(MAT_WATER),
+        });
+        let c_gt_wall = g.push_cell(Cell {
+            name: "gt:wall".into(),
+            region: vec![(gt_in, 1), (gt_out, -1)],
+            fill: Fill::Material(MAT_CLAD),
+        });
+        let c_gt_water = g.push_cell(Cell {
+            name: "gt:water".into(),
+            region: vec![(gt_out, 1)],
+            fill: Fill::Material(MAT_WATER),
+        });
+        let u_gt = g.push_universe(Universe {
+            cells: vec![c_gt_bore, c_gt_wall, c_gt_water],
+        });
+
+        // Rodded guide-tube universe: the absorber stack lives in its own
+        // universe filled *into* the bore cell — deliberate extra nesting
+        // so the traversal treatments do measurably different work.
+        let absorber_mat = (2 + nz) as u32;
+        let u_rgt = if rodded_any {
+            let rod_cyl = g.push_surface(Surface::ZCylinder {
+                x0: 0.0,
+                y0: 0.0,
+                r: self.rod_radius,
+            });
+            let c_rod = g.push_cell(Cell {
+                name: "rod:absorber".into(),
+                region: vec![(rod_cyl, -1)],
+                fill: Fill::Material(absorber_mat),
+            });
+            let c_rod_gap = g.push_cell(Cell {
+                name: "rod:gap".into(),
+                region: vec![(rod_cyl, 1)],
+                fill: Fill::Material(MAT_WATER),
+            });
+            let u_rod = g.push_universe(Universe {
+                cells: vec![c_rod, c_rod_gap],
+            });
+            let c_rgt_bore = g.push_cell(Cell {
+                name: "rgt:bore".into(),
+                region: vec![(gt_in, -1)],
+                fill: Fill::Universe(u_rod),
+            });
+            let c_rgt_wall = g.push_cell(Cell {
+                name: "rgt:wall".into(),
+                region: vec![(gt_in, 1), (gt_out, -1)],
+                fill: Fill::Material(MAT_CLAD),
+            });
+            let c_rgt_water = g.push_cell(Cell {
+                name: "rgt:water".into(),
+                region: vec![(gt_out, 1)],
+                fill: Fill::Material(MAT_WATER),
+            });
+            Some(g.push_universe(Universe {
+                cells: vec![c_rgt_bore, c_rgt_wall, c_rgt_water],
+            }))
+        } else {
+            None
+        };
+
+        // All-water universe for unoccupied core positions.
+        let c_all_water = g.push_cell(Cell {
+            name: "water:all".into(),
+            region: Vec::new(),
+            fill: Fill::Material(MAT_WATER),
+        });
+        let u_water = g.push_universe(Universe {
+            cells: vec![c_all_water],
+        });
+
+        // Assembly universes: a pin lattice per (zone, rodded) variant in
+        // use. Unrodded variants first (zone order), then rodded.
+        let half_asm = 0.5 * self.assembly_pitch;
+        let zones = self.zone_map();
+        let n = self.core_lattice_n;
+        let map = crate::hm::core_map(n, self.n_assemblies);
+        let mut asm_of_zone = vec![None; nz];
+        let mut rodded_asm_of_zone = vec![None; nz];
+        for (rodded, slot) in [(false, &mut asm_of_zone), (true, &mut rodded_asm_of_zone)] {
+            for z in 0..nz {
+                let used = (0..n * n).any(|idx| {
+                    map[idx]
+                        && zones[idx] == Some(z)
+                        && self.rods.rodded(n, idx % n, idx / n) == rodded
+                });
+                if !used {
+                    continue;
+                }
+                let tube = if rodded { u_rgt.unwrap() } else { u_gt };
+                let mut pin_unis = vec![u_pin[z]; npin * npin];
+                if npin == 17 {
+                    for &(r, c) in &GUIDE_TUBE_POSITIONS {
+                        pin_unis[r * 17 + c] = tube;
+                    }
+                }
+                let pin_lat = g.push_lattice(Lattice {
+                    x0: -half_asm,
+                    y0: -half_asm,
+                    pitch_x: self.pin_pitch,
+                    pitch_y: self.pin_pitch,
+                    nx: npin,
+                    ny: npin,
+                    universes: pin_unis,
+                });
+                let name = match (z, rodded) {
+                    (0, false) => "assembly".to_string(),
+                    (z, false) => format!("assembly:z{z}"),
+                    (z, true) => format!("assembly:z{z}:rodded"),
+                };
+                let c_asm = g.push_cell(Cell {
+                    name,
+                    region: Vec::new(),
+                    fill: Fill::Lattice(pin_lat),
+                });
+                slot[z] = Some(g.push_universe(Universe { cells: vec![c_asm] }));
+            }
+        }
+
+        // Core lattice of assemblies.
+        let half_core = 0.5 * n as f64 * self.assembly_pitch;
+        let core_unis: Vec<u32> = (0..n * n)
+            .map(|idx| {
+                if !map[idx] {
+                    return u_water;
+                }
+                let z = zones[idx].expect("occupied position has a zone");
+                if self.rods.rodded(n, idx % n, idx / n) {
+                    rodded_asm_of_zone[z].expect("rodded assembly built")
+                } else {
+                    asm_of_zone[z].expect("assembly built")
+                }
+            })
+            .collect();
+        let core_lat = g.push_lattice(Lattice {
+            x0: -half_core,
+            y0: -half_core,
+            pitch_x: self.assembly_pitch,
+            pitch_y: self.assembly_pitch,
+            nx: n,
+            ny: n,
+            universes: core_unis,
+        });
+
+        // Root cell: box with vacuum boundary, filled by the core lattice.
+        let x_lo = g.push_surface(Surface::XPlane { x0: -half_core });
+        let x_hi = g.push_surface(Surface::XPlane { x0: half_core });
+        let y_lo = g.push_surface(Surface::YPlane { y0: -half_core });
+        let y_hi = g.push_surface(Surface::YPlane { y0: half_core });
+        let z_lo = g.push_surface(Surface::ZPlane {
+            z0: -self.half_height,
+        });
+        let z_hi = g.push_surface(Surface::ZPlane {
+            z0: self.half_height,
+        });
+        let c_root = g.push_cell(Cell {
+            name: "root".into(),
+            region: vec![
+                (x_lo, 1),
+                (x_hi, -1),
+                (y_lo, 1),
+                (y_hi, -1),
+                (z_lo, 1),
+                (z_hi, -1),
+            ],
+            fill: Fill::Lattice(core_lat),
+        });
+        g.universes[0].cells.push(c_root);
+        g.bounds = (
+            Vec3::new(-half_core, -half_core, -self.half_height),
+            Vec3::new(half_core, half_core, self.half_height),
+        );
+
+        let mut roles = vec![
+            MaterialRole::Fuel {
+                enrichment: self.enrichment_zones[0],
+            },
+            MaterialRole::Clad,
+            MaterialRole::Water,
+        ];
+        for &e in &self.enrichment_zones[1..] {
+            roles.push(MaterialRole::Fuel { enrichment: e });
+        }
+        if rodded_any {
+            roles.push(MaterialRole::Absorber);
+        }
+
+        CoreModel { geometry: g, roles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hm::{hm_core, MAT_FUEL};
+
+    /// The whole-structure bit-equality oracle: `Debug` for `f64` prints
+    /// the shortest round-trip representation, which is injective over
+    /// the finite values these builders produce, so equal debug strings
+    /// ⇒ bit-identical geometries.
+    fn assert_geometry_identical(a: &Geometry, b: &Geometry) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn hm_default_is_bit_identical_to_the_oracle() {
+        let cfg = HmConfig::default();
+        let model = CoreSpec::hm(&cfg).build();
+        assert_geometry_identical(&model.geometry, &hm_core(&cfg));
+        assert_eq!(
+            model.roles,
+            vec![
+                MaterialRole::Fuel { enrichment: 1.0 },
+                MaterialRole::Clad,
+                MaterialRole::Water
+            ]
+        );
+    }
+
+    #[test]
+    fn hm_single_assembly_is_bit_identical_to_the_oracle() {
+        let cfg = HmConfig::single_assembly();
+        let model = CoreSpec::hm(&cfg).build();
+        assert_geometry_identical(&model.geometry, &hm_core(&cfg));
+    }
+
+    #[test]
+    fn smr_builds_with_zones_and_rods() {
+        let spec = CoreSpec::smr();
+        let model = spec.build();
+        assert_eq!(model.roles.len(), 6);
+        assert_eq!(model.roles[5], MaterialRole::Absorber);
+        // Central assembly is rodded: the instrumentation-tube position
+        // holds absorber at the pin centre.
+        let g = &model.geometry;
+        let c = g.find(Vec3::ZERO).unwrap();
+        assert_eq!(model.roles[c.material as usize], MaterialRole::Absorber);
+        // A fuel-pin centre in the central assembly is zone-0 fuel.
+        let x = -8.0 * spec.pin_pitch;
+        let c = g.find(Vec3::new(x, x, 0.0)).unwrap();
+        assert_eq!(c.material, MAT_FUEL);
+        // An outer assembly's fuel is a higher zone: assembly (0, 3) is
+        // occupied (edge of the 37-assembly map) and unrodded.
+        let ax = -3.0 * spec.assembly_pitch;
+        let c = g.find(Vec3::new(ax + x, x, 0.0)).unwrap();
+        assert!(
+            matches!(model.roles[c.material as usize], MaterialRole::Fuel { enrichment } if enrichment > 1.0),
+            "outer-zone fuel role, got {:?}",
+            model.roles[c.material as usize]
+        );
+    }
+
+    #[test]
+    fn smr_zone_counts_are_balanced() {
+        let spec = CoreSpec::smr();
+        let zones = spec.zone_map();
+        let mut counts = [0usize; 3];
+        for z in zones.into_iter().flatten() {
+            counts[z] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 37);
+        // Equal-count split up to rounding.
+        for c in counts {
+            assert!((12..=13).contains(&c), "zone counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shield_is_mostly_water() {
+        let model = CoreSpec::shield().build();
+        let g = &model.geometry;
+        // Centre of a neighbouring (unoccupied) lattice position: water.
+        let c = g.find(Vec3::new(21.42, 0.0, 0.0)).unwrap();
+        assert_eq!(c.material, MAT_WATER);
+        // Fuel exists at the centre assembly.
+        let x = -8.0 * 1.26;
+        assert_eq!(g.find(Vec3::new(x, x, 0.0)).unwrap().material, MAT_FUEL);
+        // Far corner of the tank leaks only outside the box.
+        assert!(g.find(Vec3::new(0.0, 0.0, 50.0)).is_none());
+        assert_eq!(model.roles.len(), 3);
+    }
+
+    #[test]
+    fn checkerboard_rodded_positions_follow_parity() {
+        let spec = CoreSpec {
+            rods: RodPattern::Checkerboard,
+            ..CoreSpec::shield()
+        };
+        assert!(spec.any_rodded());
+        let model = spec.build();
+        // The single occupied assembly sits at (2,2): even parity, so
+        // its instrumentation tube holds absorber.
+        let c = model.geometry.find(Vec3::ZERO).unwrap();
+        assert_eq!(model.roles[c.material as usize], MaterialRole::Absorber);
+    }
+
+    #[test]
+    fn material_budget_is_enforced() {
+        let spec = CoreSpec {
+            enrichment_zones: vec![1.0; 6],
+            rods: RodPattern::Center,
+            ..CoreSpec::smr()
+        };
+        assert!(spec.n_materials() > 8);
+        assert!(std::panic::catch_unwind(|| spec.build()).is_err());
+    }
+
+    #[test]
+    fn rod_pattern_keywords_round_trip() {
+        for p in RodPattern::ALL {
+            assert_eq!(RodPattern::from_name(p.name()), Some(p));
+        }
+        assert_eq!(RodPattern::from_name("bogus"), None);
+    }
+}

@@ -29,14 +29,18 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod hm;
 pub mod model;
 pub mod surface;
+pub mod traversal;
 pub mod vec3;
 
+pub use catalog::{CoreModel, CoreSpec, MaterialRole, RodPattern};
 pub use hm::{hm_core, HmConfig};
 pub use model::{CellRef, Fill, Geometry, Lattice, Universe};
 pub use surface::Surface;
+pub use traversal::{GeomTraversal, TraversalKind};
 pub use vec3::Vec3;
 
 /// Nudge distance (cm) used to push a particle across a boundary after a

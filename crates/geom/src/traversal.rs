@@ -1,0 +1,417 @@
+//! The two lattice-lookup treatments the ORNL nested-geometry study
+//! compares, behind one instrumented seam.
+//!
+//! [`GeomTraversal`] answers the same two queries as
+//! [`Geometry`] — `find` and
+//! `distance_to_boundary` — under either of two treatments:
+//!
+//! * [`TraversalKind::Nested`] — the universe hierarchy is searched
+//!   recursively, exactly as [`Geometry::find`](crate::model::Geometry::find)
+//!   does: test the cells of the current universe in order, commit to the
+//!   first containing cell, descend through universe fills one level at a
+//!   time.
+//! * [`TraversalKind::Flattened`] — `Fill::Universe` indirections are
+//!   inlined ahead of time into per-universe flattened cell lists (a child
+//!   cell's region is appended after its parent's, so the surface
+//!   evaluation order — and therefore every f64 `min` fold — is
+//!   unchanged), and trivial single-cell lattice-wrapper universes become
+//!   pass-throughs that skip the containment test entirely. Lattices stay
+//!   descent points in both treatments: translating their contents into a
+//!   global frame would re-associate coordinate arithmetic and break the
+//!   bitwise contract.
+//!
+//! Both treatments return bit-identical results; only the *work* differs,
+//! and the seam counts that work (`geom.finds`, `geom.find_steps`,
+//! `geom.surface_tests`, `geom.boundary_calls`) the same way the
+//! cross-section layer's `XsContext` counts lookups — relaxed atomics,
+//! drained once per query, reset on clone.
+//!
+//! **Equivalence precondition.** The flattened scan may keep testing
+//! cells after a nested search would have committed to a branch and
+//! failed inside it. The two treatments agree whenever sibling cells in
+//! every universe have mutually exclusive regions — true for every model
+//! the [catalog](crate::catalog) generates (pins, tubes, and rod stacks
+//! partition space by shared cylinders) and property-tested in
+//! `tests/traversal_props.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::model::{CellRef, Fill, Geometry};
+use crate::vec3::Vec3;
+
+/// Which lattice-lookup treatment to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraversalKind {
+    /// Precomputed flattened cell lists (universe indirections inlined).
+    #[default]
+    Flattened,
+    /// Recursive nested universe search.
+    Nested,
+}
+
+impl TraversalKind {
+    /// All treatments, for ablation sweeps.
+    pub const ALL: [TraversalKind; 2] = [TraversalKind::Flattened, TraversalKind::Nested];
+
+    /// Stable keyword (TOML / CLI / JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraversalKind::Flattened => "flattened",
+            TraversalKind::Nested => "nested",
+        }
+    }
+
+    /// Parse a keyword produced by [`TraversalKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "flattened" => Some(TraversalKind::Flattened),
+            "nested" => Some(TraversalKind::Nested),
+            _ => None,
+        }
+    }
+}
+
+/// What a flattened cell resolves to.
+#[derive(Debug, Clone)]
+enum FlatFill {
+    /// A material, plus the deepest original cell index (for `CellRef`).
+    Material { material: u32, cell: u32 },
+    /// A lattice: descend into the element's flattened universe.
+    Lattice(u32),
+}
+
+/// One entry of a flattened universe: the conjunction of every region
+/// constraint on the path from the universe's own cells down through
+/// `Fill::Universe` indirections to a material or lattice.
+#[derive(Debug, Clone)]
+struct FlatCell {
+    region: Vec<(u32, i8)>,
+    fill: FlatFill,
+}
+
+/// A universe with its `Fill::Universe` indirections inlined.
+#[derive(Debug, Clone, Default)]
+struct FlatUniverse {
+    cells: Vec<FlatCell>,
+    /// When the universe is exactly one unbounded cell filled by a
+    /// lattice (the common assembly-wrapper shape), skip the containment
+    /// test and descend straight into this lattice.
+    passthrough: Option<u32>,
+}
+
+/// Scratch tallies for one query, drained into the atomics once.
+#[derive(Default)]
+struct Tally {
+    steps: u64,
+    surfaces: u64,
+}
+
+/// An instrumented geometry-lookup seam over a [`Geometry`].
+///
+/// Construction precomputes the flattened lists (cheap: proportional to
+/// the static cell count, not the lattice element count); queries then
+/// dispatch on [`TraversalKind`]. Counters follow the `XsContext`
+/// pattern: monotonic relaxed atomics, `Clone` resets them so cached
+/// problems start counter-fresh.
+#[derive(Debug)]
+pub struct GeomTraversal {
+    kind: TraversalKind,
+    flat: Vec<FlatUniverse>,
+    finds: AtomicU64,
+    find_steps: AtomicU64,
+    surface_tests: AtomicU64,
+    boundary_calls: AtomicU64,
+}
+
+impl Clone for GeomTraversal {
+    fn clone(&self) -> Self {
+        Self {
+            kind: self.kind,
+            flat: self.flat.clone(),
+            finds: AtomicU64::new(0),
+            find_steps: AtomicU64::new(0),
+            surface_tests: AtomicU64::new(0),
+            boundary_calls: AtomicU64::new(0),
+        }
+    }
+}
+
+impl GeomTraversal {
+    /// Build the seam for `geometry` under `kind`.
+    pub fn new(kind: TraversalKind, geometry: &Geometry) -> Self {
+        let flat = geometry
+            .universes
+            .iter()
+            .map(|u| flatten_universe(geometry, &u.cells))
+            .collect();
+        Self {
+            kind,
+            flat,
+            finds: AtomicU64::new(0),
+            find_steps: AtomicU64::new(0),
+            surface_tests: AtomicU64::new(0),
+            boundary_calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The active treatment.
+    pub fn kind(&self) -> TraversalKind {
+        self.kind
+    }
+
+    /// Find the material at a point (treatment-dispatched, counted).
+    /// Bit-identical to [`Geometry::find`] under both treatments.
+    pub fn find(&self, g: &Geometry, p: Vec3) -> Option<CellRef> {
+        let mut t = Tally::default();
+        let out = match self.kind {
+            TraversalKind::Nested => self.find_nested(g, 0, p, &mut t),
+            TraversalKind::Flattened => self.find_flat(g, 0, p, &mut t),
+        };
+        self.finds.fetch_add(1, Ordering::Relaxed);
+        self.find_steps.fetch_add(t.steps, Ordering::Relaxed);
+        self.surface_tests.fetch_add(t.surfaces, Ordering::Relaxed);
+        out
+    }
+
+    /// Distance to the nearest boundary (treatment-dispatched, counted).
+    /// Bit-identical to [`Geometry::distance_to_boundary`] under both
+    /// treatments.
+    pub fn distance_to_boundary(&self, g: &Geometry, p: Vec3, dir: Vec3) -> f64 {
+        let mut t = Tally::default();
+        let out = match self.kind {
+            TraversalKind::Nested => self.boundary_nested(g, p, dir, &mut t),
+            TraversalKind::Flattened => self.boundary_flat(g, p, dir, &mut t),
+        };
+        self.boundary_calls.fetch_add(1, Ordering::Relaxed);
+        self.find_steps.fetch_add(t.steps, Ordering::Relaxed);
+        self.surface_tests.fetch_add(t.surfaces, Ordering::Relaxed);
+        out
+    }
+
+    /// Zero the counters in place (cache hand-out hygiene).
+    pub fn reset_counters(&self) {
+        self.finds.store(0, Ordering::Relaxed);
+        self.find_steps.store(0, Ordering::Relaxed);
+        self.surface_tests.store(0, Ordering::Relaxed);
+        self.boundary_calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Export the counters under the `geom.` namespace.
+    pub fn export_counters(&self, out: &mut mcs_prof::Counters) {
+        out.add("geom.finds", self.finds.load(Ordering::Relaxed));
+        out.add("geom.find_steps", self.find_steps.load(Ordering::Relaxed));
+        out.add(
+            "geom.surface_tests",
+            self.surface_tests.load(Ordering::Relaxed),
+        );
+        out.add(
+            "geom.boundary_calls",
+            self.boundary_calls.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Counted containment test — same strict-inequality semantics as
+    /// [`Geometry::cell_contains`], tallying one cell step and one
+    /// surface test per half-space actually evaluated.
+    #[inline]
+    fn contains(&self, g: &Geometry, region: &[(u32, i8)], p: Vec3, t: &mut Tally) -> bool {
+        t.steps += 1;
+        for &(s, sense) in region {
+            t.surfaces += 1;
+            let f = g.surfaces[s as usize].evaluate(p);
+            if !(if sense < 0 { f < 0.0 } else { f > 0.0 }) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn find_nested(&self, g: &Geometry, universe: u32, p: Vec3, t: &mut Tally) -> Option<CellRef> {
+        let u = &g.universes[universe as usize];
+        for &ci in &u.cells {
+            let cell = &g.cells[ci as usize];
+            if !self.contains(g, &cell.region, p, t) {
+                continue;
+            }
+            return match cell.fill {
+                Fill::Material(m) => Some(CellRef {
+                    material: m,
+                    cell: ci,
+                }),
+                Fill::Universe(uu) => self.find_nested(g, uu, p, t),
+                Fill::Lattice(l) => {
+                    let lat = &g.lattices[l as usize];
+                    let (i, j) = lat.element(p)?;
+                    let local = p - lat.center(i, j);
+                    self.find_nested(g, lat.universes[j * lat.nx + i], local, t)
+                }
+            };
+        }
+        None
+    }
+
+    fn find_flat(&self, g: &Geometry, universe: u32, p: Vec3, t: &mut Tally) -> Option<CellRef> {
+        let mut universe = universe;
+        let mut p = p;
+        'universe: loop {
+            let fu = &self.flat[universe as usize];
+            if let Some(l) = fu.passthrough {
+                let lat = &g.lattices[l as usize];
+                let (i, j) = lat.element(p)?;
+                p = p - lat.center(i, j);
+                universe = lat.universes[j * lat.nx + i];
+                continue 'universe;
+            }
+            for fc in &fu.cells {
+                if !self.contains(g, &fc.region, p, t) {
+                    continue;
+                }
+                match fc.fill {
+                    FlatFill::Material { material, cell } => {
+                        return Some(CellRef { material, cell })
+                    }
+                    FlatFill::Lattice(l) => {
+                        let lat = &g.lattices[l as usize];
+                        let (i, j) = lat.element(p)?;
+                        p = p - lat.center(i, j);
+                        universe = lat.universes[j * lat.nx + i];
+                        continue 'universe;
+                    }
+                }
+            }
+            return None;
+        }
+    }
+
+    fn boundary_nested(&self, g: &Geometry, p: Vec3, dir: Vec3, t: &mut Tally) -> f64 {
+        let mut dist = f64::INFINITY;
+        let mut universe = 0u32;
+        let mut p_loc = p;
+        'descend: loop {
+            let u = &g.universes[universe as usize];
+            for &ci in &u.cells {
+                let cell = &g.cells[ci as usize];
+                if !self.contains(g, &cell.region, p_loc, t) {
+                    continue;
+                }
+                for &(s, _) in &cell.region {
+                    t.surfaces += 1;
+                    dist = dist.min(g.surfaces[s as usize].distance(p_loc, dir));
+                }
+                match cell.fill {
+                    Fill::Material(_) => break 'descend,
+                    Fill::Universe(uu) => {
+                        universe = uu;
+                        continue 'descend;
+                    }
+                    Fill::Lattice(l) => {
+                        let lat = &g.lattices[l as usize];
+                        let Some((i, j)) = lat.element(p_loc) else {
+                            break 'descend;
+                        };
+                        let local = p_loc - lat.center(i, j);
+                        dist = dist.min(lat.wall_distance(local, dir));
+                        universe = lat.universes[j * lat.nx + i];
+                        p_loc = local;
+                        continue 'descend;
+                    }
+                }
+            }
+            break; // no containing cell: outside
+        }
+        dist
+    }
+
+    fn boundary_flat(&self, g: &Geometry, p: Vec3, dir: Vec3, t: &mut Tally) -> f64 {
+        let mut dist = f64::INFINITY;
+        let mut universe = 0u32;
+        let mut p_loc = p;
+        'descend: loop {
+            let fu = &self.flat[universe as usize];
+            if let Some(l) = fu.passthrough {
+                let lat = &g.lattices[l as usize];
+                let Some((i, j)) = lat.element(p_loc) else {
+                    break 'descend;
+                };
+                let local = p_loc - lat.center(i, j);
+                dist = dist.min(lat.wall_distance(local, dir));
+                universe = lat.universes[j * lat.nx + i];
+                p_loc = local;
+                continue 'descend;
+            }
+            for fc in &fu.cells {
+                if !self.contains(g, &fc.region, p_loc, t) {
+                    continue;
+                }
+                for &(s, _) in &fc.region {
+                    t.surfaces += 1;
+                    dist = dist.min(g.surfaces[s as usize].distance(p_loc, dir));
+                }
+                match fc.fill {
+                    FlatFill::Material { .. } => break 'descend,
+                    FlatFill::Lattice(l) => {
+                        let lat = &g.lattices[l as usize];
+                        let Some((i, j)) = lat.element(p_loc) else {
+                            break 'descend;
+                        };
+                        let local = p_loc - lat.center(i, j);
+                        dist = dist.min(lat.wall_distance(local, dir));
+                        universe = lat.universes[j * lat.nx + i];
+                        p_loc = local;
+                        continue 'descend;
+                    }
+                }
+            }
+            break; // no containing cell: outside
+        }
+        dist
+    }
+}
+
+/// Inline a universe's `Fill::Universe` indirections into a flat cell
+/// list, and detect the single-cell lattice-wrapper pass-through shape.
+fn flatten_universe(g: &Geometry, cells: &[u32]) -> FlatUniverse {
+    if let [only] = cells {
+        let cell = &g.cells[*only as usize];
+        if cell.region.is_empty() {
+            if let Fill::Lattice(l) = cell.fill {
+                return FlatUniverse {
+                    cells: Vec::new(),
+                    passthrough: Some(l),
+                };
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &ci in cells {
+        flatten_cell(g, ci, &[], &mut out);
+    }
+    FlatUniverse {
+        cells: out,
+        passthrough: None,
+    }
+}
+
+fn flatten_cell(g: &Geometry, ci: u32, prefix: &[(u32, i8)], out: &mut Vec<FlatCell>) {
+    let cell = &g.cells[ci as usize];
+    let mut region = prefix.to_vec();
+    region.extend_from_slice(&cell.region);
+    match cell.fill {
+        Fill::Material(m) => out.push(FlatCell {
+            region,
+            fill: FlatFill::Material {
+                material: m,
+                cell: ci,
+            },
+        }),
+        Fill::Lattice(l) => out.push(FlatCell {
+            region,
+            fill: FlatFill::Lattice(l),
+        }),
+        Fill::Universe(uu) => {
+            for &child in &g.universes[uu as usize].cells {
+                flatten_cell(g, child, &region, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Equivalence and edge-case tests for the traversal seam.
+//!
+//! The contract under test: for every catalog model, the flattened and
+//! nested treatments return the same `find(p)` result and bit-identical
+//! `distance_to_boundary(p, dir)` at every point — and both match the
+//! plain `Geometry` reference implementation.
+
+use mcs_geom::{CoreSpec, GeomTraversal, Geometry, RodPattern, TraversalKind, Vec3};
+use proptest::prelude::*;
+
+/// Every catalog shape, including a rodded-everywhere stress variant.
+fn catalog_models() -> Vec<(&'static str, Geometry)> {
+    vec![
+        (
+            "hm-single",
+            CoreSpec::hm(&mcs_geom::HmConfig::single_assembly())
+                .build()
+                .geometry,
+        ),
+        (
+            "hm-full",
+            CoreSpec::hm(&mcs_geom::HmConfig::default())
+                .build()
+                .geometry,
+        ),
+        ("smr", CoreSpec::smr().build().geometry),
+        ("shield", CoreSpec::shield().build().geometry),
+        (
+            "smr-checkerboard",
+            CoreSpec {
+                rods: RodPattern::Checkerboard,
+                ..CoreSpec::smr()
+            }
+            .build()
+            .geometry,
+        ),
+    ]
+}
+
+fn assert_agree_at(name: &str, g: &Geometry, p: Vec3, dir: Vec3) {
+    let flat = GeomTraversal::new(TraversalKind::Flattened, g);
+    let nested = GeomTraversal::new(TraversalKind::Nested, g);
+    let reference = g.find(p);
+    assert_eq!(
+        flat.find(g, p),
+        reference,
+        "{name}: flattened find diverges at {p:?}"
+    );
+    assert_eq!(
+        nested.find(g, p),
+        reference,
+        "{name}: nested find diverges at {p:?}"
+    );
+    let d_ref = g.distance_to_boundary(p, dir);
+    let d_flat = flat.distance_to_boundary(g, p, dir);
+    let d_nested = nested.distance_to_boundary(g, p, dir);
+    assert_eq!(
+        d_flat.to_bits(),
+        d_ref.to_bits(),
+        "{name}: flattened distance diverges at {p:?} along {dir:?}"
+    );
+    assert_eq!(
+        d_nested.to_bits(),
+        d_ref.to_bits(),
+        "{name}: nested distance diverges at {p:?} along {dir:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn treatments_agree_on_random_points_in_every_catalog_model(
+        fx in -1.1..1.1f64,
+        fy in -1.1..1.1f64,
+        fz in -1.1..1.1f64,
+        a in 0.0..1.0f64,
+        b in 0.0..1.0f64,
+    ) {
+        let dir = Vec3::isotropic(a, b);
+        for (name, g) in catalog_models() {
+            // Scale the unit-cube draw to each model's bounding box
+            // (slightly beyond it, so leaked points are exercised too).
+            let (lo, hi) = g.bounds;
+            let c = (lo + hi) * 0.5;
+            let h = (hi - lo) * 0.5;
+            let p = Vec3::new(c.x + fx * h.x, c.y + fy * h.y, c.z + fz * h.z);
+            assert_agree_at(name, &g, p, dir);
+        }
+    }
+}
+
+#[test]
+fn particle_exactly_on_a_lattice_wall_agrees() {
+    // x = pin_pitch/2 in the central assembly: exactly on the wall
+    // between pin columns 8 and 9. Both treatments must resolve it the
+    // same way (whichever element the floor-division picks).
+    for (name, g) in catalog_models() {
+        let dir = Vec3::new(1.0, 0.0, 0.0);
+        for &x in &[0.63, -0.63, 1.26, 10.71, -10.71] {
+            assert_agree_at(name, &g, Vec3::new(x, 0.2, 0.0), dir);
+            assert_agree_at(name, &g, Vec3::new(0.2, x, 0.0), dir);
+        }
+    }
+}
+
+#[test]
+fn corner_crossings_agree() {
+    // Exact lattice corners (both walls at once) and diagonal travel.
+    let diag = Vec3::new(1.0, 1.0, 0.0).normalized();
+    for (name, g) in catalog_models() {
+        for &c in &[0.63, 10.71] {
+            assert_agree_at(name, &g, Vec3::new(c, c, 0.0), diag);
+            assert_agree_at(name, &g, Vec3::new(-c, c, 0.0), diag);
+        }
+    }
+}
+
+#[test]
+fn empty_assembly_slots_resolve_to_water_under_both_treatments() {
+    // Shield: only the centre slot is occupied; a neighbouring slot is
+    // an all-water universe.
+    let g = CoreSpec::shield().build().geometry;
+    let flat = GeomTraversal::new(TraversalKind::Flattened, &g);
+    let nested = GeomTraversal::new(TraversalKind::Nested, &g);
+    let p = Vec3::new(21.42, 21.42, 0.0);
+    let a = flat.find(&g, p).expect("inside the tank");
+    let b = nested.find(&g, p).expect("inside the tank");
+    assert_eq!(a, b);
+    assert_eq!(a.material, mcs_geom::hm::MAT_WATER);
+}
+
+#[test]
+fn ray_march_is_bitwise_identical_under_both_treatments() {
+    // Step a ray across each model with both treatments side by side;
+    // every find and every boundary distance must match bit for bit.
+    for (name, g) in catalog_models() {
+        let flat = GeomTraversal::new(TraversalKind::Flattened, &g);
+        let nested = GeomTraversal::new(TraversalKind::Nested, &g);
+        let dir = Vec3::new(1.0, 0.17, 0.003).normalized();
+        let (lo, _) = g.bounds;
+        let mut p = Vec3::new(lo.x + 1e-6, 1.7, 0.4);
+        let mut steps = 0usize;
+        while let Some(a) = flat.find(&g, p) {
+            let b = nested.find(&g, p).expect("nested agrees on containment");
+            assert_eq!(a, b, "{name}: cell mismatch at {p:?}");
+            let da = flat.distance_to_boundary(&g, p, dir);
+            let db = nested.distance_to_boundary(&g, p, dir);
+            assert_eq!(da.to_bits(), db.to_bits(), "{name}: distance at {p:?}");
+            assert!(da.is_finite());
+            p += dir * (da + mcs_geom::BOUNDARY_EPS);
+            steps += 1;
+            assert!(steps < 100_000, "{name}: ray failed to exit");
+        }
+        assert!(nested.find(&g, p).is_none(), "{name}: exit disagreement");
+        assert!(steps > 10, "{name}: ray crossed too few boundaries");
+    }
+}
+
+#[test]
+fn counters_record_work_and_flattened_does_no_more_steps() {
+    let g = CoreSpec::smr().build().geometry;
+    let flat = GeomTraversal::new(TraversalKind::Flattened, &g);
+    let nested = GeomTraversal::new(TraversalKind::Nested, &g);
+    let mut rng = mcs_rng::Lcg63::new(41);
+    for _ in 0..2_000 {
+        let p = Vec3::new(
+            160.0 * (rng.next_uniform() - 0.5),
+            160.0 * (rng.next_uniform() - 0.5),
+            200.0 * (rng.next_uniform() - 0.5),
+        );
+        flat.find(&g, p);
+        nested.find(&g, p);
+    }
+    let (mut cf, mut cn) = (mcs_prof::Counters::new(), mcs_prof::Counters::new());
+    flat.export_counters(&mut cf);
+    nested.export_counters(&mut cn);
+    assert_eq!(cf.get("geom.finds"), 2_000);
+    assert_eq!(cn.get("geom.finds"), 2_000);
+    assert!(cf.get("geom.find_steps") > 0);
+    // The flattened treatment exists to do fewer cell visits: wrapper
+    // universes are pass-throughs and universe fills are pre-inlined.
+    assert!(
+        cf.get("geom.find_steps") < cn.get("geom.find_steps"),
+        "flattened {} vs nested {}",
+        cf.get("geom.find_steps"),
+        cn.get("geom.find_steps")
+    );
+    // Clone resets.
+    let fresh = flat.clone();
+    let mut c = mcs_prof::Counters::new();
+    fresh.export_counters(&mut c);
+    assert_eq!(c.get("geom.finds"), 0);
+}

@@ -79,13 +79,15 @@ pub fn parse_hash_hex(s: &str) -> Option<u64> {
 
 /// Key under which the scheduler shares one built [`mcs_core::Problem`]
 /// across jobs: the fields `RunPlan::build_problem` actually consumes
-/// (model, survival treatment, resolved seed). Two plans with equal
-/// problem keys run against the same `Arc<Problem>` — and therefore the
-/// same PR-6 Arc-cached `XsContext`, whose instrumentation counters
-/// then aggregate lookups across all of them.
+/// (full model spec with overrides, traversal treatment, survival
+/// treatment, resolved seed). Two plans with equal problem keys run
+/// against the same `Arc<Problem>` — and therefore the same PR-6
+/// Arc-cached `XsContext`, whose instrumentation counters then
+/// aggregate lookups across all of them.
 pub fn problem_key(plan: &RunPlan) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, b"mcs-problem-key/1");
-    h = fnv1a(h, plan.model.keyword().as_bytes());
+    let mut h = fnv1a(FNV_OFFSET, b"mcs-problem-key/2");
+    h = fnv1a(h, plan.model.spec_string().as_bytes());
+    h = fnv1a(h, plan.traversal.name().as_bytes());
     h = fnv1a(h, &[plan.survival as u8]);
     fnv1a(h, &plan.resolved_seed().to_le_bytes())
 }

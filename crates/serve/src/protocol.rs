@@ -125,8 +125,9 @@ impl Request {
                         detail: "submit: missing string field `plan_toml`".to_string(),
                     }
                 })?;
-                let plan =
-                    RunPlan::from_toml(toml).map_err(|e| ProtoError::BadPlan { detail: e })?;
+                let plan = RunPlan::from_toml(toml).map_err(|e| ProtoError::BadPlan {
+                    detail: e.to_string(),
+                })?;
                 let priority = match v.get("priority").and_then(|p| p.as_str()) {
                     None | Some("normal") => Priority::Normal,
                     Some("high") => Priority::High,

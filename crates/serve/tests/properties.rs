@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use mcs_core::engine::{Algorithm, ModelRef, PolicySpec, RunMode, RunPlan};
-use mcs_core::{QueueingConfig, QueueingMode};
+use mcs_core::engine::{Algorithm, ModelSpec, PolicySpec, RunMode, RunPlan};
+use mcs_core::{QueueingConfig, QueueingMode, TraversalKind};
 use mcs_serve::hash::{canonical_text, hash_hex, parse_hash_hex, plan_hash};
 use mcs_serve::protocol::{Priority, ProtoError, Request, Response, Source};
 use mcs_serve::result::{ServedResult, TallySummary};
@@ -38,7 +38,8 @@ fn build_plan(
     policy: usize,
 ) -> RunPlan {
     RunPlan {
-        model: [ModelRef::Test, ModelRef::Small, ModelRef::Large][model % 3],
+        model: [ModelSpec::test(), ModelSpec::small(), ModelSpec::large()][model % 3].clone(),
+        traversal: [TraversalKind::Flattened, TraversalKind::Nested][model % 2],
         algorithm: [Algorithm::History, Algorithm::EventBanking][algorithm % 2],
         mode: RunMode::Eigenvalue,
         particles: particles.max(1),
@@ -122,7 +123,18 @@ proptest! {
         );
         let h = plan_hash(&base);
         let variants: Vec<(&str, RunPlan)> = vec![
-            ("model", RunPlan { model: ModelRef::Small, ..base.clone() }),
+            ("model", RunPlan { model: ModelSpec::small(), ..base.clone() }),
+            ("model.overrides", RunPlan {
+                model: ModelSpec {
+                    overrides: mcs_core::engine::ModelOverrides {
+                        enrichment: Some(1.1),
+                        ..Default::default()
+                    },
+                    ..base.model.clone()
+                },
+                ..base.clone()
+            }),
+            ("traversal", RunPlan { traversal: TraversalKind::Nested, ..base.clone() }),
             ("algorithm", RunPlan { algorithm: Algorithm::EventBanking, ..base.clone() }),
             ("particles", RunPlan { particles: base.particles + 1, ..base.clone() }),
             ("inactive", RunPlan { inactive: base.inactive + 1, ..base.clone() }),

@@ -61,9 +61,18 @@ impl Material {
     /// This is what makes H.M. Large lookups expensive: every one of the
     /// 320 nuclides contributes to `Σ_t`.
     pub fn hm_fuel(lib: &NuclideLibrary) -> Self {
+        Self::hm_fuel_enriched(lib, 1.0)
+    }
+
+    /// [`Material::hm_fuel`] with the fissile (U-235) number density
+    /// scaled by `enrichment`. `enrichment = 1.0` is the HM baseline and
+    /// multiplies by the exact constant 1.0, so the baseline inventory is
+    /// bit-identical to the historic `hm_fuel` — the model catalog's
+    /// zone-0 fuel reproduces every golden result.
+    pub fn hm_fuel_enriched(lib: &NuclideLibrary, enrichment: f64) -> Self {
         let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(lib.n_fuel + 1);
         // atoms/(barn·cm): ~2.2e-2 heavy metal total in UO2.
-        pairs.push((lib.known.u235, 1.15e-3)); // ~5% enrichment
+        pairs.push((lib.known.u235, 1.15e-3 * enrichment)); // 1.0 → ~5% enrichment
         pairs.push((lib.known.u238, 2.20e-2));
         pairs.push((2, 1.5e-4)); // Pu239
         pairs.push((3, 6.0e-5)); // Pu240
@@ -99,6 +108,16 @@ impl Material {
     /// Natural-zirconium cladding.
     pub fn hm_clad(lib: &NuclideLibrary) -> Self {
         Self::new("clad", &[(lib.known.zr, 4.3e-2)]).with_nu(lib)
+    }
+
+    /// Control-rod absorber: a B-10-rich column (B₄C-like) with a
+    /// structural zirconium balance. Strongly absorbing, never fissile.
+    pub fn hm_absorber(lib: &NuclideLibrary) -> Self {
+        Self::new(
+            "absorber",
+            &[(lib.known.b10, 2.2e-2), (lib.known.zr, 2.0e-2)],
+        )
+        .with_nu(lib)
     }
 
     /// True if any constituent contributes to `νΣ_f` — the fuel/non-fuel
@@ -145,7 +164,26 @@ mod tests {
         assert!(Material::hm_fuel(&lib).is_fissionable());
         assert!(!Material::hm_water(&lib).is_fissionable());
         assert!(!Material::hm_clad(&lib).is_fissionable());
+        assert!(!Material::hm_absorber(&lib).is_fissionable());
         assert!(!Material::new("bare", &[(0, 1.0)]).is_fissionable());
+    }
+
+    #[test]
+    fn unit_enrichment_is_bit_identical_to_baseline_fuel() {
+        let lib = NuclideLibrary::build(&LibrarySpec::hm_small());
+        let base = Material::hm_fuel(&lib);
+        let unit = Material::hm_fuel_enriched(&lib, 1.0);
+        assert_eq!(base.nuclides, unit.nuclides);
+        for (a, b) in base.densities.iter().zip(&unit.densities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in base.densities_nu.iter().zip(&unit.densities_nu) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A real enrichment bump moves only the fissile density.
+        let hot = Material::hm_fuel_enriched(&lib, 1.25);
+        assert!(hot.densities[0] > base.densities[0]);
+        assert_eq!(hot.densities[1].to_bits(), base.densities[1].to_bits());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! MCS_PARTICLES=20000 cargo run --release --example full_core_eigenvalue
 //! ```
 
-use mcs::core::engine::{run_with_problem, ModelRef, RunPlan, Threaded};
+use mcs::core::engine::{run_with_problem, ModelSpec, RunPlan, Threaded};
 use mcs::core::problem::{HmModel, ProblemConfig};
 use mcs::core::Problem;
 
@@ -41,7 +41,7 @@ fn main() {
     );
 
     let plan = RunPlan {
-        model: ModelRef::Large,
+        model: ModelSpec::large(),
         particles,
         inactive: 4,
         active: 6,

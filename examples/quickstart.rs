@@ -10,7 +10,7 @@ use mcs::core::Problem;
 
 fn main() {
     // A single fuel assembly with the tiny synthetic nuclide library —
-    // small enough to run in seconds. `ModelRef::Large` in the plan
+    // small enough to run in seconds. `model: ModelSpec::large()` in the plan
     // builds the full 241-assembly core with 320 fuel nuclides.
     let problem = Problem::test_small();
     println!(

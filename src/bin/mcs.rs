@@ -1,20 +1,25 @@
 //! `mcs` — command-line driver for the unified transport engine.
 //!
 //! ```text
-//! mcs run   --plan FILE.toml [--dry-run]
-//! mcs run   [--model test|small|large] [--particles N] [--inactive I]
-//!           [--active A] [--mode history|event] [--survival]
-//!           [--mesh NX,NY,NZ] [--spectrum FILE.csv]
-//!           [--policy serial|threaded:N|distributed:N]
-//!           [--queueing off|material|material+energy] [--queue-bins N]
-//!           [--fuel-split] [--statepoint FILE] [--resume FILE]
-//! mcs info  [--model test|small|large]
-//! mcs plot  [--model test|small|large] [--width N] [--z Z]
-//! mcs fixed [--model test|small|large] [--particles N]
-//! mcs serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//! mcs run    --plan FILE.toml [--dry-run]
+//! mcs run    [--model NAME] [--particles N] [--inactive I]
+//!            [--active A] [--mode history|event] [--survival]
+//!            [--traversal flattened|nested]
+//!            [--assemblies N] [--enrichment F] [--rods PATTERN]
+//!            [--half-height CM]
+//!            [--mesh NX,NY,NZ] [--spectrum FILE.csv]
+//!            [--policy serial|threaded:N|distributed:N]
+//!            [--queueing off|material|material+energy] [--queue-bins N]
+//!            [--fuel-split] [--statepoint FILE] [--resume FILE]
+//! mcs models
+//! mcs info   [--model NAME]
+//! mcs plot   [--model NAME] [--width N] [--z Z]
+//! mcs fixed  [--model NAME] [--particles N]
+//! mcs serve  [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //! ```
 //!
-//! Every run is a [`RunPlan`] executed by `mcs_core::engine::run` under an
+//! `NAME` is a model-catalog entry (`mcs models` lists them). Every run
+//! is a [`RunPlan`] executed by `mcs_core::engine::run` under an
 //! execution policy; the flag form builds the plan on the fly, the
 //! `--plan` form loads a TOML plan file and replays it bit-identically.
 //!
@@ -22,8 +27,9 @@
 //!
 //! ```sh
 //! mcs run --model small --particles 5000 --inactive 5 --active 10
+//! mcs run --model smr --rods checkerboard --enrichment 1.1
 //! mcs run --model test --mode event --survival --mesh 17,17,4
-//! mcs run --model test --policy distributed:4
+//! mcs run --model shield --traversal nested
 //! mcs run --plan plan.toml --dry-run         # resolve + print, no transport
 //! mcs run --model test --statepoint cp.bin   # save after the run plan
 //! mcs run --model test --resume cp.bin       # continue bit-exactly
@@ -33,16 +39,18 @@ use std::process::ExitCode;
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
-    self, Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelRef, PolicySpec, RunMode,
-    RunOutput, RunPlan, RunReport,
+    self, Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelOverrides, ModelSpec,
+    PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
 };
 use mcs::core::statepoint::Statepoint;
-use mcs::core::{Problem, QueueingConfig, QueueingMode};
+use mcs::core::{catalog, Problem, QueueingConfig, QueueingMode, RodPattern, TraversalKind};
 use mcs::serve::scheduler::ServeConfig;
 
 struct Args {
     command: String,
     model: String,
+    overrides: ModelOverrides,
+    traversal: TraversalKind,
     particles: usize,
     inactive: usize,
     active: usize,
@@ -65,13 +73,19 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: mcs run --plan FILE.toml [--dry-run]\n\
-         \x20      mcs <run|info|plot|fixed> [--model test|small|large] [--particles N]\n\
+         \x20      mcs <run|info|plot|fixed> [--model NAME] [--particles N]\n\
          \x20          [--inactive I] [--active A] [--mode history|event]\n\
-         \x20          [--survival] [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
+         \x20          [--survival] [--traversal flattened|nested]\n\
+         \x20          [--assemblies N] [--enrichment F]\n\
+         \x20          [--rods none|center|checkerboard] [--half-height CM]\n\
+         \x20          [--mesh NX,NY,NZ] [--spectrum FILE.csv]\n\
          \x20          [--policy serial|threaded:N|distributed:N]\n\
          \x20          [--queueing off|material|material+energy] [--queue-bins N]\n\
          \x20          [--fuel-split] [--statepoint FILE] [--resume FILE]\n\
-         \x20      mcs serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]"
+         \x20      mcs models\n\
+         \x20      mcs serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
+         model catalog: {}",
+        catalog::names_joined()
     );
     std::process::exit(2);
 }
@@ -98,6 +112,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         command: String::new(),
         model: "test".into(),
+        overrides: ModelOverrides::default(),
+        traversal: TraversalKind::default(),
         particles: 2_000,
         inactive: 3,
         active: 5,
@@ -129,6 +145,22 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--model" => args.model = value(&mut i),
+            "--traversal" => {
+                args.traversal = TraversalKind::from_name(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--assemblies" => {
+                args.overrides.assemblies = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--enrichment" => {
+                args.overrides.enrichment = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--rods" => {
+                args.overrides.rods =
+                    Some(RodPattern::from_name(&value(&mut i)).unwrap_or_else(|| usage()))
+            }
+            "--half-height" => {
+                args.overrides.half_height = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--particles" => args.particles = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--inactive" => args.inactive = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--active" => args.active = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -186,19 +218,25 @@ fn parse_args() -> Args {
     args
 }
 
-fn model_ref(name: &str) -> ModelRef {
-    match name {
-        "test" => ModelRef::Test,
-        "small" => ModelRef::Small,
-        "large" => ModelRef::Large,
-        _ => usage(),
+/// Resolve `--model` + override flags to a [`ModelSpec`], validating the
+/// name and the override values against the catalog up front.
+fn model_spec(args: &Args) -> ModelSpec {
+    let spec = ModelSpec {
+        name: args.model.clone(),
+        overrides: args.overrides,
+    };
+    if let Err(e) = catalog::config_for(&spec) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
+    spec
 }
 
 /// The plan the flag form of `mcs run`/`mcs fixed` describes.
 fn plan_from_args(args: &Args, mode: RunMode) -> RunPlan {
     RunPlan {
-        model: model_ref(&args.model),
+        model: model_spec(args),
+        traversal: args.traversal,
         algorithm: args.algorithm,
         mode,
         particles: args.particles,
@@ -223,9 +261,23 @@ fn build_policy(spec: PolicySpec) -> Box<dyn ExecutionPolicy> {
     }
 }
 
+/// List the model catalog: names, descriptions, libraries.
+fn cmd_models() {
+    println!("model catalog ({} entries):", catalog::NAMES.len());
+    for (name, desc) in catalog::NAMES.iter().zip(catalog::DESCRIPTIONS.iter()) {
+        println!("  {name:<8} {desc}");
+    }
+    println!(
+        "\noverride flags: --assemblies N, --enrichment F, --rods none|center|checkerboard,\n\
+         \x20               --half-height CM; lookup treatment: --traversal flattened|nested"
+    );
+}
+
 fn cmd_info(args: &Args) {
-    let problem = plan_from_args(args, RunMode::Eigenvalue).build_problem();
-    println!("model:          {}", args.model);
+    let plan = plan_from_args(args, RunMode::Eigenvalue);
+    let problem = plan.build_problem();
+    println!("model:          {}", plan.model.spec_string());
+    println!("traversal:      {}", plan.traversal.name());
     println!(
         "nuclides:       {} ({} fuel)",
         problem.xs.lib().len(),
@@ -454,13 +506,13 @@ fn cmd_plot(args: &Args) {
         for col in 0..w {
             let x = lo.x + (col as f64 + 0.5) / w as f64 * (hi.x - lo.x);
             let ch = match problem
-                .geometry
                 .find(mcs::geom::Vec3::new(x, y, args.z))
-                .map(|c| c.material)
+                .map(|c| problem.materials[c.material as usize].name.as_str())
             {
-                Some(0) => '#',
-                Some(1) => ':',
-                Some(2) => '.',
+                Some("fuel") => '#',
+                Some("clad") => ':',
+                Some("water") => '.',
+                Some("absorber") => 'X',
                 Some(_) => '?',
                 None => ' ',
             };
@@ -468,7 +520,7 @@ fn cmd_plot(args: &Args) {
         }
         println!("{line}");
     }
-    println!("legend: '#' fuel, ':' clad, '.' water");
+    println!("legend: '#' fuel, ':' clad, '.' water, 'X' absorber");
 }
 
 /// Fixed-source run: external Watt source in fuel, full fission chains.
@@ -494,6 +546,7 @@ fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
         "run" => cmd_run(&args),
+        "models" => cmd_models(),
         "info" => cmd_info(&args),
         "plot" => cmd_plot(&args),
         "fixed" => cmd_fixed(&args),

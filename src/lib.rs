@@ -35,7 +35,7 @@
 //! use mcs::core::engine::{run, RunPlan, Serial};
 //!
 //! // A reduced single-assembly problem (a full H.M. core works the same
-//! // way with `model: ModelRef::Large`).
+//! // way with `model: ModelSpec::large()`).
 //! let plan = RunPlan {
 //!     particles: 500,
 //!     inactive: 2,

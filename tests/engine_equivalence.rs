@@ -13,12 +13,13 @@
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
-    resume_with_problem, run_batches, run_with_problem, Algorithm, ExecutionPolicy, ModelRef,
-    PolicySpec, RunMode, RunPlan, Serial, Threaded,
+    resume_with_problem, run_batches, run_with_problem, Algorithm, ExecutionPolicy, ModelOverrides,
+    ModelSpec, PolicySpec, RunMode, RunPlan, Serial, Threaded,
 };
 use mcs::core::problem::{GridBackendKind, Problem};
 use mcs::core::queueing::{QueueingConfig, QueueingMode};
 use mcs::core::tally::Tallies;
+use mcs::core::{RodPattern, TraversalKind};
 use proptest::prelude::*;
 
 fn plan_for(algorithm: Algorithm) -> RunPlan {
@@ -204,10 +205,91 @@ fn a_plan_replayed_from_its_toml_form_reproduces_the_run_bitwise() {
     }
 }
 
+/// The traversal seam's engine-level contract: for catalog models, the
+/// flattened and nested treatments produce bit-identical eigenvalue
+/// results under every execution policy. (`small`/`large` share the
+/// `test` geometry family; the full HM core shape is covered at the
+/// geometry level by `mcs-geom`'s traversal property tests.)
+#[test]
+fn traversal_treatments_are_bitwise_equivalent_across_policies() {
+    for model in ["test", "shield"] {
+        let plan = RunPlan {
+            model: ModelSpec::named(model),
+            particles: 400,
+            inactive: 1,
+            active: 2,
+            entropy_mesh: (4, 4, 4),
+            ..RunPlan::default()
+        };
+        let reference = run_with_problem(&plan.build_problem(), &plan, &mut Serial::new())
+            .into_eigenvalue()
+            .result;
+        for treatment in TraversalKind::ALL {
+            let plan = RunPlan {
+                traversal: treatment,
+                ..plan.clone()
+            };
+            let problem = plan.build_problem();
+            for (label, mut policy) in all_policies() {
+                let got = run_with_problem(&problem, &plan, policy.as_mut())
+                    .into_eigenvalue()
+                    .result;
+                assert_bitwise(
+                    &format!("{model} / {} / {label}", treatment.name()),
+                    got.k_mean,
+                    &got.tallies,
+                    reference.k_mean,
+                    &reference.tallies,
+                );
+            }
+        }
+    }
+}
+
+/// Model overrides flow through the whole plan path: a rodded,
+/// re-enriched shield variant builds, runs, and is bit-identical when
+/// replayed from its TOML form under a different treatment.
+#[test]
+fn overridden_model_replays_bitwise_from_toml_across_treatments() {
+    let plan = RunPlan {
+        model: ModelSpec {
+            name: "shield".into(),
+            overrides: ModelOverrides {
+                assemblies: Some(5),
+                rods: Some(RodPattern::Center),
+                enrichment: Some(1.25),
+                ..Default::default()
+            },
+        },
+        particles: 300,
+        inactive: 1,
+        active: 2,
+        entropy_mesh: (4, 4, 4),
+        ..RunPlan::default()
+    };
+    let a = run_with_problem(&plan.build_problem(), &plan, &mut Serial::new())
+        .into_eigenvalue()
+        .result;
+    let replayed = RunPlan {
+        traversal: TraversalKind::Nested,
+        ..RunPlan::from_toml(&plan.to_toml()).expect("round-trip")
+    };
+    let b = run_with_problem(&replayed.build_problem(), &replayed, &mut Threaded::new(2))
+        .into_eigenvalue()
+        .result;
+    assert_bitwise(
+        "override replay / nested",
+        a.k_mean,
+        &a.tallies,
+        b.k_mean,
+        &b.tallies,
+    );
+}
+
 fn arb_plan() -> impl Strategy<Value = RunPlan> {
     (
         (
-            0u8..3,
+            0u8..5,
             any::<bool>(),
             any::<bool>(),
             1usize..1_000_000,
@@ -226,7 +308,10 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
             1usize..1_000_000,
         ),
         (0u8..3, 0usize..32, 1usize..16),
-        (0u8..3, 0u32..15, any::<bool>()),
+        (
+            (0u8..3, 0u32..15, any::<bool>()),
+            (any::<bool>(), 0u8..5, 0u8..3),
+        ),
     )
         .prop_map(
             |(
@@ -234,13 +319,41 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
                 (inactive, active, survival, entropy_mesh),
                 ((has_mesh, mesh), spectrum, (has_cp, cp_every), max_chain),
                 (policy_kind, threads, ranks),
-                (queue_mode, queue_bins_log2, fuel_split),
+                ((queue_mode, queue_bins_log2, fuel_split), (nested, override_kind, rod_kind)),
             )| {
                 RunPlan {
-                    model: match model {
-                        0 => ModelRef::Test,
-                        1 => ModelRef::Small,
-                        _ => ModelRef::Large,
+                    model: ModelSpec {
+                        name: ["test", "small", "large", "smr", "shield"][model as usize].into(),
+                        // Overrides valid for every catalog entry, so the
+                        // parse-time validation in `from_toml` passes.
+                        overrides: match override_kind {
+                            0 => ModelOverrides::default(),
+                            1 => ModelOverrides {
+                                assemblies: Some(1),
+                                ..Default::default()
+                            },
+                            2 => ModelOverrides {
+                                enrichment: Some(1.25),
+                                ..Default::default()
+                            },
+                            3 => ModelOverrides {
+                                half_height: Some(42.5),
+                                ..Default::default()
+                            },
+                            _ => ModelOverrides {
+                                rods: Some(match rod_kind {
+                                    0 => RodPattern::None,
+                                    1 => RodPattern::Center,
+                                    _ => RodPattern::Checkerboard,
+                                }),
+                                ..Default::default()
+                            },
+                        },
+                    },
+                    traversal: if nested {
+                        TraversalKind::Nested
+                    } else {
+                        TraversalKind::Flattened
                     },
                     algorithm: if algorithm {
                         Algorithm::History

@@ -8,7 +8,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
-use mcs::core::engine::{self, PolicySpec, RunPlan, Serial};
+use mcs::core::engine::{self, ModelSpec, PolicySpec, RunPlan, Serial};
 use mcs::serve::{Client, Priority, Request, Response, ServeConfig, ServedResult, Server, Source};
 
 fn tiny_plan(salt: u64) -> RunPlan {
@@ -153,6 +153,54 @@ fn mixed_policy_submissions_share_one_cache_entry() {
         stats.cache_entries, 1,
         "three policies, one canonical entry"
     );
+    server.shutdown();
+}
+
+#[test]
+fn catalog_models_occupy_distinct_cache_lines() {
+    // Two catalog models over the same particle budget and seed must
+    // never share a cache entry: the plan hash digests the model spec,
+    // so "test" and "shield" each run cold once and then hit only
+    // their own line.
+    let (server, mut client) = test_server(ServeConfig::default());
+    let plans = [
+        RunPlan {
+            model: ModelSpec::test(),
+            ..tiny_plan(4)
+        },
+        RunPlan {
+            model: ModelSpec::named("shield"),
+            ..tiny_plan(4)
+        },
+    ];
+    assert_ne!(
+        mcs::serve::plan_hash(&plans[0]),
+        mcs::serve::plan_hash(&plans[1]),
+        "model spec must be part of the plan identity"
+    );
+
+    let mut cold = Vec::new();
+    for plan in &plans {
+        let (source, result) = client.run(plan, Priority::Normal).expect("cold run");
+        assert_eq!(source, Source::Run);
+        cold.push(result);
+    }
+    assert_ne!(
+        cold[0], cold[1],
+        "different models must produce different physics"
+    );
+
+    // Replays hit the cache — and each model gets *its own* bits back.
+    for (plan, expected) in plans.iter().zip(&cold) {
+        let (source, result) = client.run(plan, Priority::Normal).expect("cache hit");
+        assert_eq!(source, Source::Cache);
+        assert_eq!(result, *expected, "cache returned the wrong model's result");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cold_runs, 2, "one engine run per model");
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_entries, 2, "no cross-model sharing");
     server.shutdown();
 }
 

@@ -4,7 +4,7 @@
 
 use mcs::core::eigenvalue::shannon_entropy;
 use mcs::core::engine::{
-    run, run_with_problem, transport_batch, Algorithm, BatchRequest, ModelRef, RunPlan, Threaded,
+    run, run_with_problem, transport_batch, Algorithm, BatchRequest, ModelSpec, RunPlan, Threaded,
 };
 use mcs::core::history::batch_streams;
 use mcs::core::problem::Problem;
@@ -103,10 +103,10 @@ fn full_core_hm_small_is_near_critical() {
     // The headline physics check: the Hoogenboom–Martin-like core with
     // the synthesized library sits near criticality. Uses the Small model
     // (34 fuel nuclides) to keep the test under a minute. The plan builds
-    // the problem itself (`ModelRef::Small`), exactly as `mcs run --plan`
-    // would.
+    // the problem itself (the `small` catalog entry), exactly as
+    // `mcs run --plan` would.
     let plan = RunPlan {
-        model: ModelRef::Small,
+        model: ModelSpec::small(),
         particles: 2_000,
         inactive: 3,
         active: 4,
