@@ -1,0 +1,133 @@
+//! Ablation: the calibrated device catalog — every entry priced on the
+//! reference workload and on a measured `smr` batch, plus the
+//! heterogeneous-cluster determinism contract.
+//!
+//! Thin driver over `mcs_bench::harness::device_catalog`: runs at
+//! `MCS_SCALE` (default 1.0 — full scale, unlike mcs-check), re-asserts
+//! the structural claims loudly, and writes the machine-readable summary
+//! to `results/BENCH_device.json`.
+//!
+//! Claims asserted:
+//!
+//! * every modeled rate is finite and positive;
+//! * at least three ♦-calibrated entries exist and ALL land inside their
+//!   documented band of the published rate;
+//! * the legacy `host-e5-2687w`/`knc-7120a` entries price kernels
+//!   bit-identically to the historic `MachineSpec` constructors;
+//! * the host/KNC α on the reference workload stays in the paper's
+//!   plateau band (0.5–0.8);
+//! * every GPU-class entry outrates every legacy device;
+//! * a heterogeneous device mix on distributed ranks reproduces the
+//!   serial run bit-identically.
+//!
+//! `--test` (cargo test's bench smoke) runs a reduced sweep with the
+//! same assertions and writes no JSON.
+
+use mcs_bench::harness::device_catalog;
+
+fn assert_claims(r: &device_catalog::DeviceCatalogResult) {
+    assert!(
+        r.rates_positive(),
+        "non-positive modeled rate in the catalog sweep"
+    );
+    let (calibrated, in_band) = r.calibration_counts();
+    assert!(
+        calibrated >= 3,
+        "expected at least 3 calibrated entries, found {calibrated}"
+    );
+    assert_eq!(
+        calibrated,
+        in_band,
+        "calibrated entries out of band: {} of {}",
+        calibrated - in_band,
+        calibrated
+    );
+    assert!(
+        r.legacy_exact,
+        "legacy catalog entries no longer price bit-identically to MachineSpec"
+    );
+    let alpha = r.alpha_host_knc();
+    assert!(
+        (0.5..=0.8).contains(&alpha),
+        "host/KNC alpha {alpha:.3} left the paper's plateau band"
+    );
+    assert!(
+        r.gpus_outrate_legacy(),
+        "a GPU-class entry fell below a legacy device on the reference workload"
+    );
+    assert!(
+        r.hetero_bitwise,
+        "heterogeneous device ranks broke bitwise reproducibility"
+    );
+    assert!(
+        r.balanced_gain >= 1.0 - 1e-12,
+        "alpha-balancing lost aggregate rate: gain {:.4}",
+        r.balanced_gain
+    );
+}
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| matches!(a.as_str(), "--test" | "--list"));
+
+    if quick {
+        // Smoke run under `cargo test`: tiny batch, full assertion set,
+        // no JSON and no timing claims.
+        let r = device_catalog::run(0.05, false);
+        assert_claims(&r);
+        println!("ablate_device: ok (test mode)");
+        return;
+    }
+
+    let scale = std::env::var("MCS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let r = device_catalog::run(scale, true);
+    assert_claims(&r);
+
+    // Hand-rolled JSON (no serde in this environment).
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"model\": \"{}\", \"device\": \"{}\", \"class\": \"{}\", \
+                 \"transport\": \"{}\", \"rate_modeled_n_per_s\": {:.1}, \
+                 \"alpha_vs_host\": {:.4}, \"calibration_ratio\": {}, \"in_band\": {}}}",
+                s.model,
+                s.id,
+                s.class,
+                s.transport,
+                s.rate,
+                s.alpha_vs_host,
+                s.calibration_ratio
+                    .map(|c| format!("{c:.4}"))
+                    .unwrap_or_else(|| "null".into()),
+                s.within_band
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".into()),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"device\",\n  \"mcs_scale\": {scale},\n  \
+         \"hetero_bitwise\": {},\n  \"legacy_exact\": {},\n  \
+         \"balanced_gain\": {:.4},\n  \
+         \"smr_measured_host_n_per_s\": {:.1},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        r.hetero_bitwise,
+        r.legacy_exact,
+        r.balanced_gain,
+        r.smr_measured_host_rate,
+        rows.join(",\n")
+    );
+    // Anchor at the workspace root: `cargo bench` sets the CWD to the
+    // package dir, unlike the harness binaries run from the root.
+    let dir = std::env::var("MCS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_device.json");
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("wrote {path}");
+}

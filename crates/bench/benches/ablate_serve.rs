@@ -66,10 +66,21 @@ fn main() {
     let r = serve_load::run(scale, true);
     assert_claims(&r);
 
+    // Heavy-model leg: the smr catalog model through the service, cold
+    // then cached (kept out of the golden three-phase battery).
+    let (smr_row, smr_bitwise) = serve_load::run_smr(scale);
+    assert!(smr_bitwise, "smr cached replay was not bit-identical");
+    assert_eq!(smr_row.cold_runs, 1, "smr plan must run cold exactly once");
+    println!(
+        "smr leg: cold+replay in {:.1} ms / {:.1} ms, cache bitwise: yes",
+        smr_row.p99_ms, smr_row.p50_ms
+    );
+
     // Hand-rolled JSON (no serde in this environment).
     let rows: Vec<String> = r
         .rows
         .iter()
+        .chain(std::iter::once(&smr_row))
         .map(|row| {
             format!(
                 "    {{\"phase\": \"{}\", \"submissions\": {}, \"unique_plans\": {}, \
@@ -91,7 +102,8 @@ fn main() {
         "{{\n  \"bench\": \"serve\",\n  \"mcs_scale\": {scale},\n  \
          \"workers\": {},\n  \"queue_cap\": {},\n  \"cache_bitwise\": {},\n  \
          \"relookup_free\": {},\n  \"hits\": {},\n  \"coalesced\": {},\n  \
-         \"saved_fraction\": {:.6},\n  \"samples\": [\n{}\n  ]\n}}\n",
+         \"saved_fraction\": {:.6},\n  \"smr_cache_bitwise\": {},\n  \
+         \"samples\": [\n{}\n  ]\n}}\n",
         r.workers,
         r.queue_cap,
         r.cache_bitwise,
@@ -99,6 +111,7 @@ fn main() {
         r.hits,
         r.coalesced,
         r.saved_fraction(),
+        smr_bitwise,
         rows.join(",\n")
     );
     // Anchor at the workspace root: `cargo bench` sets the CWD to the

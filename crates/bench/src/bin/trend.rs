@@ -19,7 +19,7 @@
 //! ```
 //!
 //! Environment fallbacks: `MCS_RESULTS_DIR`, `MCS_TREND_DIR`,
-//! `MCS_TREND_LEG`, `MCS_TREND_TIMESTAMP`, `MCS_TREND_BW_GBS`,
+//! `MCS_TREND_LEG`, `MCS_TREND_TIMESTAMP`, `MCS_TREND_BW_GBS`, `MCS_TREND_DEVICE`,
 //! `GITHUB_SHA`.
 
 use std::path::PathBuf;
@@ -69,7 +69,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: trend [--results-dir DIR] [--history-dir DIR] [--leg TAG] [--commit SHA]\n\
          \x20            [--timestamp SECS] [--rate-tol PCT] [--counter-tol PCT] [--sustain N]\n\
-         \x20            [--bandwidth-gbs GBS] [--max-keep N] [--report FILE] [--dry-run]"
+         \x20            [--bandwidth-gbs GBS] [--device NAME] [--max-keep N]\n\
+         \x20            [--report FILE] [--dry-run]"
     );
     std::process::exit(2);
 }
@@ -83,6 +84,11 @@ fn parse_cli() -> Cli {
     opts.commit = String::new();
     if let Ok(bw) = std::env::var("MCS_TREND_BW_GBS") {
         opts.bandwidth_gbs = bw.parse().ok();
+    }
+    if let Ok(dev) = std::env::var("MCS_TREND_DEVICE") {
+        if !dev.is_empty() {
+            opts.reference_device = Some(dev);
+        }
     }
 
     let mut args = std::env::args().skip(1);
@@ -118,6 +124,7 @@ fn parse_cli() -> Cli {
                 Ok(b) => opts.bandwidth_gbs = Some(b),
                 Err(_) => usage(),
             },
+            "--device" => opts.reference_device = Some(value("--device")),
             "--max-keep" => match value("--max-keep").parse() {
                 Ok(n) => opts.max_keep = n,
                 Err(_) => usage(),

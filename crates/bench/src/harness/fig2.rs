@@ -12,9 +12,9 @@
 //! The paper's headline: banked/MIC ≈ 10× history/CPU at large banks.
 
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::shape_of;
 use mcs_device::workload::{xs_lookup_banked, xs_lookup_scalar};
-use mcs_device::MachineSpec;
 use mcs_xs::MacroXs;
 
 use super::{vprintln, Artifact};
@@ -86,8 +86,8 @@ pub fn run(scale: f64, verbose: bool) -> Fig2Result {
     );
     let fuel = &problem.materials[0];
     let shape = shape_of(&problem);
-    let mic = MachineSpec::mic_7120a();
-    let e5 = MachineSpec::host_e5_2687w();
+    let mic = catalog::machine("knc-7120a");
+    let e5 = catalog::machine("host-e5-2687w");
 
     vprintln!(
         verbose,

@@ -17,6 +17,7 @@
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
 use mcs_device::OffloadModel;
 
@@ -89,11 +90,10 @@ pub fn run(scale: f64, verbose: bool) -> Fig3Result {
         n_probe
     );
 
-    let host = NativeModel::new(
-        mcs_device::MachineSpec::host_e5_2687w(),
-        TransportKind::HistoryScalar,
-    );
-    let offload = OffloadModel::jlse();
+    let host_dev = catalog::device("host-e5-2687w").expect("default host");
+    let host = NativeModel::new(host_dev.machine, TransportKind::HistoryScalar);
+    let offload =
+        OffloadModel::between(&host_dev, &catalog::device("knc-7120a").expect("knc entry"));
     let grid_bytes = (problem.xs.index_bytes() + problem.xs.data_bytes()) as f64;
 
     vprintln!(

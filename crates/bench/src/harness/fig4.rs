@@ -10,8 +10,8 @@
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
 use mcs_prof::{Profile, ThreadProfiler};
 
 use super::{vprintln, Artifact};
@@ -77,8 +77,11 @@ pub fn run(scale: f64, verbose: bool) -> Fig4Result {
 
     // MODELED comparison: price the instrumented counts on both machines.
     let shape = shape_of(&problem);
-    let host_model = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic_model = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let host_model = NativeModel::new(
+        catalog::machine("host-e5-2687w"),
+        TransportKind::HistoryScalar,
+    );
+    let mic_model = NativeModel::new(catalog::machine("knc-7120a"), TransportKind::HistoryScalar);
     let host_prof = host_model.profile_breakdown(&shape, &out.tallies);
     let mic_prof = mic_model.profile_breakdown(&shape, &out.tallies);
 

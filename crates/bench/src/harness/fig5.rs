@@ -10,8 +10,8 @@
 use mcs_core::engine::{self, transport_batch, BatchRequest, RunPlan, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
 
 use super::{vprintln, Artifact};
 use crate::{header_with_scale, scaled_by};
@@ -75,8 +75,11 @@ pub fn run(scale: f64, verbose: bool) -> Fig5Result {
     }
     let problem = Problem::hm(HmModel::Large, &ProblemConfig::default());
     let shape = shape_of(&problem);
-    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let host = NativeModel::new(
+        catalog::machine("host-e5-2687w"),
+        TransportKind::HistoryScalar,
+    );
+    let mic = NativeModel::new(catalog::machine("knc-7120a"), TransportKind::HistoryScalar);
 
     vprintln!(
         verbose,

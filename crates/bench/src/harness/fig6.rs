@@ -12,8 +12,8 @@ use mcs_cluster::{strong_scaling, CommModel, NodeSpec, ScalingPoint};
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
 
 use super::{vprintln, Artifact};
 use crate::{header_with_scale, scaled_by};
@@ -72,8 +72,11 @@ fn stampede_rates(scale: f64) -> (f64, f64) {
     )
     .outcome;
     let t = out.tallies.scaled_to(100_000);
-    let cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar);
+    let cpu = NativeModel::new(
+        catalog::machine("host-e5-2680"),
+        TransportKind::HistoryScalar,
+    );
+    let mic = NativeModel::new(catalog::machine("knc-se10p"), TransportKind::HistoryScalar);
     (cpu.calc_rate(&shape, &t), mic.calc_rate(&shape, &t))
 }
 

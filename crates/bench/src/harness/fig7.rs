@@ -8,8 +8,8 @@ use mcs_cluster::{min_efficiency, weak_scaling, CommModel, NodeSpec, ScalingPoin
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::MachineSpec;
 
 use super::{vprintln, Artifact};
 use crate::{header_with_scale, scaled_by};
@@ -59,9 +59,12 @@ pub fn run(scale: f64, verbose: bool) -> Fig7Result {
     )
     .outcome;
     let t = out.tallies.scaled_to(100_000);
-    let r_cpu = NativeModel::new(MachineSpec::host_e5_2680(), TransportKind::HistoryScalar)
-        .calc_rate(&shape, &t);
-    let r_mic = NativeModel::new(MachineSpec::mic_se10p(), TransportKind::HistoryScalar)
+    let r_cpu = NativeModel::new(
+        catalog::machine("host-e5-2680"),
+        TransportKind::HistoryScalar,
+    )
+    .calc_rate(&shape, &t);
+    let r_mic = NativeModel::new(catalog::machine("knc-se10p"), TransportKind::HistoryScalar)
         .calc_rate(&shape, &t);
     vprintln!(
         verbose,

@@ -9,6 +9,7 @@
 //! (call-heavy — the MIC's weakness), the vectorized layout turns it into
 //! lane work (the MIC's strength).
 
+use mcs_device::catalog;
 use mcs_device::{KernelCounts, MachineSpec};
 use mcs_multipole::{rsbench_driver, MultipoleLibrary, MultipoleSpec};
 
@@ -111,8 +112,8 @@ pub fn run(scale: f64, verbose: bool) -> Fig8Result {
         ..Default::default()
     };
     let lookups = 1e8; // paper-scale lookup count
-    let cpu = MachineSpec::host_e5_2687w();
-    let mic = MachineSpec::mic_7120a();
+    let cpu = catalog::machine("host-e5-2687w");
+    let mic = catalog::machine("knc-7120a");
     let t = |spec: &MachineSpec, c: &KernelCounts, poles: f64| {
         spec.kernel_time(&c.scale(lookups * poles))
     };

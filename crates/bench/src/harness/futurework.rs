@@ -15,9 +15,9 @@ use mcs_cluster::Rank;
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::power::{batch_energy, PowerSpec};
-use mcs_device::MachineSpec;
+use mcs_device::power::batch_energy;
 
 use super::{vprintln, Artifact};
 use crate::{header_with_scale, scaled_by};
@@ -84,8 +84,11 @@ pub fn run(scale: f64, verbose: bool) -> FutureworkResult {
     .outcome;
     let t = out.tallies.scaled_to(100_000);
 
-    let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let cpu = NativeModel::new(
+        catalog::machine("host-e5-2687w"),
+        TransportKind::HistoryScalar,
+    );
+    let mic = NativeModel::new(catalog::machine("knc-7120a"), TransportKind::HistoryScalar);
     let r_cpu = cpu.calc_rate(&shape, &t);
     let r_mic = mic.calc_rate(&shape, &t);
 
@@ -129,8 +132,14 @@ pub fn run(scale: f64, verbose: bool) -> FutureworkResult {
         verbose,
         "\n[2] Knights Landing projection (socketed, OOO, MCDRAM):"
     );
-    let knl = NativeModel::new(MachineSpec::knl_projection(), TransportKind::HistoryScalar);
-    let knl_banked = NativeModel::new(MachineSpec::knl_projection(), TransportKind::EventBanked);
+    let knl = NativeModel::new(
+        catalog::machine("knl-projection"),
+        TransportKind::HistoryScalar,
+    );
+    let knl_banked = NativeModel::new(
+        catalog::machine("knl-projection"),
+        TransportKind::EventBanked,
+    );
     let r_knl = knl.calc_rate(&shape, &t);
     let r_knl_banked = knl_banked.calc_rate(&shape, &t);
     vprintln!(verbose, "  KNC native rate:            {r_mic:>10.0} n/s");
@@ -154,8 +163,12 @@ pub fn run(scale: f64, verbose: bool) -> FutureworkResult {
         verbose,
         "\n[3] energy expenditure (per 1e5-particle batch):"
     );
-    let host_p = PowerSpec::for_machine(&MachineSpec::host_e5_2687w());
-    let mic_p = PowerSpec::for_machine(&MachineSpec::mic_7120a());
+    let host_p = catalog::device("host-e5-2687w")
+        .expect("default host")
+        .power_spec();
+    let mic_p = catalog::device("knc-7120a")
+        .expect("knc entry")
+        .power_spec();
     let n = 100_000u64;
     let combos = [
         ("CPU only", vec![(host_p, n as f64 / r_cpu)]),

@@ -19,6 +19,7 @@
 //! run loudly) and in `mcs-check` (where it should become a structured
 //! failing check).
 
+pub mod device_catalog;
 pub mod event_queueing;
 pub mod fig1;
 pub mod fig2;

@@ -27,7 +27,7 @@
 use std::net::SocketAddr;
 use std::time::Instant;
 
-use mcs_core::engine::RunPlan;
+use mcs_core::engine::{ModelSpec, RunPlan};
 use mcs_serve::{Client, Priority, ServeConfig, Server, Source};
 
 use super::{vprintln, Artifact};
@@ -360,6 +360,56 @@ fn run_admission() -> PhaseOutcome {
         hits: stats.cache_hits,
         coalesced: stats.coalesced,
     }
+}
+
+/// Standalone heavy-model leg: one cold run of the `smr` catalog model
+/// through the service, then a cached replay of the same plan. Not part
+/// of the three-phase battery (the `BENCH_serve` CSV shape is golden);
+/// `ablate_serve` appends its cell to the JSON summary at full scale.
+/// Returns the phase row and whether the replay was bit-identical.
+pub fn run_smr(scale: f64) -> (ServeLoadRow, bool) {
+    let server = Server::bind("127.0.0.1:0", throughput_config()).expect("bind smr-leg server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let plan = RunPlan {
+        model: ModelSpec::named("smr"),
+        particles: scaled_by(2_000, scale).max(100),
+        inactive: 1,
+        active: 1,
+        entropy_mesh: (4, 4, 4),
+        seed: Some(0x10ad_5111),
+        ..RunPlan::default()
+    };
+
+    let t0 = Instant::now();
+    let t = Instant::now();
+    let (source, cold) = client.run(&plan, Priority::Normal).expect("smr cold run");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(source, Source::Run, "first smr submission runs cold");
+    let t = Instant::now();
+    let (source, warm) = client.run(&plan, Priority::Normal).expect("smr replay");
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        source,
+        Source::Cache,
+        "smr replay must be served from cache"
+    );
+    let bitwise = *warm == *cold;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = client.stats().expect("stats");
+    let row = ServeLoadRow {
+        phase: "smr",
+        submissions: 2,
+        unique_plans: 1,
+        served_saved: stats.cache_hits + stats.coalesced,
+        cold_runs: stats.cold_runs,
+        rejects: stats.rejected,
+        plans_per_second: 2.0 / elapsed.max(1e-12),
+        p50_ms: warm_ms.min(cold_ms).max(1e-6),
+        p99_ms: warm_ms.max(cold_ms).max(1e-6),
+    };
+    server.shutdown();
+    (row, bitwise)
 }
 
 /// Run the three-phase load battery at `scale`.

@@ -7,6 +7,7 @@
 //! naive, MIC best on optimized — can be checked at both scales.
 
 use mcs_core::distance::{sample_distances_naive, sample_distances_opt1, sample_distances_opt2};
+use mcs_device::catalog;
 use mcs_device::workload::{
     distance_naive_per_element, distance_opt1_per_element, distance_opt2_per_element,
 };
@@ -130,8 +131,8 @@ pub fn run(scale: f64, verbose: bool) -> Table1Result {
 
     // ---- modeled at paper scale --------------------------------------
     let elems = 1e7 * 1e4; // N × iters
-    let cpu = MachineSpec::host_e5_2687w();
-    let mic = MachineSpec::mic_7120a();
+    let cpu = catalog::machine("host-e5-2687w");
+    let mic = catalog::machine("knc-7120a");
     let price = |spec: &MachineSpec, c: &mcs_device::KernelCounts| {
         spec.kernel_time_ext(&c.scale(elems), true)
     };

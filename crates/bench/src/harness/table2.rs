@@ -9,6 +9,7 @@
 //! The energy-grid row also reports this reproduction's real grid size.
 
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::workload::ProblemShape;
 use mcs_device::{OffloadBreakdown, OffloadModel};
 
@@ -38,7 +39,10 @@ pub fn run(scale: f64, verbose: bool) -> Table2Result {
             scale,
         );
     }
-    let model = OffloadModel::jlse();
+    let model = OffloadModel::between(
+        &catalog::device("host-e5-2687w").expect("default host"),
+        &catalog::device("knc-7120a").expect("knc entry"),
+    );
     let n = 100_000;
 
     // Real grid sizes from this reproduction's synthetic libraries.

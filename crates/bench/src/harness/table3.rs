@@ -8,8 +8,9 @@
 use mcs_core::engine::{transport_batch, BatchRequest, Threaded};
 use mcs_core::history::batch_streams;
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
+use mcs_device::catalog;
 use mcs_device::native::{shape_of, NativeModel, TransportKind};
-use mcs_device::{MachineSpec, SymmetricModel};
+use mcs_device::SymmetricModel;
 
 use super::{vprintln, Artifact};
 use crate::{header_with_scale, scaled_by};
@@ -78,8 +79,11 @@ pub fn run(scale: f64, verbose: bool) -> Table3Result {
     .outcome;
     let t = out.tallies.scaled_to(100_000);
 
-    let host = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let host = NativeModel::new(
+        catalog::machine("host-e5-2687w"),
+        TransportKind::HistoryScalar,
+    );
+    let mic = NativeModel::new(catalog::machine("knc-7120a"), TransportKind::HistoryScalar);
     let r_cpu = host.calc_rate(&shape, &t);
     let r_mic = mic.calc_rate(&shape, &t);
     let alpha = r_cpu / r_mic;

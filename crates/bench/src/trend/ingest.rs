@@ -279,6 +279,11 @@ pub fn ingest(results_dir: &Path) -> Result<Ingested, TrendError> {
                 ingested_bench = true;
                 out.sources.push(label);
             }
+            "device" => {
+                ingest_device(doc, path, &mut out)?;
+                ingested_bench = true;
+                out.sources.push(label);
+            }
             other => {
                 skipped.push(format!("{label} (unknown bench tag {other:?})"));
             }
@@ -373,6 +378,22 @@ fn ingest_geometry(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(
         out.counters.insert(
             format!("{key}.surface_tests"),
             uint(s, path, "surface_tests")?,
+        );
+    }
+    Ok(())
+}
+
+fn ingest_device(doc: &JsonValue, path: &Path, out: &mut Ingested) -> Result<(), TrendError> {
+    for s in samples(doc, path)? {
+        let model = string(s, path, "model")?;
+        let device = string(s, path, "device")?;
+        let transport = string(s, path, "transport")?;
+        // Device rates are MODELED (analytic pricing of deterministic
+        // counts): stable per scale, so drift means the machine model
+        // or the counts changed — exactly what the trend gate is for.
+        out.rates.insert(
+            format!("device.{model}.{device}.{transport}"),
+            num(s, path, "rate_modeled_n_per_s")?,
         );
     }
     Ok(())

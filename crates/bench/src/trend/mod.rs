@@ -99,8 +99,13 @@ pub struct TrendOptions {
     /// Gate tolerances.
     pub tolerances: Tolerances,
     /// DRAM bandwidth (GB/s) override for the roofline; `None` uses the
-    /// reference-host parameter.
+    /// reference device's parameter.
     pub bandwidth_gbs: Option<f64>,
+    /// Device-catalog entry whose machine model prices the roofline;
+    /// `None` uses the conservative CI-class reference host. Lets a
+    /// per-device-class trend history (e.g. a GPU runner leg) compare
+    /// its measured rates against its own ceiling.
+    pub reference_device: Option<String>,
     /// History records kept per leg (oldest trimmed beyond this).
     pub max_keep: usize,
     /// Whether to append the record (false = dry run: classify and
@@ -119,6 +124,7 @@ impl TrendOptions {
             timestamp: 0,
             tolerances: Tolerances::default(),
             bandwidth_gbs: None,
+            reference_device: None,
             max_keep: 500,
             append: true,
         }
@@ -172,7 +178,17 @@ pub fn run(opts: &TrendOptions) -> Result<TrendOutcome, TrendError> {
 
     let deltas = delta::classify(prior, &record, &opts.tolerances);
 
-    let mut spec = MachineSpec::trend_reference_host();
+    let mut spec = match &opts.reference_device {
+        Some(name) => {
+            mcs_device::catalog::device(name)
+                .map_err(|msg| TrendError::Parse {
+                    file: "reference device".to_string(),
+                    msg,
+                })?
+                .machine
+        }
+        None => MachineSpec::trend_reference_host(),
+    };
     if let Some(bw) = opts.bandwidth_gbs {
         if bw.is_finite() && bw > 0.0 {
             spec.dram_gb_s = bw;

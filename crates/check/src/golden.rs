@@ -120,6 +120,16 @@ pub fn policy(artifact: &str, column: &str, row_key: &str) -> ColumnPolicy {
             }
             _ => Positive,
         },
+        "BENCH_device" => match column {
+            "model" | "device" | "class" | "transport" => Exact,
+            // Pure analytic arithmetic rounded to two decimals — no
+            // transport branches involved, byte-stable across ISA legs.
+            "calibration_ratio" | "in_band" => Exact,
+            // Modeled rates: reference rows are analytic, smr rows price
+            // deterministic transport counts that a scalar-leg FP
+            // contraction can perturb well under 1%.
+            _ => Rel(0.02),
+        },
         _ => Rel(0.02),
     }
 }

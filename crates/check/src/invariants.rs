@@ -15,8 +15,8 @@
 
 use crate::report::{check, check_warn, Band, CheckOutcome};
 use mcs_bench::harness::{
-    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, geometry,
-    grid_backend, serve_load, table1, table2, table3,
+    device_catalog, event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework,
+    geometry, grid_backend, serve_load, table1, table2, table3,
 };
 use mcs_core::engine::{self, Algorithm, RunPlan, Threaded};
 use mcs_core::problem::{HmModel, Problem, ProblemConfig};
@@ -656,6 +656,70 @@ pub fn check_serve(r: &serve_load::ServeLoadResult) -> Vec<CheckOutcome> {
     ]
 }
 
+/// `BENCH_device` — the calibrated device catalog: modeled rates,
+/// calibration bands, legacy bit-identity, heterogeneous determinism.
+pub fn check_device(r: &device_catalog::DeviceCatalogResult) -> Vec<CheckOutcome> {
+    let (calibrated, in_band) = r.calibration_counts();
+    vec![
+        check(
+            "DC.rates_positive",
+            "device_catalog",
+            "every modeled device rate on both legs is finite and positive",
+            holds(r.rates_positive()),
+            Band::Holds,
+        ),
+        check(
+            "DC.calibrated_entries",
+            "device_catalog",
+            "the catalog carries at least three entries calibrated vs published rates",
+            calibrated as f64,
+            Band::AtLeast(3.0),
+        ),
+        check(
+            "DC.calibration_band",
+            "device_catalog",
+            "every calibrated entry's modeled rate lands inside its documented band",
+            holds(calibrated == in_band),
+            Band::Holds,
+        ),
+        check(
+            "DC.legacy_exact",
+            "device_catalog",
+            "host-e5-2687w/knc-7120a price kernels bit-identically to the MachineSpec oracles",
+            holds(r.legacy_exact),
+            Band::Holds,
+        ),
+        check(
+            "DC.alpha_host_knc",
+            "device_catalog",
+            "reference-workload host/KNC alpha stays in the paper's plateau band",
+            r.alpha_host_knc(),
+            Band::Range { lo: 0.5, hi: 0.8 },
+        ),
+        check(
+            "DC.gpu_ordering",
+            "device_catalog",
+            "every GPU-class entry outrates every legacy device on the reference workload",
+            holds(r.gpus_outrate_legacy()),
+            Band::Holds,
+        ),
+        check(
+            "DC.hetero_bitwise",
+            "device_catalog",
+            "heterogeneous device ranks reproduce the serial run bit-identically",
+            holds(r.hetero_bitwise),
+            Band::Holds,
+        ),
+        check(
+            "DC.balanced_gain",
+            "device_catalog",
+            "alpha-balancing the hetero mix never loses aggregate rate",
+            r.balanced_gain,
+            Band::AtLeast(1.0),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +853,71 @@ mod tests {
         for c in &out {
             assert!(c.passed, "{}: value {} not in {}", c.id, c.value, c.band);
         }
+    }
+
+    #[test]
+    fn intact_device_passes_and_perturbed_device_fails() {
+        // One real reduced-scale catalog sweep, then targeted
+        // perturbations of the typed result — the exit-flip
+        // demonstration for every DC gate.
+        let good = device_catalog::run(0.05, false);
+        let before = check_device(&good);
+        assert!(before.iter().all(|c| c.passed), "{before:?}");
+
+        let fails = |r: &device_catalog::DeviceCatalogResult, id: &str| {
+            let out = check_device(r);
+            assert!(
+                !out.iter().find(|c| c.id == id).unwrap().passed,
+                "{id} should fail after perturbation"
+            );
+        };
+        let mut r = good.clone();
+        r.rows[0].rate = -1.0;
+        fails(&r, "DC.rates_positive");
+
+        let mut r = good.clone();
+        for row in &mut r.rows {
+            row.within_band = None;
+        }
+        fails(&r, "DC.calibrated_entries");
+
+        let mut r = good.clone();
+        r.rows
+            .iter_mut()
+            .find(|x| x.within_band.is_some())
+            .unwrap()
+            .within_band = Some(false);
+        fails(&r, "DC.calibration_band");
+
+        let mut r = good.clone();
+        r.legacy_exact = false;
+        fails(&r, "DC.legacy_exact");
+
+        // Drift the KNC alpha out of the paper's plateau.
+        let mut r = good.clone();
+        r.rows
+            .iter_mut()
+            .find(|x| x.model == "reference" && x.id == "knc-7120a")
+            .unwrap()
+            .alpha_vs_host = 0.3;
+        fails(&r, "DC.alpha_host_knc");
+
+        // A GPU falling below the KNL projection breaks the ordering.
+        let mut r = good.clone();
+        r.rows
+            .iter_mut()
+            .find(|x| x.model == "reference" && x.id == "a100")
+            .unwrap()
+            .rate = 10_000.0;
+        fails(&r, "DC.gpu_ordering");
+
+        let mut r = good.clone();
+        r.hetero_bitwise = false;
+        fails(&r, "DC.hetero_bitwise");
+
+        let mut r = good;
+        r.balanced_gain = 0.8;
+        fails(&r, "DC.balanced_gain");
     }
 
     #[test]

@@ -14,8 +14,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mcs_bench::harness::{
-    event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework, geometry,
-    grid_backend, serve_load, table1, table2, table3, Artifact,
+    device_catalog, event_queueing, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, futurework,
+    geometry, grid_backend, serve_load, table1, table2, table3, Artifact,
 };
 use mcs_check::invariants as inv;
 use mcs_check::{golden, CheckReport, GoldenOutcome};
@@ -142,6 +142,11 @@ fn main() {
     step("serve", &mut |rep, arts| {
         let r = serve_load::run(scale, verbose);
         rep.invariants.extend(inv::check_serve(&r));
+        arts.push(r.artifact);
+    });
+    step("device", &mut |rep, arts| {
+        let r = device_catalog::run(scale, verbose);
+        rep.invariants.extend(inv::check_device(&r));
         arts.push(r.artifact);
     });
 

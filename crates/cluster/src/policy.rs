@@ -30,6 +30,8 @@ use mcs_core::history::{TransportOutcome, CHUNK};
 use mcs_core::particle::Site;
 use mcs_core::problem::Problem;
 use mcs_core::tally::Tallies;
+use mcs_device::catalog::DeviceSpec;
+use mcs_device::TransportKind;
 use mcs_faults::{FaultLog, FaultPlan, FaultRecord, FaultRecordKind};
 
 use crate::mpi::Comm;
@@ -60,6 +62,10 @@ pub struct RankBatchDetail {
 pub struct DistributedPolicy {
     n_ranks: usize,
     initial_assignments: Option<Vec<u64>>,
+    // Per-rank device assignment: modeled rates weight the initial
+    // split; ids label `describe`.
+    device_rates: Option<Vec<f64>>,
+    device_ids: Vec<&'static str>,
     adaptive: bool,
     fault_plan: FaultPlan,
     // Per-run state, reset by `begin`.
@@ -79,6 +85,8 @@ impl DistributedPolicy {
         Self {
             n_ranks,
             initial_assignments: None,
+            device_rates: None,
+            device_ids: Vec::new(),
             adaptive: false,
             fault_plan: FaultPlan::new(0),
             assignments: Vec::new(),
@@ -95,6 +103,30 @@ impl DistributedPolicy {
     /// plan's batch size); `None` keeps the chunk-aligned even split.
     pub fn with_assignments(mut self, assignments: Option<Vec<u64>>) -> Self {
         self.initial_assignments = assignments;
+        self
+    }
+
+    /// Assign one device-catalog entry per rank (heterogeneous symmetric
+    /// mode). The initial particle split is α-balanced proportionally to
+    /// each device's modeled native rate in `kind` — and stays
+    /// CHUNK-aligned, so the chunk-keyed all-reduce keeps the run
+    /// `to_bits`-identical to serial regardless of the weights.
+    ///
+    /// # Panics
+    /// If `devices.len()` differs from the policy's rank count.
+    pub fn with_devices(mut self, devices: &[DeviceSpec], kind: TransportKind) -> Self {
+        assert_eq!(
+            devices.len(),
+            self.n_ranks,
+            "need exactly one device per rank"
+        );
+        self.device_rates = Some(
+            devices
+                .iter()
+                .map(|d| d.modeled_native_rate(kind))
+                .collect(),
+        );
+        self.device_ids = devices.iter().map(|d| d.id).collect();
         self
     }
 
@@ -187,7 +219,15 @@ impl DistributedPolicy {
 
 impl ExecutionPolicy for DistributedPolicy {
     fn describe(&self) -> String {
-        format!("distributed ({} ranks)", self.n_ranks)
+        if self.device_ids.is_empty() {
+            format!("distributed ({} ranks)", self.n_ranks)
+        } else {
+            format!(
+                "distributed ({} ranks: {})",
+                self.n_ranks,
+                self.device_ids.join(", ")
+            )
+        }
     }
 
     fn begin(&mut self, plan: &RunPlan, start_batch: usize) {
@@ -201,11 +241,15 @@ impl ExecutionPolicy for DistributedPolicy {
                 );
                 a.clone()
             }
-            None => chunk_aligned_split(
-                plan.particles as u64,
-                &vec![1.0; self.n_ranks],
-                CHUNK as u64,
-            ),
+            None => {
+                // Per-device modeled rates α-balance the heterogeneous
+                // split; a device-less policy keeps the even split.
+                let weights = match &self.device_rates {
+                    Some(rates) => rates.clone(),
+                    None => vec![1.0; self.n_ranks],
+                };
+                chunk_aligned_split(plan.particles as u64, &weights, CHUNK as u64)
+            }
         };
         self.alive = vec![true; self.n_ranks];
         self.start_batch = start_batch;

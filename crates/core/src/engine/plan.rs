@@ -109,6 +109,92 @@ impl ModelSpec {
     }
 }
 
+/// Which device model to price the run on: a device-catalog entry name
+/// plus optional numeric overrides (the device-layer mirror of
+/// [`ModelSpec`]).
+///
+/// `mcs_core` treats this as plain data — the catalog itself lives in
+/// `mcs-device` (`mcs_device::catalog::resolve`), which validates the
+/// name and applies the overrides. The default ref (the paper's host
+/// Xeon, no overrides) serializes to nothing, so plans that never touch
+/// the device knob keep their historic TOML text and plan hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRef {
+    /// Device-catalog entry name (`host-e5-2687w`, `knc-7120a`,
+    /// `a100`, ...).
+    pub name: String,
+    /// Numeric overrides applied on top of the entry's datasheet values.
+    pub overrides: DeviceOverrides,
+}
+
+/// The default device-catalog entry name (the paper's JLSE host Xeon).
+pub const DEFAULT_DEVICE: &str = "host-e5-2687w";
+
+impl Default for DeviceRef {
+    fn default() -> Self {
+        Self::named(DEFAULT_DEVICE)
+    }
+}
+
+impl DeviceRef {
+    /// A ref for catalog entry `name` with no overrides.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            overrides: DeviceOverrides::default(),
+        }
+    }
+
+    /// True when this is the default device with no overrides — the
+    /// configuration every pre-catalog plan implicitly ran with.
+    pub fn is_default(&self) -> bool {
+        self.name == DEFAULT_DEVICE && self.overrides.is_default()
+    }
+
+    /// Canonical one-line rendering of name + overrides. Injective over
+    /// distinct refs, so it is safe key material for result caches.
+    pub fn spec_string(&self) -> String {
+        let mut s = self.name.clone();
+        let o = &self.overrides;
+        if let Some(c) = o.cores {
+            s.push_str(&format!(";cores={c}"));
+        }
+        if let Some(g) = o.clock_ghz {
+            s.push_str(&format!(";clock_ghz={g}"));
+        }
+        if let Some(bw) = o.dram_gb_s {
+            s.push_str(&format!(";dram_gb_s={bw}"));
+        }
+        if let Some(bw) = o.link_gb_s {
+            s.push_str(&format!(";link_gb_s={bw}"));
+        }
+        s
+    }
+}
+
+/// Optional per-plan overrides of a device-catalog entry's structural
+/// parameters. `None` everywhere (the default) leaves the entry exactly
+/// as catalogued — and serializes to nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceOverrides {
+    /// Core (or SM/CU) count.
+    pub cores: Option<usize>,
+    /// Core clock, GHz.
+    pub clock_ghz: Option<f64>,
+    /// Main-memory bandwidth, GB/s.
+    pub dram_gb_s: Option<f64>,
+    /// Host-link contiguous bandwidth, GB/s (the banked regime scales
+    /// with it).
+    pub link_gb_s: Option<f64>,
+}
+
+impl DeviceOverrides {
+    /// True when no override is set.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// A typed plan-parse error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
@@ -256,6 +342,10 @@ pub struct RunPlan {
     pub queueing: QueueingConfig,
     /// Execution policy to run under.
     pub policy: PolicySpec,
+    /// Device model to price the run on (analytic layer only — the
+    /// physics always runs on this host). The default ref serializes to
+    /// nothing, preserving historic plan text and hashes.
+    pub device: DeviceRef,
 }
 
 impl Default for RunPlan {
@@ -277,6 +367,7 @@ impl Default for RunPlan {
             max_chain: 100_000,
             queueing: QueueingConfig::default(),
             policy: PolicySpec::Serial,
+            device: DeviceRef::default(),
         }
     }
 }
@@ -329,6 +420,12 @@ impl RunPlan {
         s.push_str(&format!("algorithm:        {}\n", self.algorithm.keyword()));
         s.push_str(&format!("mode:             {}\n", self.mode.keyword()));
         s.push_str(&format!("policy:           {}\n", self.policy.describe()));
+        if !self.device.is_default() {
+            s.push_str(&format!(
+                "device:           {}\n",
+                self.device.spec_string()
+            ));
+        }
         s.push_str(&format!(
             "seed:             {} ({})\n",
             self.resolved_seed(),
@@ -424,6 +521,9 @@ impl RunPlan {
         if self.traversal != TraversalKind::default() {
             s.push_str(&format!("traversal = \"{}\"\n", self.traversal.name()));
         }
+        if self.device.name != DEFAULT_DEVICE {
+            s.push_str(&format!("device = \"{}\"\n", self.device.name));
+        }
         if !self.model.overrides.is_default() {
             let o = &self.model.overrides;
             s.push_str("\n[model]\n");
@@ -438,6 +538,22 @@ impl RunPlan {
             }
             if let Some(h) = o.half_height {
                 s.push_str(&format!("half_height = {h}\n"));
+            }
+        }
+        if !self.device.overrides.is_default() {
+            let o = &self.device.overrides;
+            s.push_str("\n[device]\n");
+            if let Some(c) = o.cores {
+                s.push_str(&format!("cores = {c}\n"));
+            }
+            if let Some(g) = o.clock_ghz {
+                s.push_str(&format!("clock_ghz = {g}\n"));
+            }
+            if let Some(bw) = o.dram_gb_s {
+                s.push_str(&format!("dram_gb_s = {bw}\n"));
+            }
+            if let Some(bw) = o.link_gb_s {
+                s.push_str(&format!("link_gb_s = {bw}\n"));
             }
         }
         s.push_str("\n[policy]\n");
@@ -480,9 +596,10 @@ impl RunPlan {
             };
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if section != "plan" && section != "model" && section != "policy" {
+                if !matches!(section.as_str(), "plan" | "model" | "device" | "policy") {
                     return Err(err(&format!(
-                        "unknown section [{section}] (expected [plan], [model], or [policy])"
+                        "unknown section [{section}] \
+                         (expected [plan], [model], [device], or [policy])"
                     )));
                 }
                 continue;
@@ -528,6 +645,24 @@ impl RunPlan {
                 }
                 ("model", "half_height") => {
                     plan.model.overrides.half_height = Some(value.as_f64().map_err(|e| err(&e))?)
+                }
+                ("plan", "device") => {
+                    // The name is validated against the device catalog by
+                    // the CLI / serve layer (mcs_core cannot see
+                    // mcs-device); here it is carried as data.
+                    plan.device.name = value.as_str().map_err(|e| err(&e))?.to_string();
+                }
+                ("device", "cores") => {
+                    plan.device.overrides.cores = Some(value.as_usize().map_err(|e| err(&e))?)
+                }
+                ("device", "clock_ghz") => {
+                    plan.device.overrides.clock_ghz = Some(value.as_f64().map_err(|e| err(&e))?)
+                }
+                ("device", "dram_gb_s") => {
+                    plan.device.overrides.dram_gb_s = Some(value.as_f64().map_err(|e| err(&e))?)
+                }
+                ("device", "link_gb_s") => {
+                    plan.device.overrides.link_gb_s = Some(value.as_f64().map_err(|e| err(&e))?)
                 }
                 ("plan", "algorithm") => {
                     plan.algorithm = match value.as_str().map_err(|e| err(&e))? {
@@ -757,6 +892,7 @@ mod tests {
                 fuel_split: true,
             },
             policy: PolicySpec::Distributed { ranks: 4 },
+            device: DeviceRef::named("knc-7120a"),
         };
         let back = RunPlan::from_toml(&plan.to_toml()).expect("parse");
         assert_eq!(plan, back);
@@ -811,10 +947,88 @@ mod tests {
     fn default_knobs_keep_the_historic_toml_shape() {
         // Plans without overrides or a non-default traversal serialize
         // exactly as before this refactor: no [model] section, no
-        // traversal key — so historic plan hashes are preserved.
+        // traversal key, no device key or section — so historic plan
+        // hashes are preserved.
         let text = RunPlan::default().to_toml();
         assert!(!text.contains("[model]"));
         assert!(!text.contains("traversal"));
+        assert!(!text.contains("device"));
+    }
+
+    #[test]
+    fn device_ref_round_trips_sparsely() {
+        // Name only.
+        let plan = RunPlan {
+            device: DeviceRef::named("a100"),
+            ..RunPlan::default()
+        };
+        let text = plan.to_toml();
+        assert!(text.contains("device = \"a100\""));
+        assert!(!text.contains("[device]"));
+        assert_eq!(RunPlan::from_toml(&text).expect("parse"), plan);
+
+        // Name + overrides: the [device] section must precede [policy]
+        // so the serve layer's canonical-text cut keeps it in the hash.
+        let plan = RunPlan {
+            device: DeviceRef {
+                name: "mi250x".into(),
+                overrides: DeviceOverrides {
+                    cores: Some(110),
+                    clock_ghz: Some(1.25),
+                    dram_gb_s: Some(1600.0),
+                    link_gb_s: Some(18.0),
+                },
+            },
+            ..RunPlan::default()
+        };
+        let text = plan.to_toml();
+        assert!(text.find("[device]").unwrap() < text.find("[policy]").unwrap());
+        assert_eq!(RunPlan::from_toml(&text).expect("parse"), plan);
+
+        // Overrides on the default device: section without the name key.
+        let plan = RunPlan {
+            device: DeviceRef {
+                name: DEFAULT_DEVICE.into(),
+                overrides: DeviceOverrides {
+                    clock_ghz: Some(2.9),
+                    ..Default::default()
+                },
+            },
+            ..RunPlan::default()
+        };
+        let text = plan.to_toml();
+        assert!(!text.contains("device = "));
+        assert!(text.contains("[device]"));
+        assert_eq!(RunPlan::from_toml(&text).expect("parse"), plan);
+    }
+
+    #[test]
+    fn device_spec_string_is_injective_over_overrides() {
+        let a = DeviceRef::named("a100");
+        let mut b = a.clone();
+        b.overrides.clock_ghz = Some(1.5);
+        let mut c = a.clone();
+        c.overrides.dram_gb_s = Some(1.5);
+        let strings = [a.spec_string(), b.spec_string(), c.spec_string()];
+        assert_eq!(
+            strings
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            3
+        );
+        assert!(DeviceRef::default().is_default());
+        assert!(!b.is_default());
+    }
+
+    #[test]
+    fn device_appears_in_describe_only_off_default() {
+        assert!(!RunPlan::default().describe().contains("device:"));
+        let plan = RunPlan {
+            device: DeviceRef::named("knc-7120a"),
+            ..RunPlan::default()
+        };
+        assert!(plan.describe().contains("device:           knc-7120a"));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Coprocessor machine model — the Intel Xeon Phi stand-in.
+//! Accelerator machine models — a calibrated multi-device catalog.
 //!
-//! No Knights Corner hardware exists anymore, so the device "runs" as an
-//! analytic timing model driven by *real* instrumented counts from actual
-//! kernel executions on the host (the physics always really runs; only
-//! the reported device time is modeled). The model is a roofline:
+//! No Knights Corner hardware exists anymore (and no GPU is attached),
+//! so every device "runs" as an analytic timing model driven by *real*
+//! instrumented counts from actual kernel executions on the host (the
+//! physics always really runs; only the reported device time is
+//! modeled). The model is a roofline:
 //!
 //! ```text
 //! t = max( Σ_class counts_class / rate_class(machine),  bytes / bandwidth )
@@ -19,6 +20,9 @@
 //! Modules:
 //!
 //! * [`spec`] — machine descriptions and the op-class timing model.
+//! * [`catalog`] — the named device catalog: legacy entries wrapping
+//!   the historic constructors bit-identically, plus calibrated
+//!   GPU-class entries fitted against published transport rates.
 //! * [`pcie`] — the PCIe transfer model (Table II's costs).
 //! * [`workload`] — kernel count builders: XS lookups (scalar/banked),
 //!   distance-sampling variants, whole-transport segments, particle
@@ -42,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod native;
 pub mod offload;
 pub mod pcie;
@@ -50,6 +55,7 @@ pub mod spec;
 pub mod symmetric;
 pub mod workload;
 
+pub use catalog::{Calibration, DeviceClass, DeviceSpec, PowerParams};
 pub use native::{NativeModel, TransportKind};
 pub use offload::{OffloadBreakdown, OffloadModel};
 pub use pcie::{PcieBus, TransferError, TransferKind, TransferReport};

@@ -48,6 +48,13 @@ impl PowerSpec {
         }
     }
 
+    /// Power numbers for a device-catalog entry (per-device TDP fields;
+    /// this is [`crate::catalog::DeviceSpec::power_spec`], exposed here
+    /// for symmetry with the legacy [`PowerSpec::for_machine`]).
+    pub fn for_device(dev: &crate::catalog::DeviceSpec) -> PowerSpec {
+        dev.power_spec()
+    }
+
     /// Energy for `busy_s` seconds of load followed by `idle_s` of idling.
     pub fn energy_j(&self, busy_s: f64, idle_s: f64) -> f64 {
         self.load_w * busy_s + self.idle_w * idle_s
@@ -155,6 +162,60 @@ mod tests {
         );
         assert!(symmetric.neutrons_per_joule() > mics_only.neutrons_per_joule());
         assert!(symmetric.wall_s < mics_only.wall_s);
+    }
+
+    #[test]
+    fn energy_reports_over_catalog_entries_are_consistent() {
+        // Per-device TDP fields drive the report: a device running alone
+        // at full load reports exactly its load power, and
+        // neutrons-per-joule equals modeled-rate-per-watt.
+        let n = 100_000u64;
+        for dev in crate::catalog::all() {
+            let rate = dev.modeled_native_rate(dev.default_transport());
+            let busy = n as f64 / rate;
+            let r = batch_energy(dev.id, &[(PowerSpec::for_device(&dev), busy)], n);
+            assert!(
+                (r.mean_power_w() - dev.power.load_w).abs() < 1e-9,
+                "{}",
+                dev.id
+            );
+            let expect = rate / dev.power.load_w;
+            let got = r.neutrons_per_joule();
+            assert!(
+                (got - expect).abs() / expect < 1e-9,
+                "{}: {got} vs {expect}",
+                dev.id
+            );
+        }
+    }
+
+    #[test]
+    fn energy_to_solution_ordering_follows_rate_per_watt() {
+        // The catalog-wide ordering invariant: ranking devices by
+        // neutrons-per-joule is exactly ranking them by modeled rate per
+        // load watt — and the modern GPUs beat both 2015 devices.
+        let n = 100_000u64;
+        let npj = |name: &str| {
+            let dev = crate::catalog::device(name).unwrap();
+            let rate = dev.modeled_native_rate(dev.default_transport());
+            batch_energy(name, &[(PowerSpec::for_device(&dev), n as f64 / rate)], n)
+                .neutrons_per_joule()
+        };
+        let mut by_npj: Vec<&str> = crate::catalog::NAMES.to_vec();
+        by_npj.sort_by(|a, b| npj(a).total_cmp(&npj(b)));
+        let mut by_rate_per_watt: Vec<&str> = crate::catalog::NAMES.to_vec();
+        by_rate_per_watt.sort_by(|a, b| {
+            let key = |name: &str| {
+                let d = crate::catalog::device(name).unwrap();
+                d.modeled_native_rate(d.default_transport()) / d.power.load_w
+            };
+            key(a).total_cmp(&key(b))
+        });
+        assert_eq!(by_npj, by_rate_per_watt);
+        for gpu in ["gpu-max-1100", "a100", "mi250x"] {
+            assert!(npj(gpu) > npj("knc-7120a"), "{gpu}");
+            assert!(npj(gpu) > npj("host-e5-2687w"), "{gpu}");
+        }
     }
 
     #[test]

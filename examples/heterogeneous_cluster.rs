@@ -18,7 +18,7 @@ use mcs::core::history::batch_streams;
 use mcs::core::problem::{HmModel, ProblemConfig};
 use mcs::core::Problem;
 use mcs::device::native::{shape_of, NativeModel, TransportKind};
-use mcs::device::{MachineSpec, SymmetricModel};
+use mcs::device::{catalog, SymmetricModel};
 
 fn main() {
     println!("measuring the H.M. Large per-particle structure...");
@@ -48,8 +48,11 @@ fn main() {
         t.collisions_by_material[i] = (t.collisions_by_material[i] as f64 * f) as u64;
     }
 
-    let cpu = NativeModel::new(MachineSpec::host_e5_2687w(), TransportKind::HistoryScalar);
-    let mic = NativeModel::new(MachineSpec::mic_7120a(), TransportKind::HistoryScalar);
+    let cpu = NativeModel::new(
+        catalog::machine("host-e5-2687w"),
+        TransportKind::HistoryScalar,
+    );
+    let mic = NativeModel::new(catalog::machine("knc-7120a"), TransportKind::HistoryScalar);
     let r_cpu = cpu.calc_rate(&shape, &t);
     let r_mic = mic.calc_rate(&shape, &t);
     println!(

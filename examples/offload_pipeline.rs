@@ -16,7 +16,7 @@ use mcs::core::history::batch_streams;
 use mcs::core::problem::{HmModel, ProblemConfig};
 use mcs::core::Problem;
 use mcs::device::native::shape_of;
-use mcs::device::OffloadModel;
+use mcs::device::{catalog, OffloadModel};
 
 fn main() {
     // The paper's micro-benchmarks strip S(α,β)/URR to vectorize.
@@ -79,7 +79,10 @@ measured stage breakdown (this host):"
 
     // Price one banked-lookup round through the offload pipeline.
     let shape = shape_of(&problem);
-    let model = OffloadModel::jlse();
+    let model = OffloadModel::between(
+        &catalog::device("host-e5-2687w").expect("default host"),
+        &catalog::device("knc-7120a").expect("knc entry"),
+    );
     let grid_bytes = (problem.xs.index_bytes() + problem.xs.data_bytes()) as f64;
     let b = model.breakdown(&shape, n, grid_bytes);
 

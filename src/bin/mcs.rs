@@ -11,14 +11,20 @@
 //!            [--policy serial|threaded:N|distributed:N]
 //!            [--queueing off|material|material+energy] [--queue-bins N]
 //!            [--fuel-split] [--statepoint FILE] [--resume FILE]
+//!            [--device NAME] [--device-cores N] [--device-clock GHZ]
+//!            [--device-dram GB_S] [--device-link GB_S]
 //! mcs models
+//! mcs devices
 //! mcs info   [--model NAME]
 //! mcs plot   [--model NAME] [--width N] [--z Z]
 //! mcs fixed  [--model NAME] [--particles N]
 //! mcs serve  [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //! ```
 //!
-//! `NAME` is a model-catalog entry (`mcs models` lists them). Every run
+//! `NAME` is a model-catalog entry (`mcs models` lists them); `--device`
+//! names a device-catalog entry (`mcs devices` lists them) whose analytic
+//! machine model prices the run — physics always executes on the host,
+//! bit-identically, whatever device is selected. Every run
 //! is a [`RunPlan`] executed by `mcs_core::engine::run` under an
 //! execution policy; the flag form builds the plan on the fly, the
 //! `--plan` form loads a TOML plan file and replays it bit-identically.
@@ -39,11 +45,12 @@ use std::process::ExitCode;
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
-    self, Algorithm, BatchObserver, BatchProgress, ExecutionPolicy, ModelOverrides, ModelSpec,
-    PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
+    self, Algorithm, BatchObserver, BatchProgress, DeviceRef, ExecutionPolicy, ModelOverrides,
+    ModelSpec, PolicySpec, RunMode, RunOutput, RunPlan, RunReport,
 };
 use mcs::core::statepoint::Statepoint;
 use mcs::core::{catalog, Problem, QueueingConfig, QueueingMode, RodPattern, TraversalKind};
+use mcs::device::catalog as devices;
 use mcs::serve::scheduler::ServeConfig;
 
 struct Args {
@@ -62,6 +69,7 @@ struct Args {
     resume: Option<String>,
     policy: PolicySpec,
     queueing: QueueingConfig,
+    device: DeviceRef,
     plan: Option<String>,
     dry_run: bool,
     width: usize,
@@ -125,6 +133,7 @@ fn parse_args() -> Args {
         resume: None,
         policy: PolicySpec::Threaded { threads: 0 },
         queueing: QueueingConfig::default(),
+        device: DeviceRef::default(),
         plan: None,
         dry_run: false,
         width: 80,
@@ -195,6 +204,23 @@ fn parse_args() -> Args {
                 args.queueing.energy_bins = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--fuel-split" => args.queueing.fuel_split = true,
+            "--device" => args.device.name = value(&mut i),
+            "--device-cores" => {
+                args.device.overrides.cores =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--device-clock" => {
+                args.device.overrides.clock_ghz =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--device-dram" => {
+                args.device.overrides.dram_gb_s =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--device-link" => {
+                args.device.overrides.link_gb_s =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--plan" => args.plan = Some(value(&mut i)),
             "--addr" => args.addr = value(&mut i),
             "--workers" => args.serve.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -212,6 +238,12 @@ fn parse_args() -> Args {
         i += 1;
     }
     if let Err(e) = args.queueing.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    // The plan parser carries device names as data (mcs-core cannot see
+    // the catalog); the CLI is where a bad name or override fails fast.
+    if let Err(e) = devices::resolve(&args.device) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
@@ -247,6 +279,7 @@ fn plan_from_args(args: &Args, mode: RunMode) -> RunPlan {
         spectrum: args.spectrum.is_some(),
         policy: args.policy,
         queueing: args.queueing,
+        device: args.device.clone(),
         ..RunPlan::default()
     }
 }
@@ -270,6 +303,41 @@ fn cmd_models() {
     println!(
         "\noverride flags: --assemblies N, --enrichment F, --rods none|center|checkerboard,\n\
          \x20               --half-height CM; lookup treatment: --traversal flattened|nested"
+    );
+}
+
+/// List the device catalog: per-entry structure plus the modeled rate
+/// on the reference workload under the entry's default transport, with
+/// the calibration ratio against the published rate for fitted entries.
+fn cmd_devices() {
+    println!("device catalog ({} entries):", devices::NAMES.len());
+    println!(
+        "  {:<14} {:<11} {:>5} {:>6} {:>8} {:>12}  calibration",
+        "name", "class", "cores", "GHz", "GB/s", "rate(n/s)"
+    );
+    for dev in devices::all() {
+        let rate = dev.modeled_native_rate(dev.default_transport());
+        let calib = match dev.calibration_ratio() {
+            Some(r) => format!("{r:.2}x published"),
+            None => "paper-exact".to_string(),
+        };
+        println!(
+            "  {:<14} {:<11} {:>5} {:>6.2} {:>8.0} {:>12.0}  {calib}",
+            dev.id,
+            dev.class.name(),
+            dev.machine.cores,
+            dev.machine.clock_ghz,
+            dev.machine.dram_gb_s,
+            rate
+        );
+    }
+    println!();
+    for dev in devices::all() {
+        println!("  {:<14} {}", dev.id, dev.description);
+    }
+    println!(
+        "\noverride flags: --device-cores N, --device-clock GHZ, --device-dram GB_S,\n\
+         \x20               --device-link GB_S (scales both PCIe/fabric bandwidths)"
     );
 }
 
@@ -547,6 +615,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "run" => cmd_run(&args),
         "models" => cmd_models(),
+        "devices" => cmd_devices(),
         "info" => cmd_info(&args),
         "plot" => cmd_plot(&args),
         "fixed" => cmd_fixed(&args),

@@ -13,8 +13,8 @@
 
 use mcs::cluster::DistributedPolicy;
 use mcs::core::engine::{
-    resume_with_problem, run_batches, run_with_problem, Algorithm, ExecutionPolicy, ModelOverrides,
-    ModelSpec, PolicySpec, RunMode, RunPlan, Serial, Threaded,
+    resume_with_problem, run_batches, run_with_problem, Algorithm, DeviceOverrides, DeviceRef,
+    ExecutionPolicy, ModelOverrides, ModelSpec, PolicySpec, RunMode, RunPlan, Serial, Threaded,
 };
 use mcs::core::problem::{GridBackendKind, Problem};
 use mcs::core::queueing::{QueueingConfig, QueueingMode};
@@ -82,6 +82,46 @@ fn every_policy_reproduces_serial_bitwise_for_both_algorithms() {
                 reference.k_mean,
                 &reference.tallies,
             );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_device_splits_reproduce_serial_bitwise() {
+    // The device catalog's heterogeneous symmetric mode: each rank is a
+    // different accelerator, the initial split is α-balanced by modeled
+    // rate — and because the split stays CHUNK-aligned and the
+    // all-reduce is chunk-keyed, k-eff and every tally must still equal
+    // the serial run to the last bit, for any device mix.
+    use mcs::device::catalog::device;
+    use mcs::device::TransportKind;
+
+    let problem = Problem::test_small();
+    let mixes: [&[&str]; 3] = [
+        &["host-e5-2687w", "knc-7120a"],
+        &["host-e5-2687w", "knc-7120a", "knc-7120a"],
+        &["a100", "gpu-max-1100", "mi250x", "host-e5-2687w"],
+    ];
+    for algorithm in [Algorithm::History, Algorithm::EventBanking] {
+        let plan = plan_for(algorithm);
+        let reference = run_with_problem(&problem, &plan, &mut Serial::new())
+            .into_eigenvalue()
+            .result;
+        for mix in mixes {
+            let devices: Vec<_> = mix.iter().map(|n| device(n).unwrap()).collect();
+            let mut policy = DistributedPolicy::new(devices.len())
+                .with_devices(&devices, TransportKind::HistoryScalar);
+            let got = run_with_problem(&problem, &plan, &mut policy)
+                .into_eigenvalue()
+                .result;
+            assert_bitwise(
+                &format!("devices {mix:?} / {algorithm:?}"),
+                got.k_mean,
+                &got.tallies,
+                reference.k_mean,
+                &reference.tallies,
+            );
+            assert!(policy.describe().contains(mix[0]));
         }
     }
 }
@@ -312,6 +352,13 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
             (0u8..3, 0u32..15, any::<bool>()),
             (any::<bool>(), 0u8..5, 0u8..3),
         ),
+        (
+            0usize..6,
+            (any::<bool>(), 1usize..512),
+            (any::<bool>(), 0.5f64..5.0),
+            (any::<bool>(), 1.0f64..4000.0),
+            (any::<bool>(), 0.5f64..100.0),
+        ),
     )
         .prop_map(
             |(
@@ -320,6 +367,13 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
                 ((has_mesh, mesh), spectrum, (has_cp, cp_every), max_chain),
                 (policy_kind, threads, ranks),
                 ((queue_mode, queue_bins_log2, fuel_split), (nested, override_kind, rod_kind)),
+                (
+                    device,
+                    (has_cores, cores),
+                    (has_clock, clock),
+                    (has_dram, dram),
+                    (has_link, link),
+                ),
             )| {
                 RunPlan {
                     model: ModelSpec {
@@ -389,6 +443,27 @@ fn arb_plan() -> impl Strategy<Value = RunPlan> {
                         // Power of two, as `validate` demands of TOML input.
                         energy_bins: 1usize << queue_bins_log2,
                         fuel_split,
+                    },
+                    // Device refs round-trip sparsely: the default name with
+                    // no overrides must serialize to nothing at all, and the
+                    // float overrides lean on Display's shortest-round-trip
+                    // formatting for losslessness.
+                    device: DeviceRef {
+                        name: [
+                            "host-e5-2687w",
+                            "host-e5-2680",
+                            "knc-7120a",
+                            "knl-projection",
+                            "gpu-max-1100",
+                            "a100",
+                        ][device]
+                            .into(),
+                        overrides: DeviceOverrides {
+                            cores: has_cores.then_some(cores),
+                            clock_ghz: has_clock.then_some(clock),
+                            dram_gb_s: has_dram.then_some(dram),
+                            link_gb_s: has_link.then_some(link),
+                        },
                     },
                 }
             },
